@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the ProfileMe stack: the cost of sampling at
+//! various rates and buffer depths, relative to an unprofiled run — the
+//! overhead story of §4.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use profileme_core::{run_paired, run_single, PairedConfig, ProfileMeConfig};
+use profileme_uarch::PipelineConfig;
+use profileme_workloads::compress;
+
+fn single_sampling(c: &mut Criterion) {
+    let w = compress(3_000);
+    let mut group = c.benchmark_group("single_sampling");
+    group.sample_size(10);
+    for interval in [64u64, 512, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S={interval}")),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let cfg = ProfileMeConfig {
+                        mean_interval: interval,
+                        buffer_depth: 8,
+                        ..ProfileMeConfig::default()
+                    };
+                    run_single(
+                        w.program.clone(),
+                        Some(w.memory.clone()),
+                        PipelineConfig::default(),
+                        cfg,
+                        u64::MAX,
+                    )
+                    .expect("run completes")
+                    .samples
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn paired_sampling(c: &mut Criterion) {
+    let w = compress(3_000);
+    let mut group = c.benchmark_group("paired_sampling");
+    group.sample_size(10);
+    for window in [16u64, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("W={window}")),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let cfg = PairedConfig {
+                        mean_major_interval: 256,
+                        window,
+                        buffer_depth: 4,
+                        ..PairedConfig::default()
+                    };
+                    run_paired(
+                        w.program.clone(),
+                        Some(w.memory.clone()),
+                        PipelineConfig::default(),
+                        cfg,
+                        u64::MAX,
+                    )
+                    .expect("run completes")
+                    .pairs
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_sampling, paired_sampling);
+criterion_main!(benches);

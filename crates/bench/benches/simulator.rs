@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the pipeline simulator itself: simulated
+//! instructions per wall-clock second across workload characters and
+//! machine configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use profileme_isa::ArchState;
+use profileme_uarch::{NullHardware, Pipeline, PipelineConfig};
+use profileme_workloads::{suite, Workload};
+
+fn run(w: &Workload, config: PipelineConfig) -> u64 {
+    let oracle = ArchState::with_memory(&w.program, w.memory.clone());
+    let mut sim = Pipeline::with_oracle(w.program.clone(), config, NullHardware, oracle);
+    sim.run(u64::MAX).expect("workload completes");
+    sim.stats().retired
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for w in suite(60_000) {
+        let retired = run(&w, PipelineConfig::default());
+        group.throughput(Throughput::Elements(retired));
+        group.bench_with_input(BenchmarkId::new("ooo", w.name), &w, |b, w| {
+            b.iter(|| run(w, PipelineConfig::default()))
+        });
+    }
+    // One in-order data point for comparison.
+    let w = &suite(60_000)[3]; // ijpeg
+    let retired = run(w, PipelineConfig::inorder_21164ish());
+    group.throughput(Throughput::Elements(retired));
+    group.bench_with_input(BenchmarkId::new("inorder", w.name), w, |b, w| {
+        b.iter(|| run(w, PipelineConfig::inorder_21164ish()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Attribution-accuracy ablation: per-instruction D-cache-miss profiles
+//! from traditional event counters versus from ProfileMe, judged against
+//! simulator ground truth — the quantitative version of §2.2's argument.
+//!
+//! The counter method attributes each overflow interrupt's event to the
+//! restart PC the handler observes and estimates per-PC miss counts as
+//! `(attributions at pc) × period`. ProfileMe reads the PC out of the
+//! sample itself. We compare both to the exact per-PC miss counts using
+//! total-variation distance between the normalized profiles.
+
+use profileme_bench::{banner, scaled};
+use profileme_core::{run_single, ProfileMeConfig};
+use profileme_counters::{CounterHardware, PcHistogram};
+use profileme_isa::Program;
+use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme_workloads::{suite, Workload};
+use std::collections::BTreeMap;
+
+/// Total-variation distance between two PC-indexed profiles.
+fn tv_distance(a: &BTreeMap<profileme_isa::Pc, f64>, b: &BTreeMap<profileme_isa::Pc, f64>) -> f64 {
+    let sum = |m: &BTreeMap<_, f64>| m.values().sum::<f64>().max(1e-12);
+    let (sa, sb) = (sum(a), sum(b));
+    let mut keys: Vec<_> = a.keys().chain(b.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    0.5 * keys
+        .iter()
+        .map(|k| {
+            (a.get(k).copied().unwrap_or(0.0) / sa - b.get(k).copied().unwrap_or(0.0) / sb).abs()
+        })
+        .sum::<f64>()
+}
+
+fn ground_truth(p: &Program, stats: &profileme_uarch::SimStats) -> BTreeMap<profileme_isa::Pc, f64> {
+    p.iter()
+        .filter_map(|(pc, _)| {
+            let m = stats.at(p, pc)?.dcache_misses;
+            (m > 0).then_some((pc, m as f64))
+        })
+        .collect()
+}
+
+fn counter_profile(w: &Workload) -> (BTreeMap<profileme_isa::Pc, f64>, profileme_uarch::SimStats) {
+    let hw = CounterHardware::new(HwEventKind::DCacheMiss, 16, 6, 7).with_skid_jitter(12);
+    let oracle = profileme_isa::ArchState::with_memory(&w.program, w.memory.clone());
+    let mut sim =
+        Pipeline::with_oracle(w.program.clone(), PipelineConfig::default(), hw, oracle);
+    let mut hist = PcHistogram::new();
+    sim.run_with(u64::MAX, |intr, hw| {
+        hist.record(intr.attributed_pc);
+        hw.rearm();
+    })
+    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    (hist.iter().map(|(pc, n)| (pc, n as f64)).collect(), sim.stats().clone())
+}
+
+fn profileme_profile(w: &Workload) -> BTreeMap<profileme_isa::Pc, f64> {
+    let sampling =
+        ProfileMeConfig { mean_interval: 64, buffer_depth: 16, ..ProfileMeConfig::default() };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    run.db
+        .iter()
+        .filter(|(_, p)| p.dcache_misses > 0)
+        .map(|(pc, _)| (pc, run.db.estimated_dcache_misses(pc).value()))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "attribution ablation — counters vs ProfileMe on per-PC D-cache misses",
+        "ProfileMe (MICRO-30 1997) §2.2 (problem) and §5.1 (solution)",
+    );
+    println!(
+        "{:<10} {:>16} {:>16}   (total-variation distance to ground truth; 0 = exact)",
+        "workload", "counter TV", "ProfileMe TV"
+    );
+    let mut counter_worse = 0;
+    let mut n = 0;
+    for w in suite(scaled(150_000)) {
+        let (counter, stats) = counter_profile(&w);
+        let truth = ground_truth(&w.program, &stats);
+        if truth.is_empty() || counter.is_empty() {
+            continue; // workload with (almost) no D-cache misses
+        }
+        let pm = profileme_profile(&w);
+        let tv_counter = tv_distance(&counter, &truth);
+        let tv_pm = tv_distance(&pm, &truth);
+        println!("{:<10} {:>16.3} {:>16.3}", w.name, tv_counter, tv_pm);
+        n += 1;
+        if tv_counter > tv_pm {
+            counter_worse += 1;
+        }
+    }
+    println!(
+        "\ncounter attribution lands on whatever instruction is restarting when the"
+    );
+    println!("interrupt arrives; ProfileMe reads the PC from the sample itself.");
+    assert!(n >= 3, "need several miss-prone workloads");
+    assert_eq!(counter_worse, n, "ProfileMe must win on every measured workload");
+    println!("shape check: PASS ({counter_worse}/{n} workloads where ProfileMe is closer)");
+}

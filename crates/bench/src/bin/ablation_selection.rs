@@ -1,0 +1,62 @@
+//! §4.1.1 ablation: choosing profiled instructions by counting *fetched
+//! instructions* versus counting *fetch opportunities*.
+//!
+//! The paper: counting fetch opportunities "simplifies the hardware, but
+//! may result in a significant number of samples that do not contain
+//! instructions on the predicted control path, effectively reducing the
+//! useful sampling rate." This harness measures that reduction across
+//! the workload suite.
+
+use profileme_bench::{banner, scaled};
+use profileme_core::{run_single, ProfileMeConfig, SelectionMode};
+use profileme_uarch::PipelineConfig;
+use profileme_workloads::suite;
+
+fn main() {
+    banner(
+        "§4.1.1 ablation — instruction vs fetch-opportunity selection",
+        "ProfileMe (MICRO-30 1997) §4.1.1",
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>16}",
+        "workload", "samples", "empty", "useful rate", "slot occupancy"
+    );
+    let mut worst: f64 = 1.0;
+    for w in suite(scaled(120_000)) {
+        let sampling = ProfileMeConfig {
+            mean_interval: 64,
+            selection: SelectionMode::FetchOpportunities,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        };
+        let run = run_single(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            PipelineConfig::default(),
+            sampling,
+            u64::MAX,
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        let total = run.samples.len() as f64;
+        let empty = run.invalid_selections as f64;
+        let useful = 1.0 - empty / total.max(1.0);
+        // Occupancy of fetch slots by predicted-path instructions: the
+        // machine-level cause of the useful-rate loss.
+        let occupancy = run.stats.fetched as f64 / run.stats.fetch_opportunities as f64;
+        worst = worst.min(useful);
+        println!(
+            "{:<10} {:>12} {:>12} {:>13.1}% {:>15.1}%",
+            w.name,
+            run.samples.len(),
+            run.invalid_selections,
+            100.0 * useful,
+            100.0 * occupancy
+        );
+    }
+    println!(
+        "\nthe useful sampling rate tracks fetch-slot occupancy: low-IPC workloads (fetch"
+    );
+    println!("stalls, taken-branch bubbles) waste the most opportunity-counted samples.");
+    assert!(worst < 0.8, "some workload should lose >20% of samples to empty slots");
+    println!("shape check: PASS (worst useful rate {:.0}%)", worst * 100.0);
+}

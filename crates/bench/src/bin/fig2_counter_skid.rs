@@ -1,0 +1,81 @@
+//! Figure 2: histograms of PC values delivered to performance-counter
+//! interrupt routines, on an in-order and an out-of-order machine.
+//!
+//! The paper's experiment: a loop with a single (cache-hit) load followed
+//! by hundreds of nops, monitored with a D-cache-reference counter. On
+//! the in-order Alpha 21164 nearly all interrupts land a fixed few
+//! instructions after the load (a sharp displaced peak); on the
+//! out-of-order Pentium Pro they smear over ~25 instructions.
+
+use profileme_bench::{banner, scaled};
+use profileme_counters::{CounterHardware, PcHistogram};
+use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme_workloads::microbench;
+
+fn histogram(
+    config: PipelineConfig,
+    skid_jitter: u64,
+    seed: u64,
+) -> (PcHistogram, profileme_isa::Pc) {
+    let (w, load_pc) = microbench(200, scaled(2_000));
+    let hw = CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed)
+        .with_skid_jitter(skid_jitter);
+    let mut sim = Pipeline::new(w.program, config, hw);
+    let mut hist = PcHistogram::new();
+    sim.run_with(u64::MAX, |intr, hw| {
+        hist.record(intr.attributed_pc);
+        hw.rearm();
+    })
+    .expect("microbenchmark completes");
+    (hist, load_pc)
+}
+
+fn print_histogram(title: &str, hist: &PcHistogram, load_pc: profileme_isa::Pc) {
+    println!("--- {title} ({} interrupts) ---", hist.total());
+    println!("{:>8}  count  (offset = instructions after the load)", "offset");
+    let peak = hist.mode().map_or(1, |(_, n)| n);
+    for (offset, count) in hist.offsets_from(load_pc) {
+        let bar = "#".repeat(((count * 50) / peak).max(1) as usize);
+        println!("{offset:>+8}  {count:<6} {bar}");
+    }
+    println!(
+        "peak holds {:.0}% of mass; 90% of mass covers {} PCs; load itself: {:.1}%\n",
+        100.0 * hist.mode_fraction(),
+        hist.spread(0.9),
+        100.0 * hist.count(load_pc) as f64 / hist.total().max(1) as f64,
+    );
+}
+
+fn main() {
+    banner(
+        "Figure 2 — event-counter interrupt PC histograms",
+        "ProfileMe (MICRO-30 1997) §2.2, Figure 2",
+    );
+    println!("program: loop {{ 1 load (D-cache hit); 200 nops }}; counting D-cache references\n");
+
+    let (inorder, load_pc) = histogram(PipelineConfig::inorder_21164ish(), 0, 21164);
+    print_histogram("in-order machine (21164-like, constant delivery latency)", &inorder, load_pc);
+
+    let (ooo, load_pc) = histogram(PipelineConfig::default(), 12, 6686);
+    print_histogram("out-of-order machine (21264-like, variable delivery latency)", &ooo, load_pc);
+    profileme_bench::dump_json(
+        "fig2_counter_skid",
+        &serde_json::json!({
+            "inorder_offsets": inorder.offsets_from(load_pc),
+            "ooo_offsets": ooo.offsets_from(load_pc),
+        }),
+    );
+
+    println!("paper's observation: in-order = single large peak a fixed distance after the");
+    println!("load; out-of-order = samples widely distributed over the next ~25 instructions.");
+    println!(
+        "measured: in-order 90% mass over {} PCs vs out-of-order over {} PCs",
+        inorder.spread(0.9),
+        ooo.spread(0.9)
+    );
+    assert!(
+        inorder.spread(0.9) * 2 <= ooo.spread(0.9),
+        "shape check failed: the out-of-order smear should dwarf the in-order peak"
+    );
+    println!("shape check: PASS");
+}

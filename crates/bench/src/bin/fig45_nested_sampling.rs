@@ -1,0 +1,129 @@
+//! Figures 4 and 5: the paper's explanatory diagrams — nested sampling
+//! (major/minor intervals) and paired-sample overlap analysis — rendered
+//! from *actual* collected pairs instead of schematic art.
+//!
+//! Figure 4 shows two levels of sampling: widely spaced pairs (major
+//! interval) whose members are close together (minor interval). Figure 5
+//! shows how each pair's latency registers reveal the two instructions'
+//! temporal overlap in the pipeline.
+
+use profileme_bench::{banner, scaled};
+use profileme_core::{run_paired, PairedConfig};
+use profileme_uarch::{PipelineConfig, Timestamps};
+use profileme_workloads::compress;
+
+/// One row of the Figure 5-style timeline: pipeline phases as characters
+/// on a cycle axis (F fetch/decode, M mapped, Q queued, X executing,
+/// R retire-wait, . idle).
+fn timeline(ts: &Timestamps, origin: u64, width: u64) -> String {
+    let mut row = String::new();
+    for c in origin..origin + width {
+        let ch = if c < ts.fetched {
+            ' '
+        } else if ts.mapped.is_none_or(|m| c < m) {
+            'F'
+        } else if ts.data_ready.is_none_or(|d| c < d) {
+            'M'
+        } else if ts.issued.is_none_or(|i| c < i) {
+            'Q'
+        } else if ts.retire_ready.is_none_or(|r| c < r) {
+            'X'
+        } else if ts.retired.is_none_or(|r| c < r) {
+            'R'
+        } else {
+            ' '
+        };
+        row.push(ch);
+    }
+    row
+}
+
+fn main() {
+    banner(
+        "Figures 4 & 5 — nested sampling and paired-sample overlap, on real data",
+        "ProfileMe (MICRO-30 1997) §5.2.1–§5.2.2, Figures 4 and 5",
+    );
+    let w = compress(scaled(20_000));
+    let sampling = PairedConfig {
+        mean_major_interval: 2_000,
+        window: 24,
+        buffer_depth: 1,
+        ..PairedConfig::default()
+    };
+    let run = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .expect("compress completes");
+
+    // --- Figure 4: the two sampling levels, measured ------------------
+    let selections: Vec<(u64, u64)> = run
+        .pairs
+        .iter()
+        .filter(|p| p.is_complete())
+        .map(|p| (p.first.selected_cycle, p.distance_instructions))
+        .collect();
+    println!("--- Figure 4: nested sampling intervals (first 8 pairs) ---");
+    println!("{:>16} {:>18} {:>16}", "pair fetched at", "major gap (instr)", "minor (instr)");
+    let mut prev_fetch_count = None;
+    for p in run.pairs.iter().filter(|p| p.is_complete()).take(8) {
+        let fetch_seq = p.first.record.as_ref().expect("complete").seq;
+        let major = prev_fetch_count.map_or("-".to_string(), |prev: u64| {
+            format!("{}", fetch_seq.saturating_sub(prev))
+        });
+        prev_fetch_count = Some(fetch_seq);
+        println!(
+            "{:>16} {:>18} {:>16}",
+            format!("cycle {}", p.first.selected_cycle),
+            major,
+            p.distance_instructions
+        );
+    }
+    let mean_minor = selections.iter().map(|(_, d)| *d).sum::<u64>() as f64
+        / selections.len().max(1) as f64;
+    println!(
+        "\n{} pairs; minor intervals are uniform on 1..=24 (measured mean {:.1} ≈ 12.5),",
+        selections.len(),
+        mean_minor
+    );
+    println!("major intervals are ~2000 instructions: two levels of sampling, as drawn.\n");
+    assert!((mean_minor - 12.5).abs() < 1.5, "minor interval mean off: {mean_minor:.1}");
+
+    // --- Figure 5: overlap analysis on real pairs ---------------------
+    println!("--- Figure 5: execution timings of real pairs (F=front end, M=operand wait,");
+    println!("    Q=queue, X=execute, R=retire wait; one row per instruction) ---\n");
+    let mut shown = 0;
+    for p in run.pairs.iter().filter(|p| p.is_complete()) {
+        let a = p.first.record.as_ref().expect("complete");
+        let b = p.second.record.as_ref().expect("complete");
+        let (Some(ra), Some(rb)) = (a.timestamps.retired, b.timestamps.retired) else {
+            continue; // show retired/retired pairs first
+        };
+        let origin = a.timestamps.fetched.min(b.timestamps.fetched);
+        let width = (ra.max(rb) - origin + 1).min(70);
+        println!(
+            "pair at cycle {} (fetch distance {} cycles / {} instructions):",
+            origin, p.distance_cycles, p.distance_instructions
+        );
+        println!("  I1 {:<10} |{}|", a.pc.to_string(), timeline(&a.timestamps, origin, width));
+        println!("  I2 {:<10} |{}|", b.pc.to_string(), timeline(&b.timestamps, origin, width));
+        let overlap = {
+            let (s1, e1) = (a.timestamps.fetched, a.timestamps.retire_ready.unwrap_or(ra));
+            let (s2, e2) = (b.timestamps.fetched, b.timestamps.retire_ready.unwrap_or(rb));
+            e1.min(e2).saturating_sub(s1.max(s2))
+        };
+        println!("  -> in-progress overlap: {overlap} cycles\n");
+        shown += 1;
+        if shown == 4 {
+            break;
+        }
+    }
+    assert!(shown > 0, "some complete retired pairs exist");
+    println!("each pair's latency registers localize both instructions in time, so their");
+    println!("pipeline overlap can be determined — the mechanism behind every concurrency");
+    println!("metric in §5.2.");
+    println!("shape check: PASS");
+}

@@ -1,0 +1,129 @@
+//! Figure 6: effectiveness of path reconstruction strategies.
+//!
+//! For each sampled instruction, walk backward through the CFG and try to
+//! recover the actual execution path, using (1) execution counts at merge
+//! points, (2) the global-branch-history bits ProfileMe records, and
+//! (3) history bits plus the paired sample's PC. Success = exactly one
+//! path produced and it matches the truth. The paper sweeps the history
+//! length 1–16 and reports intraprocedural and interprocedural panels
+//! over SPECint95.
+
+use profileme_bench::{banner, scaled};
+use profileme_cfg::{Cfg, Scope, TraceRecorder};
+use profileme_core::{PathProfiler, PathScheme};
+use profileme_isa::ArchState;
+use profileme_workloads::{suite, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HISTORY_LENGTHS: [usize; 8] = [1, 2, 4, 6, 8, 10, 12, 16];
+
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    attempts: u64,
+    wins: [u64; 3],
+}
+
+fn measure(w: &Workload, scope: Scope, tallies: &mut [Tally; HISTORY_LENGTHS.len()]) {
+    let mut cfg = Cfg::build(&w.program);
+    // Learning pass: indirect edges + edge profile.
+    let mut learn =
+        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    while !learn.halted() {
+        learn.step(&w.program, &cfg).expect("workload executes");
+    }
+    for &(from, to) in learn.indirect_edges() {
+        cfg.add_indirect_edge(from, to);
+    }
+    let edge_profile = learn.edge_profile().clone();
+
+    // Measurement pass.
+    let profiler = PathProfiler::new(&cfg, &w.program);
+    let mut rec =
+        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    let mut rng = StdRng::seed_from_u64(0xF166);
+    let mut next_sample: u64 = rng.gen_range(40..120);
+    let mut step = 0u64;
+    while !rec.halted() {
+        if step == next_sample {
+            next_sample = step + rng.gen_range(40..120);
+            let snap = rec.snapshot(&cfg);
+            // Paired sample: the PC fetched 1..=50 instructions earlier.
+            let paired_pc = snap.pc_before(rng.gen_range(1..=50));
+            for (li, &len) in HISTORY_LENGTHS.iter().enumerate() {
+                let Some(truth) = snap.ground_truth(&cfg, &w.program, len, scope) else {
+                    continue;
+                };
+                tallies[li].attempts += 1;
+                for (si, scheme) in PathScheme::ALL.iter().enumerate() {
+                    let out = profiler.reconstruct(
+                        *scheme,
+                        snap.sample_pc,
+                        &snap.history,
+                        len,
+                        paired_pc,
+                        &edge_profile,
+                        scope,
+                    );
+                    if out.is_success(&truth) {
+                        tallies[li].wins[si] += 1;
+                    }
+                }
+            }
+        }
+        rec.step(&w.program, &cfg).expect("workload executes");
+        step += 1;
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 6 — effectiveness of path reconstruction strategies",
+        "ProfileMe (MICRO-30 1997) §5.3, Figure 6",
+    );
+    let budget = scaled(120_000);
+    let workloads = suite(budget);
+    for scope in [Scope::Intraprocedural, Scope::Interprocedural] {
+        let mut tallies = [Tally::default(); HISTORY_LENGTHS.len()];
+        for w in &workloads {
+            measure(w, scope, &mut tallies);
+        }
+        println!("--- {scope:?} (success % over the whole suite) ---");
+        println!(
+            "{:>8} {:>9} {:>12} {:>12} {:>16}",
+            "history", "attempts", "exec counts", "history bits", "history+paired"
+        );
+        for (li, &len) in HISTORY_LENGTHS.iter().enumerate() {
+            let t = &tallies[li];
+            let pct = |w: u64| 100.0 * w as f64 / t.attempts.max(1) as f64;
+            println!(
+                "{:>8} {:>9} {:>11.1}% {:>11.1}% {:>15.1}%",
+                len,
+                t.attempts,
+                pct(t.wins[0]),
+                pct(t.wins[1]),
+                pct(t.wins[2])
+            );
+        }
+        println!();
+        profileme_bench::dump_json(
+            &format!("fig6_{scope:?}").to_lowercase(),
+            &HISTORY_LENGTHS
+                .iter()
+                .zip(tallies.iter())
+                .map(|(len, t)| {
+                    serde_json::json!({
+                        "history": len,
+                        "attempts": t.attempts,
+                        "exec_counts": t.wins[0],
+                        "history_bits": t.wins[1],
+                        "history_paired": t.wins[2],
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!("paper's shape: accuracy decreases with history length; history bits beat");
+    println!("execution counts; paired sampling improves further; interprocedural paths");
+    println!("are harder than intraprocedural ones at matching lengths.");
+}

@@ -1,0 +1,102 @@
+//! Basic blocks.
+
+use profileme_isa::{Pc, Program};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a basic block within a [`Cfg`](crate::Cfg).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The block's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A maximal straight-line region of instructions: control enters only at
+/// `start` and leaves only after the last instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// This block's id.
+    pub id: BlockId,
+    /// PC of the first instruction.
+    pub start: Pc,
+    /// PC one past the last instruction (exclusive).
+    pub end: Pc,
+    /// Index into [`Program::functions`] of the containing function, if any.
+    pub function: Option<usize>,
+}
+
+impl BasicBlock {
+    /// Whether `pc` lies within the block.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.start <= pc && pc < self.end
+    }
+
+    /// PC of the last instruction in the block.
+    pub fn last_pc(&self) -> Pc {
+        debug_assert!(self.start < self.end);
+        Pc::new(self.end.addr() - 4)
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never true for built CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates the PCs of the block's instructions.
+    pub fn pcs(&self) -> impl Iterator<Item = Pc> {
+        let (start, n) = (self.start, self.len());
+        (0..n as u64).map(move |i| start.advance(i))
+    }
+
+    /// Whether the block ends in a conditional branch.
+    pub fn ends_in_cond_branch(&self, program: &Program) -> bool {
+        program.fetch(self.last_pc()).is_some_and(|i| i.is_cond_branch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> BasicBlock {
+        BasicBlock {
+            id: BlockId(3),
+            start: Pc::new(0x100),
+            end: Pc::new(0x110),
+            function: Some(0),
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let b = block();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.last_pc(), Pc::new(0x10c));
+        assert!(b.contains(Pc::new(0x100)));
+        assert!(b.contains(Pc::new(0x10c)));
+        assert!(!b.contains(Pc::new(0x110)));
+        assert_eq!(b.pcs().count(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockId(7).to_string(), "B7");
+    }
+}

@@ -1,0 +1,394 @@
+//! Control-flow graph construction.
+
+use crate::{BasicBlock, BlockId};
+use profileme_isa::{Op, Pc, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The kind of a control-flow edge; determines whether traversing it
+/// consumes a branch-history bit during path reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Conditional branch, taken. Consumes a history bit (value 1).
+    Taken,
+    /// Conditional branch, fall-through. Consumes a history bit (value 0).
+    NotTaken,
+    /// Unconditional direct jump. No history bit.
+    Jump,
+    /// Plain fall-through into a block that is a leader only because it is
+    /// a branch target. No history bit.
+    FallThrough,
+    /// Call to the callee's entry block. No history bit.
+    Call,
+    /// Synthetic edge from a call block to the instruction after the call,
+    /// used by *intraprocedural* walks to skip over the callee. No history
+    /// bit (any callee branches are invisible, which is exactly the
+    /// approximation whose cost Figure 6 quantifies).
+    CallFallThrough,
+    /// Return from a callee exit block to a post-call-site block. No
+    /// history bit.
+    Return,
+    /// Indirect jump edge learned from observation. No history bit.
+    IndirectJump,
+}
+
+impl EdgeKind {
+    /// The history-bit value this edge consumes, if any.
+    pub fn history_bit(self) -> Option<bool> {
+        match self {
+            EdgeKind::Taken => Some(true),
+            EdgeKind::NotTaken => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// A directed control-flow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Destination block.
+    pub to: BlockId,
+    /// The kind of transfer.
+    pub kind: EdgeKind,
+}
+
+/// A control-flow graph over the basic blocks of a [`Program`].
+///
+/// Built statically by [`Cfg::build`]; indirect-jump edges (which cannot be
+/// derived statically) are added afterwards with
+/// [`Cfg::add_indirect_edge`], typically from an observed trace.
+///
+/// # Example
+///
+/// ```
+/// use profileme_cfg::{Cfg, EdgeKind};
+/// use profileme_isa::{Cond, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.function("f");
+/// let top = b.label("top");
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.cond_br(Cond::Ne0, Reg::R1, top);
+/// b.halt();
+/// let p = b.build()?;
+/// let cfg = Cfg::build(&p);
+/// let body = cfg.block_of(p.entry()).unwrap();
+/// let kinds: Vec<EdgeKind> = cfg.succs(body).iter().map(|e| e.kind).collect();
+/// assert!(kinds.contains(&EdgeKind::Taken));
+/// assert!(kinds.contains(&EdgeKind::NotTaken));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+}
+
+impl Cfg {
+    /// Builds the static CFG of `program`.
+    ///
+    /// Leaders are: the image base, function entries, direct control-flow
+    /// targets, and every instruction following a control transfer or
+    /// `Halt`. Return edges are added statically from each `ret`-terminated
+    /// block to the block following every direct call site of its function.
+    /// Indirect jumps get no static successors; see
+    /// [`add_indirect_edge`](Cfg::add_indirect_edge).
+    pub fn build(program: &Program) -> Cfg {
+        let mut leaders: BTreeSet<Pc> = BTreeSet::new();
+        leaders.insert(program.base());
+        for f in program.functions() {
+            leaders.insert(f.entry);
+        }
+        for (pc, inst) in program.iter() {
+            if let Some(target) = inst.direct_target() {
+                if program.contains(target) {
+                    leaders.insert(target);
+                }
+            }
+            if inst.is_control() || inst.is_halt() {
+                let next = pc.next();
+                if program.contains(next) {
+                    leaders.insert(next);
+                }
+            }
+        }
+
+        // Carve blocks between leaders, further split at control/halt
+        // instructions (a control transfer always ends its block).
+        let leader_list: Vec<Pc> = leaders.into_iter().collect();
+        let mut blocks = Vec::new();
+        for (i, &start) in leader_list.iter().enumerate() {
+            let region_end = leader_list.get(i + 1).copied().unwrap_or(program.end());
+            if start >= region_end {
+                continue;
+            }
+            // Because every instruction *after* a control transfer is a
+            // leader, a region can contain at most one control transfer,
+            // and it is necessarily the last instruction. So each region is
+            // exactly one block.
+            let function = program
+                .function_of(start)
+                .map(|f| program.functions().iter().position(|g| g.entry == f.entry).unwrap());
+            blocks.push(BasicBlock {
+                id: BlockId(blocks.len() as u32),
+                start,
+                end: region_end,
+                function,
+            });
+        }
+
+        let n = blocks.len();
+        let mut cfg = Cfg { blocks, succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] };
+
+        for b in 0..n {
+            let block = cfg.blocks[b].clone();
+            let from = block.id;
+            let last = block.last_pc();
+            let inst = *program.fetch(last).expect("block instruction in image");
+            match inst.op {
+                Op::CondBr { target, .. } => {
+                    if let Some(to) = cfg.block_of(target) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Taken });
+                    }
+                    if let Some(to) = cfg.block_of(last.next()) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::NotTaken });
+                    }
+                }
+                Op::Jmp { target } => {
+                    if let Some(to) = cfg.block_of(target) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Jump });
+                    }
+                }
+                Op::Call { target, .. } => {
+                    if let Some(to) = cfg.block_of(target) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Call });
+                    }
+                    if let Some(to) = cfg.block_of(last.next()) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::CallFallThrough });
+                    }
+                }
+                Op::Ret { .. } => {
+                    // Return edges to the block after each direct call site
+                    // of the containing function.
+                    if let Some(f) = block.function.map(|i| &program.functions()[i]) {
+                        for site in program.call_sites_of(f.entry) {
+                            if let Some(to) = cfg.block_of(site.next()) {
+                                cfg.push_edge(Edge { from, to, kind: EdgeKind::Return });
+                            }
+                        }
+                    }
+                }
+                Op::JmpInd { .. } => {} // learned later
+                Op::Halt => {}
+                _ => {
+                    // Straight-line block split by a leader: falls through.
+                    if let Some(to) = cfg.block_of(block.end) {
+                        cfg.push_edge(Edge { from, to, kind: EdgeKind::FallThrough });
+                    }
+                }
+            }
+        }
+        cfg
+    }
+
+    fn push_edge(&mut self, e: Edge) {
+        self.succs[e.from.index()].push(e);
+        self.preds[e.to.index()].push(e);
+    }
+
+    /// Adds an indirect-jump edge observed at run time (idempotent).
+    ///
+    /// `from_pc` must be the PC of an indirect jump instruction and `to_pc`
+    /// a PC inside the image; out-of-image endpoints are ignored.
+    pub fn add_indirect_edge(&mut self, from_pc: Pc, to_pc: Pc) {
+        let (Some(from), Some(to)) = (self.block_of(from_pc), self.block_of(to_pc)) else {
+            return;
+        };
+        let e = Edge { from, to, kind: EdgeKind::IndirectJump };
+        if !self.succs[from.index()].contains(&e) {
+            self.push_edge(e);
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks (never true for built programs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a block of this graph.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// All blocks, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn succs(&self, id: BlockId) -> &[Edge] {
+        &self.succs[id.index()]
+    }
+
+    /// Incoming edges of `id`.
+    pub fn preds(&self, id: BlockId) -> &[Edge] {
+        &self.preds[id.index()]
+    }
+
+    /// The block containing `pc`, if any.
+    pub fn block_of(&self, pc: Pc) -> Option<BlockId> {
+        let idx = self.blocks.partition_point(|b| b.start <= pc);
+        let candidate = &self.blocks[idx.checked_sub(1)?];
+        candidate.contains(pc).then_some(candidate.id)
+    }
+
+    /// Whether `id` is the entry block of its function.
+    pub fn is_function_entry(&self, id: BlockId, program: &Program) -> bool {
+        let b = self.block(id);
+        b.function
+            .map(|i| program.functions()[i].entry == b.start)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+
+    /// main calls f in a loop; f has an if/else diamond.
+    fn diamond_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R1, 10);
+        let top = b.label("top");
+        let f = b.forward_label("f");
+        b.call(f);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.cond_br(Cond::Ne0, Reg::R1, top);
+        b.halt();
+        b.function("f");
+        b.place(f);
+        let else_ = b.forward_label("else");
+        let join = b.forward_label("join");
+        b.and(Reg::R2, Reg::R1, 1);
+        b.cond_br(Cond::Eq0, Reg::R2, else_);
+        b.addi(Reg::R3, Reg::R3, 1);
+        b.jmp(join);
+        b.place(else_);
+        b.addi(Reg::R4, Reg::R4, 1);
+        b.place(join);
+        b.ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_block_structure() {
+        let p = diamond_program();
+        let cfg = Cfg::build(&p);
+        // main: [ldi], [call], [addi; bne], [halt] ; f: [and; beq], [addi; jmp], [addi(else)], [ret]
+        assert_eq!(cfg.len(), 8);
+        for b in cfg.blocks() {
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn cond_branch_has_both_edges() {
+        let p = diamond_program();
+        let cfg = Cfg::build(&p);
+        let f = p.function_named("f").unwrap();
+        let cond = cfg.block_of(f.entry).unwrap();
+        let kinds: Vec<EdgeKind> = cfg.succs(cond).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::Taken));
+        assert!(kinds.contains(&EdgeKind::NotTaken));
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let p = diamond_program();
+        let cfg = Cfg::build(&p);
+        let f = p.function_named("f").unwrap();
+        let f_entry = cfg.block_of(f.entry).unwrap();
+        // The callee entry has an incoming Call edge.
+        assert!(cfg.preds(f_entry).iter().any(|e| e.kind == EdgeKind::Call));
+        // The ret block has a Return edge back to the post-call block.
+        let ret_block = cfg
+            .blocks()
+            .iter()
+            .find(|b| {
+                p.fetch(b.last_pc())
+                    .is_some_and(|i| matches!(i.op, Op::Ret { .. }))
+            })
+            .unwrap();
+        assert!(cfg.succs(ret_block.id).iter().any(|e| e.kind == EdgeKind::Return));
+        // The call block also has a synthetic intraprocedural edge.
+        let call_block = cfg
+            .blocks()
+            .iter()
+            .find(|b| p.fetch(b.last_pc()).is_some_and(|i| matches!(i.op, Op::Call { .. })))
+            .unwrap();
+        assert!(cfg
+            .succs(call_block.id)
+            .iter()
+            .any(|e| e.kind == EdgeKind::CallFallThrough));
+    }
+
+    #[test]
+    fn block_of_lookup() {
+        let p = diamond_program();
+        let cfg = Cfg::build(&p);
+        for b in cfg.blocks() {
+            for pc in b.pcs() {
+                assert_eq!(cfg.block_of(pc), Some(b.id), "pc {pc}");
+            }
+        }
+        assert_eq!(cfg.block_of(p.end()), None);
+        assert_eq!(cfg.block_of(Pc::new(0)), None);
+    }
+
+    #[test]
+    fn indirect_edges_learned_idempotently() {
+        let mut b = ProgramBuilder::new();
+        b.function("d");
+        b.jmp_ind(Reg::R1);
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cfg = Cfg::build(&p);
+        let jmp = cfg.block_of(p.entry()).unwrap();
+        assert!(cfg.succs(jmp).is_empty());
+        let target = p.entry().advance(1);
+        cfg.add_indirect_edge(p.entry(), target);
+        cfg.add_indirect_edge(p.entry(), target);
+        assert_eq!(cfg.succs(jmp).len(), 1);
+        assert_eq!(cfg.succs(jmp)[0].kind, EdgeKind::IndirectJump);
+    }
+
+    #[test]
+    fn every_pred_mirrors_a_succ() {
+        let p = diamond_program();
+        let cfg = Cfg::build(&p);
+        for b in cfg.blocks() {
+            for e in cfg.succs(b.id) {
+                assert!(cfg.preds(e.to).contains(e));
+            }
+            for e in cfg.preds(b.id) {
+                assert!(cfg.succs(e.from).contains(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # profileme-cfg
+//!
+//! Control-flow graphs and the path-reconstruction analysis of ProfileMe
+//! §5.3 ("Path Profiles").
+//!
+//! ProfileMe captures the processor's *global branch history register* —
+//! the taken/not-taken directions of the last N conditional branches — with
+//! every sample. Combined with static analysis of the program's
+//! control-flow graph, that history lets profiling software walk *backward*
+//! from a sampled PC and recover the path segment that led to it. This
+//! crate supplies all the pieces:
+//!
+//! * [`Cfg`] — basic blocks and typed edges (taken / not-taken /
+//!   fall-through / jump / call / return / learned indirect), built from a
+//!   [`Program`](profileme_isa::Program).
+//! * [`BranchHistory`] — the global history register abstraction shared
+//!   with the branch predictor in `profileme-uarch`.
+//! * [`EdgeProfile`] — edge execution frequencies, the input to the
+//!   "execution counts" reconstruction scheme the paper compares against.
+//! * [`TraceRecorder`] — runs a program functionally while tracking the
+//!   executed block sequence and the history register, providing ground
+//!   truth for reconstruction experiments (Figure 6).
+//! * [`reconstruct`] — the three schemes of Figure 6: execution counts,
+//!   history bits, and history bits + paired sampling, in both
+//!   intraprocedural and interprocedural variants.
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_cfg::Cfg;
+//! use profileme_isa::{Cond, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.function("f");
+//! b.load_imm(Reg::R1, 5);
+//! let top = b.label("top");
+//! b.addi(Reg::R1, Reg::R1, -1);
+//! b.cond_br(Cond::Ne0, Reg::R1, top);
+//! b.halt();
+//! let p = b.build()?;
+//! let cfg = Cfg::build(&p);
+//! // The loop produces three blocks: preheader, body, exit.
+//! assert_eq!(cfg.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod graph;
+mod history;
+mod profile;
+pub mod reconstruct;
+mod trace;
+
+pub use block::{BasicBlock, BlockId};
+pub use graph::{Cfg, Edge, EdgeKind};
+pub use history::{BranchHistory, MAX_HISTORY};
+pub use profile::EdgeProfile;
+pub use reconstruct::{Path, Reconstructor, Scope};
+pub use trace::{TraceRecorder, TraceSnapshot};

@@ -1,0 +1,105 @@
+//! Edge execution-frequency profiles.
+
+use crate::BlockId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Execution counts for control-flow edges, keyed by `(from, to)` block.
+///
+/// This is the input to the *execution counts* path-construction scheme of
+/// Figure 6 — the conventional technique (used by trace-scheduling
+/// compilers) that picks the most frequent predecessor at each merge point,
+/// which ProfileMe's history-bits schemes are compared against.
+///
+/// # Example
+///
+/// ```
+/// use profileme_cfg::{BlockId, EdgeProfile};
+/// # let (a, b) = (BlockId::from_index(0), BlockId::from_index(1));
+/// let mut p = EdgeProfile::new();
+/// p.record(a, b);
+/// p.record(a, b);
+/// assert_eq!(p.count(a, b), 2);
+/// assert_eq!(p.count(b, a), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeProfile {
+    counts: HashMap<(BlockId, BlockId), u64>,
+    total: u64,
+}
+
+impl BlockId {
+    /// Constructs a block id from a dense index (for tests and external
+    /// tables; graph construction assigns ids itself).
+    pub fn from_index(index: usize) -> BlockId {
+        BlockId(u32::try_from(index).expect("block index fits in u32"))
+    }
+}
+
+impl EdgeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> EdgeProfile {
+        EdgeProfile::default()
+    }
+
+    /// Records one traversal of the edge `from → to`.
+    pub fn record(&mut self, from: BlockId, to: BlockId) {
+        *self.counts.entry((from, to)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded traversals of `from → to`.
+    pub fn count(&self, from: BlockId, to: BlockId) -> u64 {
+        self.counts.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded transitions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct edges observed.
+    pub fn distinct_edges(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates `((from, to), count)` over all observed edges, in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ((BlockId, BlockId), u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl Extend<(BlockId, BlockId)> for EdgeProfile {
+    fn extend<I: IntoIterator<Item = (BlockId, BlockId)>>(&mut self, iter: I) {
+        for (from, to) in iter {
+            self.record(from, to);
+        }
+    }
+}
+
+impl FromIterator<(BlockId, BlockId)> for EdgeProfile {
+    fn from_iter<I: IntoIterator<Item = (BlockId, BlockId)>>(iter: I) -> EdgeProfile {
+        let mut p = EdgeProfile::new();
+        p.extend(iter);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let a = BlockId::from_index(0);
+        let b = BlockId::from_index(1);
+        let c = BlockId::from_index(2);
+        let p: EdgeProfile = [(a, b), (a, b), (a, c)].into_iter().collect();
+        assert_eq!(p.count(a, b), 2);
+        assert_eq!(p.count(a, c), 1);
+        assert_eq!(p.count(c, a), 0);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.distinct_edges(), 2);
+    }
+}

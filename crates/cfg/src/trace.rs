@@ -1,0 +1,348 @@
+//! Functional-trace recording: block sequences, branch history, and ground
+//! truth for path-reconstruction experiments.
+
+use crate::{BlockId, BranchHistory, Cfg, EdgeProfile, Path, Scope};
+use profileme_isa::{ArchState, ExecError, Op, Pc, Program, StepOutcome};
+use std::collections::VecDeque;
+
+/// One executed basic-block instance in the trace window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockRecord {
+    block: BlockId,
+    function: Option<usize>,
+    /// Direction of the block's terminating conditional branch, filled in
+    /// when it executes.
+    branch: Option<bool>,
+}
+
+/// Runs a program functionally while tracking everything the Figure 6
+/// experiment needs: the global branch history at each point, a window of
+/// recently executed blocks (for ground-truth paths), recently executed
+/// instruction PCs (for simulated paired samples), learned indirect-jump
+/// edges, and an [`EdgeProfile`].
+///
+/// # Example
+///
+/// ```
+/// use profileme_cfg::{Cfg, TraceRecorder};
+/// use profileme_isa::{Cond, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.function("f");
+/// b.load_imm(Reg::R1, 3);
+/// let top = b.label("top");
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.cond_br(Cond::Ne0, Reg::R1, top);
+/// b.halt();
+/// let p = b.build()?;
+/// let cfg = Cfg::build(&p);
+/// let mut rec = TraceRecorder::new(&p);
+/// while !rec.halted() {
+///     rec.step(&p, &cfg)?;
+/// }
+/// // The loop branch executed 3 times: taken, taken, not-taken.
+/// assert_eq!(rec.history().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder {
+    arch: ArchState,
+    history: BranchHistory,
+    ring: VecDeque<BlockRecord>,
+    pc_ring: VecDeque<Pc>,
+    capacity: usize,
+    last_block: Option<BlockId>,
+    edge_profile: EdgeProfile,
+    indirect_edges: Vec<(Pc, Pc)>,
+}
+
+/// Default number of block/PC records retained.
+const DEFAULT_WINDOW: usize = 4096;
+
+/// A point-in-time view of the trace, captured when a sample is taken,
+/// from which ground-truth paths are derived.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// The branch history at the sample point.
+    pub history: BranchHistory,
+    /// PC of the instruction about to execute (the sampled instruction).
+    pub sample_pc: Pc,
+    blocks: Vec<BlockRecord>,
+    pcs: Vec<Pc>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder positioned at the program entry with the default
+    /// trace window.
+    pub fn new(program: &Program) -> TraceRecorder {
+        TraceRecorder::with_state(ArchState::new(program))
+    }
+
+    /// Creates a recorder around a pre-initialized architectural state.
+    pub fn with_state(arch: ArchState) -> TraceRecorder {
+        TraceRecorder {
+            arch,
+            history: BranchHistory::new(),
+            ring: VecDeque::with_capacity(DEFAULT_WINDOW),
+            pc_ring: VecDeque::with_capacity(DEFAULT_WINDOW),
+            capacity: DEFAULT_WINDOW,
+            last_block: None,
+            edge_profile: EdgeProfile::new(),
+            indirect_edges: Vec::new(),
+        }
+    }
+
+    /// The underlying architectural state.
+    pub fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.arch.halted()
+    }
+
+    /// The current global branch history.
+    pub fn history(&self) -> &BranchHistory {
+        &self.history
+    }
+
+    /// The accumulated edge profile.
+    pub fn edge_profile(&self) -> &EdgeProfile {
+        &self.edge_profile
+    }
+
+    /// Indirect-jump transitions observed so far, for
+    /// [`Cfg::add_indirect_edge`].
+    pub fn indirect_edges(&self) -> &[(Pc, Pc)] {
+        &self.indirect_edges
+    }
+
+    /// Executes one instruction, updating the trace window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors (PC escape).
+    pub fn step(&mut self, program: &Program, cfg: &Cfg) -> Result<StepOutcome, ExecError> {
+        let pc = self.arch.pc();
+        if let Some(block_id) = cfg.block_of(pc) {
+            let block = cfg.block(block_id);
+            if pc == block.start {
+                if let Some(prev) = self.last_block {
+                    self.edge_profile.record(prev, block_id);
+                }
+                self.push_block(BlockRecord {
+                    block: block_id,
+                    function: block.function,
+                    branch: None,
+                });
+                self.last_block = Some(block_id);
+            }
+        }
+        let outcome = self.arch.step(program)?;
+        if self.pc_ring.len() == self.capacity {
+            self.pc_ring.pop_front();
+        }
+        self.pc_ring.push_back(outcome.pc);
+        if let Some(taken) = outcome.taken {
+            self.history.shift(taken);
+            if let Some(last) = self.ring.back_mut() {
+                last.branch = Some(taken);
+            }
+        }
+        if matches!(outcome.inst.op, Op::JmpInd { .. } | Op::Ret { .. }) && outcome.redirected() {
+            self.indirect_edges.push((outcome.pc, outcome.next_pc));
+        }
+        Ok(outcome)
+    }
+
+    fn push_block(&mut self, record: BlockRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Captures a snapshot describing the instruction *about to execute*,
+    /// to be taken immediately before [`step`](TraceRecorder::step).
+    pub fn snapshot(&self, cfg: &Cfg) -> TraceSnapshot {
+        let mut blocks: Vec<BlockRecord> = self.ring.iter().copied().collect();
+        // If the sampled instruction begins a block, that block instance
+        // has not been entered yet; append it so the snapshot's last entry
+        // is always the (possibly partial) block containing the sample.
+        if let Some(id) = cfg.block_of(self.arch.pc()) {
+            let block = cfg.block(id);
+            if self.arch.pc() == block.start {
+                blocks.push(BlockRecord { block: id, function: block.function, branch: None });
+            }
+        }
+        TraceSnapshot {
+            history: self.history,
+            sample_pc: self.arch.pc(),
+            blocks,
+            pcs: self.pc_ring.iter().copied().collect(),
+        }
+    }
+}
+
+impl TraceSnapshot {
+    /// PC of the instruction executed `distance` steps before the sample
+    /// point (1 = the immediately preceding instruction), or `None` if the
+    /// window does not reach that far.
+    pub fn pc_before(&self, distance: usize) -> Option<Pc> {
+        if distance == 0 {
+            return Some(self.sample_pc);
+        }
+        self.pcs.len().checked_sub(distance).map(|i| self.pcs[i])
+    }
+
+    /// The actual backward path ending at the sampled instruction,
+    /// covering the window of the `history_len` most recent branch-history
+    /// bits — the ground truth that reconstructed paths are judged against.
+    ///
+    /// For [`Scope::Intraprocedural`], only blocks of the sampled
+    /// function are included (callee excursions are excised, though their
+    /// branches still count toward the history window, exactly as they
+    /// pollute the real history register), and the walk also stops when it
+    /// reaches the function's entry from a caller. For
+    /// [`Scope::Interprocedural`], all blocks are included and the path
+    /// must span the full `history_len` branches to be complete.
+    ///
+    /// Returns `None` when the trace window is too short (or, for
+    /// interprocedural, when execution began inside the window).
+    pub fn ground_truth(
+        &self,
+        cfg: &Cfg,
+        program: &Program,
+        history_len: usize,
+        scope: Scope,
+    ) -> Option<Path> {
+        let last = *self.blocks.last()?;
+        let sampled_function = last.function;
+        let mut rev_blocks = vec![last.block];
+        let mut bits_needed = history_len.min(self.history.len());
+        if history_len > self.history.len() {
+            // Not enough real history recorded yet.
+            return None;
+        }
+        let mut i = self.blocks.len().checked_sub(2);
+        while bits_needed > 0 {
+            let idx = i?;
+            let e = self.blocks[idx];
+            match scope {
+                Scope::Interprocedural => rev_blocks.push(e.block),
+                Scope::Intraprocedural => {
+                    if e.function == sampled_function {
+                        rev_blocks.push(e.block);
+                        if cfg.is_function_entry(e.block, program) {
+                            let prev_in_f = idx
+                                .checked_sub(1)
+                                .map(|j| self.blocks[j].function == sampled_function)
+                                .unwrap_or(false);
+                            if !prev_in_f {
+                                // Entered the routine here: the
+                                // intraprocedural path is complete.
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if e.branch.is_some() {
+                bits_needed -= 1;
+            }
+            i = idx.checked_sub(1);
+        }
+        rev_blocks.reverse();
+        Some(Path { blocks: rev_blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+
+    fn loop_program(trips: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.load_imm(Reg::R1, trips);
+        let top = b.label("top");
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.cond_br(Cond::Ne0, Reg::R1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn run_to_halt(rec: &mut TraceRecorder, p: &Program, cfg: &Cfg) {
+        while !rec.halted() {
+            rec.step(p, cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn history_matches_branch_executions() {
+        let p = loop_program(4);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        run_to_halt(&mut rec, &p, &cfg);
+        // 4 executions: T, T, T, N (newest first: N T T T).
+        assert_eq!(rec.history().to_string(), "NTTT");
+    }
+
+    #[test]
+    fn edge_profile_counts_loop_back_edges() {
+        let p = loop_program(5);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        run_to_halt(&mut rec, &p, &cfg);
+        let body = cfg.block_of(p.entry().advance(1)).unwrap();
+        assert_eq!(rec.edge_profile().count(body, body), 4);
+    }
+
+    #[test]
+    fn ground_truth_for_simple_loop() {
+        let p = loop_program(6);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        // Step until we are about to execute the body for the 4th time.
+        // entry block: ldi (1 step); each iteration: addi + bne (2 steps).
+        for _ in 0..(1 + 3 * 2) {
+            rec.step(&p, &cfg).unwrap();
+        }
+        let snap = rec.snapshot(&cfg);
+        let body = cfg.block_of(p.entry().advance(1)).unwrap();
+        assert_eq!(snap.sample_pc, p.entry().advance(1));
+        let truth = snap
+            .ground_truth(&cfg, &p, 2, Scope::Interprocedural)
+            .expect("window long enough");
+        // Two most recent branches were both the loop branch: path is
+        // body -> body -> body (current partial instance last).
+        assert_eq!(truth.blocks, vec![body, body, body]);
+    }
+
+    #[test]
+    fn ground_truth_requires_enough_history() {
+        let p = loop_program(2);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        rec.step(&p, &cfg).unwrap(); // only the ldi executed: no branches yet
+        let snap = rec.snapshot(&cfg);
+        assert!(snap.ground_truth(&cfg, &p, 1, Scope::Interprocedural).is_none());
+    }
+
+    #[test]
+    fn pc_before_walks_executed_instructions() {
+        let p = loop_program(2);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        rec.step(&p, &cfg).unwrap();
+        rec.step(&p, &cfg).unwrap();
+        let snap = rec.snapshot(&cfg);
+        assert_eq!(snap.pc_before(0), Some(snap.sample_pc));
+        assert_eq!(snap.pc_before(1), Some(p.entry().advance(1)));
+        assert_eq!(snap.pc_before(2), Some(p.entry()));
+        assert_eq!(snap.pc_before(3), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Deep interprocedural reconstruction: walks that cross several call /
+//! return boundaries, shared helpers with multiple call sites, and the
+//! call-matching stack that keeps them honest.
+
+use profileme_cfg::{Cfg, Reconstructor, Scope, TraceRecorder};
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+
+/// main -> {siteA, siteB} -> mid -> leaf, with a data-dependent diamond
+/// in `leaf`: a backward walk from inside `leaf` crosses two call
+/// boundaries and must return through the correct chain of sites.
+fn nested_calls(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let mid = b.forward_label("mid");
+    let leaf = b.forward_label("leaf");
+    b.load_imm(Reg::R1, trips);
+    b.load_imm(Reg::R10, 0x77_1234);
+    let top = b.label("top");
+    // advance pseudo-random state
+    b.mul(Reg::R10, Reg::R10, Reg::R10);
+    b.addi(Reg::R10, Reg::R10, 0x9E37);
+    // two call sites for `mid`, chosen by a data bit
+    let site_b = b.forward_label("site_b");
+    let joined = b.forward_label("joined");
+    b.and(Reg::R2, Reg::R10, 2);
+    b.cond_br(Cond::Eq0, Reg::R2, site_b);
+    b.call(mid);
+    b.jmp(joined);
+    b.place(site_b);
+    b.call(mid);
+    b.place(joined);
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.cond_br(Cond::Ne0, Reg::R1, top);
+    b.halt();
+
+    b.function("mid");
+    b.place(mid);
+    // Save/restore the link register around the nested call.
+    b.store(Reg::LINK, Reg::SP, 0);
+    b.call(leaf);
+    b.load(Reg::LINK, Reg::SP, 0);
+    b.addi(Reg::R3, Reg::R3, 1);
+    b.ret();
+
+    b.function("leaf");
+    b.place(leaf);
+    let else_ = b.forward_label("else");
+    let join = b.forward_label("join");
+    b.and(Reg::R4, Reg::R10, 4);
+    b.cond_br(Cond::Eq0, Reg::R4, else_);
+    b.addi(Reg::R5, Reg::R5, 1);
+    b.jmp(join);
+    b.place(else_);
+    b.addi(Reg::R6, Reg::R6, 1);
+    b.place(join);
+    b.ret();
+    b.build().unwrap()
+}
+
+#[test]
+fn truth_is_among_paths_across_two_call_levels() {
+    let p = nested_calls(30);
+    let cfg = Cfg::build(&p);
+    let r = Reconstructor::new(&cfg, &p).with_max_paths(512);
+    let mut rec = TraceRecorder::new(&p);
+    let mut checked = 0;
+    let mut unique = 0;
+    let mut step = 0u64;
+    while !rec.halted() {
+        if step.is_multiple_of(5) {
+            let snap = rec.snapshot(&cfg);
+            for len in [2usize, 4, 6] {
+                if let Some(truth) =
+                    snap.ground_truth(&cfg, &p, len, Scope::Interprocedural)
+                {
+                    let paths = r.consistent_paths(
+                        snap.sample_pc,
+                        &snap.history,
+                        len,
+                        Scope::Interprocedural,
+                        None,
+                    );
+                    assert!(
+                        paths.contains(&truth),
+                        "truth missing at pc {} len {len} ({} paths)",
+                        snap.sample_pc,
+                        paths.len()
+                    );
+                    checked += 1;
+                    if paths.len() == 1 {
+                        unique += 1;
+                    }
+                }
+            }
+        }
+        rec.step(&p, &cfg).unwrap();
+        step += 1;
+    }
+    assert!(checked > 100, "checked {checked}");
+    // The two call sites of `mid` create genuine ambiguity for walks
+    // that exit it backward with no bits to discriminate — so not every
+    // sample is unique, but a solid majority is (the sites are reached
+    // through a *conditional* branch whose direction is a history bit).
+    assert!(
+        unique * 2 > checked,
+        "call-site matching keeps most walks unique: {unique}/{checked}"
+    );
+}
+
+#[test]
+fn mismatched_call_return_paths_are_pruned() {
+    let p = nested_calls(30);
+    let cfg = Cfg::build(&p);
+    let r = Reconstructor::new(&cfg, &p).with_max_paths(512);
+    let mut rec = TraceRecorder::new(&p);
+    // Walk to a steady state, then sample right after a return from
+    // `mid` (the post-call block), where a naive walk would consider
+    // entering `mid` backward through the *other* call site.
+    let mut step = 0;
+    let mut tested = 0;
+    while !rec.halted() {
+        let snap = rec.snapshot(&cfg);
+        if step > 50 {
+            if let Some(truth) = snap.ground_truth(&cfg, &p, 3, Scope::Interprocedural) {
+                let paths = r.consistent_paths(
+                    snap.sample_pc,
+                    &snap.history,
+                    3,
+                    Scope::Interprocedural,
+                    None,
+                );
+                // Soundness plus pruning: every returned path must keep
+                // call/return pairing — verified indirectly: the path
+                // count stays small (without matching it explodes
+                // combinatorially on this program).
+                assert!(paths.len() <= 4, "{} paths at {}", paths.len(), snap.sample_pc);
+                assert!(paths.contains(&truth));
+                tested += 1;
+            }
+        }
+        rec.step(&p, &cfg).unwrap();
+        step += 1;
+    }
+    assert!(tested > 50);
+}

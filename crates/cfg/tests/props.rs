@@ -1,0 +1,182 @@
+//! Property tests for the CFG crate over randomly generated structured
+//! programs: block tiling, edge symmetry, trace/graph agreement, and the
+//! soundness of backward path reconstruction (the ground-truth path is
+//! always among the consistent paths).
+
+use profileme_cfg::{Cfg, Reconstructor, Scope, TraceRecorder};
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// One structured construct inside the loop body.
+#[derive(Debug, Clone)]
+enum Construct {
+    /// A few ALU instructions.
+    Straight(u8),
+    /// A data-dependent if/else diamond.
+    Diamond,
+    /// A call to one of the helper functions.
+    Call(u8),
+}
+
+fn arb_construct() -> impl Strategy<Value = Construct> {
+    prop_oneof![
+        (1u8..4).prop_map(Construct::Straight),
+        Just(Construct::Diamond),
+        (0u8..2).prop_map(Construct::Call),
+    ]
+}
+
+/// Builds: main = counted loop over the given constructs; two helper
+/// functions, one of which itself contains a diamond. Branch conditions
+/// are data-dependent on an LFSR-ish register so directions vary.
+fn build_program(constructs: &[Construct], trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let helpers = [b.forward_label("h0"), b.forward_label("h1")];
+    b.load_imm(Reg::R1, trips);
+    b.load_imm(Reg::R10, 0x1234_5678); // pseudo-random state
+    let top = b.label("top");
+    for (i, c) in constructs.iter().enumerate() {
+        match c {
+            Construct::Straight(n) => {
+                for _ in 0..*n {
+                    b.addi(Reg::R3, Reg::R3, 1);
+                }
+            }
+            Construct::Diamond => {
+                // advance the LFSR-ish state, then branch on one bit
+                b.mul(Reg::R10, Reg::R10, Reg::R10);
+                b.addi(Reg::R10, Reg::R10, 0x9E37);
+                b.shr(Reg::R11, Reg::R10, (i % 13) as i64 + 1);
+                b.and(Reg::R11, Reg::R11, 1);
+                let else_ = b.forward_label(format!("else{i}"));
+                let join = b.forward_label(format!("join{i}"));
+                b.cond_br(Cond::Eq0, Reg::R11, else_);
+                b.addi(Reg::R4, Reg::R4, 1);
+                b.jmp(join);
+                b.place(else_);
+                b.addi(Reg::R5, Reg::R5, 1);
+                b.place(join);
+            }
+            Construct::Call(h) => {
+                b.call(helpers[*h as usize % 2]);
+            }
+        }
+    }
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.cond_br(Cond::Ne0, Reg::R1, top);
+    b.halt();
+
+    b.function("h0");
+    b.place(helpers[0]);
+    b.addi(Reg::R6, Reg::R6, 1);
+    b.ret();
+
+    b.function("h1");
+    b.place(helpers[1]);
+    b.and(Reg::R7, Reg::R10, 2);
+    let skip = b.forward_label("skip");
+    b.cond_br(Cond::Ne0, Reg::R7, skip);
+    b.addi(Reg::R8, Reg::R8, 1);
+    b.place(skip);
+    b.ret();
+
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocks tile the image: every instruction belongs to exactly one block.
+    #[test]
+    fn blocks_tile_the_image(cs in prop::collection::vec(arb_construct(), 1..8)) {
+        let p = build_program(&cs, 3);
+        let cfg = Cfg::build(&p);
+        let mut covered = vec![0u32; p.len()];
+        for b in cfg.blocks() {
+            for pc in b.pcs() {
+                covered[p.index_of(pc).unwrap()] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// preds and succs are mirror images.
+    #[test]
+    fn edge_symmetry(cs in prop::collection::vec(arb_construct(), 1..8)) {
+        let p = build_program(&cs, 3);
+        let cfg = Cfg::build(&p);
+        for b in cfg.blocks() {
+            for e in cfg.succs(b.id) {
+                prop_assert!(cfg.preds(e.to).contains(e));
+            }
+            for e in cfg.preds(b.id) {
+                prop_assert!(cfg.succs(e.from).contains(e));
+            }
+        }
+    }
+
+    /// Every observed block transition corresponds to a static CFG edge
+    /// (these programs have no indirect jumps other than returns, whose
+    /// edges are derived statically).
+    #[test]
+    fn trace_transitions_are_cfg_edges(cs in prop::collection::vec(arb_construct(), 1..8)) {
+        let p = build_program(&cs, 4);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        while !rec.halted() {
+            rec.step(&p, &cfg).unwrap();
+        }
+        for ((from, to), _) in rec.edge_profile().iter() {
+            prop_assert!(
+                cfg.succs(from).iter().any(|e| e.to == to),
+                "transition {from} -> {to} has no CFG edge"
+            );
+        }
+    }
+
+    /// Soundness of reconstruction: the ground-truth path is always among
+    /// the interprocedurally consistent paths.
+    #[test]
+    fn ground_truth_is_among_consistent_paths(
+        cs in prop::collection::vec(arb_construct(), 1..6),
+        history_len in 1usize..8,
+        sample_stride in 3usize..12,
+    ) {
+        // 16 trips guarantee the history holds `history_len` bits with many
+        // sampling opportunities left before the program halts.
+        let p = build_program(&cs, 16);
+        let cfg = Cfg::build(&p);
+        let mut rec = TraceRecorder::new(&p);
+        let r = Reconstructor::new(&cfg, &p).with_max_paths(4096);
+        let mut step = 0usize;
+        let mut checked = 0;
+        while !rec.halted() && step < 4000 {
+            if step.is_multiple_of(sample_stride) {
+                let snap = rec.snapshot(&cfg);
+                if let Some(truth) =
+                    snap.ground_truth(&cfg, &p, history_len, Scope::Interprocedural)
+                {
+                    let paths = r.consistent_paths(
+                        snap.sample_pc,
+                        &snap.history,
+                        history_len,
+                        Scope::Interprocedural,
+                        None,
+                    );
+                    prop_assert!(
+                        paths.contains(&truth),
+                        "truth {truth:?} missing from {} paths at pc {} (history {})",
+                        paths.len(),
+                        snap.sample_pc,
+                        snap.history,
+                    );
+                    checked += 1;
+                }
+            }
+            rec.step(&p, &cfg).unwrap();
+            step += 1;
+        }
+        prop_assert!(checked > 0, "no samples were checked");
+    }
+}

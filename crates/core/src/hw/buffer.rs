@@ -1,0 +1,104 @@
+//! Sample buffering (§4.3): multiple Profile Register copies so several
+//! samples can be collected per interrupt, amortizing delivery cost.
+
+/// A bounded buffer of samples backed by replicated profile registers.
+///
+/// # Example
+///
+/// ```
+/// use profileme_core::SampleBuffer;
+/// let mut b: SampleBuffer<u32> = SampleBuffer::new(2);
+/// assert!(!b.push(1));
+/// assert!(b.push(2)); // now full: time to interrupt
+/// assert!(b.is_full());
+/// assert_eq!(b.drain(), vec![1, 2]);
+/// assert!(b.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleBuffer<T> {
+    slots: Vec<T>,
+    depth: usize,
+}
+
+impl<T> SampleBuffer<T> {
+    /// Creates a buffer with `depth` register sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> SampleBuffer<T> {
+        assert!(depth > 0, "buffer needs at least one register set");
+        SampleBuffer { slots: Vec::with_capacity(depth), depth }
+    }
+
+    /// Number of register sets.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Stores a sample; returns `true` when the buffer is now full (the
+    /// hardware should raise an interrupt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while full — hardware must stall selection
+    /// instead of overwriting samples.
+    pub fn push(&mut self, sample: T) -> bool {
+        assert!(self.slots.len() < self.depth, "sample buffer overflow");
+        self.slots.push(sample);
+        self.is_full()
+    }
+
+    /// Whether every register set is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.depth
+    }
+
+    /// Whether no samples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Removes and returns all buffered samples (the interrupt handler's
+    /// read-out).
+    pub fn drain(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_reports_full_exactly_at_depth() {
+        let mut b = SampleBuffer::new(3);
+        assert!(!b.push('a'));
+        assert!(!b.push('b'));
+        assert!(b.push('c'));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = SampleBuffer::new(1);
+        b.push(1);
+        b.push(2);
+    }
+
+    #[test]
+    fn drain_resets() {
+        let mut b = SampleBuffer::new(2);
+        b.push(1);
+        b.push(2);
+        assert_eq!(b.drain(), vec![1, 2]);
+        assert!(b.is_empty());
+        assert!(!b.is_full());
+    }
+}

@@ -1,0 +1,15 @@
+//! The ProfileMe hardware model (§4): instruction selection, the
+//! ProfileMe tag, Profile Registers, paired sampling, and buffered
+//! interrupt delivery.
+
+mod buffer;
+mod nway;
+mod paired;
+mod select;
+mod single;
+
+pub use buffer::SampleBuffer;
+pub use nway::{NWayConfig, NWayHardware};
+pub use paired::{PairedConfig, PairedHardware};
+pub use select::{IntervalGenerator, SelectionMode};
+pub use single::{ProfileMeConfig, ProfileMeHardware};

@@ -1,0 +1,308 @@
+//! N-way sampling: several instructions profiled simultaneously.
+//!
+//! §4.1.2: "In the lowest-cost implementation, the tag is set for at most
+//! one in-flight instruction at a time, so that a single bit suffices
+//! [...] for N-way sampling, ⌈log(N+1)⌉ bits are needed" — and §4 notes
+//! the hardware "scales linearly with the number of in-flight
+//! instructions that may be sampled simultaneously". This module
+//! implements that generalization: N tag values, N live Profile Register
+//! sets, one selection counter. Its payoff is at *high* sampling rates,
+//! where a single-tag unit loses selections to dead time while a sampled
+//! instruction is still in flight (measured by `ablation_nway`).
+
+use crate::hw::{IntervalGenerator, SampleBuffer, SelectionMode};
+use crate::Sample;
+use profileme_uarch::{
+    CompletedSample, FetchOpportunity, InterruptRequest, ProfilingHardware, TagDecision, TagId,
+};
+
+/// Configuration for [`NWayHardware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NWayConfig {
+    /// Number of simultaneously profiled instructions (tag values).
+    pub ways: usize,
+    /// Mean sampling interval S, in units of the selection mode.
+    pub mean_interval: u64,
+    /// Randomize intervals ±50%.
+    pub randomize: bool,
+    /// What the selection counter counts.
+    pub selection: SelectionMode,
+    /// Samples buffered per interrupt.
+    pub buffer_depth: usize,
+    /// Cycles between interrupt request and recognition.
+    pub interrupt_skid: u64,
+    /// Seed for interval randomization.
+    pub seed: u64,
+}
+
+impl Default for NWayConfig {
+    fn default() -> NWayConfig {
+        NWayConfig {
+            ways: 2,
+            mean_interval: 1024,
+            randomize: true,
+            selection: SelectionMode::FetchedInstructions,
+            buffer_depth: 4,
+            interrupt_skid: 2,
+            seed: 0x0041_57a9,
+        }
+    }
+}
+
+/// Sampling hardware with `N` concurrently live Profile Register sets.
+///
+/// Selection works as in [`ProfileMeHardware`](crate::ProfileMeHardware),
+/// but a selection that comes due is assigned any *free* tag; only when
+/// all `N` are occupied is it dropped. The counter re-arms at every
+/// selection point, so back-to-back selections can overlap in flight.
+#[derive(Debug, Clone)]
+pub struct NWayHardware {
+    config: NWayConfig,
+    intervals: IntervalGenerator,
+    remaining: u64,
+    busy: Vec<bool>,
+    /// Completed samples whose way's registers still hold them because
+    /// the shared buffer was full at completion; the way stays busy until
+    /// software drains.
+    parked: Vec<Option<Sample>>,
+    stalled: bool,
+    buffer: SampleBuffer<Sample>,
+    pending_interrupt: bool,
+    selections: u64,
+    invalid_selections: u64,
+    dropped_selections: u64,
+}
+
+impl NWayHardware {
+    /// Creates armed N-way sampling hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or greater than 127 (TagId is a byte,
+    /// with the sign bit kept clear for clarity), or if the interval or
+    /// buffer depth is zero.
+    pub fn new(config: NWayConfig) -> NWayHardware {
+        assert!((1..=127).contains(&config.ways), "ways must be in 1..=127");
+        let mut intervals =
+            IntervalGenerator::new(config.mean_interval, config.randomize, config.seed);
+        let first = intervals.next_interval();
+        NWayHardware {
+            intervals,
+            remaining: first,
+            busy: vec![false; config.ways],
+            parked: vec![None; config.ways],
+            stalled: false,
+            buffer: SampleBuffer::new(config.buffer_depth),
+            pending_interrupt: false,
+            selections: 0,
+            invalid_selections: 0,
+            dropped_selections: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NWayConfig {
+        &self.config
+    }
+
+    /// Total selections fired.
+    pub fn selections(&self) -> u64 {
+        self.selections
+    }
+
+    /// Selections that landed on empty slots (opportunity counting only).
+    pub fn invalid_selections(&self) -> u64 {
+        self.invalid_selections
+    }
+
+    /// Selections dropped because every tag was occupied — the dead time
+    /// N-way sampling exists to remove.
+    pub fn dropped_selections(&self) -> u64 {
+        self.dropped_selections
+    }
+
+    /// Reads out and clears buffered samples (including any parked in
+    /// their way's registers), unstalling if needed.
+    pub fn drain_samples(&mut self) -> Vec<Sample> {
+        self.stalled = false;
+        let mut samples = self.buffer.drain();
+        for (way, slot) in self.parked.iter_mut().enumerate() {
+            if let Some(s) = slot.take() {
+                samples.push(s);
+                self.busy[way] = false;
+            }
+        }
+        samples
+    }
+
+    fn deposit(&mut self, sample: Sample) {
+        if self.buffer.push(sample) {
+            self.pending_interrupt = true;
+        }
+        self.stalled = self.buffer.is_full();
+    }
+}
+
+impl ProfilingHardware for NWayHardware {
+    fn on_fetch_opportunity(&mut self, opp: &FetchOpportunity) -> TagDecision {
+        let counts = match self.config.selection {
+            SelectionMode::FetchedInstructions => opp.on_predicted_path,
+            SelectionMode::FetchOpportunities => true,
+        };
+        if !counts || self.stalled {
+            return TagDecision::Pass;
+        }
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            return TagDecision::Pass;
+        }
+        // Re-arm unconditionally; a selection with no free tag is DROPPED
+        // rather than deferred — deferral would fire the moment a tag
+        // frees, phase-locking selection to completion times and biasing
+        // the sample (see `profileme-core`'s N-way tests).
+        self.remaining = self.intervals.next_interval();
+        let Some(free) = self.busy.iter().position(|&b| !b) else {
+            self.dropped_selections += 1;
+            return TagDecision::Pass;
+        };
+        self.selections += 1;
+        if opp.on_predicted_path {
+            self.busy[free] = true;
+            TagDecision::Tag(TagId(free as u8))
+        } else {
+            self.invalid_selections += 1;
+            self.deposit(Sample { record: None, selected_cycle: opp.cycle });
+            TagDecision::Pass
+        }
+    }
+
+    fn on_tagged_complete(&mut self, record: &CompletedSample) {
+        let way = record.tag.0 as usize;
+        debug_assert!(self.busy[way], "completion for an inactive tag");
+        let sample = Sample {
+            record: Some(record.clone()),
+            selected_cycle: record.timestamps.fetched,
+        };
+        if self.buffer.is_full() {
+            // Shared buffer full: the sample stays in this way's own
+            // registers; the way remains occupied until the handler reads
+            // it out.
+            self.parked[way] = Some(sample);
+            self.pending_interrupt = true;
+        } else {
+            self.busy[way] = false;
+            self.deposit(sample);
+        }
+    }
+
+    fn take_interrupt(&mut self) -> Option<InterruptRequest> {
+        if self.pending_interrupt {
+            self.pending_interrupt = false;
+            Some(InterruptRequest { skid: self.config.interrupt_skid })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_cfg::BranchHistory;
+    use profileme_isa::Pc;
+    use profileme_uarch::{EventSet, Timestamps};
+
+    fn opp(cycle: u64) -> FetchOpportunity {
+        FetchOpportunity {
+            cycle,
+            slot: 0,
+            pc: Some(Pc::new(0x1000)),
+            inst: Some(profileme_isa::Inst::nop()),
+            on_predicted_path: true,
+            seq: Some(1),
+        }
+    }
+
+    fn completed(tag: TagId) -> CompletedSample {
+        CompletedSample {
+            tag,
+            seq: 1,
+            pc: Pc::new(0x1000),
+            context: 1,
+            class: profileme_isa::OpClass::Nop,
+            events: EventSet::new(),
+            retired: true,
+            eff_addr: None,
+            taken: None,
+            history: BranchHistory::new(),
+            timestamps: Timestamps::default(),
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    fn hw(ways: usize, interval: u64) -> NWayHardware {
+        NWayHardware::new(NWayConfig {
+            ways,
+            mean_interval: interval,
+            randomize: false,
+            buffer_depth: 64,
+            ..NWayConfig::default()
+        })
+    }
+
+    #[test]
+    fn overlapping_selections_use_distinct_tags() {
+        let mut h = hw(3, 1);
+        let mut tags = Vec::new();
+        for c in 0..3 {
+            match h.on_fetch_opportunity(&opp(c)) {
+                TagDecision::Tag(t) => tags.push(t),
+                TagDecision::Pass => panic!("expected a tag at cycle {c}"),
+            }
+        }
+        tags.sort_by_key(|t| t.0);
+        assert_eq!(tags, vec![TagId(0), TagId(1), TagId(2)]);
+        // All busy: the fourth defers.
+        assert_eq!(h.on_fetch_opportunity(&opp(3)), TagDecision::Pass);
+        assert_eq!(h.dropped_selections(), 1);
+        // A completion frees its way for reuse.
+        h.on_tagged_complete(&completed(TagId(1)));
+        assert_eq!(h.on_fetch_opportunity(&opp(4)), TagDecision::Tag(TagId(1)));
+    }
+
+    #[test]
+    fn one_way_drops_selections_while_busy() {
+        let mut h = hw(1, 2);
+        assert_eq!(h.on_fetch_opportunity(&opp(0)), TagDecision::Pass);
+        assert_eq!(h.on_fetch_opportunity(&opp(1)), TagDecision::Tag(TagId(0)));
+        // While the tag is busy, due selections are dropped (never
+        // deferred to the moment the tag frees).
+        for c in 2..10 {
+            assert_eq!(h.on_fetch_opportunity(&opp(c)), TagDecision::Pass);
+        }
+        assert_eq!(h.dropped_selections(), 4, "every second opportunity came due");
+        h.on_tagged_complete(&completed(TagId(0)));
+        // Free again: the next due selection fires on schedule.
+        assert_eq!(h.on_fetch_opportunity(&opp(10)), TagDecision::Pass);
+        assert_eq!(h.on_fetch_opportunity(&opp(11)), TagDecision::Tag(TagId(0)));
+    }
+
+    #[test]
+    fn buffer_full_stalls_counting() {
+        let mut h = NWayHardware::new(NWayConfig {
+            ways: 2,
+            mean_interval: 1,
+            randomize: false,
+            buffer_depth: 1,
+            ..NWayConfig::default()
+        });
+        assert!(matches!(h.on_fetch_opportunity(&opp(0)), TagDecision::Tag(_)));
+        h.on_tagged_complete(&completed(TagId(0)));
+        assert!(h.take_interrupt().is_some());
+        assert_eq!(h.on_fetch_opportunity(&opp(1)), TagDecision::Pass);
+        assert_eq!(h.drain_samples().len(), 1);
+        assert!(matches!(h.on_fetch_opportunity(&opp(2)), TagDecision::Tag(_)));
+    }
+}

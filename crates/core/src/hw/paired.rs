@@ -1,0 +1,363 @@
+//! Paired sampling hardware (§4.2): two tag values, two sets of Profile
+//! Registers, major/minor sampling intervals, and the inter-pair fetch
+//! latency register.
+
+use crate::hw::{IntervalGenerator, SampleBuffer, SelectionMode};
+use crate::{PairedSample, Sample};
+use profileme_uarch::{
+    CompletedSample, FetchOpportunity, InterruptRequest, ProfilingHardware, TagDecision, TagId,
+};
+
+/// Configuration for [`PairedHardware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairedConfig {
+    /// Mean *major* interval: fetched instructions between pairs.
+    pub mean_major_interval: u64,
+    /// Window W: the minor interval is drawn uniformly from `1..=window`.
+    /// Chosen to cover any pair of instructions that can be in flight
+    /// together (at most the in-flight window size).
+    pub window: u64,
+    /// Randomize the major interval ±50%.
+    pub randomize: bool,
+    /// What the counters count.
+    pub selection: SelectionMode,
+    /// Pairs buffered per interrupt.
+    pub buffer_depth: usize,
+    /// Cycles between interrupt request and recognition.
+    pub interrupt_skid: u64,
+    /// Seed for interval randomization.
+    pub seed: u64,
+}
+
+impl Default for PairedConfig {
+    fn default() -> PairedConfig {
+        PairedConfig {
+            mean_major_interval: 1024,
+            window: 64,
+            randomize: true,
+            selection: SelectionMode::FetchedInstructions,
+            buffer_depth: 1,
+            interrupt_skid: 2,
+            seed: 0x517c_c1b7,
+        }
+    }
+}
+
+/// An in-progress pair: selections made, completions awaited.
+#[derive(Debug, Clone, Default)]
+struct PendingPair {
+    first: Option<Sample>,
+    second: Option<Sample>,
+    first_cycle: u64,
+    second_cycle: Option<u64>,
+    distance_instructions: u64,
+    /// Second has been *selected* (tagged or delivered empty).
+    second_selected: bool,
+}
+
+impl PendingPair {
+    fn complete(&self) -> bool {
+        self.first.is_some() && self.second_selected && self.second_is_resolved()
+    }
+
+    fn second_is_resolved(&self) -> bool {
+        // Either an empty selection (already a Sample) or a completed
+        // tagged instruction.
+        self.second.is_some()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    CountingMajor { remaining: u64 },
+    CountingMinor { remaining: u64 },
+    WaitingCompletions,
+    Stalled,
+}
+
+/// Paired-sampling hardware: selects a first instruction after the major
+/// interval, a second after a uniformly random minor interval in
+/// `1..=W`, records both in separate Profile Register sets, captures the
+/// fetch latency between them, and interrupts only when both have
+/// retired or aborted.
+#[derive(Debug, Clone)]
+pub struct PairedHardware {
+    config: PairedConfig,
+    intervals: IntervalGenerator,
+    state: State,
+    pending: PendingPair,
+    buffer: SampleBuffer<PairedSample>,
+    pending_interrupt: bool,
+    pairs_selected: u64,
+}
+
+impl PairedHardware {
+    /// Creates armed paired-sampling hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval, window, or buffer depth is zero.
+    pub fn new(config: PairedConfig) -> PairedHardware {
+        assert!(config.window > 0, "pair window must be positive");
+        let mut intervals =
+            IntervalGenerator::new(config.mean_major_interval, config.randomize, config.seed);
+        let first = intervals.next_interval();
+        PairedHardware {
+            intervals,
+            state: State::CountingMajor { remaining: first },
+            pending: PendingPair::default(),
+            buffer: SampleBuffer::new(config.buffer_depth),
+            pending_interrupt: false,
+            pairs_selected: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PairedConfig {
+        &self.config
+    }
+
+    /// Number of pairs whose first selection has fired.
+    pub fn pairs_selected(&self) -> u64 {
+        self.pairs_selected
+    }
+
+    /// Reads out and clears buffered pairs, re-arming if stalled.
+    pub fn drain_pairs(&mut self) -> Vec<PairedSample> {
+        let pairs = self.buffer.drain();
+        if self.state == State::Stalled {
+            self.arm_major();
+        }
+        pairs
+    }
+
+    fn arm_major(&mut self) {
+        self.state = State::CountingMajor { remaining: self.intervals.next_interval() };
+        self.pending = PendingPair::default();
+    }
+
+    fn finish_pair_if_complete(&mut self) {
+        if !self.pending.complete() {
+            return;
+        }
+        let p = std::mem::take(&mut self.pending);
+        let pair = PairedSample {
+            distance_cycles: p.second_cycle.unwrap_or(p.first_cycle) - p.first_cycle,
+            distance_instructions: p.distance_instructions,
+            first: p.first.expect("complete pair has a first sample"),
+            second: p.second.expect("complete pair has a second sample"),
+        };
+        if self.buffer.push(pair) {
+            self.pending_interrupt = true;
+        }
+        if self.buffer.is_full() {
+            self.state = State::Stalled;
+        } else {
+            self.arm_major();
+        }
+    }
+}
+
+impl ProfilingHardware for PairedHardware {
+    fn on_fetch_opportunity(&mut self, opp: &FetchOpportunity) -> TagDecision {
+        let counts = match self.config.selection {
+            SelectionMode::FetchedInstructions => opp.on_predicted_path,
+            SelectionMode::FetchOpportunities => true,
+        };
+        if !counts {
+            return TagDecision::Pass;
+        }
+        match &mut self.state {
+            State::CountingMajor { remaining } => {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    return TagDecision::Pass;
+                }
+                self.pairs_selected += 1;
+                let minor = self.intervals.next_minor(self.config.window);
+                self.pending = PendingPair {
+                    first_cycle: opp.cycle,
+                    distance_instructions: minor,
+                    ..PendingPair::default()
+                };
+                if opp.on_predicted_path {
+                    self.state = State::CountingMinor { remaining: minor };
+                    TagDecision::Tag(TagId(0))
+                } else {
+                    // Empty first selection: deliver an empty pair and
+                    // restart (the useful-rate cost of opportunity
+                    // counting).
+                    self.pending.first = Some(Sample { record: None, selected_cycle: opp.cycle });
+                    self.pending.second = Some(Sample { record: None, selected_cycle: opp.cycle });
+                    self.pending.second_selected = true;
+                    self.pending.second_cycle = Some(opp.cycle);
+                    self.finish_pair_if_complete();
+                    TagDecision::Pass
+                }
+            }
+            State::CountingMinor { remaining } => {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    return TagDecision::Pass;
+                }
+                self.pending.second_selected = true;
+                self.pending.second_cycle = Some(opp.cycle);
+                if opp.on_predicted_path {
+                    self.state = State::WaitingCompletions;
+                    TagDecision::Tag(TagId(1))
+                } else {
+                    self.pending.second = Some(Sample { record: None, selected_cycle: opp.cycle });
+                    self.state = State::WaitingCompletions;
+                    self.finish_pair_if_complete();
+                    TagDecision::Pass
+                }
+            }
+            State::WaitingCompletions | State::Stalled => TagDecision::Pass,
+        }
+    }
+
+    fn on_tagged_complete(&mut self, record: &CompletedSample) {
+        let sample = Sample {
+            record: Some(record.clone()),
+            selected_cycle: record.timestamps.fetched,
+        };
+        match record.tag {
+            TagId(0) => self.pending.first = Some(sample),
+            TagId(1) => self.pending.second = Some(sample),
+            TagId(t) => unreachable!("paired hardware only issues tags 0 and 1, got {t}"),
+        }
+        self.finish_pair_if_complete();
+    }
+
+    fn take_interrupt(&mut self) -> Option<InterruptRequest> {
+        if self.pending_interrupt {
+            self.pending_interrupt = false;
+            Some(InterruptRequest { skid: self.config.interrupt_skid })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::Pc;
+
+    fn opp(cycle: u64) -> FetchOpportunity {
+        FetchOpportunity {
+            cycle,
+            slot: 0,
+            pc: Some(Pc::new(0x1000)),
+            inst: Some(profileme_isa::Inst::nop()),
+            on_predicted_path: true,
+            seq: Some(1),
+        }
+    }
+
+    fn completed(tag: TagId, fetched: u64) -> CompletedSample {
+        CompletedSample {
+            tag,
+            seq: 1,
+            pc: Pc::new(0x1000),
+            context: 1,
+            class: profileme_isa::OpClass::Nop,
+            events: profileme_uarch::EventSet::new(),
+            retired: true,
+            eff_addr: None,
+            taken: None,
+            history: profileme_cfg::BranchHistory::new(),
+            timestamps: profileme_uarch::Timestamps {
+                fetched,
+                ..profileme_uarch::Timestamps::default()
+            },
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    fn hw(major: u64, window: u64) -> PairedHardware {
+        PairedHardware::new(PairedConfig {
+            mean_major_interval: major,
+            window,
+            randomize: false,
+            selection: SelectionMode::FetchedInstructions,
+            buffer_depth: 1,
+            interrupt_skid: 2,
+            seed: 5,
+        })
+    }
+
+    /// Drives the hardware until both tags fire, returning the minor
+    /// distance used.
+    fn select_pair(hw: &mut PairedHardware) -> (u64, u64) {
+        let mut cycle = 0;
+        let mut first_cycle = None;
+        loop {
+            match hw.on_fetch_opportunity(&opp(cycle)) {
+                TagDecision::Tag(TagId(0)) => first_cycle = Some(cycle),
+                TagDecision::Tag(TagId(1)) => {
+                    return (first_cycle.expect("first selected before second"), cycle)
+                }
+                _ => {}
+            }
+            cycle += 1;
+        }
+    }
+
+    #[test]
+    fn pair_interrupts_only_after_both_complete() {
+        let mut h = hw(3, 8);
+        let (c0, c1) = select_pair(&mut h);
+        assert!(c1 > c0);
+        assert_eq!(h.take_interrupt(), None);
+        // Completions can arrive in either order; finish the second first.
+        h.on_tagged_complete(&completed(TagId(1), c1));
+        assert_eq!(h.take_interrupt(), None);
+        h.on_tagged_complete(&completed(TagId(0), c0));
+        assert!(h.take_interrupt().is_some());
+        let pairs = h.drain_pairs();
+        assert_eq!(pairs.len(), 1);
+        let p = &pairs[0];
+        assert!(p.is_complete());
+        assert_eq!(p.distance_cycles, c1 - c0);
+        assert!(p.distance_instructions >= 1 && p.distance_instructions <= 8);
+        // In this driver one instruction is offered per cycle, so the
+        // cycle distance equals the instruction distance.
+        assert_eq!(p.distance_instructions, c1 - c0);
+    }
+
+    #[test]
+    fn minor_distances_span_the_window() {
+        let mut h = PairedHardware::new(PairedConfig {
+            mean_major_interval: 2,
+            window: 4,
+            randomize: true,
+            ..PairedConfig::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (c0, c1) = select_pair(&mut h);
+            h.on_tagged_complete(&completed(TagId(0), c0));
+            h.on_tagged_complete(&completed(TagId(1), c1));
+            let pair = h.drain_pairs().remove(0);
+            seen.insert(pair.distance_instructions);
+        }
+        assert_eq!(seen, (1..=4).collect());
+    }
+
+    #[test]
+    fn no_third_selection_while_pair_outstanding() {
+        let mut h = hw(1, 2);
+        let (c0, c1) = select_pair(&mut h);
+        for cycle in c1 + 1..c1 + 20 {
+            assert_eq!(h.on_fetch_opportunity(&opp(cycle)), TagDecision::Pass);
+        }
+        h.on_tagged_complete(&completed(TagId(0), c0));
+        h.on_tagged_complete(&completed(TagId(1), c1));
+        h.drain_pairs();
+        // Re-armed now.
+        assert!(matches!(h.on_fetch_opportunity(&opp(100)), TagDecision::Tag(TagId(0))));
+    }
+}

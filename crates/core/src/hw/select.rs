@@ -1,0 +1,98 @@
+//! Instruction selection: the Fetched Instruction Counter (§4.1.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What the Fetched Instruction Counter counts (§4.1.1).
+///
+/// Counting instructions on the predicted control path requires handling
+/// a variable number per cycle; counting *fetch opportunities* (fetch
+/// width × cycles) is simpler hardware but wastes samples on slots that
+/// carry no predicted-path instruction. The ablation
+/// `ablation_selection` quantifies that trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMode {
+    /// Count instructions fetched on the predicted control path.
+    FetchedInstructions,
+    /// Count fetch opportunities (slots), occupied or not.
+    FetchOpportunities,
+}
+
+/// Generates sampling intervals for reloading the counter.
+///
+/// The paper has profiling software write a pseudo-random value at every
+/// interrupt; with sample buffering (§4.3) the hardware must reload
+/// between interrupts, so the generator lives hardware-side, seeded by
+/// software. Randomization (uniform ±50% around the mean) avoids
+/// synchronizing with loops; it can be disabled to demonstrate exactly
+/// that bias (`ablation_random_intervals`).
+#[derive(Debug, Clone)]
+pub struct IntervalGenerator {
+    mean: u64,
+    randomize: bool,
+    rng: StdRng,
+}
+
+impl IntervalGenerator {
+    /// Creates a generator with the given mean interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    pub fn new(mean: u64, randomize: bool, seed: u64) -> IntervalGenerator {
+        assert!(mean > 0, "sampling interval must be positive");
+        IntervalGenerator { mean, randomize, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured mean interval.
+    pub fn mean(&self) -> u64 {
+        self.mean
+    }
+
+    /// The next counter reload value (always at least 1).
+    pub fn next_interval(&mut self) -> u64 {
+        if self.randomize {
+            let lo = self.mean.div_ceil(2).max(1);
+            let hi = self.mean + self.mean / 2;
+            self.rng.gen_range(lo..=hi)
+        } else {
+            self.mean
+        }
+    }
+
+    /// A uniform value in `1..=window` (the minor interval of paired
+    /// sampling).
+    pub fn next_minor(&mut self, window: u64) -> u64 {
+        self.rng.gen_range(1..=window.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_intervals_cover_the_range() {
+        let mut g = IntervalGenerator::new(100, true, 7);
+        let vals: Vec<u64> = (0..200).map(|_| g.next_interval()).collect();
+        assert!(vals.iter().all(|&v| (50..=150).contains(&v)));
+        assert!(vals.iter().any(|&v| v < 80));
+        assert!(vals.iter().any(|&v| v > 120));
+    }
+
+    #[test]
+    fn fixed_intervals_are_constant() {
+        let mut g = IntervalGenerator::new(64, false, 7);
+        assert!((0..10).all(|_| g.next_interval() == 64));
+    }
+
+    #[test]
+    fn minor_intervals_stay_in_window() {
+        let mut g = IntervalGenerator::new(1000, true, 3);
+        for _ in 0..200 {
+            let m = g.next_minor(48);
+            assert!((1..=48).contains(&m));
+        }
+    }
+}

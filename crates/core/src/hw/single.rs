@@ -1,0 +1,285 @@
+//! Single-instruction sampling hardware (§4.1).
+
+use crate::hw::{IntervalGenerator, SampleBuffer, SelectionMode};
+use crate::Sample;
+use profileme_uarch::{
+    CompletedSample, FetchOpportunity, InterruptRequest, ProfilingHardware, TagDecision, TagId,
+};
+
+/// Configuration for [`ProfileMeHardware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileMeConfig {
+    /// Mean sampling interval S, in units of the selection mode.
+    pub mean_interval: u64,
+    /// Randomize intervals ±50% (disable only for the bias ablation).
+    pub randomize: bool,
+    /// What the Fetched Instruction Counter counts.
+    pub selection: SelectionMode,
+    /// Profile-register sets buffered per interrupt (§4.3).
+    pub buffer_depth: usize,
+    /// Cycles between the interrupt request and its recognition.
+    pub interrupt_skid: u64,
+    /// Seed for interval randomization.
+    pub seed: u64,
+}
+
+impl Default for ProfileMeConfig {
+    fn default() -> ProfileMeConfig {
+        ProfileMeConfig {
+            mean_interval: 1024,
+            randomize: true,
+            selection: SelectionMode::FetchedInstructions,
+            buffer_depth: 1,
+            interrupt_skid: 2,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct State {
+    /// Countdown to the next selection; 0 means a selection is *due*.
+    remaining: u64,
+    /// A tagged instruction is in flight (one tag bit: at most one).
+    waiting: bool,
+    /// All register sets are full; selection pauses until software drains.
+    stalled: bool,
+}
+
+/// The ProfileMe sampling hardware for a single in-flight profiled
+/// instruction: a one-bit tag, one (buffered) set of Profile Registers,
+/// the Fetched Instruction Counter, and overflow interrupt generation.
+///
+/// Attach it to a [`Pipeline`](profileme_uarch::Pipeline); the interrupt
+/// handler reads samples with
+/// [`drain_samples`](ProfileMeHardware::drain_samples).
+#[derive(Debug, Clone)]
+pub struct ProfileMeHardware {
+    config: ProfileMeConfig,
+    intervals: IntervalGenerator,
+    state: State,
+    buffer: SampleBuffer<Sample>,
+    pending_interrupt: bool,
+    selections: u64,
+    invalid_selections: u64,
+    dropped_selections: u64,
+}
+
+impl ProfileMeHardware {
+    /// Creates armed sampling hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval or buffer depth is zero.
+    pub fn new(config: ProfileMeConfig) -> ProfileMeHardware {
+        let mut intervals =
+            IntervalGenerator::new(config.mean_interval, config.randomize, config.seed);
+        let first = intervals.next_interval();
+        ProfileMeHardware {
+            intervals,
+            state: State { remaining: first, waiting: false, stalled: false },
+            buffer: SampleBuffer::new(config.buffer_depth),
+            pending_interrupt: false,
+            selections: 0,
+            invalid_selections: 0,
+            dropped_selections: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ProfileMeConfig {
+        &self.config
+    }
+
+    /// Total selections fired (valid or not).
+    pub fn selections(&self) -> u64 {
+        self.selections
+    }
+
+    /// Selections that landed on a slot with no predicted-path
+    /// instruction (only possible when counting fetch opportunities).
+    pub fn invalid_selections(&self) -> u64 {
+        self.invalid_selections
+    }
+
+    /// Selections dropped because the tag was busy (the single-tag dead
+    /// time that N-way sampling removes).
+    pub fn dropped_selections(&self) -> u64 {
+        self.dropped_selections
+    }
+
+    /// Reads out and clears the buffered samples, re-arming selection if
+    /// it had stalled on a full buffer. Called by the interrupt handler —
+    /// and once more at the end of a run to collect a partial buffer.
+    pub fn drain_samples(&mut self) -> Vec<Sample> {
+        let samples = self.buffer.drain();
+        self.state.stalled = false;
+        samples
+    }
+
+    fn deposit(&mut self, sample: Sample) {
+        if self.buffer.push(sample) {
+            self.pending_interrupt = true;
+        }
+        self.state.stalled = self.buffer.is_full();
+    }
+}
+
+impl ProfilingHardware for ProfileMeHardware {
+    fn on_fetch_opportunity(&mut self, opp: &FetchOpportunity) -> TagDecision {
+        let counts = match self.config.selection {
+            SelectionMode::FetchedInstructions => opp.on_predicted_path,
+            SelectionMode::FetchOpportunities => true,
+        };
+        if !counts || self.state.stalled {
+            return TagDecision::Pass;
+        }
+        // The counter keeps running while a tagged instruction is in
+        // flight. A selection that comes due while the tag is busy is
+        // DROPPED (and the counter re-armed): firing it later, when the
+        // tag frees, would phase-lock selection to completion times and
+        // bias the sample toward instructions that follow long-latency
+        // ones. Dropping loses rate, never accuracy; software calibrates
+        // estimates with the *measured* average interval (`sw::driver`).
+        self.state.remaining -= 1;
+        if self.state.remaining > 0 {
+            return TagDecision::Pass;
+        }
+        if self.state.waiting {
+            self.dropped_selections += 1;
+            self.state.remaining = self.intervals.next_interval();
+            return TagDecision::Pass;
+        }
+        self.selections += 1;
+        self.state.remaining = self.intervals.next_interval();
+        if opp.on_predicted_path {
+            self.state.waiting = true;
+            TagDecision::Tag(TagId(0))
+        } else {
+            // Selected an opportunity with no predicted-path instruction:
+            // deliver an empty sample (§4.1.1's useful-rate cost).
+            self.invalid_selections += 1;
+            self.deposit(Sample { record: None, selected_cycle: opp.cycle });
+            TagDecision::Pass
+        }
+    }
+
+    fn on_tagged_complete(&mut self, record: &CompletedSample) {
+        debug_assert_eq!(record.tag, TagId(0));
+        debug_assert!(self.state.waiting);
+        self.state.waiting = false;
+        self.deposit(Sample {
+            record: Some(record.clone()),
+            selected_cycle: record.timestamps.fetched,
+        });
+    }
+
+    fn take_interrupt(&mut self) -> Option<InterruptRequest> {
+        if self.pending_interrupt {
+            self.pending_interrupt = false;
+            Some(InterruptRequest { skid: self.config.interrupt_skid })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::Pc;
+
+    fn opp(on_path: bool, cycle: u64) -> FetchOpportunity {
+        FetchOpportunity {
+            cycle,
+            slot: 0,
+            pc: on_path.then_some(Pc::new(0x1000)),
+            inst: on_path.then(profileme_isa::Inst::nop),
+            on_predicted_path: on_path,
+            seq: on_path.then_some(1),
+        }
+    }
+
+    fn fixed(interval: u64, depth: usize, selection: SelectionMode) -> ProfileMeHardware {
+        ProfileMeHardware::new(ProfileMeConfig {
+            mean_interval: interval,
+            randomize: false,
+            selection,
+            buffer_depth: depth,
+            interrupt_skid: 2,
+            seed: 1,
+        })
+    }
+
+    fn completed(tag: TagId) -> CompletedSample {
+        CompletedSample {
+            tag,
+            seq: 1,
+            pc: Pc::new(0x1000),
+            context: 1,
+            class: profileme_isa::OpClass::Nop,
+            events: profileme_uarch::EventSet::new(),
+            retired: true,
+            eff_addr: None,
+            taken: None,
+            history: profileme_cfg::BranchHistory::new(),
+            timestamps: profileme_uarch::Timestamps::default(),
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    #[test]
+    fn selects_every_nth_instruction() {
+        let mut hw = fixed(3, 1, SelectionMode::FetchedInstructions);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 1)), TagDecision::Tag(TagId(0)));
+        // While waiting, nothing else is selected.
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 1)), TagDecision::Pass);
+        hw.on_tagged_complete(&completed(TagId(0)));
+        assert!(hw.take_interrupt().is_some());
+        assert_eq!(hw.drain_samples().len(), 1);
+    }
+
+    #[test]
+    fn off_path_slots_do_not_count_in_instruction_mode() {
+        let mut hw = fixed(2, 1, SelectionMode::FetchedInstructions);
+        for _ in 0..10 {
+            assert_eq!(hw.on_fetch_opportunity(&opp(false, 0)), TagDecision::Pass);
+        }
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Tag(TagId(0)));
+    }
+
+    #[test]
+    fn opportunity_mode_can_select_empty_slots() {
+        let mut hw = fixed(2, 1, SelectionMode::FetchOpportunities);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
+        assert_eq!(hw.on_fetch_opportunity(&opp(false, 0)), TagDecision::Pass);
+        // The empty selection produced an invalid sample and an interrupt.
+        assert_eq!(hw.invalid_selections(), 1);
+        assert!(hw.take_interrupt().is_some());
+        let samples = hw.drain_samples();
+        assert_eq!(samples.len(), 1);
+        assert!(!samples[0].is_valid());
+    }
+
+    #[test]
+    fn buffering_defers_the_interrupt() {
+        let mut hw = fixed(1, 3, SelectionMode::FetchedInstructions);
+        for i in 0..2 {
+            assert_eq!(hw.on_fetch_opportunity(&opp(true, i)), TagDecision::Tag(TagId(0)));
+            hw.on_tagged_complete(&completed(TagId(0)));
+            assert_eq!(hw.take_interrupt(), None, "no interrupt before the buffer fills");
+        }
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 2)), TagDecision::Tag(TagId(0)));
+        hw.on_tagged_complete(&completed(TagId(0)));
+        assert!(hw.take_interrupt().is_some());
+        // Selection stalls until software drains.
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 3)), TagDecision::Pass);
+        assert_eq!(hw.drain_samples().len(), 3);
+        assert_eq!(hw.on_fetch_opportunity(&opp(true, 4)), TagDecision::Tag(TagId(0)));
+    }
+}

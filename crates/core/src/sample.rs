@@ -1,0 +1,69 @@
+//! Software-visible sample records — what the interrupt handler reads out
+//! of the Profile Registers.
+
+use profileme_uarch::CompletedSample;
+use serde::{Deserialize, Serialize};
+
+/// One instruction sample.
+///
+/// When instructions are selected by counting *fetch opportunities*
+/// (§4.1.1), the selected slot may hold no instruction on the predicted
+/// control path; such samples are delivered with `record == None` so
+/// software can measure the useful-sampling-rate cost of that selection
+/// scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The profile-register contents, or `None` for an empty selected
+    /// slot.
+    pub record: Option<CompletedSample>,
+    /// Cycle at which the selection fired.
+    pub selected_cycle: u64,
+}
+
+impl Sample {
+    /// Whether the sample carries an instruction record.
+    pub fn is_valid(&self) -> bool {
+        self.record.is_some()
+    }
+
+    /// Whether the sampled instruction retired.
+    pub fn retired(&self) -> bool {
+        self.record.as_ref().is_some_and(|r| r.retired)
+    }
+}
+
+/// A paired sample (§4.2): two potentially concurrent instructions plus
+/// the fetch latency between them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairedSample {
+    /// The first selected instruction.
+    pub first: Sample,
+    /// The second selected instruction (fetched `distance` instructions
+    /// later).
+    pub second: Sample,
+    /// The minor interval actually used: fetched instructions between the
+    /// two selections (1..=W).
+    pub distance_instructions: u64,
+    /// The inter-pair fetch latency register: cycles between the two
+    /// selections.
+    pub distance_cycles: u64,
+}
+
+impl PairedSample {
+    /// Whether both halves carry instruction records.
+    pub fn is_complete(&self) -> bool {
+        self.first.is_valid() && self.second.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sample_predicates() {
+        let s = Sample { record: None, selected_cycle: 42 };
+        assert!(!s.is_valid());
+        assert!(!s.retired());
+    }
+}

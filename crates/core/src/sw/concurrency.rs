@@ -1,0 +1,457 @@
+//! Concurrency metrics from paired samples (§5.2.3–§5.2.4).
+
+use crate::sw::database::{PairProfileDatabase, PcPairProfile};
+use profileme_isa::Pc;
+use profileme_uarch::CompletedSample;
+use serde::{Deserialize, Serialize};
+
+/// Definitions of "overlap" between the two instructions of a pair
+/// (§5.2.4 lists several useful ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapKind {
+    /// The paired instruction issued while I was *in progress* (fetched →
+    /// retire-ready) and subsequently retired — the definition used for
+    /// the wasted-issue-slots metric (§5.2.3).
+    UsefulIssue,
+    /// Both instructions were in flight (fetch → retire-ready windows
+    /// intersect).
+    BothInFlight,
+    /// The paired instruction retired within a fixed number of cycles of
+    /// I becoming retire-ready (for neighborhood-IPC style metrics).
+    RetiredWithin(u64),
+    /// Both instructions occupied functional units at the same time
+    /// (issue → retire-ready windows intersect).
+    BothExecuting,
+}
+
+/// Whether instruction `j` overlaps instruction `i` under `kind`.
+///
+/// `i` and `j` are the Profile Register contents of the two halves of a
+/// pair; all comparisons use their recorded cycle timestamps (hardware
+/// provides the inter-pair fetch latency precisely so these can be
+/// correlated — §4.2).
+pub fn useful_overlap(kind: OverlapKind, i: &CompletedSample, j: &CompletedSample) -> bool {
+    let in_progress = |s: &CompletedSample| -> Option<(u64, u64)> {
+        Some((s.timestamps.fetched, s.timestamps.retire_ready?))
+    };
+    match kind {
+        OverlapKind::UsefulIssue => {
+            let Some((start, end)) = in_progress(i) else { return false };
+            j.retired && j.timestamps.issued.is_some_and(|ji| start <= ji && ji < end)
+        }
+        OverlapKind::BothInFlight => {
+            let (Some((is_, ie)), Some((js, je))) = (in_progress(i), in_progress(j)) else {
+                return false;
+            };
+            is_ < je && js < ie
+        }
+        OverlapKind::RetiredWithin(cycles) => {
+            let (Some(ir), Some(jr)) = (i.timestamps.retire_ready, j.timestamps.retired) else {
+                return false;
+            };
+            j.retired && jr.abs_diff(ir) <= cycles
+        }
+        OverlapKind::BothExecuting => {
+            let exec = |s: &CompletedSample| -> Option<(u64, u64)> {
+                Some((s.timestamps.issued?, s.timestamps.retire_ready?))
+            };
+            let (Some((is_, ie)), Some((js, je))) = (exec(i), exec(j)) else { return false };
+            is_ < je && js < ie
+        }
+    }
+}
+
+/// The wasted-issue-slots estimate for one instruction (§5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WastedSlots {
+    /// Estimated total issue slots available while I was in progress,
+    /// over all executions: `L_I · C · S / 2`.
+    pub total_slots: f64,
+    /// Estimated issue slots used by usefully overlapping instructions:
+    /// `U_I · W · S`.
+    pub useful_slots: f64,
+    /// Estimated total in-progress latency over all executions of I:
+    /// `L_I · S / 2` (cycles).
+    pub total_latency: f64,
+}
+
+impl WastedSlots {
+    /// `total_slots - useful_slots`, clamped at zero (sampling noise can
+    /// push the difference slightly negative).
+    pub fn wasted(&self) -> f64 {
+        (self.total_slots - self.useful_slots).max(0.0)
+    }
+}
+
+/// Computes the wasted-issue-slots estimate for the instruction at `pc`
+/// from an aggregated pair database, for a machine with issue width
+/// `issue_width` (C).
+///
+/// Following §5.2.3: with one pair every S fetched instructions and the
+/// second sample uniform over a window of W instructions,
+/// `wasted = (L_I · C · S / 2) − (U_I · W · S)` where `U_I = U_I^F +
+/// U_I^B` and `L_I` sums the fetch→retire-ready latency over both
+/// samples of every pair involving I.
+pub fn wasted_issue_slots(db: &PairProfileDatabase, pc: Pc, issue_width: u64) -> WastedSlots {
+    let p: PcPairProfile = db.at(pc);
+    let s = db.interval() as f64;
+    let w = db.window() as f64;
+    let c = issue_width as f64;
+    let l = p.latency_sum as f64;
+    let u = (p.useful_forward + p.useful_backward) as f64;
+    WastedSlots {
+        total_slots: l * c * s / 2.0,
+        useful_slots: u * w * s,
+        total_latency: l * s / 2.0,
+    }
+}
+
+/// Estimates, from a pair database aggregated with
+/// [`OverlapKind::RetiredWithin`], the average number of instructions
+/// retiring near I — a neighborhood-IPC indicator (§5.2.4). Returns
+/// `None` when I has no samples.
+pub fn instructions_retired_around(db: &PairProfileDatabase, pc: Pc) -> Option<f64> {
+    let p = db.at(pc);
+    if p.samples == 0 {
+        return None;
+    }
+    let u = (p.useful_forward + p.useful_backward) as f64;
+    // Each sample of I carries one Bernoulli observation of a window
+    // position; scale by W to estimate the count over the whole window.
+    Some(u / p.samples as f64 * db.window() as f64)
+}
+
+/// A statistically estimated pairwise metric (see
+/// [`estimate_pair_metric`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairMetric {
+    /// Fraction of window positions around I for which the predicate
+    /// held.
+    pub rate: f64,
+    /// Estimated count of window instructions satisfying the predicate
+    /// per execution of I (`rate × W`).
+    pub per_execution: f64,
+    /// Number of samples of I that contributed.
+    pub samples: u64,
+}
+
+/// §5.2.4's flexibility, as an API: "paired sampling provides significant
+/// flexibility, allowing a variety of different metrics to be computed
+/// statistically by sampling the value of any function that can be
+/// expressed as `f(I1, I2)` over a window of W instructions."
+///
+/// Evaluates an arbitrary pairwise predicate over every raw pair
+/// involving the instruction at `pc` (considering each pair in both
+/// orientations, per §5.2.2), and returns the estimated rate at which
+/// window neighbours of I satisfy it. `window` is the W the pairs were
+/// collected with. Returns `None` when no complete pairs involve `pc`.
+///
+/// # Example
+///
+/// The built-in metrics are special cases:
+/// `estimate_pair_metric(pairs, pc, W, |i, j| useful_overlap(OverlapKind::UsefulIssue, i, j))`
+/// reproduces the wasted-slot numerator.
+pub fn estimate_pair_metric<F>(
+    pairs: &[crate::PairedSample],
+    pc: Pc,
+    window: u64,
+    f: F,
+) -> Option<PairMetric>
+where
+    F: Fn(&CompletedSample, &CompletedSample) -> bool,
+{
+    let mut samples = 0u64;
+    let mut hits = 0u64;
+    for pair in pairs {
+        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else { continue };
+        for (i, j) in [(a, b), (b, a)] {
+            if i.pc == pc {
+                samples += 1;
+                if f(i, j) {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    (samples > 0).then(|| {
+        let rate = hits as f64 / samples as f64;
+        PairMetric { rate, per_execution: rate * window as f64, samples }
+    })
+}
+
+/// Average number of window instructions occupying each pipeline phase
+/// while the instruction at `pc` is in progress — §5.2.2's "statistically
+/// reconstruct detailed processor pipeline states from paired samples",
+/// made concrete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StagePopulation {
+    /// In decode/map (fetched, not yet mapped).
+    pub front_end: f64,
+    /// Waiting for operands (mapped, data not ready).
+    pub waiting_operands: f64,
+    /// Operands ready, waiting for a functional unit.
+    pub waiting_issue: f64,
+    /// Executing (issued, not yet retire-ready).
+    pub executing: f64,
+    /// Done, waiting for older instructions to retire.
+    pub waiting_retire: f64,
+    /// Samples of `pc` that contributed.
+    pub samples: u64,
+}
+
+impl StagePopulation {
+    /// Total window instructions in flight alongside `pc`, on average.
+    pub fn total(&self) -> f64 {
+        self.front_end
+            + self.waiting_operands
+            + self.waiting_issue
+            + self.executing
+            + self.waiting_retire
+    }
+}
+
+/// Reconstructs the average pipeline population around the instruction at
+/// `pc` from raw paired samples collected with window `window`: for each
+/// phase, the expected number of window instructions in that phase while
+/// `pc` is in progress. Returns `None` when no complete pairs involve
+/// `pc` (or `pc` never reached retire-ready in them).
+pub fn pipeline_population(
+    pairs: &[crate::PairedSample],
+    pc: Pc,
+    window: u64,
+) -> Option<StagePopulation> {
+    let mut pop = StagePopulation::default();
+    let mut acc = [0.0f64; 5];
+    for pair in pairs {
+        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else { continue };
+        for (i, j) in [(a, b), (b, a)] {
+            if i.pc != pc {
+                continue;
+            }
+            let Some(end) = i.timestamps.retire_ready else { continue };
+            let start = i.timestamps.fetched;
+            if end <= start {
+                continue;
+            }
+            pop.samples += 1;
+            let span = (end - start) as f64;
+            // Fraction of I's in-progress window J spent in each phase.
+            let jt = &j.timestamps;
+            let phases: [(u64, Option<u64>); 5] = [
+                (jt.fetched, jt.mapped),
+                (jt.mapped.unwrap_or(u64::MAX), jt.data_ready),
+                (jt.data_ready.unwrap_or(u64::MAX), jt.issued),
+                (jt.issued.unwrap_or(u64::MAX), jt.retire_ready),
+                (jt.retire_ready.unwrap_or(u64::MAX), jt.retired),
+            ];
+            for (k, (p_start, p_end)) in phases.into_iter().enumerate() {
+                let Some(p_end) = p_end else { continue };
+                if p_start == u64::MAX {
+                    continue;
+                }
+                let lo = p_start.max(start);
+                let hi = p_end.min(end);
+                if hi > lo {
+                    acc[k] += (hi - lo) as f64 / span;
+                }
+            }
+        }
+    }
+    if pop.samples == 0 {
+        return None;
+    }
+    // Each sample is one Bernoulli draw of a window position; scale by W
+    // to estimate the whole window's population.
+    let scale = window as f64 / pop.samples as f64;
+    pop.front_end = acc[0] * scale;
+    pop.waiting_operands = acc[1] * scale;
+    pop.waiting_issue = acc[2] * scale;
+    pop.executing = acc[3] * scale;
+    pop.waiting_retire = acc[4] * scale;
+    Some(pop)
+}
+
+/// Neighborhood IPC (§5.2.4): instructions retiring within `within`
+/// cycles of I's retirement, per cycle, estimated from raw pairs.
+/// Returns `None` when no complete pairs involve `pc`.
+pub fn neighborhood_ipc(
+    pairs: &[crate::PairedSample],
+    pc: Pc,
+    window: u64,
+    within: u64,
+) -> Option<f64> {
+    let m = estimate_pair_metric(pairs, pc, window, |i, j| {
+        useful_overlap(OverlapKind::RetiredWithin(within), i, j)
+    })?;
+    // The predicate spans 2·within+1 cycles around I's retirement.
+    Some(m.per_execution / (2 * within + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_cfg::BranchHistory;
+    use profileme_uarch::{EventSet, TagId, Timestamps};
+
+    fn sample(
+        fetched: u64,
+        issued: Option<u64>,
+        retire_ready: Option<u64>,
+        retired_at: Option<u64>,
+    ) -> CompletedSample {
+        CompletedSample {
+            tag: TagId(0),
+            seq: 0,
+            pc: Pc::new(0x1000),
+            context: 1,
+            class: profileme_isa::OpClass::IntAlu,
+            events: EventSet::new(),
+            retired: retired_at.is_some(),
+            eff_addr: None,
+            taken: None,
+            history: BranchHistory::new(),
+            timestamps: Timestamps {
+                fetched,
+                issued,
+                retire_ready,
+                retired: retired_at,
+                ..Timestamps::default()
+            },
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    #[test]
+    fn useful_issue_requires_issue_inside_window_and_retirement() {
+        let i = sample(10, Some(12), Some(40), Some(45));
+        let inside = sample(20, Some(25), Some(26), Some(50));
+        let outside = sample(20, Some(41), Some(42), Some(50));
+        let aborted = sample(20, Some(25), Some(26), None);
+        assert!(useful_overlap(OverlapKind::UsefulIssue, &i, &inside));
+        assert!(!useful_overlap(OverlapKind::UsefulIssue, &i, &outside));
+        assert!(!useful_overlap(OverlapKind::UsefulIssue, &i, &aborted));
+    }
+
+    #[test]
+    fn both_in_flight_is_symmetric() {
+        let a = sample(0, Some(5), Some(20), Some(25));
+        let b = sample(15, Some(17), Some(30), Some(35));
+        let c = sample(21, Some(22), Some(23), Some(40));
+        assert!(useful_overlap(OverlapKind::BothInFlight, &a, &b));
+        assert!(useful_overlap(OverlapKind::BothInFlight, &b, &a));
+        assert!(!useful_overlap(OverlapKind::BothInFlight, &a, &c));
+    }
+
+    #[test]
+    fn retired_within_window() {
+        let i = sample(0, Some(1), Some(10), Some(12));
+        let near = sample(2, Some(3), Some(9), Some(14));
+        let far = sample(2, Some(3), Some(9), Some(100));
+        assert!(useful_overlap(OverlapKind::RetiredWithin(30), &i, &near));
+        assert!(!useful_overlap(OverlapKind::RetiredWithin(30), &i, &far));
+    }
+
+    #[test]
+    fn pair_metric_counts_both_orientations() {
+        use crate::{PairedSample, Sample};
+        let i = sample(0, Some(2), Some(40), Some(44));
+        let j = sample(20, Some(20), Some(21), Some(50));
+        let pair = PairedSample {
+            first: Sample { record: Some(i), selected_cycle: 0 },
+            second: Sample { record: Some(j), selected_cycle: 20 },
+            distance_instructions: 5,
+            distance_cycles: 20,
+        };
+        let pairs = vec![pair.clone(), pair];
+        // Both pair members share the test PC, so each pair contributes
+        // two samples of it.
+        let m = estimate_pair_metric(&pairs, Pc::new(0x1000), 10, |i, j| {
+            useful_overlap(OverlapKind::UsefulIssue, i, j)
+        })
+        .unwrap();
+        assert_eq!(m.samples, 4);
+        // Only the (first, second) orientation usefully overlaps.
+        assert!((m.rate - 0.5).abs() < 1e-12);
+        assert_eq!(m.per_execution, 5.0);
+        // No samples at an unrelated PC.
+        assert!(estimate_pair_metric(&pairs, Pc::new(0x2000), 10, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn neighborhood_ipc_scales_by_window_cycles() {
+        use crate::{PairedSample, Sample};
+        // I retire-ready at 10; J retires at 12: within 15 cycles.
+        let i = sample(0, Some(1), Some(10), Some(11));
+        let j = sample(2, Some(3), Some(9), Some(12));
+        let pair = PairedSample {
+            first: Sample { record: Some(i), selected_cycle: 0 },
+            second: Sample { record: Some(j), selected_cycle: 2 },
+            distance_instructions: 2,
+            distance_cycles: 2,
+        };
+        let ipc = neighborhood_ipc(&[pair], Pc::new(0x1000), 62, 15).unwrap();
+        // rate 1.0 over both orientations? J->I: I retires at 11, J
+        // retire-ready at 9 -> |11 - 9| <= 15 holds too: rate = 1.
+        // per_execution = 62; spanning 31 cycles -> IPC 2.
+        assert!((ipc - 2.0).abs() < 1e-9, "ipc {ipc}");
+    }
+
+    #[test]
+    fn pipeline_population_splits_phases_by_overlap() {
+        use crate::{PairedSample, Sample};
+        // I in progress over cycles 0..20. J: fetched 0, mapped 10,
+        // data-ready 10, issued 10, retire-ready 20, retired 30. So J
+        // spends half of I's window in the front end and half executing.
+        let i = sample(0, Some(1), Some(20), Some(25));
+        let mut j = sample(0, Some(10), Some(20), Some(30));
+        j.pc = Pc::new(0x1004);
+        j.timestamps.mapped = Some(10);
+        j.timestamps.data_ready = Some(10);
+        let pair = PairedSample {
+            first: Sample { record: Some(i), selected_cycle: 0 },
+            second: Sample { record: Some(j), selected_cycle: 0 },
+            distance_instructions: 1,
+            distance_cycles: 0,
+        };
+        let pop = pipeline_population(&[pair], Pc::new(0x1000), 64).unwrap();
+        assert_eq!(pop.samples, 1);
+        assert!((pop.front_end - 32.0).abs() < 1e-9, "{pop:?}");
+        assert!((pop.executing - 32.0).abs() < 1e-9, "{pop:?}");
+        assert!((pop.waiting_operands).abs() < 1e-9);
+        assert!((pop.waiting_retire).abs() < 1e-9, "J's retire wait is outside I's window");
+        assert!((pop.total() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasted_slots_formula() {
+        use crate::{PairedSample, Sample};
+        let program = {
+            let mut b = profileme_isa::ProgramBuilder::with_base(Pc::new(0x1000));
+            b.function("f");
+            b.nop();
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut db = PairProfileDatabase::new(&program, 100, 10);
+        // One pair: I in progress 0..40 (latency 40), J issues at 20 and
+        // retires: useful forward overlap. Give J a distinct PC so the
+        // aggregates do not mix.
+        let i = sample(0, Some(2), Some(40), Some(44));
+        let mut j = sample(20, Some(20), Some(21), Some(50));
+        j.pc = Pc::new(0x1004);
+        db.add(&PairedSample {
+            first: Sample { record: Some(i), selected_cycle: 0 },
+            second: Sample { record: Some(j), selected_cycle: 20 },
+            distance_instructions: 5,
+            distance_cycles: 20,
+        });
+        let ws = wasted_issue_slots(&db, Pc::new(0x1000), 4);
+        // L_I = 40, C = 4, S = 100 -> total = 40*4*100/2 = 8000.
+        assert_eq!(ws.total_slots, 8000.0);
+        // U_I = 1, W = 10, S = 100 -> useful = 1000.
+        assert_eq!(ws.useful_slots, 1000.0);
+        assert_eq!(ws.wasted(), 7000.0);
+        assert_eq!(ws.total_latency, 2000.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! The profile database: compact, incrementally aggregated per-PC
+//! profiles, in the style the paper attributes to DCPI (§5, §5.2.3).
+
+use crate::sw::estimate::Estimate;
+use crate::sw::{useful_overlap, OverlapKind};
+use crate::{PairedSample, Sample};
+use profileme_isa::{Pc, Program};
+use profileme_uarch::{EventSet, LatencySums};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated single-instruction samples for one static instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcProfile {
+    /// Total samples at this PC (retired or aborted).
+    pub samples: u64,
+    /// Samples that retired.
+    pub retired: u64,
+    /// Samples that aborted.
+    pub aborted: u64,
+    /// Samples with an I-cache miss.
+    pub icache_misses: u64,
+    /// Samples with an I-TLB miss.
+    pub itlb_misses: u64,
+    /// Samples with a D-cache miss.
+    pub dcache_misses: u64,
+    /// Samples with a D-TLB miss.
+    pub dtlb_misses: u64,
+    /// Samples that also missed in the L2.
+    pub l2_misses: u64,
+    /// Samples where the (conditional branch) instruction was taken.
+    pub taken: u64,
+    /// Samples where the branch was mispredicted.
+    pub mispredicted: u64,
+    /// Sum of Table 1 stage latencies over retired samples.
+    pub latency_sums: LatencySums,
+    /// Retired samples contributing to `latency_sums`.
+    pub latency_samples: u64,
+    /// Sum of fetch→retire-ready latencies over samples that reached
+    /// retire-ready.
+    pub in_progress_sum: u64,
+    /// Sum of load issue→completion latencies over load samples.
+    pub mem_latency_sum: u64,
+    /// Load samples contributing to `mem_latency_sum`.
+    pub mem_latency_samples: u64,
+}
+
+impl PcProfile {
+    fn add(&mut self, s: &Sample) {
+        let Some(r) = &s.record else { return };
+        self.samples += 1;
+        if r.retired {
+            self.retired += 1;
+        } else {
+            self.aborted += 1;
+        }
+        // Event counters aggregate *retired* samples only: aborted
+        // (wrong-path) instructions execute with synthesized operands, so
+        // mixing their events in would corrupt per-instruction rates.
+        // This is exactly why ProfileMe delivers the retirement status in
+        // the record instead of discarding unretired samples in hardware
+        // (§8's contrast with Westcott & White) — software chooses.
+        if r.retired {
+            let flags: [(&mut u64, EventSet); 7] = [
+                (&mut self.icache_misses, EventSet::ICACHE_MISS),
+                (&mut self.itlb_misses, EventSet::ITLB_MISS),
+                (&mut self.dcache_misses, EventSet::DCACHE_MISS),
+                (&mut self.dtlb_misses, EventSet::DTLB_MISS),
+                (&mut self.l2_misses, EventSet::L2_MISS),
+                (&mut self.taken, EventSet::BRANCH_TAKEN),
+                (&mut self.mispredicted, EventSet::MISPREDICTED),
+            ];
+            for (counter, bit) in flags {
+                if r.events.contains(bit) {
+                    *counter += 1;
+                }
+            }
+        }
+        if let Some(l) = &r.latencies {
+            self.latency_sums.add(l);
+            self.latency_samples += 1;
+        }
+        if let Some(p) = r.timestamps.in_progress_latency() {
+            self.in_progress_sum += p;
+        }
+        if let Some(m) = r.mem_latency {
+            self.mem_latency_sum += m;
+            self.mem_latency_samples += 1;
+        }
+    }
+}
+
+/// A database of single-instruction samples: one [`PcProfile`] per static
+/// instruction, aggregated incrementally so storage stays compact no
+/// matter how long the profiled run is.
+///
+/// # Example
+///
+/// ```no_run
+/// use profileme_core::{run_single, ProfileMeConfig};
+/// use profileme_uarch::PipelineConfig;
+/// # fn demo(program: profileme_isa::Program) -> Result<(), Box<dyn std::error::Error>> {
+/// let run = run_single(program, None, PipelineConfig::default(),
+///                      ProfileMeConfig::default(), u64::MAX)?;
+/// for (pc, prof) in run.db.iter() {
+///     println!("{pc}: ~{} retires", run.db.estimated_retires(pc).value());
+///     let _ = prof;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileDatabase {
+    base: Pc,
+    per_pc: Vec<PcProfile>,
+    /// Mean sampling interval S (fetched instructions per sample).
+    interval: u64,
+    /// Samples delivered without an instruction (empty selected slots).
+    pub invalid_samples: u64,
+    /// Total valid samples aggregated.
+    pub total_samples: u64,
+}
+
+impl ProfileDatabase {
+    /// Creates an empty database for `program`, recording estimates at
+    /// sampling interval `interval`.
+    pub fn new(program: &Program, interval: u64) -> ProfileDatabase {
+        ProfileDatabase {
+            base: program.base(),
+            per_pc: vec![PcProfile::default(); program.len()],
+            interval,
+            invalid_samples: 0,
+            total_samples: 0,
+        }
+    }
+
+    /// The mean sampling interval S.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    fn index_of(&self, pc: Pc) -> Option<usize> {
+        let off = pc.distance_from(self.base);
+        (0..self.per_pc.len() as i64).contains(&off).then_some(off as usize)
+    }
+
+    /// Aggregates one sample.
+    pub fn add(&mut self, sample: &Sample) {
+        match &sample.record {
+            None => self.invalid_samples += 1,
+            Some(r) => {
+                if let Some(i) = self.index_of(r.pc) {
+                    self.per_pc[i].add(sample);
+                    self.total_samples += 1;
+                }
+            }
+        }
+    }
+
+    /// The profile for `pc` (zeroed if out of image).
+    pub fn at(&self, pc: Pc) -> PcProfile {
+        self.index_of(pc).map(|i| self.per_pc[i]).unwrap_or_default()
+    }
+
+    /// Iterates `(pc, profile)` for PCs with at least one sample.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &PcProfile)> + '_ {
+        self.per_pc
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.samples > 0)
+            .map(|(i, p)| (self.base.advance(i as u64), p))
+    }
+
+    /// Estimated number of retirements of the instruction at `pc`.
+    pub fn estimated_retires(&self, pc: Pc) -> Estimate {
+        Estimate { samples: self.at(pc).retired, interval: self.interval }
+    }
+
+    /// Estimated number of D-cache misses of the instruction at `pc`.
+    pub fn estimated_dcache_misses(&self, pc: Pc) -> Estimate {
+        Estimate { samples: self.at(pc).dcache_misses, interval: self.interval }
+    }
+
+    /// Estimated fetch count (retired + aborted samples).
+    pub fn estimated_fetches(&self, pc: Pc) -> Estimate {
+        Estimate { samples: self.at(pc).samples, interval: self.interval }
+    }
+
+    /// Sample-estimated abort *rate* for `pc` (aborted / samples), or
+    /// `None` without samples.
+    pub fn abort_rate(&self, pc: Pc) -> Option<f64> {
+        let p = self.at(pc);
+        (p.samples > 0).then(|| p.aborted as f64 / p.samples as f64)
+    }
+}
+
+/// Aggregated paired-sample state for one static instruction I: exactly
+/// the compact sums §5.2.3 prescribes (U_I^F, U_I^B, L_I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcPairProfile {
+    /// Samples of I (counting both positions in every pair).
+    pub samples: u64,
+    /// U_I^F: pairs ⟨I, J⟩ where J usefully overlaps I.
+    pub useful_forward: u64,
+    /// U_I^B: pairs ⟨J, I⟩ where J usefully overlaps I.
+    pub useful_backward: u64,
+    /// L_I: sum of fetch→retire-ready latencies over all samples of I.
+    pub latency_sum: u64,
+}
+
+/// A database of paired samples with incremental aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairProfileDatabase {
+    base: Pc,
+    per_pc: Vec<PcPairProfile>,
+    /// Mean major interval S (fetched instructions per pair).
+    interval: u64,
+    /// Window W from which the minor interval is drawn.
+    window: u64,
+    /// Pairs aggregated (complete pairs only).
+    pub total_pairs: u64,
+    /// Pairs discarded because a half was an empty selection.
+    pub incomplete_pairs: u64,
+}
+
+impl PairProfileDatabase {
+    /// Creates an empty paired database.
+    pub fn new(program: &Program, interval: u64, window: u64) -> PairProfileDatabase {
+        PairProfileDatabase {
+            base: program.base(),
+            per_pc: vec![PcPairProfile::default(); program.len()],
+            interval,
+            window,
+            total_pairs: 0,
+            incomplete_pairs: 0,
+        }
+    }
+
+    /// The mean major interval S.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The window W.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn index_of(&self, pc: Pc) -> Option<usize> {
+        let off = pc.distance_from(self.base);
+        (0..self.per_pc.len() as i64).contains(&off).then_some(off as usize)
+    }
+
+    /// Aggregates one paired sample using the default *useful overlap*
+    /// definition (§5.2.3).
+    pub fn add(&mut self, pair: &PairedSample) {
+        self.add_with(pair, OverlapKind::UsefulIssue)
+    }
+
+    /// Aggregates one paired sample under a chosen overlap definition.
+    pub fn add_with(&mut self, pair: &PairedSample, overlap: OverlapKind) {
+        let (Some(first), Some(second)) = (&pair.first.record, &pair.second.record) else {
+            self.incomplete_pairs += 1;
+            return;
+        };
+        self.total_pairs += 1;
+        // Each pair is considered twice (§5.2.2): once per member.
+        if let Some(i) = self.index_of(first.pc) {
+            let p = &mut self.per_pc[i];
+            p.samples += 1;
+            if let Some(l) = first.timestamps.in_progress_latency() {
+                p.latency_sum += l;
+            }
+            if useful_overlap(overlap, first, second) {
+                p.useful_forward += 1;
+            }
+        }
+        if let Some(i) = self.index_of(second.pc) {
+            let p = &mut self.per_pc[i];
+            p.samples += 1;
+            if let Some(l) = second.timestamps.in_progress_latency() {
+                p.latency_sum += l;
+            }
+            if useful_overlap(overlap, second, first) {
+                p.useful_backward += 1;
+            }
+        }
+    }
+
+    /// The aggregated state for `pc`.
+    pub fn at(&self, pc: Pc) -> PcPairProfile {
+        self.index_of(pc).map(|i| self.per_pc[i]).unwrap_or_default()
+    }
+
+    /// Iterates `(pc, profile)` for PCs with at least one sample.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &PcPairProfile)> + '_ {
+        self.per_pc
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.samples > 0)
+            .map(|(i, p)| (self.base.advance(i as u64), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_cfg::BranchHistory;
+    use profileme_isa::ProgramBuilder;
+    use profileme_uarch::{CompletedSample, TagId, Timestamps};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.nop();
+        b.nop();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn record(pc: Pc, retired: bool, events: EventSet) -> CompletedSample {
+        CompletedSample {
+            tag: TagId(0),
+            seq: 0,
+            pc,
+            context: 1,
+            class: profileme_isa::OpClass::Nop,
+            events,
+            retired,
+            eff_addr: None,
+            taken: None,
+            history: BranchHistory::new(),
+            timestamps: Timestamps {
+                fetched: 10,
+                retire_ready: Some(25),
+                ..Timestamps::default()
+            },
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    #[test]
+    fn aggregation_and_estimates() {
+        let p = program();
+        let mut db = ProfileDatabase::new(&p, 100);
+        let pc = p.entry();
+        let mut miss = EventSet::new();
+        miss.set(EventSet::DCACHE_MISS);
+        for _ in 0..3 {
+            db.add(&Sample { record: Some(record(pc, true, miss)), selected_cycle: 0 });
+        }
+        db.add(&Sample { record: Some(record(pc, false, EventSet::new())), selected_cycle: 0 });
+        db.add(&Sample { record: None, selected_cycle: 0 });
+        let prof = db.at(pc);
+        assert_eq!(prof.samples, 4);
+        assert_eq!(prof.retired, 3);
+        assert_eq!(prof.aborted, 1);
+        assert_eq!(prof.dcache_misses, 3);
+        assert_eq!(prof.in_progress_sum, 4 * 15);
+        assert_eq!(db.invalid_samples, 1);
+        assert_eq!(db.estimated_retires(pc).value(), 300.0);
+        assert_eq!(db.estimated_dcache_misses(pc).value(), 300.0);
+        assert_eq!(db.abort_rate(pc), Some(0.25));
+        assert_eq!(db.iter().count(), 1);
+    }
+
+    #[test]
+    fn out_of_image_samples_are_ignored() {
+        let p = program();
+        let mut db = ProfileDatabase::new(&p, 10);
+        db.add(&Sample {
+            record: Some(record(Pc::new(0x4), true, EventSet::new())),
+            selected_cycle: 0,
+        });
+        assert_eq!(db.total_samples, 0);
+    }
+
+    #[test]
+    fn paired_aggregation_counts_both_positions() {
+        let p = program();
+        let mut db = PairProfileDatabase::new(&p, 1000, 8);
+        let a = p.entry();
+        let b = p.entry().advance(1);
+        // J (second) issues inside I's window and retires: useful forward
+        // overlap for I, and I does not overlap J's window usefully
+        // (I has no issue timestamp here).
+        let mut i_rec = record(a, true, EventSet::new());
+        i_rec.timestamps =
+            Timestamps { fetched: 0, retire_ready: Some(30), ..Timestamps::default() };
+        let mut j_rec = record(b, true, EventSet::new());
+        j_rec.timestamps = Timestamps {
+            fetched: 5,
+            issued: Some(10),
+            retire_ready: Some(12),
+            ..Timestamps::default()
+        };
+        let pair = PairedSample {
+            first: Sample { record: Some(i_rec), selected_cycle: 0 },
+            second: Sample { record: Some(j_rec), selected_cycle: 5 },
+            distance_instructions: 5,
+            distance_cycles: 5,
+        };
+        db.add(&pair);
+        assert_eq!(db.total_pairs, 1);
+        let pa = db.at(a);
+        assert_eq!(pa.samples, 1);
+        assert_eq!(pa.useful_forward, 1);
+        assert_eq!(pa.latency_sum, 30);
+        let pb = db.at(b);
+        assert_eq!(pb.samples, 1);
+        assert_eq!(pb.useful_backward, 0, "I never issued, so it cannot usefully overlap J");
+        assert_eq!(pb.latency_sum, 7);
+    }
+
+    #[test]
+    fn incomplete_pairs_are_counted_not_aggregated() {
+        let p = program();
+        let mut db = PairProfileDatabase::new(&p, 1000, 8);
+        let pair = PairedSample {
+            first: Sample { record: None, selected_cycle: 0 },
+            second: Sample { record: None, selected_cycle: 0 },
+            distance_instructions: 1,
+            distance_cycles: 0,
+        };
+        db.add(&pair);
+        assert_eq!(db.total_pairs, 0);
+        assert_eq!(db.incomplete_pairs, 1);
+    }
+}

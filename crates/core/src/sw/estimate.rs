@@ -1,0 +1,128 @@
+//! Statistical estimators for sampled counts (§5.1).
+//!
+//! With one sample every S fetched instructions, `k` samples observed
+//! with property P estimate the true count of fetches with P as `kS`.
+//! The estimator is unbiased, and its coefficient of variation is
+//! approximately `1/√E[k]`, so relative error falls with the square root
+//! of the number of matching samples — the envelope drawn in Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+/// A sampled estimate of an event count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Number of samples with the property (k).
+    pub samples: u64,
+    /// Mean sampling interval (S).
+    pub interval: u64,
+}
+
+impl Estimate {
+    /// The point estimate `kS`.
+    pub fn value(&self) -> f64 {
+        (self.samples * self.interval) as f64
+    }
+
+    /// Approximate coefficient of variation `1/√k` (undefined for zero
+    /// samples; returns infinity).
+    pub fn cov(&self) -> f64 {
+        if self.samples == 0 {
+            f64::INFINITY
+        } else {
+            1.0 / (self.samples as f64).sqrt()
+        }
+    }
+
+    /// A symmetric confidence interval `kS ± z·√k·S`, clamped at zero.
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * (self.samples as f64).sqrt() * self.interval as f64;
+        ((self.value() - half).max(0.0), self.value() + half)
+    }
+}
+
+/// The point estimate `kS` as a free function.
+pub fn estimate_total(samples: u64, interval: u64) -> f64 {
+    Estimate { samples, interval }.value()
+}
+
+/// The expected coefficient of variation `1/√k` for a given expected
+/// sample count.
+pub fn expected_cov(expected_samples: f64) -> f64 {
+    if expected_samples <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / expected_samples.sqrt()
+    }
+}
+
+/// Confidence interval as a free function.
+pub fn confidence_interval(samples: u64, interval: u64, z: f64) -> (f64, f64) {
+    Estimate { samples, interval }.confidence_interval(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_is_ks() {
+        assert_eq!(estimate_total(25, 1000), 25_000.0);
+        assert_eq!(estimate_total(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn cov_falls_with_sqrt_samples() {
+        let e4 = Estimate { samples: 4, interval: 10 };
+        let e100 = Estimate { samples: 100, interval: 10 };
+        assert!((e4.cov() - 0.5).abs() < 1e-12);
+        assert!((e100.cov() - 0.1).abs() < 1e-12);
+        assert!(Estimate { samples: 0, interval: 10 }.cov().is_infinite());
+    }
+
+    #[test]
+    fn interval_is_symmetric_and_clamped() {
+        let e = Estimate { samples: 4, interval: 10 };
+        let (lo, hi) = e.confidence_interval(1.0);
+        assert_eq!(lo, 20.0);
+        assert_eq!(hi, 60.0);
+        let tiny = Estimate { samples: 1, interval: 10 };
+        let (lo, _) = tiny.confidence_interval(3.0);
+        assert_eq!(lo, 0.0);
+    }
+
+    /// Monte-Carlo check that the estimator is unbiased and that the
+    /// empirical CoV tracks 1/√E[k].
+    #[test]
+    fn estimator_is_unbiased_in_simulation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n: u64 = 100_000; // fetched instructions
+        let f = 0.02; // fraction with the property
+        let s: u64 = 100; // sampling interval
+        let trials = 300;
+        let mut estimates = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            // Bernoulli sampling of instructions (rate 1/S), counting those
+            // with the property.
+            let mut k = 0u64;
+            for _ in 0..n {
+                if rng.gen::<f64>() < 1.0 / s as f64 && rng.gen::<f64>() < f {
+                    k += 1;
+                }
+            }
+            estimates.push(estimate_total(k, s));
+        }
+        let truth = f * n as f64; // 2000
+        let mean = estimates.iter().sum::<f64>() / trials as f64;
+        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
+        let var =
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        let cov = var.sqrt() / mean;
+        let predicted = expected_cov(truth / s as f64); // 1/sqrt(20)
+        assert!(
+            (cov - predicted).abs() / predicted < 0.35,
+            "cov {cov:.3} vs predicted {predicted:.3}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! The ProfileMe profiling software (§5): interrupt drivers, the profile
+//! database with incremental aggregation, statistical estimators,
+//! concurrency analyses over paired samples, and path profiling.
+
+mod concurrency;
+mod database;
+mod driver;
+mod estimate;
+mod pathprof;
+mod report;
+
+pub use concurrency::{
+    estimate_pair_metric, instructions_retired_around, neighborhood_ipc, pipeline_population,
+    useful_overlap, wasted_issue_slots, OverlapKind, PairMetric, StagePopulation, WastedSlots,
+};
+pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabase};
+pub use driver::{run_nway, run_paired, run_single, PairedRun, SingleRun};
+pub use estimate::{confidence_interval, estimate_total, expected_cov, Estimate};
+pub use pathprof::{PathProfiler, PathScheme, ReconstructionOutcome};
+pub use report::{procedure_summaries, ProcedureSummary};

@@ -1,0 +1,199 @@
+//! Path profiling (§5.3): the three reconstruction schemes of Figure 6,
+//! driven by the Profiled Path Register (the global-branch-history
+//! snapshot ProfileMe captures with every sample).
+
+use profileme_cfg::{BranchHistory, Cfg, EdgeProfile, Path, Reconstructor, Scope};
+use profileme_isa::{Pc, Program};
+use serde::{Deserialize, Serialize};
+
+/// The path-construction schemes compared in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathScheme {
+    /// Ignore the history; pick the most frequent predecessor at each
+    /// merge (what trace-scheduling compilers do with edge profiles).
+    ExecutionCounts,
+    /// Enumerate the backward paths consistent with the global branch
+    /// history bits.
+    HistoryBits,
+    /// As `HistoryBits`, additionally discarding paths that do not
+    /// contain the PC of the other instruction in a paired sample.
+    HistoryBitsPaired,
+}
+
+impl PathScheme {
+    /// All schemes, in the order Figure 6 plots them.
+    pub const ALL: [PathScheme; 3] =
+        [PathScheme::ExecutionCounts, PathScheme::HistoryBits, PathScheme::HistoryBitsPaired];
+}
+
+impl std::fmt::Display for PathScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PathScheme::ExecutionCounts => "execution counts",
+            PathScheme::HistoryBits => "history bits",
+            PathScheme::HistoryBitsPaired => "history bits + paired sampling",
+        })
+    }
+}
+
+/// What a reconstruction attempt produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructionOutcome {
+    /// Exactly one candidate path.
+    Unique(Path),
+    /// More than one consistent path (count attached).
+    Ambiguous(usize),
+    /// No consistent path.
+    NoPath,
+}
+
+impl ReconstructionOutcome {
+    /// The paper's success criterion: exactly one path produced *and* it
+    /// matches the actual execution path.
+    pub fn is_success(&self, truth: &Path) -> bool {
+        matches!(self, ReconstructionOutcome::Unique(p) if p == truth)
+    }
+}
+
+/// Applies the Figure 6 schemes to samples.
+#[derive(Debug, Clone, Copy)]
+pub struct PathProfiler<'a> {
+    recon: Reconstructor<'a>,
+}
+
+impl<'a> PathProfiler<'a> {
+    /// Creates a profiler over a program's CFG.
+    pub fn new(cfg: &'a Cfg, program: &'a Program) -> PathProfiler<'a> {
+        PathProfiler { recon: Reconstructor::new(cfg, program) }
+    }
+
+    /// Reconstructs the path leading to `sample_pc` under `scheme`.
+    ///
+    /// * `history` / `history_len` — the Profiled Path Register contents
+    ///   and how many of its bits to use.
+    /// * `paired_pc` — the other PC of a paired sample (used only by
+    ///   [`PathScheme::HistoryBitsPaired`]).
+    /// * `profile` — edge frequencies (used only by
+    ///   [`PathScheme::ExecutionCounts`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the sample record's fields
+    pub fn reconstruct(
+        &self,
+        scheme: PathScheme,
+        sample_pc: Pc,
+        history: &BranchHistory,
+        history_len: usize,
+        paired_pc: Option<Pc>,
+        profile: &EdgeProfile,
+        scope: Scope,
+    ) -> ReconstructionOutcome {
+        match scheme {
+            PathScheme::ExecutionCounts => {
+                match self.recon.most_likely_path(sample_pc, history_len, profile, scope) {
+                    Some(p) => ReconstructionOutcome::Unique(p),
+                    None => ReconstructionOutcome::NoPath,
+                }
+            }
+            PathScheme::HistoryBits | PathScheme::HistoryBitsPaired => {
+                let pc_filter = if scheme == PathScheme::HistoryBitsPaired {
+                    paired_pc
+                } else {
+                    None
+                };
+                let mut paths = self.recon.consistent_paths(
+                    sample_pc,
+                    history,
+                    history_len,
+                    scope,
+                    pc_filter,
+                );
+                match paths.len() {
+                    0 => ReconstructionOutcome::NoPath,
+                    1 => ReconstructionOutcome::Unique(paths.pop().expect("len checked")),
+                    n => ReconstructionOutcome::Ambiguous(n),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_cfg::TraceRecorder;
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+
+    /// Loop with a data-dependent diamond: history bits disambiguate the
+    /// arms, execution counts cannot when the arms are balanced.
+    fn diamond(trips: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.load_imm(Reg::R1, trips);
+        let top = b.label("top");
+        let else_ = b.forward_label("else");
+        let join = b.forward_label("join");
+        b.and(Reg::R2, Reg::R1, 1);
+        b.cond_br(Cond::Eq0, Reg::R2, else_);
+        b.addi(Reg::R3, Reg::R3, 1);
+        b.jmp(join);
+        b.place(else_);
+        b.addi(Reg::R4, Reg::R4, 1);
+        b.place(join);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.cond_br(Cond::Ne0, Reg::R1, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn history_bits_beat_execution_counts_on_balanced_diamonds() {
+        let p = diamond(60);
+        let cfg = Cfg::build(&p);
+        let profiler = PathProfiler::new(&cfg, &p);
+        let mut rec = TraceRecorder::new(&p);
+        let mut wins = [0u32; 3]; // per scheme
+        let mut attempts = 0;
+        let mut step = 0;
+        while !rec.halted() {
+            if step % 7 == 0 && step > 20 {
+                let snap = rec.snapshot(&cfg);
+                if let Some(truth) =
+                    snap.ground_truth(&cfg, &p, 4, Scope::Interprocedural)
+                {
+                    attempts += 1;
+                    for (i, scheme) in PathScheme::ALL.iter().enumerate() {
+                        let out = profiler.reconstruct(
+                            *scheme,
+                            snap.sample_pc,
+                            &snap.history,
+                            4,
+                            snap.pc_before(3),
+                            rec.edge_profile(),
+                            Scope::Interprocedural,
+                        );
+                        if out.is_success(&truth) {
+                            wins[i] += 1;
+                        }
+                    }
+                }
+            }
+            rec.step(&p, &cfg).unwrap();
+            step += 1;
+        }
+        assert!(attempts > 10);
+        let [counts, history, paired] = wins;
+        assert!(
+            history > counts,
+            "history bits ({history}) should beat execution counts ({counts})"
+        );
+        assert!(paired >= history, "pairing never hurts: {paired} vs {history}");
+        assert_eq!(history as i32, attempts, "the diamond is fully determined by 4 bits");
+    }
+
+    #[test]
+    fn outcome_success_criterion() {
+        let truth = Path { blocks: vec![] };
+        assert!(!ReconstructionOutcome::NoPath.is_success(&truth));
+        assert!(!ReconstructionOutcome::Ambiguous(3).is_success(&truth));
+        assert!(ReconstructionOutcome::Unique(truth.clone()).is_success(&truth));
+    }
+}

@@ -1,0 +1,137 @@
+//! Aggregation to larger code units (§3): roll instruction-level
+//! profiles up to procedures, the granularity programmers start from.
+
+use crate::sw::database::{PcProfile, ProfileDatabase};
+use profileme_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// A procedure-level rollup of a [`ProfileDatabase`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcedureSummary {
+    /// The function's name.
+    pub name: String,
+    /// Instruction samples attributed to the function.
+    pub samples: u64,
+    /// Retired samples.
+    pub retired: u64,
+    /// Aborted samples.
+    pub aborted: u64,
+    /// D-cache miss samples (retired).
+    pub dcache_misses: u64,
+    /// I-cache miss samples (retired).
+    pub icache_misses: u64,
+    /// Branch mispredict samples (retired).
+    pub mispredicted: u64,
+    /// Σ fetch→retire-ready latency over samples — the function's share
+    /// of in-flight time, the headline "where did the cycles go" number.
+    pub in_progress_sum: u64,
+    /// Estimated retired instructions (samples × S).
+    pub estimated_retires: f64,
+}
+
+impl ProcedureSummary {
+    fn accumulate(&mut self, p: &PcProfile, interval: u64) {
+        self.samples += p.samples;
+        self.retired += p.retired;
+        self.aborted += p.aborted;
+        self.dcache_misses += p.dcache_misses;
+        self.icache_misses += p.icache_misses;
+        self.mispredicted += p.mispredicted;
+        self.in_progress_sum += p.in_progress_sum;
+        self.estimated_retires += (p.retired * interval) as f64;
+    }
+}
+
+/// Rolls a profile database up to per-procedure summaries, sorted by
+/// their share of in-flight time (hottest first). Samples outside any
+/// declared function are gathered under the name `"(outside functions)"`.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn demo(run: profileme_core::SingleRun, program: &profileme_isa::Program) {
+/// for proc_ in profileme_core::procedure_summaries(&run.db, program) {
+///     println!("{:<24} {:>8} samples", proc_.name, proc_.samples);
+/// }
+/// # }
+/// ```
+pub fn procedure_summaries(db: &ProfileDatabase, program: &Program) -> Vec<ProcedureSummary> {
+    let blank = |name: &str| ProcedureSummary {
+        name: name.to_string(),
+        samples: 0,
+        retired: 0,
+        aborted: 0,
+        dcache_misses: 0,
+        icache_misses: 0,
+        mispredicted: 0,
+        in_progress_sum: 0,
+        estimated_retires: 0.0,
+    };
+    let mut per_fn: Vec<ProcedureSummary> =
+        program.functions().iter().map(|f| blank(&f.name)).collect();
+    let mut outside = blank("(outside functions)");
+    for (pc, prof) in db.iter() {
+        match program
+            .function_of(pc)
+            .and_then(|f| program.functions().iter().position(|g| g.entry == f.entry))
+        {
+            Some(i) => per_fn[i].accumulate(prof, db.interval()),
+            None => outside.accumulate(prof, db.interval()),
+        }
+    }
+    if outside.samples > 0 {
+        per_fn.push(outside);
+    }
+    per_fn.retain(|s| s.samples > 0);
+    per_fn.sort_by_key(|s| std::cmp::Reverse(s.in_progress_sum));
+    per_fn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_single, ProfileMeConfig};
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+    use profileme_uarch::PipelineConfig;
+
+    #[test]
+    fn procedures_roll_up_and_rank_by_heat() {
+        // main spins briefly; `hot` burns serial divides.
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let hot = b.forward_label("hot");
+        let cold = b.forward_label("cold");
+        b.call(cold);
+        b.call(hot);
+        b.halt();
+        b.function("cold");
+        b.place(cold);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.ret();
+        b.function("hot");
+        b.place(hot);
+        b.load_imm(Reg::R9, 4_000);
+        b.load_imm(Reg::R2, 977);
+        b.load_imm(Reg::R3, 3);
+        let top = b.label("top");
+        b.fdiv(Reg::R2, Reg::R2, Reg::R3);
+        b.addi(Reg::R2, Reg::R2, 7);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.ret();
+        let p = b.build().unwrap();
+
+        let cfg = ProfileMeConfig { mean_interval: 16, buffer_depth: 8, ..Default::default() };
+        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+        let summaries = procedure_summaries(&run.db, &p);
+        assert_eq!(summaries.first().map(|s| s.name.as_str()), Some("hot"));
+        let total: u64 = summaries.iter().map(|s| s.samples).sum();
+        assert_eq!(total, run.db.total_samples);
+        let hot = &summaries[0];
+        assert!(hot.estimated_retires > 10_000.0);
+        // The sum of per-procedure aborted+retired equals samples.
+        for s in &summaries {
+            assert_eq!(s.samples, s.retired + s.aborted, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end N-way sampling: more tags recover sampling rate lost to
+//! tag dead time, and the estimates stay unbiased at every width.
+
+use profileme_core::{run_nway, run_single, NWayConfig, ProfileMeConfig};
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::PipelineConfig;
+
+/// A pointer-ish loop with a long-latency body so sampled instructions
+/// stay in flight a while (maximizing single-tag dead time).
+fn slow_loop(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, trips);
+    b.load_imm(Reg::R1, 977);
+    b.load_imm(Reg::R2, 3);
+    let top = b.label("top");
+    b.fdiv(Reg::R1, Reg::R1, Reg::R2);
+    b.addi(Reg::R1, Reg::R1, 5);
+    b.addi(Reg::R3, Reg::R3, 1);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn more_ways_recover_sampling_rate() {
+    let p = slow_loop(30_000);
+    let nominal = 8u64;
+    let mut achieved = Vec::new();
+    for ways in [1usize, 4] {
+        let cfg = NWayConfig {
+            ways,
+            mean_interval: nominal,
+            buffer_depth: 32,
+            ..NWayConfig::default()
+        };
+        let run = run_nway(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+        achieved.push(run.samples.len() as f64 / run.stats.fetched as f64);
+    }
+    assert!(
+        achieved[1] > 1.5 * achieved[0],
+        "4 ways should sample much faster: {achieved:?}"
+    );
+}
+
+#[test]
+fn nway_estimates_remain_unbiased() {
+    let p = slow_loop(30_000);
+    let cfg = NWayConfig { ways: 4, mean_interval: 16, buffer_depth: 32, ..NWayConfig::default() };
+    let run = run_nway(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    // Every loop-body instruction retired the same number of times.
+    for (pc, prof) in run.db.iter() {
+        if prof.retired < 100 {
+            continue;
+        }
+        let actual = run.stats.at(&p, pc).unwrap().retired as f64;
+        let ratio = run.db.estimated_retires(pc).value() / actual;
+        let sigma = 1.0 / (prof.retired as f64).sqrt();
+        assert!(
+            (ratio - 1.0).abs() < 5.0 * sigma + 0.05,
+            "pc {pc}: ratio {ratio:.3} with {} samples",
+            prof.retired
+        );
+    }
+}
+
+#[test]
+fn one_way_nway_equals_single_hardware_statistically() {
+    let p = slow_loop(20_000);
+    let single = run_single(
+        p.clone(),
+        None,
+        PipelineConfig::default(),
+        ProfileMeConfig { mean_interval: 32, buffer_depth: 8, ..Default::default() },
+        u64::MAX,
+    )
+    .unwrap();
+    let nway = run_nway(
+        p,
+        None,
+        PipelineConfig::default(),
+        NWayConfig { ways: 1, mean_interval: 32, buffer_depth: 8, ..Default::default() },
+        u64::MAX,
+    )
+    .unwrap();
+    // Both drop on a busy tag, so the achieved rates agree closely and
+    // the per-instruction sample *fractions* agree statistically.
+    let r1 = single.samples.len() as f64;
+    let r2 = nway.samples.len() as f64;
+    assert!((r1 / r2 - 1.0).abs() < 0.25, "rates should match: {r1} vs {r2}");
+    for (pc, prof) in single.db.iter() {
+        if prof.samples < 200 {
+            continue;
+        }
+        let f1 = prof.samples as f64 / single.db.total_samples as f64;
+        let f2 = nway.db.at(pc).samples as f64 / nway.db.total_samples.max(1) as f64;
+        assert!(
+            (f1 - f2).abs() < 0.25 * f1,
+            "sample shares diverge at {pc}: {f1:.4} vs {f2:.4}"
+        );
+    }
+}

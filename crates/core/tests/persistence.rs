@@ -1,0 +1,88 @@
+//! Profile persistence: DCPI-style profiling systems log samples and
+//! databases to disk; every software-visible record here must round-trip
+//! through serde losslessly.
+
+use profileme_core::{run_paired, run_single, PairedConfig, ProfileMeConfig};
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::PipelineConfig;
+
+fn small_workload() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 3_000);
+    b.load_imm(Reg::R12, 0x40_0000);
+    let top = b.label("top");
+    b.load(Reg::R1, Reg::R12, 0);
+    b.addi(Reg::R12, Reg::R12, 256);
+    b.and(Reg::R2, Reg::R1, 1);
+    let skip = b.forward_label("skip");
+    b.cond_br(Cond::Ne0, Reg::R2, skip);
+    b.add(Reg::R3, Reg::R3, Reg::R1);
+    b.place(skip);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn single_run_artifacts_round_trip() {
+    let p = small_workload();
+    let cfg = ProfileMeConfig { mean_interval: 64, buffer_depth: 4, ..Default::default() };
+    let run = run_single(p, None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    assert!(!run.samples.is_empty());
+
+    // Raw samples (the interrupt handler's log records).
+    let json = serde_json::to_string(&run.samples).expect("samples serialize");
+    let back: Vec<profileme_core::Sample> =
+        serde_json::from_str(&json).expect("samples deserialize");
+    assert_eq!(back, run.samples);
+
+    // The aggregated database (the on-disk profile).
+    let json = serde_json::to_string(&run.db).expect("database serializes");
+    let back: profileme_core::ProfileDatabase =
+        serde_json::from_str(&json).expect("database deserializes");
+    assert_eq!(back, run.db);
+
+    // Simulator statistics (the validation ground truth).
+    let json = serde_json::to_string(&run.stats).expect("stats serialize");
+    let back: profileme_uarch::SimStats = serde_json::from_str(&json).expect("stats deserialize");
+    assert_eq!(back, run.stats);
+}
+
+#[test]
+fn paired_run_artifacts_round_trip() {
+    let p = small_workload();
+    let cfg = PairedConfig {
+        mean_major_interval: 128,
+        window: 32,
+        buffer_depth: 2,
+        ..Default::default()
+    };
+    let run = run_paired(p, None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    assert!(!run.pairs.is_empty());
+
+    let json = serde_json::to_string(&run.pairs).expect("pairs serialize");
+    let back: Vec<profileme_core::PairedSample> =
+        serde_json::from_str(&json).expect("pairs deserialize");
+    assert_eq!(back, run.pairs);
+
+    let json = serde_json::to_string(&run.db).expect("pair database serializes");
+    let back: profileme_core::PairProfileDatabase =
+        serde_json::from_str(&json).expect("pair database deserializes");
+    assert_eq!(back, run.db);
+}
+
+/// Databases rebuilt from persisted raw samples equal the originals —
+/// aggregation is a pure function of the sample stream.
+#[test]
+fn database_is_reconstructible_from_samples() {
+    let p = small_workload();
+    let cfg = ProfileMeConfig { mean_interval: 64, buffer_depth: 4, ..Default::default() };
+    let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    let mut rebuilt = profileme_core::ProfileDatabase::new(&p, run.db.interval());
+    for s in &run.samples {
+        rebuilt.add(s);
+    }
+    assert_eq!(rebuilt, run.db);
+}

@@ -1,0 +1,232 @@
+//! Property tests for ProfileMe: estimator algebra, overlap-definition
+//! invariants, buffer behaviour, and an end-to-end unbiasedness check of
+//! hardware sampling against simulator ground truth.
+
+use profileme_cfg::BranchHistory;
+use profileme_core::{
+    estimate_total, run_single, useful_overlap, Estimate, OverlapKind, ProfileMeConfig,
+    SampleBuffer,
+};
+use profileme_isa::{Cond, Pc, ProgramBuilder, Reg};
+use profileme_uarch::{CompletedSample, EventSet, PipelineConfig, TagId, Timestamps};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = CompletedSample> {
+    (0u64..1000, 0u64..100, 0u64..100, 0u64..100, any::<bool>()).prop_map(
+        |(fetched, d_issue, d_rr, d_ret, retired)| {
+            let issued = fetched + d_issue;
+            let rr = issued + 1 + d_rr;
+            CompletedSample {
+                tag: TagId(0),
+                seq: 0,
+                pc: Pc::new(0x1000),
+                context: 1,
+                class: profileme_isa::OpClass::IntAlu,
+                events: EventSet::new(),
+                retired,
+                eff_addr: None,
+                taken: None,
+                history: BranchHistory::new(),
+                timestamps: Timestamps {
+                    fetched,
+                    mapped: Some(fetched + 2),
+                    data_ready: Some(issued),
+                    issued: Some(issued),
+                    retire_ready: Some(rr),
+                    retired: retired.then_some(rr + d_ret),
+                },
+                latencies: None,
+                mem_latency: None,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// kS is linear in k and the CI always contains the point estimate.
+    #[test]
+    fn estimate_algebra(k in 0u64..10_000, s in 1u64..10_000, z in 0.0f64..5.0) {
+        let e = Estimate { samples: k, interval: s };
+        prop_assert_eq!(e.value(), estimate_total(k, s));
+        prop_assert_eq!(e.value(), (k * s) as f64);
+        let (lo, hi) = e.confidence_interval(z);
+        prop_assert!(lo <= e.value() && e.value() <= hi);
+        prop_assert!(lo >= 0.0);
+    }
+
+    /// BothInFlight and BothExecuting are symmetric relations.
+    #[test]
+    fn symmetric_overlaps(a in arb_sample(), b in arb_sample()) {
+        for kind in [OverlapKind::BothInFlight, OverlapKind::BothExecuting] {
+            prop_assert_eq!(useful_overlap(kind, &a, &b), useful_overlap(kind, &b, &a));
+        }
+    }
+
+    /// UsefulIssue implies BothInFlight (an instruction issuing inside
+    /// I's in-progress window is necessarily in flight with I).
+    #[test]
+    fn useful_issue_implies_in_flight(a in arb_sample(), b in arb_sample()) {
+        if useful_overlap(OverlapKind::UsefulIssue, &a, &b) {
+            prop_assert!(useful_overlap(OverlapKind::BothInFlight, &a, &b));
+        }
+    }
+
+    /// A buffer of depth d reports full exactly on the d-th push and
+    /// drains in FIFO order.
+    #[test]
+    fn buffer_fifo(depth in 1usize..20, n in 1usize..20) {
+        let n = n.min(depth);
+        let mut buf = SampleBuffer::new(depth);
+        for i in 0..n {
+            let full = buf.push(i);
+            prop_assert_eq!(full, i + 1 == depth);
+        }
+        prop_assert_eq!(buf.drain(), (0..n).collect::<Vec<_>>());
+        prop_assert!(buf.is_empty());
+    }
+}
+
+/// Drives [`PairedHardware`] with an arbitrary interleaving of fetch
+/// opportunities and out-of-order completions, checking its structural
+/// invariants: at most two outstanding tags, tags in {0, 1}, every
+/// delivered pair complete with a minor distance inside the window and a
+/// cycle distance matching the fetch timestamps.
+mod paired_hw {
+    use super::*;
+    use profileme_core::{PairedConfig, PairedHardware};
+    use profileme_uarch::{FetchOpportunity, ProfilingHardware, TagDecision};
+
+    fn opp(cycle: u64) -> FetchOpportunity {
+        FetchOpportunity {
+            cycle,
+            slot: 0,
+            pc: Some(Pc::new(0x1000)),
+            inst: Some(profileme_isa::Inst::nop()),
+            on_predicted_path: true,
+            seq: Some(cycle),
+        }
+    }
+
+    fn completed(tag: TagId, fetched: u64) -> CompletedSample {
+        CompletedSample {
+            tag,
+            seq: fetched,
+            pc: Pc::new(0x1000),
+            context: 1,
+            class: profileme_isa::OpClass::Nop,
+            events: EventSet::new(),
+            retired: true,
+            eff_addr: None,
+            taken: None,
+            history: BranchHistory::new(),
+            timestamps: Timestamps { fetched, ..Timestamps::default() },
+            latencies: None,
+            mem_latency: None,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn paired_hardware_invariants(
+            major in 1u64..8,
+            window in 1u64..16,
+            // Each step: true = complete the oldest outstanding tag (if
+            // any), false = present the next fetch opportunity.
+            script in prop::collection::vec(any::<bool>(), 1..400),
+        ) {
+            let mut hw = PairedHardware::new(PairedConfig {
+                mean_major_interval: major,
+                window,
+                randomize: true,
+                buffer_depth: 2,
+                ..PairedConfig::default()
+            });
+            let mut cycle = 0u64;
+            let mut outstanding: Vec<(TagId, u64)> = Vec::new();
+            let mut delivered = 0usize;
+            for step in script {
+                if step {
+                    if !outstanding.is_empty() {
+                        let (tag, fetched) = outstanding.remove(0);
+                        hw.on_tagged_complete(&completed(tag, fetched));
+                    }
+                } else {
+                    cycle += 1;
+                    if let TagDecision::Tag(t) = hw.on_fetch_opportunity(&opp(cycle)) {
+                        prop_assert!(t.0 <= 1, "tags are one bit-pair: {t:?}");
+                        prop_assert!(
+                            outstanding.iter().all(|(o, _)| *o != t),
+                            "tag {t:?} reused while outstanding"
+                        );
+                        outstanding.push((t, cycle));
+                        prop_assert!(outstanding.len() <= 2, "at most one pair in flight");
+                    }
+                }
+                if hw.take_interrupt().is_some() {
+                    for pair in hw.drain_pairs() {
+                        delivered += 1;
+                        prop_assert!(pair.is_complete());
+                        prop_assert!((1..=window).contains(&pair.distance_instructions));
+                        let (a, b) = (
+                            pair.first.record.as_ref().expect("complete"),
+                            pair.second.record.as_ref().expect("complete"),
+                        );
+                        prop_assert_eq!(
+                            b.timestamps.fetched - a.timestamps.fetched,
+                            pair.distance_cycles
+                        );
+                    }
+                }
+            }
+            // Nothing is lost: outstanding + delivered + still-buffered
+            // accounts for every selection that tagged something.
+            let buffered = hw.drain_pairs().len();
+            prop_assert!(delivered + buffered <= hw.pairs_selected() as usize + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End to end: sampled fetch estimates track the simulator's exact
+    /// per-PC fetch counts within a few standard errors, across random
+    /// intervals and buffer depths.
+    #[test]
+    fn sampling_is_unbiased_end_to_end(
+        interval in 20u64..120,
+        depth in 1usize..8,
+        trips in 4_000i64..8_000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R9, trips);
+        let top = b.label("top");
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = ProfileMeConfig {
+            mean_interval: interval,
+            buffer_depth: depth,
+            ..ProfileMeConfig::default()
+        };
+        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX)
+            .unwrap();
+        // Sum of per-PC fetch estimates ~ total fetched.
+        let est_total: f64 = p
+            .iter()
+            .map(|(pc, _)| run.db.estimated_fetches(pc).value())
+            .sum();
+        let actual = run.stats.fetched as f64;
+        let k = run.db.total_samples as f64;
+        prop_assert!(k > 20.0, "too few samples ({k}) to test");
+        let sigma = actual / k.sqrt();
+        prop_assert!(
+            (est_total - actual).abs() < 4.0 * sigma,
+            "estimated {est_total} vs actual {actual} (sigma {sigma:.0})"
+        );
+    }
+}

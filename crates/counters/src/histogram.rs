@@ -1,0 +1,147 @@
+//! Histograms of attributed PCs — the raw material of Figure 2.
+
+use profileme_isa::Pc;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A histogram over program counters, used to study where event-counter
+/// interrupts attribute events.
+///
+/// # Example
+///
+/// ```
+/// use profileme_counters::PcHistogram;
+/// use profileme_isa::Pc;
+/// let mut h = PcHistogram::new();
+/// h.record(Pc::new(0x100));
+/// h.record(Pc::new(0x100));
+/// h.record(Pc::new(0x104));
+/// assert_eq!(h.count(Pc::new(0x100)), 2);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.mode(), Some((Pc::new(0x100), 2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcHistogram {
+    counts: BTreeMap<Pc, u64>,
+    total: u64,
+}
+
+impl PcHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> PcHistogram {
+        PcHistogram::default()
+    }
+
+    /// Records one attribution to `pc`.
+    pub fn record(&mut self, pc: Pc) {
+        *self.counts.entry(pc).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count recorded at `pc`.
+    pub fn count(&self, pc: Pc) -> u64 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Total recorded attributions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates `(pc, count)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, u64)> + '_ {
+        self.counts.iter().map(|(&pc, &n)| (pc, n))
+    }
+
+    /// The most frequent PC and its count.
+    pub fn mode(&self) -> Option<(Pc, u64)> {
+        self.counts.iter().max_by_key(|(_, &n)| n).map(|(&pc, &n)| (pc, n))
+    }
+
+    /// Fraction of all attributions landing on the mode PC — near 1.0 for
+    /// the sharp in-order peak of Figure 2, small for the OoO smear.
+    pub fn mode_fraction(&self) -> f64 {
+        match (self.mode(), self.total) {
+            (Some((_, n)), t) if t > 0 => n as f64 / t as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of distinct PCs needed to cover `fraction` of the mass
+    /// (taking PCs most-frequent first) — the "spread" of the
+    /// distribution. Returns 0 for an empty histogram.
+    pub fn spread(&self, fraction: f64) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let target = (self.total as f64 * fraction).ceil() as u64;
+        let mut acc = 0;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+
+    /// Re-keys the histogram as signed instruction offsets from `base`.
+    pub fn offsets_from(&self, base: Pc) -> BTreeMap<i64, u64> {
+        self.counts.iter().map(|(&pc, &n)| (pc - base, n)).collect()
+    }
+}
+
+impl Extend<Pc> for PcHistogram {
+    fn extend<I: IntoIterator<Item = Pc>>(&mut self, iter: I) {
+        for pc in iter {
+            self.record(pc);
+        }
+    }
+}
+
+impl FromIterator<Pc> for PcHistogram {
+    fn from_iter<I: IntoIterator<Item = Pc>>(iter: I) -> PcHistogram {
+        let mut h = PcHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_measures_concentration() {
+        // 90 at one pc, 10 spread over 10 pcs.
+        let mut h = PcHistogram::new();
+        for _ in 0..90 {
+            h.record(Pc::new(0x100));
+        }
+        for i in 0..10u64 {
+            h.record(Pc::new(0x200 + i * 4));
+        }
+        assert_eq!(h.spread(0.9), 1);
+        assert_eq!(h.spread(1.0), 11);
+        assert!((h.mode_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offsets_are_signed_instruction_distances() {
+        let h: PcHistogram = [Pc::new(0xfc), Pc::new(0x104), Pc::new(0x104)].into_iter().collect();
+        let off = h.offsets_from(Pc::new(0x100));
+        assert_eq!(off.get(&-1), Some(&1));
+        assert_eq!(off.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = PcHistogram::new();
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.mode_fraction(), 0.0);
+        assert_eq!(h.spread(0.9), 0);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Time-multiplexed event counters.
+//!
+//! §2.2: "there are typically many more events of interest than there are
+//! hardware counters, making it impossible to concurrently monitor all
+//! interesting events." The standard workaround — rotating which events
+//! the few physical counters watch, then scaling each count by the
+//! inverse of its duty cycle — assumes the program is stationary. On
+//! phased programs the extrapolation is biased, and per-instruction
+//! event *correlation* is lost entirely (ProfileMe's per-sample event
+//! register keeps it).
+
+use profileme_uarch::{HwEvent, HwEventKind, ProfilingHardware};
+use serde::{Deserialize, Serialize};
+
+/// A per-kind multiplexed estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MuxEstimate {
+    /// Events counted while the kind's group was resident.
+    pub counted: u64,
+    /// Cycles the kind's group was resident.
+    pub resident_cycles: u64,
+    /// Total cycles observed.
+    pub total_cycles: u64,
+}
+
+impl MuxEstimate {
+    /// The duty-cycle-scaled estimate of the true event total.
+    pub fn extrapolated(&self) -> f64 {
+        if self.resident_cycles == 0 {
+            0.0
+        } else {
+            self.counted as f64 * self.total_cycles as f64 / self.resident_cycles as f64
+        }
+    }
+}
+
+/// `K` physical counters shared among more event kinds by rotating
+/// resident *groups* of kinds every `rotation_cycles`.
+#[derive(Debug, Clone)]
+pub struct MultiplexedCounters {
+    /// Event kinds, in groups of at most `physical` monitored together.
+    kinds: Vec<HwEventKind>,
+    physical: usize,
+    rotation_cycles: u64,
+    active_group: usize,
+    groups: usize,
+    counted: Vec<u64>,
+    resident: Vec<u64>,
+    total_cycles: u64,
+}
+
+impl MultiplexedCounters {
+    /// Creates a multiplexer for `kinds` with `physical` hardware
+    /// counters, rotating every `rotation_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical` or `rotation_cycles` is zero, or `kinds` is
+    /// empty.
+    pub fn new(
+        kinds: Vec<HwEventKind>,
+        physical: usize,
+        rotation_cycles: u64,
+    ) -> MultiplexedCounters {
+        assert!(physical > 0, "need at least one hardware counter");
+        assert!(rotation_cycles > 0, "rotation period must be positive");
+        assert!(!kinds.is_empty(), "need events to monitor");
+        let n = kinds.len();
+        MultiplexedCounters {
+            physical,
+            rotation_cycles,
+            active_group: 0,
+            groups: n.div_ceil(physical),
+            counted: vec![0; n],
+            resident: vec![0; n],
+            total_cycles: 0,
+            kinds,
+        }
+    }
+
+    fn group_of(&self, idx: usize) -> usize {
+        idx / self.physical
+    }
+
+    /// The estimate for `kind`, or `None` if it was not configured.
+    pub fn estimate(&self, kind: HwEventKind) -> Option<MuxEstimate> {
+        let idx = self.kinds.iter().position(|&k| k == kind)?;
+        Some(MuxEstimate {
+            counted: self.counted[idx],
+            resident_cycles: self.resident[idx],
+            total_cycles: self.total_cycles,
+        })
+    }
+
+    /// Number of rotation groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl ProfilingHardware for MultiplexedCounters {
+    fn on_cycle(&mut self, cycle: u64) {
+        self.total_cycles += 1;
+        self.active_group = ((cycle / self.rotation_cycles) as usize) % self.groups;
+        for (idx, r) in self.resident.iter_mut().enumerate() {
+            if idx / self.physical == self.active_group {
+                *r += 1;
+            }
+        }
+    }
+
+    fn on_event(&mut self, event: HwEvent) {
+        for (idx, &kind) in self.kinds.iter().enumerate() {
+            if kind == event.kind && self.group_of(idx) == self.active_group {
+                self.counted[idx] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::Pc;
+
+    fn event(kind: HwEventKind, cycle: u64) -> HwEvent {
+        HwEvent { kind, cycle, pc: Pc::new(0x1000) }
+    }
+
+    #[test]
+    fn stationary_streams_extrapolate_correctly() {
+        // Two kinds, one counter: each resident half the time. A steady
+        // stream of both extrapolates to the true totals.
+        let mut m = MultiplexedCounters::new(
+            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
+            1,
+            10,
+        );
+        for c in 0..1_000 {
+            m.on_cycle(c);
+            m.on_event(event(HwEventKind::Retire, c));
+            if c % 2 == 0 {
+                m.on_event(event(HwEventKind::DCacheMiss, c));
+            }
+        }
+        let r = m.estimate(HwEventKind::Retire).unwrap();
+        assert_eq!(r.resident_cycles, 500);
+        assert!((r.extrapolated() - 1_000.0).abs() < 30.0, "{}", r.extrapolated());
+        let d = m.estimate(HwEventKind::DCacheMiss).unwrap();
+        assert!((d.extrapolated() - 500.0).abs() < 30.0, "{}", d.extrapolated());
+    }
+
+    #[test]
+    fn phased_streams_bias_the_extrapolation() {
+        // One kind fires only in the first half of the run; with a
+        // rotation period equal to the phase length, the counter can be
+        // resident for exactly the wrong half.
+        let mut m = MultiplexedCounters::new(
+            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
+            1,
+            500,
+        );
+        for c in 0..1_000 {
+            m.on_cycle(c);
+            if c < 500 {
+                m.on_event(event(HwEventKind::DCacheMiss, c));
+            }
+        }
+        // DCacheMiss's group (group 1) was resident cycles 500..1000 —
+        // after the misses stopped. The extrapolation says zero misses.
+        let d = m.estimate(HwEventKind::DCacheMiss).unwrap();
+        assert_eq!(d.counted, 0);
+        assert_eq!(d.extrapolated(), 0.0);
+    }
+
+    #[test]
+    fn enough_counters_need_no_extrapolation() {
+        let mut m = MultiplexedCounters::new(
+            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
+            2,
+            10,
+        );
+        assert_eq!(m.groups(), 1);
+        for c in 0..100 {
+            m.on_cycle(c);
+            m.on_event(event(HwEventKind::Retire, c));
+        }
+        let r = m.estimate(HwEventKind::Retire).unwrap();
+        assert_eq!(r.counted, 100);
+        assert_eq!(r.extrapolated(), 100.0);
+    }
+}

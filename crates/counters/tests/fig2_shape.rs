@@ -1,0 +1,80 @@
+//! The Figure 2 contrast, as a test: event-counter interrupts on an
+//! in-order machine attribute a D-cache event to a narrow band of PCs at a
+//! fixed displacement; on an out-of-order machine the attributions smear
+//! over many PCs.
+
+use profileme_counters::{CounterHardware, PcHistogram};
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+
+/// The paper's microbenchmark: a loop with a single (cache-hit) load
+/// followed by a long run of nops.
+fn microbench(nops: usize, trips: i64) -> (Program, profileme_isa::Pc) {
+    let mut b = ProgramBuilder::new();
+    b.function("loop");
+    b.load_imm(Reg::R9, trips);
+    b.load_imm(Reg::R12, 0x8000);
+    let top = b.label("top");
+    let load_pc = b.current_pc();
+    b.load(Reg::R1, Reg::R12, 0);
+    b.nops(nops);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    (b.build().unwrap(), load_pc)
+}
+
+fn attribution_histogram(
+    config: PipelineConfig,
+    skid_jitter: u64,
+    seed: u64,
+) -> (PcHistogram, profileme_isa::Pc) {
+    let (p, load_pc) = microbench(200, 400);
+    let hw = CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed)
+        .with_skid_jitter(skid_jitter);
+    let mut sim = Pipeline::new(p, config, hw);
+    let mut hist = PcHistogram::new();
+    sim.run_with(10_000_000, |intr, hw| {
+        hist.record(intr.attributed_pc);
+        hw.rearm();
+    })
+    .expect("microbenchmark completes");
+    (hist, load_pc)
+}
+
+#[test]
+fn inorder_peak_vs_ooo_smear() {
+    // The 21164's overflow→handler latency is essentially constant (no
+    // jitter); the Pentium Pro's varies by tens of cycles.
+    let (inorder, _) = attribution_histogram(PipelineConfig::inorder_21164ish(), 0, 11);
+    let (ooo, _) = attribution_histogram(PipelineConfig::default(), 12, 11);
+    assert!(inorder.total() > 50, "in-order samples: {}", inorder.total());
+    assert!(ooo.total() > 50, "ooo samples: {}", ooo.total());
+
+    // The in-order distribution is far more concentrated.
+    let spread_in = inorder.spread(0.9);
+    let spread_ooo = ooo.spread(0.9);
+    assert!(
+        spread_in <= 4,
+        "in-order attributions should form a narrow peak, 90% mass over {spread_in} PCs"
+    );
+    assert!(
+        spread_ooo >= 2 * spread_in.max(1),
+        "ooo attributions should smear: in-order {spread_in} PCs vs ooo {spread_ooo} PCs"
+    );
+}
+
+#[test]
+fn neither_machine_attributes_to_the_load_itself() {
+    // The whole point of Figure 2: the event PC is not the delivered PC.
+    for (config, jitter) in
+        [(PipelineConfig::inorder_21164ish(), 0), (PipelineConfig::default(), 12)]
+    {
+        let (hist, load_pc) = attribution_histogram(config, jitter, 5);
+        let at_load = hist.count(load_pc) as f64 / hist.total() as f64;
+        assert!(
+            at_load < 0.5,
+            "most attributions should displace away from the load: {at_load:.2}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the counter baseline: histogram accounting and
+//! counter arming semantics.
+
+use profileme_counters::{CounterHardware, PcHistogram};
+use profileme_isa::Pc;
+use profileme_uarch::{HwEvent, HwEventKind, ProfilingHardware};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram totals, modes, and spreads are consistent with the raw
+    /// recordings.
+    #[test]
+    fn histogram_accounting(pcs in prop::collection::vec(0u64..64, 1..500)) {
+        let hist: PcHistogram = pcs.iter().map(|&i| Pc::new(i * 4)).collect();
+        prop_assert_eq!(hist.total() as usize, pcs.len());
+        let (mode_pc, mode_n) = hist.mode().expect("non-empty");
+        // The mode really is the max.
+        for (pc, n) in hist.iter() {
+            prop_assert!(n <= mode_n);
+            prop_assert!(hist.count(pc) == n);
+        }
+        prop_assert_eq!(hist.count(mode_pc), mode_n);
+        // Spread is monotone in the fraction and bounded by distinct PCs.
+        let distinct = hist.iter().count();
+        prop_assert!(hist.spread(0.5) <= hist.spread(1.0));
+        prop_assert!(hist.spread(1.0) <= distinct);
+        // Offsets re-keying preserves mass.
+        let offsets = hist.offsets_from(Pc::new(0x40));
+        prop_assert_eq!(offsets.values().sum::<u64>(), hist.total());
+    }
+
+    /// A counter raises exactly `events / period` interrupts (fixed
+    /// period, prompt re-arming).
+    #[test]
+    fn counter_overflow_count(period in 1u64..50, events in 0u64..2_000) {
+        let mut c = CounterHardware::new(HwEventKind::Retire, period, 6, 9);
+        c.rearm_fixed();
+        let mut interrupts = 0;
+        for i in 0..events {
+            c.on_event(HwEvent { kind: HwEventKind::Retire, cycle: i, pc: Pc::new(0) });
+            if c.take_interrupt().is_some() {
+                interrupts += 1;
+                c.rearm_fixed();
+            }
+        }
+        prop_assert_eq!(interrupts, events / period);
+        prop_assert_eq!(c.events_seen(), events);
+    }
+}

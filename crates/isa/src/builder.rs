@@ -1,0 +1,417 @@
+//! A tiny in-memory assembler.
+
+use crate::program::Function;
+use crate::{AluKind, BuildError, Cond, FpKind, Inst, Op, Operand, Pc, Program, Reg};
+
+/// A label handle created by [`ProgramBuilder::label`] or
+/// [`ProgramBuilder::forward_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A function handle created by [`ProgramBuilder::function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctionId(usize);
+
+#[derive(Debug)]
+struct LabelState {
+    name: String,
+    /// Instruction index the label is bound to, once placed.
+    position: Option<usize>,
+}
+
+/// Incremental builder for [`Program`] images.
+///
+/// Emits instructions sequentially, binds labels (including forward
+/// references, patched at [`build`](ProgramBuilder::build) time), and
+/// records function boundaries.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::{Cond, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), profileme_isa::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// b.function("spin");
+/// b.load_imm(Reg::R1, 4);
+/// let top = b.label("top");
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.cond_br(Cond::Ne0, Reg::R1, top);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    base: Pc,
+    insts: Vec<Inst>,
+    labels: Vec<LabelState>,
+    /// `(instruction index, label)` pairs whose targets need patching.
+    patches: Vec<(usize, Label)>,
+    /// `(name, start index)` for each declared function.
+    functions: Vec<(String, usize)>,
+}
+
+/// Default base address for program images.
+const DEFAULT_BASE: Pc = Pc::new(0x1_0000);
+
+impl Default for ProgramBuilder {
+    fn default() -> ProgramBuilder {
+        ProgramBuilder::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the default base address.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::with_base(DEFAULT_BASE)
+    }
+
+    /// Creates a builder whose image starts at `base`.
+    pub fn with_base(base: Pc) -> ProgramBuilder {
+        ProgramBuilder {
+            base,
+            insts: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    pub fn current_pc(&self) -> Pc {
+        self.base.advance(self.insts.len() as u64)
+    }
+
+    /// Starts a new function at the current position.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionId {
+        self.functions.push((name.into(), self.insts.len()));
+        FunctionId(self.functions.len() - 1)
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        let l = self.forward_label(name);
+        self.place(l);
+        l
+    }
+
+    /// Creates an unplaced label for forward references; bind it later with
+    /// [`place`](ProgramBuilder::place).
+    pub fn forward_label(&mut self, name: impl Into<String>) -> Label {
+        self.labels.push(LabelState { name: name.into(), position: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// The PC a placed label resolved to, or `None` if not yet placed.
+    ///
+    /// Useful for building indirect-jump dispatch tables in data memory
+    /// while the program is still being assembled.
+    pub fn pc_of_label(&self, label: Label) -> Option<Pc> {
+        self.labels[label.0].position.map(|i| self.base.advance(i as u64))
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        let state = &mut self.labels[label.0];
+        assert!(state.position.is_none(), "label `{}` placed twice", state.name);
+        state.position = Some(self.insts.len());
+    }
+
+    /// Emits a raw operation.
+    pub fn emit(&mut self, op: Op) -> &mut ProgramBuilder {
+        self.insts.push(Inst::new(op));
+        self
+    }
+
+    fn emit_with_target(&mut self, op: Op, label: Label) {
+        self.patches.push((self.insts.len(), label));
+        self.insts.push(Inst::new(op));
+    }
+
+    /// Emits `dst = a <kind> b` for any operand.
+    pub fn alu(
+        &mut self,
+        kind: AluKind,
+        dst: Reg,
+        a: Reg,
+        b: impl Into<Operand>,
+    ) -> &mut ProgramBuilder {
+        self.emit(Op::Alu { kind, dst, a, b: b.into() })
+    }
+
+    /// Emits `dst = a + b` (registers).
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.alu(AluKind::Add, dst, a, b)
+    }
+
+    /// Emits `dst = a + imm`.
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut ProgramBuilder {
+        self.alu(AluKind::Add, dst, a, imm)
+    }
+
+    /// Emits `dst = a - b` (registers).
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.alu(AluKind::Sub, dst, a, b)
+    }
+
+    /// Emits `dst = a * b` (registers; classed as integer multiply).
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.alu(AluKind::Mul, dst, a, b)
+    }
+
+    /// Emits `dst = a & b` for any operand.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::And, dst, a, b)
+    }
+
+    /// Emits `dst = a | b` for any operand.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::Or, dst, a, b)
+    }
+
+    /// Emits `dst = a ^ b` for any operand.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::Xor, dst, a, b)
+    }
+
+    /// Emits `dst = a << b` for any operand.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::Shl, dst, a, b)
+    }
+
+    /// Emits `dst = a >> b` for any operand.
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::Shr, dst, a, b)
+    }
+
+    /// Emits `dst = (a < b)` (signed) for any operand.
+    pub fn cmp_lt(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::CmpLt, dst, a, b)
+    }
+
+    /// Emits `dst = (a == b)` for any operand.
+    pub fn cmp_eq(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut ProgramBuilder {
+        self.alu(AluKind::CmpEq, dst, a, b)
+    }
+
+    /// Emits an FP-classed operation `dst = a <kind> b`.
+    pub fn fp(&mut self, kind: FpKind, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.emit(Op::Fp { kind, dst, a, b })
+    }
+
+    /// Emits an FP add.
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.fp(FpKind::Add, dst, a, b)
+    }
+
+    /// Emits an FP multiply.
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.fp(FpKind::Mul, dst, a, b)
+    }
+
+    /// Emits an FP divide.
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut ProgramBuilder {
+        self.fp(FpKind::Div, dst, a, b)
+    }
+
+    /// Emits `dst = value`.
+    pub fn load_imm(&mut self, dst: Reg, value: i64) -> &mut ProgramBuilder {
+        self.emit(Op::LoadImm { dst, value })
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut ProgramBuilder {
+        self.emit(Op::Load { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut ProgramBuilder {
+        self.emit(Op::Store { src, base, offset })
+    }
+
+    /// Emits a software prefetch of the line containing `base + offset`.
+    pub fn prefetch(&mut self, base: Reg, offset: i64) -> &mut ProgramBuilder {
+        self.emit(Op::Prefetch { base, offset })
+    }
+
+    /// Emits a conditional branch to `target`.
+    pub fn cond_br(&mut self, cond: Cond, src: Reg, target: Label) -> &mut ProgramBuilder {
+        self.emit_with_target(Op::CondBr { cond, src, target: Pc::new(0) }, target);
+        self
+    }
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) -> &mut ProgramBuilder {
+        self.emit_with_target(Op::Jmp { target: Pc::new(0) }, target);
+        self
+    }
+
+    /// Emits an indirect jump through `base`.
+    pub fn jmp_ind(&mut self, base: Reg) -> &mut ProgramBuilder {
+        self.emit(Op::JmpInd { base })
+    }
+
+    /// Emits a call to `target` linking through [`Reg::LINK`].
+    pub fn call(&mut self, target: Label) -> &mut ProgramBuilder {
+        self.emit_with_target(Op::Call { target: Pc::new(0), link: Reg::LINK }, target);
+        self
+    }
+
+    /// Emits a return through [`Reg::LINK`].
+    pub fn ret(&mut self) -> &mut ProgramBuilder {
+        self.emit(Op::Ret { base: Reg::LINK })
+    }
+
+    /// Emits a return through an explicit register.
+    pub fn ret_via(&mut self, base: Reg) -> &mut ProgramBuilder {
+        self.emit(Op::Ret { base })
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut ProgramBuilder {
+        self.emit(Op::Nop)
+    }
+
+    /// Emits `count` no-ops.
+    pub fn nops(&mut self, count: usize) -> &mut ProgramBuilder {
+        for _ in 0..count {
+            self.nop();
+        }
+        self
+    }
+
+    /// Emits the halt pseudo-instruction.
+    pub fn halt(&mut self) -> &mut ProgramBuilder {
+        self.emit(Op::Halt)
+    }
+
+    /// Resolves labels and function boundaries and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if a referenced label was never
+    /// placed, [`BuildError::EmptyProgram`] for an empty image, and
+    /// [`BuildError::EmptyFunction`] if a declared function contains no
+    /// instructions.
+    pub fn build(self) -> Result<Program, BuildError> {
+        let ProgramBuilder { base, mut insts, labels, patches, functions } = self;
+        if insts.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        for (idx, label) in patches {
+            let state = &labels[label.0];
+            let position = state.position.ok_or_else(|| BuildError::UnboundLabel {
+                name: state.name.clone(),
+            })?;
+            let resolved = base.advance(position as u64);
+            match &mut insts[idx].op {
+                Op::CondBr { target, .. } | Op::Jmp { target } | Op::Call { target, .. } => {
+                    *target = resolved;
+                }
+                other => unreachable!("patch recorded for non-control op {other:?}"),
+            }
+        }
+        let mut funcs = Vec::with_capacity(functions.len());
+        for (i, (name, start)) in functions.iter().enumerate() {
+            let end = functions.get(i + 1).map_or(insts.len(), |(_, s)| *s);
+            if *start == end {
+                return Err(BuildError::EmptyFunction { name: name.clone() });
+            }
+            funcs.push(Function {
+                name: name.clone(),
+                entry: base.advance(*start as u64),
+                end: base.advance(end as u64),
+            });
+        }
+        Ok(Program::from_parts(base, insts, funcs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.forward_label("fwd");
+        b.jmp(fwd);
+        let back = b.label("back");
+        b.nop();
+        b.place(fwd);
+        b.jmp(back);
+        b.halt();
+        let p = b.build().unwrap();
+        match p.fetch(p.base()).unwrap().op {
+            Op::Jmp { target } => assert_eq!(target, p.base().advance(2)),
+            ref other => panic!("expected jmp, got {other:?}"),
+        }
+        match p.fetch(p.base().advance(2)).unwrap().op {
+            Op::Jmp { target } => assert_eq!(target, p.base().advance(1)),
+            ref other => panic!("expected jmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.forward_label("nowhere");
+        b.jmp(l);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel { name: "nowhere".into() });
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::EmptyProgram);
+    }
+
+    #[test]
+    fn empty_function_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.function("a");
+        b.function("b");
+        b.halt();
+        assert_eq!(b.build().unwrap_err(), BuildError::EmptyFunction { name: "a".into() });
+    }
+
+    #[test]
+    fn function_boundaries() {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.nop();
+        b.nop();
+        b.function("g");
+        b.halt();
+        let p = b.build().unwrap();
+        let f = p.function_named("f").unwrap();
+        let g = p.function_named("g").unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(f.end, g.entry);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.forward_label("x");
+        b.place(l);
+        b.place(l);
+    }
+}

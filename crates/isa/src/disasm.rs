@@ -1,0 +1,103 @@
+//! Textual disassembly (`Display` impls).
+
+use crate::{AluKind, Cond, FpKind, Inst, Op, Operand};
+use std::fmt;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+fn alu_mnemonic(kind: AluKind) -> &'static str {
+    match kind {
+        AluKind::Add => "add",
+        AluKind::Sub => "sub",
+        AluKind::Mul => "mul",
+        AluKind::And => "and",
+        AluKind::Or => "or",
+        AluKind::Xor => "xor",
+        AluKind::Shl => "shl",
+        AluKind::Shr => "shr",
+        AluKind::CmpLt => "cmplt",
+        AluKind::CmpEq => "cmpeq",
+    }
+}
+
+fn fp_mnemonic(kind: FpKind) -> &'static str {
+    match kind {
+        FpKind::Add => "fadd",
+        FpKind::Mul => "fmul",
+        FpKind::Div => "fdiv",
+    }
+}
+
+fn cond_mnemonic(cond: Cond) -> &'static str {
+    match cond {
+        Cond::Eq0 => "beq",
+        Cond::Ne0 => "bne",
+        Cond::Lt0 => "blt",
+        Cond::Ge0 => "bge",
+        Cond::Gt0 => "bgt",
+        Cond::Le0 => "ble",
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Alu { kind, dst, a, b } => {
+                write!(f, "{} {dst}, {a}, {b}", alu_mnemonic(kind))
+            }
+            Op::Fp { kind, dst, a, b } => {
+                write!(f, "{} {dst}, {a}, {b}", fp_mnemonic(kind))
+            }
+            Op::LoadImm { dst, value } => write!(f, "ldi {dst}, #{value}"),
+            Op::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Op::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Op::Prefetch { base, offset } => write!(f, "prefetch {offset}({base})"),
+            Op::CondBr { cond, src, target } => {
+                write!(f, "{} {src}, {target}", cond_mnemonic(cond))
+            }
+            Op::Jmp { target } => write!(f, "jmp {target}"),
+            Op::JmpInd { base } => write!(f, "jmp ({base})"),
+            Op::Call { target, link } => write!(f, "call {target}, link={link}"),
+            Op::Ret { base } => write!(f, "ret ({base})"),
+            Op::Nop => write!(f, "nop"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.op, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cond, Inst, Op, Pc, Reg};
+
+    #[test]
+    fn representative_disassembly() {
+        let cases = [
+            (Op::LoadImm { dst: Reg::R1, value: -3 }, "ldi r1, #-3"),
+            (Op::Load { dst: Reg::R2, base: Reg::R3, offset: 16 }, "ld r2, 16(r3)"),
+            (Op::Store { src: Reg::R2, base: Reg::SP, offset: -8 }, "st r2, -8(sp)"),
+            (
+                Op::CondBr { cond: Cond::Ne0, src: Reg::R4, target: Pc::new(0x40) },
+                "bne r4, 0x40",
+            ),
+            (Op::Ret { base: Reg::LINK }, "ret (ra)"),
+            (Op::Nop, "nop"),
+            (Op::Halt, "halt"),
+        ];
+        for (op, text) in cases {
+            assert_eq!(Inst::new(op).to_string(), text);
+        }
+    }
+}

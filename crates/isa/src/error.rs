@@ -1,0 +1,79 @@
+//! Error types.
+
+use crate::Pc;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`ProgramBuilder::build`](crate::ProgramBuilder::build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// A function was declared but contains no instructions.
+    EmptyFunction {
+        /// The function's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => {
+                write!(f, "label `{name}` referenced but never placed")
+            }
+            BuildError::EmptyProgram => write!(f, "program contains no instructions"),
+            BuildError::EmptyFunction { name } => {
+                write!(f, "function `{name}` contains no instructions")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Errors from the functional emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC left the program image.
+    PcOutOfRange {
+        /// The offending PC.
+        pc: Pc,
+    },
+    /// The step budget was exhausted before `Halt`.
+    StepLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program image"),
+            ExecError::StepLimitExceeded { limit } => {
+                write!(f, "execution exceeded {limit} steps without halting")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_punctuation() {
+        let e = BuildError::UnboundLabel { name: "loop".into() };
+        assert_eq!(e.to_string(), "label `loop` referenced but never placed");
+        let e = ExecError::PcOutOfRange { pc: Pc::new(0x10) };
+        assert_eq!(e.to_string(), "pc 0x10 outside program image");
+    }
+}

@@ -1,0 +1,365 @@
+//! The functional (architectural) emulator.
+
+use crate::{AluKind, ExecError, FpKind, Inst, Memory, Op, Operand, Pc, Program, Reg};
+
+/// Everything the timing simulator needs to know about one architecturally
+/// executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// PC of the executed instruction.
+    pub pc: Pc,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// PC of the next instruction on the architectural path.
+    pub next_pc: Pc,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For loads and stores, the effective byte address.
+    pub eff_addr: Option<u64>,
+    /// Whether this instruction was `Halt`.
+    pub halted: bool,
+}
+
+impl StepOutcome {
+    /// Whether the instruction redirected control away from fall-through.
+    pub fn redirected(&self) -> bool {
+        self.next_pc != self.pc.next() && !self.halted
+    }
+}
+
+/// Architectural machine state: 32 integer registers, sparse memory, and a
+/// program counter.
+///
+/// Drives one instruction at a time via [`step`](ArchState::step); the
+/// pipeline simulator uses this as its oracle for branch outcomes and
+/// effective addresses on the correct path.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::{ArchState, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::R1, 21);
+/// b.add(Reg::R2, Reg::R1, Reg::R1);
+/// b.halt();
+/// let p = b.build()?;
+/// let mut s = ArchState::new(&p);
+/// s.run(&p, 100)?;
+/// assert_eq!(s.reg(Reg::R2), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    regs: [u64; Reg::COUNT],
+    mem: Memory,
+    pc: Pc,
+    halted: bool,
+    retired: u64,
+}
+
+impl ArchState {
+    /// Creates a state positioned at the program's entry with zeroed
+    /// registers and empty memory.
+    pub fn new(program: &Program) -> ArchState {
+        ArchState {
+            regs: [0; Reg::COUNT],
+            mem: Memory::new(),
+            pc: program.entry(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Creates a state with pre-initialized memory (e.g. linked data
+    /// structures for pointer-chasing workloads).
+    pub fn with_memory(program: &Program, mem: Memory) -> ArchState {
+        ArchState { mem, ..ArchState::new(program) }
+    }
+
+    /// Reads a register ([`Reg::ZERO`] reads as 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to [`Reg::ZERO`] are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the data memory (for workload initialization).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The current PC.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Repositions the PC (used by interrupt/restart modelling).
+    pub fn set_pc(&mut self, pc: Pc) {
+        self.pc = pc;
+    }
+
+    /// Whether `Halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions architecturally executed so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    /// Executes the instruction at the current PC and advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::PcOutOfRange`] if the PC is outside the image.
+    pub fn step(&mut self, program: &Program) -> Result<StepOutcome, ExecError> {
+        let pc = self.pc;
+        let inst = *program.fetch(pc).ok_or(ExecError::PcOutOfRange { pc })?;
+        let mut next_pc = pc.next();
+        let mut taken = None;
+        let mut eff_addr = None;
+        match inst.op {
+            Op::Alu { kind, dst, a, b } => {
+                let av = self.reg(a);
+                let bv = self.operand(b);
+                self.set_reg(dst, alu_eval(kind, av, bv));
+            }
+            Op::Fp { kind, dst, a, b } => {
+                let av = self.reg(a);
+                let bv = self.reg(b);
+                self.set_reg(dst, fp_eval(kind, av, bv));
+            }
+            Op::LoadImm { dst, value } => self.set_reg(dst, value as u64),
+            Op::Load { dst, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                eff_addr = Some(addr);
+                let value = self.mem.read(addr);
+                self.set_reg(dst, value);
+            }
+            Op::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                eff_addr = Some(addr);
+                self.mem.write(addr, self.reg(src));
+            }
+            Op::Prefetch { base, offset } => {
+                // Architecturally a no-op; the timing model warms the line.
+                eff_addr = Some(self.reg(base).wrapping_add(offset as u64));
+            }
+            Op::CondBr { cond, src, target } => {
+                let t = cond.eval(self.reg(src));
+                taken = Some(t);
+                if t {
+                    next_pc = target;
+                }
+            }
+            Op::Jmp { target } => next_pc = target,
+            Op::JmpInd { base } => next_pc = align_pc(self.reg(base)),
+            Op::Call { target, link } => {
+                self.set_reg(link, pc.next().addr());
+                next_pc = target;
+            }
+            Op::Ret { base } => next_pc = align_pc(self.reg(base)),
+            Op::Nop => {}
+            Op::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(StepOutcome { pc, inst, next_pc, taken, eff_addr, halted: self.halted })
+    }
+
+    /// Runs until `Halt` or until `limit` instructions have executed,
+    /// returning the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimitExceeded`] if the budget runs out and
+    /// [`ExecError::PcOutOfRange`] if execution escapes the image.
+    pub fn run(&mut self, program: &Program, limit: u64) -> Result<u64, ExecError> {
+        let mut steps = 0;
+        while !self.halted {
+            if steps >= limit {
+                return Err(ExecError::StepLimitExceeded { limit });
+            }
+            self.step(program)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+}
+
+fn align_pc(addr: u64) -> Pc {
+    Pc::new(addr & !3)
+}
+
+/// Evaluates an integer ALU operation.
+pub(crate) fn alu_eval(kind: AluKind, a: u64, b: u64) -> u64 {
+    match kind {
+        AluKind::Add => a.wrapping_add(b),
+        AluKind::Sub => a.wrapping_sub(b),
+        AluKind::Mul => a.wrapping_mul(b),
+        AluKind::And => a & b,
+        AluKind::Or => a | b,
+        AluKind::Xor => a ^ b,
+        AluKind::Shl => a.wrapping_shl((b & 63) as u32),
+        AluKind::Shr => a.wrapping_shr((b & 63) as u32),
+        AluKind::CmpLt => ((a as i64) < (b as i64)) as u64,
+        AluKind::CmpEq => (a == b) as u64,
+    }
+}
+
+/// Deterministic integer stand-ins for FP semantics; only the opcode class
+/// (and hence timing) matters to the profiling experiments.
+pub(crate) fn fp_eval(kind: FpKind, a: u64, b: u64) -> u64 {
+    match kind {
+        FpKind::Add => a.wrapping_add(b).rotate_left(7),
+        FpKind::Mul => a.wrapping_mul(b | 1).wrapping_add(0x9E37_79B9_7F4A_7C15),
+        FpKind::Div => {
+            let d = b | 1;
+            (a / d) ^ (a % d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, ProgramBuilder};
+
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::R1, 0);
+        b.load_imm(Reg::R2, 7);
+        let top = b.label("top");
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.addi(Reg::R2, Reg::R2, -1);
+        b.cond_br(Cond::Ne0, Reg::R2, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        s.run(&p, 1000).unwrap();
+        assert_eq!(s.reg(Reg::R1), 7);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let f = b.forward_label("f");
+        b.call(f);
+        b.addi(Reg::R2, Reg::R1, 1);
+        b.halt();
+        b.function("f");
+        b.place(f);
+        b.load_imm(Reg::R1, 9);
+        b.ret();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        s.run(&p, 100).unwrap();
+        assert_eq!(s.reg(Reg::R2), 10);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::R1, 0x8000);
+        b.load_imm(Reg::R2, 1234);
+        b.store(Reg::R2, Reg::R1, 16);
+        b.load(Reg::R3, Reg::R1, 16);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        s.run(&p, 100).unwrap();
+        assert_eq!(s.reg(Reg::R3), 1234);
+        assert_eq!(s.mem().read(0x8010), 1234);
+    }
+
+    #[test]
+    fn step_outcome_reports_branch_direction_and_address() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::R1, 0x100);
+        b.load(Reg::R2, Reg::R1, 8);
+        let out = b.forward_label("out");
+        b.cond_br(Cond::Eq0, Reg::R2, out);
+        b.nop();
+        b.place(out);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        s.step(&p).unwrap();
+        let load = s.step(&p).unwrap();
+        assert_eq!(load.eff_addr, Some(0x108));
+        let br = s.step(&p).unwrap();
+        assert_eq!(br.taken, Some(true));
+        assert!(br.redirected());
+        let halt = s.step(&p).unwrap();
+        assert!(halt.halted);
+        assert!(s.halted());
+    }
+
+    #[test]
+    fn runaway_program_hits_step_limit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.jmp(top);
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        assert_eq!(s.run(&p, 50).unwrap_err(), ExecError::StepLimitExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn indirect_jump_follows_register() {
+        let mut b = ProgramBuilder::new();
+        let target = b.forward_label("t");
+        // Hand-compute the target address: base + 3 instructions.
+        b.load_imm(Reg::R1, (b.current_pc().advance(3)).addr() as i64);
+        b.jmp_ind(Reg::R1);
+        b.nop(); // skipped
+        b.place(target);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        let steps = s.run(&p, 10).unwrap();
+        assert_eq!(steps, 3); // load_imm, jmp_ind, halt
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::ZERO, 55);
+        b.addi(Reg::R1, Reg::ZERO, 3);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut s = ArchState::new(&p);
+        s.run(&p, 10).unwrap();
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        assert_eq!(s.reg(Reg::R1), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Instructions: an [`Op`] plus the accessors the pipeline needs.
+
+use crate::{Op, OpClass, Operand, Pc, Reg};
+use serde::{Deserialize, Serialize};
+
+/// A decoded instruction.
+///
+/// Wraps an [`Op`] and exposes the register-dataflow and control-flow
+/// queries that the rename and fetch stages of the pipeline model need.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::{AluKind, Inst, Op, OpClass, Operand, Reg};
+/// let i = Inst::new(Op::Alu {
+///     kind: AluKind::Add,
+///     dst: Reg::R1,
+///     a: Reg::R2,
+///     b: Operand::Reg(Reg::R3),
+/// });
+/// assert_eq!(i.class(), OpClass::IntAlu);
+/// assert_eq!(i.dst(), Some(Reg::R1));
+/// assert_eq!(i.srcs(), [Some(Reg::R2), Some(Reg::R3)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+}
+
+impl Inst {
+    /// Wraps an operation as an instruction.
+    pub const fn new(op: Op) -> Inst {
+        Inst { op }
+    }
+
+    /// A no-op instruction.
+    pub const fn nop() -> Inst {
+        Inst { op: Op::Nop }
+    }
+
+    /// The opcode class used for timing and grouping.
+    pub fn class(&self) -> OpClass {
+        match self.op {
+            Op::Alu { kind, .. } => match kind {
+                crate::AluKind::Mul => OpClass::IntMul,
+                _ => OpClass::IntAlu,
+            },
+            Op::Fp { kind, .. } => match kind {
+                crate::FpKind::Add => OpClass::FpAdd,
+                crate::FpKind::Mul => OpClass::FpMul,
+                crate::FpKind::Div => OpClass::FpDiv,
+            },
+            Op::LoadImm { .. } => OpClass::IntAlu,
+            Op::Load { .. } => OpClass::Load,
+            Op::Store { .. } => OpClass::Store,
+            Op::Prefetch { .. } => OpClass::Prefetch,
+            Op::CondBr { .. } => OpClass::CondBr,
+            Op::Jmp { .. } => OpClass::Jump,
+            Op::JmpInd { .. } => OpClass::JumpInd,
+            Op::Call { .. } => OpClass::Call,
+            Op::Ret { .. } => OpClass::Ret,
+            Op::Nop | Op::Halt => OpClass::Nop,
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to [`Reg::ZERO`] are reported as `None` (they are discarded
+    /// architecturally, so they create no dataflow).
+    pub fn dst(&self) -> Option<Reg> {
+        let d = match self.op {
+            Op::Alu { dst, .. } | Op::Fp { dst, .. } | Op::LoadImm { dst, .. } => Some(dst),
+            Op::Load { dst, .. } => Some(dst),
+            Op::Call { link, .. } => Some(link),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Up to two source registers read by this instruction.
+    ///
+    /// Reads of [`Reg::ZERO`] are reported as `None` (the value is the
+    /// constant zero, so no dependence exists).
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        let raw: [Option<Reg>; 2] = match self.op {
+            Op::Alu { a, b, .. } => [Some(a), b.reg()],
+            Op::Fp { a, b, .. } => [Some(a), Some(b)],
+            Op::LoadImm { .. } => [None, None],
+            Op::Load { base, .. } | Op::Prefetch { base, .. } => [Some(base), None],
+            Op::Store { src, base, .. } => [Some(base), Some(src)],
+            Op::CondBr { src, .. } => [Some(src), None],
+            Op::Jmp { .. } => [None, None],
+            Op::JmpInd { base } | Op::Ret { base } => [Some(base), None],
+            Op::Call { .. } => [None, None],
+            Op::Nop | Op::Halt => [None, None],
+        };
+        raw.map(|r| r.filter(|r| !r.is_zero()))
+    }
+
+    /// Whether this instruction transfers control.
+    pub fn is_control(&self) -> bool {
+        self.class().is_control()
+    }
+
+    /// Whether this instruction is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.op, Op::CondBr { .. })
+    }
+
+    /// Whether this instruction accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        self.class().is_mem()
+    }
+
+    /// Whether this is the halt pseudo-instruction.
+    pub fn is_halt(&self) -> bool {
+        matches!(self.op, Op::Halt)
+    }
+
+    /// Static (direct) control-flow target, if the instruction has one.
+    pub fn direct_target(&self) -> Option<Pc> {
+        match self.op {
+            Op::CondBr { target, .. } | Op::Jmp { target } | Op::Call { target, .. } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether control flow can fall through to the next instruction.
+    ///
+    /// True for everything except unconditional transfers and `Halt`.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self.op,
+            Op::Jmp { .. } | Op::JmpInd { .. } | Op::Ret { .. } | Op::Halt
+        )
+    }
+
+    /// The second ALU operand, if this is an ALU instruction.
+    pub fn alu_operand(&self) -> Option<Operand> {
+        match self.op {
+            Op::Alu { b, .. } => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<Op> for Inst {
+    fn from(op: Op) -> Inst {
+        Inst::new(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluKind, Cond};
+
+    #[test]
+    fn zero_register_creates_no_dataflow() {
+        let i = Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg::ZERO,
+            a: Reg::ZERO,
+            b: Operand::Reg(Reg::R1),
+        });
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.srcs(), [None, Some(Reg::R1)]);
+    }
+
+    #[test]
+    fn call_writes_link() {
+        let i = Inst::new(Op::Call { target: Pc::new(0x40), link: Reg::LINK });
+        assert_eq!(i.dst(), Some(Reg::LINK));
+        assert_eq!(i.class(), OpClass::Call);
+        assert!(i.is_control());
+        assert!(i.falls_through()); // a call returns to the next instruction
+    }
+
+    #[test]
+    fn store_reads_both() {
+        let i = Inst::new(Op::Store { src: Reg::R2, base: Reg::R3, offset: 8 });
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.srcs(), [Some(Reg::R3), Some(Reg::R2)]);
+        assert!(i.is_mem());
+    }
+
+    #[test]
+    fn control_flow_shape() {
+        let br = Inst::new(Op::CondBr { cond: Cond::Ne0, src: Reg::R1, target: Pc::new(0) });
+        assert!(br.falls_through());
+        assert_eq!(br.direct_target(), Some(Pc::new(0)));
+
+        let jmp = Inst::new(Op::Jmp { target: Pc::new(0x20) });
+        assert!(!jmp.falls_through());
+
+        let ret = Inst::new(Op::Ret { base: Reg::LINK });
+        assert!(!ret.falls_through());
+        assert_eq!(ret.direct_target(), None);
+    }
+
+    #[test]
+    fn mul_classed_separately() {
+        let i = Inst::new(Op::Alu {
+            kind: AluKind::Mul,
+            dst: Reg::R1,
+            a: Reg::R1,
+            b: Operand::Imm(3),
+        });
+        assert_eq!(i.class(), OpClass::IntMul);
+    }
+}

@@ -1,0 +1,71 @@
+//! # profileme-isa
+//!
+//! A small Alpha-flavoured RISC instruction set, together with a program
+//! builder (a minimal in-memory assembler) and a functional emulator.
+//!
+//! The ProfileMe reproduction simulates an out-of-order processor at the
+//! cycle level. That simulator needs *real* programs whose branches resolve
+//! against real data and whose loads compute real effective addresses —
+//! otherwise neither branch-mispredict smear, nor cache-miss attribution,
+//! nor path reconstruction from branch-history bits can be reproduced
+//! faithfully. This crate provides that substrate:
+//!
+//! * [`Inst`]/[`Op`] — the instruction set. Thirty-two 64-bit integer
+//!   registers with [`Reg::ZERO`] hardwired to zero (like Alpha `r31`).
+//!   Floating-point opcode classes exist for *timing* purposes (they occupy
+//!   FP functional units in the pipeline model) but operate on the same
+//!   register file with deterministic integer semantics.
+//! * [`Program`]/[`ProgramBuilder`] — a position-resolved instruction image
+//!   with labels and function boundaries, built via a tiny assembler DSL.
+//! * [`ArchState`]/[`Memory`] — the architectural emulator: `step` executes
+//!   one instruction and reports the outcome (next PC, branch direction,
+//!   effective address) that the timing simulator consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_isa::{ArchState, Cond, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.function("sum_to_ten");
+//! b.load_imm(Reg::R1, 0); // acc
+//! b.load_imm(Reg::R2, 10); // counter
+//! let top = b.label("top");
+//! b.add(Reg::R1, Reg::R1, Reg::R2);
+//! b.addi(Reg::R2, Reg::R2, -1);
+//! b.cond_br(Cond::Ne0, Reg::R2, top);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut state = ArchState::new(&program);
+//! let steps = state.run(&program, 1_000)?;
+//! assert_eq!(state.reg(Reg::R1), 55);
+//! assert!(steps < 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod disasm;
+mod error;
+mod exec;
+mod inst;
+mod mem;
+mod op;
+mod pc;
+mod program;
+mod reg;
+
+pub use builder::{FunctionId, Label, ProgramBuilder};
+pub use error::{BuildError, ExecError};
+pub use exec::{ArchState, StepOutcome};
+pub use inst::Inst;
+pub use mem::Memory;
+pub use op::{AluKind, Cond, FpKind, Op, OpClass, Operand};
+pub use pc::Pc;
+pub use program::{Function, Program};
+pub use reg::Reg;

@@ -1,0 +1,93 @@
+//! Sparse data memory.
+
+use std::collections::HashMap;
+
+/// A sparse 64-bit word-granular data memory.
+///
+/// Addresses are byte addresses; accesses operate on the aligned 8-byte word
+/// containing the address (the timing model tracks the byte address for
+/// cache indexing, but the functional value lives in the containing word).
+/// Unwritten locations read as zero.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::Memory;
+/// let mut m = Memory::new();
+/// m.write(0x1000, 42);
+/// assert_eq!(m.read(0x1000), 42);
+/// assert_eq!(m.read(0x1004), 42); // same 8-byte word
+/// assert_eq!(m.read(0x2000), 0); // unwritten
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Memory {
+    words: HashMap<u64, u64>,
+}
+
+impl Memory {
+    /// Creates an empty memory (all zeros).
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads the aligned word containing byte address `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes the aligned word containing byte address `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr & !7, value);
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl FromIterator<(u64, u64)> for Memory {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Memory {
+        let mut m = Memory::new();
+        for (addr, value) in iter {
+            m.write(addr, value);
+        }
+        m
+    }
+}
+
+impl Extend<(u64, u64)> for Memory {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        for (addr, value) in iter {
+            self.write(addr, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u64::MAX), 0);
+    }
+
+    #[test]
+    fn word_aliasing() {
+        let mut m = Memory::new();
+        m.write(0x10, 7);
+        m.write(0x17, 9); // same word
+        assert_eq!(m.read(0x10), 9);
+        assert_eq!(m.footprint_words(), 1);
+    }
+
+    #[test]
+    fn collect_from_pairs() {
+        let m: Memory = [(0x0u64, 1u64), (0x8, 2)].into_iter().collect();
+        assert_eq!(m.read(0x8), 2);
+        assert_eq!(m.footprint_words(), 2);
+    }
+}

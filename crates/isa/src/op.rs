@@ -1,0 +1,338 @@
+//! Operations and opcode classes.
+
+use crate::{Pc, Reg};
+use serde::{Deserialize, Serialize};
+
+/// Second ALU operand: a register or a small immediate.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::{Operand, Reg};
+/// let a = Operand::Reg(Reg::R3);
+/// let b = Operand::Imm(-4);
+/// assert_eq!(a.reg(), Some(Reg::R3));
+/// assert_eq!(b.reg(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Integer ALU operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (classed as [`OpClass::IntMul`] for timing).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (by `rhs & 63`).
+    Shl,
+    /// Logical right shift (by `rhs & 63`).
+    Shr,
+    /// Set to 1 if `a < b` (signed), else 0.
+    CmpLt,
+    /// Set to 1 if `a == b`, else 0.
+    CmpEq,
+}
+
+/// Floating-point operation kinds.
+///
+/// Semantics are deterministic integer mixes (the profiling experiments
+/// never depend on FP values); the *class* drives functional-unit choice and
+/// latency in the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpKind {
+    /// FP add/subtract class.
+    Add,
+    /// FP multiply class.
+    Mul,
+    /// FP divide class (long, unpipelined latency).
+    Div,
+}
+
+/// Conditional-branch conditions, evaluated against a single register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Branch if the register equals zero.
+    Eq0,
+    /// Branch if the register is non-zero.
+    Ne0,
+    /// Branch if the register is negative (signed).
+    Lt0,
+    /// Branch if the register is non-negative (signed).
+    Ge0,
+    /// Branch if the register is positive (signed).
+    Gt0,
+    /// Branch if the register is zero or negative (signed).
+    Le0,
+}
+
+impl Cond {
+    /// Evaluates the condition against a register value.
+    pub fn eval(self, value: u64) -> bool {
+        let v = value as i64;
+        match self {
+            Cond::Eq0 => v == 0,
+            Cond::Ne0 => v != 0,
+            Cond::Lt0 => v < 0,
+            Cond::Ge0 => v >= 0,
+            Cond::Gt0 => v > 0,
+            Cond::Le0 => v <= 0,
+        }
+    }
+}
+
+/// A machine operation.
+///
+/// Control-flow targets are resolved byte addresses ([`Pc`]); the
+/// [`ProgramBuilder`](crate::ProgramBuilder) patches labels into place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Integer ALU operation `dst = a <kind> b`.
+    Alu {
+        /// Operation kind.
+        kind: AluKind,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source operand.
+        b: Operand,
+    },
+    /// Floating-point-classed operation `dst = a <kind> b`.
+    Fp {
+        /// Operation kind.
+        kind: FpKind,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
+    /// Load an immediate: `dst = value`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// Memory load: `dst = mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Memory store: `mem[base + offset] = src`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Software prefetch: warms the cache line containing `base + offset`
+    /// without architectural effect (§7 of the ProfileMe paper motivates
+    /// profile-guided insertion of these).
+    Prefetch {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch to `target` if `cond` holds of `src`.
+    CondBr {
+        /// Branch condition.
+        cond: Cond,
+        /// Register tested by the condition.
+        src: Reg,
+        /// Taken target.
+        target: Pc,
+    },
+    /// Unconditional direct jump.
+    Jmp {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Indirect jump through a register.
+    JmpInd {
+        /// Register holding the target address.
+        base: Reg,
+    },
+    /// Direct call: `link = return address; pc = target`.
+    Call {
+        /// Call target.
+        target: Pc,
+        /// Link register receiving the return address.
+        link: Reg,
+    },
+    /// Return: indirect jump through `base`, predicted via the return stack.
+    Ret {
+        /// Register holding the return address.
+        base: Reg,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the emulator; the pipeline drains and the simulation ends.
+    Halt,
+}
+
+/// Coarse opcode classes used by the timing model to pick functional units
+/// and latencies, and by analyses to group instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// FP add class.
+    FpAdd,
+    /// FP multiply class.
+    FpMul,
+    /// FP divide class.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Software prefetch.
+    Prefetch,
+    /// Conditional branch.
+    CondBr,
+    /// Unconditional direct jump.
+    Jump,
+    /// Indirect jump.
+    JumpInd,
+    /// Direct call.
+    Call,
+    /// Return.
+    Ret,
+    /// No-op (also used for `Halt`).
+    Nop,
+}
+
+impl OpClass {
+    /// All opcode classes, for building per-class tables.
+    pub const ALL: [OpClass; 14] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Prefetch,
+        OpClass::CondBr,
+        OpClass::Jump,
+        OpClass::JumpInd,
+        OpClass::Call,
+        OpClass::Ret,
+        OpClass::Nop,
+    ];
+
+    /// Whether this class transfers control.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            OpClass::CondBr | OpClass::Jump | OpClass::JumpInd | OpClass::Call | OpClass::Ret
+        )
+    }
+
+    /// Whether this class accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store | OpClass::Prefetch)
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Prefetch => "prefetch",
+            OpClass::CondBr => "cond-br",
+            OpClass::Jump => "jump",
+            OpClass::JumpInd => "jump-ind",
+            OpClass::Call => "call",
+            OpClass::Ret => "ret",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_signedness() {
+        assert!(Cond::Lt0.eval((-1i64) as u64));
+        assert!(!Cond::Lt0.eval(1));
+        assert!(Cond::Ge0.eval(0));
+        assert!(Cond::Gt0.eval(5));
+        assert!(!Cond::Gt0.eval(0));
+        assert!(Cond::Le0.eval(0));
+        assert!(Cond::Eq0.eval(0));
+        assert!(Cond::Ne0.eval(u64::MAX));
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::CondBr.is_control());
+        assert!(OpClass::Ret.is_control());
+        assert!(!OpClass::Load.is_control());
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::R1), Operand::Reg(Reg::R1));
+        assert_eq!(Operand::from(7i64), Operand::Imm(7));
+    }
+}

@@ -1,0 +1,232 @@
+//! Program images.
+
+use crate::pc::INST_BYTES;
+use crate::{Inst, Pc};
+use serde::{Deserialize, Serialize};
+
+/// A function's extent within a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// PC of the first instruction.
+    pub entry: Pc,
+    /// PC one past the last instruction (exclusive).
+    pub end: Pc,
+}
+
+impl Function {
+    /// Whether `pc` lies within this function.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.entry <= pc && pc < self.end
+    }
+
+    /// Number of instructions in the function.
+    pub fn len(&self) -> usize {
+        (self.end - self.entry) as usize
+    }
+
+    /// Whether the function is empty (never true for built programs).
+    pub fn is_empty(&self) -> bool {
+        self.entry == self.end
+    }
+}
+
+/// An immutable program image: contiguous instructions starting at a base
+/// PC, plus function boundaries.
+///
+/// Built with [`ProgramBuilder`](crate::ProgramBuilder). The image is
+/// indexable both by [`Pc`] and by dense instruction index, which the
+/// simulator's per-PC statistics tables rely on.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::{ProgramBuilder, Reg};
+/// # fn main() -> Result<(), profileme_isa::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// b.function("main");
+/// b.load_imm(Reg::R1, 3);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.index_of(p.entry()), Some(0));
+/// assert!(p.fetch(p.entry()).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    base: Pc,
+    insts: Vec<Inst>,
+    functions: Vec<Function>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(base: Pc, insts: Vec<Inst>, functions: Vec<Function>) -> Program {
+        Program { base, insts, functions }
+    }
+
+    /// The base PC of the image.
+    pub fn base(&self) -> Pc {
+        self.base
+    }
+
+    /// The entry PC: the start of the first function, or the base if no
+    /// functions were declared.
+    pub fn entry(&self) -> Pc {
+        self.functions.first().map_or(self.base, |f| f.entry)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// PC one past the last instruction.
+    pub fn end(&self) -> Pc {
+        self.base.advance(self.insts.len() as u64)
+    }
+
+    /// Whether `pc` lies inside the image.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.base <= pc && pc < self.end()
+    }
+
+    /// The instruction at `pc`, or `None` if outside the image.
+    pub fn fetch(&self, pc: Pc) -> Option<&Inst> {
+        self.index_of(pc).map(|i| &self.insts[i])
+    }
+
+    /// Dense instruction index of `pc`, or `None` if outside the image.
+    pub fn index_of(&self, pc: Pc) -> Option<usize> {
+        if self.contains(pc) {
+            Some(((pc.addr() - self.base.addr()) / INST_BYTES) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// PC of the instruction at dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn pc_of(&self, index: usize) -> Pc {
+        assert!(index < self.insts.len(), "instruction index out of range");
+        self.base.advance(index as u64)
+    }
+
+    /// Iterates `(pc, instruction)` pairs in image order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &Inst)> + '_ {
+        self.insts.iter().enumerate().map(|(i, inst)| (self.base.advance(i as u64), inst))
+    }
+
+    /// The declared functions, in image order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_of(&self, pc: Pc) -> Option<&Function> {
+        // Functions are sorted by entry; binary search on entry.
+        let idx = self.functions.partition_point(|f| f.entry <= pc);
+        idx.checked_sub(1).map(|i| &self.functions[i]).filter(|f| f.contains(pc))
+    }
+
+    /// The function named `name`, if any.
+    pub fn function_named(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Renders a full disassembly listing with function headers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use profileme_isa::{ProgramBuilder, Reg};
+    /// # let mut b = ProgramBuilder::new();
+    /// # b.function("main");
+    /// # b.load_imm(Reg::R1, 1);
+    /// # b.halt();
+    /// # let p = b.build().unwrap();
+    /// let listing = p.disassemble();
+    /// assert!(listing.contains("main:"));
+    /// assert!(listing.contains("ldi r1, #1"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (pc, inst) in self.iter() {
+            if let Some(f) = self.functions.iter().find(|f| f.entry == pc) {
+                let _ = writeln!(out, "{}:", f.name);
+            }
+            let _ = writeln!(out, "  {pc:#08x}    {inst}");
+        }
+        out
+    }
+
+    /// PCs of every call instruction whose direct target is `entry`.
+    pub fn call_sites_of(&self, entry: Pc) -> Vec<Pc> {
+        self.iter()
+            .filter(|(_, inst)| {
+                matches!(inst.op, crate::Op::Call { target, .. } if target == entry)
+            })
+            .map(|(pc, _)| pc)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, ProgramBuilder, Reg};
+
+    fn two_function_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let callee = b.forward_label("callee");
+        b.call(callee);
+        b.halt();
+        b.function("callee");
+        b.place(callee);
+        b.load_imm(Reg::R1, 1);
+        b.ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pc_index_roundtrip() {
+        let p = two_function_program();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of(p.pc_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(p.end()), None);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let p = two_function_program();
+        let main = p.function_named("main").unwrap();
+        let callee = p.function_named("callee").unwrap();
+        assert_eq!(main.len(), 2);
+        assert_eq!(callee.len(), 2);
+        assert_eq!(p.function_of(main.entry).unwrap().name, "main");
+        assert_eq!(p.function_of(callee.entry).unwrap().name, "callee");
+        assert_eq!(p.function_of(callee.end.advance(10)), None);
+    }
+
+    #[test]
+    fn call_sites_found() {
+        let p = two_function_program();
+        let callee = p.function_named("callee").unwrap();
+        let sites = p.call_sites_of(callee.entry);
+        assert_eq!(sites.len(), 1);
+        assert!(matches!(p.fetch(sites[0]).unwrap().op, Op::Call { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An architectural integer register, `r0` through `r31`.
+///
+/// [`Reg::ZERO`] (`r31`) reads as zero and discards writes, mirroring the
+/// Alpha convention. The functional emulator and the rename stage of the
+/// pipeline simulator both honour this.
+///
+/// # Example
+///
+/// ```
+/// use profileme_isa::Reg;
+/// assert_eq!(Reg::new(5).index(), 5);
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired zero register (`r31`).
+    pub const ZERO: Reg = Reg(31);
+    /// Conventional link register for calls (`r26`, Alpha `ra`).
+    pub const LINK: Reg = Reg(26);
+    /// Conventional stack pointer (`r30`, Alpha `sp`).
+    pub const SP: Reg = Reg(30);
+
+    /// Constructs a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < Reg::COUNT as u8);
+        Reg(index)
+    }
+
+    /// The register's index, in `0..Reg::COUNT`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("General-purpose register `r", stringify!($idx), "`.")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            26 => write!(f, "ra"),
+            30 => write!(f, "sp"),
+            31 => write!(f, "zero"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert_eq!(Reg::ZERO.index(), 31);
+        assert!(!Reg::R0.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R4.to_string(), "r4");
+        assert_eq!(Reg::LINK.to_string(), "ra");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rejected() {
+        let _ = Reg::new(32);
+    }
+}

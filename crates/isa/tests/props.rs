@@ -1,0 +1,128 @@
+//! Property-based tests for the ISA crate: ALU algebra, zero-register
+//! invariants, emulator determinism, and builder/program round trips.
+
+use profileme_isa::{
+    AluKind, ArchState, Cond, Inst, Op, Operand, Pc, Program, ProgramBuilder, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_alu_kind() -> impl Strategy<Value = AluKind> {
+    prop_oneof![
+        Just(AluKind::Add),
+        Just(AluKind::Sub),
+        Just(AluKind::Mul),
+        Just(AluKind::And),
+        Just(AluKind::Or),
+        Just(AluKind::Xor),
+        Just(AluKind::Shl),
+        Just(AluKind::Shr),
+        Just(AluKind::CmpLt),
+        Just(AluKind::CmpEq),
+    ]
+}
+
+/// Builds a straight-line program from ALU ops plus a halt, so any
+/// instruction mix terminates.
+fn straightline(ops: &[(AluKind, Reg, Reg, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for &(kind, dst, a, imm) in ops {
+        b.alu(kind, dst, a, imm);
+    }
+    b.halt();
+    b.build().expect("non-empty straight-line program builds")
+}
+
+proptest! {
+    /// The emulator is a pure function of program + initial state.
+    #[test]
+    fn emulator_is_deterministic(
+        ops in prop::collection::vec(
+            (arb_alu_kind(), arb_reg(), arb_reg(), -100i64..100), 1..40)
+    ) {
+        let p = straightline(&ops);
+        let mut s1 = ArchState::new(&p);
+        let mut s2 = ArchState::new(&p);
+        s1.run(&p, 1000).unwrap();
+        s2.run(&p, 1000).unwrap();
+        for i in 0..32 {
+            let r = Reg::new(i);
+            prop_assert_eq!(s1.reg(r), s2.reg(r));
+        }
+    }
+
+    /// r31 reads as zero no matter what the program does.
+    #[test]
+    fn zero_register_is_invariant(
+        ops in prop::collection::vec(
+            (arb_alu_kind(), arb_reg(), arb_reg(), -100i64..100), 1..40)
+    ) {
+        let p = straightline(&ops);
+        let mut s = ArchState::new(&p);
+        s.run(&p, 1000).unwrap();
+        prop_assert_eq!(s.reg(Reg::ZERO), 0);
+    }
+
+    /// Executed instruction count equals emitted count for straight-line code.
+    #[test]
+    fn straightline_executes_every_instruction(
+        ops in prop::collection::vec(
+            (arb_alu_kind(), arb_reg(), arb_reg(), -100i64..100), 1..40)
+    ) {
+        let p = straightline(&ops);
+        let mut s = ArchState::new(&p);
+        let steps = s.run(&p, 1000).unwrap();
+        prop_assert_eq!(steps as usize, ops.len() + 1); // + halt
+        prop_assert_eq!(s.retired() as usize, ops.len() + 1);
+    }
+
+    /// pc_of/index_of are mutual inverses over the whole image.
+    #[test]
+    fn pc_index_bijection(n in 1usize..200, base_words in 0u64..1_000_000) {
+        let mut b = ProgramBuilder::with_base(Pc::new(base_words * 4));
+        for _ in 0..n {
+            b.nop();
+        }
+        let p = b.build().unwrap();
+        for i in 0..p.len() {
+            prop_assert_eq!(p.index_of(p.pc_of(i)), Some(i));
+        }
+        prop_assert_eq!(p.index_of(p.end()), None);
+    }
+
+    /// dst()/srcs() never report the zero register.
+    #[test]
+    fn dataflow_never_names_zero(kind in arb_alu_kind(), d in arb_reg(), a in arb_reg(), b in arb_reg()) {
+        let inst = Inst::new(Op::Alu { kind, dst: d, a, b: Operand::Reg(b) });
+        if let Some(r) = inst.dst() {
+            prop_assert!(!r.is_zero());
+        }
+        for r in inst.srcs().into_iter().flatten() {
+            prop_assert!(!r.is_zero());
+        }
+    }
+
+    /// Condition evaluation matches its signed-integer definition.
+    #[test]
+    fn cond_matches_reference(v in any::<i64>()) {
+        let u = v as u64;
+        prop_assert_eq!(Cond::Eq0.eval(u), v == 0);
+        prop_assert_eq!(Cond::Ne0.eval(u), v != 0);
+        prop_assert_eq!(Cond::Lt0.eval(u), v < 0);
+        prop_assert_eq!(Cond::Ge0.eval(u), v >= 0);
+        prop_assert_eq!(Cond::Gt0.eval(u), v > 0);
+        prop_assert_eq!(Cond::Le0.eval(u), v <= 0);
+    }
+
+    /// Memory read/write round-trips through word aliasing.
+    #[test]
+    fn memory_round_trip(addr in any::<u64>(), value in any::<u64>()) {
+        let mut m = profileme_isa::Memory::new();
+        m.write(addr, value);
+        prop_assert_eq!(m.read(addr), value);
+        prop_assert_eq!(m.read(addr & !7), value);
+    }
+}

@@ -1,0 +1,147 @@
+//! Greedy bottom-up chain formation (Pettis–Hansen style).
+
+use crate::weights::EdgeWeights;
+use profileme_cfg::{BlockId, Cfg};
+use profileme_isa::Program;
+
+/// Computes a block order for every function: blocks are merged into
+/// chains along the heaviest edges (each block appearing in exactly one
+/// chain, edges only joining a chain tail to a chain head), then chains
+/// are concatenated hottest-first with the chain containing the
+/// function's entry block forced first. The returned order contains
+/// every block of the program, grouped by function in original function
+/// order (blocks outside any function keep their original positions at
+/// the end).
+pub fn hot_chains(program: &Program, cfg: &Cfg, weights: &EdgeWeights) -> Vec<BlockId> {
+    let mut order = Vec::with_capacity(cfg.len());
+    for f in program.functions() {
+        let blocks: Vec<BlockId> = cfg
+            .blocks()
+            .iter()
+            .filter(|b| f.contains(b.start))
+            .map(|b| b.id)
+            .collect();
+        let entry = cfg.block_of(f.entry).expect("function entry has a block");
+        order.extend(chain_function(&blocks, entry, weights));
+    }
+    // Blocks outside any function (none for builder-produced programs,
+    // but keep the transform total).
+    for b in cfg.blocks() {
+        if !order.contains(&b.id) {
+            order.push(b.id);
+        }
+    }
+    order
+}
+
+fn chain_function(blocks: &[BlockId], entry: BlockId, weights: &EdgeWeights) -> Vec<BlockId> {
+    let in_function = |b: BlockId| blocks.contains(&b);
+    // Every block starts as its own chain; edges (heaviest first, ties
+    // broken by block ids for determinism) merge a chain *tail* into a
+    // chain *head*, so each block keeps at most one layout predecessor
+    // and successor.
+    let mut chains: Vec<Vec<BlockId>> = blocks.iter().map(|&b| vec![b]).collect();
+    let mut edges: Vec<((BlockId, BlockId), f64)> = weights
+        .iter()
+        .filter(|((a, b), _)| in_function(*a) && in_function(*b) && a != b)
+        .map(|(k, w)| (*k, *w))
+        .collect();
+    edges.sort_by(|(ka, wa), (kb, wb)| {
+        wb.partial_cmp(wa).expect("weights are finite").then(ka.cmp(kb))
+    });
+    for ((from, to), _) in edges {
+        let Some(i) = chains.iter().position(|c| c.last() == Some(&from)) else { continue };
+        let Some(j) = chains.iter().position(|c| c.first() == Some(&to)) else { continue };
+        if i == j {
+            continue; // would close a cycle
+        }
+        let tail = chains.remove(j);
+        let i = chains.iter().position(|c| c.last() == Some(&from)).expect("unchanged");
+        chains[i].extend(tail);
+    }
+
+    // Chain heat: sum of weights of edges leaving its blocks.
+    let heat = |c: &Vec<BlockId>| -> f64 {
+        c.iter()
+            .map(|b| {
+                weights
+                    .iter()
+                    .filter(|((a, _), _)| a == b)
+                    .map(|(_, w)| *w)
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    chains.sort_by(|a, b| {
+        let (ha, hb) = (heat(a), heat(b));
+        hb.partial_cmp(&ha).expect("weights are finite").then(a.cmp(b))
+    });
+    // Entry chain first.
+    if let Some(i) = chains.iter().position(|c| c.contains(&entry)) {
+        let c = chains.remove(i);
+        chains.insert(0, c);
+    }
+    chains.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_cfg::Cfg;
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+    use std::collections::HashMap;
+
+    #[test]
+    fn hot_arm_chains_behind_the_branch() {
+        // diamond: branch -> {hot (taken), cold (fallthrough)} -> join
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        let hot = b.forward_label("hot");
+        let join = b.forward_label("join");
+        b.cond_br(Cond::Ne0, Reg::R1, hot); // B0
+        b.addi(Reg::R2, Reg::R2, 1); // B1 cold
+        b.jmp(join);
+        b.place(hot);
+        b.addi(Reg::R3, Reg::R3, 1); // B2 hot
+        b.place(join);
+        b.halt(); // B3
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let b0 = cfg.block_of(p.entry()).unwrap();
+        let b_cold = cfg.block_of(p.entry().advance(1)).unwrap();
+        let b_hot = cfg.block_of(p.entry().advance(3)).unwrap();
+        let b_join = cfg.block_of(p.entry().advance(4)).unwrap();
+        let mut w = HashMap::new();
+        w.insert((b0, b_hot), 95.0);
+        w.insert((b0, b_cold), 5.0);
+        w.insert((b_hot, b_join), 95.0);
+        w.insert((b_cold, b_join), 5.0);
+        let order = hot_chains(&p, &cfg, &w);
+        // Entry chain: B0 -> hot -> join; cold trails.
+        assert_eq!(order, vec![b0, b_hot, b_join, b_cold]);
+    }
+
+    #[test]
+    fn every_block_appears_exactly_once() {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        let l1 = b.forward_label("l1");
+        let l2 = b.forward_label("l2");
+        b.cond_br(Cond::Ne0, Reg::R1, l1);
+        b.cond_br(Cond::Ne0, Reg::R2, l2);
+        b.place(l1);
+        b.nop();
+        b.place(l2);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let order = hot_chains(&p, &cfg, &HashMap::new());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cfg.len());
+        assert_eq!(order.len(), cfg.len());
+        // Entry block stays first.
+        assert_eq!(order[0], cfg.block_of(p.entry()).unwrap());
+    }
+}

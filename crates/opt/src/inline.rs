@@ -1,0 +1,260 @@
+//! Profile-guided inlining (§7: execution frequencies "can be used to
+//! guide ... inlining decisions").
+
+use profileme_cfg::Cfg;
+use profileme_isa::{BuildError, Label, Op, Pc, Program, ProgramBuilder};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`inline_call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// `call_pc` does not hold a direct call.
+    NotACall {
+        /// The offending PC.
+        pc: Pc,
+    },
+    /// The call target is not a function entry.
+    NotAFunctionEntry {
+        /// The target address.
+        target: Pc,
+    },
+    /// The callee is not inlinable: it contains calls or indirect jumps
+    /// (only leaf functions with statically known control flow are
+    /// inlined), or it branches outside itself.
+    NotInlinable {
+        /// The callee's name.
+        name: String,
+    },
+    /// Rebuilding the program failed.
+    Rebuild(BuildError),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NotACall { pc } => write!(f, "no direct call at {pc}"),
+            InlineError::NotAFunctionEntry { target } => {
+                write!(f, "call target {target} is not a function entry")
+            }
+            InlineError::NotInlinable { name } => {
+                write!(f, "function `{name}` is not a leaf with local control flow")
+            }
+            InlineError::Rebuild(e) => write!(f, "rebuilding failed: {e}"),
+        }
+    }
+}
+
+impl Error for InlineError {}
+
+impl From<BuildError> for InlineError {
+    fn from(e: BuildError) -> InlineError {
+        InlineError::Rebuild(e)
+    }
+}
+
+/// Inlines the direct call at `call_pc`: the callee's body replaces the
+/// call, with its returns turned into jumps to the continuation. The
+/// callee itself stays in the image (other call sites still use it).
+///
+/// Only *leaf* callees qualify: no calls, no indirect jumps, every
+/// direct branch target inside the callee. The inlined copy does not
+/// write the link register, so the caller must not read it after the
+/// call site (true of compiler-generated code, where the return address
+/// is dead after the call returns — and of every generated workload).
+///
+/// # Errors
+///
+/// See [`InlineError`].
+pub fn inline_call(program: &Program, cfg: &Cfg, call_pc: Pc) -> Result<Program, InlineError> {
+    let Some(Op::Call { target, .. }) = program.fetch(call_pc).map(|i| i.op) else {
+        return Err(InlineError::NotACall { pc: call_pc });
+    };
+    let callee = program
+        .function_of(target)
+        .filter(|f| f.entry == target)
+        .ok_or(InlineError::NotAFunctionEntry { target })?
+        .clone();
+    // Inlinability: leaf, statically local control flow.
+    for pc in (0..callee.len()).map(|i| callee.entry.advance(i as u64)) {
+        let inst = program.fetch(pc).expect("callee pcs are in the image");
+        match inst.op {
+            Op::Call { .. } | Op::JmpInd { .. } | Op::Halt => {
+                return Err(InlineError::NotInlinable { name: callee.name.clone() })
+            }
+            Op::CondBr { target: t, .. } | Op::Jmp { target: t } => {
+                if !callee.contains(t) {
+                    return Err(InlineError::NotInlinable { name: callee.name.clone() });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Rebuild the whole image with one label per instruction (targets are
+    // always instruction addresses), splicing the callee body at the call.
+    let mut b = ProgramBuilder::with_base(program.base());
+    let labels: HashMap<Pc, Label> = program
+        .iter()
+        .map(|(pc, _)| (pc, b.forward_label(format!("i{:x}", pc.addr()))))
+        .collect();
+    // Fresh labels for the inlined copy's instructions.
+    let inline_labels: HashMap<Pc, Label> = (0..callee.len())
+        .map(|i| {
+            let pc = callee.entry.advance(i as u64);
+            (pc, b.forward_label(format!("inl{:x}", pc.addr())))
+        })
+        .collect();
+    let continuation = labels[&call_pc.next()];
+
+    let mut current_function: Option<&str> = None;
+    for (pc, inst) in program.iter() {
+        if let Some(f) = program.functions().iter().find(|f| f.entry == pc) {
+            b.function(f.name.clone());
+            current_function = Some(&f.name);
+        }
+        let _ = current_function;
+        b.place(labels[&pc]);
+        if pc == call_pc {
+            // Splice the callee body instead of the call.
+            for i in 0..callee.len() {
+                let cpc = callee.entry.advance(i as u64);
+                b.place(inline_labels[&cpc]);
+                let cinst = program.fetch(cpc).expect("in image");
+                match cinst.op {
+                    Op::Ret { .. } => {
+                        b.jmp(continuation);
+                    }
+                    Op::CondBr { cond, src, target } => {
+                        b.cond_br(cond, src, inline_labels[&target]);
+                    }
+                    Op::Jmp { target } => {
+                        b.jmp(inline_labels[&target]);
+                    }
+                    other => {
+                        b.emit(other);
+                    }
+                }
+            }
+            continue;
+        }
+        match inst.op {
+            Op::CondBr { cond, src, target } => {
+                b.cond_br(cond, src, labels[&target]);
+            }
+            Op::Jmp { target } => {
+                b.jmp(labels[&target]);
+            }
+            Op::Call { target, .. } => {
+                b.call(labels[&target]);
+            }
+            other => {
+                b.emit(other);
+            }
+        }
+    }
+    let _ = cfg; // reserved: block-level splicing for partial inlining
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{ArchState, Cond, Reg};
+
+    fn caller_with_leaf() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let leaf = b.forward_label("leaf");
+        b.load_imm(Reg::R9, 20);
+        let top = b.label("top");
+        b.call(leaf);
+        b.call(leaf); // second site stays a call
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.function("leaf");
+        b.place(leaf);
+        // A diamond inside the leaf exercises internal-branch remapping.
+        let even = b.forward_label("even");
+        b.and(Reg::R2, Reg::R9, 1);
+        b.cond_br(Cond::Eq0, Reg::R2, even);
+        b.addi(Reg::R3, Reg::R3, 1);
+        b.place(even);
+        b.addi(Reg::R4, Reg::R4, 1);
+        b.ret();
+        b.build().unwrap()
+    }
+
+    fn final_regs(p: &Program) -> Vec<u64> {
+        let mut s = ArchState::new(p);
+        s.run(p, 1_000_000).unwrap();
+        (0..26u8).map(|i| s.reg(Reg::new(i))).collect()
+    }
+
+    #[test]
+    fn inlining_preserves_behaviour_and_grows_the_image() {
+        let p = caller_with_leaf();
+        let cfg = Cfg::build(&p);
+        let call_pc = p.entry().advance(1); // first call in the loop
+        assert!(matches!(p.fetch(call_pc).unwrap().op, Op::Call { .. }));
+        let q = inline_call(&p, &cfg, call_pc).unwrap();
+        assert!(q.len() > p.len(), "body spliced in");
+        assert_eq!(final_regs(&p), final_regs(&q));
+        // The second call site still calls the (retained) callee.
+        let calls = |p: &Program| p.iter().filter(|(_, i)| matches!(i.op, Op::Call { .. })).count();
+        assert_eq!(calls(&p), 2);
+        assert_eq!(calls(&q), 1);
+    }
+
+    #[test]
+    fn inlining_can_be_repeated_until_no_calls_remain() {
+        let p = caller_with_leaf();
+        let mut q = p.clone();
+        loop {
+            let cfg = Cfg::build(&q);
+            let Some((pc, _)) =
+                q.iter().find(|(_, i)| matches!(i.op, Op::Call { .. }))
+            else {
+                break;
+            };
+            q = inline_call(&q, &cfg, pc).unwrap();
+        }
+        assert_eq!(final_regs(&p), final_regs(&q));
+    }
+
+    #[test]
+    fn non_calls_and_non_leaves_are_rejected() {
+        let p = caller_with_leaf();
+        let cfg = Cfg::build(&p);
+        assert!(matches!(
+            inline_call(&p, &cfg, p.entry()),
+            Err(InlineError::NotACall { .. })
+        ));
+
+        // A callee that itself calls is not inlinable.
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let mid = b.forward_label("mid");
+        let leaf = b.forward_label("leaf");
+        b.call(mid);
+        b.halt();
+        b.function("mid");
+        b.place(mid);
+        b.store(Reg::LINK, Reg::SP, 0);
+        b.call(leaf);
+        b.load(Reg::LINK, Reg::SP, 0);
+        b.ret();
+        b.function("leaf");
+        b.place(leaf);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.ret();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(matches!(
+            inline_call(&p, &cfg, p.entry()),
+            Err(InlineError::NotInlinable { .. })
+        ));
+    }
+}

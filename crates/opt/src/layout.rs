@@ -1,0 +1,373 @@
+//! Behaviour-preserving block reordering.
+
+use profileme_cfg::{BlockId, Cfg};
+use profileme_isa::{BuildError, Cond, Label, Op, Pc, Program, ProgramBuilder};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`reorder_blocks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The program contains an indirect jump; its targets may live in
+    /// data memory (jump tables), which the transform cannot relocate.
+    IndirectJump {
+        /// PC of the offending instruction.
+        pc: Pc,
+    },
+    /// The order does not mention every block exactly once.
+    IncompleteOrder,
+    /// The order interleaves blocks of different functions.
+    SplitFunction {
+        /// Name of the torn function.
+        name: String,
+    },
+    /// Rebuilding the program failed.
+    Rebuild(BuildError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::IndirectJump { pc } => {
+                write!(f, "indirect jump at {pc} may use memory-resident targets")
+            }
+            LayoutError::IncompleteOrder => {
+                write!(f, "block order must contain every block exactly once")
+            }
+            LayoutError::SplitFunction { name } => {
+                write!(f, "order interleaves blocks of function `{name}` with others")
+            }
+            LayoutError::Rebuild(e) => write!(f, "rebuilding failed: {e}"),
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+impl From<BuildError> for LayoutError {
+    fn from(e: BuildError) -> LayoutError {
+        LayoutError::Rebuild(e)
+    }
+}
+
+fn invert(cond: Cond) -> Cond {
+    match cond {
+        Cond::Eq0 => Cond::Ne0,
+        Cond::Ne0 => Cond::Eq0,
+        Cond::Lt0 => Cond::Ge0,
+        Cond::Ge0 => Cond::Lt0,
+        Cond::Gt0 => Cond::Le0,
+        Cond::Le0 => Cond::Gt0,
+    }
+}
+
+/// Rebuilds `program` with its basic blocks laid out in `order`
+/// (grouped per function), preserving architectural behaviour:
+///
+/// * every control-flow target is re-pointed at the moved block;
+/// * a conditional branch whose *taken* target now falls through is
+///   inverted (the old fall-through becomes the explicit target);
+/// * an unconditional jump to the next block is elided;
+/// * a broken fall-through (successor no longer adjacent) gets an
+///   explicit jump;
+/// * calls keep their return semantics: if the post-call block moved, a
+///   jump to it follows the call.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::IndirectJump`] if the program contains
+/// `jmp (reg)` (its targets may be memory-resident addresses the
+/// transform cannot patch), [`LayoutError::IncompleteOrder`] /
+/// [`LayoutError::SplitFunction`] for malformed orders, and
+/// [`LayoutError::Rebuild`] if reassembly fails.
+pub fn reorder_blocks(
+    program: &Program,
+    cfg: &Cfg,
+    order: &[BlockId],
+) -> Result<Program, LayoutError> {
+    // Validate: no indirect jumps.
+    for (pc, inst) in program.iter() {
+        if matches!(inst.op, Op::JmpInd { .. }) {
+            return Err(LayoutError::IndirectJump { pc });
+        }
+    }
+    // Validate: permutation of all blocks.
+    let mut seen = vec![false; cfg.len()];
+    for b in order {
+        if seen[b.index()] {
+            return Err(LayoutError::IncompleteOrder);
+        }
+        seen[b.index()] = true;
+    }
+    if !seen.iter().all(|&s| s) || order.len() != cfg.len() {
+        return Err(LayoutError::IncompleteOrder);
+    }
+    // Validate: functions stay contiguous and entry-first.
+    for f in program.functions() {
+        let positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| f.contains(cfg.block(**b).start))
+            .map(|(i, _)| i)
+            .collect();
+        let contiguous =
+            positions.windows(2).all(|w| w[1] == w[0] + 1) && !positions.is_empty();
+        let entry_first = positions
+            .first()
+            .is_some_and(|&i| cfg.block(order[i]).start == f.entry);
+        if !contiguous || !entry_first {
+            return Err(LayoutError::SplitFunction { name: f.name.clone() });
+        }
+    }
+
+    let mut b = ProgramBuilder::with_base(program.base());
+    // One label per block, targeted by rewritten control flow.
+    let labels: HashMap<BlockId, Label> = cfg
+        .blocks()
+        .iter()
+        .map(|blk| (blk.id, b.forward_label(format!("B{}", blk.id.index()))))
+        .collect();
+    let label_of_pc = |pc: Pc| -> Option<Label> { cfg.block_of(pc).map(|id| labels[&id]) };
+
+    for (pos, &id) in order.iter().enumerate() {
+        let block = cfg.block(id);
+        // Function boundary: the block starting a function opens it.
+        if let Some(f) = program.function_of(block.start) {
+            if f.entry == block.start {
+                b.function(f.name.clone());
+            }
+        }
+        b.place(labels[&id]);
+        let next_in_layout = order.get(pos + 1).copied();
+
+        let last = block.last_pc();
+        for pc in block.pcs() {
+            let inst = *program.fetch(pc).expect("block pcs are in the image");
+            if pc != last {
+                b.emit(inst.op);
+                continue;
+            }
+            // Terminator: rewrite control flow for the new layout.
+            match inst.op {
+                Op::CondBr { cond, src, target } => {
+                    let taken = label_of_pc(target).expect("branch targets a block");
+                    let fall_pc = pc.next();
+                    let fall = label_of_pc(fall_pc);
+                    let taken_id = cfg.block_of(target);
+                    let fall_id = cfg.block_of(fall_pc);
+                    if next_in_layout.is_some() && next_in_layout == taken_id {
+                        // Taken target now falls through: invert.
+                        let fall =
+                            fall.expect("conditional branches have a fall-through block");
+                        b.cond_br(invert(cond), src, fall);
+                    } else {
+                        b.cond_br(cond, src, taken);
+                        if next_in_layout != fall_id {
+                            if let Some(fall) = fall {
+                                b.jmp(fall);
+                            }
+                        }
+                    }
+                }
+                Op::Jmp { target } => {
+                    let t = label_of_pc(target).expect("jump targets a block");
+                    if next_in_layout != cfg.block_of(target) {
+                        b.jmp(t);
+                    }
+                    // Else: elided, the target now falls through.
+                }
+                Op::Call { target, .. } => {
+                    let t = label_of_pc(target).expect("calls target a function entry");
+                    b.call(t);
+                    // The return lands right after the call: if the old
+                    // post-call block moved away, bridge with a jump.
+                    if let Some(post) = cfg.block_of(pc.next()) {
+                        if next_in_layout != Some(post) {
+                            b.jmp(labels[&post]);
+                        }
+                    }
+                }
+                Op::Ret { base } => {
+                    b.ret_via(base);
+                }
+                Op::Halt => {
+                    b.halt();
+                }
+                other => {
+                    // Straight-line block split by a leader: repair the
+                    // fall-through if the layout broke it.
+                    b.emit(other);
+                    if let Some(f) = cfg.block_of(block.end) {
+                        if next_in_layout != Some(f) {
+                            b.jmp(labels[&f]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{ArchState, Reg};
+
+    fn diamond_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.load_imm(Reg::R9, 37);
+        b.load_imm(Reg::R10, 0xACE1);
+        let top = b.label("top");
+        b.mul(Reg::R10, Reg::R10, Reg::R10);
+        b.addi(Reg::R10, Reg::R10, 0x9E37);
+        b.and(Reg::R2, Reg::R10, 3);
+        let arm = b.forward_label("arm");
+        let join = b.forward_label("join");
+        b.cond_br(Cond::Eq0, Reg::R2, arm);
+        b.addi(Reg::R3, Reg::R3, 1);
+        b.jmp(join);
+        b.place(arm);
+        b.addi(Reg::R4, Reg::R4, 7);
+        b.place(join);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn final_regs(p: &Program) -> Vec<u64> {
+        let mut s = ArchState::new(p);
+        s.run(p, 1_000_000).unwrap();
+        // Exclude the link register: return addresses are code addresses
+        // and legitimately change under relayout.
+        (0..32).filter(|&i| i != Reg::LINK.index() as u8).map(|i| s.reg(Reg::new(i))).collect()
+    }
+
+    #[test]
+    fn identity_order_preserves_behaviour() {
+        let p = diamond_loop();
+        let cfg = Cfg::build(&p);
+        let order: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        let q = reorder_blocks(&p, &cfg, &order).unwrap();
+        assert_eq!(final_regs(&p), final_regs(&q));
+    }
+
+    #[test]
+    fn every_intra_function_permutation_preserves_behaviour() {
+        // Exhaustively permute the non-entry blocks of the diamond loop
+        // (entry must stay first) and check architectural equivalence.
+        let p = diamond_loop();
+        let cfg = Cfg::build(&p);
+        let truth = final_regs(&p);
+        let all: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        let entry = all[0];
+        let rest: Vec<BlockId> = all[1..].to_vec();
+        let mut tried = 0;
+        permute(&rest, &mut |perm| {
+            let mut order = vec![entry];
+            order.extend_from_slice(perm);
+            let q = reorder_blocks(&p, &cfg, &order).unwrap();
+            assert_eq!(final_regs(&q), truth, "order {order:?}");
+            tried += 1;
+        });
+        assert!(tried >= 120, "tried {tried} permutations");
+    }
+
+    fn permute(items: &[BlockId], f: &mut impl FnMut(&[BlockId])) {
+        let mut v = items.to_vec();
+        let n = v.len();
+        heap_permute(&mut v, n, f);
+    }
+
+    fn heap_permute(v: &mut Vec<BlockId>, k: usize, f: &mut impl FnMut(&[BlockId])) {
+        if k <= 1 {
+            f(v);
+            return;
+        }
+        for i in 0..k {
+            heap_permute(v, k - 1, f);
+            if k.is_multiple_of(2) {
+                v.swap(i, k - 1);
+            } else {
+                v.swap(0, k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_jumps_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.jmp_ind(Reg::R1);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let order: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        assert!(matches!(
+            reorder_blocks(&p, &cfg, &order),
+            Err(LayoutError::IndirectJump { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_orders_are_rejected() {
+        let p = diamond_loop();
+        let cfg = Cfg::build(&p);
+        let all: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        // Duplicate block.
+        let mut dup = all.clone();
+        dup[1] = dup[0];
+        assert_eq!(reorder_blocks(&p, &cfg, &dup), Err(LayoutError::IncompleteOrder));
+        // Missing block.
+        assert_eq!(
+            reorder_blocks(&p, &cfg, &all[..all.len() - 1]),
+            Err(LayoutError::IncompleteOrder)
+        );
+        // Entry not first.
+        let mut swapped = all.clone();
+        swapped.swap(0, 1);
+        assert!(matches!(
+            reorder_blocks(&p, &cfg, &swapped),
+            Err(LayoutError::SplitFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_function_calls_survive_reordering() {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let helper = b.forward_label("helper");
+        b.load_imm(Reg::R9, 5);
+        let top = b.label("top");
+        b.call(helper);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.function("helper");
+        b.place(helper);
+        b.addi(Reg::R1, Reg::R1, 3);
+        b.ret();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let truth = final_regs(&p);
+        // Reverse the non-entry blocks of main.
+        let all: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        let main = p.function_named("main").unwrap();
+        let mut main_blocks: Vec<BlockId> = all
+            .iter()
+            .copied()
+            .filter(|&b| main.contains(cfg.block(b).start))
+            .collect();
+        main_blocks[1..].reverse();
+        let mut order = main_blocks;
+        let rest: Vec<BlockId> =
+            all.iter().copied().filter(|b| !order.contains(b)).collect();
+        order.extend(rest);
+        let q = reorder_blocks(&p, &cfg, &order).unwrap();
+        assert_eq!(final_regs(&q), truth);
+        assert_eq!(q.functions().len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! # profileme-opt
+//!
+//! Profile-guided optimization driven by ProfileMe samples — the §7
+//! payoff of the paper ("the rearrangement of procedures and basic
+//! blocks to improve I-cache locality", feeding trace-scheduling-style
+//! layout from sampled execution frequencies and branch directions).
+//!
+//! The pipeline is:
+//!
+//! 1. [`edge_weights_from_profile`] — turn a sampled
+//!    [`ProfileDatabase`](profileme_core::ProfileDatabase) (retire
+//!    estimates and branch-taken rates per instruction) into
+//!    control-flow edge weights.
+//! 2. [`hot_chains`] — greedy bottom-up chaining (Pettis–Hansen style):
+//!    merge blocks along the heaviest edges into chains, then order
+//!    chains by heat with the entry first.
+//! 3. [`reorder_blocks`] — rebuild the program with each function's
+//!    blocks in the new order, re-targeting branches, inverting
+//!    conditions so hot successors fall through, eliding jumps that
+//!    become fall-throughs, and inserting jumps where old fall-throughs
+//!    are broken. The transform preserves architectural behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_cfg::Cfg;
+//! use profileme_isa::{ArchState, Cond, ProgramBuilder, Reg};
+//! use profileme_opt::{hot_chains, reorder_blocks};
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.function("f");
+//! b.load_imm(Reg::R1, 10);
+//! let top = b.label("top");
+//! b.addi(Reg::R1, Reg::R1, -1);
+//! b.cond_br(Cond::Ne0, Reg::R1, top);
+//! b.halt();
+//! let p = b.build()?;
+//! let cfg = Cfg::build(&p);
+//! // With uniform weights the layout is behaviour-preserving even if
+//! // the order changes.
+//! let order = hot_chains(&p, &cfg, &HashMap::new());
+//! let q = reorder_blocks(&p, &cfg, &order)?;
+//! let mut a = ArchState::new(&p);
+//! let mut b2 = ArchState::new(&q);
+//! a.run(&p, 10_000)?;
+//! b2.run(&q, 10_000)?;
+//! assert_eq!(a.reg(Reg::R1), b2.reg(Reg::R1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chains;
+mod inline;
+mod layout;
+mod weights;
+
+pub use chains::hot_chains;
+pub use inline::{inline_call, InlineError};
+pub use layout::{reorder_blocks, LayoutError};
+pub use weights::{edge_weights_from_profile, EdgeWeights};

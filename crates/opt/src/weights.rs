@@ -1,0 +1,132 @@
+//! Edge weights from sampled profiles.
+
+use profileme_cfg::{BlockId, Cfg, EdgeKind};
+use profileme_core::ProfileDatabase;
+use profileme_isa::Program;
+use std::collections::HashMap;
+
+/// Control-flow edge weights, keyed by `(from, to)`.
+pub type EdgeWeights = HashMap<(BlockId, BlockId), f64>;
+
+/// Derives edge weights from a single-instruction sample database.
+///
+/// For a block ending in a conditional branch, the taken/not-taken edge
+/// weights are the branch's estimated executions split by its sampled
+/// taken rate (the Profiled Event Register's branch-direction bit,
+/// aggregated). For unconditional terminators the full block weight goes
+/// to the single successor. Call/return/indirect edges are ignored —
+/// layout works within functions and keeps call structure intact.
+pub fn edge_weights_from_profile(
+    db: &ProfileDatabase,
+    program: &Program,
+    cfg: &Cfg,
+) -> EdgeWeights {
+    let mut weights = EdgeWeights::new();
+    for block in cfg.blocks() {
+        let last = block.last_pc();
+        let prof = db.at(last);
+        // Weight of the block itself: prefer the terminator's samples;
+        // fall back to the block's hottest instruction.
+        let block_weight = if prof.retired > 0 {
+            db.estimated_retires(last).value()
+        } else {
+            block
+                .pcs()
+                .map(|pc| db.estimated_retires(pc).value())
+                .fold(0.0, f64::max)
+        };
+        if block_weight == 0.0 {
+            continue;
+        }
+        let succs = cfg.succs(block.id);
+        let taken_rate = if prof.retired > 0 {
+            prof.taken as f64 / prof.retired as f64
+        } else {
+            0.5
+        };
+        for e in succs {
+            let w = match e.kind {
+                EdgeKind::Taken => block_weight * taken_rate,
+                EdgeKind::NotTaken => block_weight * (1.0 - taken_rate),
+                EdgeKind::Jump | EdgeKind::FallThrough | EdgeKind::CallFallThrough => {
+                    block_weight
+                }
+                // Interprocedural edges do not drive intra-function layout.
+                EdgeKind::Call | EdgeKind::Return | EdgeKind::IndirectJump => continue,
+            };
+            if w > 0.0 {
+                *weights.entry((e.from, e.to)).or_insert(0.0) += w;
+            }
+        }
+        let _ = program; // reserved for future per-class weighting
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_core::{run_single, ProfileMeConfig};
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+    use profileme_uarch::PipelineConfig;
+
+    #[test]
+    fn biased_branch_weights_follow_the_taken_rate() {
+        // A loop whose diamond goes to the hot arm ~15/16 of the time.
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        b.load_imm(Reg::R9, 20_000);
+        b.load_imm(Reg::R10, 0x5eed_0001);
+        let top = b.label("top");
+        // xorshift step (a multiply-based update degenerates mod 16)
+        b.shl(Reg::R11, Reg::R10, 13);
+        b.xor(Reg::R10, Reg::R10, Reg::R11);
+        b.shr(Reg::R11, Reg::R10, 7);
+        b.xor(Reg::R10, Reg::R10, Reg::R11);
+        b.and(Reg::R2, Reg::R10, 15);
+        let cold = b.forward_label("cold");
+        let join = b.forward_label("join");
+        b.cond_br(Cond::Eq0, Reg::R2, cold); // taken ~1/16
+        b.addi(Reg::R3, Reg::R3, 1); // hot arm
+        b.jmp(join);
+        b.place(cold);
+        b.addi(Reg::R4, Reg::R4, 1);
+        b.place(join);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let run = run_single(
+            p.clone(),
+            None,
+            PipelineConfig::default(),
+            ProfileMeConfig { mean_interval: 32, buffer_depth: 8, ..Default::default() },
+            u64::MAX,
+        )
+        .unwrap();
+        let weights = edge_weights_from_profile(&run.db, &p, &cfg);
+        // Find the diamond's branch block and its two outgoing edges.
+        let branch_block = cfg
+            .blocks()
+            .iter()
+            .find(|blk| {
+                p.fetch(blk.last_pc())
+                    .is_some_and(|i| matches!(i.op, profileme_isa::Op::CondBr { cond: Cond::Eq0, .. }))
+            })
+            .expect("diamond branch exists");
+        let (mut taken_w, mut fall_w) = (0.0, 0.0);
+        for e in cfg.succs(branch_block.id) {
+            let w = weights.get(&(e.from, e.to)).copied().unwrap_or(0.0);
+            match e.kind {
+                EdgeKind::Taken => taken_w = w,
+                EdgeKind::NotTaken => fall_w = w,
+                _ => {}
+            }
+        }
+        assert!(
+            fall_w > 5.0 * taken_w,
+            "hot fall-through dominates: {fall_w:.0} vs {taken_w:.0}"
+        );
+    }
+}

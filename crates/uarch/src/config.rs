@@ -1,0 +1,238 @@
+//! Pipeline configuration.
+
+use crate::cache::CacheConfig;
+use crate::tlb::TlbConfig;
+use serde::{Deserialize, Serialize};
+
+/// Issue-ordering discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueOrder {
+    /// Out-of-order issue from the queue (Alpha 21264-style).
+    OutOfOrder,
+    /// Strict program-order issue: an unready instruction blocks all
+    /// younger ones (Alpha 21164-style, for the Figure 2 baseline).
+    InOrder,
+}
+
+/// Functional-unit provisioning and latency for one operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuSpec {
+    /// Number of units of this kind.
+    pub count: usize,
+    /// Execution latency in cycles.
+    pub latency: u64,
+    /// Whether the unit accepts a new operation every cycle.
+    pub pipelined: bool,
+}
+
+impl FuSpec {
+    /// A pipelined unit specification.
+    pub const fn pipelined(count: usize, latency: u64) -> FuSpec {
+        FuSpec { count, latency, pipelined: true }
+    }
+
+    /// An unpipelined unit specification (busy for its whole latency).
+    pub const fn unpipelined(count: usize, latency: u64) -> FuSpec {
+        FuSpec { count, latency, pipelined: false }
+    }
+}
+
+/// Full machine configuration.
+///
+/// The default configuration approximates the Alpha 21264 as described in
+/// §2.1 of the paper: 4-wide fetch/map/issue, ~80-entry instruction window,
+/// two memory ports, a gshare-style predictor with a 12-bit global history,
+/// and a two-level cache hierarchy. [`PipelineConfig::inorder_21164ish`]
+/// reconfigures it as a narrow in-order machine for the Figure 2 baseline.
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::PipelineConfig;
+/// let c = PipelineConfig::default();
+/// assert_eq!(c.fetch_width, 4);
+/// let inorder = PipelineConfig::inorder_21164ish();
+/// assert_eq!(inorder.issue_order, profileme_uarch::IssueOrder::InOrder);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Instructions fetched per cycle (also fetch opportunities per cycle).
+    pub fetch_width: usize,
+    /// Cycles between fetch and availability to the mapper (decode depth).
+    pub decode_latency: u64,
+    /// Instructions renamed/mapped per cycle.
+    pub map_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Issue discipline.
+    pub issue_order: IssueOrder,
+    /// Issue-queue capacity.
+    pub iq_size: usize,
+    /// In-flight window (reorder buffer) capacity.
+    pub rob_size: usize,
+    /// Number of physical registers.
+    pub phys_regs: usize,
+    /// Extra redirect bubble after a mispredict resolves.
+    pub mispredict_redirect_penalty: u64,
+
+    /// Integer ALU units (also execute control transfers).
+    pub fu_int_alu: FuSpec,
+    /// Integer multiplier.
+    pub fu_int_mul: FuSpec,
+    /// FP adder.
+    pub fu_fp_add: FuSpec,
+    /// FP multiplier.
+    pub fu_fp_mul: FuSpec,
+    /// FP divider.
+    pub fu_fp_div: FuSpec,
+    /// Memory ports (loads and stores).
+    pub mem_ports: usize,
+    /// Miss-address-file entries: maximum outstanding D-cache misses
+    /// (the 21264 has eight MAFs). A miss arriving with every entry
+    /// occupied waits for the earliest one to free.
+    pub miss_address_file: usize,
+
+    /// L1 instruction cache.
+    pub icache: CacheConfig,
+    /// L1 data cache.
+    pub dcache: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// D-cache hit latency in cycles.
+    pub dcache_hit_latency: u64,
+    /// Additional latency for an L1 miss that hits in L2.
+    pub l2_latency: u64,
+    /// Additional latency for an L2 miss (memory access).
+    pub memory_latency: u64,
+    /// Fetch stall for an I-cache miss that hits in L2.
+    pub icache_miss_penalty: u64,
+
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Extra latency for a TLB miss (software fill).
+    pub tlb_miss_penalty: u64,
+
+    /// Entries in the gshare pattern table (power of two).
+    pub predictor_table_size: usize,
+    /// Global-history bits used for prediction.
+    pub predictor_history_bits: usize,
+    /// Branch target buffer entries (power of two).
+    pub btb_size: usize,
+    /// Return address stack depth.
+    pub ras_size: usize,
+
+    /// Cycles fetch stalls while a profiling interrupt is serviced.
+    pub interrupt_cost: u64,
+    /// Window length in cycles for windowed-IPC recording (§6 uses 30).
+    pub ipc_window: u64,
+    /// Whether to record the per-window retire counts (costs memory
+    /// proportional to cycles / `ipc_window`).
+    pub record_windowed_ipc: bool,
+    /// Address-space/context identifier reported in samples.
+    pub context_id: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            fetch_width: 4,
+            decode_latency: 2,
+            map_width: 4,
+            issue_width: 4,
+            retire_width: 8,
+            issue_order: IssueOrder::OutOfOrder,
+            iq_size: 32,
+            rob_size: 80,
+            phys_regs: 112, // 32 architectural + 80 rename
+            mispredict_redirect_penalty: 1,
+            fu_int_alu: FuSpec::pipelined(4, 1),
+            fu_int_mul: FuSpec::pipelined(1, 7),
+            fu_fp_add: FuSpec::pipelined(1, 4),
+            fu_fp_mul: FuSpec::pipelined(1, 4),
+            fu_fp_div: FuSpec::unpipelined(1, 12),
+            mem_ports: 2,
+            miss_address_file: 8,
+            icache: CacheConfig { sets: 512, ways: 2, line_bytes: 64 },
+            dcache: CacheConfig { sets: 512, ways: 2, line_bytes: 64 },
+            l2: CacheConfig { sets: 4096, ways: 4, line_bytes: 64 },
+            dcache_hit_latency: 3,
+            l2_latency: 12,
+            memory_latency: 80,
+            icache_miss_penalty: 10,
+            itlb: TlbConfig { entries: 128, page_bytes: 8192 },
+            dtlb: TlbConfig { entries: 128, page_bytes: 8192 },
+            tlb_miss_penalty: 30,
+            predictor_table_size: 4096,
+            predictor_history_bits: 12,
+            btb_size: 512,
+            ras_size: 16,
+            interrupt_cost: 200,
+            ipc_window: 30,
+            record_windowed_ipc: true,
+            context_id: 1,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A narrow in-order configuration in the spirit of the Alpha 21164,
+    /// used as the Figure 2 in-order baseline: strict program-order issue
+    /// and a small in-flight window, so the distance between an event and
+    /// the interrupt-handler PC is nearly constant.
+    pub fn inorder_21164ish() -> PipelineConfig {
+        PipelineConfig {
+            issue_order: IssueOrder::InOrder,
+            rob_size: 8,
+            iq_size: 8,
+            issue_width: 2,
+            retire_width: 2,
+            fetch_width: 4,
+            map_width: 2,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths or sizes are zero, or if fewer physical registers
+    /// than architectural registers are configured.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.map_width > 0, "map width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.retire_width > 0, "retire width must be positive");
+        assert!(self.iq_size > 0, "issue queue must have capacity");
+        assert!(self.rob_size > 0, "in-flight window must have capacity");
+        assert!(
+            self.phys_regs > profileme_isa::Reg::COUNT,
+            "need more physical than architectural registers"
+        );
+        assert!(self.predictor_history_bits <= 32, "history bits limited to 32");
+        assert!(self.miss_address_file > 0, "need at least one miss address file entry");
+        assert!(self.ipc_window > 0, "ipc window must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PipelineConfig::default().validate();
+        PipelineConfig::inorder_21164ish().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "physical")]
+    fn too_few_phys_regs_rejected() {
+        let c = PipelineConfig { phys_regs: 16, ..PipelineConfig::default() };
+        c.validate();
+    }
+}

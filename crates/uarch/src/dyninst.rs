@@ -1,0 +1,188 @@
+//! In-flight dynamic instruction state.
+
+use crate::{AbortReason, EventSet};
+use profileme_cfg::BranchHistory;
+use profileme_isa::{Inst, Pc};
+use serde::{Deserialize, Serialize};
+
+/// A physical register number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysReg(pub u16);
+
+/// Where an in-flight instruction is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstState {
+    /// Fetched, waiting for decode/map.
+    Fetched,
+    /// Renamed and waiting in the issue queue.
+    Queued,
+    /// Issued to a functional unit.
+    Issued,
+    /// Execution complete; ready to retire.
+    Done,
+}
+
+/// Cycle numbers at which an instruction passed each pipeline milestone —
+/// the source of the paper's Latency Registers (Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timestamps {
+    /// Cycle fetched.
+    pub fetched: u64,
+    /// Cycle renamed/mapped.
+    pub mapped: Option<u64>,
+    /// Cycle all source operands became available.
+    pub data_ready: Option<u64>,
+    /// Cycle issued to a functional unit.
+    pub issued: Option<u64>,
+    /// Cycle execution completed (became ready to retire).
+    pub retire_ready: Option<u64>,
+    /// Cycle retired.
+    pub retired: Option<u64>,
+}
+
+/// The per-stage latencies of Table 1, derived from [`Timestamps`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageLatencies {
+    /// Fetch→Map: stalls for physical registers or issue-queue slots.
+    pub fetch_to_map: u64,
+    /// Map→Data ready: stalls due to data dependences.
+    pub map_to_data_ready: u64,
+    /// Data ready→Issue: stalls due to execution resource contention.
+    pub data_ready_to_issue: u64,
+    /// Issue→Retire ready: execution latency.
+    pub issue_to_retire_ready: u64,
+    /// Retire ready→Retire: stalls due to prior unretired instructions.
+    pub retire_ready_to_retire: u64,
+    /// Load issue→completion: memory system latency (loads only; zero
+    /// otherwise). May exceed `issue_to_retire_ready` because loads may
+    /// retire before the value returns.
+    pub load_completion: u64,
+}
+
+impl Timestamps {
+    /// Derives the Table 1 stage latencies; `None` unless the instruction
+    /// passed every milestone (i.e. it retired).
+    pub fn stage_latencies(&self, mem_latency: Option<u64>) -> Option<StageLatencies> {
+        let mapped = self.mapped?;
+        let data_ready = self.data_ready?;
+        let issued = self.issued?;
+        let retire_ready = self.retire_ready?;
+        let retired = self.retired?;
+        Some(StageLatencies {
+            fetch_to_map: mapped.saturating_sub(self.fetched),
+            map_to_data_ready: data_ready.saturating_sub(mapped),
+            data_ready_to_issue: issued.saturating_sub(data_ready),
+            issue_to_retire_ready: retire_ready.saturating_sub(issued),
+            retire_ready_to_retire: retired.saturating_sub(retire_ready),
+            load_completion: mem_latency.unwrap_or(0),
+        })
+    }
+
+    /// Fetch→retire-ready time: the paper's definition of how long the
+    /// instruction was "in progress" (§5.2.3, §6), excluding time spent
+    /// waiting for older instructions to retire.
+    pub fn in_progress_latency(&self) -> Option<u64> {
+        Some(self.retire_ready?.saturating_sub(self.fetched))
+    }
+}
+
+/// A dynamic (in-flight) instruction, as held in the pipeline's window.
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Unique, monotonically increasing fetch sequence number.
+    pub seq: u64,
+    /// The instruction's PC.
+    pub pc: Pc,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Whether it was fetched on the architecturally correct path.
+    pub correct_path: bool,
+    /// Lifecycle state.
+    pub state: InstState,
+    /// Milestone cycles.
+    pub ts: Timestamps,
+    /// Events experienced so far.
+    pub events: EventSet,
+    /// Global branch history at fetch (before this instruction's own
+    /// direction, if it is a branch).
+    pub history: BranchHistory,
+
+    /// Actual next PC (correct-path only).
+    pub actual_next: Option<Pc>,
+    /// Actual direction for conditional branches (correct-path only).
+    pub actual_taken: Option<bool>,
+    /// PC the fetcher followed after this instruction.
+    pub predicted_next: Pc,
+    /// Whether the fetch-time prediction will prove wrong (correct-path
+    /// control transfers only; acted upon when execution resolves).
+    pub will_mispredict: bool,
+
+    /// Effective address for memory operations.
+    pub eff_addr: Option<u64>,
+    /// Issue→completion latency for loads.
+    pub mem_latency: Option<u64>,
+
+    /// Renamed destination.
+    pub dst_phys: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register (for
+    /// squash undo and retire-time freeing).
+    pub old_phys: Option<PhysReg>,
+    /// Renamed sources.
+    pub src_phys: [Option<PhysReg>; 2],
+
+    /// ProfileMe tag, if this instruction is being sampled.
+    pub tag: Option<crate::TagId>,
+    /// Set when the instruction aborts instead of retiring.
+    pub abort: Option<AbortReason>,
+}
+
+impl DynInst {
+    /// Creates a freshly fetched instruction.
+    pub fn new(seq: u64, pc: Pc, inst: Inst, fetched: u64, correct_path: bool) -> DynInst {
+        DynInst {
+            seq,
+            pc,
+            inst,
+            correct_path,
+            state: InstState::Fetched,
+            ts: Timestamps { fetched, ..Timestamps::default() },
+            events: EventSet::new(),
+            history: BranchHistory::new(),
+            actual_next: None,
+            actual_taken: None,
+            predicted_next: pc.next(),
+            will_mispredict: false,
+            eff_addr: None,
+            mem_latency: None,
+            dst_phys: None,
+            old_phys: None,
+            src_phys: [None, None],
+            tag: None,
+            abort: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_latencies_require_all_milestones() {
+        let mut ts = Timestamps { fetched: 10, ..Timestamps::default() };
+        assert_eq!(ts.stage_latencies(None), None);
+        ts.mapped = Some(12);
+        ts.data_ready = Some(15);
+        ts.issued = Some(16);
+        ts.retire_ready = Some(20);
+        ts.retired = Some(25);
+        let l = ts.stage_latencies(Some(40)).unwrap();
+        assert_eq!(l.fetch_to_map, 2);
+        assert_eq!(l.map_to_data_ready, 3);
+        assert_eq!(l.data_ready_to_issue, 1);
+        assert_eq!(l.issue_to_retire_ready, 4);
+        assert_eq!(l.retire_ready_to_retire, 5);
+        assert_eq!(l.load_completion, 40);
+        assert_eq!(ts.in_progress_latency(), Some(10));
+    }
+}

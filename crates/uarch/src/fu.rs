@@ -1,0 +1,120 @@
+//! Functional-unit pools.
+
+use crate::config::FuSpec;
+use profileme_isa::OpClass;
+
+/// One pool of identical functional units.
+#[derive(Debug, Clone)]
+struct Pool {
+    spec: FuSpec,
+    /// Per-unit cycle until which the unit is occupied for *acceptance*
+    /// (pipelined units free up the next cycle; unpipelined ones block for
+    /// their full latency).
+    busy_until: Vec<u64>,
+}
+
+impl Pool {
+    fn new(spec: FuSpec) -> Pool {
+        Pool { spec, busy_until: vec![0; spec.count] }
+    }
+
+    fn try_acquire(&mut self, cycle: u64) -> Option<u64> {
+        let unit = self.busy_until.iter_mut().find(|b| **b <= cycle)?;
+        *unit = cycle + if self.spec.pipelined { 1 } else { self.spec.latency };
+        Some(self.spec.latency)
+    }
+}
+
+/// All functional units of the machine, plus the memory ports.
+///
+/// [`try_issue`](FuPool::try_issue) reserves a unit for the given opcode
+/// class at the given cycle and returns the operation's execution latency,
+/// or `None` if every unit of that kind is occupied.
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::{FuPool, PipelineConfig};
+/// use profileme_isa::OpClass;
+/// let mut fus = FuPool::new(&PipelineConfig::default());
+/// assert_eq!(fus.try_issue(OpClass::IntAlu, 0), Some(1));
+/// assert_eq!(fus.try_issue(OpClass::FpDiv, 0), Some(12));
+/// // The single divider is unpipelined: busy until cycle 12.
+/// assert_eq!(fus.try_issue(OpClass::FpDiv, 5), None);
+/// assert_eq!(fus.try_issue(OpClass::FpDiv, 12), Some(12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_alu: Pool,
+    int_mul: Pool,
+    fp_add: Pool,
+    fp_mul: Pool,
+    fp_div: Pool,
+    mem: Pool,
+}
+
+impl FuPool {
+    /// Builds the pools from a pipeline configuration.
+    pub fn new(config: &crate::PipelineConfig) -> FuPool {
+        FuPool {
+            int_alu: Pool::new(config.fu_int_alu),
+            int_mul: Pool::new(config.fu_int_mul),
+            fp_add: Pool::new(config.fu_fp_add),
+            fp_mul: Pool::new(config.fu_fp_mul),
+            fp_div: Pool::new(config.fu_fp_div),
+            mem: Pool::new(FuSpec::pipelined(config.mem_ports, 1)),
+        }
+    }
+
+    fn pool_for(&mut self, class: OpClass) -> &mut Pool {
+        match class {
+            OpClass::IntMul => &mut self.int_mul,
+            OpClass::FpAdd => &mut self.fp_add,
+            OpClass::FpMul => &mut self.fp_mul,
+            OpClass::FpDiv => &mut self.fp_div,
+            OpClass::Load | OpClass::Store => &mut self.mem,
+            // ALU ops, control transfers, and nops share the integer ALUs.
+            _ => &mut self.int_alu,
+        }
+    }
+
+    /// Attempts to reserve a unit for `class` at `cycle`; returns the
+    /// execution latency on success.
+    pub fn try_issue(&mut self, class: OpClass, cycle: u64) -> Option<u64> {
+        self.pool_for(class).try_acquire(cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+
+    #[test]
+    fn pipelined_pool_limits_per_cycle_throughput() {
+        let mut fus = FuPool::new(&PipelineConfig::default());
+        // Four integer ALUs: four issues per cycle, the fifth fails.
+        for _ in 0..4 {
+            assert_eq!(fus.try_issue(OpClass::IntAlu, 7), Some(1));
+        }
+        assert_eq!(fus.try_issue(OpClass::IntAlu, 7), None);
+        // Next cycle they are free again.
+        assert_eq!(fus.try_issue(OpClass::IntAlu, 8), Some(1));
+    }
+
+    #[test]
+    fn memory_ports_shared_by_loads_and_stores() {
+        let mut fus = FuPool::new(&PipelineConfig::default());
+        assert!(fus.try_issue(OpClass::Load, 0).is_some());
+        assert!(fus.try_issue(OpClass::Store, 0).is_some());
+        assert_eq!(fus.try_issue(OpClass::Load, 0), None);
+    }
+
+    #[test]
+    fn multiplier_is_pipelined_but_long() {
+        let mut fus = FuPool::new(&PipelineConfig::default());
+        assert_eq!(fus.try_issue(OpClass::IntMul, 0), Some(7));
+        // Pipelined: a second multiply can start the next cycle.
+        assert_eq!(fus.try_issue(OpClass::IntMul, 1), Some(7));
+    }
+}

@@ -1,0 +1,191 @@
+//! The profiling-hardware attachment point.
+//!
+//! ProfileMe (and the event-counter baseline it is compared against) are
+//! hardware blocks wired into the pipeline. This module defines that
+//! seam: the pipeline calls into a [`ProfilingHardware`] implementation at
+//! each fetch opportunity, on every countable event, and when a tagged
+//! instruction leaves the pipeline; the hardware can request interrupts,
+//! which the pipeline delivers to the simulation driver.
+
+use crate::{EventSet, StageLatencies, Timestamps};
+use profileme_cfg::BranchHistory;
+use profileme_isa::{Inst, OpClass, Pc};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the (few) simultaneously profiled instructions — the
+/// ProfileMe tag of §4.1.2. For paired sampling two tags exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TagId(pub u8);
+
+/// Decision returned from [`ProfilingHardware::on_fetch_opportunity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagDecision {
+    /// Do not profile this slot.
+    Pass,
+    /// Tag the instruction in this slot (if any) with the given tag.
+    Tag(TagId),
+}
+
+/// What the fetcher presented in one fetch opportunity (§4.1.1): an
+/// instruction on the predicted path, an instruction in the fetch block
+/// but off the predicted path, or nothing at all (fetcher stalled).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchOpportunity {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Slot index within the cycle (`0..fetch_width`).
+    pub slot: usize,
+    /// PC occupying the slot, if any.
+    pub pc: Option<Pc>,
+    /// The static instruction at that PC, if any.
+    pub inst: Option<Inst>,
+    /// Whether the slot's instruction is on the predicted control path
+    /// (and therefore actually enters the pipeline).
+    pub on_predicted_path: bool,
+    /// Pipeline sequence number, when the instruction enters the pipeline.
+    pub seq: Option<u64>,
+}
+
+/// A countable hardware event, as traditional performance counters see
+/// them (used by the `profileme-counters` baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwEventKind {
+    /// A load or store accessed the D-cache.
+    DCacheAccess,
+    /// A load or store missed in the D-cache.
+    DCacheMiss,
+    /// An instruction fetch missed in the I-cache.
+    ICacheMiss,
+    /// A conditional branch resolved mispredicted.
+    BranchMispredict,
+    /// An instruction retired.
+    Retire,
+    /// An instruction issued.
+    Issue,
+}
+
+/// A countable event instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwEvent {
+    /// What happened.
+    pub kind: HwEventKind,
+    /// Cycle of occurrence.
+    pub cycle: u64,
+    /// PC of the instruction that caused the event.
+    pub pc: Pc,
+}
+
+/// Everything recorded about a tagged instruction when it leaves the
+/// pipeline — the signals that feed the Profile Registers (§4.1.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedSample {
+    /// The tag the instruction carried.
+    pub tag: TagId,
+    /// Pipeline sequence number.
+    pub seq: u64,
+    /// Profiled PC Register.
+    pub pc: Pc,
+    /// Profiled Context Register (address-space id).
+    pub context: u64,
+    /// Opcode class.
+    pub class: OpClass,
+    /// Profiled Event Register.
+    pub events: EventSet,
+    /// Whether the instruction retired (also in `events`).
+    pub retired: bool,
+    /// Profiled Address Register: effective address or indirect target.
+    pub eff_addr: Option<u64>,
+    /// Direction, for conditional branches.
+    pub taken: Option<bool>,
+    /// Profiled Path Register: global branch history at fetch.
+    pub history: BranchHistory,
+    /// Raw milestone cycles.
+    pub timestamps: Timestamps,
+    /// Table 1 latencies (retired instructions only).
+    pub latencies: Option<StageLatencies>,
+    /// Load issue→completion latency.
+    pub mem_latency: Option<u64>,
+}
+
+/// An interrupt request raised by profiling hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptRequest {
+    /// Cycles between the request and its recognition by the pipeline
+    /// (the "skid" that smears event-counter attribution; ProfileMe's
+    /// attribution is immune to it because identity travels in the
+    /// profile registers).
+    pub skid: u64,
+}
+
+/// A delivered profiling interrupt, handed to the simulation driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptEvent {
+    /// Delivery cycle.
+    pub cycle: u64,
+    /// The PC the handler observes: the oldest unretired instruction (the
+    /// restart PC), or the fetch PC if the window is empty. This is the
+    /// PC that event-counter profiling *mis*attributes events to.
+    pub attributed_pc: Pc,
+}
+
+/// Hardware wired into the pipeline's profiling seam.
+///
+/// All methods have no-op defaults so implementations override only what
+/// they observe. The pipeline invokes them in this order each cycle:
+/// events and completions as they occur, `on_fetch_opportunity` for every
+/// fetch slot, then `take_interrupt` at cycle end.
+pub trait ProfilingHardware {
+    /// Called at the start of every cycle (before any events fire).
+    fn on_cycle(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// Called once per fetch opportunity; return a tag to profile the
+    /// slot's instruction.
+    fn on_fetch_opportunity(&mut self, opportunity: &FetchOpportunity) -> TagDecision {
+        let _ = opportunity;
+        TagDecision::Pass
+    }
+
+    /// Called for every countable hardware event.
+    fn on_event(&mut self, event: HwEvent) {
+        let _ = event;
+    }
+
+    /// Called when a tagged instruction retires or aborts.
+    fn on_tagged_complete(&mut self, sample: &CompletedSample) {
+        let _ = sample;
+    }
+
+    /// Polled at the end of every cycle; return `Some` to raise an
+    /// interrupt.
+    fn take_interrupt(&mut self) -> Option<InterruptRequest> {
+        None
+    }
+}
+
+/// Hardware that observes nothing (for raw simulation runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullHardware;
+
+impl ProfilingHardware for NullHardware {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hardware_defaults() {
+        let mut h = NullHardware;
+        let opp = FetchOpportunity {
+            cycle: 0,
+            slot: 0,
+            pc: None,
+            inst: None,
+            on_predicted_path: false,
+            seq: None,
+        };
+        assert_eq!(h.on_fetch_opportunity(&opp), TagDecision::Pass);
+        assert_eq!(h.take_interrupt(), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! # profileme-uarch
+//!
+//! A cycle-level simulator of a superscalar out-of-order processor in the
+//! mould of the Alpha 21264 — the substrate on which the ProfileMe
+//! reproduction runs (the paper's own evaluation used DIGITAL's
+//! cycle-accurate 21264 simulator, which this crate re-implements from the
+//! description in §2.1 and Figure 1).
+//!
+//! The pipeline fetches along the *predicted* control path (real branch
+//! predictor, real wrong-path fetch), renames onto physical registers,
+//! issues out of order from an issue queue, executes with per-class
+//! functional-unit latencies and a two-level cache hierarchy, and retires
+//! in order. Mispredicted branches squash younger instructions, which is
+//! how aborted instructions come to exist — the population ProfileMe's
+//! retired/aborted status bit distinguishes.
+//!
+//! Profiling hardware (ProfileMe itself, or the event-counter baseline)
+//! attaches through the [`ProfilingHardware`] trait and observes fetch
+//! opportunities, countable events, and completed tagged instructions; it
+//! raises interrupts the pipeline delivers to the simulation driver.
+//!
+//! Per-instruction milestone cycles ([`Timestamps`]) yield the latency
+//! breakdown of the paper's Table 1 ([`StageLatencies`]); exact per-PC
+//! ground truth ([`SimStats`]) is kept so sampling estimates can be judged
+//! against reality (Figure 3).
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_uarch::{NullHardware, Pipeline, PipelineConfig};
+//! use profileme_isa::{ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.function("main");
+//! for i in 0..8 {
+//!     b.addi(Reg::R1, Reg::R1, i);
+//! }
+//! b.halt();
+//! let p = b.build()?;
+//!
+//! let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+//! sim.run(10_000)?;
+//! assert_eq!(sim.stats().retired, 9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod dyninst;
+mod events;
+mod fu;
+mod hw;
+mod pipeline;
+mod predictor;
+mod regfile;
+mod stats;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig};
+pub use config::{FuSpec, IssueOrder, PipelineConfig};
+pub use dyninst::{DynInst, InstState, PhysReg, StageLatencies, Timestamps};
+pub use events::{AbortReason, EventSet};
+pub use fu::FuPool;
+pub use hw::{
+    CompletedSample, FetchOpportunity, HwEvent, HwEventKind, InterruptEvent, InterruptRequest,
+    NullHardware, ProfilingHardware, TagDecision, TagId,
+};
+pub use pipeline::{Pipeline, SimError};
+pub use predictor::BranchPredictor;
+pub use regfile::RenameState;
+pub use stats::{LatencySums, PcStats, SimStats};
+pub use tlb::{Tlb, TlbConfig};

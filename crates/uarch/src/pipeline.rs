@@ -1,0 +1,841 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Architecture (Figure 1 of the paper, Alpha 21264-flavoured):
+//!
+//! ```text
+//! fetch (predicted path, 4-wide, I-cache/I-TLB, branch/jump prediction)
+//!   -> decode/map (rename onto physical registers, allocate window entry)
+//!   -> issue queue (wake-up on operand readiness, oldest-first select)
+//!   -> functional units (latencies per class, D-cache/D-TLB for memory)
+//!   -> in-order retire
+//! ```
+//!
+//! Functional correctness comes from an *oracle*: the architectural
+//! emulator is stepped at fetch time for instructions on the correct path,
+//! giving real branch outcomes and effective addresses. Mispredicted
+//! branches divert fetch down the *predicted* (wrong) path; wrong-path
+//! instructions really occupy pipeline resources, are really tagged and
+//! sampled, and are squashed when the mispredicted branch resolves —
+//! exactly the behaviour ProfileMe's retired/aborted status bit exists to
+//! expose.
+
+use crate::{
+    AbortReason, BranchPredictor, Cache, CompletedSample, DynInst, EventSet, FetchOpportunity,
+    FuPool, HwEvent, HwEventKind, InstState, InterruptEvent, IssueOrder, PipelineConfig,
+    ProfilingHardware, RenameState, SimStats, TagDecision, Tlb,
+};
+use profileme_isa::{ArchState, Op, Pc, Program};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from driving the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out before the program halted.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded {limit} cycles without halting")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The simulated processor.
+///
+/// Generic over the attached [`ProfilingHardware`]; use
+/// [`NullHardware`](crate::NullHardware) for plain runs.
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::{NullHardware, Pipeline, PipelineConfig};
+/// use profileme_isa::{Cond, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.function("f");
+/// b.load_imm(Reg::R1, 100);
+/// let top = b.label("top");
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.cond_br(Cond::Ne0, Reg::R1, top);
+/// b.halt();
+/// let p = b.build()?;
+/// let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+/// sim.run(1_000_000)?;
+/// assert_eq!(sim.stats().retired, 202); // ldi + 100*(addi+bne) + halt
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pipeline<H> {
+    config: PipelineConfig,
+    program: Program,
+    oracle: ArchState,
+    hw: H,
+
+    now: u64,
+    seq_next: u64,
+    done: bool,
+
+    rob: VecDeque<DynInst>,
+    /// Sequence numbers awaiting map, oldest first.
+    fetch_queue: VecDeque<u64>,
+    /// Sequence numbers in the issue queue, oldest first.
+    iq: Vec<u64>,
+
+    fetch_pc: Pc,
+    /// Fetch is on the wrong (predicted-but-incorrect) path.
+    diverged: bool,
+    /// Wrong-path fetch ran off the image; waiting for the squash.
+    wrongpath_exhausted: bool,
+    /// Correct-path halt fetched; no more useful fetching.
+    fetch_stopped: bool,
+    fetch_stall_until: u64,
+    /// While servicing a profiling interrupt, profiling itself is
+    /// suspended (as on real systems, where the handler runs with
+    /// sampling disabled): no fetch opportunities are offered.
+    profiling_suspended_until: u64,
+    last_fetch_line: Option<u64>,
+    /// Fetch events (I-cache/I-TLB miss) waiting to be attached to the PC
+    /// whose fetch triggered them.
+    pending_fetch_events: Option<(Pc, EventSet)>,
+
+    rename: RenameState,
+    fus: FuPool,
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    predictor: BranchPredictor,
+
+    pending_interrupts: VecDeque<u64>,
+    /// Completion cycles of outstanding D-cache misses (the miss address
+    /// file): bounded miss-level parallelism.
+    maf: Vec<u64>,
+    stats: SimStats,
+}
+
+impl<H: ProfilingHardware> Pipeline<H> {
+    /// Creates a pipeline positioned at the program's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`PipelineConfig::validate`]).
+    pub fn new(program: Program, config: PipelineConfig, hardware: H) -> Pipeline<H> {
+        config.validate();
+        let oracle = ArchState::new(&program);
+        Pipeline::with_oracle(program, config, hardware, oracle)
+    }
+
+    /// Creates a pipeline around a pre-initialized architectural state
+    /// (e.g. with memory set up for pointer-chasing workloads).
+    pub fn with_oracle(
+        program: Program,
+        config: PipelineConfig,
+        hardware: H,
+        oracle: ArchState,
+    ) -> Pipeline<H> {
+        config.validate();
+        let stats = SimStats::new(&program);
+        let fetch_pc = oracle.pc();
+        Pipeline {
+            rename: RenameState::new(config.phys_regs),
+            fus: FuPool::new(&config),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            l2: Cache::new(config.l2),
+            itlb: Tlb::new(config.itlb),
+            dtlb: Tlb::new(config.dtlb),
+            predictor: BranchPredictor::new(
+                config.predictor_table_size,
+                config.predictor_history_bits,
+                config.btb_size,
+                config.ras_size,
+            ),
+            config,
+            program,
+            oracle,
+            hw: hardware,
+            now: 0,
+            seq_next: 0,
+            done: false,
+            rob: VecDeque::new(),
+            fetch_queue: VecDeque::new(),
+            iq: Vec::new(),
+            fetch_pc,
+            diverged: false,
+            wrongpath_exhausted: false,
+            fetch_stopped: false,
+            fetch_stall_until: 0,
+            profiling_suspended_until: 0,
+            last_fetch_line: None,
+            pending_fetch_events: None,
+            pending_interrupts: VecDeque::new(),
+            maf: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Admission time for a new D-cache miss at `cycle`, honouring the
+    /// miss-address-file bound: with every entry occupied, the miss
+    /// starts when the earliest outstanding one completes.
+    fn maf_admit(&mut self, cycle: u64) -> u64 {
+        self.maf.retain(|&done| done > cycle);
+        let limit = self.config.miss_address_file;
+        if self.maf.len() < limit {
+            cycle
+        } else {
+            let mut completions = self.maf.clone();
+            completions.sort_unstable();
+            completions[self.maf.len() - limit]
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The attached profiling hardware.
+    pub fn hardware(&self) -> &H {
+        &self.hw
+    }
+
+    /// Mutable access to the profiling hardware (for interrupt handlers
+    /// reading profile registers and re-arming counters).
+    pub fn hardware_mut(&mut self) -> &mut H {
+        &mut self.hw
+    }
+
+    /// The simulated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The current cycle number.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether the program has retired its halt.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Advances one cycle; returns a profiling interrupt if one is
+    /// delivered this cycle.
+    pub fn cycle(&mut self) -> Option<InterruptEvent> {
+        let c = self.now;
+        self.stats.cycles += 1;
+        self.hw.on_cycle(c);
+        self.retire_stage(c);
+        self.complete_stage(c);
+        self.issue_stage(c);
+        self.map_stage(c);
+        self.fetch_stage(c);
+        let intr = self.interrupt_stage(c);
+        self.now += 1;
+        intr
+    }
+
+    /// Runs until the program halts, ignoring interrupts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        self.run_with(max_cycles, |_, _| {})
+    }
+
+    /// Runs until the program halts, invoking `handler` for every
+    /// delivered profiling interrupt with access to the hardware (so the
+    /// handler can read profile registers and re-arm counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the budget is exhausted.
+    pub fn run_with<F>(&mut self, max_cycles: u64, mut handler: F) -> Result<(), SimError>
+    where
+        F: FnMut(InterruptEvent, &mut H),
+    {
+        while !self.done {
+            if self.now >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            if let Some(e) = self.cycle() {
+                handler(e, &mut self.hw);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- retire ---------------------------------------------------------
+
+    fn retire_stage(&mut self, c: u64) {
+        let mut retired = 0;
+        while retired < self.config.retire_width {
+            match self.rob.front() {
+                Some(head) if head.state == InstState::Done => {}
+                _ => break,
+            }
+            let mut di = self.rob.pop_front().expect("head checked above");
+            debug_assert!(di.correct_path, "only correct-path instructions reach retire");
+            di.ts.retired = Some(c);
+            di.events.set(EventSet::RETIRED);
+            if let Some(old) = di.old_phys {
+                self.rename.release(old);
+            }
+            self.note_retire_stats(&di, c);
+            self.hw.on_event(HwEvent { kind: HwEventKind::Retire, cycle: c, pc: di.pc });
+            if di.tag.is_some() {
+                let sample = make_sample(&di, self.config.context_id, true);
+                self.hw.on_tagged_complete(&sample);
+            }
+            if di.inst.is_halt() {
+                self.done = true;
+                break;
+            }
+            retired += 1;
+        }
+    }
+
+    fn note_retire_stats(&mut self, di: &DynInst, c: u64) {
+        self.stats.retired += 1;
+        if di.inst.is_cond_branch() {
+            self.stats.cond_branches += 1;
+        }
+        if self.config.record_windowed_ipc {
+            let w = (c / self.config.ipc_window) as usize;
+            if self.stats.window_retires.len() <= w {
+                self.stats.window_retires.resize(w + 1, 0);
+            }
+            self.stats.window_retires[w] += 1;
+        }
+        if let Some(s) = self.stats.at_mut(&self.program, di.pc) {
+            s.retired += 1;
+            if di.actual_taken == Some(true) {
+                s.taken += 1;
+            }
+            if di.events.contains(EventSet::MISPREDICTED) {
+                s.mispredicted += 1;
+            }
+            if let Some(l) = di.ts.stage_latencies(di.mem_latency) {
+                s.latency_sums.add(&l);
+            }
+            if let Some(p) = di.ts.in_progress_latency() {
+                s.in_progress_sum += p;
+            }
+        }
+    }
+
+    // ----- complete / resolve --------------------------------------------
+
+    fn complete_stage(&mut self, c: u64) {
+        let mut resolved_mispredict: Option<(u64, Pc)> = None;
+        let mut i = 0;
+        while i < self.rob.len() {
+            let di = &mut self.rob[i];
+            if di.state == InstState::Issued && di.ts.retire_ready.is_some_and(|r| r <= c) {
+                di.state = InstState::Done;
+                if di.correct_path && di.inst.is_control() {
+                    // Train the predictor with the resolved outcome.
+                    let (pc, history) = (di.pc, di.history);
+                    let taken = di.actual_taken;
+                    let actual_next = di.actual_next;
+                    let will_mispredict = di.will_mispredict;
+                    let op = di.inst.op;
+                    if let Some(t) = taken {
+                        self.predictor.update_cond(pc, &history, t);
+                    }
+                    if matches!(op, Op::JmpInd { .. }) {
+                        if let Some(next) = actual_next {
+                            self.predictor.btb_update(pc, next);
+                        }
+                    }
+                    if will_mispredict {
+                        let di = &mut self.rob[i];
+                        di.events.set(EventSet::MISPREDICTED);
+                        self.stats.mispredicts += 1;
+                        self.predictor.note_mispredict();
+                        self.predictor.repair(&history, taken.unwrap_or(true));
+                        self.hw.on_event(HwEvent {
+                            kind: HwEventKind::BranchMispredict,
+                            cycle: c,
+                            pc,
+                        });
+                        resolved_mispredict =
+                            Some((self.rob[i].seq, actual_next.expect("correct path resolves")));
+                        break; // everything younger is wrong-path
+                    }
+                }
+            }
+            i += 1;
+        }
+        if let Some((seq, target)) = resolved_mispredict {
+            self.squash_after(seq, c, target);
+        }
+    }
+
+    fn squash_after(&mut self, seq: u64, c: u64, redirect_to: Pc) {
+        while let Some(back) = self.rob.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let mut di = self.rob.pop_back().expect("back checked above");
+            // Undo renaming youngest-first.
+            if let (Some(dst), Some(old), Some(arch)) =
+                (di.dst_phys, di.old_phys, di.inst.dst())
+            {
+                self.rename.undo(arch, old, dst);
+            }
+            di.abort = Some(AbortReason::MispredictSquash);
+            self.stats.squashed += 1;
+            if let Some(s) = self.stats.at_mut(&self.program, di.pc) {
+                s.aborted += 1;
+            }
+            if di.tag.is_some() {
+                let sample = make_sample(&di, self.config.context_id, false);
+                self.hw.on_tagged_complete(&sample);
+            }
+        }
+        self.iq.retain(|&s| s <= seq);
+        self.fetch_queue.retain(|&s| s <= seq);
+        self.diverged = false;
+        self.wrongpath_exhausted = false;
+        self.fetch_stopped = false;
+        self.fetch_pc = redirect_to;
+        self.last_fetch_line = None;
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(c + 1 + self.config.mispredict_redirect_penalty);
+    }
+
+    // ----- issue ----------------------------------------------------------
+
+    fn issue_stage(&mut self, c: u64) {
+        let mut issued_seqs: Vec<u64> = Vec::new();
+        let mut issued = 0;
+        for qi in 0..self.iq.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let seq = self.iq[qi];
+            let idx = self.rob_index(seq).expect("iq entries are in the window");
+            let ready = {
+                let di = &self.rob[idx];
+                di.src_phys
+                    .iter()
+                    .flatten()
+                    .all(|&p| self.rename.is_ready(p, c))
+            };
+            if !ready {
+                match self.config.issue_order {
+                    IssueOrder::InOrder => break,
+                    IssueOrder::OutOfOrder => continue,
+                }
+            }
+            let class = self.rob[idx].inst.class();
+            let Some(latency) = self.fus.try_issue(class, c) else {
+                match self.config.issue_order {
+                    IssueOrder::InOrder => break,
+                    IssueOrder::OutOfOrder => continue,
+                }
+            };
+            self.do_issue(idx, c, latency);
+            issued_seqs.push(seq);
+            issued += 1;
+        }
+        if !issued_seqs.is_empty() {
+            self.iq.retain(|s| !issued_seqs.contains(s));
+        }
+    }
+
+    fn do_issue(&mut self, idx: usize, c: u64, latency: u64) {
+        let (pc, class, correct_path, seq, src_phys, mapped) = {
+            let di = &self.rob[idx];
+            (di.pc, di.inst.class(), di.correct_path, di.seq, di.src_phys, di.ts.mapped)
+        };
+        // Data-ready time: when the last operand became available (bounded
+        // below by the map cycle).
+        let mut data_ready = mapped.unwrap_or(0);
+        for p in src_phys.iter().flatten() {
+            data_ready = data_ready.max(self.rename.ready_at(*p));
+        }
+        let mut retire_ready = c + latency;
+        let mut dst_ready = c + latency;
+        let mut mem_latency = None;
+        let mut events = EventSet::new();
+
+        if class.is_mem() {
+            events.set(EventSet::MEMORY_OP);
+            let addr = self.rob[idx]
+                .eff_addr
+                .unwrap_or_else(|| synth_wrong_path_addr(pc, seq));
+            self.rob[idx].eff_addr = Some(addr);
+            let mut lat = self.config.dcache_hit_latency;
+            if !self.dtlb.access(addr) {
+                events.set(EventSet::DTLB_MISS);
+                lat += self.config.tlb_miss_penalty;
+            }
+            self.stats.dcache_accesses += 1;
+            self.hw.on_event(HwEvent { kind: HwEventKind::DCacheAccess, cycle: c, pc });
+            let miss = !self.dcache.access(addr);
+            if miss {
+                events.set(EventSet::DCACHE_MISS);
+                let mut miss_latency = self.config.l2_latency;
+                if !self.l2.access(addr) {
+                    events.set(EventSet::L2_MISS);
+                    miss_latency += self.config.memory_latency;
+                }
+                // Bounded miss-level parallelism: the fill may have to
+                // wait for a miss-address-file entry.
+                let begin = self.maf_admit(c);
+                self.maf.push(begin + miss_latency);
+                lat += (begin - c) + miss_latency;
+                self.stats.dcache_misses += 1;
+                self.hw.on_event(HwEvent { kind: HwEventKind::DCacheMiss, cycle: c, pc });
+                if correct_path {
+                    if let Some(s) = self.stats.at_mut(&self.program, pc) {
+                        s.dcache_misses += 1;
+                    }
+                }
+            }
+            if correct_path {
+                if let Some(s) = self.stats.at_mut(&self.program, pc) {
+                    s.dcache_accesses += 1;
+                }
+            }
+            // Loads retire before the value returns (Alpha-style): the
+            // instruction is retire-ready quickly, but consumers wait the
+            // full memory latency.
+            retire_ready = c + 1;
+            if class == profileme_isa::OpClass::Load {
+                mem_latency = Some(lat);
+                dst_ready = c + lat;
+            } else {
+                dst_ready = c + 1;
+            }
+        }
+
+        self.stats.issued += 1;
+        self.hw.on_event(HwEvent { kind: HwEventKind::Issue, cycle: c, pc });
+
+        let di = &mut self.rob[idx];
+        di.state = InstState::Issued;
+        di.ts.issued = Some(c);
+        di.ts.data_ready = Some(data_ready.min(c));
+        di.ts.retire_ready = Some(retire_ready);
+        di.mem_latency = mem_latency;
+        di.events.set(events);
+        if let Some(dst) = di.dst_phys {
+            self.rename.set_ready_at(dst, dst_ready);
+        }
+    }
+
+    // ----- map / rename ---------------------------------------------------
+
+    fn map_stage(&mut self, c: u64) {
+        let mut mapped = 0;
+        while mapped < self.config.map_width {
+            let Some(&seq) = self.fetch_queue.front() else { break };
+            let idx = self.rob_index(seq).expect("fetch queue entries are in the window");
+            if self.rob[idx].ts.fetched + self.config.decode_latency > c {
+                break; // still in decode
+            }
+            if self.iq.len() >= self.config.iq_size {
+                break; // no issue-queue slot (shows up as fetch→map latency)
+            }
+            if self.rob[idx].inst.dst().is_some() && self.rename.free_count() == 0 {
+                break; // no free physical register
+            }
+            let di = &mut self.rob[idx];
+            // Sources first (an instruction reading and writing the same
+            // architectural register reads the previous mapping).
+            let srcs = di.inst.srcs();
+            let mut src_phys = [None, None];
+            for (k, s) in srcs.iter().enumerate() {
+                if let Some(r) = s {
+                    src_phys[k] = Some(self.rename.lookup(*r));
+                }
+            }
+            let mut dst_phys = None;
+            let mut old_phys = None;
+            if let Some(d) = di.inst.dst() {
+                let (new, old) = self.rename.allocate(d).expect("free count checked above");
+                dst_phys = Some(new);
+                old_phys = Some(old);
+            }
+            let di = &mut self.rob[idx];
+            di.src_phys = src_phys;
+            di.dst_phys = dst_phys;
+            di.old_phys = old_phys;
+            di.ts.mapped = Some(c);
+            di.state = InstState::Queued;
+            self.iq.push(seq);
+            self.fetch_queue.pop_front();
+            mapped += 1;
+        }
+    }
+
+    // ----- fetch ----------------------------------------------------------
+
+    fn fetch_stage(&mut self, c: u64) {
+        if c < self.profiling_suspended_until {
+            // Inside the profiling interrupt handler: fetch is stalled and
+            // no fetch opportunities are offered to the hardware.
+            return;
+        }
+        self.stats.fetch_opportunities += self.config.fetch_width as u64;
+        // After a predicted-taken transfer, the rest of the fetch block
+        // holds instructions that are *not* on the predicted path.
+        let mut off_path_pc: Option<Pc> = None;
+        for slot in 0..self.config.fetch_width {
+            if let Some(pc) = off_path_pc {
+                let inst = self.program.fetch(pc).copied();
+                let opp = FetchOpportunity {
+                    cycle: c,
+                    slot,
+                    pc: inst.is_some().then_some(pc),
+                    inst,
+                    on_predicted_path: false,
+                    seq: None,
+                };
+                // Off-path slots cannot enter the pipeline; a tag decision
+                // here is the hardware's problem (it will record an
+                // invalid sample).
+                let _ = self.hw.on_fetch_opportunity(&opp);
+                off_path_pc = Some(pc.next());
+                continue;
+            }
+            let blocked = c < self.fetch_stall_until
+                || self.fetch_stopped
+                || self.wrongpath_exhausted
+                || self.rob.len() >= self.config.rob_size;
+            if blocked {
+                self.empty_opportunity(c, slot);
+                continue;
+            }
+            let pc = self.fetch_pc;
+            let Some(inst) = self.program.fetch(pc).copied() else {
+                // Wrong-path fetch ran off the image.
+                self.wrongpath_exhausted = true;
+                self.empty_opportunity(c, slot);
+                continue;
+            };
+            // I-cache / I-TLB, once per line.
+            let line = pc.addr() / self.config.icache.line_bytes as u64;
+            if self.last_fetch_line != Some(line) {
+                self.last_fetch_line = Some(line);
+                let mut stall = 0;
+                let mut ev = EventSet::new();
+                if !self.itlb.access(pc.addr()) {
+                    ev.set(EventSet::ITLB_MISS);
+                    stall += self.config.tlb_miss_penalty;
+                }
+                if !self.icache.access(pc.addr()) {
+                    ev.set(EventSet::ICACHE_MISS);
+                    stall += self.config.icache_miss_penalty;
+                    if !self.l2.access(pc.addr()) {
+                        stall += self.config.memory_latency;
+                    }
+                    self.stats.icache_misses += 1;
+                    self.hw.on_event(HwEvent { kind: HwEventKind::ICacheMiss, cycle: c, pc });
+                    if let Some(s) = self.stats.at_mut(&self.program, pc) {
+                        s.icache_misses += 1;
+                    }
+                }
+                if !ev.is_empty() {
+                    self.pending_fetch_events = Some((pc, ev));
+                }
+                if stall > 0 {
+                    self.fetch_stall_until = c + stall;
+                    self.empty_opportunity(c, slot);
+                    continue;
+                }
+            }
+
+            let seq = self.seq_next;
+            self.seq_next += 1;
+            let mut di = DynInst::new(seq, pc, inst, c, !self.diverged);
+            if let Some((ppc, ev)) = self.pending_fetch_events {
+                if ppc == pc {
+                    di.events.set(ev);
+                    self.pending_fetch_events = None;
+                }
+            }
+            di.history = *self.predictor.history();
+
+            if di.correct_path {
+                assert_eq!(pc, self.oracle.pc(), "oracle and fetcher agree on the correct path");
+                let out = self
+                    .oracle
+                    .step(&self.program)
+                    .expect("correct-path fetch stays inside the image");
+                di.actual_next = Some(out.next_pc);
+                di.actual_taken = out.taken;
+                di.eff_addr = out.eff_addr;
+                if out.taken == Some(true) {
+                    di.events.set(EventSet::BRANCH_TAKEN);
+                }
+                if out.halted {
+                    self.fetch_stopped = true;
+                }
+            } else {
+                di.events.set(EventSet::WRONG_PATH);
+            }
+
+            // Predict the next fetch PC.
+            let pred_next = match inst.op {
+                Op::CondBr { target, .. } => {
+                    let taken = self.predictor.predict_cond(pc);
+                    self.predictor.fetch_shift(taken);
+                    if taken {
+                        target
+                    } else {
+                        pc.next()
+                    }
+                }
+                Op::Jmp { target } => target,
+                Op::Call { target, .. } => {
+                    self.predictor.ras_push(pc.next());
+                    target
+                }
+                Op::JmpInd { .. } => self.predictor.btb_lookup(pc).unwrap_or_else(|| pc.next()),
+                Op::Ret { .. } => self.predictor.ras_pop().unwrap_or_else(|| pc.next()),
+                _ => pc.next(),
+            };
+            di.predicted_next = pred_next;
+            if di.correct_path && inst.is_control() {
+                if let Some(actual) = di.actual_next {
+                    if pred_next != actual {
+                        di.will_mispredict = true;
+                        self.diverged = true;
+                    }
+                }
+            }
+            self.fetch_pc = pred_next;
+            if pred_next != pc.next() {
+                // Predicted-taken transfer ends the fetch group; the rest
+                // of the block is off the predicted path.
+                off_path_pc = Some(pc.next());
+                self.last_fetch_line = None;
+            }
+
+            self.stats.fetched += 1;
+            if let Some(s) = self.stats.at_mut(&self.program, pc) {
+                s.fetched += 1;
+            }
+
+            let opp = FetchOpportunity {
+                cycle: c,
+                slot,
+                pc: Some(pc),
+                inst: Some(inst),
+                on_predicted_path: true,
+                seq: Some(seq),
+            };
+            if let TagDecision::Tag(t) = self.hw.on_fetch_opportunity(&opp) {
+                di.tag = Some(t);
+            }
+            self.rob.push_back(di);
+            self.fetch_queue.push_back(seq);
+        }
+    }
+
+    fn empty_opportunity(&mut self, c: u64, slot: usize) {
+        let opp = FetchOpportunity {
+            cycle: c,
+            slot,
+            pc: None,
+            inst: None,
+            on_predicted_path: false,
+            seq: None,
+        };
+        let _ = self.hw.on_fetch_opportunity(&opp);
+    }
+
+    // ----- interrupts -----------------------------------------------------
+
+    fn interrupt_stage(&mut self, c: u64) -> Option<InterruptEvent> {
+        if let Some(req) = self.hw.take_interrupt() {
+            self.pending_interrupts.push_back(c + req.skid);
+        }
+        if let Some(&due) = self.pending_interrupts.front() {
+            if due <= c {
+                self.pending_interrupts.pop_front();
+                let attributed_pc = self.rob.front().map_or(self.fetch_pc, |d| d.pc);
+                self.stats.interrupts += 1;
+                self.stats.interrupt_stall_cycles += self.config.interrupt_cost;
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(c + 1 + self.config.interrupt_cost);
+                self.profiling_suspended_until =
+                    self.profiling_suspended_until.max(c + 1 + self.config.interrupt_cost);
+                return Some(InterruptEvent { cycle: c, attributed_pc });
+            }
+        }
+        None
+    }
+
+    /// Index of `seq` in the window. Sequence numbers are sorted but not
+    /// contiguous (squashes leave gaps), so this is a binary search.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let mut lo = 0;
+        let mut hi = self.rob.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.rob[mid].seq.cmp(&seq) {
+                std::cmp::Ordering::Equal => return Some(mid),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+}
+
+/// Builds the completion record for a tagged instruction.
+fn make_sample(di: &DynInst, context: u64, retired: bool) -> CompletedSample {
+    let mut events = di.events;
+    if retired {
+        events.set(EventSet::RETIRED);
+    }
+    CompletedSample {
+        tag: di.tag.expect("sample built for tagged instruction"),
+        seq: di.seq,
+        pc: di.pc,
+        context,
+        class: di.inst.class(),
+        events,
+        retired,
+        eff_addr: di.eff_addr,
+        taken: di.actual_taken,
+        history: di.history,
+        timestamps: di.ts,
+        latencies: di.ts.stage_latencies(di.mem_latency),
+        mem_latency: di.mem_latency,
+    }
+}
+
+/// Deterministic synthetic address for wrong-path memory operations (the
+/// oracle never executes them, but they still bang on the D-cache).
+fn synth_wrong_path_addr(pc: Pc, seq: u64) -> u64 {
+    let h = (pc.addr() ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    0x4000_0000 | (h & 0xF_FFF8)
+}

@@ -1,0 +1,229 @@
+//! Branch prediction: gshare direction predictor, branch target buffer,
+//! return address stack, and the speculative global history register.
+
+use profileme_cfg::BranchHistory;
+use profileme_isa::Pc;
+
+/// The front-end branch predictor.
+///
+/// * Conditional directions come from a gshare table of 2-bit counters
+///   indexed by `PC ⊕ global history`.
+/// * Indirect-jump targets come from a direct-mapped BTB.
+/// * Return targets come from a return address stack.
+///
+/// The *speculative* global history register shifts at prediction time and
+/// is repaired when a mispredicted branch resolves; the snapshot captured
+/// at each branch's fetch is both the repair point and the value ProfileMe
+/// records in the Profiled Path Register (§4.1.3).
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::BranchPredictor;
+/// use profileme_isa::Pc;
+/// let mut p = BranchPredictor::new(1024, 8, 64, 8);
+/// let pc = Pc::new(0x1000);
+/// let h = *p.history(); // empty history
+/// assert!(!p.predict_cond(pc)); // counters start weakly not-taken
+/// // Train taken under that history; prediction follows.
+/// p.update_cond(pc, &h, true);
+/// p.update_cond(pc, &h, true);
+/// assert!(p.predict_cond(pc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    table: Vec<u8>,
+    history_bits: usize,
+    spec_history: BranchHistory,
+    btb: Vec<Option<(u64, Pc)>>,
+    ras: Vec<Pc>,
+    ras_max: usize,
+    cond_predictions: u64,
+    cond_mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` or `btb_size` is not a power of two.
+    pub fn new(
+        table_size: usize,
+        history_bits: usize,
+        btb_size: usize,
+        ras_size: usize,
+    ) -> BranchPredictor {
+        assert!(table_size.is_power_of_two(), "pattern table size must be a power of two");
+        assert!(btb_size.is_power_of_two(), "btb size must be a power of two");
+        BranchPredictor {
+            table: vec![1; table_size], // weakly not-taken
+            history_bits,
+            spec_history: BranchHistory::new(),
+            btb: vec![None; btb_size],
+            ras: Vec::with_capacity(ras_size),
+            ras_max: ras_size,
+            cond_predictions: 0,
+            cond_mispredicts: 0,
+        }
+    }
+
+    fn index(&self, pc: Pc, history: &BranchHistory) -> usize {
+        let h = history.low_bits(self.history_bits.min(64));
+        (((pc.addr() >> 2) ^ h) as usize) & (self.table.len() - 1)
+    }
+
+    /// The current speculative global history.
+    pub fn history(&self) -> &BranchHistory {
+        &self.spec_history
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` using the
+    /// current speculative history.
+    pub fn predict_cond(&self, pc: Pc) -> bool {
+        self.table[self.index(pc, &self.spec_history)] >= 2
+    }
+
+    /// Shifts a predicted direction into the speculative history (call
+    /// after [`predict_cond`](Self::predict_cond), at fetch).
+    pub fn fetch_shift(&mut self, predicted_taken: bool) {
+        self.spec_history.shift(predicted_taken);
+    }
+
+    /// Trains the direction table for the branch at `pc`, using the history
+    /// the branch was fetched with, with its actual direction.
+    pub fn update_cond(&mut self, pc: Pc, history_at_fetch: &BranchHistory, taken: bool) {
+        self.cond_predictions += 1;
+        let i = self.index(pc, history_at_fetch);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Records that a conditional prediction was wrong (statistics only;
+    /// call alongside [`repair`](Self::repair)).
+    pub fn note_mispredict(&mut self) {
+        self.cond_mispredicts += 1;
+    }
+
+    /// Repairs the speculative history after a mispredict: restores the
+    /// branch's fetch-time snapshot and shifts in the actual direction.
+    pub fn repair(&mut self, history_at_fetch: &BranchHistory, actual_taken: bool) {
+        self.spec_history = *history_at_fetch;
+        self.spec_history.shift(actual_taken);
+    }
+
+    /// Looks up a predicted target for the indirect jump at `pc`.
+    pub fn btb_lookup(&self, pc: Pc) -> Option<Pc> {
+        let i = ((pc.addr() >> 2) as usize) & (self.btb.len() - 1);
+        self.btb[i].and_then(|(tag, t)| (tag == pc.addr()).then_some(t))
+    }
+
+    /// Installs/updates the BTB entry for `pc`.
+    pub fn btb_update(&mut self, pc: Pc, target: Pc) {
+        let i = ((pc.addr() >> 2) as usize) & (self.btb.len() - 1);
+        self.btb[i] = Some((pc.addr(), target));
+    }
+
+    /// Pushes a return address (at a call's fetch).
+    pub fn ras_push(&mut self, return_addr: Pc) {
+        if self.ras.len() == self.ras_max {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_addr);
+    }
+
+    /// Pops the predicted return target (at a return's fetch).
+    pub fn ras_pop(&mut self) -> Option<Pc> {
+        self.ras.pop()
+    }
+
+    /// `(conditional branches resolved, mispredicted)`.
+    pub fn cond_stats(&self) -> (u64, u64) {
+        (self.cond_predictions, self.cond_mispredicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(256, 8, 32, 4)
+    }
+
+    #[test]
+    fn saturating_counters_learn_bias() {
+        let mut p = predictor();
+        let pc = Pc::new(0x40);
+        let h = BranchHistory::new();
+        assert!(!p.predict_cond(pc)); // weakly not-taken initially
+        for _ in 0..3 {
+            p.update_cond(pc, &h, true);
+        }
+        assert!(p.predict_cond(pc));
+        for _ in 0..3 {
+            p.update_cond(pc, &h, false);
+        }
+        assert!(!p.predict_cond(pc));
+    }
+
+    #[test]
+    fn history_separates_contexts() {
+        let mut p = predictor();
+        let pc = Pc::new(0x40);
+        let mut h_taken = BranchHistory::new();
+        h_taken.shift(true);
+        let mut h_not = BranchHistory::new();
+        h_not.shift(false);
+        for _ in 0..3 {
+            p.update_cond(pc, &h_taken, true);
+            p.update_cond(pc, &h_not, false);
+        }
+        // Same static branch, opposite predictions under the two histories.
+        p.spec_history = h_taken;
+        assert!(p.predict_cond(pc));
+        p.spec_history = h_not;
+        assert!(!p.predict_cond(pc));
+    }
+
+    #[test]
+    fn repair_restores_history() {
+        let mut p = predictor();
+        let snapshot = *p.history();
+        p.fetch_shift(true);
+        p.fetch_shift(true); // wrong-path shifts
+        p.repair(&snapshot, false);
+        assert_eq!(p.history().len(), snapshot.len() + 1);
+        assert_eq!(p.history().recent(0), Some(false));
+    }
+
+    #[test]
+    fn btb_round_trip() {
+        let mut p = predictor();
+        let pc = Pc::new(0x100);
+        assert_eq!(p.btb_lookup(pc), None);
+        p.btb_update(pc, Pc::new(0x4000));
+        assert_eq!(p.btb_lookup(pc), Some(Pc::new(0x4000)));
+        // A conflicting pc with the same index but different tag misses.
+        let conflicting = Pc::new(0x100 + (32 << 2));
+        assert_eq!(p.btb_lookup(conflicting), None);
+    }
+
+    #[test]
+    fn ras_behaves_like_a_stack_with_overflow() {
+        let mut p = predictor();
+        for i in 0..6u64 {
+            p.ras_push(Pc::new(0x1000 + i * 4));
+        }
+        // Depth 4: the two oldest were dropped.
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x1014)));
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x1010)));
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x100c)));
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x1008)));
+        assert_eq!(p.ras_pop(), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Register renaming: map table, free list, and physical-register
+//! readiness tracking.
+
+use crate::PhysReg;
+use profileme_isa::Reg;
+
+/// The rename machinery: architectural→physical map, free list, and
+/// per-physical-register ready times.
+///
+/// Recovery uses the ROB-walk scheme: each in-flight instruction records
+/// `(arch dst, old phys, new phys)`; squash undoes mappings youngest-first
+/// via [`undo`](RenameState::undo).
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::RenameState;
+/// use profileme_isa::Reg;
+/// let mut r = RenameState::new(40);
+/// let src = r.lookup(Reg::R1);
+/// let (new, old) = r.allocate(Reg::R1).unwrap();
+/// assert_eq!(old, src);
+/// assert_eq!(r.lookup(Reg::R1), new);
+/// r.undo(Reg::R1, old, new);
+/// assert_eq!(r.lookup(Reg::R1), src);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenameState {
+    map: [PhysReg; Reg::COUNT],
+    free: Vec<PhysReg>,
+    /// Cycle at which each physical register's value becomes available;
+    /// `u64::MAX` while the producer has not issued.
+    ready_at: Vec<u64>,
+}
+
+impl RenameState {
+    /// Creates the reset state: architectural register `i` maps to
+    /// physical register `i` (all ready); the rest are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs <= Reg::COUNT`.
+    pub fn new(phys_regs: usize) -> RenameState {
+        assert!(phys_regs > Reg::COUNT, "need more physical than architectural registers");
+        let mut map = [PhysReg(0); Reg::COUNT];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = PhysReg(i as u16);
+        }
+        let free = (Reg::COUNT..phys_regs).rev().map(|i| PhysReg(i as u16)).collect();
+        RenameState { map, free, ready_at: vec![0; phys_regs] }
+    }
+
+    /// Current physical register holding `arch`.
+    pub fn lookup(&self, arch: Reg) -> PhysReg {
+        self.map[arch.index()]
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a new physical register for a write to `arch`, returning
+    /// `(new, previous)` or `None` when no register is free.
+    pub fn allocate(&mut self, arch: Reg) -> Option<(PhysReg, PhysReg)> {
+        let new = self.free.pop()?;
+        let old = self.map[arch.index()];
+        self.map[arch.index()] = new;
+        self.ready_at[new.0 as usize] = u64::MAX;
+        Some((new, old))
+    }
+
+    /// Undoes an allocation during squash recovery (youngest first).
+    pub fn undo(&mut self, arch: Reg, old: PhysReg, new: PhysReg) {
+        debug_assert_eq!(self.map[arch.index()], new, "undo must run youngest-first");
+        self.map[arch.index()] = old;
+        self.free.push(new);
+    }
+
+    /// Releases a physical register (the *previous* mapping, at retire).
+    pub fn release(&mut self, phys: PhysReg) {
+        self.free.push(phys);
+    }
+
+    /// Marks `phys` as producing its value at `cycle`.
+    pub fn set_ready_at(&mut self, phys: PhysReg, cycle: u64) {
+        self.ready_at[phys.0 as usize] = cycle;
+    }
+
+    /// The cycle `phys` becomes (or became) available.
+    pub fn ready_at(&self, phys: PhysReg) -> u64 {
+        self.ready_at[phys.0 as usize]
+    }
+
+    /// Whether `phys` is available at `cycle`.
+    pub fn is_ready(&self, phys: PhysReg, cycle: u64) -> bool {
+        self.ready_at[phys.0 as usize] <= cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_exhausts_and_recovers() {
+        let mut r = RenameState::new(34); // only 2 spare registers
+        let (n1, o1) = r.allocate(Reg::R1).unwrap();
+        let (n2, o2) = r.allocate(Reg::R2).unwrap();
+        assert!(r.allocate(Reg::R3).is_none());
+        // Undo youngest-first restores both.
+        r.undo(Reg::R2, o2, n2);
+        r.undo(Reg::R1, o1, n1);
+        assert_eq!(r.free_count(), 2);
+        assert_eq!(r.lookup(Reg::R1), PhysReg(1));
+    }
+
+    #[test]
+    fn readiness_tracking() {
+        let mut r = RenameState::new(40);
+        let (n, _) = r.allocate(Reg::R4).unwrap();
+        assert!(!r.is_ready(n, 1_000_000));
+        r.set_ready_at(n, 17);
+        assert!(!r.is_ready(n, 16));
+        assert!(r.is_ready(n, 17));
+    }
+
+    #[test]
+    fn retire_release_cycles_registers() {
+        let mut r = RenameState::new(33); // 1 spare
+        let (n1, o1) = r.allocate(Reg::R1).unwrap();
+        assert!(r.allocate(Reg::R1).is_none());
+        // Retiring the writer frees the *old* mapping.
+        r.release(o1);
+        let (n2, o2) = r.allocate(Reg::R1).unwrap();
+        assert_eq!(o2, n1);
+        assert_eq!(n2, o1);
+    }
+}

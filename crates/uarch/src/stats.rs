@@ -1,0 +1,212 @@
+//! Simulation statistics: exact ground truth against which sampling-based
+//! estimates are judged (Figure 3), plus windowed IPC (§6).
+
+use crate::StageLatencies;
+use profileme_isa::{Pc, Program};
+use serde::{Deserialize, Serialize};
+
+/// Exact per-static-instruction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcStats {
+    /// Times fetched into the pipeline (correct or wrong path).
+    pub fetched: u64,
+    /// Times retired.
+    pub retired: u64,
+    /// Times squashed (aborted).
+    pub aborted: u64,
+    /// D-cache misses attributed to this instruction.
+    pub dcache_misses: u64,
+    /// D-cache accesses (loads and stores issued).
+    pub dcache_accesses: u64,
+    /// I-cache misses on fetching this instruction.
+    pub icache_misses: u64,
+    /// Times this (conditional) branch was taken.
+    pub taken: u64,
+    /// Times this branch was mispredicted.
+    pub mispredicted: u64,
+    /// Sum of per-stage latencies over retirements.
+    pub latency_sums: LatencySums,
+    /// Sum of fetch→retire-ready ("in progress") latency over retirements.
+    pub in_progress_sum: u64,
+}
+
+/// Sums of the Table 1 stage latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySums {
+    /// Σ fetch→map.
+    pub fetch_to_map: u64,
+    /// Σ map→data-ready.
+    pub map_to_data_ready: u64,
+    /// Σ data-ready→issue.
+    pub data_ready_to_issue: u64,
+    /// Σ issue→retire-ready.
+    pub issue_to_retire_ready: u64,
+    /// Σ retire-ready→retire.
+    pub retire_ready_to_retire: u64,
+    /// Σ load issue→completion.
+    pub load_completion: u64,
+}
+
+impl LatencySums {
+    /// Accumulates one instruction's latencies.
+    pub fn add(&mut self, l: &StageLatencies) {
+        self.fetch_to_map += l.fetch_to_map;
+        self.map_to_data_ready += l.map_to_data_ready;
+        self.data_ready_to_issue += l.data_ready_to_issue;
+        self.issue_to_retire_ready += l.issue_to_retire_ready;
+        self.retire_ready_to_retire += l.retire_ready_to_retire;
+        self.load_completion += l.load_completion;
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions fetched into the pipeline.
+    pub fetched: u64,
+    /// Fetch opportunities offered (fetch width × cycles).
+    pub fetch_opportunities: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Instructions issued to functional units (including wrong-path).
+    pub issued: u64,
+    /// Instructions squashed.
+    pub squashed: u64,
+    /// Conditional branches retired.
+    pub cond_branches: u64,
+    /// Conditional branch mispredicts (resolved, correct path).
+    pub mispredicts: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Profiling interrupts delivered.
+    pub interrupts: u64,
+    /// Cycles fetch was stalled for interrupt servicing.
+    pub interrupt_stall_cycles: u64,
+    /// Per-static-instruction counters, indexed like the program image.
+    pub per_pc: Vec<PcStats>,
+    /// Retire counts per IPC window (when enabled).
+    pub window_retires: Vec<u32>,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics sized for `program`.
+    pub fn new(program: &Program) -> SimStats {
+        SimStats { per_pc: vec![PcStats::default(); program.len()], ..SimStats::default() }
+    }
+
+    /// The per-PC entry for `pc`, if it is inside the image.
+    pub fn at(&self, program: &Program, pc: Pc) -> Option<&PcStats> {
+        program.index_of(pc).map(|i| &self.per_pc[i])
+    }
+
+    pub(crate) fn at_mut(&mut self, program: &Program, pc: Pc) -> Option<&mut PcStats> {
+        program.index_of(pc).map(|i| &mut self.per_pc[i])
+    }
+
+    /// Average instructions retired per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Ratio between the `hi` and `lo` quantiles (in `0.0..=1.0`) of the
+    /// per-window retire counts, over non-empty windows. A robust version
+    /// of the paper's max/min windowed-IPC ratio: isolated total-stall
+    /// windows (a burst of cache misses can retire a single instruction
+    /// in 30 cycles) would otherwise dominate the minimum.
+    ///
+    /// Returns `None` when fewer than two non-empty windows exist.
+    pub fn windowed_ipc_ratio(&self, lo: f64, hi: f64) -> Option<f64> {
+        let mut nonzero: Vec<u32> =
+            self.window_retires.iter().copied().filter(|&w| w > 0).collect();
+        if nonzero.len() < 2 {
+            return None;
+        }
+        nonzero.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((nonzero.len() - 1) as f64 * q).round() as usize;
+            nonzero[idx] as f64
+        };
+        Some(at(hi) / at(lo))
+    }
+
+    /// Summary of the windowed-IPC distribution (§6): `(max/min ratio,
+    /// retire-weighted standard deviation as a fraction of the mean)`.
+    ///
+    /// Windows with zero retires are excluded from the max/min ratio (the
+    /// paper's ratios ranged 3–30, implying nonzero minima). Returns
+    /// `None` when fewer than two non-empty windows were recorded.
+    pub fn windowed_ipc_summary(&self) -> Option<(f64, f64)> {
+        let nonzero: Vec<u32> =
+            self.window_retires.iter().copied().filter(|&w| w > 0).collect();
+        if nonzero.len() < 2 {
+            return None;
+        }
+        let max = *nonzero.iter().max().expect("non-empty") as f64;
+        let min = *nonzero.iter().min().expect("non-empty") as f64;
+        // Retire-weighted mean and standard deviation over all windows.
+        let total: f64 = self.window_retires.iter().map(|&w| w as f64).sum();
+        let mean = self.window_retires.iter().map(|&w| (w as f64) * (w as f64)).sum::<f64>()
+            / total;
+        let var = self
+            .window_retires
+            .iter()
+            .map(|&w| (w as f64) * (w as f64 - mean).powi(2))
+            .sum::<f64>()
+            / total;
+        Some((max / min, var.sqrt() / mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn windowed_summary_requires_two_windows() {
+        let mut s = SimStats::default();
+        assert_eq!(s.windowed_ipc_summary(), None);
+        s.window_retires = vec![10, 0, 30];
+        let (ratio, cov) = s.windowed_ipc_summary().unwrap();
+        assert!((ratio - 3.0).abs() < 1e-9);
+        assert!(cov > 0.0);
+    }
+
+    #[test]
+    fn latency_sums_accumulate() {
+        let mut sums = LatencySums::default();
+        sums.add(&StageLatencies {
+            fetch_to_map: 2,
+            map_to_data_ready: 3,
+            data_ready_to_issue: 1,
+            issue_to_retire_ready: 4,
+            retire_ready_to_retire: 5,
+            load_completion: 40,
+        });
+        sums.add(&StageLatencies {
+            fetch_to_map: 1,
+            map_to_data_ready: 0,
+            data_ready_to_issue: 0,
+            issue_to_retire_ready: 1,
+            retire_ready_to_retire: 0,
+            load_completion: 0,
+        });
+        assert_eq!(sums.fetch_to_map, 3);
+        assert_eq!(sums.load_completion, 40);
+    }
+}

@@ -1,0 +1,109 @@
+//! TLB timing model (fully associative, LRU, tag-only).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+}
+
+/// A fully associative translation lookaside buffer.
+///
+/// Like the caches, the TLB is a timing model only: an access reports
+/// hit/miss for the page containing the address, filling on miss.
+///
+/// # Example
+///
+/// ```
+/// use profileme_uarch::{Tlb, TlbConfig};
+/// let mut t = Tlb::new(TlbConfig { entries: 2, page_bytes: 8192 });
+/// assert!(!t.access(0x0));
+/// assert!(t.access(0x1fff)); // same page
+/// assert!(!t.access(0x2000)); // next page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// `(page, lru)` pairs; larger lru = more recent.
+    entries: Vec<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero or the page size is not a power
+    /// of two.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.entries > 0, "tlb must have entries");
+        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the page containing `addr`: returns `true` on hit; fills
+    /// (evicting the LRU entry) on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let page = addr / self.config.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.config.entries {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("tlb is non-empty when full");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(TlbConfig { entries: 2, page_bytes: 4096 });
+        assert!(!t.access(0x0000)); // page 0
+        assert!(!t.access(0x1000)); // page 1
+        assert!(t.access(0x0000)); // page 0 refreshed; page 1 is LRU
+        assert!(!t.access(0x2000)); // evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000));
+        assert_eq!(t.hits(), 2);
+        assert_eq!(t.misses(), 4);
+    }
+}

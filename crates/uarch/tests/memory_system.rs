@@ -1,0 +1,89 @@
+//! Memory-system behaviours: software prefetch timing and the
+//! miss-address-file bound on miss-level parallelism.
+
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::{NullHardware, Pipeline, PipelineConfig};
+
+/// Streaming loop with a dependent consumer; `prefetch_ahead` optionally
+/// warms the line a fixed distance ahead.
+fn stream(prefetch_ahead: Option<i64>, trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, trips);
+    b.load_imm(Reg::R12, 0x100_0000);
+    let top = b.label("top");
+    b.load(Reg::R1, Reg::R12, 0);
+    b.add(Reg::R14, Reg::R14, Reg::R1); // consumer
+    if let Some(d) = prefetch_ahead {
+        b.prefetch(Reg::R12, d);
+    }
+    b.addi(Reg::R12, Reg::R12, 64);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn cycles(p: &Program, config: PipelineConfig) -> u64 {
+    let mut sim = Pipeline::new(p.clone(), config, NullHardware);
+    sim.run(u64::MAX).unwrap();
+    sim.stats().cycles
+}
+
+#[test]
+fn prefetch_hides_miss_latency() {
+    let plain = cycles(&stream(None, 4_000), PipelineConfig::default());
+    let prefetched = cycles(&stream(Some(1024), 4_000), PipelineConfig::default());
+    assert!(
+        prefetched * 2 < plain,
+        "prefetching should at least halve the time: {prefetched} vs {plain}"
+    );
+}
+
+#[test]
+fn prefetch_to_resident_lines_is_harmless() {
+    // Prefetch distance 0: the demand load already brought the line in;
+    // the prefetch is pure (small) overhead, never a slowdown factor.
+    let plain = cycles(&stream(None, 2_000), PipelineConfig::default());
+    let useless = cycles(&stream(Some(0), 2_000), PipelineConfig::default());
+    assert!(
+        useless < plain + plain / 4,
+        "useless prefetches cost little: {useless} vs {plain}"
+    );
+}
+
+/// Many independent missing loads per iteration: throughput is bounded
+/// by the miss-address-file size.
+fn parallel_misses(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, trips);
+    b.load_imm(Reg::R12, 0x100_0000);
+    let top = b.label("top");
+    for j in 0..8i64 {
+        b.load(Reg::new(1 + j as u8), Reg::R12, j * 0x20_0000); // 8 distinct regions
+    }
+    for j in 0..8i64 {
+        // Each consumer waits for its own load, so miss latencies are
+        // architecturally visible.
+        b.add(Reg::R14, Reg::R14, Reg::new(1 + j as u8));
+    }
+    b.addi(Reg::R12, Reg::R12, 64);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn miss_address_file_bounds_memory_parallelism() {
+    let p = parallel_misses(2_000);
+    let wide = cycles(&p, PipelineConfig { miss_address_file: 16, ..PipelineConfig::default() });
+    let narrow = cycles(&p, PipelineConfig { miss_address_file: 1, ..PipelineConfig::default() });
+    let default = cycles(&p, PipelineConfig::default());
+    assert!(
+        narrow > 2 * wide,
+        "one MAF serializes the misses: {narrow} vs {wide}"
+    );
+    assert!(default <= narrow && default >= wide, "default sits between: {default}");
+}

@@ -1,0 +1,372 @@
+//! Integration tests for the pipeline: architectural equivalence with the
+//! functional emulator, timing sanity, squash accounting, tagging, and
+//! interrupt delivery.
+
+use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::{
+    CompletedSample, FetchOpportunity, HwEvent, HwEventKind, InterruptRequest, NullHardware,
+    Pipeline, PipelineConfig, ProfilingHardware, TagDecision, TagId,
+};
+
+/// Hardware that records retire events and tags every Nth on-path fetch.
+#[derive(Debug, Default)]
+struct Recorder {
+    retires: Vec<profileme_isa::Pc>,
+    samples: Vec<CompletedSample>,
+    tag_every: u64,
+    on_path_seen: u64,
+    outstanding: u64,
+    raise_interrupt_every: u64,
+    events_seen: u64,
+}
+
+impl Recorder {
+    fn tagging(every: u64) -> Recorder {
+        Recorder { tag_every: every, ..Recorder::default() }
+    }
+}
+
+impl ProfilingHardware for Recorder {
+    fn on_fetch_opportunity(&mut self, opp: &FetchOpportunity) -> TagDecision {
+        if opp.on_predicted_path && self.tag_every > 0 {
+            self.on_path_seen += 1;
+            // Single tag: only one outstanding profiled instruction.
+            if self.on_path_seen.is_multiple_of(self.tag_every) && self.outstanding == 0 {
+                self.outstanding = 1;
+                return TagDecision::Tag(TagId(0));
+            }
+        }
+        TagDecision::Pass
+    }
+
+    fn on_event(&mut self, event: HwEvent) {
+        if event.kind == HwEventKind::Retire {
+            self.retires.push(event.pc);
+        }
+        self.events_seen += 1;
+    }
+
+    fn on_tagged_complete(&mut self, sample: &CompletedSample) {
+        self.outstanding = 0;
+        self.samples.push(sample.clone());
+    }
+
+    fn take_interrupt(&mut self) -> Option<InterruptRequest> {
+        if self.raise_interrupt_every > 0 && self.events_seen >= self.raise_interrupt_every {
+            self.events_seen = 0;
+            return Some(InterruptRequest { skid: 6 });
+        }
+        None
+    }
+}
+
+/// A branchy program with calls, a diamond, memory traffic, and an
+/// LFSR-style data-dependent branch that defeats the predictor.
+fn stress_program(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let helper = b.forward_label("helper");
+    b.load_imm(Reg::R1, trips);
+    b.load_imm(Reg::R10, 0x2545_F491);
+    b.load_imm(Reg::R12, 0x10_0000); // memory base
+    let top = b.label("top");
+    // xorshift-ish state update
+    b.shl(Reg::R11, Reg::R10, 13);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    b.shr(Reg::R11, Reg::R10, 7);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    // data-dependent diamond
+    b.and(Reg::R2, Reg::R10, 1);
+    let else_ = b.forward_label("else");
+    let join = b.forward_label("join");
+    b.cond_br(Cond::Eq0, Reg::R2, else_);
+    b.store(Reg::R10, Reg::R12, 0);
+    b.jmp(join);
+    b.place(else_);
+    b.load(Reg::R3, Reg::R12, 0);
+    b.place(join);
+    b.call(helper);
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.cond_br(Cond::Ne0, Reg::R1, top);
+    b.halt();
+    b.function("helper");
+    b.place(helper);
+    b.mul(Reg::R4, Reg::R10, Reg::R10);
+    b.addi(Reg::R4, Reg::R4, 17);
+    b.ret();
+    b.build().unwrap()
+}
+
+/// Retired PCs from a plain functional run.
+fn functional_trace(p: &Program) -> Vec<profileme_isa::Pc> {
+    let mut s = ArchState::new(p);
+    let mut pcs = Vec::new();
+    while !s.halted() {
+        pcs.push(s.pc());
+        s.step(p).unwrap();
+    }
+    pcs
+}
+
+#[test]
+fn retired_stream_matches_functional_trace() {
+    let p = stress_program(200);
+    let truth = functional_trace(&p);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), Recorder::default());
+    sim.run(1_000_000).unwrap();
+    // The halt instruction retires but `Retire` fires for it too.
+    assert_eq!(sim.hardware().retires, truth);
+}
+
+#[test]
+fn retired_stream_matches_functional_trace_inorder() {
+    let p = stress_program(120);
+    let truth = functional_trace(&p);
+    let mut sim = Pipeline::new(p, PipelineConfig::inorder_21164ish(), Recorder::default());
+    sim.run(1_000_000).unwrap();
+    assert_eq!(sim.hardware().retires, truth);
+}
+
+#[test]
+fn fetched_equals_retired_plus_squashed() {
+    let p = stress_program(300);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let s = sim.stats();
+    assert_eq!(s.fetched, s.retired + s.squashed);
+    // Per-PC accounting agrees.
+    let (mut f, mut r, mut a) = (0, 0, 0);
+    for pc in &s.per_pc {
+        f += pc.fetched;
+        r += pc.retired;
+        a += pc.aborted;
+        assert_eq!(pc.fetched, pc.retired + pc.aborted);
+    }
+    assert_eq!((f, r, a), (s.fetched, s.retired, s.squashed));
+}
+
+#[test]
+fn independent_alu_ops_reach_high_ipc() {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 2000);
+    let top = b.label("top");
+    // 8 independent single-cycle ops per iteration.
+    for i in 0..8i64 {
+        b.addi(Reg::new(i as u8), Reg::new(i as u8), 1);
+    }
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let ipc = sim.stats().ipc();
+    assert!(ipc > 2.5, "independent ops should sustain high IPC, got {ipc:.2}");
+}
+
+#[test]
+fn dependent_chain_limits_ipc_to_one() {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 2000);
+    let top = b.label("top");
+    // A serial dependence chain through R1.
+    for _ in 0..8 {
+        b.addi(Reg::R1, Reg::R1, 1);
+    }
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let ipc = sim.stats().ipc();
+    // The chain serializes the 8 adds; the counter update and branch add
+    // a little parallelism, so IPC sits just above 1.
+    assert!(ipc < 1.6, "dependent chain should bottleneck IPC, got {ipc:.2}");
+    assert!(ipc > 0.7, "chain should still sustain about one per cycle, got {ipc:.2}");
+}
+
+#[test]
+fn cache_missing_loads_are_much_slower() {
+    // A pointer chase serializes loads, so miss latency cannot be hidden
+    // by memory-level parallelism.
+    fn chase(count: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R9, count);
+        b.load_imm(Reg::R12, 0x100_0000);
+        let top = b.label("top");
+        b.load(Reg::R12, Reg::R12, 0); // r12 = mem[r12]
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.build().unwrap()
+    }
+    let count = 2000i64;
+    let p = chase(count);
+
+    // Hitting: the pointer chain is a self-loop, resident after one miss.
+    let mut mem_hit = profileme_isa::Memory::new();
+    mem_hit.write(0x100_0000, 0x100_0000);
+    let oracle = ArchState::with_memory(&p, mem_hit);
+    let mut hit = Pipeline::with_oracle(p.clone(), PipelineConfig::default(), NullHardware, oracle);
+    hit.run(10_000_000).unwrap();
+
+    // Missing: the chain strides 4 KiB per hop across a region much larger
+    // than the L2, so every hop is a cold miss.
+    let mut mem_miss = profileme_isa::Memory::new();
+    for i in 0..count as u64 {
+        let a = 0x100_0000 + i * 4096;
+        mem_miss.write(a, a + 4096);
+    }
+    let oracle = ArchState::with_memory(&p, mem_miss);
+    let mut miss = Pipeline::with_oracle(p, PipelineConfig::default(), NullHardware, oracle);
+    miss.run(10_000_000).unwrap();
+
+    assert!(miss.stats().dcache_misses > 1900, "misses: {}", miss.stats().dcache_misses);
+    assert!(hit.stats().dcache_misses < 100, "misses: {}", hit.stats().dcache_misses);
+    assert!(
+        miss.stats().cycles > 3 * hit.stats().cycles,
+        "missing: {} cycles, hitting: {} cycles",
+        miss.stats().cycles,
+        hit.stats().cycles
+    );
+}
+
+#[test]
+fn unpredictable_branches_cause_squashes() {
+    let p = stress_program(500);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let s = sim.stats();
+    assert!(s.mispredicts > 100, "LFSR branch defeats the predictor: {}", s.mispredicts);
+    assert!(s.squashed > s.mispredicts, "each mispredict squashes wrong-path work");
+}
+
+#[test]
+fn predictable_branches_are_learned() {
+    // A long counted loop: the backward branch is taken ~1000 times in a
+    // row; gshare should learn it almost perfectly.
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 1000);
+    let top = b.label("top");
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let s = sim.stats();
+    assert!(
+        s.mispredicts < 30,
+        "monotone loop branch should be learned, got {} mispredicts",
+        s.mispredicts
+    );
+}
+
+#[test]
+fn tagged_samples_complete_with_monotone_timestamps() {
+    let p = stress_program(300);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), Recorder::tagging(13));
+    sim.run(1_000_000).unwrap();
+    let samples = &sim.hardware().samples;
+    assert!(samples.len() > 50, "got {} samples", samples.len());
+    let mut saw_abort = false;
+    for s in samples {
+        if s.retired {
+            let ts = s.timestamps;
+            let mapped = ts.mapped.unwrap();
+            let data_ready = ts.data_ready.unwrap();
+            let issued = ts.issued.unwrap();
+            let rr = ts.retire_ready.unwrap();
+            let ret = ts.retired.unwrap();
+            assert!(ts.fetched <= mapped, "{s:?}");
+            assert!(mapped <= data_ready || data_ready <= issued, "{s:?}");
+            assert!(data_ready <= issued, "{s:?}");
+            assert!(issued < rr, "{s:?}");
+            assert!(rr <= ret, "{s:?}");
+            assert!(s.events.contains(profileme_uarch::EventSet::RETIRED));
+            assert!(s.latencies.is_some());
+        } else {
+            saw_abort = true;
+            assert!(!s.events.contains(profileme_uarch::EventSet::RETIRED));
+        }
+    }
+    assert!(saw_abort, "some tagged instructions should abort on this branchy code");
+}
+
+#[test]
+fn retired_sample_pcs_follow_program_order() {
+    let p = stress_program(200);
+    let truth = functional_trace(&p);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), Recorder::tagging(7));
+    sim.run(1_000_000).unwrap();
+    // Retired samples, in completion order, must be a subsequence of the
+    // functional trace.
+    let retired: Vec<_> =
+        sim.hardware().samples.iter().filter(|s| s.retired).map(|s| s.pc).collect();
+    let mut it = truth.iter();
+    for pc in &retired {
+        assert!(
+            it.any(|t| t == pc),
+            "retired sample pc {pc} out of order w.r.t. the functional trace"
+        );
+    }
+}
+
+#[test]
+fn interrupts_are_delivered_and_cost_cycles() {
+    let p = stress_program(300);
+    let hw = Recorder { raise_interrupt_every: 500, ..Recorder::default() };
+    let mut sim = Pipeline::new(p.clone(), PipelineConfig::default(), hw);
+    let mut delivered = 0;
+    sim.run_with(10_000_000, |e, _| {
+        assert!(p.contains(e.attributed_pc) || e.attributed_pc == p.end());
+        delivered += 1;
+    })
+    .unwrap();
+    assert!(delivered > 3, "expected several interrupts, got {delivered}");
+    assert_eq!(sim.stats().interrupts, delivered);
+    assert!(sim.stats().interrupt_stall_cycles >= 200 * delivered);
+
+    // A run without interrupts is faster.
+    let mut quiet = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    quiet.run(10_000_000).unwrap();
+    assert!(quiet.stats().cycles < sim.stats().cycles);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = stress_program(150);
+    let mut a = Pipeline::new(p.clone(), PipelineConfig::default(), NullHardware);
+    a.run(1_000_000).unwrap();
+    let mut b = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    b.run(1_000_000).unwrap();
+    assert_eq!(a.stats(), b.stats());
+}
+
+#[test]
+fn windowed_ipc_is_recorded() {
+    let p = stress_program(300);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    sim.run(1_000_000).unwrap();
+    let s = sim.stats();
+    assert!(!s.window_retires.is_empty());
+    let total: u64 = s.window_retires.iter().map(|&w| w as u64).sum();
+    assert_eq!(total, s.retired);
+    let (ratio, cov) = s.windowed_ipc_summary().unwrap();
+    assert!(ratio >= 1.0);
+    assert!(cov >= 0.0);
+}
+
+#[test]
+fn cycle_limit_is_reported() {
+    let p = stress_program(10_000);
+    let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+    let err = sim.run(100).unwrap_err();
+    assert_eq!(err.to_string(), "simulation exceeded 100 cycles without halting");
+}

@@ -1,0 +1,179 @@
+//! Property tests: for randomly generated structured programs, the
+//! pipeline's retired instruction stream must exactly equal the functional
+//! emulator's trace (architectural equivalence), accounting must balance,
+//! and simulation must be deterministic — in both issue disciplines.
+
+use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::{
+    HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Construct {
+    Alu(u8),
+    Diamond,
+    Call(u8),
+    MemOp,
+    Mul,
+    FpChain,
+}
+
+fn arb_construct() -> impl Strategy<Value = Construct> {
+    prop_oneof![
+        (1u8..5).prop_map(Construct::Alu),
+        Just(Construct::Diamond),
+        (0u8..2).prop_map(Construct::Call),
+        Just(Construct::MemOp),
+        Just(Construct::Mul),
+        Just(Construct::FpChain),
+    ]
+}
+
+fn build_program(constructs: &[Construct], trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let helpers = [b.forward_label("h0"), b.forward_label("h1")];
+    b.load_imm(Reg::R1, trips);
+    b.load_imm(Reg::R10, 0x0bad_cafe);
+    b.load_imm(Reg::R12, 0x20_0000);
+    let top = b.label("top");
+    // xorshift state so branch directions vary.
+    b.shl(Reg::R11, Reg::R10, 13);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    b.shr(Reg::R11, Reg::R10, 7);
+    b.xor(Reg::R10, Reg::R10, Reg::R11);
+    for (i, c) in constructs.iter().enumerate() {
+        match c {
+            Construct::Alu(n) => {
+                for _ in 0..*n {
+                    b.addi(Reg::R3, Reg::R3, 1);
+                }
+            }
+            Construct::Diamond => {
+                b.shr(Reg::R4, Reg::R10, (i % 11) as i64 + 1);
+                b.and(Reg::R4, Reg::R4, 1);
+                let else_ = b.forward_label(format!("else{i}"));
+                let join = b.forward_label(format!("join{i}"));
+                b.cond_br(Cond::Eq0, Reg::R4, else_);
+                b.addi(Reg::R5, Reg::R5, 1);
+                b.jmp(join);
+                b.place(else_);
+                b.addi(Reg::R6, Reg::R6, 1);
+                b.place(join);
+            }
+            Construct::Call(h) => {
+                b.call(helpers[*h as usize % 2]);
+            }
+            Construct::MemOp => {
+                b.and(Reg::R7, Reg::R10, 0xff8);
+                b.add(Reg::R7, Reg::R7, Reg::R12);
+                b.store(Reg::R10, Reg::R7, 0);
+                b.load(Reg::R8, Reg::R7, 0);
+            }
+            Construct::Mul => {
+                b.mul(Reg::R9, Reg::R10, Reg::R10);
+            }
+            Construct::FpChain => {
+                b.fadd(Reg::R13, Reg::R10, Reg::R3);
+                b.fmul(Reg::R14, Reg::R13, Reg::R13);
+                b.fdiv(Reg::R15, Reg::R14, Reg::R10);
+            }
+        }
+    }
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.cond_br(Cond::Ne0, Reg::R1, top);
+    b.halt();
+    b.function("h0");
+    b.place(helpers[0]);
+    b.addi(Reg::R16, Reg::R16, 1);
+    b.ret();
+    b.function("h1");
+    b.place(helpers[1]);
+    b.and(Reg::R17, Reg::R10, 4);
+    let skip = b.forward_label("skip");
+    b.cond_br(Cond::Ne0, Reg::R17, skip);
+    b.mul(Reg::R18, Reg::R10, Reg::R16);
+    b.place(skip);
+    b.ret();
+    b.build().unwrap()
+}
+
+#[derive(Debug, Default)]
+struct RetireLog(Vec<profileme_isa::Pc>);
+
+impl ProfilingHardware for RetireLog {
+    fn on_event(&mut self, e: HwEvent) {
+        if e.kind == HwEventKind::Retire {
+            self.0.push(e.pc);
+        }
+    }
+}
+
+fn functional_trace(p: &Program) -> Vec<profileme_isa::Pc> {
+    let mut s = ArchState::new(p);
+    let mut pcs = Vec::new();
+    while !s.halted() {
+        pcs.push(s.pc());
+        s.step(p).unwrap();
+    }
+    pcs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Out-of-order execution commits exactly the architectural stream.
+    #[test]
+    fn ooo_retires_functional_trace(cs in prop::collection::vec(arb_construct(), 1..7)) {
+        let p = build_program(&cs, 25);
+        let truth = functional_trace(&p);
+        let mut sim = Pipeline::new(p, PipelineConfig::default(), RetireLog::default());
+        sim.run(2_000_000).unwrap();
+        prop_assert_eq!(&sim.hardware().0, &truth);
+        let s = sim.stats();
+        prop_assert_eq!(s.retired as usize, truth.len());
+        prop_assert_eq!(s.fetched, s.retired + s.squashed);
+    }
+
+    /// The in-order configuration commits the same stream.
+    #[test]
+    fn inorder_retires_functional_trace(cs in prop::collection::vec(arb_construct(), 1..7)) {
+        let p = build_program(&cs, 15);
+        let truth = functional_trace(&p);
+        let mut sim = Pipeline::new(p, PipelineConfig::inorder_21164ish(), RetireLog::default());
+        sim.run(2_000_000).unwrap();
+        prop_assert_eq!(&sim.hardware().0, &truth);
+    }
+
+    /// Cycle-for-cycle determinism.
+    #[test]
+    fn simulation_is_deterministic(cs in prop::collection::vec(arb_construct(), 1..7)) {
+        let p = build_program(&cs, 10);
+        let mut a = Pipeline::new(p.clone(), PipelineConfig::default(), RetireLog::default());
+        a.run(2_000_000).unwrap();
+        let mut b = Pipeline::new(p, PipelineConfig::default(), RetireLog::default());
+        b.run(2_000_000).unwrap();
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Per-PC accounting balances and windowed retires sum to the total,
+    /// in both issue disciplines.
+    #[test]
+    fn accounting_balances_in_both_disciplines(
+        cs in prop::collection::vec(arb_construct(), 1..6)
+    ) {
+        let p = build_program(&cs, 20);
+        for config in [PipelineConfig::default(), PipelineConfig::inorder_21164ish()] {
+            let mut sim = Pipeline::new(p.clone(), config, RetireLog::default());
+            sim.run(2_000_000).unwrap();
+            let s = sim.stats();
+            prop_assert_eq!(s.fetched, s.retired + s.squashed);
+            for pc in &s.per_pc {
+                prop_assert_eq!(pc.fetched, pc.retired + pc.aborted);
+            }
+            let windowed: u64 = s.window_retires.iter().map(|&w| w as u64).sum();
+            prop_assert_eq!(windowed, s.retired);
+        }
+    }
+}

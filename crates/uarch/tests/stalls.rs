@@ -1,0 +1,212 @@
+//! Stall attribution tests: each Table 1 latency register must light up
+//! for exactly the bottleneck it diagnoses. These tests build programs
+//! with one dominant bottleneck each and check where the cycles land.
+
+use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
+use profileme_uarch::{NullHardware, Pipeline, PipelineConfig, SimStats};
+
+fn run(p: Program, config: PipelineConfig) -> SimStats {
+    let mut sim = Pipeline::new(p, config, NullHardware);
+    sim.run(10_000_000).expect("program completes");
+    sim.stats().clone()
+}
+
+/// Average of a per-PC latency component at `pc`.
+fn avg(stats: &SimStats, p: &Program, pc: profileme_isa::Pc, f: impl Fn(&profileme_uarch::LatencySums) -> u64) -> f64 {
+    let s = stats.at(p, pc).expect("pc in image");
+    f(&s.latency_sums) as f64 / s.retired.max(1) as f64
+}
+
+/// A loop of serial FP divides followed by a consumer.
+fn divide_chain() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 300);
+    b.load_imm(Reg::R1, 977);
+    b.load_imm(Reg::R2, 3);
+    let top = b.label("top");
+    b.fdiv(Reg::R1, Reg::R1, Reg::R2);
+    b.addi(Reg::R1, Reg::R1, 5);
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn data_dependences_charge_map_to_data_ready() {
+    let p = divide_chain();
+    let stats = run(p.clone(), PipelineConfig::default());
+    // The consumer add (index 4 in the image: entry+4... locate by
+    // walking: ldi ldi ldi [top]fdiv addi addi bne halt).
+    let consumer = p.entry().advance(4);
+    assert!(matches!(p.fetch(consumer).unwrap().op, profileme_isa::Op::Alu { .. }));
+    let dep_wait = avg(&stats, &p, consumer, |l| l.map_to_data_ready);
+    // The add waits most of the divider's 12-cycle latency.
+    assert!(dep_wait > 6.0, "consumer waits on the divide: {dep_wait:.1}");
+    let exec = avg(&stats, &p, consumer, |l| l.issue_to_retire_ready);
+    assert!((exec - 1.0).abs() < 0.5, "but executes in one cycle: {exec:.1}");
+}
+
+#[test]
+fn structural_hazards_charge_data_ready_to_issue() {
+    // Four *independent* divide chains contend for the single unpipelined
+    // divider: operands are ready, the unit is not.
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 300);
+    for r in 1..=4u8 {
+        b.load_imm(Reg::new(r), 977 + r as i64);
+    }
+    b.load_imm(Reg::R8, 3);
+    let top = b.label("top");
+    for r in 1..=4u8 {
+        b.fdiv(Reg::new(r), Reg::new(r), Reg::R8);
+    }
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let stats = run(p.clone(), PipelineConfig::default());
+    // The last divide of the group has waited for three predecessors'
+    // divider occupancy.
+    let last_div = p.entry().advance(5 + 3);
+    assert!(matches!(p.fetch(last_div).unwrap().op, profileme_isa::Op::Fp { .. }));
+    let contention = avg(&stats, &p, last_div, |l| l.data_ready_to_issue);
+    assert!(contention > 15.0, "divider contention shows up pre-issue: {contention:.1}");
+}
+
+#[test]
+fn register_exhaustion_charges_fetch_to_map() {
+    // Almost no spare physical registers: every in-flight writer holds
+    // one, so the mapper stalls behind the divide chain.
+    let starved = PipelineConfig {
+        phys_regs: 40, // 8 spare
+        ..PipelineConfig::default()
+    };
+    let p = divide_chain();
+    let stats = run(p.clone(), starved);
+    let roomy = run(p.clone(), PipelineConfig::default());
+    let pc = p.entry().advance(5); // second add in the loop
+    let starved_wait = avg(&stats, &p, pc, |l| l.fetch_to_map);
+    let roomy_wait = avg(&roomy, &p, pc, |l| l.fetch_to_map);
+    assert!(
+        starved_wait > roomy_wait + 3.0,
+        "register starvation inflates fetch->map: {starved_wait:.1} vs {roomy_wait:.1}"
+    );
+}
+
+#[test]
+fn issue_queue_pressure_charges_fetch_to_map() {
+    let tiny_iq = PipelineConfig { iq_size: 4, ..PipelineConfig::default() };
+    let p = divide_chain();
+    let stats = run(p.clone(), tiny_iq);
+    let roomy = run(p.clone(), PipelineConfig::default());
+    let pc = p.entry().advance(5);
+    let tiny_wait = avg(&stats, &p, pc, |l| l.fetch_to_map);
+    let roomy_wait = avg(&roomy, &p, pc, |l| l.fetch_to_map);
+    assert!(
+        tiny_wait > roomy_wait + 3.0,
+        "a full issue queue inflates fetch->map: {tiny_wait:.1} vs {roomy_wait:.1}"
+    );
+}
+
+#[test]
+fn in_order_retirement_charges_retire_ready_to_retire() {
+    // An independent add right after a long divide: it finishes at once
+    // but must wait for the divide to retire first.
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    b.load_imm(Reg::R9, 300);
+    b.load_imm(Reg::R1, 977);
+    b.load_imm(Reg::R2, 3);
+    let top = b.label("top");
+    b.fdiv(Reg::R1, Reg::R1, Reg::R2);
+    b.addi(Reg::R5, Reg::R5, 1); // independent of the divide
+    b.addi(Reg::R9, Reg::R9, -1);
+    b.cond_br(Cond::Ne0, Reg::R9, top);
+    b.halt();
+    let p = b.build().unwrap();
+    let stats = run(p.clone(), PipelineConfig::default());
+    let indep = p.entry().advance(4);
+    let retire_wait = avg(&stats, &p, indep, |l| l.retire_ready_to_retire);
+    assert!(
+        retire_wait > 5.0,
+        "independent work stalls at retire behind the divide: {retire_wait:.1}"
+    );
+    // Crucially its *in progress* time (what §5.2.3 charges) is small.
+    let s = stats.at(&p, indep).unwrap();
+    let in_progress = s.in_progress_sum as f64 / s.retired as f64;
+    assert!(in_progress < retire_wait, "in-progress excludes the retire wait");
+}
+
+#[test]
+fn dtlb_misses_are_counted_and_cost_cycles() {
+    // Stride one page: every access a new page; 512 pages > 128 TLB
+    // entries, so steady-state DTLB misses.
+    fn strided(page_stride: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R9, 3_000);
+        b.load_imm(Reg::R12, 0x100_0000);
+        let top = b.label("top");
+        b.load(Reg::R1, Reg::R12, 0);
+        b.add(Reg::R14, Reg::R14, Reg::R1);
+        b.addi(Reg::R12, Reg::R12, page_stride);
+        b.and(Reg::R12, Reg::R12, 0x13F_FFFF);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.build().unwrap()
+    }
+    let friendly = run(strided(64), PipelineConfig::default());
+    let hostile = run(strided(8192), PipelineConfig::default());
+    assert!(hostile.cycles > friendly.cycles, "TLB misses cost cycles");
+    // Per-PC DTLB events are visible through sampling (checked in core);
+    // here just confirm the machine-level effect exists via the D-TLB
+    // stats… which we expose through cycles only; the event bits are
+    // asserted in profileme-core's tests.
+}
+
+#[test]
+fn deep_recursion_defeats_the_return_stack() {
+    // A call chain deeper than the 16-entry RAS: returns beyond depth 16
+    // mispredict.
+    fn chain(depth: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        let mut labels = Vec::new();
+        for i in 0..depth {
+            labels.push(b.forward_label(format!("f{i}")));
+        }
+        b.load_imm(Reg::R9, 60);
+        let top = b.label("top");
+        b.call(labels[0]);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        for i in 0..depth {
+            b.function(format!("f{i}"));
+            b.place(labels[i]);
+            // Save ra, call next, restore, return.
+            if i + 1 < depth {
+                b.store(Reg::LINK, Reg::SP, (i as i64) * 8);
+                b.call(labels[i + 1]);
+                b.load(Reg::LINK, Reg::SP, (i as i64) * 8);
+            } else {
+                b.addi(Reg::R1, Reg::R1, 1);
+            }
+            b.ret();
+        }
+        b.build().unwrap()
+    }
+    let shallow = run(chain(8), PipelineConfig::default());
+    let deep = run(chain(30), PipelineConfig::default());
+    let rate = |s: &SimStats| s.mispredicts as f64 / s.retired as f64;
+    assert!(
+        rate(&deep) > rate(&shallow) * 2.0 + 0.001,
+        "deep chains mispredict returns: {:.4} vs {:.4}",
+        rate(&deep),
+        rate(&shallow)
+    );
+}

@@ -1,0 +1,183 @@
+//! Shared code-generation helpers.
+
+use profileme_isa::{Memory, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Registers reserved by the generators for common roles.
+pub(crate) mod regs {
+    use profileme_isa::Reg;
+    /// Main loop counter.
+    pub const COUNTER: Reg = Reg::R9;
+    /// Pseudo-random state (xorshift).
+    pub const STATE: Reg = Reg::R10;
+    /// Scratch for state updates.
+    pub const TMP: Reg = Reg::R11;
+    /// Base address of the primary data region.
+    pub const BASE: Reg = Reg::R12;
+    /// Scratch for address computation.
+    pub const ADDR: Reg = Reg::R13;
+    /// General accumulator.
+    pub const ACC: Reg = Reg::R14;
+}
+
+/// Emits an xorshift-style step of `regs::STATE` (three shifts + xors),
+/// giving data-dependent, hard-to-predict bit patterns.
+pub(crate) fn emit_lfsr_step(b: &mut ProgramBuilder) {
+    b.shl(regs::TMP, regs::STATE, 13);
+    b.xor(regs::STATE, regs::STATE, regs::TMP);
+    b.shr(regs::TMP, regs::STATE, 7);
+    b.xor(regs::STATE, regs::STATE, regs::TMP);
+    b.shl(regs::TMP, regs::STATE, 17);
+    b.xor(regs::STATE, regs::STATE, regs::TMP);
+}
+
+/// Extracts bit `bit` of `regs::STATE` into `regs::TMP` (0 or 1).
+pub(crate) fn emit_state_bit(b: &mut ProgramBuilder, bit: u64) {
+    b.shr(regs::TMP, regs::STATE, bit as i64);
+    b.and(regs::TMP, regs::TMP, 1);
+}
+
+/// Computes `regs::ADDR = regs::BASE + (state & mask)` with the low three
+/// bits cleared (word aligned). `mask` should be `8·k - 1`-shaped.
+pub(crate) fn emit_table_index(b: &mut ProgramBuilder, mask: i64) {
+    b.and(regs::ADDR, regs::STATE, mask & !7);
+    b.add(regs::ADDR, regs::ADDR, regs::BASE);
+}
+
+/// Fills `words` sequential words starting at `base` with seeded
+/// pseudo-random values.
+pub(crate) fn random_table(mem: &mut Memory, base: u64, words: u64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..words {
+        mem.write(base + i * 8, rng.gen());
+    }
+}
+
+/// Builds a singly linked list of `cells` nodes with the given byte
+/// `stride` between them starting at `base`; each node's word holds the
+/// address of the next, and the last points back to the first. Returns
+/// `base`.
+#[allow(dead_code)] // exercised in tests; available to custom workloads
+pub(crate) fn linked_list(mem: &mut Memory, base: u64, cells: u64, stride: u64) -> u64 {
+    assert!(stride >= 8, "cells must not overlap");
+    for i in 0..cells {
+        let here = base + i * stride;
+        let next = if i + 1 == cells { base } else { base + (i + 1) * stride };
+        mem.write(here, next);
+    }
+    base
+}
+
+/// Builds a *shuffled* linked list over `cells` slots (random traversal
+/// order defeats both prefetching-like locality and the branch
+/// predictor's ability to help), returning the address of the first node.
+pub(crate) fn shuffled_list(mem: &mut Memory, base: u64, cells: u64, stride: u64, seed: u64) -> u64 {
+    assert!(stride >= 8, "cells must not overlap");
+    let mut order: Vec<u64> = (0..cells).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for w in 0..cells {
+        let here = base + order[w as usize] * stride;
+        let next = base + order[((w + 1) % cells) as usize] * stride;
+        mem.write(here, next);
+    }
+    base + order[0] * stride
+}
+
+/// Standard prologue: counter, state seed, base pointer — plus guard
+/// branches like real function prologues have (argument/limit checks that
+/// never fire). The guards matter for path profiling: a backward walk
+/// that reaches the loop head can hypothesize "the routine was just
+/// entered", and without guard branches that hypothesis costs no history
+/// bits and is always consistent; with them it must match several
+/// never-taken directions, as in real code.
+pub(crate) fn emit_prologue(b: &mut ProgramBuilder, iterations: u64, seed: i64, base: i64) {
+    assert!(iterations > 0 && seed != 0 && base != 0, "guards must never fire");
+    b.load_imm(regs::COUNTER, iterations as i64);
+    b.load_imm(regs::STATE, seed);
+    b.load_imm(regs::BASE, base);
+    let bail = b.forward_label("prologue_bail");
+    let start = b.forward_label("prologue_start");
+    b.cond_br(profileme_isa::Cond::Le0, regs::COUNTER, bail);
+    b.cond_br(profileme_isa::Cond::Eq0, regs::STATE, bail);
+    b.cond_br(profileme_isa::Cond::Eq0, regs::BASE, bail);
+    b.jmp(start);
+    b.place(bail);
+    b.halt();
+    b.place(start);
+}
+
+/// Standard epilogue for the main loop: decrement and branch to `top`.
+pub(crate) fn emit_loop_end(b: &mut ProgramBuilder, top: profileme_isa::Label) {
+    b.addi(regs::COUNTER, regs::COUNTER, -1);
+    b.cond_br(profileme_isa::Cond::Ne0, regs::COUNTER, top);
+    b.halt();
+}
+
+#[allow(dead_code)]
+fn _reg_roles_are_distinct() {
+    // Compile-time sanity: the reserved registers must all differ.
+    const _: () = {
+        let all = [
+            regs::COUNTER,
+            regs::STATE,
+            regs::TMP,
+            regs::BASE,
+            regs::ADDR,
+            regs::ACC,
+        ];
+        let mut i = 0;
+        while i < all.len() {
+            let mut j = i + 1;
+            while j < all.len() {
+                assert!(all[i].index() != all[j].index());
+                j += 1;
+            }
+            i += 1;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linked_list_cycles() {
+        let mut m = Memory::new();
+        let head = linked_list(&mut m, 0x1000, 4, 64);
+        let mut at = head;
+        for _ in 0..4 {
+            at = m.read(at);
+        }
+        assert_eq!(at, head);
+    }
+
+    #[test]
+    fn shuffled_list_visits_every_cell_once() {
+        let mut m = Memory::new();
+        let head = shuffled_list(&mut m, 0x8000, 32, 128, 7);
+        let mut seen = std::collections::HashSet::new();
+        let mut at = head;
+        for _ in 0..32 {
+            assert!(seen.insert(at), "revisited {at:#x} early");
+            at = m.read(at);
+        }
+        assert_eq!(at, head, "tour returns to the head");
+    }
+
+    #[test]
+    fn random_table_is_deterministic() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        random_table(&mut a, 0, 64, 3);
+        random_table(&mut b, 0, 64, 3);
+        assert_eq!(a, b);
+        let mut c = Memory::new();
+        random_table(&mut c, 0, 64, 4);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,84 @@
+//! # profileme-workloads
+//!
+//! Synthetic workloads for the ProfileMe reproduction.
+//!
+//! The paper's evaluation ran SPECint95 binaries (COMPRESS, GCC, GO,
+//! IJPEG, LI, PERL, VORTEX — plus POVRAY) on DIGITAL's Alpha 21264
+//! simulator. Those binaries and traces are not reproducible here, so
+//! this crate provides seeded generators for programs that exercise the
+//! same *microarchitectural* behaviours each benchmark is known for:
+//!
+//! | Workload | Character |
+//! |---|---|
+//! | [`compress`] | table lookups with data-dependent indices, bit twiddling |
+//! | [`gcc`] | large code footprint, deep call graph, branchy |
+//! | [`go`] | data-dependent, poorly predictable branches |
+//! | [`ijpeg`] | regular arithmetic loops with high ILP |
+//! | [`li`] | pointer chasing through linked cells |
+//! | [`perl`] | interpreter dispatch via indirect jumps, hash probes |
+//! | [`povray`] | floating-point chains (adds, multiplies, divides) |
+//! | [`vortex`] | store-heavy scattered memory traffic, calls |
+//!
+//! Two special-purpose programs reproduce specific figures:
+//!
+//! * [`microbench`] — the Figure 2 loop: one (cache-hit) load followed by
+//!   hundreds of nops.
+//! * [`loops3`] — the Figure 7 program: three loops with deliberately
+//!   different latency/concurrency trade-offs.
+//!
+//! Every generator is deterministic in its parameters; programs come with
+//! any initial [`Memory`] they need (linked lists, tables).
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_workloads::{suite, Workload};
+//! let workloads = suite(50_000); // ~50k dynamic instructions each
+//! assert_eq!(workloads.len(), 8);
+//! for w in &workloads {
+//!     assert!(w.program.len() > 10, "{} is non-trivial", w.name);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod special;
+mod spec_like;
+
+pub use special::{loops3, microbench, Loops3};
+pub use spec_like::{compress, gcc, go, ijpeg, li, perl, povray, vortex};
+
+use profileme_isa::{Memory, Program};
+
+/// A ready-to-run workload: a program plus its initial data memory.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (the SPECint95 benchmark it imitates).
+    pub name: &'static str,
+    /// What microarchitectural behaviour it exercises.
+    pub description: &'static str,
+    /// The program image.
+    pub program: Program,
+    /// Initial data memory (tables, linked structures).
+    pub memory: Memory,
+}
+
+/// The full benchmark suite, each workload scaled to execute roughly
+/// `budget_instructions` dynamic instructions (per-iteration costs differ
+/// wildly — gcc runs ~12k instructions per iteration, li ~12).
+pub fn suite(budget_instructions: u64) -> Vec<Workload> {
+    // Approximate dynamic instructions per main-loop iteration.
+    let scaled = |cost: u64| (budget_instructions / cost).max(4);
+    vec![
+        compress(scaled(20)),
+        gcc(scaled(12_000)),
+        go(scaled(40)),
+        ijpeg(scaled(30)),
+        li(scaled(12)),
+        perl(scaled(25)),
+        povray(scaled(16)),
+        vortex(scaled(18)),
+    ]
+}

@@ -1,0 +1,378 @@
+//! The SPECint95-analogue benchmark generators.
+//!
+//! Each generator produces a seeded, deterministic program whose dominant
+//! microarchitectural behaviour matches what its namesake is known for.
+//! Register roles are shared via [`crate::gen::regs`].
+
+use crate::gen::{
+    emit_lfsr_step, emit_loop_end, emit_prologue, emit_state_bit, emit_table_index, random_table,
+    regs, shuffled_list,
+};
+use crate::Workload;
+use profileme_isa::{Cond, Memory, ProgramBuilder, Reg};
+
+/// Base address of each workload's primary data region.
+const DATA_BASE: i64 = 0x10_0000;
+
+/// COMPRESS analogue: byte-stream compression — table lookups with
+/// data-dependent indices, bit manipulation, occasional table updates.
+/// Moderate D-cache pressure (the table exceeds L1), fairly predictable
+/// branches.
+pub fn compress(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.function("compress_loop");
+    emit_prologue(&mut b, iterations, 0x1234_5677, DATA_BASE);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // Hash-table probe over a 32 KiB table (mostly L1-resident, so the
+    // miss rate is moderate rather than li-like).
+    emit_table_index(&mut b, 0x7FFF);
+    b.load(Reg::R1, regs::ADDR, 0);
+    // Bit-twiddle the code word.
+    b.shr(Reg::R2, Reg::R1, 9);
+    b.xor(Reg::R2, Reg::R2, Reg::R1);
+    b.and(Reg::R2, Reg::R2, 0xFFFF);
+    b.add(regs::ACC, regs::ACC, Reg::R2);
+    // "Code found" check: genuinely data-dependent (the table holds
+    // random words, so this is a ~50/50 branch, as hash probes are).
+    let miss = b.forward_label("miss");
+    let cont = b.forward_label("cont");
+    b.and(Reg::R3, Reg::R1, 1);
+    b.cond_br(Cond::Eq0, Reg::R3, miss);
+    b.addi(Reg::R4, Reg::R4, 1);
+    b.jmp(cont);
+    b.place(miss);
+    // Table update on a miss (~1/8 of iterations).
+    b.store(Reg::R2, regs::ADDR, 0);
+    b.place(cont);
+    emit_loop_end(&mut b, top);
+    let mut memory = Memory::new();
+    random_table(&mut memory, DATA_BASE as u64, 0x8000 / 8, 101);
+    Workload {
+        name: "compress",
+        description: "table lookups with data-dependent indices, bit twiddling",
+        program: b.build().expect("compress generator emits a valid program"),
+        memory,
+    }
+}
+
+/// GCC analogue: a large code footprint and a deep, data-dependent call
+/// graph — many small functions with internal diamonds, selected by a
+/// branch tree each iteration. Stresses the I-cache and the predictor's
+/// capacity.
+pub fn gcc(iterations: u64) -> Workload {
+    // 96 passes x ~190 instructions ≈ 73 KiB of code — deliberately just
+    // over the 64 KiB L1 I-cache, so the round of passes executed each
+    // iteration thrashes it (gcc's defining behaviour on the 21264).
+    const PASSES: usize = 96;
+    const PAD: usize = 180;
+    let mut b = ProgramBuilder::new();
+    b.function("gcc_driver");
+    let pass_labels: Vec<_> =
+        (0..PASSES).map(|i| b.forward_label(format!("pass{i}"))).collect();
+    emit_prologue(&mut b, iterations, 0x5eed_9cc1, DATA_BASE);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // A branch tree selects 8 of the 24 "passes" to call each iteration.
+    for (i, &pass) in pass_labels.iter().enumerate() {
+        if i % 3 == 0 {
+            b.call(pass); // always-run pass
+        } else {
+            let skip = b.forward_label(format!("skip{i}"));
+            emit_state_bit(&mut b, (i % 13) as u64);
+            b.cond_br(Cond::Eq0, regs::TMP, skip);
+            b.call(pass);
+            b.place(skip);
+        }
+    }
+    emit_loop_end(&mut b, top);
+    // Generate the passes: small functions with diamonds and a bit of
+    // straight-line padding so the total image is I-cache sized.
+    for (i, &pass) in pass_labels.iter().enumerate() {
+        b.function(format!("pass{i}"));
+        b.place(pass);
+        // Pad with work so the passes cover a lot of unique code.
+        for k in 0..PAD {
+            b.addi(Reg::new(1 + (k % 4) as u8), Reg::new(1 + (k % 4) as u8), (i + k) as i64);
+        }
+        let else_ = b.forward_label(format!("p{i}else"));
+        let join = b.forward_label(format!("p{i}join"));
+        emit_state_bit(&mut b, ((i * 5 + 3) % 17) as u64);
+        b.cond_br(Cond::Eq0, regs::TMP, else_);
+        b.mul(Reg::R2, Reg::R1, regs::STATE);
+        b.jmp(join);
+        b.place(else_);
+        b.add(Reg::R2, Reg::R1, regs::STATE);
+        b.place(join);
+        b.add(regs::ACC, regs::ACC, Reg::R2);
+        b.ret();
+    }
+    Workload {
+        name: "gcc",
+        description: "large code footprint, deep data-dependent call graph",
+        program: b.build().expect("gcc generator emits a valid program"),
+        memory: Memory::new(),
+    }
+}
+
+/// GO analogue: branch-dominated evaluation with data-dependent, poorly
+/// predictable directions (board-position style computed conditions).
+pub fn go(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.function("go_eval");
+    emit_prologue(&mut b, iterations, 0x60_60_60, DATA_BASE);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // A cascade of eight data-dependent diamonds on different state bits.
+    for d in 0..8u64 {
+        let else_ = b.forward_label(format!("d{d}else"));
+        let join = b.forward_label(format!("d{d}join"));
+        emit_state_bit(&mut b, (d * 7 + 1) % 23);
+        b.cond_br(Cond::Eq0, regs::TMP, else_);
+        b.addi(regs::ACC, regs::ACC, 3);
+        b.jmp(join);
+        b.place(else_);
+        b.sub(regs::ACC, regs::ACC, Reg::R1);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.place(join);
+    }
+    emit_loop_end(&mut b, top);
+    Workload {
+        name: "go",
+        description: "poorly predictable data-dependent branches",
+        program: b.build().expect("go generator emits a valid program"),
+        memory: Memory::new(),
+    }
+}
+
+/// IJPEG analogue: regular nested arithmetic loops (DCT-ish): multiplies
+/// and adds over sequential memory with abundant instruction-level
+/// parallelism and highly predictable branches.
+pub fn ijpeg(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.function("ijpeg_dct");
+    emit_prologue(&mut b, iterations, 0x1111_2222, DATA_BASE);
+    let top = b.label("top");
+    // Walk an 8-word "block" sequentially (one inner iteration unrolled).
+    b.and(regs::ADDR, regs::COUNTER, 0xFF8);
+    b.add(regs::ADDR, regs::ADDR, regs::BASE);
+    for k in 0..8i64 {
+        let (x, y) = (Reg::new(1 + (k % 4) as u8), Reg::new(5 + (k % 4) as u8));
+        b.load(x, regs::ADDR, k * 8);
+        b.mul(y, x, regs::STATE);
+        b.add(regs::ACC, regs::ACC, y);
+    }
+    b.store(regs::ACC, regs::ADDR, 0);
+    emit_loop_end(&mut b, top);
+    let mut memory = Memory::new();
+    random_table(&mut memory, DATA_BASE as u64, 0x1000 / 8, 202);
+    Workload {
+        name: "ijpeg",
+        description: "regular arithmetic loops with high ILP",
+        program: b.build().expect("ijpeg generator emits a valid program"),
+        memory,
+    }
+}
+
+/// LI analogue: Lisp-interpreter heap behaviour — pointer chasing through
+/// a shuffled cons-cell list spread over a multi-megabyte region, giving
+/// serialized D-cache misses, plus a helper call per cell.
+pub fn li(iterations: u64) -> Workload {
+    const CELLS: u64 = 4096;
+    const STRIDE: u64 = 512;
+    let mut b = ProgramBuilder::new();
+    b.function("li_walk");
+    let car = b.forward_label("car");
+    emit_prologue(&mut b, iterations, 0x11_51_11, DATA_BASE);
+    // R15 = current cell pointer (head of the shuffled list).
+    let mut memory = Memory::new();
+    let head = shuffled_list(&mut memory, DATA_BASE as u64, CELLS, STRIDE, 42);
+    b.load_imm(Reg::R15, head as i64);
+    let top = b.label("top");
+    b.load(Reg::R15, Reg::R15, 0); // cdr: chase the pointer
+    // Two call sites for the same helper, selected by an address bit, as
+    // Lisp evaluators call the same primitives from many places. (The
+    // cells are 512-byte strided, so bit 9 varies with the shuffle.)
+    let other_site = b.forward_label("other_site");
+    let after_call = b.forward_label("after_call");
+    b.and(Reg::R2, Reg::R15, 512);
+    b.cond_br(Cond::Eq0, Reg::R2, other_site);
+    b.call(car);
+    b.jmp(after_call);
+    b.place(other_site);
+    b.call(car);
+    b.place(after_call);
+    emit_loop_end(&mut b, top);
+    b.function("li_car");
+    b.place(car);
+    b.load(Reg::R1, Reg::R15, 8); // car field (usually same line)
+    b.add(regs::ACC, regs::ACC, Reg::R1);
+    let even = b.forward_label("even");
+    b.and(Reg::R2, Reg::R1, 1);
+    b.cond_br(Cond::Eq0, Reg::R2, even);
+    b.addi(regs::ACC, regs::ACC, 1);
+    b.place(even);
+    b.ret();
+    // Fill every cell's car field with a deterministic value.
+    for i in 0..CELLS {
+        let addr = DATA_BASE as u64 + i * STRIDE + 8;
+        memory.write(addr, i.wrapping_mul(0x9E37_79B9).rotate_left(11));
+    }
+    Workload {
+        name: "li",
+        description: "pointer chasing with serialized D-cache misses",
+        program: b.build().expect("li generator emits a valid program"),
+        memory,
+    }
+}
+
+/// PERL analogue: interpreter dispatch — an indirect jump through a
+/// memory-resident jump table indexed by a data-dependent "opcode", with
+/// small handler bodies and a hash-table probe.
+pub fn perl(iterations: u64) -> Workload {
+    const OPS: usize = 12;
+    const TABLE: i64 = 0x20_0000; // jump table location
+    let mut b = ProgramBuilder::new();
+    b.function("perl_interp");
+    let handlers: Vec<_> = (0..OPS).map(|i| b.forward_label(format!("op{i}"))).collect();
+    emit_prologue(&mut b, iterations, 0x9e11_0b0e, DATA_BASE);
+    b.load_imm(Reg::R15, TABLE);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // opcode = state % OPS (approximated with a mask over 16 and a fold).
+    b.and(Reg::R1, regs::STATE, 15);
+    b.cmp_lt(Reg::R2, Reg::R1, OPS as i64);
+    let in_range = b.forward_label("in_range");
+    b.cond_br(Cond::Ne0, Reg::R2, in_range);
+    b.addi(Reg::R1, Reg::R1, -(OPS as i64) + 2);
+    b.place(in_range);
+    // handler = table[opcode * 8]; jump to it.
+    b.shl(Reg::R2, Reg::R1, 3);
+    b.add(Reg::R2, Reg::R2, Reg::R15);
+    b.load(Reg::R3, Reg::R2, 0);
+    b.jmp_ind(Reg::R3);
+    // Handlers: each does a little work then falls back to the loop end.
+    let end = b.forward_label("end");
+    for (i, &h) in handlers.iter().enumerate() {
+        b.place(h);
+        match i % 4 {
+            0 => {
+                // hash probe
+                emit_table_index(&mut b, 0xFFF);
+                b.load(Reg::R4, regs::ADDR, 0);
+                b.add(regs::ACC, regs::ACC, Reg::R4);
+            }
+            1 => {
+                b.mul(Reg::R4, regs::STATE, regs::STATE);
+                b.add(regs::ACC, regs::ACC, Reg::R4);
+            }
+            2 => {
+                emit_table_index(&mut b, 0xFFF);
+                b.store(regs::ACC, regs::ADDR, 0);
+            }
+            _ => {
+                b.addi(regs::ACC, regs::ACC, (i + 1) as i64);
+            }
+        }
+        b.jmp(end);
+    }
+    b.place(end);
+    emit_loop_end(&mut b, top);
+
+    // Build the jump table now that handler labels are placed.
+    let mut memory = Memory::new();
+    for (i, &h) in handlers.iter().enumerate() {
+        let pc = b.pc_of_label(h).expect("handler placed above");
+        memory.write(TABLE as u64 + (i as u64) * 8, pc.addr());
+    }
+    random_table(&mut memory, DATA_BASE as u64, 0x1000 / 8, 404);
+    Workload {
+        name: "perl",
+        description: "indirect-jump dispatch loop with hash probes",
+        program: b.build().expect("perl generator emits a valid program"),
+        memory,
+    }
+}
+
+/// POVRAY analogue: floating-point ray math — chains of FP adds and
+/// multiplies with a divide on one path, moderate ILP.
+pub fn povray(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.function("povray_trace");
+    emit_prologue(&mut b, iterations, 0x0f0f_1e1e, DATA_BASE);
+    b.load_imm(Reg::R1, 0x3ff0);
+    b.load_imm(Reg::R2, 0x4000);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // Two independent FP chains (dot products) ...
+    b.fmul(Reg::R3, Reg::R1, regs::STATE);
+    b.fadd(Reg::R4, Reg::R3, Reg::R2);
+    b.fmul(Reg::R5, Reg::R2, regs::STATE);
+    b.fadd(Reg::R6, Reg::R5, Reg::R1);
+    b.fadd(Reg::R7, Reg::R4, Reg::R6);
+    // ... and a normalize (divide) when the "discriminant" bit is set.
+    let skip = b.forward_label("no_hit");
+    emit_state_bit(&mut b, 11);
+    b.cond_br(Cond::Eq0, regs::TMP, skip);
+    b.fdiv(Reg::R8, Reg::R7, Reg::R4);
+    b.fadd(regs::ACC, regs::ACC, Reg::R8);
+    b.place(skip);
+    b.fadd(Reg::R1, Reg::R1, Reg::R7);
+    emit_loop_end(&mut b, top);
+    Workload {
+        name: "povray",
+        description: "floating-point chains with occasional divides",
+        program: b.build().expect("povray generator emits a valid program"),
+        memory: Memory::new(),
+    }
+}
+
+/// VORTEX analogue: object database — store-heavy scattered writes with
+/// index loads and a helper call, over a region larger than L1.
+pub fn vortex(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.function("vortex_update");
+    let insert = b.forward_label("insert");
+    emit_prologue(&mut b, iterations, 0x0b1ec7, DATA_BASE);
+    let top = b.label("top");
+    emit_lfsr_step(&mut b);
+    // Look up the object slot in the index.
+    emit_table_index(&mut b, 0xFFFF);
+    b.load(Reg::R1, regs::ADDR, 0);
+    // Update vs. insert paths both reach the same helper (two call
+    // sites), chosen by a data bit.
+    let update = b.forward_label("update");
+    let committed = b.forward_label("committed");
+    b.and(Reg::R5, Reg::R1, 1);
+    b.cond_br(Cond::Eq0, Reg::R5, update);
+    b.call(insert);
+    b.jmp(committed);
+    b.place(update);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.call(insert);
+    b.place(committed);
+    emit_loop_end(&mut b, top);
+    b.function("vortex_insert");
+    b.place(insert);
+    // Write three fields of the object.
+    b.add(Reg::R2, Reg::R1, regs::STATE);
+    b.store(Reg::R2, regs::ADDR, 8);
+    b.store(regs::STATE, regs::ADDR, 16);
+    b.addi(Reg::R3, Reg::R2, 1);
+    b.store(Reg::R3, regs::ADDR, 24);
+    let skip = b.forward_label("no_rehash");
+    b.and(Reg::R4, Reg::R2, 31);
+    b.cond_br(Cond::Ne0, Reg::R4, skip);
+    b.store(regs::ACC, regs::ADDR, 32); // occasional extra write
+    b.place(skip);
+    b.ret();
+    let mut memory = Memory::new();
+    random_table(&mut memory, DATA_BASE as u64, 0x1_0000 / 8, 505);
+    Workload {
+        name: "vortex",
+        description: "store-heavy scattered object updates",
+        program: b.build().expect("vortex generator emits a valid program"),
+        memory,
+    }
+}
+

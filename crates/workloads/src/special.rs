@@ -1,0 +1,193 @@
+//! Special-purpose programs tied to specific figures of the paper.
+
+use crate::gen::regs;
+use crate::Workload;
+use profileme_isa::{Cond, Memory, Pc, ProgramBuilder, Reg};
+
+/// The Figure 2 microbenchmark: a loop containing a single (cache-hit)
+/// memory read followed by `nops` no-ops. Returns the workload and the
+/// PC of the load, the instruction whose events the counter experiment
+/// tries (and fails) to attribute.
+pub fn microbench(nops: usize, iterations: u64) -> (Workload, Pc) {
+    let mut b = ProgramBuilder::new();
+    b.function("microbench");
+    b.load_imm(regs::COUNTER, iterations as i64);
+    b.load_imm(regs::BASE, 0x8000);
+    let top = b.label("top");
+    let load_pc = b.current_pc();
+    b.load(Reg::R1, regs::BASE, 0);
+    b.nops(nops);
+    b.addi(regs::COUNTER, regs::COUNTER, -1);
+    b.cond_br(Cond::Ne0, regs::COUNTER, top);
+    b.halt();
+    let w = Workload {
+        name: "microbench",
+        description: "one cache-hit load followed by hundreds of nops (Figure 2)",
+        program: b.build().expect("microbench emits a valid program"),
+        memory: Memory::new(),
+    };
+    (w, load_pc)
+}
+
+/// The Figure 7 program: three loops with deliberately different
+/// latency/concurrency characters, plus the PC ranges of each loop so
+/// analyses can classify instructions.
+#[derive(Debug, Clone)]
+pub struct Loops3 {
+    /// The program and its memory.
+    pub workload: Workload,
+    /// `(name, start, end)` PC range of each loop body's function, in the
+    /// plotting order of Figure 7: circles, squares, triangles.
+    pub loops: [(&'static str, Pc, Pc); 3],
+}
+
+impl Loops3 {
+    /// Which loop (0, 1, 2) contains `pc`, if any.
+    pub fn loop_of(&self, pc: Pc) -> Option<usize> {
+        self.loops.iter().position(|(_, s, e)| *s <= pc && pc < *e)
+    }
+}
+
+/// Builds the three-loop program of Figure 7.
+///
+/// * **serial** (circles): a dependent chain of unpipelined FP divides —
+///   long per-instruction latencies with almost no useful concurrency, so
+///   nearly every issue slot under them is wasted.
+/// * **balanced** (squares): moderate-latency arithmetic with moderate
+///   parallelism.
+/// * **memory** (triangles): independent strided loads over an
+///   L2-resident (but L1-missing) region, each with a dependent consumer,
+///   surrounded by plenty of independent arithmetic. The consumers
+///   accumulate the largest *total* fetch→retire-ready latency in the
+///   program (the loop runs many more iterations), yet the machine stays
+///   usefully busy under them, so they waste comparatively few issue
+///   slots.
+///
+/// This is exactly the contrast §6 uses to argue that latency alone
+/// cannot identify bottlenecks: total latency ranks the memory loop's
+/// instructions as the worst problem; wasted issue slots correctly rank
+/// the serial divide chain first.
+pub fn loops3(iterations: u64) -> Loops3 {
+    // 512 KiB region: misses L1 (64 KiB) on every pass, hits L2 (1 MiB)
+    // after the first pass, and fits easily in the D-TLB.
+    const REGION_BYTES: i64 = 0x8_0000;
+    const MEM_BASE: i64 = 0x100_0000;
+
+    let mut b = ProgramBuilder::new();
+    b.function("main");
+    let serial = b.forward_label("serial");
+    let balanced = b.forward_label("balanced");
+    let memory_l = b.forward_label("memory");
+    b.call(serial);
+    b.call(balanced);
+    b.call(memory_l);
+    b.halt();
+
+    // Loop 1 (circles): serial FP-divide chain.
+    b.function("loop_serial");
+    b.place(serial);
+    b.load_imm(regs::COUNTER, iterations as i64);
+    b.load_imm(Reg::R1, 0x4141);
+    b.load_imm(Reg::R2, 7);
+    let top1 = b.label("top1");
+    for _ in 0..4 {
+        b.fdiv(Reg::R1, Reg::R1, Reg::R2);
+        b.addi(Reg::R1, Reg::R1, 3); // keep the chain integer-nonzero
+    }
+    b.addi(regs::COUNTER, regs::COUNTER, -1);
+    b.cond_br(Cond::Ne0, regs::COUNTER, top1);
+    b.ret();
+
+    // Loop 2 (squares): balanced arithmetic.
+    b.function("loop_balanced");
+    b.place(balanced);
+    b.load_imm(regs::COUNTER, (iterations * 4) as i64);
+    b.load_imm(Reg::R1, 0x1234);
+    let top2 = b.label("top2");
+    b.mul(Reg::R2, Reg::R1, Reg::R1); // short dependent pair
+    b.addi(Reg::R1, Reg::R2, 5);
+    for k in 0..4i64 {
+        b.addi(Reg::new(3 + k as u8), Reg::new(3 + k as u8), k + 1); // independent
+    }
+    b.addi(regs::COUNTER, regs::COUNTER, -1);
+    b.cond_br(Cond::Ne0, regs::COUNTER, top2);
+    b.ret();
+
+    // Loop 3 (triangles): four independent L2-hit loads per iteration,
+    // each with a dependent consumer, plus sixteen independent ALU ops.
+    // Runs 32x the serial loop's iterations so its consumers accumulate
+    // the largest total latency.
+    b.function("loop_memory");
+    b.place(memory_l);
+    b.load_imm(regs::COUNTER, (iterations * 32) as i64);
+    b.load_imm(regs::BASE, MEM_BASE);
+    b.load_imm(Reg::R15, 0); // byte offset within the region
+    let top3 = b.label("top3");
+    for j in 0..4i64 {
+        let dst = Reg::new(1 + j as u8);
+        b.add(regs::ADDR, regs::BASE, Reg::R15);
+        b.load(dst, regs::ADDR, j * (REGION_BYTES / 4)); // 4 independent lines
+        b.add(regs::ACC, regs::ACC, dst); // dependent consumer
+    }
+    for k in 0..16i64 {
+        let r = Reg::new(5 + (k % 4) as u8);
+        b.addi(r, r, k + 1); // independent filler with real ILP
+    }
+    b.addi(Reg::R15, Reg::R15, 64);
+    b.and(Reg::R15, Reg::R15, (REGION_BYTES / 4 - 1) & !63);
+    b.addi(regs::COUNTER, regs::COUNTER, -1);
+    b.cond_br(Cond::Ne0, regs::COUNTER, top3);
+    b.ret();
+    let memory = Memory::new();
+
+    let program = b.build().expect("loops3 emits a valid program");
+    let range = |name: &str| {
+        let f = program.function_named(name).expect("loop functions exist");
+        (f.entry, f.end)
+    };
+    let (s1, e1) = range("loop_serial");
+    let (s2, e2) = range("loop_balanced");
+    let (s3, e3) = range("loop_memory");
+    Loops3 {
+        loops: [("serial", s1, e1), ("balanced", s2, e2), ("memory", s3, e3)],
+        workload: Workload {
+            name: "loops3",
+            description: "three loops with contrasting latency/concurrency (Figure 7)",
+            program,
+            memory,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::ArchState;
+
+    #[test]
+    fn microbench_executes() {
+        let (w, load_pc) = microbench(50, 10);
+        assert!(w.program.contains(load_pc));
+        let mut s = ArchState::with_memory(&w.program, w.memory.clone());
+        let steps = s.run(&w.program, 100_000).unwrap();
+        // 2 setup + 10 * (load + 50 nops + addi + bne) + halt
+        assert_eq!(steps, 2 + 10 * 53 + 1);
+    }
+
+    #[test]
+    fn loops3_classifies_pcs() {
+        let l3 = loops3(5);
+        let p = &l3.workload.program;
+        let mut seen = [false; 3];
+        for (pc, _) in p.iter() {
+            if let Some(i) = l3.loop_of(pc) {
+                seen[i] = true;
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+        assert_eq!(l3.loop_of(p.entry()), None, "main is not in any loop");
+        // Executes to completion.
+        let mut s = ArchState::with_memory(p, l3.workload.memory.clone());
+        s.run(p, 10_000_000).unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! Every workload must run to completion on the pipeline, and each must
+//! actually exhibit the microarchitectural character it claims.
+
+use profileme_isa::ArchState;
+use profileme_uarch::{NullHardware, Pipeline, PipelineConfig, SimStats};
+use profileme_workloads::{loops3, microbench, suite, Workload};
+
+fn run(w: &Workload) -> SimStats {
+    let oracle = ArchState::with_memory(&w.program, w.memory.clone());
+    let mut sim =
+        Pipeline::with_oracle(w.program.clone(), PipelineConfig::default(), NullHardware, oracle);
+    sim.run(200_000_000).unwrap_or_else(|e| panic!("{} did not finish: {e}", w.name));
+    sim.stats().clone()
+}
+
+fn by_name(ws: &[(String, SimStats)], name: &str) -> SimStats {
+    ws.iter().find(|(n, _)| n == name).unwrap_or_else(|| panic!("{name} missing")).1.clone()
+}
+
+#[test]
+fn suite_runs_and_exhibits_expected_characters() {
+    let stats: Vec<(String, SimStats)> =
+        suite(120_000).iter().map(|w| (w.name.to_string(), run(w))).collect();
+
+    for (name, s) in &stats {
+        assert!(s.retired > 10_000, "{name} did meaningful work: {} retired", s.retired);
+        assert!(s.ipc() > 0.05, "{name} IPC {:.3} is sane", s.ipc());
+        assert!(s.ipc() < 4.0, "{name} IPC {:.3} under the machine bound", s.ipc());
+    }
+
+    let miss_rate = |s: &SimStats| s.dcache_misses as f64 / s.dcache_accesses.max(1) as f64;
+    let mpki = |s: &SimStats| s.mispredicts as f64 * 1000.0 / s.retired as f64;
+    let icache_pki = |s: &SimStats| s.icache_misses as f64 * 1000.0 / s.retired as f64;
+
+    let li = by_name(&stats, "li");
+    let ijpeg = by_name(&stats, "ijpeg");
+    let go = by_name(&stats, "go");
+    let gcc = by_name(&stats, "gcc");
+    let compress = by_name(&stats, "compress");
+    let vortex = by_name(&stats, "vortex");
+    let perl = by_name(&stats, "perl");
+
+    // li: pointer chasing dominates — the worst D-cache behaviour and the
+    // lowest IPC in the suite.
+    assert!(miss_rate(&li) > 0.4, "li misses a lot: {:.2}", miss_rate(&li));
+    assert!(miss_rate(&li) > 4.0 * miss_rate(&ijpeg), "li ≫ ijpeg in miss rate");
+    let max_rate = stats.iter().map(|(_, s)| miss_rate(s)).fold(0.0f64, f64::max);
+    assert_eq!(miss_rate(&li), max_rate, "li has the worst D-cache behaviour");
+    assert!(li.ipc() < 1.0, "serialized misses keep li slow: IPC {:.2}", li.ipc());
+
+    // go: the branchiest, least predictable.
+    assert!(mpki(&go) > 20.0, "go mispredicts often: {:.1} mpki", mpki(&go));
+    assert!(mpki(&go) > mpki(&ijpeg) * 5.0, "go ≫ ijpeg in mispredicts");
+
+    // gcc: the biggest instruction footprint.
+    assert!(
+        icache_pki(&gcc) >= icache_pki(&ijpeg),
+        "gcc stresses the I-cache at least as much as ijpeg"
+    );
+    assert!(gcc.retired > 0 && gcc.squashed > 0);
+
+    // compress & vortex: real D-cache traffic, but nothing like li.
+    for (name, s) in [("compress", &compress), ("vortex", &vortex)] {
+        assert!(
+            miss_rate(s) > 0.01 && miss_rate(s) < miss_rate(&li),
+            "{name} has moderate miss rate: {:.3}",
+            miss_rate(s)
+        );
+    }
+
+    // perl: indirect dispatch causes real mispredict squashes.
+    assert!(perl.squashed > 1000, "perl squashes on dispatch: {}", perl.squashed);
+
+    // ijpeg: the highest IPC of the suite (regular, parallel arithmetic).
+    let max_ipc = stats.iter().map(|(_, s)| s.ipc()).fold(0.0f64, f64::max);
+    assert_eq!(ijpeg.ipc(), max_ipc, "ijpeg is the fastest workload");
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    for make in [|| suite(10_000).remove(0), || suite(10_000).remove(5)] {
+        let a = run(&make());
+        let b = run(&make());
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn microbench_and_loops3_run() {
+    let (w, load_pc) = microbench(200, 200);
+    let s = run(&w);
+    let load = s.at(&w.program, load_pc).unwrap();
+    assert_eq!(load.retired, 200);
+
+    let l3 = loops3(500);
+    let s = run(&l3.workload);
+    assert!(s.retired > 10_000);
+    // The memory loop's chase loads miss nearly always.
+    let p = &l3.workload.program;
+    let (_, m_start, m_end) = l3.loops[2];
+    let mut chase_misses = 0;
+    let mut chase_accesses = 0;
+    for (pc, inst) in p.iter() {
+        if m_start <= pc && pc < m_end && inst.is_mem() {
+            let st = s.at(p, pc).unwrap();
+            chase_misses += st.dcache_misses;
+            chase_accesses += st.dcache_accesses;
+        }
+    }
+    assert!(
+        chase_misses as f64 > 0.8 * chase_accesses as f64,
+        "chases mostly miss: {chase_misses}/{chase_accesses}"
+    );
+}

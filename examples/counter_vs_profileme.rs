@@ -1,0 +1,69 @@
+//! Event counters vs ProfileMe on the same machine (the §2.2 motivation):
+//! run the Figure 2 microbenchmark under both mechanisms and show that
+//! counter interrupts smear D-cache events across dozens of PCs while
+//! ProfileMe attributes every sampled event to the exact instruction.
+//!
+//! Run with: `cargo run --release --example counter_vs_profileme`
+
+use profileme::counters::{CounterHardware, PcHistogram};
+use profileme::core::{run_single, ProfileMeConfig};
+use profileme::uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme::workloads::microbench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (w, load_pc) = microbench(200, 4_000);
+    println!("microbenchmark: loop {{ load (the only D-cache access) ; 200 nops }}");
+    println!("the load lives at {load_pc}\n");
+
+    // --- Event counters on the out-of-order machine -------------------
+    let hw = CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, 42).with_skid_jitter(12);
+    let mut sim = Pipeline::new(w.program.clone(), PipelineConfig::default(), hw);
+    let mut hist = PcHistogram::new();
+    sim.run_with(u64::MAX, |intr, hw| {
+        hist.record(intr.attributed_pc);
+        hw.rearm();
+    })?;
+
+    println!("event-counter attribution ({} interrupts):", hist.total());
+    println!("{:>8}  count", "offset");
+    for (offset, count) in hist.offsets_from(load_pc) {
+        let bar = "#".repeat((count as usize).min(60));
+        println!("{offset:>+8}  {count:<5} {bar}");
+    }
+    println!(
+        "  -> events attributed to the load itself: {:.1}%",
+        100.0 * hist.count(load_pc) as f64 / hist.total().max(1) as f64
+    );
+    println!(
+        "  -> 90% of the mass is spread over {} distinct PCs\n",
+        hist.spread(0.9)
+    );
+
+    // --- ProfileMe on the identical machine ---------------------------
+    let sampling =
+        ProfileMeConfig { mean_interval: 64, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let run =
+        run_single(w.program.clone(), None, PipelineConfig::default(), sampling, u64::MAX)?;
+    let mem_samples: u64 = run
+        .db
+        .iter()
+        .filter(|(pc, _)| w.program.fetch(*pc).is_some_and(|i| i.is_mem()))
+        .map(|(_, p)| p.samples)
+        .sum();
+    let at_load = run.db.at(load_pc).samples;
+    println!("ProfileMe attribution ({} samples total):", run.samples.len());
+    println!(
+        "  -> memory-operation samples: {mem_samples}, of which at the load: {at_load} (100% exact)"
+    );
+    println!(
+        "  -> estimated executions of the load: {:.0} (actual {})",
+        run.db.estimated_fetches(load_pc).value(),
+        run.stats.at(&w.program, load_pc).map_or(0, |s| s.retired),
+    );
+    println!(
+        "\nSame pipeline, same program: the counter cannot say *which* instruction\n\
+         missed; ProfileMe records the PC (and the address, latency, and events)\n\
+         in the sample itself."
+    );
+    Ok(())
+}

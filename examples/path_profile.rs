@@ -1,0 +1,93 @@
+//! Path profiling from branch-history bits (§5.3): reconstruct the
+//! execution paths leading to sampled instructions using the Profiled
+//! Path Register, and compare the three schemes of Figure 6.
+//!
+//! Run with: `cargo run --release --example path_profile`
+
+use profileme::cfg::{Cfg, Scope, TraceRecorder};
+use profileme::core::{PathProfiler, PathScheme};
+use profileme::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workloads::go(4_000);
+    println!("workload: {} — {}\n", w.name, w.description);
+
+    let mut cfg = Cfg::build(&w.program);
+
+    // Pass 1: learn indirect-jump edges and edge frequencies.
+    let mut learn = TraceRecorder::with_state(profileme::isa::ArchState::with_memory(
+        &w.program,
+        w.memory.clone(),
+    ));
+    while !learn.halted() {
+        learn.step(&w.program, &cfg)?;
+    }
+    for &(from, to) in learn.indirect_edges() {
+        cfg.add_indirect_edge(from, to);
+    }
+    let edge_profile = learn.edge_profile().clone();
+
+    // Pass 2: sample instructions and reconstruct their paths.
+    let profiler = PathProfiler::new(&cfg, &w.program);
+    let mut rec = TraceRecorder::with_state(profileme::isa::ArchState::with_memory(
+        &w.program,
+        w.memory.clone(),
+    ));
+    let history_len = 8;
+    let mut attempts = 0u32;
+    let mut successes = [0u32; 3];
+    let mut shown = 0;
+    let mut step = 0u64;
+    while !rec.halted() {
+        if step.is_multiple_of(97) {
+            let snap = rec.snapshot(&cfg);
+            if let Some(truth) = snap.ground_truth(&cfg, &w.program, history_len, Scope::Interprocedural)
+            {
+                attempts += 1;
+                for (i, scheme) in PathScheme::ALL.iter().enumerate() {
+                    let out = profiler.reconstruct(
+                        *scheme,
+                        snap.sample_pc,
+                        &snap.history,
+                        history_len,
+                        snap.pc_before(7),
+                        &edge_profile,
+                        Scope::Interprocedural,
+                    );
+                    if out.is_success(&truth) {
+                        successes[i] += 1;
+                        if *scheme == PathScheme::HistoryBits && shown < 3 {
+                            shown += 1;
+                            println!(
+                                "sample at {} with history {} -> unique path of {} blocks:",
+                                snap.sample_pc,
+                                snap.history,
+                                truth.len()
+                            );
+                            let names: Vec<String> =
+                                truth.blocks.iter().map(|b| b.to_string()).collect();
+                            println!("    {}\n", names.join(" -> "));
+                        }
+                    }
+                }
+            }
+        }
+        rec.step(&w.program, &cfg)?;
+        step += 1;
+    }
+
+    println!("reconstruction success over {attempts} samples (history length {history_len}):");
+    for (i, scheme) in PathScheme::ALL.iter().enumerate() {
+        println!(
+            "  {:<32} {:>5.1}%",
+            scheme.to_string(),
+            100.0 * successes[i] as f64 / attempts.max(1) as f64
+        );
+    }
+    println!(
+        "\nHistory bits beat execution counts because each sample's Profiled Path\n\
+         Register pins down the *actual* branch directions; adding the paired\n\
+         sample's PC discards surviving impostor paths."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! A DCPI-style "where did the time go" report: roll instruction samples
+//! up to procedures (§3's aggregate level), then drill into the hottest
+//! one at instruction granularity.
+//!
+//! Run with: `cargo run --release --example procedure_report`
+
+use profileme::core::{procedure_summaries, run_single, ProfileMeConfig};
+use profileme::uarch::PipelineConfig;
+use profileme::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workloads::gcc(40);
+    println!("workload: {} — {}\n", w.name, w.description);
+    let sampling =
+        ProfileMeConfig { mean_interval: 64, buffer_depth: 16, ..ProfileMeConfig::default() };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )?;
+
+    let procs = procedure_summaries(&run.db, &w.program);
+    println!("{} procedures with samples; hottest first:\n", procs.len());
+    println!(
+        "{:<16} {:>9} {:>12} {:>9} {:>8} {:>8}",
+        "procedure", "samples", "est.retires", "latency%", "i$miss", "abort%"
+    );
+    let total_latency: u64 = procs.iter().map(|p| p.in_progress_sum).sum();
+    for p in procs.iter().take(12) {
+        println!(
+            "{:<16} {:>9} {:>12.0} {:>8.1}% {:>8} {:>7.1}%",
+            p.name,
+            p.samples,
+            p.estimated_retires,
+            100.0 * p.in_progress_sum as f64 / total_latency.max(1) as f64,
+            p.icache_misses,
+            100.0 * p.aborted as f64 / p.samples.max(1) as f64,
+        );
+    }
+
+    // Drill into the hottest procedure at instruction level.
+    let hottest = &procs[0];
+    println!("\nhottest procedure `{}` at instruction level (top 6 by latency):", hottest.name);
+    let f = w.program.function_named(&hottest.name);
+    let mut rows: Vec<_> = run
+        .db
+        .iter()
+        .filter(|(pc, _)| f.as_ref().is_some_and(|f| f.contains(*pc)))
+        .collect();
+    rows.sort_by_key(|(_, p)| std::cmp::Reverse(p.in_progress_sum));
+    for (pc, prof) in rows.iter().take(6) {
+        println!(
+            "  {:<10} {:<22} {:>6} samples, Σ in-progress {:>8} cycles",
+            pc.to_string(),
+            w.program.fetch(*pc).expect("in image").to_string(),
+            prof.samples,
+            prof.in_progress_sum,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Wasted issue slots vs latency (the Figure 7 story): run the three-loop
+//! program under *paired sampling* and show that total latency alone
+//! cannot identify the real bottleneck — the memory loop's loads have the
+//! longest latencies but keep the machine usefully busy, while the serial
+//! divide chain wastes nearly every slot under it.
+//!
+//! Run with: `cargo run --release --example wasted_slots`
+
+use profileme::core::{pipeline_population, run_paired, wasted_issue_slots, PairedConfig};
+use profileme::uarch::PipelineConfig;
+use profileme::workloads::loops3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let l3 = loops3(8_000);
+    let w = &l3.workload;
+    println!("workload: {} — {}\n", w.name, w.description);
+
+    let pipeline = PipelineConfig::default();
+    let issue_width = pipeline.issue_width as u64;
+    let sampling = PairedConfig {
+        mean_major_interval: 64,
+        window: 64,
+        buffer_depth: 4,
+        ..PairedConfig::default()
+    };
+    let run = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        pipeline,
+        sampling,
+        u64::MAX,
+    )?;
+    println!(
+        "collected {} pairs over {} cycles (effective S = {} instructions)\n",
+        run.pairs.len(),
+        run.cycles,
+        run.db.interval()
+    );
+
+    println!(
+        "{:<9} {:<10} {:<20} {:>14} {:>14} {:>9}",
+        "loop", "pc", "instruction", "total latency", "wasted slots", "useful%"
+    );
+    let mut per_loop = [(0.0f64, 0.0f64); 3]; // (latency, wasted)
+    for (pc, prof) in run.db.iter() {
+        let Some(loop_idx) = l3.loop_of(pc) else { continue };
+        let ws = wasted_issue_slots(&run.db, pc, issue_width);
+        let useful_pct = if ws.total_slots > 0.0 {
+            100.0 * ws.useful_slots.min(ws.total_slots) / ws.total_slots
+        } else {
+            0.0
+        };
+        per_loop[loop_idx].0 += ws.total_latency;
+        per_loop[loop_idx].1 += ws.wasted();
+        if prof.samples >= 8 {
+            println!(
+                "{:<9} {:<10} {:<20} {:>14.0} {:>14.0} {:>8.1}%",
+                l3.loops[loop_idx].0,
+                pc.to_string(),
+                w.program.fetch(pc).expect("in image").to_string(),
+                ws.total_latency,
+                ws.wasted(),
+                useful_pct
+            );
+        }
+    }
+
+    println!("\nper-loop totals (the Figure 7 contrast):");
+    println!("{:<10} {:>16} {:>16} {:>22}", "loop", "Σ latency", "Σ wasted slots", "wasted per latency");
+    for (i, (name, _, _)) in l3.loops.iter().enumerate() {
+        let (lat, wasted) = per_loop[i];
+        println!(
+            "{:<10} {:>16.0} {:>16.0} {:>22.2}",
+            name,
+            lat,
+            wasted,
+            if lat > 0.0 { wasted / lat } else { 0.0 }
+        );
+    }
+    println!(
+        "\nIf latency alone identified bottlenecks, the ratios above would be equal.\n\
+         They are not: the serial loop wastes far more issue capacity per cycle of\n\
+         latency than the memory loop, whose misses overlap useful work."
+    );
+
+    // §5.2.2's hint, realized: reconstruct the average pipeline
+    // population around one hot instruction of each loop.
+    println!("\nreconstructed pipeline population around each loop's hottest instruction");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "loop", "front-end", "op-wait", "fu-wait", "executing", "ret-wait", "total"
+    );
+    for (i, (name, _, _)) in l3.loops.iter().enumerate() {
+        let hottest = run
+            .db
+            .iter()
+            .filter(|(pc, _)| l3.loop_of(*pc) == Some(i))
+            .max_by_key(|(_, p)| p.samples)
+            .map(|(pc, _)| pc);
+        let Some(pc) = hottest else { continue };
+        let Some(pop) = pipeline_population(&run.pairs, pc, run.db.window()) else { continue };
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.1}",
+            name,
+            pop.front_end,
+            pop.waiting_operands,
+            pop.waiting_issue,
+            pop.executing,
+            pop.waiting_retire,
+            pop.total()
+        );
+    }
+    println!(
+        "\nAround the serial loop, neighbours are starved: stuck in the front end and\n\
+         waiting for operands behind the divide chain. Around the other loops they\n\
+         have already finished and are merely queued for in-order retirement — the\n\
+         same story the wasted-slot metric told, reconstructed at pipeline-stage\n\
+         granularity from nothing but paired samples."
+    );
+    Ok(())
+}

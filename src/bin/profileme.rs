@@ -1,0 +1,281 @@
+//! The `profileme` command-line tool: run a workload under ProfileMe on
+//! the simulated out-of-order machine and print instruction- or
+//! procedure-level reports — a miniature DCPI.
+//!
+//! ```text
+//! profileme --workload li --interval 64 --report procedures
+//! profileme --workload compress --report instructions --top 15
+//! profileme --workload go --paired --report wasted
+//! profileme --list
+//! ```
+
+use profileme::core::{
+    procedure_summaries, run_paired, run_single, wasted_issue_slots, PairedConfig,
+    ProfileMeConfig,
+};
+use profileme::uarch::PipelineConfig;
+use profileme::workloads::{loops3, microbench, suite};
+use std::process::ExitCode;
+
+struct Args {
+    workload: String,
+    interval: u64,
+    buffer: usize,
+    budget: u64,
+    top: usize,
+    paired: bool,
+    report: String,
+    list: bool,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            workload: "compress".into(),
+            interval: 64,
+            buffer: 8,
+            budget: 300_000,
+            top: 15,
+            paired: false,
+            report: "instructions".into(),
+            list: false,
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = value("--workload")?,
+            "--interval" | "-i" => {
+                args.interval = value("--interval")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--buffer" | "-b" => {
+                args.buffer = value("--buffer")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--budget" => {
+                args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--top" => args.top = value("--top")?.parse().map_err(|e| format!("{e}"))?,
+            "--paired" => args.paired = true,
+            "--report" | "-r" => args.report = value("--report")?,
+            "--list" => args.list = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: profileme [--workload NAME] [--interval S] [--buffer N] \
+                     [--budget INSTRUCTIONS] [--top N] [--paired] \
+                     [--report instructions|procedures|wasted|disasm] [--json] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn find_workload(name: &str, budget: u64) -> Option<profileme::workloads::Workload> {
+    if name == "microbench" {
+        return Some(microbench(200, budget / 203).0);
+    }
+    if name == "loops3" {
+        return Some(loops3(budget / 300).workload);
+    }
+    suite(budget).into_iter().find(|w| w.name == name)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        println!("available workloads:");
+        for w in suite(1_000) {
+            println!("  {:<10} {}", w.name, w.description);
+        }
+        println!("  {:<10} one cache-hit load + 200 nops (Figure 2)", "microbench");
+        println!("  {:<10} three contrasting loops (Figure 7)", "loops3");
+        return ExitCode::SUCCESS;
+    }
+    let Some(w) = find_workload(&args.workload, args.budget) else {
+        eprintln!("error: unknown workload `{}` (use --list)", args.workload);
+        return ExitCode::FAILURE;
+    };
+    let pipeline = PipelineConfig::default();
+
+    if args.paired || args.report == "wasted" {
+        let sampling = PairedConfig {
+            mean_major_interval: args.interval,
+            window: 64,
+            buffer_depth: args.buffer.max(1),
+            ..PairedConfig::default()
+        };
+        let run = match run_paired(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            pipeline.clone(),
+            sampling,
+            u64::MAX,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "# {}: {} pairs over {} cycles (S={}, W={})",
+            w.name,
+            run.pairs.len(),
+            run.cycles,
+            run.db.interval(),
+            run.db.window()
+        );
+        let mut rows: Vec<_> = run
+            .db
+            .iter()
+            .filter(|(_, p)| p.samples >= 4)
+            .map(|(pc, p)| {
+                let ws = wasted_issue_slots(&run.db, pc, pipeline.issue_width as u64);
+                (pc, p.samples, ws.total_latency, ws.wasted())
+            })
+            .collect();
+        rows.sort_by(|a, b| b.3.total_cmp(&a.3));
+        println!(
+            "{:<10} {:<24} {:>8} {:>14} {:>14}",
+            "pc", "instruction", "samples", "Σ latency", "wasted slots"
+        );
+        for (pc, samples, lat, wasted) in rows.iter().take(args.top) {
+            println!(
+                "{:<10} {:<24} {:>8} {:>14.0} {:>14.0}",
+                pc.to_string(),
+                w.program.fetch(*pc).map(|i| i.to_string()).unwrap_or_default(),
+                samples,
+                lat,
+                wasted
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let sampling = ProfileMeConfig {
+        mean_interval: args.interval,
+        buffer_depth: args.buffer.max(1),
+        ..ProfileMeConfig::default()
+    };
+    let run = match run_single(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        pipeline,
+        sampling,
+        u64::MAX,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.json {
+        println!(
+            "# {}: {} samples over {} cycles (IPC {:.2}, effective S={})",
+            w.name,
+            run.samples.len(),
+            run.cycles,
+            run.stats.ipc(),
+            run.db.interval()
+        );
+    }
+    match args.report.as_str() {
+        "procedures" => {
+            let procs = procedure_summaries(&run.db, &w.program);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&procs).expect("serializable"));
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "{:<18} {:>8} {:>12} {:>10} {:>8} {:>8}",
+                "procedure", "samples", "est.retires", "Σ latency", "d$miss", "abort%"
+            );
+            for p in procs.iter().take(args.top) {
+                println!(
+                    "{:<18} {:>8} {:>12.0} {:>10} {:>8} {:>7.1}%",
+                    p.name,
+                    p.samples,
+                    p.estimated_retires,
+                    p.in_progress_sum,
+                    p.dcache_misses,
+                    100.0 * p.aborted as f64 / p.samples.max(1) as f64
+                );
+            }
+        }
+        "disasm" => {
+            // Annotated disassembly: every instruction with its sample
+            // counts, dcpiprof style.
+            for (pc, inst) in w.program.iter() {
+                if let Some(f) = w.program.functions().iter().find(|f| f.entry == pc) {
+                    println!("{}:", f.name);
+                }
+                let prof = run.db.at(pc);
+                println!(
+                    "  {:#08x}  {:>7} {:>8} {:>7}    {}",
+                    pc.addr(),
+                    if prof.samples > 0 { prof.samples.to_string() } else { String::new() },
+                    if prof.in_progress_sum > 0 {
+                        prof.in_progress_sum.to_string()
+                    } else {
+                        String::new()
+                    },
+                    if prof.dcache_misses > 0 {
+                        prof.dcache_misses.to_string()
+                    } else {
+                        String::new()
+                    },
+                    inst
+                );
+            }
+        }
+        "instructions" => {
+            if args.json {
+                let rows: Vec<_> = run.db.iter().collect();
+                println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+                return ExitCode::SUCCESS;
+            }
+            let mut rows: Vec<_> = run.db.iter().collect();
+            rows.sort_by_key(|(_, p)| std::cmp::Reverse(p.in_progress_sum));
+            println!(
+                "{:<10} {:<24} {:>8} {:>10} {:>8} {:>8} {:>8}",
+                "pc", "instruction", "samples", "Σ latency", "d$miss", "mispr", "abort%"
+            );
+            for (pc, p) in rows.iter().take(args.top) {
+                println!(
+                    "{:<10} {:<24} {:>8} {:>10} {:>8} {:>8} {:>7.1}%",
+                    pc.to_string(),
+                    w.program.fetch(*pc).map(|i| i.to_string()).unwrap_or_default(),
+                    p.samples,
+                    p.in_progress_sum,
+                    p.dcache_misses,
+                    p.mispredicted,
+                    100.0 * p.aborted as f64 / p.samples.max(1) as f64
+                );
+            }
+        }
+        other => {
+            eprintln!("error: unknown report `{other}` (instructions|procedures|wasted|disasm)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! # profileme
+//!
+//! A full reproduction of **"ProfileMe: Hardware Support for
+//! Instruction-Level Profiling on Out-of-Order Processors"** (Dean,
+//! Hicks, Waldspurger, Weihl, Chrysos — MICRO-30, December 1997), built
+//! from scratch in Rust: the sampling hardware, the profiling software,
+//! the out-of-order Alpha-21264-flavoured pipeline simulator it runs on,
+//! the event-counter baseline it is compared against, and the workloads
+//! and benches that regenerate every figure and table in the paper's
+//! evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! stable module names.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `profileme-core` | ProfileMe hardware + profiling software (the paper's contribution) |
+//! | [`uarch`] | `profileme-uarch` | cycle-level out-of-order pipeline simulator |
+//! | [`counters`] | `profileme-counters` | overflow-interrupt event-counter baseline |
+//! | [`isa`] | `profileme-isa` | Alpha-like ISA, assembler, functional emulator |
+//! | [`mod@cfg`] | `profileme-cfg` | control-flow graphs + path reconstruction |
+//! | [`workloads`] | `profileme-workloads` | SPECint95-analogue synthetic workloads |
+//! | [`opt`] | `profileme-opt` | profile-guided optimizations (block layout) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use profileme::core::{run_single, ProfileMeConfig};
+//! use profileme::uarch::PipelineConfig;
+//! use profileme::workloads;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = workloads::li(5_000); // pointer-chasing workload
+//! let sampling = ProfileMeConfig { mean_interval: 64, ..Default::default() };
+//! let run = run_single(
+//!     w.program.clone(),
+//!     Some(w.memory),
+//!     PipelineConfig::default(),
+//!     sampling,
+//!     u64::MAX,
+//! )?;
+//!
+//! // The pointer-chasing load dominates sampled D-cache misses.
+//! let (hot, prof) = run.db.iter().max_by_key(|(_, p)| p.dcache_misses).unwrap();
+//! println!(
+//!     "{hot}: {} (≈{} misses)",
+//!     w.program.fetch(hot).unwrap(),
+//!     run.db.estimated_dcache_misses(hot).value(),
+//! );
+//! assert!(prof.dcache_misses > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use profileme_cfg as cfg;
+pub use profileme_core as core;
+pub use profileme_counters as counters;
+pub use profileme_isa as isa;
+pub use profileme_opt as opt;
+pub use profileme_uarch as uarch;
+pub use profileme_workloads as workloads;

@@ -1,0 +1,242 @@
+//! Cross-crate integration tests: the full ProfileMe stack (workload →
+//! pipeline → sampling hardware → profiling software) reproduces the
+//! paper's headline behaviours at test scale.
+
+use profileme::core::{
+    pipeline_population, run_paired, run_single, wasted_issue_slots, PairedConfig, PathProfiler,
+    PathScheme, ProfileMeConfig,
+};
+use profileme::cfg::{Cfg, Scope, TraceRecorder};
+use profileme::isa::ArchState;
+use profileme::uarch::PipelineConfig;
+use profileme::workloads::{self, loops3};
+
+/// Sampled per-PC retire estimates track exact counts on a real workload.
+#[test]
+fn estimates_track_ground_truth_on_compress() {
+    let w = workloads::compress(30_000);
+    let sampling =
+        ProfileMeConfig { mean_interval: 64, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .expect("compress completes");
+
+    // Over instructions with enough samples, the estimate/actual ratio
+    // stays near 1 (Figure 3's convergence regime).
+    let mut checked = 0;
+    for (pc, prof) in run.db.iter() {
+        if prof.retired < 50 {
+            continue;
+        }
+        let actual = run.stats.at(&w.program, pc).expect("in image").retired as f64;
+        let ratio = run.db.estimated_retires(pc).value() / actual;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "pc {pc}: ratio {ratio:.2} with {} samples",
+            prof.retired
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} instructions had enough samples");
+}
+
+/// ProfileMe attributes D-cache misses exactly to memory instructions;
+/// the aggregate sampled miss estimate matches the machine total.
+#[test]
+fn dcache_miss_attribution_is_exact() {
+    let w = workloads::vortex(20_000);
+    let sampling =
+        ProfileMeConfig { mean_interval: 48, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .expect("vortex completes");
+    let mut est_misses = 0.0;
+    for (pc, prof) in run.db.iter() {
+        if prof.dcache_misses > 0 {
+            assert!(
+                w.program.fetch(pc).expect("in image").is_mem(),
+                "miss sample at non-memory instruction {pc}"
+            );
+            est_misses += run.db.estimated_dcache_misses(pc).value();
+        }
+    }
+    // Compare against exact retired-instruction misses (correct-path).
+    let actual: u64 = run.stats.per_pc.iter().map(|p| p.dcache_misses).sum();
+    let rel = (est_misses - actual as f64).abs() / actual.max(1) as f64;
+    assert!(rel < 0.35, "estimated {est_misses:.0} vs actual {actual} (rel {rel:.2})");
+}
+
+/// The Figure 7 contrast at test scale: the highest-total-latency
+/// instructions are in the memory loop, yet they waste fewer issue slots
+/// than the serial loop's instructions.
+#[test]
+fn latency_does_not_rank_bottlenecks() {
+    let l3 = loops3(2_500);
+    let w = &l3.workload;
+    let pipeline = PipelineConfig::default();
+    let issue_width = pipeline.issue_width as u64;
+    let sampling = PairedConfig {
+        mean_major_interval: 48,
+        window: 64,
+        buffer_depth: 4,
+        ..PairedConfig::default()
+    };
+    let run = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        pipeline,
+        sampling,
+        u64::MAX,
+    )
+    .expect("loops3 completes");
+
+    let mut points: Vec<(usize, f64, f64)> = Vec::new(); // (loop, latency, wasted)
+    for (pc, prof) in run.db.iter() {
+        let Some(loop_idx) = l3.loop_of(pc) else { continue };
+        if prof.samples < 8 {
+            continue;
+        }
+        let ws = wasted_issue_slots(&run.db, pc, issue_width);
+        points.push((loop_idx, ws.total_latency, ws.wasted()));
+    }
+    assert!(points.len() > 20, "got {} points", points.len());
+
+    let (rightmost_loop, x_max, y_rightmost) = points
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("points exist");
+    let y_serial_max = points
+        .iter()
+        .filter(|(l, _, _)| *l == 0)
+        .map(|(_, _, y)| *y)
+        .fold(0.0f64, f64::max);
+    assert_eq!(rightmost_loop, 2, "the highest-latency instruction is in the memory loop");
+    assert!(
+        y_rightmost < 0.6 * y_serial_max,
+        "the rightmost point (x={x_max:.0}, y={y_rightmost:.0}) wastes far fewer slots \
+         than the serial loop's worst (y={y_serial_max:.0})"
+    );
+}
+
+/// §5.2.2's pipeline-state reconstruction distinguishes starvation from
+/// retire queueing on the Figure 7 loops.
+#[test]
+fn stage_population_separates_bottleneck_kinds() {
+    let l3 = loops3(2_000);
+    let w = &l3.workload;
+    let sampling = PairedConfig {
+        mean_major_interval: 48,
+        window: 64,
+        buffer_depth: 4,
+        ..PairedConfig::default()
+    };
+    let run = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .expect("loops3 completes");
+    let hottest_in = |loop_idx: usize| {
+        run.db
+            .iter()
+            .filter(|(pc, _)| l3.loop_of(*pc) == Some(loop_idx))
+            .max_by_key(|(_, p)| p.samples)
+            .map(|(pc, _)| pc)
+            .expect("loop has samples")
+    };
+    let serial = pipeline_population(&run.pairs, hottest_in(0), 64).expect("pairs exist");
+    let memory = pipeline_population(&run.pairs, hottest_in(2), 64).expect("pairs exist");
+    // Serial loop: neighbours starve upstream (front end + operand wait
+    // dominate). Memory loop: neighbours finish and queue for in-order
+    // retirement.
+    let serial_starved = serial.front_end + serial.waiting_operands;
+    assert!(
+        serial_starved > 2.0 * serial.waiting_retire,
+        "serial neighbours starve upstream: {serial:?}"
+    );
+    assert!(
+        memory.waiting_retire > serial.waiting_retire,
+        "memory neighbours queue at retire: {memory:?} vs {serial:?}"
+    );
+}
+
+/// Figure 6 at test scale, on a real workload: history bits beat
+/// execution counts, and paired sampling never hurts.
+#[test]
+fn path_reconstruction_scheme_ordering() {
+    let w = workloads::go(1_200);
+    let cfg = Cfg::build(&w.program);
+    let profiler = PathProfiler::new(&cfg, &w.program);
+    let mut rec =
+        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    let mut wins = [0u32; 3];
+    let mut attempts = 0;
+    let mut step = 0u64;
+    while !rec.halted() {
+        if step.is_multiple_of(53) {
+            let snap = rec.snapshot(&cfg);
+            if let Some(truth) =
+                snap.ground_truth(&cfg, &w.program, 6, Scope::Interprocedural)
+            {
+                attempts += 1;
+                for (i, scheme) in PathScheme::ALL.iter().enumerate() {
+                    let out = profiler.reconstruct(
+                        *scheme,
+                        snap.sample_pc,
+                        &snap.history,
+                        6,
+                        snap.pc_before(5),
+                        rec.edge_profile(),
+                        Scope::Interprocedural,
+                    );
+                    if out.is_success(&truth) {
+                        wins[i] += 1;
+                    }
+                }
+            }
+        }
+        rec.step(&w.program, &cfg).expect("go executes");
+        step += 1;
+    }
+    assert!(attempts > 100, "attempts {attempts}");
+    let [counts, history, paired] = wins;
+    assert!(history > counts, "history {history} vs counts {counts}");
+    assert!(paired >= history, "paired {paired} vs history {history}");
+    assert!(history as f64 > 0.5 * attempts as f64, "history succeeds often: {history}/{attempts}");
+}
+
+/// §6's windowed-IPC observation at test scale: real workloads exhibit
+/// substantially varying concurrency.
+#[test]
+fn windowed_ipc_varies_across_suite() {
+    let mut ratios = Vec::new();
+    for w in workloads::suite(60_000) {
+        let oracle = ArchState::with_memory(&w.program, w.memory.clone());
+        let mut sim = profileme::uarch::Pipeline::with_oracle(
+            w.program.clone(),
+            PipelineConfig::default(),
+            profileme::uarch::NullHardware,
+            oracle,
+        );
+        sim.run(200_000_000).expect("workload completes");
+        let (ratio, cov) = sim.stats().windowed_ipc_summary().expect("enough windows");
+        assert!(ratio > 1.5, "{}: windowed IPC ratio {ratio:.1}", w.name);
+        assert!(cov > 0.05, "{}: windowed IPC CoV {cov:.2}", w.name);
+        ratios.push(ratio);
+    }
+    // At least one workload shows large swings, as the paper reports.
+    assert!(ratios.iter().any(|&r| r > 3.0));
+}
