@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the experiment engine: the throughput of a
+//! suite-shaped grid of simulation cells run serially versus fanned out
+//! across worker threads via [`profileme_bench::engine::run_cells`].
+//!
+//! On a multi-core host the parallel configurations should approach a
+//! linear speedup, because cells are pure and share nothing; on a
+//! single-core host all configurations collapse to the serial time (the
+//! honest result — the engine adds only a cursor fetch-add per cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use profileme_bench::engine::run_cells;
+use profileme_core::{run_single, ProfileMeConfig};
+use profileme_uarch::PipelineConfig;
+use profileme_workloads::{suite, Workload};
+
+/// One experiment cell: a profiled run of one workload, as the figure
+/// binaries do it.
+fn cell(w: &Workload) -> usize {
+    let cfg = ProfileMeConfig {
+        mean_interval: 256,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
+    run_single(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        cfg,
+        u64::MAX,
+    )
+    .expect("workload completes")
+    .samples
+    .len()
+}
+
+fn suite_fanout(c: &mut Criterion) {
+    // Two grid copies of the whole suite: enough cells that every worker
+    // has work even at jobs = 8.
+    let workloads = suite(2_000);
+    let cells: Vec<Workload> = workloads.iter().chain(workloads.iter()).cloned().collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("engine_suite_fanout");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("jobs={jobs} (cores={cores})")),
+            &jobs,
+            |b, &jobs| b.iter(|| run_cells(jobs, &cells, cell).iter().sum::<usize>()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, suite_fanout);
+criterion_main!(benches);

@@ -8,11 +8,11 @@
 //! sample itself. We compare both to the exact per-PC miss counts using
 //! total-variation distance between the normalized profiles.
 
-use profileme_bench::{banner, scaled};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_bench::engine::{scaled, Experiment};
+use profileme_core::{run_hardware, run_single, ProfileMeConfig};
 use profileme_counters::{CounterHardware, PcHistogram};
 use profileme_isa::Program;
-use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme_uarch::{HwEventKind, PipelineConfig};
 use profileme_workloads::{suite, Workload};
 use std::collections::BTreeMap;
 
@@ -31,7 +31,10 @@ fn tv_distance(a: &BTreeMap<profileme_isa::Pc, f64>, b: &BTreeMap<profileme_isa:
         .sum::<f64>()
 }
 
-fn ground_truth(p: &Program, stats: &profileme_uarch::SimStats) -> BTreeMap<profileme_isa::Pc, f64> {
+fn ground_truth(
+    p: &Program,
+    stats: &profileme_uarch::SimStats,
+) -> BTreeMap<profileme_isa::Pc, f64> {
     p.iter()
         .filter_map(|(pc, _)| {
             let m = stats.at(p, pc)?.dcache_misses;
@@ -42,21 +45,31 @@ fn ground_truth(p: &Program, stats: &profileme_uarch::SimStats) -> BTreeMap<prof
 
 fn counter_profile(w: &Workload) -> (BTreeMap<profileme_isa::Pc, f64>, profileme_uarch::SimStats) {
     let hw = CounterHardware::new(HwEventKind::DCacheMiss, 16, 6, 7).with_skid_jitter(12);
-    let oracle = profileme_isa::ArchState::with_memory(&w.program, w.memory.clone());
-    let mut sim =
-        Pipeline::with_oracle(w.program.clone(), PipelineConfig::default(), hw, oracle);
     let mut hist = PcHistogram::new();
-    sim.run_with(u64::MAX, |intr, hw| {
-        hist.record(intr.attributed_pc);
-        hw.rearm();
-    })
+    let run = run_hardware(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        hw,
+        u64::MAX,
+        |intr, hw| {
+            hist.record(intr.attributed_pc);
+            hw.rearm();
+        },
+    )
     .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
-    (hist.iter().map(|(pc, n)| (pc, n as f64)).collect(), sim.stats().clone())
+    (
+        hist.iter().map(|(pc, n)| (pc, n as f64)).collect(),
+        run.stats,
+    )
 }
 
 fn profileme_profile(w: &Workload) -> BTreeMap<profileme_isa::Pc, f64> {
-    let sampling =
-        ProfileMeConfig { mean_interval: 64, buffer_depth: 16, ..ProfileMeConfig::default() };
+    let sampling = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 16,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory.clone()),
@@ -72,37 +85,62 @@ fn profileme_profile(w: &Workload) -> BTreeMap<profileme_isa::Pc, f64> {
         .collect()
 }
 
+/// One grid cell: both attribution methods on one workload, or `None`
+/// for a workload with (almost) no D-cache misses.
+fn measure(w: &Workload) -> Option<(String, f64, f64)> {
+    let (counter, stats) = counter_profile(w);
+    let truth = ground_truth(&w.program, &stats);
+    if truth.is_empty() || counter.is_empty() {
+        return None;
+    }
+    let pm = profileme_profile(w);
+    Some((
+        w.name.to_string(),
+        tv_distance(&counter, &truth),
+        tv_distance(&pm, &truth),
+    ))
+}
+
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "attribution ablation — counters vs ProfileMe on per-PC D-cache misses",
         "ProfileMe (MICRO-30 1997) §2.2 (problem) and §5.1 (solution)",
     );
-    println!(
+    let workloads = suite(scaled(150_000));
+    let results = exp.run(&workloads, measure);
+
+    let out = exp.emitter();
+    out.say(format!(
         "{:<10} {:>16} {:>16}   (total-variation distance to ground truth; 0 = exact)",
         "workload", "counter TV", "ProfileMe TV"
-    );
+    ));
+    let rows: Vec<(String, f64, f64)> = results.into_iter().flatten().collect();
     let mut counter_worse = 0;
     let mut n = 0;
-    for w in suite(scaled(150_000)) {
-        let (counter, stats) = counter_profile(&w);
-        let truth = ground_truth(&w.program, &stats);
-        if truth.is_empty() || counter.is_empty() {
-            continue; // workload with (almost) no D-cache misses
-        }
-        let pm = profileme_profile(&w);
-        let tv_counter = tv_distance(&counter, &truth);
-        let tv_pm = tv_distance(&pm, &truth);
-        println!("{:<10} {:>16.3} {:>16.3}", w.name, tv_counter, tv_pm);
+    for (name, tv_counter, tv_pm) in &rows {
+        out.say(format!("{name:<10} {tv_counter:>16.3} {tv_pm:>16.3}"));
         n += 1;
         if tv_counter > tv_pm {
             counter_worse += 1;
         }
     }
-    println!(
-        "\ncounter attribution lands on whatever instruction is restarting when the"
+    out.dump(
+        "ablation_attribution",
+        &rows
+            .iter()
+            .map(|(name, tv_counter, tv_pm)| {
+                serde_json::json!({"workload": name, "tv_counter": tv_counter, "tv_profileme": tv_pm})
+            })
+            .collect::<Vec<_>>(),
     );
-    println!("interrupt arrives; ProfileMe reads the PC from the sample itself.");
+    out.say("\ncounter attribution lands on whatever instruction is restarting when the");
+    out.say("interrupt arrives; ProfileMe reads the PC from the sample itself.");
     assert!(n >= 3, "need several miss-prone workloads");
-    assert_eq!(counter_worse, n, "ProfileMe must win on every measured workload");
-    println!("shape check: PASS ({counter_worse}/{n} workloads where ProfileMe is closer)");
+    assert_eq!(
+        counter_worse, n,
+        "ProfileMe must win on every measured workload"
+    );
+    out.say(format!(
+        "shape check: PASS ({counter_worse}/{n} workloads where ProfileMe is closer)"
+    ));
 }

@@ -7,62 +7,82 @@
 //! interrupt." This harness sweeps the buffer depth at a fixed sampling
 //! rate and reports run-time overhead relative to an unprofiled run.
 
-use profileme_bench::{banner, run_plain, scaled};
+use profileme_bench::engine::{run_plain, scaled, Experiment};
 use profileme_core::{run_single, ProfileMeConfig};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::compress;
+use profileme_workloads::{compress, Workload};
+
+const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One grid cell: `None` is the unprofiled baseline, `Some(depth)` a
+/// profiled run at that buffer depth. Returns (cycles, interrupts,
+/// samples).
+fn measure(cell: Option<usize>, w: &Workload, config: &PipelineConfig) -> (u64, u64, usize) {
+    match cell {
+        None => (run_plain(w, config.clone()).cycles, 0, 0),
+        Some(depth) => {
+            let sampling = ProfileMeConfig {
+                mean_interval: 256,
+                buffer_depth: depth,
+                ..ProfileMeConfig::default()
+            };
+            let run = run_single(
+                w.program.clone(),
+                Some(w.memory.clone()),
+                config.clone(),
+                sampling,
+                u64::MAX,
+            )
+            .expect("compress completes");
+            (run.cycles, run.stats.interrupts, run.samples.len())
+        }
+    }
+}
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§4.3 ablation — interrupt-cost amortization via sample buffering",
         "ProfileMe (MICRO-30 1997) §4.3",
     );
     let w = compress(scaled(40_000));
     let config = PipelineConfig::default();
-    println!(
+
+    // The grid: the baseline plus one cell per buffer depth.
+    let cells: Vec<Option<usize>> = std::iter::once(None)
+        .chain(DEPTHS.iter().map(|&d| Some(d)))
+        .collect();
+    let results = exp.run(&cells, |&cell| measure(cell, &w, &config));
+
+    let out = exp.emitter();
+    out.say(format!(
         "workload: {}; interrupt cost {} cycles; sampling every ~256 instructions\n",
         w.name, config.interrupt_cost
-    );
-    let baseline = run_plain(&w, config.clone()).cycles;
-    println!("unprofiled baseline: {baseline} cycles\n");
-    println!(
+    ));
+    let baseline = results[0].0;
+    out.say(format!("unprofiled baseline: {baseline} cycles\n"));
+    out.say(format!(
         "{:>6} {:>12} {:>12} {:>10} {:>10}",
         "depth", "cycles", "interrupts", "samples", "overhead"
-    );
+    ));
     let mut overheads = Vec::new();
-    for depth in [1usize, 2, 4, 8, 16, 32] {
-        let sampling = ProfileMeConfig {
-            mean_interval: 256,
-            buffer_depth: depth,
-            ..ProfileMeConfig::default()
-        };
-        let run = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            config.clone(),
-            sampling,
-            u64::MAX,
-        )
-        .expect("compress completes");
-        let overhead = run.cycles as f64 / baseline as f64 - 1.0;
+    for (depth, (cycles, interrupts, samples)) in DEPTHS.iter().zip(&results[1..]) {
+        let overhead = *cycles as f64 / baseline as f64 - 1.0;
         overheads.push(overhead);
-        println!(
+        out.say(format!(
             "{:>6} {:>12} {:>12} {:>10} {:>9.1}%",
             depth,
-            run.cycles,
-            run.stats.interrupts,
-            run.samples.len(),
+            cycles,
+            interrupts,
+            samples,
             100.0 * overhead
-        );
+        ));
     }
-    println!(
-        "\nexpected shape: overhead falls roughly as 1/depth while the sample count stays"
-    );
-    println!("comparable — deeper buffers amortize the fixed interrupt delivery cost.");
+    out.say("\nexpected shape: overhead falls roughly as 1/depth while the sample count stays");
+    out.say("comparable — deeper buffers amortize the fixed interrupt delivery cost.");
     assert!(
         overheads.last().expect("swept depths") * 3.0
             < overheads.first().expect("swept depths") + 1e-9,
         "deep buffers should cut overhead by well over 3x"
     );
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -8,11 +8,10 @@
 //! a residency window line up. ProfileMe monitors *everything at once*
 //! because each sample carries a complete event record.
 
-use profileme_bench::{banner, scaled};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_bench::engine::{scaled, Experiment};
+use profileme_core::{run_hardware, run_single, ProfileMeConfig};
 use profileme_counters::MultiplexedCounters;
-use profileme_isa::ArchState;
-use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme_uarch::{HwEventKind, PipelineConfig, SimStats};
 use profileme_workloads::loops3;
 
 const KINDS: [HwEventKind; 6] = [
@@ -35,23 +34,97 @@ fn kind_name(k: HwEventKind) -> &'static str {
     }
 }
 
+/// The two grid cells: the multiplexed-counter pass and the ProfileMe
+/// pass, independent runs of the same phased program.
+#[derive(Clone, Copy)]
+enum Cell {
+    Mux,
+    ProfileMe,
+}
+
+enum Out {
+    /// Exact totals plus per-kind duty-cycle extrapolations.
+    Mux(SimStats, Vec<(HwEventKind, f64)>),
+    /// (estimated d$ misses, exact d$ misses).
+    ProfileMe(f64, u64),
+}
+
+fn measure(cell: Cell, rotation: u64) -> Out {
+    let l3 = loops3(scaled(2_000));
+    let w = &l3.workload;
+    match cell {
+        Cell::Mux => {
+            // Exact totals from one run that also carries the multiplexer.
+            // Rotate at phase scale: residency windows comparable to
+            // program phases are exactly when extrapolation goes wrong.
+            let mux = MultiplexedCounters::new(KINDS.to_vec(), 2, rotation);
+            let run = run_hardware(
+                w.program.clone(),
+                Some(w.memory.clone()),
+                PipelineConfig::default(),
+                mux,
+                u64::MAX,
+                |_, _| {},
+            )
+            .expect("loops3 completes");
+            let estimates = KINDS
+                .iter()
+                .map(|&k| {
+                    (
+                        k,
+                        run.hardware
+                            .estimate(k)
+                            .expect("kind configured")
+                            .extrapolated(),
+                    )
+                })
+                .collect();
+            Out::Mux(run.stats, estimates)
+        }
+        Cell::ProfileMe => {
+            // ProfileMe monitors all kinds at once, in one pass, with
+            // per-sample correlation on top.
+            let sampling = ProfileMeConfig {
+                mean_interval: 128,
+                buffer_depth: 16,
+                ..ProfileMeConfig::default()
+            };
+            let run = run_single(
+                w.program.clone(),
+                Some(w.memory.clone()),
+                PipelineConfig::default(),
+                sampling,
+                u64::MAX,
+            )
+            .expect("loops3 completes");
+            let pm_misses: f64 = run
+                .db
+                .iter()
+                .map(|(pc, _)| run.db.estimated_dcache_misses(pc).value())
+                .sum();
+            let truth: u64 = run.stats.per_pc.iter().map(|p| p.dcache_misses).sum();
+            Out::ProfileMe(pm_misses, truth)
+        }
+    }
+}
+
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§2.2 ablation — time-multiplexed counters on a phased program",
         "ProfileMe (MICRO-30 1997) §2.2",
     );
-    let l3 = loops3(scaled(2_000));
-    let w = &l3.workload;
+    let rotation = scaled(400_000);
+    let results = exp.run(&[Cell::Mux, Cell::ProfileMe], |&cell| {
+        measure(cell, rotation)
+    });
 
-    // Exact totals from one run that also carries the multiplexer.
-    // Rotate at phase scale: residency windows comparable to program
-    // phases are exactly when duty-cycle extrapolation goes wrong.
-    let rotation = profileme_bench::scaled(400_000);
-    let mux = MultiplexedCounters::new(KINDS.to_vec(), 2, rotation);
-    let oracle = ArchState::with_memory(&w.program, w.memory.clone());
-    let mut sim = Pipeline::with_oracle(w.program.clone(), PipelineConfig::default(), mux, oracle);
-    sim.run(u64::MAX).expect("loops3 completes");
-    let stats = sim.stats().clone();
+    let out = exp.emitter();
+    let Out::Mux(stats, estimates) = &results[0] else {
+        panic!("cell 0 is the mux run")
+    };
+    let Out::ProfileMe(pm_misses, truth) = &results[1] else {
+        panic!("cell 1 is the ProfileMe run")
+    };
     let exact = |k: HwEventKind| -> u64 {
         match k {
             HwEventKind::Retire => stats.retired,
@@ -63,18 +136,17 @@ fn main() {
         }
     };
 
-    println!(
+    out.say(format!(
         "program: loops3 (three phases); 2 physical counters over {} event kinds,",
         KINDS.len()
-    );
-    println!("rotating every {rotation} cycles (phase-scale)\n");
-    println!(
+    ));
+    out.say(format!("rotating every {rotation} cycles (phase-scale)\n"));
+    out.say(format!(
         "{:<14} {:>12} {:>14} {:>10}",
         "event", "exact", "multiplexed", "error"
-    );
+    ));
     let mut worst_err: f64 = 0.0;
-    for k in KINDS {
-        let est = sim.hardware().estimate(k).expect("kind configured").extrapolated();
+    for &(k, est) in estimates {
         let truth = exact(k) as f64;
         if truth < 1.0 {
             continue;
@@ -83,37 +155,28 @@ fn main() {
         if truth >= 1_000.0 {
             worst_err = worst_err.max(err); // ignore tiny denominators
         }
-        println!("{:<14} {:>12.0} {:>14.0} {:>9.0}%", kind_name(k), truth, est, 100.0 * err);
+        out.say(format!(
+            "{:<14} {:>12.0} {:>14.0} {:>9.0}%",
+            kind_name(k),
+            truth,
+            est,
+            100.0 * err
+        ));
     }
 
-    // ProfileMe monitors all kinds at once, in one pass, with per-sample
-    // correlation on top.
-    let sampling =
-        ProfileMeConfig { mean_interval: 128, buffer_depth: 16, ..ProfileMeConfig::default() };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("loops3 completes");
-    let pm_misses: f64 = run
-        .db
-        .iter()
-        .map(|(pc, _)| run.db.estimated_dcache_misses(pc).value())
-        .sum();
-    let truth: u64 = run.stats.per_pc.iter().map(|p| p.dcache_misses).sum();
-    let pm_err = (pm_misses - truth as f64).abs() / truth.max(1) as f64;
-    println!(
+    let pm_err = (pm_misses - *truth as f64).abs() / (*truth).max(1) as f64;
+    out.say(format!(
         "\nProfileMe (single pass, every kind simultaneously): d$ misses {pm_misses:.0} vs exact {truth} ({:.0}% error)",
         100.0 * pm_err
-    );
-    println!("worst multiplexed error: {:.0}%", 100.0 * worst_err);
+    ));
+    out.say(format!(
+        "worst multiplexed error: {:.0}%",
+        100.0 * worst_err
+    ));
     assert!(
         worst_err > 0.25,
         "phased programs should break duty-cycle extrapolation for some kind"
     );
     assert!(pm_err < 0.25, "ProfileMe stays accurate in a single pass");
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -8,69 +8,79 @@
 //! defer, capping the achieved rate. This harness sweeps the tag count
 //! at a fast nominal interval and reports achieved rates and dead time.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Experiment};
 use profileme_core::{run_nway, NWayConfig};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::li;
+use profileme_workloads::{li, Workload};
+
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+const NOMINAL: u64 = 24;
+
+/// One grid cell: one tag count. Returns (samples, fetched).
+fn measure(ways: usize, w: &Workload) -> (usize, u64) {
+    let cfg = NWayConfig {
+        ways,
+        mean_interval: NOMINAL,
+        buffer_depth: 32,
+        ..NWayConfig::default()
+    };
+    let run = run_nway(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        cfg,
+        u64::MAX,
+    )
+    .expect("li completes");
+    (run.samples.len(), run.stats.fetched)
+}
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§4.1.2 ablation — N-way sampling vs achievable sampling rate",
         "ProfileMe (MICRO-30 1997) §4, §4.1.2",
     );
     // li's long-latency samples maximize tag dead time: a sampled chase
     // load stays in flight for ~100 cycles.
     let w = li(scaled(50_000));
-    let nominal: u64 = 24;
-    println!(
-        "workload: {}; nominal interval S = {nominal} fetched instructions\n",
+    let results = exp.run(&WAYS, |&ways| measure(ways, &w));
+
+    let out = exp.emitter();
+    out.say(format!(
+        "workload: {}; nominal interval S = {NOMINAL} fetched instructions\n",
         w.name
-    );
-    println!("{:>5} {:>10} {:>14} {:>12}", "ways", "samples", "achieved S", "vs 1-way");
+    ));
+    out.say(format!(
+        "{:>5} {:>10} {:>14} {:>12}",
+        "ways", "samples", "achieved S", "vs 1-way"
+    ));
     let mut base_rate = None;
     let mut last_rate = 0.0;
-    for ways in [1usize, 2, 4, 8] {
-        let cfg = NWayConfig {
-            ways,
-            mean_interval: nominal,
-            buffer_depth: 32,
-            ..NWayConfig::default()
-        };
-        let run = run_nway(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            PipelineConfig::default(),
-            cfg,
-            u64::MAX,
-        )
-        .expect("li completes");
-        let achieved_s = run.stats.fetched as f64 / run.samples.len().max(1) as f64;
+    for (ways, (samples, fetched)) in WAYS.iter().zip(&results) {
+        let achieved_s = *fetched as f64 / (*samples).max(1) as f64;
         let rate = 1.0 / achieved_s;
         let gain = base_rate.map_or(1.0, |b: f64| rate / b);
         if base_rate.is_none() {
             base_rate = Some(rate);
         }
         last_rate = rate;
-        println!(
+        out.say(format!(
             "{:>5} {:>10} {:>14.1} {:>11.2}x",
-            ways,
-            run.samples.len(),
-            achieved_s,
-            gain
-        );
+            ways, samples, achieved_s, gain
+        ));
     }
-    let nominal_rate = 1.0 / nominal as f64;
-    println!(
-        "\nnominal rate 1/{nominal}; best achieved {:.1}% of nominal",
+    let nominal_rate = 1.0 / NOMINAL as f64;
+    out.say(format!(
+        "\nnominal rate 1/{NOMINAL}; best achieved {:.1}% of nominal",
         100.0 * last_rate / nominal_rate
-    );
-    println!("expected shape: one tag saturates well below the nominal rate on long-latency");
-    println!("code; additional tags recover most of it, with diminishing returns.");
+    ));
+    out.say("expected shape: one tag saturates well below the nominal rate on long-latency");
+    out.say("code; additional tags recover most of it, with diminishing returns.");
     let base = base_rate.expect("swept at least one configuration");
     assert!(
         last_rate > 1.5 * base,
         "many tags should substantially beat one tag ({:.4} vs {base:.4})",
         last_rate
     );
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -8,7 +8,7 @@
 //! body length divides the sampling interval, with and without
 //! randomization, and compares per-instruction sample uniformity.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Experiment};
 use profileme_core::{run_single, ProfileMeConfig};
 use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
 use profileme_uarch::PipelineConfig;
@@ -30,6 +30,8 @@ fn resonant_loop(iterations: u64) -> Program {
     b.build().expect("resonant loop builds")
 }
 
+/// One grid cell: the loop profiled with fixed or randomized intervals.
+/// Returns (max-share ratio, never-sampled PCs, total samples).
 fn sample_distribution(randomize: bool, p: &Program) -> (f64, usize, usize) {
     let sampling = ProfileMeConfig {
         mean_interval: 64,
@@ -37,8 +39,14 @@ fn sample_distribution(randomize: bool, p: &Program) -> (f64, usize, usize) {
         buffer_depth: 16,
         ..ProfileMeConfig::default()
     };
-    let run = run_single(p.clone(), None, PipelineConfig::default(), sampling, u64::MAX)
-        .expect("loop completes");
+    let run = run_single(
+        p.clone(),
+        None,
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .expect("loop completes");
     // Distribution over the 32 loop-body PCs.
     let f = p.function_named("resonant").expect("function exists");
     let body: Vec<_> = (1..33).map(|i| f.entry.advance(i)).collect();
@@ -51,26 +59,44 @@ fn sample_distribution(randomize: bool, p: &Program) -> (f64, usize, usize) {
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§3/§4.1.1 ablation — randomized vs fixed sampling intervals",
         "ProfileMe (MICRO-30 1997) §3, §4.1.1, §4.1.4",
     );
     let p = resonant_loop(scaled(60_000));
-    println!("program: a loop of exactly 32 instructions; sampling interval 64 (a multiple)\n");
-    println!(
+    let results = exp.run(&[false, true], |&randomize| {
+        sample_distribution(randomize, &p)
+    });
+
+    let out = exp.emitter();
+    out.say("program: a loop of exactly 32 instructions; sampling interval 64 (a multiple)\n");
+    out.say(format!(
         "{:<12} {:>10} {:>22} {:>20}",
         "intervals", "samples", "max / uniform share", "never-sampled PCs"
+    ));
+    let (ratio_fixed, never_fixed, n_fixed) = results[0];
+    out.say(format!(
+        "{:<12} {:>10} {:>22.1} {:>20}",
+        "fixed", n_fixed, ratio_fixed, never_fixed
+    ));
+    let (ratio_rand, never_rand, n_rand) = results[1];
+    out.say(format!(
+        "{:<12} {:>10} {:>22.1} {:>20}",
+        "randomized", n_rand, ratio_rand, never_rand
+    ));
+    out.say("\nwith a fixed interval the sampler locks onto a handful of loop phases (huge");
+    out.say("max-share, many instructions never sampled); randomization restores uniformity.");
+    assert!(
+        ratio_fixed > 2.0 * ratio_rand,
+        "fixed intervals should concentrate samples"
     );
-    let (ratio_fixed, never_fixed, n_fixed) = sample_distribution(false, &p);
-    println!("{:<12} {:>10} {:>22.1} {:>20}", "fixed", n_fixed, ratio_fixed, never_fixed);
-    let (ratio_rand, never_rand, n_rand) = sample_distribution(true, &p);
-    println!("{:<12} {:>10} {:>22.1} {:>20}", "randomized", n_rand, ratio_rand, never_rand);
-    println!(
-        "\nwith a fixed interval the sampler locks onto a handful of loop phases (huge"
+    assert!(
+        never_fixed > never_rand,
+        "fixed intervals should starve some instructions"
     );
-    println!("max-share, many instructions never sampled); randomization restores uniformity.");
-    assert!(ratio_fixed > 2.0 * ratio_rand, "fixed intervals should concentrate samples");
-    assert!(never_fixed > never_rand, "fixed intervals should starve some instructions");
-    assert!(ratio_rand < 2.0, "randomized sampling should be near-uniform");
-    println!("shape check: PASS");
+    assert!(
+        ratio_rand < 2.0,
+        "randomized sampling should be near-uniform"
+    );
+    out.say("shape check: PASS");
 }

@@ -7,56 +7,85 @@
 //! (the CoV `1/√k` of a hot instruction's sample count) degrades only as
 //! `√S` — the asymmetry that makes sampling-based profiling cheap.
 
-use profileme_bench::{banner, run_plain, scaled};
+use profileme_bench::engine::{run_plain, scaled, Experiment};
 use profileme_core::{run_single, ProfileMeConfig};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::compress;
+use profileme_workloads::{compress, Workload};
+
+const INTERVALS: [u64; 5] = [16, 64, 256, 1024, 4096];
+
+/// One grid cell: `None` is the unprofiled baseline (cycles only);
+/// `Some(S)` a profiled run, returning (cycles, samples, hot-pc k,
+/// hot-pc CoV).
+fn measure(cell: Option<u64>, w: &Workload, config: &PipelineConfig) -> (u64, usize, u64, f64) {
+    match cell {
+        None => (run_plain(w, config.clone()).cycles, 0, 0, f64::INFINITY),
+        Some(interval) => {
+            let sampling = ProfileMeConfig {
+                mean_interval: interval,
+                buffer_depth: 8,
+                ..ProfileMeConfig::default()
+            };
+            let run = run_single(
+                w.program.clone(),
+                Some(w.memory.clone()),
+                config.clone(),
+                sampling,
+                u64::MAX,
+            )
+            .expect("compress completes");
+            let hot = run
+                .db
+                .iter()
+                .map(|(pc, _)| run.db.estimated_retires(pc))
+                .max_by_key(|e| e.samples);
+            let (k, cov) = hot.map_or((0, f64::INFINITY), |e| (e.samples, e.cov()));
+            (run.cycles, run.samples.len(), k, cov)
+        }
+    }
+}
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§4 ablation — sampling rate vs overhead vs estimate quality",
         "ProfileMe (MICRO-30 1997) §4 (overhead), §5.1 (convergence)",
     );
     let w = compress(scaled(60_000));
     let config = PipelineConfig::default();
-    let baseline = run_plain(&w, config.clone()).cycles;
-    println!("workload: {}; unprofiled baseline {} cycles\n", w.name, baseline);
-    println!(
+
+    // The grid: the baseline plus one cell per sampling interval.
+    let cells: Vec<Option<u64>> = std::iter::once(None)
+        .chain(INTERVALS.iter().map(|&s| Some(s)))
+        .collect();
+    let results = exp.run(&cells, |&cell| measure(cell, &w, &config));
+
+    let out = exp.emitter();
+    let baseline = results[0].0;
+    out.say(format!(
+        "workload: {}; unprofiled baseline {} cycles\n",
+        w.name, baseline
+    ));
+    out.say(format!(
         "{:>8} {:>10} {:>10} {:>12} {:>16}",
         "S", "samples", "overhead", "hot-pc k", "hot-pc CoV"
-    );
+    ));
     let mut overheads = Vec::new();
     let mut covs = Vec::new();
-    for interval in [16u64, 64, 256, 1024, 4096] {
-        let sampling = ProfileMeConfig {
-            mean_interval: interval,
-            buffer_depth: 8,
-            ..ProfileMeConfig::default()
-        };
-        let run = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            config.clone(),
-            sampling,
-            u64::MAX,
-        )
-        .expect("compress completes");
-        let overhead = run.cycles as f64 / baseline as f64 - 1.0;
-        let hot = run.db.iter().map(|(pc, _)| run.db.estimated_retires(pc)).max_by_key(|e| e.samples);
-        let (k, cov) = hot.map_or((0, f64::INFINITY), |e| (e.samples, e.cov()));
-        println!(
+    for (interval, (cycles, samples, k, cov)) in INTERVALS.iter().zip(&results[1..]) {
+        let overhead = *cycles as f64 / baseline as f64 - 1.0;
+        out.say(format!(
             "{:>8} {:>10} {:>9.1}% {:>12} {:>15.3}",
             interval,
-            run.samples.len(),
+            samples,
             100.0 * overhead,
             k,
             cov
-        );
+        ));
         overheads.push(overhead);
-        covs.push(cov);
+        covs.push(*cov);
     }
-    println!("\noverhead falls ~linearly with the rate; estimate error grows only as sqrt(S):");
-    println!("an order of magnitude less overhead costs ~3x the error, not 10x.");
+    out.say("\noverhead falls ~linearly with the rate; estimate error grows only as sqrt(S):");
+    out.say("an order of magnitude less overhead costs ~3x the error, not 10x.");
     assert!(
         overheads.last().expect("swept") * 10.0 < overheads.first().expect("swept") + 1e-9,
         "overhead must fall dramatically with S"
@@ -66,5 +95,5 @@ fn main() {
         degradation < 30.0,
         "error grows far slower than the 256x rate reduction: {degradation:.1}x"
     );
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -7,56 +7,76 @@
 //! useful sampling rate." This harness measures that reduction across
 //! the workload suite.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Experiment};
 use profileme_core::{run_single, ProfileMeConfig, SelectionMode};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::suite;
+use profileme_workloads::{suite, Workload};
+
+/// One grid cell: one workload under fetch-opportunity selection.
+/// Returns (name, samples, empty selections, useful rate, occupancy).
+fn measure(w: &Workload) -> (&'static str, usize, u64, f64, f64) {
+    let sampling = ProfileMeConfig {
+        mean_interval: 64,
+        selection: SelectionMode::FetchOpportunities,
+        buffer_depth: 16,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let total = run.samples.len() as f64;
+    let empty = run.invalid_selections as f64;
+    let useful = 1.0 - empty / total.max(1.0);
+    // Occupancy of fetch slots by predicted-path instructions: the
+    // machine-level cause of the useful-rate loss.
+    let occupancy = run.stats.fetched as f64 / run.stats.fetch_opportunities as f64;
+    (
+        w.name,
+        run.samples.len(),
+        run.invalid_selections,
+        useful,
+        occupancy,
+    )
+}
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§4.1.1 ablation — instruction vs fetch-opportunity selection",
         "ProfileMe (MICRO-30 1997) §4.1.1",
     );
-    println!(
+    let workloads = suite(scaled(120_000));
+    let results = exp.run(&workloads, measure);
+
+    let out = exp.emitter();
+    out.say(format!(
         "{:<10} {:>12} {:>12} {:>14} {:>16}",
         "workload", "samples", "empty", "useful rate", "slot occupancy"
-    );
+    ));
     let mut worst: f64 = 1.0;
-    for w in suite(scaled(120_000)) {
-        let sampling = ProfileMeConfig {
-            mean_interval: 64,
-            selection: SelectionMode::FetchOpportunities,
-            buffer_depth: 16,
-            ..ProfileMeConfig::default()
-        };
-        let run = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            PipelineConfig::default(),
-            sampling,
-            u64::MAX,
-        )
-        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
-        let total = run.samples.len() as f64;
-        let empty = run.invalid_selections as f64;
-        let useful = 1.0 - empty / total.max(1.0);
-        // Occupancy of fetch slots by predicted-path instructions: the
-        // machine-level cause of the useful-rate loss.
-        let occupancy = run.stats.fetched as f64 / run.stats.fetch_opportunities as f64;
-        worst = worst.min(useful);
-        println!(
+    for (name, samples, empty, useful, occupancy) in &results {
+        worst = worst.min(*useful);
+        out.say(format!(
             "{:<10} {:>12} {:>12} {:>13.1}% {:>15.1}%",
-            w.name,
-            run.samples.len(),
-            run.invalid_selections,
+            name,
+            samples,
+            empty,
             100.0 * useful,
             100.0 * occupancy
-        );
+        ));
     }
-    println!(
-        "\nthe useful sampling rate tracks fetch-slot occupancy: low-IPC workloads (fetch"
+    out.say("\nthe useful sampling rate tracks fetch-slot occupancy: low-IPC workloads (fetch");
+    out.say("stalls, taken-branch bubbles) waste the most opportunity-counted samples.");
+    assert!(
+        worst < 0.8,
+        "some workload should lose >20% of samples to empty slots"
     );
-    println!("stalls, taken-branch bubbles) waste the most opportunity-counted samples.");
-    assert!(worst < 0.8, "some workload should lose >20% of samples to empty slots");
-    println!("shape check: PASS (worst useful rate {:.0}%)", worst * 100.0);
+    out.say(format!(
+        "shape check: PASS (worst useful rate {:.0}%)",
+        worst * 100.0
+    ));
 }

@@ -7,22 +7,23 @@
 //! instructions after the load (a sharp displaced peak); on the
 //! out-of-order Pentium Pro they smear over ~25 instructions.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Emitter, Experiment};
+use profileme_core::run_hardware;
 use profileme_counters::{CounterHardware, PcHistogram};
-use profileme_uarch::{HwEventKind, Pipeline, PipelineConfig};
+use profileme_uarch::{HwEventKind, PipelineConfig};
 use profileme_workloads::microbench;
 
+/// One grid cell: one machine configuration's interrupt histogram.
 fn histogram(
-    config: PipelineConfig,
+    config: &PipelineConfig,
     skid_jitter: u64,
     seed: u64,
 ) -> (PcHistogram, profileme_isa::Pc) {
     let (w, load_pc) = microbench(200, scaled(2_000));
-    let hw = CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed)
-        .with_skid_jitter(skid_jitter);
-    let mut sim = Pipeline::new(w.program, config, hw);
+    let hw =
+        CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed).with_skid_jitter(skid_jitter);
     let mut hist = PcHistogram::new();
-    sim.run_with(u64::MAX, |intr, hw| {
+    run_hardware(w.program, None, config.clone(), hw, u64::MAX, |intr, hw| {
         hist.record(intr.attributed_pc);
         hw.rearm();
     })
@@ -30,52 +31,73 @@ fn histogram(
     (hist, load_pc)
 }
 
-fn print_histogram(title: &str, hist: &PcHistogram, load_pc: profileme_isa::Pc) {
-    println!("--- {title} ({} interrupts) ---", hist.total());
-    println!("{:>8}  count  (offset = instructions after the load)", "offset");
+fn print_histogram(out: &Emitter, title: &str, hist: &PcHistogram, load_pc: profileme_isa::Pc) {
+    out.say(format!("--- {title} ({} interrupts) ---", hist.total()));
+    out.say(format!(
+        "{:>8}  count  (offset = instructions after the load)",
+        "offset"
+    ));
     let peak = hist.mode().map_or(1, |(_, n)| n);
     for (offset, count) in hist.offsets_from(load_pc) {
         let bar = "#".repeat(((count * 50) / peak).max(1) as usize);
-        println!("{offset:>+8}  {count:<6} {bar}");
+        out.say(format!("{offset:>+8}  {count:<6} {bar}"));
     }
-    println!(
+    out.say(format!(
         "peak holds {:.0}% of mass; 90% of mass covers {} PCs; load itself: {:.1}%\n",
         100.0 * hist.mode_fraction(),
         hist.spread(0.9),
         100.0 * hist.count(load_pc) as f64 / hist.total().max(1) as f64,
-    );
+    ));
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "Figure 2 — event-counter interrupt PC histograms",
         "ProfileMe (MICRO-30 1997) §2.2, Figure 2",
     );
-    println!("program: loop {{ 1 load (D-cache hit); 200 nops }}; counting D-cache references\n");
+    // The grid: two machines, each with its own skid model and seed.
+    let cells = [
+        (PipelineConfig::inorder_21164ish(), 0u64, 21164u64),
+        (PipelineConfig::default(), 12, 6686),
+    ];
+    let results = exp.run(&cells, |(config, jitter, seed)| {
+        histogram(config, *jitter, *seed)
+    });
 
-    let (inorder, load_pc) = histogram(PipelineConfig::inorder_21164ish(), 0, 21164);
-    print_histogram("in-order machine (21164-like, constant delivery latency)", &inorder, load_pc);
-
-    let (ooo, load_pc) = histogram(PipelineConfig::default(), 12, 6686);
-    print_histogram("out-of-order machine (21264-like, variable delivery latency)", &ooo, load_pc);
-    profileme_bench::dump_json(
+    let out = exp.emitter();
+    out.say("program: loop { 1 load (D-cache hit); 200 nops }; counting D-cache references\n");
+    let (inorder, load_pc) = &results[0];
+    print_histogram(
+        out,
+        "in-order machine (21164-like, constant delivery latency)",
+        inorder,
+        *load_pc,
+    );
+    let (ooo, load_pc) = &results[1];
+    print_histogram(
+        out,
+        "out-of-order machine (21264-like, variable delivery latency)",
+        ooo,
+        *load_pc,
+    );
+    out.dump(
         "fig2_counter_skid",
         &serde_json::json!({
-            "inorder_offsets": inorder.offsets_from(load_pc),
-            "ooo_offsets": ooo.offsets_from(load_pc),
+            "inorder_offsets": inorder.offsets_from(*load_pc),
+            "ooo_offsets": ooo.offsets_from(*load_pc),
         }),
     );
 
-    println!("paper's observation: in-order = single large peak a fixed distance after the");
-    println!("load; out-of-order = samples widely distributed over the next ~25 instructions.");
-    println!(
+    out.say("paper's observation: in-order = single large peak a fixed distance after the");
+    out.say("load; out-of-order = samples widely distributed over the next ~25 instructions.");
+    out.say(format!(
         "measured: in-order 90% mass over {} PCs vs out-of-order over {} PCs",
         inorder.spread(0.9),
         ooo.spread(0.9)
-    );
+    ));
     assert!(
         inorder.spread(0.9) * 2 <= ooo.spread(0.9),
         "shape check failed: the out-of-order smear should dwarf the in-order peak"
     );
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

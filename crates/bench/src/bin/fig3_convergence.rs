@@ -7,11 +7,12 @@
 //! one-standard-deviation envelope `1 ± 1/√x`. Two-thirds of points are
 //! expected inside the envelope.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{product, scaled, Emitter, Experiment};
 use profileme_core::{run_single, ProfileMeConfig};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::suite;
+use profileme_workloads::{suite, Workload};
 
+#[derive(Clone, Copy)]
 struct Point {
     /// Samples with the property (x axis).
     k: u64,
@@ -19,49 +20,53 @@ struct Point {
     ratio: f64,
 }
 
-fn collect(interval: u64, budget: u64) -> (Vec<Point>, Vec<Point>) {
+/// One grid cell: one workload sampled at one interval.
+fn collect(interval: u64, w: &Workload) -> (Vec<Point>, Vec<Point>) {
     let mut retires = Vec::new();
     let mut misses = Vec::new();
-    for w in suite(budget) {
-        let sampling = ProfileMeConfig {
-            mean_interval: interval,
-            buffer_depth: 16,
-            ..ProfileMeConfig::default()
-        };
-        let run = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            PipelineConfig::default(),
-            sampling,
-            u64::MAX,
-        )
-        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
-        for (pc, prof) in run.db.iter() {
-            let truth = run.stats.at(&w.program, pc).expect("sampled pcs are in the image");
-            if prof.retired > 0 && truth.retired > 0 {
-                retires.push(Point {
-                    k: prof.retired,
-                    ratio: run.db.estimated_retires(pc).value() / truth.retired as f64,
-                });
-            }
-            if prof.dcache_misses > 0 && truth.dcache_misses > 0 {
-                misses.push(Point {
-                    k: prof.dcache_misses,
-                    ratio: run.db.estimated_dcache_misses(pc).value()
-                        / truth.dcache_misses as f64,
-                });
-            }
+    let sampling = ProfileMeConfig {
+        mean_interval: interval,
+        buffer_depth: 16,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )
+    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    for (pc, prof) in run.db.iter() {
+        let truth = run
+            .stats
+            .at(&w.program, pc)
+            .expect("sampled pcs are in the image");
+        if prof.retired > 0 && truth.retired > 0 {
+            retires.push(Point {
+                k: prof.retired,
+                ratio: run.db.estimated_retires(pc).value() / truth.retired as f64,
+            });
+        }
+        if prof.dcache_misses > 0 && truth.dcache_misses > 0 {
+            misses.push(Point {
+                k: prof.dcache_misses,
+                ratio: run.db.estimated_dcache_misses(pc).value() / truth.dcache_misses as f64,
+            });
         }
     }
     (retires, misses)
 }
 
-fn report(what: &str, points: &[Point]) {
-    println!("--- {what}: {} static instructions ---", points.len());
-    println!(
+fn report(out: &Emitter, what: &str, points: &[Point]) {
+    out.say(format!(
+        "--- {what}: {} static instructions ---",
+        points.len()
+    ));
+    out.say(format!(
         "{:>14} {:>8} {:>12} {:>12} {:>18}",
         "samples (k)", "points", "mean ratio", "CoV", "within 1±1/sqrt(k)"
-    );
+    ));
     let buckets: [(u64, u64); 5] = [(1, 4), (4, 16), (16, 64), (64, 256), (256, u64::MAX)];
     let mut total_inside = 0usize;
     let mut total = 0usize;
@@ -80,45 +85,71 @@ fn report(what: &str, points: &[Point]) {
             total_inside += inside;
             total += b.len();
         }
-        let hi_label = if hi == u64::MAX { "+".into() } else { format!("..{hi}") };
-        let note = if lo < 4 { "  (zero-truncated: rare instructions)" } else { "" };
-        println!(
+        let hi_label = if hi == u64::MAX {
+            "+".into()
+        } else {
+            format!("..{hi}")
+        };
+        let note = if lo < 4 {
+            "  (zero-truncated: rare instructions)"
+        } else {
+            ""
+        };
+        out.say(format!(
             "{:>14} {:>8} {:>12.3} {:>12.3} {:>17.0}%{note}",
             format!("{lo}{hi_label}"),
             b.len(),
             mean,
             var.sqrt() / mean,
             100.0 * inside as f64 / b.len() as f64
-        );
+        ));
     }
-    println!(
+    out.say(format!(
         "overall (k >= 4): {:.0}% of points inside the one-sigma envelope (paper expects ~67%)\n",
         100.0 * total_inside as f64 / total.max(1) as f64
-    );
+    ));
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "Figure 3 — convergence of retire-count and D-cache-miss estimates",
         "ProfileMe (MICRO-30 1997) §5.1, Figure 3",
     );
     let budget = scaled(400_000);
-    for interval in [64u64, 256, 1024] {
-        println!("### sampling interval S ≈ {interval} fetched instructions, ~{budget} instructions per workload\n");
-        let (retires, misses) = collect(interval, budget);
+    let workloads = suite(budget);
+    let intervals = [64u64, 256, 1024];
+    let indices: Vec<usize> = (0..workloads.len()).collect();
+
+    // The grid: every (interval, workload) pair is an independent cell.
+    let cells = product(&intervals, &indices);
+    let results = exp.run(&cells, |&(interval, wi)| collect(interval, &workloads[wi]));
+
+    let out = exp.emitter();
+    for (ii, &interval) in intervals.iter().enumerate() {
+        out.say(format!(
+            "### sampling interval S ≈ {interval} fetched instructions, ~{budget} instructions per workload\n"
+        ));
+        // Merge this interval's cells in workload (grid) order.
+        let mut retires = Vec::new();
+        let mut misses = Vec::new();
+        for wi in 0..workloads.len() {
+            let (r, m) = &results[ii * workloads.len() + wi];
+            retires.extend_from_slice(r);
+            misses.extend_from_slice(m);
+        }
         let dump = |name: &str, pts: &[Point]| {
-            profileme_bench::dump_json(
+            out.dump(
                 &format!("fig3_{name}_s{interval}"),
                 &pts.iter().map(|p| (p.k, p.ratio)).collect::<Vec<_>>(),
             )
         };
         dump("retires", &retires);
         dump("dcache_misses", &misses);
-        report("retire counts", &retires);
-        report("D-cache miss counts", &misses);
+        report(out, "retire counts", &retires);
+        report(out, "D-cache miss counts", &misses);
     }
-    println!("expected shape: mean ratio ≈ 1 for k >= 4 (unbiased); spread shrinks as 1/sqrt(k);");
-    println!("roughly two-thirds of points inside the envelope. The k < 4 bucket shows the");
-    println!("zero-truncation inflation visible at the left edge of the paper's own log-scale");
-    println!("scatter: rarely executed instructions enter the plot only when sampled at all.");
+    out.say("expected shape: mean ratio ≈ 1 for k >= 4 (unbiased); spread shrinks as 1/sqrt(k);");
+    out.say("roughly two-thirds of points inside the envelope. The k < 4 bucket shows the");
+    out.say("zero-truncation inflation visible at the left edge of the paper's own log-scale");
+    out.say("scatter: rarely executed instructions enter the plot only when sampled at all.");
 }

@@ -7,8 +7,8 @@
 //! shows how each pair's latency registers reveal the two instructions'
 //! temporal overlap in the pipeline.
 
-use profileme_bench::{banner, scaled};
-use profileme_core::{run_paired, PairedConfig};
+use profileme_bench::engine::{scaled, Experiment};
+use profileme_core::{run_paired, PairedConfig, PairedRun};
 use profileme_uarch::{PipelineConfig, Timestamps};
 use profileme_workloads::compress;
 
@@ -38,11 +38,8 @@ fn timeline(ts: &Timestamps, origin: u64, width: u64) -> String {
     row
 }
 
-fn main() {
-    banner(
-        "Figures 4 & 5 — nested sampling and paired-sample overlap, on real data",
-        "ProfileMe (MICRO-30 1997) §5.2.1–§5.2.2, Figures 4 and 5",
-    );
+/// The single grid cell: one paired-sampling run of compress.
+fn collect() -> PairedRun {
     let w = compress(scaled(20_000));
     let sampling = PairedConfig {
         mean_major_interval: 2_000,
@@ -50,14 +47,24 @@ fn main() {
         buffer_depth: 1,
         ..PairedConfig::default()
     };
-    let run = run_paired(
+    run_paired(
         w.program.clone(),
         Some(w.memory.clone()),
         PipelineConfig::default(),
         sampling,
         u64::MAX,
     )
-    .expect("compress completes");
+    .expect("compress completes")
+}
+
+fn main() {
+    let exp = Experiment::new(
+        "Figures 4 & 5 — nested sampling and paired-sample overlap, on real data",
+        "ProfileMe (MICRO-30 1997) §5.2.1–§5.2.2, Figures 4 and 5",
+    );
+    let runs = exp.run(&[()], |()| collect());
+    let run = &runs[0];
+    let out = exp.emitter();
 
     // --- Figure 4: the two sampling levels, measured ------------------
     let selections: Vec<(u64, u64)> = run
@@ -66,8 +73,11 @@ fn main() {
         .filter(|p| p.is_complete())
         .map(|p| (p.first.selected_cycle, p.distance_instructions))
         .collect();
-    println!("--- Figure 4: nested sampling intervals (first 8 pairs) ---");
-    println!("{:>16} {:>18} {:>16}", "pair fetched at", "major gap (instr)", "minor (instr)");
+    out.say("--- Figure 4: nested sampling intervals (first 8 pairs) ---");
+    out.say(format!(
+        "{:>16} {:>18} {:>16}",
+        "pair fetched at", "major gap (instr)", "minor (instr)"
+    ));
     let mut prev_fetch_count = None;
     for p in run.pairs.iter().filter(|p| p.is_complete()).take(8) {
         let fetch_seq = p.first.record.as_ref().expect("complete").seq;
@@ -75,26 +85,29 @@ fn main() {
             format!("{}", fetch_seq.saturating_sub(prev))
         });
         prev_fetch_count = Some(fetch_seq);
-        println!(
+        out.say(format!(
             "{:>16} {:>18} {:>16}",
             format!("cycle {}", p.first.selected_cycle),
             major,
             p.distance_instructions
-        );
+        ));
     }
-    let mean_minor = selections.iter().map(|(_, d)| *d).sum::<u64>() as f64
-        / selections.len().max(1) as f64;
-    println!(
+    let mean_minor =
+        selections.iter().map(|(_, d)| *d).sum::<u64>() as f64 / selections.len().max(1) as f64;
+    out.say(format!(
         "\n{} pairs; minor intervals are uniform on 1..=24 (measured mean {:.1} ≈ 12.5),",
         selections.len(),
         mean_minor
+    ));
+    out.say("major intervals are ~2000 instructions: two levels of sampling, as drawn.\n");
+    assert!(
+        (mean_minor - 12.5).abs() < 1.5,
+        "minor interval mean off: {mean_minor:.1}"
     );
-    println!("major intervals are ~2000 instructions: two levels of sampling, as drawn.\n");
-    assert!((mean_minor - 12.5).abs() < 1.5, "minor interval mean off: {mean_minor:.1}");
 
     // --- Figure 5: overlap analysis on real pairs ---------------------
-    println!("--- Figure 5: execution timings of real pairs (F=front end, M=operand wait,");
-    println!("    Q=queue, X=execute, R=retire wait; one row per instruction) ---\n");
+    out.say("--- Figure 5: execution timings of real pairs (F=front end, M=operand wait,");
+    out.say("    Q=queue, X=execute, R=retire wait; one row per instruction) ---\n");
     let mut shown = 0;
     for p in run.pairs.iter().filter(|p| p.is_complete()) {
         let a = p.first.record.as_ref().expect("complete");
@@ -104,26 +117,40 @@ fn main() {
         };
         let origin = a.timestamps.fetched.min(b.timestamps.fetched);
         let width = (ra.max(rb) - origin + 1).min(70);
-        println!(
+        out.say(format!(
             "pair at cycle {} (fetch distance {} cycles / {} instructions):",
             origin, p.distance_cycles, p.distance_instructions
-        );
-        println!("  I1 {:<10} |{}|", a.pc.to_string(), timeline(&a.timestamps, origin, width));
-        println!("  I2 {:<10} |{}|", b.pc.to_string(), timeline(&b.timestamps, origin, width));
+        ));
+        out.say(format!(
+            "  I1 {:<10} |{}|",
+            a.pc.to_string(),
+            timeline(&a.timestamps, origin, width)
+        ));
+        out.say(format!(
+            "  I2 {:<10} |{}|",
+            b.pc.to_string(),
+            timeline(&b.timestamps, origin, width)
+        ));
         let overlap = {
-            let (s1, e1) = (a.timestamps.fetched, a.timestamps.retire_ready.unwrap_or(ra));
-            let (s2, e2) = (b.timestamps.fetched, b.timestamps.retire_ready.unwrap_or(rb));
+            let (s1, e1) = (
+                a.timestamps.fetched,
+                a.timestamps.retire_ready.unwrap_or(ra),
+            );
+            let (s2, e2) = (
+                b.timestamps.fetched,
+                b.timestamps.retire_ready.unwrap_or(rb),
+            );
             e1.min(e2).saturating_sub(s1.max(s2))
         };
-        println!("  -> in-progress overlap: {overlap} cycles\n");
+        out.say(format!("  -> in-progress overlap: {overlap} cycles\n"));
         shown += 1;
         if shown == 4 {
             break;
         }
     }
     assert!(shown > 0, "some complete retired pairs exist");
-    println!("each pair's latency registers localize both instructions in time, so their");
-    println!("pipeline overlap can be determined — the mechanism behind every concurrency");
-    println!("metric in §5.2.");
-    println!("shape check: PASS");
+    out.say("each pair's latency registers localize both instructions in time, so their");
+    out.say("pipeline overlap can be determined — the mechanism behind every concurrency");
+    out.say("metric in §5.2.");
+    out.say("shape check: PASS");
 }

@@ -8,7 +8,7 @@
 //! length 1–16 and reports intraprocedural and interprocedural panels
 //! over SPECint95.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{cell_seed, product, scaled, Experiment};
 use profileme_cfg::{Cfg, Scope, TraceRecorder};
 use profileme_core::{PathProfiler, PathScheme};
 use profileme_isa::ArchState;
@@ -24,11 +24,21 @@ struct Tally {
     wins: [u64; 3],
 }
 
-fn measure(w: &Workload, scope: Scope, tallies: &mut [Tally; HISTORY_LENGTHS.len()]) {
+impl Tally {
+    fn absorb(&mut self, other: &Tally) {
+        self.attempts += other.attempts;
+        for (w, o) in self.wins.iter_mut().zip(other.wins) {
+            *w += o;
+        }
+    }
+}
+
+/// One grid cell: one workload under one reconstruction scope.
+fn measure(w: &Workload, scope: Scope, seed: u64) -> [Tally; HISTORY_LENGTHS.len()] {
+    let mut tallies = [Tally::default(); HISTORY_LENGTHS.len()];
     let mut cfg = Cfg::build(&w.program);
     // Learning pass: indirect edges + edge profile.
-    let mut learn =
-        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    let mut learn = TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
     while !learn.halted() {
         learn.step(&w.program, &cfg).expect("workload executes");
     }
@@ -39,14 +49,13 @@ fn measure(w: &Workload, scope: Scope, tallies: &mut [Tally; HISTORY_LENGTHS.len
 
     // Measurement pass.
     let profiler = PathProfiler::new(&cfg, &w.program);
-    let mut rec =
-        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
-    let mut rng = StdRng::seed_from_u64(0xF166);
-    let mut next_sample: u64 = rng.gen_range(40..120);
+    let mut rec = TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_sample: u64 = rng.gen_range(40u64..120);
     let mut step = 0u64;
     while !rec.halted() {
         if step == next_sample {
-            next_sample = step + rng.gen_range(40..120);
+            next_sample = step + rng.gen_range(40u64..120);
             let snap = rec.snapshot(&cfg);
             // Paired sample: the PC fetched 1..=50 instructions earlier.
             let paired_pc = snap.pc_before(rng.gen_range(1..=50));
@@ -74,39 +83,60 @@ fn measure(w: &Workload, scope: Scope, tallies: &mut [Tally; HISTORY_LENGTHS.len
         rec.step(&w.program, &cfg).expect("workload executes");
         step += 1;
     }
+    tallies
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "Figure 6 — effectiveness of path reconstruction strategies",
         "ProfileMe (MICRO-30 1997) §5.3, Figure 6",
     );
     let budget = scaled(120_000);
     let workloads = suite(budget);
-    for scope in [Scope::Intraprocedural, Scope::Interprocedural] {
+    let scopes = [Scope::Intraprocedural, Scope::Interprocedural];
+    let indices: Vec<usize> = (0..workloads.len()).collect();
+
+    // The grid: every (scope, workload) pair is a cell; each carries its
+    // own derived seed so cells have independent sampling streams.
+    let cells: Vec<(Scope, usize, u64)> = product(&scopes, &indices)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (scope, wi))| (scope, wi, cell_seed(0xF166, i)))
+        .collect();
+    let results = exp.run(&cells, |&(scope, wi, seed)| {
+        measure(&workloads[wi], scope, seed)
+    });
+
+    let out = exp.emitter();
+    for (si, scope) in scopes.iter().enumerate() {
+        // Merge this scope's cells in workload (grid) order.
         let mut tallies = [Tally::default(); HISTORY_LENGTHS.len()];
-        for w in &workloads {
-            measure(w, scope, &mut tallies);
+        for wi in 0..workloads.len() {
+            for (t, cell) in tallies.iter_mut().zip(&results[si * workloads.len() + wi]) {
+                t.absorb(cell);
+            }
         }
-        println!("--- {scope:?} (success % over the whole suite) ---");
-        println!(
+        out.say(format!(
+            "--- {scope:?} (success % over the whole suite) ---"
+        ));
+        out.say(format!(
             "{:>8} {:>9} {:>12} {:>12} {:>16}",
             "history", "attempts", "exec counts", "history bits", "history+paired"
-        );
+        ));
         for (li, &len) in HISTORY_LENGTHS.iter().enumerate() {
             let t = &tallies[li];
             let pct = |w: u64| 100.0 * w as f64 / t.attempts.max(1) as f64;
-            println!(
+            out.say(format!(
                 "{:>8} {:>9} {:>11.1}% {:>11.1}% {:>15.1}%",
                 len,
                 t.attempts,
                 pct(t.wins[0]),
                 pct(t.wins[1]),
                 pct(t.wins[2])
-            );
+            ));
         }
-        println!();
-        profileme_bench::dump_json(
+        out.blank();
+        out.dump(
             &format!("fig6_{scope:?}").to_lowercase(),
             &HISTORY_LENGTHS
                 .iter()
@@ -123,7 +153,7 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
     }
-    println!("paper's shape: accuracy decreases with history length; history bits beat");
-    println!("execution counts; paired sampling improves further; interprocedural paths");
-    println!("are harder than intraprocedural ones at matching lengths.");
+    out.say("paper's shape: accuracy decreases with history length; history bits beat");
+    out.say("execution counts; paired sampling improves further; interprocedural paths");
+    out.say("are harder than intraprocedural ones at matching lengths.");
 }

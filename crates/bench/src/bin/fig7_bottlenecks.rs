@@ -8,7 +8,7 @@
 //! lower-latency instructions (circles/squares), so latency alone cannot
 //! pinpoint bottlenecks.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Experiment};
 use profileme_core::{run_paired, wasted_issue_slots, PairedConfig};
 use profileme_uarch::PipelineConfig;
 use profileme_workloads::loops3;
@@ -21,7 +21,7 @@ struct Point {
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "Figure 7 — total latency vs wasted issue slots",
         "ProfileMe (MICRO-30 1997) §6, Figure 7",
     );
@@ -35,42 +35,62 @@ fn main() {
         buffer_depth: 8,
         ..PairedConfig::default()
     };
-    let run = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        pipeline,
-        sampling,
-        u64::MAX,
-    )
-    .expect("loops3 completes");
-    println!(
+    let runs = exp.run(&[()], |()| {
+        run_paired(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            pipeline.clone(),
+            sampling,
+            u64::MAX,
+        )
+        .expect("loops3 completes")
+    });
+    let run = &runs[0];
+    let out = exp.emitter();
+    out.say(format!(
         "{} pairs over {} cycles; S = {}, W = {}, C = {}\n",
         run.pairs.len(),
         run.cycles,
         run.db.interval(),
         run.db.window(),
         issue_width
-    );
+    ));
 
     let symbols = ["o (serial)", "s (balanced)", "t (memory)"];
     let mut points = Vec::new();
     for (pc, prof) in run.db.iter() {
-        let Some(loop_idx) = l3.loop_of(pc) else { continue };
+        let Some(loop_idx) = l3.loop_of(pc) else {
+            continue;
+        };
         if prof.samples < 8 {
             continue;
         }
         let ws = wasted_issue_slots(&run.db, pc, issue_width);
-        points.push(Point { loop_idx, pc, x: ws.total_latency, y: ws.wasted() });
+        points.push(Point {
+            loop_idx,
+            pc,
+            x: ws.total_latency,
+            y: ws.wasted(),
+        });
     }
 
-    println!("per-instruction series (the paper's scatter, as rows):");
-    println!("{:<12} {:<10} {:>16} {:>16}", "symbol", "pc", "X: total latency", "Y: wasted slots");
+    out.say("per-instruction series (the paper's scatter, as rows):");
+    out.say(format!(
+        "{:<12} {:<10} {:>16} {:>16}",
+        "symbol", "pc", "X: total latency", "Y: wasted slots"
+    ));
     points.sort_by(|a, b| a.x.total_cmp(&b.x));
     for p in &points {
-        println!("{:<12} {:<10} {:>16.0} {:>16.0}", symbols[p.loop_idx], p.pc.to_string(), p.x, p.y);
+        out.say(format!(
+            "{:<12} {:<10} {:>16.0} {:>16.0}",
+            symbols[p.loop_idx],
+            p.pc.to_string(),
+            p.x,
+            p.y
+        ));
     }
 
-    profileme_bench::dump_json(
+    out.dump(
         "fig7_bottlenecks",
         &points
             .iter()
@@ -91,32 +111,41 @@ fn main() {
         let vy = pts.iter().map(|p| (p.y - my).powi(2)).sum::<f64>();
         cov / (vx.sqrt() * vy.sqrt())
     };
-    println!();
+    out.blank();
     for (i, name) in ["serial", "balanced", "memory"].iter().enumerate() {
         let pts: Vec<&Point> = points.iter().filter(|p| p.loop_idx == i).collect();
-        println!("within-loop correlation(X, Y) for {name}: {:.3}", corr(&pts));
+        out.say(format!(
+            "within-loop correlation(X, Y) for {name}: {:.3}",
+            corr(&pts)
+        ));
     }
     let all: Vec<&Point> = points.iter().collect();
-    println!("across-all-points correlation(X, Y): {:.3}", corr(&all));
+    out.say(format!(
+        "across-all-points correlation(X, Y): {:.3}",
+        corr(&all)
+    ));
 
-    let rightmost = points.iter().max_by(|a, b| a.x.total_cmp(&b.x)).expect("points exist");
+    let rightmost = points
+        .iter()
+        .max_by(|a, b| a.x.total_cmp(&b.x))
+        .expect("points exist");
     let max_y_serial = points
         .iter()
         .filter(|p| p.loop_idx == 0)
         .map(|p| p.y)
         .fold(0.0f64, f64::max);
-    println!(
+    out.say(format!(
         "\nhighest-latency instruction: {} in the {} loop (X={:.0}, Y={:.0})",
         rightmost.pc,
         ["serial", "balanced", "memory"][rightmost.loop_idx],
         rightmost.x,
         rightmost.y
-    );
-    println!("worst serial-loop wasted slots: {max_y_serial:.0}");
+    ));
+    out.say(format!("worst serial-loop wasted slots: {max_y_serial:.0}"));
     assert_eq!(rightmost.loop_idx, 2, "the rightmost point is a triangle");
     assert!(
         rightmost.y < max_y_serial,
         "...and it wastes fewer slots than lower-latency circles"
     );
-    println!("shape check: PASS — latency is not well correlated with wasted issue slots");
+    out.say("shape check: PASS — latency is not well correlated with wasted issue slots");
 }

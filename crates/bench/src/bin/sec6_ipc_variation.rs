@@ -6,64 +6,94 @@
 //! 20–42% of the mean (31% overall) — evidence that useful concurrency
 //! varies enough that latency alone cannot rank bottlenecks.
 
-use profileme_bench::{banner, run_plain, scaled};
+use profileme_bench::engine::{run_plain, scaled, Experiment};
 use profileme_uarch::PipelineConfig;
-use profileme_workloads::suite;
+use profileme_workloads::{suite, Workload};
+
+/// One grid cell: one workload's windowed-IPC row.
+struct Row {
+    name: &'static str,
+    retired: u64,
+    ipc: f64,
+    raw_ratio: f64,
+    robust_ratio: f64,
+    cov: f64,
+}
+
+fn measure(w: &Workload, config: PipelineConfig) -> Row {
+    let stats = run_plain(w, config);
+    let (raw_ratio, cov) = stats.windowed_ipc_summary().expect("enough windows");
+    // Robust ratio: isolated total-stall windows (1 retire in 30
+    // cycles) dominate the raw minimum in our short traces.
+    let robust_ratio = stats
+        .windowed_ipc_ratio(0.025, 0.975)
+        .expect("enough windows");
+    Row {
+        name: w.name,
+        retired: stats.retired,
+        ipc: stats.ipc(),
+        raw_ratio,
+        robust_ratio,
+        cov,
+    }
+}
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "§6 — windowed IPC variation (30-cycle windows)",
         "ProfileMe (MICRO-30 1997) §6, final paragraphs",
     );
     let config = PipelineConfig::default();
     assert_eq!(config.ipc_window, 30, "the paper's window length");
-    println!(
+    let workloads = suite(scaled(400_000));
+    let rows = exp.run(&workloads, |w| measure(w, config.clone()));
+
+    let out = exp.emitter();
+    out.say(format!(
         "{:<10} {:>10} {:>8} {:>14} {:>14} {:>18}",
         "workload", "retired", "IPC", "max/min", "p97.5/p2.5", "weighted std/mean"
-    );
-    let mut covs = Vec::new();
-    let mut ratios = Vec::new();
-    for w in suite(scaled(400_000)) {
-        let stats = run_plain(&w, config.clone());
-        let (raw_ratio, cov) = stats.windowed_ipc_summary().expect("enough windows");
-        // Robust ratio: isolated total-stall windows (1 retire in 30
-        // cycles) dominate the raw minimum in our short traces.
-        let ratio = stats.windowed_ipc_ratio(0.025, 0.975).expect("enough windows");
-        println!(
+    ));
+    for r in &rows {
+        out.say(format!(
             "{:<10} {:>10} {:>8.2} {:>14.1} {:>14.1} {:>17.0}%",
-            w.name,
-            stats.retired,
-            stats.ipc(),
-            raw_ratio,
-            ratio,
-            cov * 100.0
-        );
-        covs.push((cov, stats.retired));
-        ratios.push(ratio);
+            r.name,
+            r.retired,
+            r.ipc,
+            r.raw_ratio,
+            r.robust_ratio,
+            r.cov * 100.0
+        ));
     }
-    profileme_bench::dump_json(
+    out.dump(
         "sec6_ipc_variation",
-        &covs
+        &rows
             .iter()
-            .zip(ratios.iter())
-            .map(|((cov, retired), ratio)| {
-                serde_json::json!({"retired": retired, "cov": cov, "robust_ratio": ratio})
+            .map(|r| {
+                serde_json::json!({"retired": r.retired, "cov": r.cov, "robust_ratio": r.robust_ratio})
             })
             .collect::<Vec<_>>(),
     );
-    let total: u64 = covs.iter().map(|(_, r)| r).sum();
-    let overall =
-        covs.iter().map(|(c, r)| c * *r as f64).sum::<f64>() / total as f64;
-    println!("\noverall retire-weighted std/mean: {:.0}%", overall * 100.0);
-    println!("\npaper reported: ratios 3–30 across benchmarks; std 20–42% of mean; 31% overall.");
-    let in_range = ratios.iter().filter(|&&r| (3.0..=30.0).contains(&r)).count();
-    println!(
+    let total: u64 = rows.iter().map(|r| r.retired).sum();
+    let overall = rows.iter().map(|r| r.cov * r.retired as f64).sum::<f64>() / total as f64;
+    out.say(format!(
+        "\noverall retire-weighted std/mean: {:.0}%",
+        overall * 100.0
+    ));
+    out.say("\npaper reported: ratios 3–30 across benchmarks; std 20–42% of mean; 31% overall.");
+    let in_range = rows
+        .iter()
+        .filter(|r| (3.0..=30.0).contains(&r.robust_ratio))
+        .count();
+    out.say(format!(
         "measured: {}/{} workloads with robust ratio in [3, 30]; overall std {:.0}% of mean",
         in_range,
-        ratios.len(),
+        rows.len(),
         overall * 100.0
+    ));
+    assert!(
+        in_range >= rows.len() / 2,
+        "most workloads vary as the paper reports"
     );
-    assert!(in_range >= ratios.len() / 2, "most workloads vary as the paper reports");
     assert!(overall > 0.15, "overall variation is substantial");
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -7,7 +7,7 @@
 //! phase lighting up for the instruction class whose bottleneck it
 //! diagnoses.
 
-use profileme_bench::{banner, scaled};
+use profileme_bench::engine::{scaled, Experiment};
 use profileme_core::{run_single, ProfileMeConfig};
 use profileme_isa::OpClass;
 use profileme_uarch::{LatencySums, PipelineConfig};
@@ -19,9 +19,27 @@ struct Acc {
     n: u64,
 }
 
-fn sample_workload(w: &Workload, acc: &mut [(OpClass, Acc)]) {
-    let sampling =
-        ProfileMeConfig { mean_interval: 32, buffer_depth: 16, ..ProfileMeConfig::default() };
+impl Acc {
+    fn absorb(&mut self, other: &Acc) {
+        self.sums.fetch_to_map += other.sums.fetch_to_map;
+        self.sums.map_to_data_ready += other.sums.map_to_data_ready;
+        self.sums.data_ready_to_issue += other.sums.data_ready_to_issue;
+        self.sums.issue_to_retire_ready += other.sums.issue_to_retire_ready;
+        self.sums.retire_ready_to_retire += other.sums.retire_ready_to_retire;
+        self.sums.load_completion += other.sums.load_completion;
+        self.n += other.n;
+    }
+}
+
+/// One grid cell: per-class latency sums from ProfileMe samples of one
+/// workload.
+fn sample_workload(w: &Workload) -> Vec<(OpClass, Acc)> {
+    let mut acc: Vec<(OpClass, Acc)> = OpClass::ALL.iter().map(|&c| (c, Acc::default())).collect();
+    let sampling = ProfileMeConfig {
+        mean_interval: 32,
+        buffer_depth: 16,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory.clone()),
@@ -38,38 +56,47 @@ fn sample_workload(w: &Workload, acc: &mut [(OpClass, Acc)]) {
             a.n += 1;
         }
     }
+    acc
 }
 
 fn main() {
-    banner(
+    let exp = Experiment::new(
         "Table 1 — pipeline-stage latency measurements",
         "ProfileMe (MICRO-30 1997) §4.1.3, Table 1",
     );
-    println!("measured latency        explanation (from the paper)");
-    println!("fetch→map               stalls due to lack of physical registers or issue queue slots");
-    println!("map→data ready          stalls due to data dependences");
-    println!("data ready→issue        stalls due to execution resource contention");
-    println!("issue→retire ready      execution latency");
-    println!("retire ready→retire     stalls due to prior unretired instructions");
-    println!("load issue→completion   memory system latency (loads may retire before the value returns)\n");
+    let out = exp.emitter();
+    out.say("measured latency        explanation (from the paper)");
+    out.say(
+        "fetch→map               stalls due to lack of physical registers or issue queue slots",
+    );
+    out.say("map→data ready          stalls due to data dependences");
+    out.say("data ready→issue        stalls due to execution resource contention");
+    out.say("issue→retire ready      execution latency");
+    out.say("retire ready→retire     stalls due to prior unretired instructions");
+    out.say("load issue→completion   memory system latency (loads may retire before the value returns)\n");
 
-    let mut acc: Vec<(OpClass, Acc)> =
-        OpClass::ALL.iter().map(|&c| (c, Acc::default())).collect();
     let n = scaled(20_000);
-    for w in [compress(n), li(n), povray(n)] {
-        sample_workload(&w, &mut acc);
+    let workloads = [compress(n), li(n), povray(n)];
+    let results = exp.run(&workloads, sample_workload);
+
+    // Merge the cells in grid (workload) order.
+    let mut acc: Vec<(OpClass, Acc)> = OpClass::ALL.iter().map(|&c| (c, Acc::default())).collect();
+    for cell in &results {
+        for ((_, a), (_, o)) in acc.iter_mut().zip(cell) {
+            a.absorb(o);
+        }
     }
 
-    println!(
+    out.say(format!(
         "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "class", "samples", "fet→map", "map→rdy", "rdy→iss", "iss→rr", "rr→ret", "ld→compl"
-    );
+    ));
     for (class, a) in &acc {
         if a.n == 0 {
             continue;
         }
         let avg = |v: u64| v as f64 / a.n as f64;
-        println!(
+        out.say(format!(
             "{:<10} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
             class.to_string(),
             a.n,
@@ -79,28 +106,33 @@ fn main() {
             avg(a.sums.issue_to_retire_ready),
             avg(a.sums.retire_ready_to_retire),
             avg(a.sums.load_completion),
-        );
+        ));
     }
 
     // Shape checks: each latency register diagnoses its class.
-    let get = |c: OpClass| acc.iter().find(|(cc, _)| *cc == c).expect("class present").1;
+    let get = |c: OpClass| {
+        acc.iter()
+            .find(|(cc, _)| *cc == c)
+            .expect("class present")
+            .1
+    };
     let load = get(OpClass::Load);
     let fdiv = get(OpClass::FpDiv);
     let alu = get(OpClass::IntAlu);
     assert!(load.n > 0 && fdiv.n > 0 && alu.n > 0, "all classes sampled");
     let ld_mem = load.sums.load_completion as f64 / load.n as f64;
     let ld_exec = load.sums.issue_to_retire_ready as f64 / load.n as f64;
-    println!(
+    out.say(format!(
         "\nloads: issue→completion ({ld_mem:.1}) far exceeds issue→retire-ready ({ld_exec:.1}) — \
          the Alpha retires loads before the value returns, exactly Table 1's note"
-    );
+    ));
     assert!(ld_mem > 4.0 * ld_exec);
     let div_exec = fdiv.sums.issue_to_retire_ready as f64 / fdiv.n as f64;
     let alu_exec = alu.sums.issue_to_retire_ready as f64 / alu.n as f64;
-    println!(
+    out.say(format!(
         "fp divides: execution latency {div_exec:.1} vs integer ALU {alu_exec:.1} — \
          issue→retire-ready isolates execution latency per class"
-    );
+    ));
     assert!(div_exec > 5.0 * alu_exec);
-    println!("shape check: PASS");
+    out.say("shape check: PASS");
 }

@@ -1,0 +1,92 @@
+//! The emitter: the single funnel for experiment output. Banners, report
+//! lines, and JSON data series all pass through here, and only ever from
+//! the main thread, *after* the parallel cells have returned — so stdout
+//! and the dump directory are byte-identical whatever `PROFILEME_JOBS`
+//! was.
+
+use std::path::PathBuf;
+
+/// Writes experiment output: stdout text plus optional JSON series.
+#[derive(Debug, Clone)]
+pub struct Emitter {
+    dump_dir: Option<PathBuf>,
+}
+
+impl Emitter {
+    /// An emitter configured from the environment
+    /// (`PROFILEME_DUMP_DIR`).
+    pub fn from_env() -> Emitter {
+        Emitter {
+            dump_dir: super::env::dump_dir(),
+        }
+    }
+
+    /// An emitter writing JSON series to `dir` (`None` disables dumps) —
+    /// for tests that must not read process environment.
+    pub fn with_dump_dir(dir: Option<PathBuf>) -> Emitter {
+        Emitter { dump_dir: dir }
+    }
+
+    /// Prints the standard experiment banner.
+    pub fn banner(&self, what: &str, paper_ref: &str) {
+        println!("=== {what} ===");
+        println!("reproduces: {paper_ref}");
+        println!(
+            "scale: {} (set {} to change)\n",
+            super::env::scale(),
+            super::env::SCALE_VAR
+        );
+    }
+
+    /// Prints one report line.
+    pub fn say(&self, line: impl std::fmt::Display) {
+        println!("{line}");
+    }
+
+    /// Prints an empty line.
+    pub fn blank(&self) {
+        println!();
+    }
+
+    /// Writes a data series as JSON to `<dump dir>/<name>.json`, for
+    /// external plotting. A no-op when no dump directory is configured;
+    /// IO errors are reported to stderr but never fail the experiment.
+    pub fn dump<T: serde::Serialize>(&self, name: &str, value: &T) {
+        let Some(dir) = &self.dump_dir else { return };
+        let path = dir.join(format!("{name}.json"));
+        let go = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let json = serde_json::to_string_pretty(value)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            std::fs::write(&path, json)
+        };
+        match go() {
+            Ok(()) => println!("(series written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_is_a_noop_without_a_directory() {
+        // Nothing to assert beyond "does not panic / does not write":
+        // the emitter has no dump directory, so no filesystem access.
+        let emitter = Emitter::with_dump_dir(None);
+        emitter.dump("unused", &vec![1u64, 2, 3]);
+    }
+
+    #[test]
+    fn dump_writes_parseable_json() {
+        let dir = std::env::temp_dir().join(format!("profileme_emit_{}", std::process::id()));
+        let emitter = Emitter::with_dump_dir(Some(dir.clone()));
+        emitter.dump("series", &vec![(1u64, 2.5f64), (3, 4.5)]);
+        let text = std::fs::read_to_string(dir.join("series.json")).expect("file written");
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v.as_array().map(Vec::len), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

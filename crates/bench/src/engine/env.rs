@@ -1,0 +1,107 @@
+//! The engine's environment-variable surface — the *only* place in the
+//! workspace that reads experiment configuration from the environment.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `PROFILEME_SCALE` | run-length multiplier | `1.0` |
+//! | `PROFILEME_JOBS` | worker threads for the cell grid | available parallelism |
+//! | `PROFILEME_DUMP_DIR` | directory for JSON data series | unset (no dumps) |
+//!
+//! Each variable has a pure `parse_*` function over `Option<&str>` so
+//! edge cases are unit-testable without mutating process state.
+
+use std::path::PathBuf;
+
+/// Name of the run-length multiplier variable.
+pub const SCALE_VAR: &str = "PROFILEME_SCALE";
+/// Name of the worker-thread-count variable.
+pub const JOBS_VAR: &str = "PROFILEME_JOBS";
+/// Name of the JSON dump directory variable.
+pub const DUMP_DIR_VAR: &str = "PROFILEME_DUMP_DIR";
+
+/// Parses a `PROFILEME_SCALE` value: a positive finite float, defaulting
+/// to 1.0 when unset, non-numeric, zero, or negative.
+pub fn parse_scale(raw: Option<&str>) -> f64 {
+    raw.and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Parses a `PROFILEME_JOBS` value: a positive integer, falling back to
+/// `default` when unset, non-numeric, or zero.
+pub fn parse_jobs(raw: Option<&str>, default: usize) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default.max(1))
+}
+
+/// The run-length multiplier from `PROFILEME_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    parse_scale(std::env::var(SCALE_VAR).ok().as_deref())
+}
+
+/// `base` iterations scaled by [`scale`], with a floor of 1.
+pub fn scaled(base: u64) -> u64 {
+    ((base as f64 * scale()) as u64).max(1)
+}
+
+/// The worker-thread count from `PROFILEME_JOBS`, defaulting to the
+/// machine's available parallelism. Results never depend on this value
+/// — only wall-clock time does.
+pub fn jobs() -> usize {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parse_jobs(std::env::var(JOBS_VAR).ok().as_deref(), default)
+}
+
+/// The JSON dump directory from `PROFILEME_DUMP_DIR`, if set.
+pub fn dump_dir() -> Option<PathBuf> {
+    std::env::var(DUMP_DIR_VAR).ok().map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_accepts_positive_floats() {
+        assert_eq!(parse_scale(Some("2.5")), 2.5);
+        assert_eq!(parse_scale(Some("0.01")), 0.01);
+        assert_eq!(parse_scale(Some(" 3 ")), 3.0);
+    }
+
+    #[test]
+    fn scale_rejects_zero_negative_and_garbage() {
+        assert_eq!(parse_scale(None), 1.0);
+        assert_eq!(parse_scale(Some("0")), 1.0);
+        assert_eq!(parse_scale(Some("-2")), 1.0);
+        assert_eq!(parse_scale(Some("nan")), 1.0);
+        assert_eq!(parse_scale(Some("inf")), 1.0);
+        assert_eq!(parse_scale(Some("fast")), 1.0);
+        assert_eq!(parse_scale(Some("")), 1.0);
+    }
+
+    #[test]
+    fn jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs(Some("1"), 8), 1);
+        assert_eq!(parse_jobs(Some("16"), 8), 16);
+        assert_eq!(parse_jobs(Some(" 4 "), 8), 4);
+    }
+
+    #[test]
+    fn jobs_falls_back_on_bad_input() {
+        assert_eq!(parse_jobs(None, 8), 8);
+        assert_eq!(parse_jobs(Some("0"), 8), 8);
+        assert_eq!(parse_jobs(Some("-1"), 8), 8);
+        assert_eq!(parse_jobs(Some("many"), 8), 8);
+        assert_eq!(parse_jobs(None, 0), 1, "a zero default is clamped");
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        // With no env override the scale is 1.0 under `cargo test`.
+        if std::env::var(SCALE_VAR).is_err() {
+            assert_eq!(scaled(100), 100);
+            assert_eq!(scaled(0), 1);
+        }
+    }
+}

@@ -1,13 +1,21 @@
 //! # profileme-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper's
-//! evaluation (see `src/bin/`), shared helpers here, and Criterion
-//! microbenchmarks of the simulator and sampling stack under `benches/`.
+//! evaluation (see `src/bin/`), the shared [`engine`] they all run on,
+//! and Criterion microbenchmarks of the simulator, the sampling stack,
+//! and the engine itself under `benches/`.
 //!
-//! Every binary accepts a `PROFILEME_SCALE` environment variable
-//! (default `1.0`) that multiplies run lengths: the defaults finish in
-//! seconds; scale up for tighter statistics (the paper used traces of
-//! 10⁸–10⁹ instructions; `PROFILEME_SCALE=100` approaches that regime).
+//! Every binary accepts three environment variables (see
+//! [`engine::env`]):
+//!
+//! - `PROFILEME_SCALE` (default `1.0`) multiplies run lengths: the
+//!   defaults finish in seconds; scale up for tighter statistics (the
+//!   paper used traces of 10⁸–10⁹ instructions; `PROFILEME_SCALE=100`
+//!   approaches that regime).
+//! - `PROFILEME_JOBS` (default: all cores) sets how many experiment
+//!   cells run concurrently. Results are bit-identical for every value.
+//! - `PROFILEME_DUMP_DIR` (default: unset) writes each experiment's data
+//!   series as JSON for external plotting.
 //!
 //! | Binary | Reproduces |
 //! |---|---|
@@ -29,68 +37,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use profileme_isa::ArchState;
-use profileme_uarch::{NullHardware, Pipeline, PipelineConfig, SimStats};
-use profileme_workloads::Workload;
+pub mod engine;
 
-/// The run-length multiplier from `PROFILEME_SCALE` (default 1.0).
-pub fn scale() -> f64 {
-    std::env::var("PROFILEME_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&v: &f64| v > 0.0)
-        .unwrap_or(1.0)
-}
-
-/// `base` iterations scaled by [`scale`], with a floor of 1.
-pub fn scaled(base: u64) -> u64 {
-    ((base as f64 * scale()) as u64).max(1)
-}
-
-/// Runs a workload without profiling hardware and returns exact stats.
-pub fn run_plain(w: &Workload, config: PipelineConfig) -> SimStats {
-    let oracle = ArchState::with_memory(&w.program, w.memory.clone());
-    let mut sim = Pipeline::with_oracle(w.program.clone(), config, NullHardware, oracle);
-    sim.run(u64::MAX).unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
-    sim.stats().clone()
-}
-
-/// Prints the standard experiment banner.
-pub fn banner(what: &str, paper_ref: &str) {
-    println!("=== {what} ===");
-    println!("reproduces: {paper_ref}");
-    println!("scale: {} (set PROFILEME_SCALE to change)\n", scale());
-}
-
-/// Writes an experiment's data series as JSON to
-/// `$PROFILEME_DUMP_DIR/<name>.json`, for external plotting. A no-op when
-/// the environment variable is unset; IO errors are reported to stderr
-/// but never fail the experiment.
-pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) {
-    let Ok(dir) = std::env::var("PROFILEME_DUMP_DIR") else { return };
-    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
-    let go = || -> std::io::Result<()> {
-        std::fs::create_dir_all(&dir)?;
-        let json = serde_json::to_string_pretty(value)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-        std::fs::write(&path, json)
-    };
-    match go() {
-        Ok(()) => println!("(series written to {})", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scale_defaults_to_one() {
-        // (The env var is not set under `cargo test`.)
-        if std::env::var("PROFILEME_SCALE").is_err() {
-            assert_eq!(scale(), 1.0);
-            assert_eq!(scaled(100), 100);
-        }
-    }
-}
+pub use engine::{run_plain, scale, scaled, Emitter, Experiment};

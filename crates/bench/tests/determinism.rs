@@ -1,0 +1,87 @@
+//! Byte-for-byte determinism across `PROFILEME_JOBS` settings.
+//!
+//! The engine's contract is that parallel fan-out is an implementation
+//! detail: a binary's stdout and its JSON dumps must be identical
+//! whether its grid cells run on one thread or eight. These tests run
+//! real experiment binaries twice — `PROFILEME_JOBS=1` vs `=8` — in
+//! separate scratch directories (with a *relative* dump dir, so the
+//! dump-notice lines in stdout match too) and compare every byte.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `bin` in its own scratch CWD and returns (stdout, sorted dumps).
+fn run(bin: &str, jobs: &str, scale: &str, dir: &Path) -> (Vec<u8>, Vec<(String, Vec<u8>)>) {
+    fs::create_dir_all(dir).expect("scratch dir");
+    let out = Command::new(bin)
+        .current_dir(dir)
+        .env("PROFILEME_SCALE", scale)
+        .env("PROFILEME_JOBS", jobs)
+        .env("PROFILEME_DUMP_DIR", "dumps")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed under PROFILEME_JOBS={jobs}:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut dumps: Vec<(String, Vec<u8>)> = fs::read_dir(dir.join("dumps"))
+        .expect("the experiment writes dumps")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().into_string().expect("utf-8 dump name"),
+                fs::read(e.path()).expect("dump readable"),
+            )
+        })
+        .collect();
+    dumps.sort();
+    (out.stdout, dumps)
+}
+
+fn assert_jobs_invariant(bin: &str, scale: &str) {
+    let name = Path::new(bin)
+        .file_name()
+        .expect("bin has a file name")
+        .to_string_lossy()
+        .into_owned();
+    let base = std::env::temp_dir().join(format!("profileme-determinism-{}", std::process::id()));
+    let d1 = base.join(format!("{name}-jobs1"));
+    let d8 = base.join(format!("{name}-jobs8"));
+    let (stdout1, dumps1) = run(bin, "1", scale, &d1);
+    let (stdout8, dumps8) = run(bin, "8", scale, &d8);
+
+    assert!(!stdout1.is_empty(), "{name} produced output");
+    assert_eq!(
+        String::from_utf8_lossy(&stdout1),
+        String::from_utf8_lossy(&stdout8),
+        "{name}: stdout differs between PROFILEME_JOBS=1 and =8"
+    );
+    assert!(!dumps1.is_empty(), "{name} wrote JSON dumps");
+    let names = |d: &[(String, Vec<u8>)]| d.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(
+        names(&dumps1),
+        names(&dumps8),
+        "{name}: dump file sets differ"
+    );
+    for ((file, bytes1), (_, bytes8)) in dumps1.iter().zip(dumps8.iter()) {
+        assert_eq!(
+            bytes1, bytes8,
+            "{name}: dump {file} differs across job counts"
+        );
+    }
+
+    fs::remove_dir_all(&d1).ok();
+    fs::remove_dir_all(&d8).ok();
+}
+
+#[test]
+fn fig3_convergence_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig3_convergence"), "0.05");
+}
+
+#[test]
+fn ablation_attribution_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_ablation_attribution"), "0.25");
+}

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a basic block within a [`Cfg`](crate::Cfg).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub(crate) u32);
 
 impl BlockId {
@@ -67,7 +65,9 @@ impl BasicBlock {
 
     /// Whether the block ends in a conditional branch.
     pub fn ends_in_cond_branch(&self, program: &Program) -> bool {
-        program.fetch(self.last_pc()).is_some_and(|i| i.is_cond_branch())
+        program
+            .fetch(self.last_pc())
+            .is_some_and(|i| i.is_cond_branch())
     }
 }
 

@@ -130,9 +130,13 @@ impl Cfg {
             // leader, a region can contain at most one control transfer,
             // and it is necessarily the last instruction. So each region is
             // exactly one block.
-            let function = program
-                .function_of(start)
-                .map(|f| program.functions().iter().position(|g| g.entry == f.entry).unwrap());
+            let function = program.function_of(start).map(|f| {
+                program
+                    .functions()
+                    .iter()
+                    .position(|g| g.entry == f.entry)
+                    .unwrap()
+            });
             blocks.push(BasicBlock {
                 id: BlockId(blocks.len() as u32),
                 start,
@@ -142,7 +146,11 @@ impl Cfg {
         }
 
         let n = blocks.len();
-        let mut cfg = Cfg { blocks, succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] };
+        let mut cfg = Cfg {
+            blocks,
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        };
 
         for b in 0..n {
             let block = cfg.blocks[b].clone();
@@ -152,23 +160,43 @@ impl Cfg {
             match inst.op {
                 Op::CondBr { target, .. } => {
                     if let Some(to) = cfg.block_of(target) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Taken });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::Taken,
+                        });
                     }
                     if let Some(to) = cfg.block_of(last.next()) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::NotTaken });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::NotTaken,
+                        });
                     }
                 }
                 Op::Jmp { target } => {
                     if let Some(to) = cfg.block_of(target) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Jump });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::Jump,
+                        });
                     }
                 }
                 Op::Call { target, .. } => {
                     if let Some(to) = cfg.block_of(target) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::Call });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::Call,
+                        });
                     }
                     if let Some(to) = cfg.block_of(last.next()) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::CallFallThrough });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::CallFallThrough,
+                        });
                     }
                 }
                 Op::Ret { .. } => {
@@ -177,7 +205,11 @@ impl Cfg {
                     if let Some(f) = block.function.map(|i| &program.functions()[i]) {
                         for site in program.call_sites_of(f.entry) {
                             if let Some(to) = cfg.block_of(site.next()) {
-                                cfg.push_edge(Edge { from, to, kind: EdgeKind::Return });
+                                cfg.push_edge(Edge {
+                                    from,
+                                    to,
+                                    kind: EdgeKind::Return,
+                                });
                             }
                         }
                     }
@@ -187,7 +219,11 @@ impl Cfg {
                 _ => {
                     // Straight-line block split by a leader: falls through.
                     if let Some(to) = cfg.block_of(block.end) {
-                        cfg.push_edge(Edge { from, to, kind: EdgeKind::FallThrough });
+                        cfg.push_edge(Edge {
+                            from,
+                            to,
+                            kind: EdgeKind::FallThrough,
+                        });
                     }
                 }
             }
@@ -208,7 +244,11 @@ impl Cfg {
         let (Some(from), Some(to)) = (self.block_of(from_pc), self.block_of(to_pc)) else {
             return;
         };
-        let e = Edge { from, to, kind: EdgeKind::IndirectJump };
+        let e = Edge {
+            from,
+            to,
+            kind: EdgeKind::IndirectJump,
+        };
         if !self.succs[from.index()].contains(&e) {
             self.push_edge(e);
         }
@@ -334,12 +374,18 @@ mod tests {
                     .is_some_and(|i| matches!(i.op, Op::Ret { .. }))
             })
             .unwrap();
-        assert!(cfg.succs(ret_block.id).iter().any(|e| e.kind == EdgeKind::Return));
+        assert!(cfg
+            .succs(ret_block.id)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Return));
         // The call block also has a synthetic intraprocedural edge.
         let call_block = cfg
             .blocks()
             .iter()
-            .find(|b| p.fetch(b.last_pc()).is_some_and(|i| matches!(i.op, Op::Call { .. })))
+            .find(|b| {
+                p.fetch(b.last_pc())
+                    .is_some_and(|i| matches!(i.op, Op::Call { .. }))
+            })
             .unwrap();
         assert!(cfg
             .succs(call_block.id)

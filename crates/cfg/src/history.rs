@@ -89,7 +89,11 @@ impl fmt::Display for BranchHistory {
             return f.write_str("(empty)");
         }
         for age in 0..self.len() {
-            f.write_str(if self.recent(age) == Some(true) { "T" } else { "N" })?;
+            f.write_str(if self.recent(age) == Some(true) {
+                "T"
+            } else {
+                "N"
+            })?;
         }
         Ok(())
     }

@@ -131,11 +131,16 @@ impl<'a> Reconstructor<'a> {
             .iter()
             .filter(|e| match scope {
                 Scope::Intraprocedural => {
-                    matches!(e.kind, Taken | NotTaken | Jump | FallThrough | CallFallThrough | IndirectJump)
-                        && self.cfg.block(e.from).function == function
+                    matches!(
+                        e.kind,
+                        Taken | NotTaken | Jump | FallThrough | CallFallThrough | IndirectJump
+                    ) && self.cfg.block(e.from).function == function
                 }
                 Scope::Interprocedural => {
-                    matches!(e.kind, Taken | NotTaken | Jump | FallThrough | Call | Return | IndirectJump)
+                    matches!(
+                        e.kind,
+                        Taken | NotTaken | Jump | FallThrough | Call | Return | IndirectJump
+                    )
                 }
             })
             .copied()
@@ -235,7 +240,12 @@ impl<'a> Reconstructor<'a> {
                         if history.recent(bits) == Some(bit) {
                             let mut p = rev_path.clone();
                             p.push(e.from);
-                            stack.push((e.from, bits + 1, p, new_calls.unwrap_or_else(|| calls.clone())));
+                            stack.push((
+                                e.from,
+                                bits + 1,
+                                p,
+                                new_calls.unwrap_or_else(|| calls.clone()),
+                            ));
                             extended = true;
                         }
                     }
@@ -270,8 +280,11 @@ impl<'a> Reconstructor<'a> {
                 // predates the reconstructed window (its fetch distance may
                 // exceed the window the history bits span) and is
                 // uninformative, so the filter is skipped.
-                let filtered: Vec<Path> =
-                    results.iter().filter(|p| p.contains_pc(self.cfg, pc)).cloned().collect();
+                let filtered: Vec<Path> = results
+                    .iter()
+                    .filter(|p| p.contains_pc(self.cfg, pc))
+                    .cloned()
+                    .collect();
                 if !filtered.is_empty() {
                     results = filtered;
                 }
@@ -416,13 +429,8 @@ mod tests {
                 let snap = rec.snapshot(&cfg);
                 if let Some(truth) = snap.ground_truth(&cfg, &p, history_len, scope) {
                     attempts += 1;
-                    let paths = r.consistent_paths(
-                        snap.sample_pc,
-                        &snap.history,
-                        history_len,
-                        scope,
-                        None,
-                    );
+                    let paths =
+                        r.consistent_paths(snap.sample_pc, &snap.history, history_len, scope, None);
                     if paths.len() == 1 && paths[0] == truth {
                         successes += 1;
                     }
@@ -478,7 +486,13 @@ mod tests {
             wrong.shift(snap.history.recent(age) != Some(true));
         }
         let r = Reconstructor::new(&cfg, &p);
-        let real = r.consistent_paths(snap.sample_pc, &snap.history, 3, Scope::Interprocedural, None);
+        let real = r.consistent_paths(
+            snap.sample_pc,
+            &snap.history,
+            3,
+            Scope::Interprocedural,
+            None,
+        );
         let fake = r.consistent_paths(snap.sample_pc, &wrong, 3, Scope::Interprocedural, None);
         assert_eq!(real.len(), 1);
         assert!(fake.len() <= 1);
@@ -497,8 +511,13 @@ mod tests {
         }
         let snap = rec.snapshot(&cfg);
         let r = Reconstructor::new(&cfg, &p);
-        let unfiltered =
-            r.consistent_paths(snap.sample_pc, &snap.history, 4, Scope::Interprocedural, None);
+        let unfiltered = r.consistent_paths(
+            snap.sample_pc,
+            &snap.history,
+            4,
+            Scope::Interprocedural,
+            None,
+        );
         assert_eq!(unfiltered.len(), 1);
         // A paired PC actually on the path keeps it.
         let on_path = snap.pc_before(3).unwrap();

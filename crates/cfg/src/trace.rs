@@ -174,7 +174,11 @@ impl TraceRecorder {
         if let Some(id) = cfg.block_of(self.arch.pc()) {
             let block = cfg.block(id);
             if self.arch.pc() == block.start {
-                blocks.push(BlockRecord { block: id, function: block.function, branch: None });
+                blocks.push(BlockRecord {
+                    block: id,
+                    function: block.function,
+                    branch: None,
+                });
             }
         }
         TraceSnapshot {
@@ -329,7 +333,9 @@ mod tests {
         let mut rec = TraceRecorder::new(&p);
         rec.step(&p, &cfg).unwrap(); // only the ldi executed: no branches yet
         let snap = rec.snapshot(&cfg);
-        assert!(snap.ground_truth(&cfg, &p, 1, Scope::Interprocedural).is_none());
+        assert!(snap
+            .ground_truth(&cfg, &p, 1, Scope::Interprocedural)
+            .is_none());
     }
 
     #[test]

@@ -70,9 +70,7 @@ fn truth_is_among_paths_across_two_call_levels() {
         if step.is_multiple_of(5) {
             let snap = rec.snapshot(&cfg);
             for len in [2usize, 4, 6] {
-                if let Some(truth) =
-                    snap.ground_truth(&cfg, &p, len, Scope::Interprocedural)
-                {
+                if let Some(truth) = snap.ground_truth(&cfg, &p, len, Scope::Interprocedural) {
                     let paths = r.consistent_paths(
                         snap.sample_pc,
                         &snap.history,
@@ -133,7 +131,12 @@ fn mismatched_call_return_paths_are_pruned() {
                 // call/return pairing — verified indirectly: the path
                 // count stays small (without matching it explodes
                 // combinatorially on this program).
-                assert!(paths.len() <= 4, "{} paths at {}", paths.len(), snap.sample_pc);
+                assert!(
+                    paths.len() <= 4,
+                    "{} paths at {}",
+                    paths.len(),
+                    snap.sample_pc
+                );
                 assert!(paths.contains(&truth));
                 tested += 1;
             }

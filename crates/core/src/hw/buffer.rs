@@ -28,7 +28,10 @@ impl<T> SampleBuffer<T> {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> SampleBuffer<T> {
         assert!(depth > 0, "buffer needs at least one register set");
-        SampleBuffer { slots: Vec::with_capacity(depth), depth }
+        SampleBuffer {
+            slots: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Number of register sets.

@@ -172,7 +172,10 @@ impl ProfilingHardware for NWayHardware {
             TagDecision::Tag(TagId(free as u8))
         } else {
             self.invalid_selections += 1;
-            self.deposit(Sample { record: None, selected_cycle: opp.cycle });
+            self.deposit(Sample {
+                record: None,
+                selected_cycle: opp.cycle,
+            });
             TagDecision::Pass
         }
     }
@@ -199,7 +202,9 @@ impl ProfilingHardware for NWayHardware {
     fn take_interrupt(&mut self) -> Option<InterruptRequest> {
         if self.pending_interrupt {
             self.pending_interrupt = false;
-            Some(InterruptRequest { skid: self.config.interrupt_skid })
+            Some(InterruptRequest {
+                skid: self.config.interrupt_skid,
+            })
         } else {
             None
         }
@@ -282,7 +287,11 @@ mod tests {
         for c in 2..10 {
             assert_eq!(h.on_fetch_opportunity(&opp(c)), TagDecision::Pass);
         }
-        assert_eq!(h.dropped_selections(), 4, "every second opportunity came due");
+        assert_eq!(
+            h.dropped_selections(),
+            4,
+            "every second opportunity came due"
+        );
         h.on_tagged_complete(&completed(TagId(0)));
         // Free again: the next due selection fires on schedule.
         assert_eq!(h.on_fetch_opportunity(&opp(10)), TagDecision::Pass);
@@ -298,11 +307,17 @@ mod tests {
             buffer_depth: 1,
             ..NWayConfig::default()
         });
-        assert!(matches!(h.on_fetch_opportunity(&opp(0)), TagDecision::Tag(_)));
+        assert!(matches!(
+            h.on_fetch_opportunity(&opp(0)),
+            TagDecision::Tag(_)
+        ));
         h.on_tagged_complete(&completed(TagId(0)));
         assert!(h.take_interrupt().is_some());
         assert_eq!(h.on_fetch_opportunity(&opp(1)), TagDecision::Pass);
         assert_eq!(h.drain_samples().len(), 1);
-        assert!(matches!(h.on_fetch_opportunity(&opp(2)), TagDecision::Tag(_)));
+        assert!(matches!(
+            h.on_fetch_opportunity(&opp(2)),
+            TagDecision::Tag(_)
+        ));
     }
 }

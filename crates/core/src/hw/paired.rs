@@ -133,7 +133,9 @@ impl PairedHardware {
     }
 
     fn arm_major(&mut self) {
-        self.state = State::CountingMajor { remaining: self.intervals.next_interval() };
+        self.state = State::CountingMajor {
+            remaining: self.intervals.next_interval(),
+        };
         self.pending = PendingPair::default();
     }
 
@@ -188,8 +190,14 @@ impl ProfilingHardware for PairedHardware {
                     // Empty first selection: deliver an empty pair and
                     // restart (the useful-rate cost of opportunity
                     // counting).
-                    self.pending.first = Some(Sample { record: None, selected_cycle: opp.cycle });
-                    self.pending.second = Some(Sample { record: None, selected_cycle: opp.cycle });
+                    self.pending.first = Some(Sample {
+                        record: None,
+                        selected_cycle: opp.cycle,
+                    });
+                    self.pending.second = Some(Sample {
+                        record: None,
+                        selected_cycle: opp.cycle,
+                    });
                     self.pending.second_selected = true;
                     self.pending.second_cycle = Some(opp.cycle);
                     self.finish_pair_if_complete();
@@ -207,7 +215,10 @@ impl ProfilingHardware for PairedHardware {
                     self.state = State::WaitingCompletions;
                     TagDecision::Tag(TagId(1))
                 } else {
-                    self.pending.second = Some(Sample { record: None, selected_cycle: opp.cycle });
+                    self.pending.second = Some(Sample {
+                        record: None,
+                        selected_cycle: opp.cycle,
+                    });
                     self.state = State::WaitingCompletions;
                     self.finish_pair_if_complete();
                     TagDecision::Pass
@@ -233,7 +244,9 @@ impl ProfilingHardware for PairedHardware {
     fn take_interrupt(&mut self) -> Option<InterruptRequest> {
         if self.pending_interrupt {
             self.pending_interrupt = false;
-            Some(InterruptRequest { skid: self.config.interrupt_skid })
+            Some(InterruptRequest {
+                skid: self.config.interrupt_skid,
+            })
         } else {
             None
         }
@@ -358,6 +371,9 @@ mod tests {
         h.on_tagged_complete(&completed(TagId(1), c1));
         h.drain_pairs();
         // Re-armed now.
-        assert!(matches!(h.on_fetch_opportunity(&opp(100)), TagDecision::Tag(TagId(0))));
+        assert!(matches!(
+            h.on_fetch_opportunity(&opp(100)),
+            TagDecision::Tag(TagId(0))
+        ));
     }
 }

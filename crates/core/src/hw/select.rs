@@ -42,7 +42,11 @@ impl IntervalGenerator {
     /// Panics if `mean` is zero.
     pub fn new(mean: u64, randomize: bool, seed: u64) -> IntervalGenerator {
         assert!(mean > 0, "sampling interval must be positive");
-        IntervalGenerator { mean, randomize, rng: StdRng::seed_from_u64(seed) }
+        IntervalGenerator {
+            mean,
+            randomize,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured mean interval.

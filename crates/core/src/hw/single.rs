@@ -77,7 +77,11 @@ impl ProfileMeHardware {
         let first = intervals.next_interval();
         ProfileMeHardware {
             intervals,
-            state: State { remaining: first, waiting: false, stalled: false },
+            state: State {
+                remaining: first,
+                waiting: false,
+                stalled: false,
+            },
             buffer: SampleBuffer::new(config.buffer_depth),
             pending_interrupt: false,
             selections: 0,
@@ -160,7 +164,10 @@ impl ProfilingHardware for ProfileMeHardware {
             // Selected an opportunity with no predicted-path instruction:
             // deliver an empty sample (§4.1.1's useful-rate cost).
             self.invalid_selections += 1;
-            self.deposit(Sample { record: None, selected_cycle: opp.cycle });
+            self.deposit(Sample {
+                record: None,
+                selected_cycle: opp.cycle,
+            });
             TagDecision::Pass
         }
     }
@@ -178,7 +185,9 @@ impl ProfilingHardware for ProfileMeHardware {
     fn take_interrupt(&mut self) -> Option<InterruptRequest> {
         if self.pending_interrupt {
             self.pending_interrupt = false;
-            Some(InterruptRequest { skid: self.config.interrupt_skid })
+            Some(InterruptRequest {
+                skid: self.config.interrupt_skid,
+            })
         } else {
             None
         }
@@ -235,7 +244,10 @@ mod tests {
         let mut hw = fixed(3, 1, SelectionMode::FetchedInstructions);
         assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
         assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
-        assert_eq!(hw.on_fetch_opportunity(&opp(true, 1)), TagDecision::Tag(TagId(0)));
+        assert_eq!(
+            hw.on_fetch_opportunity(&opp(true, 1)),
+            TagDecision::Tag(TagId(0))
+        );
         // While waiting, nothing else is selected.
         assert_eq!(hw.on_fetch_opportunity(&opp(true, 1)), TagDecision::Pass);
         hw.on_tagged_complete(&completed(TagId(0)));
@@ -250,7 +262,10 @@ mod tests {
             assert_eq!(hw.on_fetch_opportunity(&opp(false, 0)), TagDecision::Pass);
         }
         assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Pass);
-        assert_eq!(hw.on_fetch_opportunity(&opp(true, 0)), TagDecision::Tag(TagId(0)));
+        assert_eq!(
+            hw.on_fetch_opportunity(&opp(true, 0)),
+            TagDecision::Tag(TagId(0))
+        );
     }
 
     #[test]
@@ -270,16 +285,29 @@ mod tests {
     fn buffering_defers_the_interrupt() {
         let mut hw = fixed(1, 3, SelectionMode::FetchedInstructions);
         for i in 0..2 {
-            assert_eq!(hw.on_fetch_opportunity(&opp(true, i)), TagDecision::Tag(TagId(0)));
+            assert_eq!(
+                hw.on_fetch_opportunity(&opp(true, i)),
+                TagDecision::Tag(TagId(0))
+            );
             hw.on_tagged_complete(&completed(TagId(0)));
-            assert_eq!(hw.take_interrupt(), None, "no interrupt before the buffer fills");
+            assert_eq!(
+                hw.take_interrupt(),
+                None,
+                "no interrupt before the buffer fills"
+            );
         }
-        assert_eq!(hw.on_fetch_opportunity(&opp(true, 2)), TagDecision::Tag(TagId(0)));
+        assert_eq!(
+            hw.on_fetch_opportunity(&opp(true, 2)),
+            TagDecision::Tag(TagId(0))
+        );
         hw.on_tagged_complete(&completed(TagId(0)));
         assert!(hw.take_interrupt().is_some());
         // Selection stalls until software drains.
         assert_eq!(hw.on_fetch_opportunity(&opp(true, 3)), TagDecision::Pass);
         assert_eq!(hw.drain_samples().len(), 3);
-        assert_eq!(hw.on_fetch_opportunity(&opp(true, 4)), TagDecision::Tag(TagId(0)));
+        assert_eq!(
+            hw.on_fetch_opportunity(&opp(true, 4)),
+            TagDecision::Tag(TagId(0))
+        );
     }
 }

@@ -78,8 +78,9 @@ pub use sample::{PairedSample, Sample};
 pub use sw::{
     confidence_interval, estimate_pair_metric, estimate_total, expected_cov,
     instructions_retired_around, neighborhood_ipc, pipeline_population, procedure_summaries,
-    run_nway, run_paired, run_single, useful_overlap, wasted_issue_slots, Estimate, OverlapKind,
-    PairMetric, PairProfileDatabase, PairedRun, PathProfiler, PathScheme, PcPairProfile,
-    PcProfile, ProcedureSummary, ProfileDatabase, ReconstructionOutcome, SingleRun,
-    StagePopulation, WastedSlots,
+    run_ground_truth, run_hardware, run_nway, run_paired, run_single, useful_overlap,
+    wasted_issue_slots, Estimate, HardwareRun, OverlapKind, PairMetric, PairProfileDatabase,
+    PairedRun, PathProfiler, PathScheme, PcPairProfile, PcProfile, ProcedureSummary,
+    ProfileDatabase, ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation,
+    WastedSlots,
 };

@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn invalid_sample_predicates() {
-        let s = Sample { record: None, selected_cycle: 42 };
+        let s = Sample {
+            record: None,
+            selected_cycle: 42,
+        };
         assert!(!s.is_valid());
         assert!(!s.retired());
     }

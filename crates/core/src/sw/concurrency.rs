@@ -36,8 +36,13 @@ pub fn useful_overlap(kind: OverlapKind, i: &CompletedSample, j: &CompletedSampl
     };
     match kind {
         OverlapKind::UsefulIssue => {
-            let Some((start, end)) = in_progress(i) else { return false };
-            j.retired && j.timestamps.issued.is_some_and(|ji| start <= ji && ji < end)
+            let Some((start, end)) = in_progress(i) else {
+                return false;
+            };
+            j.retired
+                && j.timestamps
+                    .issued
+                    .is_some_and(|ji| start <= ji && ji < end)
         }
         OverlapKind::BothInFlight => {
             let (Some((is_, ie)), Some((js, je))) = (in_progress(i), in_progress(j)) else {
@@ -55,7 +60,9 @@ pub fn useful_overlap(kind: OverlapKind, i: &CompletedSample, j: &CompletedSampl
             let exec = |s: &CompletedSample| -> Option<(u64, u64)> {
                 Some((s.timestamps.issued?, s.timestamps.retire_ready?))
             };
-            let (Some((is_, ie)), Some((js, je))) = (exec(i), exec(j)) else { return false };
+            let (Some((is_, ie)), Some((js, je))) = (exec(i), exec(j)) else {
+                return false;
+            };
             is_ < je && js < ie
         }
     }
@@ -163,7 +170,9 @@ where
     let mut samples = 0u64;
     let mut hits = 0u64;
     for pair in pairs {
-        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else { continue };
+        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else {
+            continue;
+        };
         for (i, j) in [(a, b), (b, a)] {
             if i.pc == pc {
                 samples += 1;
@@ -175,7 +184,11 @@ where
     }
     (samples > 0).then(|| {
         let rate = hits as f64 / samples as f64;
-        PairMetric { rate, per_execution: rate * window as f64, samples }
+        PairMetric {
+            rate,
+            per_execution: rate * window as f64,
+            samples,
+        }
     })
 }
 
@@ -223,12 +236,16 @@ pub fn pipeline_population(
     let mut pop = StagePopulation::default();
     let mut acc = [0.0f64; 5];
     for pair in pairs {
-        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else { continue };
+        let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) else {
+            continue;
+        };
         for (i, j) in [(a, b), (b, a)] {
             if i.pc != pc {
                 continue;
             }
-            let Some(end) = i.timestamps.retire_ready else { continue };
+            let Some(end) = i.timestamps.retire_ready else {
+                continue;
+            };
             let start = i.timestamps.fetched;
             if end <= start {
                 continue;
@@ -358,8 +375,14 @@ mod tests {
         let i = sample(0, Some(2), Some(40), Some(44));
         let j = sample(20, Some(20), Some(21), Some(50));
         let pair = PairedSample {
-            first: Sample { record: Some(i), selected_cycle: 0 },
-            second: Sample { record: Some(j), selected_cycle: 20 },
+            first: Sample {
+                record: Some(i),
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: Some(j),
+                selected_cycle: 20,
+            },
             distance_instructions: 5,
             distance_cycles: 20,
         };
@@ -385,8 +408,14 @@ mod tests {
         let i = sample(0, Some(1), Some(10), Some(11));
         let j = sample(2, Some(3), Some(9), Some(12));
         let pair = PairedSample {
-            first: Sample { record: Some(i), selected_cycle: 0 },
-            second: Sample { record: Some(j), selected_cycle: 2 },
+            first: Sample {
+                record: Some(i),
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: Some(j),
+                selected_cycle: 2,
+            },
             distance_instructions: 2,
             distance_cycles: 2,
         };
@@ -409,8 +438,14 @@ mod tests {
         j.timestamps.mapped = Some(10);
         j.timestamps.data_ready = Some(10);
         let pair = PairedSample {
-            first: Sample { record: Some(i), selected_cycle: 0 },
-            second: Sample { record: Some(j), selected_cycle: 0 },
+            first: Sample {
+                record: Some(i),
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: Some(j),
+                selected_cycle: 0,
+            },
             distance_instructions: 1,
             distance_cycles: 0,
         };
@@ -419,7 +454,10 @@ mod tests {
         assert!((pop.front_end - 32.0).abs() < 1e-9, "{pop:?}");
         assert!((pop.executing - 32.0).abs() < 1e-9, "{pop:?}");
         assert!((pop.waiting_operands).abs() < 1e-9);
-        assert!((pop.waiting_retire).abs() < 1e-9, "J's retire wait is outside I's window");
+        assert!(
+            (pop.waiting_retire).abs() < 1e-9,
+            "J's retire wait is outside I's window"
+        );
         assert!((pop.total() - 64.0).abs() < 1e-9);
     }
 
@@ -441,8 +479,14 @@ mod tests {
         let mut j = sample(20, Some(20), Some(21), Some(50));
         j.pc = Pc::new(0x1004);
         db.add(&PairedSample {
-            first: Sample { record: Some(i), selected_cycle: 0 },
-            second: Sample { record: Some(j), selected_cycle: 20 },
+            first: Sample {
+                record: Some(i),
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: Some(j),
+                selected_cycle: 20,
+            },
             distance_instructions: 5,
             distance_cycles: 20,
         });

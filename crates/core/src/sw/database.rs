@@ -140,7 +140,9 @@ impl ProfileDatabase {
 
     fn index_of(&self, pc: Pc) -> Option<usize> {
         let off = pc.distance_from(self.base);
-        (0..self.per_pc.len() as i64).contains(&off).then_some(off as usize)
+        (0..self.per_pc.len() as i64)
+            .contains(&off)
+            .then_some(off as usize)
     }
 
     /// Aggregates one sample.
@@ -158,7 +160,9 @@ impl ProfileDatabase {
 
     /// The profile for `pc` (zeroed if out of image).
     pub fn at(&self, pc: Pc) -> PcProfile {
-        self.index_of(pc).map(|i| self.per_pc[i]).unwrap_or_default()
+        self.index_of(pc)
+            .map(|i| self.per_pc[i])
+            .unwrap_or_default()
     }
 
     /// Iterates `(pc, profile)` for PCs with at least one sample.
@@ -172,17 +176,26 @@ impl ProfileDatabase {
 
     /// Estimated number of retirements of the instruction at `pc`.
     pub fn estimated_retires(&self, pc: Pc) -> Estimate {
-        Estimate { samples: self.at(pc).retired, interval: self.interval }
+        Estimate {
+            samples: self.at(pc).retired,
+            interval: self.interval,
+        }
     }
 
     /// Estimated number of D-cache misses of the instruction at `pc`.
     pub fn estimated_dcache_misses(&self, pc: Pc) -> Estimate {
-        Estimate { samples: self.at(pc).dcache_misses, interval: self.interval }
+        Estimate {
+            samples: self.at(pc).dcache_misses,
+            interval: self.interval,
+        }
     }
 
     /// Estimated fetch count (retired + aborted samples).
     pub fn estimated_fetches(&self, pc: Pc) -> Estimate {
-        Estimate { samples: self.at(pc).samples, interval: self.interval }
+        Estimate {
+            samples: self.at(pc).samples,
+            interval: self.interval,
+        }
     }
 
     /// Sample-estimated abort *rate* for `pc` (aborted / samples), or
@@ -247,7 +260,9 @@ impl PairProfileDatabase {
 
     fn index_of(&self, pc: Pc) -> Option<usize> {
         let off = pc.distance_from(self.base);
-        (0..self.per_pc.len() as i64).contains(&off).then_some(off as usize)
+        (0..self.per_pc.len() as i64)
+            .contains(&off)
+            .then_some(off as usize)
     }
 
     /// Aggregates one paired sample using the default *useful overlap*
@@ -288,7 +303,9 @@ impl PairProfileDatabase {
 
     /// The aggregated state for `pc`.
     pub fn at(&self, pc: Pc) -> PcPairProfile {
-        self.index_of(pc).map(|i| self.per_pc[i]).unwrap_or_default()
+        self.index_of(pc)
+            .map(|i| self.per_pc[i])
+            .unwrap_or_default()
     }
 
     /// Iterates `(pc, profile)` for PCs with at least one sample.
@@ -347,10 +364,19 @@ mod tests {
         let mut miss = EventSet::new();
         miss.set(EventSet::DCACHE_MISS);
         for _ in 0..3 {
-            db.add(&Sample { record: Some(record(pc, true, miss)), selected_cycle: 0 });
+            db.add(&Sample {
+                record: Some(record(pc, true, miss)),
+                selected_cycle: 0,
+            });
         }
-        db.add(&Sample { record: Some(record(pc, false, EventSet::new())), selected_cycle: 0 });
-        db.add(&Sample { record: None, selected_cycle: 0 });
+        db.add(&Sample {
+            record: Some(record(pc, false, EventSet::new())),
+            selected_cycle: 0,
+        });
+        db.add(&Sample {
+            record: None,
+            selected_cycle: 0,
+        });
         let prof = db.at(pc);
         assert_eq!(prof.samples, 4);
         assert_eq!(prof.retired, 3);
@@ -385,8 +411,11 @@ mod tests {
         // overlap for I, and I does not overlap J's window usefully
         // (I has no issue timestamp here).
         let mut i_rec = record(a, true, EventSet::new());
-        i_rec.timestamps =
-            Timestamps { fetched: 0, retire_ready: Some(30), ..Timestamps::default() };
+        i_rec.timestamps = Timestamps {
+            fetched: 0,
+            retire_ready: Some(30),
+            ..Timestamps::default()
+        };
         let mut j_rec = record(b, true, EventSet::new());
         j_rec.timestamps = Timestamps {
             fetched: 5,
@@ -395,8 +424,14 @@ mod tests {
             ..Timestamps::default()
         };
         let pair = PairedSample {
-            first: Sample { record: Some(i_rec), selected_cycle: 0 },
-            second: Sample { record: Some(j_rec), selected_cycle: 5 },
+            first: Sample {
+                record: Some(i_rec),
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: Some(j_rec),
+                selected_cycle: 5,
+            },
             distance_instructions: 5,
             distance_cycles: 5,
         };
@@ -408,7 +443,10 @@ mod tests {
         assert_eq!(pa.latency_sum, 30);
         let pb = db.at(b);
         assert_eq!(pb.samples, 1);
-        assert_eq!(pb.useful_backward, 0, "I never issued, so it cannot usefully overlap J");
+        assert_eq!(
+            pb.useful_backward, 0,
+            "I never issued, so it cannot usefully overlap J"
+        );
         assert_eq!(pb.latency_sum, 7);
     }
 
@@ -417,8 +455,14 @@ mod tests {
         let p = program();
         let mut db = PairProfileDatabase::new(&p, 1000, 8);
         let pair = PairedSample {
-            first: Sample { record: None, selected_cycle: 0 },
-            second: Sample { record: None, selected_cycle: 0 },
+            first: Sample {
+                record: None,
+                selected_cycle: 0,
+            },
+            second: Sample {
+                record: None,
+                selected_cycle: 0,
+            },
             distance_instructions: 1,
             distance_cycles: 0,
         };

@@ -1,13 +1,94 @@
-//! Sampling drivers: run a program under ProfileMe hardware, field the
+//! Sampling drivers: run a program under profiling hardware, field the
 //! interrupts, and aggregate samples into a profile database.
+//!
+//! Every driver — ProfileMe single/N-way/paired sampling, the event
+//! counter baseline, and the no-hardware ground-truth run — goes through
+//! one generic seam, [`run_hardware`], parameterized over the
+//! [`ProfilingHardware`] trait. The specialized entry points layer
+//! calibration and database aggregation on top.
 
 use crate::hw::{
     NWayConfig, NWayHardware, PairedConfig, PairedHardware, ProfileMeConfig, ProfileMeHardware,
+    SelectionMode,
 };
 use crate::sw::database::{PairProfileDatabase, ProfileDatabase};
 use crate::{PairedSample, Sample};
 use profileme_isa::{ArchState, Memory, Program};
-use profileme_uarch::{Pipeline, PipelineConfig, SimError, SimStats};
+use profileme_uarch::{
+    InterruptEvent, NullHardware, Pipeline, PipelineConfig, ProfilingHardware, SimError, SimStats,
+};
+
+/// Outcome of driving a program over any profiling hardware: the
+/// hardware itself (with whatever it accumulated), the exact simulator
+/// statistics, and the cycle count.
+#[derive(Debug, Clone)]
+pub struct HardwareRun<H> {
+    /// The profiling hardware, returned by value after the run.
+    pub hardware: H,
+    /// Exact simulator statistics (ground truth for validation).
+    pub stats: SimStats,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Runs `program` to completion over arbitrary profiling hardware —
+/// the shared seam under every driver and experiment in the workspace.
+///
+/// `memory` optionally pre-initializes data memory (pointer-chasing
+/// workloads). `handler` services each profiling interrupt with mutable
+/// access to the hardware (reading profile registers, re-arming
+/// counters); pass a no-op for hardware that never interrupts.
+///
+/// # Errors
+///
+/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
+pub fn run_hardware<H, F>(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    hardware: H,
+    max_cycles: u64,
+    handler: F,
+) -> Result<HardwareRun<H>, SimError>
+where
+    H: ProfilingHardware,
+    F: FnMut(InterruptEvent, &mut H),
+{
+    let oracle = match memory {
+        Some(m) => ArchState::with_memory(&program, m),
+        None => ArchState::new(&program),
+    };
+    let mut sim = Pipeline::with_oracle(program, pipeline, hardware, oracle);
+    sim.run_with(max_cycles, handler)?;
+    let (hardware, stats, cycles) = sim.into_parts();
+    Ok(HardwareRun {
+        hardware,
+        stats,
+        cycles,
+    })
+}
+
+/// Runs `program` with no profiling hardware attached: the exact,
+/// perturbation-free statistics experiments judge estimates against.
+///
+/// # Errors
+///
+/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
+pub fn run_ground_truth(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    max_cycles: u64,
+) -> Result<HardwareRun<NullHardware>, SimError> {
+    run_hardware(
+        program,
+        memory,
+        pipeline,
+        NullHardware,
+        max_cycles,
+        |_, _| {},
+    )
+}
 
 /// Result of a single-instruction sampling run.
 #[derive(Debug, Clone)]
@@ -37,6 +118,103 @@ pub struct PairedRun {
     pub cycles: u64,
 }
 
+/// ProfileMe variants that accumulate single-instruction samples
+/// (one-tag and N-way hardware), unified so one driver serves both.
+pub trait SampleCollector: ProfilingHardware {
+    /// Takes the buffered completed samples.
+    fn drain_samples(&mut self) -> Vec<Sample>;
+    /// Instructions (or fetch opportunities) selected for profiling.
+    fn selections(&self) -> u64;
+    /// Selections that landed on empty fetch slots.
+    fn invalid_selections(&self) -> u64;
+}
+
+impl SampleCollector for ProfileMeHardware {
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        ProfileMeHardware::drain_samples(self)
+    }
+    fn selections(&self) -> u64 {
+        ProfileMeHardware::selections(self)
+    }
+    fn invalid_selections(&self) -> u64 {
+        ProfileMeHardware::invalid_selections(self)
+    }
+}
+
+impl SampleCollector for NWayHardware {
+    fn drain_samples(&mut self) -> Vec<Sample> {
+        NWayHardware::drain_samples(self)
+    }
+    fn selections(&self) -> u64 {
+        NWayHardware::selections(self)
+    }
+    fn invalid_selections(&self) -> u64 {
+        NWayHardware::invalid_selections(self)
+    }
+}
+
+/// The events the selection counter was actually counting.
+fn counted(stats: &SimStats, selection: SelectionMode) -> u64 {
+    match selection {
+        SelectionMode::FetchedInstructions => stats.fetched,
+        SelectionMode::FetchOpportunities => stats.fetch_opportunities,
+    }
+}
+
+/// Calibrates the estimator's interval from the *measured* average
+/// sampling rate (events counted per selection), exactly as §5.1's
+/// "assume an average sampling rate of one sample every S fetched
+/// instructions": selection pauses (in-flight tagged instruction, full
+/// buffers, interrupt handling) stretch the interval slightly beyond
+/// nominal.
+fn measured_interval(events: u64, selections: u64, nominal: u64) -> u64 {
+    if selections > 0 {
+        ((events as f64 / selections as f64).round() as u64).max(1)
+    } else {
+        nominal
+    }
+}
+
+/// Shared driver under [`run_single`] and [`run_nway`]: drains any
+/// [`SampleCollector`] and aggregates into a calibrated database.
+fn run_collector<H: SampleCollector>(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    hardware: H,
+    selection: SelectionMode,
+    nominal_interval: u64,
+    max_cycles: u64,
+) -> Result<SingleRun, SimError> {
+    let mut samples = Vec::new();
+    let mut run = run_hardware(
+        program.clone(),
+        memory,
+        pipeline,
+        hardware,
+        max_cycles,
+        |_intr, hw: &mut H| samples.extend(hw.drain_samples()),
+    )?;
+    samples.extend(run.hardware.drain_samples());
+
+    let interval = measured_interval(
+        counted(&run.stats, selection),
+        run.hardware.selections(),
+        nominal_interval,
+    );
+    let mut db = ProfileDatabase::new(&program, interval);
+    for s in &samples {
+        db.add(s);
+    }
+    Ok(SingleRun {
+        db,
+        samples,
+        invalid_selections: run.hardware.invalid_selections(),
+        cycles: run.cycles,
+        stats: run.stats,
+    })
+}
+
 /// Runs `program` to completion under single-instruction sampling.
 ///
 /// `memory` optionally pre-initializes data memory (pointer-chasing
@@ -53,44 +231,16 @@ pub fn run_single(
     sampling: ProfileMeConfig,
     max_cycles: u64,
 ) -> Result<SingleRun, SimError> {
-    let oracle = match memory {
-        Some(m) => ArchState::with_memory(&program, m),
-        None => ArchState::new(&program),
-    };
     let hw = ProfileMeHardware::new(sampling);
-    let mut samples = Vec::new();
-    let mut sim = Pipeline::with_oracle(program.clone(), pipeline, hw, oracle);
-    sim.run_with(max_cycles, |_intr, hw| {
-        samples.extend(hw.drain_samples());
-    })?;
-    samples.extend(sim.hardware_mut().drain_samples());
-
-    // Calibrate the estimator with the *measured* average sampling rate
-    // (events counted per selection), exactly as §5.1's "assume an
-    // average sampling rate of one sample every S fetched instructions":
-    // selection pauses (in-flight tagged instruction, full buffers,
-    // interrupt handling) stretch the interval slightly beyond nominal.
-    let counted = match sampling.selection {
-        crate::hw::SelectionMode::FetchedInstructions => sim.stats().fetched,
-        crate::hw::SelectionMode::FetchOpportunities => sim.stats().fetch_opportunities,
-    };
-    let selections = sim.hardware().selections();
-    let interval = if selections > 0 {
-        ((counted as f64 / selections as f64).round() as u64).max(1)
-    } else {
-        sampling.mean_interval
-    };
-    let mut db = ProfileDatabase::new(&program, interval);
-    for s in &samples {
-        db.add(s);
-    }
-    Ok(SingleRun {
-        db,
-        samples,
-        invalid_selections: sim.hardware().invalid_selections(),
-        cycles: sim.now(),
-        stats: sim.stats().clone(),
-    })
+    run_collector(
+        program,
+        memory,
+        pipeline,
+        hw,
+        sampling.selection,
+        sampling.mean_interval,
+        max_cycles,
+    )
 }
 
 /// Runs `program` to completion under N-way sampling (several
@@ -107,38 +257,16 @@ pub fn run_nway(
     sampling: NWayConfig,
     max_cycles: u64,
 ) -> Result<SingleRun, SimError> {
-    let oracle = match memory {
-        Some(m) => ArchState::with_memory(&program, m),
-        None => ArchState::new(&program),
-    };
     let hw = NWayHardware::new(sampling);
-    let mut samples = Vec::new();
-    let mut sim = Pipeline::with_oracle(program.clone(), pipeline, hw, oracle);
-    sim.run_with(max_cycles, |_intr, hw| {
-        samples.extend(hw.drain_samples());
-    })?;
-    samples.extend(sim.hardware_mut().drain_samples());
-    let counted = match sampling.selection {
-        crate::hw::SelectionMode::FetchedInstructions => sim.stats().fetched,
-        crate::hw::SelectionMode::FetchOpportunities => sim.stats().fetch_opportunities,
-    };
-    let selections = sim.hardware().selections();
-    let interval = if selections > 0 {
-        ((counted as f64 / selections as f64).round() as u64).max(1)
-    } else {
-        sampling.mean_interval
-    };
-    let mut db = ProfileDatabase::new(&program, interval);
-    for s in &samples {
-        db.add(s);
-    }
-    Ok(SingleRun {
-        db,
-        samples,
-        invalid_selections: sim.hardware().invalid_selections(),
-        cycles: sim.now(),
-        stats: sim.stats().clone(),
-    })
+    run_collector(
+        program,
+        memory,
+        pipeline,
+        hw,
+        sampling.selection,
+        sampling.mean_interval,
+        max_cycles,
+    )
 }
 
 /// Runs `program` to completion under paired sampling.
@@ -153,35 +281,35 @@ pub fn run_paired(
     sampling: PairedConfig,
     max_cycles: u64,
 ) -> Result<PairedRun, SimError> {
-    let oracle = match memory {
-        Some(m) => ArchState::with_memory(&program, m),
-        None => ArchState::new(&program),
-    };
     let hw = PairedHardware::new(sampling);
     let mut pairs = Vec::new();
-    let mut sim = Pipeline::with_oracle(program.clone(), pipeline, hw, oracle);
-    sim.run_with(max_cycles, |_intr, hw| {
-        pairs.extend(hw.drain_pairs());
-    })?;
-    pairs.extend(sim.hardware_mut().drain_pairs());
+    let mut run = run_hardware(
+        program.clone(),
+        memory,
+        pipeline,
+        hw,
+        max_cycles,
+        |_intr, hw: &mut PairedHardware| pairs.extend(hw.drain_pairs()),
+    )?;
+    pairs.extend(run.hardware.drain_pairs());
 
     // Calibrate S (fetched instructions per pair) from the measured rate,
     // as for single sampling.
-    let counted = match sampling.selection {
-        crate::hw::SelectionMode::FetchedInstructions => sim.stats().fetched,
-        crate::hw::SelectionMode::FetchOpportunities => sim.stats().fetch_opportunities,
-    };
-    let selected = sim.hardware().pairs_selected();
-    let interval = if selected > 0 {
-        ((counted as f64 / selected as f64).round() as u64).max(1)
-    } else {
-        sampling.mean_major_interval
-    };
+    let interval = measured_interval(
+        counted(&run.stats, sampling.selection),
+        run.hardware.pairs_selected(),
+        sampling.mean_major_interval,
+    );
     let mut db = PairProfileDatabase::new(&program, interval, sampling.window);
     for p in &pairs {
         db.add(p);
     }
-    Ok(PairedRun { db, pairs, cycles: sim.now(), stats: sim.stats().clone() })
+    Ok(PairedRun {
+        db,
+        pairs,
+        cycles: run.cycles,
+        stats: run.stats,
+    })
 }
 
 #[cfg(test)]
@@ -205,6 +333,47 @@ mod tests {
     }
 
     #[test]
+    fn ground_truth_matches_null_hardware_pipeline() {
+        let p = loop_program(2_000);
+        let truth = run_ground_truth(p.clone(), None, PipelineConfig::default(), 10_000_000)
+            .expect("loop completes");
+        assert!(truth.stats.retired > 2_000);
+        assert_eq!(truth.stats.interrupts, 0, "null hardware never interrupts");
+        assert_eq!(truth.cycles, truth.stats.cycles);
+
+        // The generic seam reproduces a hand-built NullHardware pipeline.
+        let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
+        sim.run(10_000_000).expect("loop completes");
+        assert_eq!(truth.stats.retired, sim.stats().retired);
+        assert_eq!(truth.cycles, sim.now());
+    }
+
+    #[test]
+    fn run_hardware_hands_hardware_back() {
+        let p = loop_program(500);
+        let cfg = ProfileMeConfig {
+            mean_interval: 50,
+            buffer_depth: 4,
+            ..ProfileMeConfig::default()
+        };
+        let mut interrupts = 0u64;
+        let run = run_hardware(
+            p,
+            None,
+            PipelineConfig::default(),
+            ProfileMeHardware::new(cfg),
+            10_000_000,
+            |_intr, _hw| interrupts += 1,
+        )
+        .expect("loop completes");
+        assert!(interrupts > 0, "sampling must interrupt");
+        assert!(
+            run.hardware.selections() > 0,
+            "hardware state survives the run"
+        );
+    }
+
+    #[test]
     fn single_sampling_collects_proportional_samples() {
         let p = loop_program(5000);
         let cfg = ProfileMeConfig {
@@ -212,8 +381,7 @@ mod tests {
             buffer_depth: 4,
             ..ProfileMeConfig::default()
         };
-        let run =
-            run_single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
+        let run = run_single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         let fetched = run.stats.fetched;
         let expected = fetched / 100;
         let got = run.samples.len() as u64;
@@ -232,8 +400,7 @@ mod tests {
             buffer_depth: 8,
             ..ProfileMeConfig::default()
         };
-        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, 100_000_000)
-            .unwrap();
+        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         // Check the retire estimate of the loop load.
         let load_pc = p.entry().advance(2);
         let actual = run.stats.at(&p, load_pc).unwrap().retired as f64;
@@ -260,7 +427,10 @@ mod tests {
         let run = run_paired(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         assert!(run.pairs.len() > 100, "got {} pairs", run.pairs.len());
         let complete = run.pairs.iter().filter(|p| p.is_complete()).count();
-        assert!(complete * 10 >= run.pairs.len() * 9, "most pairs complete: {complete}");
+        assert!(
+            complete * 10 >= run.pairs.len() * 9,
+            "most pairs complete: {complete}"
+        );
         for pair in &run.pairs {
             assert!(pair.distance_instructions >= 1 && pair.distance_instructions <= 32);
             if let (Some(a), Some(b)) = (&pair.first.record, &pair.second.record) {

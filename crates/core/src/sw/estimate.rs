@@ -72,20 +72,37 @@ mod tests {
 
     #[test]
     fn cov_falls_with_sqrt_samples() {
-        let e4 = Estimate { samples: 4, interval: 10 };
-        let e100 = Estimate { samples: 100, interval: 10 };
+        let e4 = Estimate {
+            samples: 4,
+            interval: 10,
+        };
+        let e100 = Estimate {
+            samples: 100,
+            interval: 10,
+        };
         assert!((e4.cov() - 0.5).abs() < 1e-12);
         assert!((e100.cov() - 0.1).abs() < 1e-12);
-        assert!(Estimate { samples: 0, interval: 10 }.cov().is_infinite());
+        assert!(Estimate {
+            samples: 0,
+            interval: 10
+        }
+        .cov()
+        .is_infinite());
     }
 
     #[test]
     fn interval_is_symmetric_and_clamped() {
-        let e = Estimate { samples: 4, interval: 10 };
+        let e = Estimate {
+            samples: 4,
+            interval: 10,
+        };
         let (lo, hi) = e.confidence_interval(1.0);
         assert_eq!(lo, 20.0);
         assert_eq!(hi, 60.0);
-        let tiny = Estimate { samples: 1, interval: 10 };
+        let tiny = Estimate {
+            samples: 1,
+            interval: 10,
+        };
         let (lo, _) = tiny.confidence_interval(3.0);
         assert_eq!(lo, 0.0);
     }
@@ -115,9 +132,11 @@ mod tests {
         }
         let truth = f * n as f64; // 2000
         let mean = estimates.iter().sum::<f64>() / trials as f64;
-        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
-        let var =
-            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
+        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
         let cov = var.sqrt() / mean;
         let predicted = expected_cov(truth / s as f64); // 1/sqrt(20)
         assert!(

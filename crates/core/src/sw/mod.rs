@@ -14,7 +14,10 @@ pub use concurrency::{
     useful_overlap, wasted_issue_slots, OverlapKind, PairMetric, StagePopulation, WastedSlots,
 };
 pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabase};
-pub use driver::{run_nway, run_paired, run_single, PairedRun, SingleRun};
+pub use driver::{
+    run_ground_truth, run_hardware, run_nway, run_paired, run_single, HardwareRun, PairedRun,
+    SampleCollector, SingleRun,
+};
 pub use estimate::{confidence_interval, estimate_total, expected_cov, Estimate};
 pub use pathprof::{PathProfiler, PathScheme, ReconstructionOutcome};
 pub use report::{procedure_summaries, ProcedureSummary};

@@ -22,8 +22,11 @@ pub enum PathScheme {
 
 impl PathScheme {
     /// All schemes, in the order Figure 6 plots them.
-    pub const ALL: [PathScheme; 3] =
-        [PathScheme::ExecutionCounts, PathScheme::HistoryBits, PathScheme::HistoryBitsPaired];
+    pub const ALL: [PathScheme; 3] = [
+        PathScheme::ExecutionCounts,
+        PathScheme::HistoryBits,
+        PathScheme::HistoryBitsPaired,
+    ];
 }
 
 impl std::fmt::Display for PathScheme {
@@ -64,7 +67,9 @@ pub struct PathProfiler<'a> {
 impl<'a> PathProfiler<'a> {
     /// Creates a profiler over a program's CFG.
     pub fn new(cfg: &'a Cfg, program: &'a Program) -> PathProfiler<'a> {
-        PathProfiler { recon: Reconstructor::new(cfg, program) }
+        PathProfiler {
+            recon: Reconstructor::new(cfg, program),
+        }
     }
 
     /// Reconstructs the path leading to `sample_pc` under `scheme`.
@@ -88,7 +93,10 @@ impl<'a> PathProfiler<'a> {
     ) -> ReconstructionOutcome {
         match scheme {
             PathScheme::ExecutionCounts => {
-                match self.recon.most_likely_path(sample_pc, history_len, profile, scope) {
+                match self
+                    .recon
+                    .most_likely_path(sample_pc, history_len, profile, scope)
+                {
                     Some(p) => ReconstructionOutcome::Unique(p),
                     None => ReconstructionOutcome::NoPath,
                 }
@@ -99,13 +107,9 @@ impl<'a> PathProfiler<'a> {
                 } else {
                     None
                 };
-                let mut paths = self.recon.consistent_paths(
-                    sample_pc,
-                    history,
-                    history_len,
-                    scope,
-                    pc_filter,
-                );
+                let mut paths =
+                    self.recon
+                        .consistent_paths(sample_pc, history, history_len, scope, pc_filter);
                 match paths.len() {
                     0 => ReconstructionOutcome::NoPath,
                     1 => ReconstructionOutcome::Unique(paths.pop().expect("len checked")),
@@ -156,9 +160,7 @@ mod tests {
         while !rec.halted() {
             if step % 7 == 0 && step > 20 {
                 let snap = rec.snapshot(&cfg);
-                if let Some(truth) =
-                    snap.ground_truth(&cfg, &p, 4, Scope::Interprocedural)
-                {
+                if let Some(truth) = snap.ground_truth(&cfg, &p, 4, Scope::Interprocedural) {
                     attempts += 1;
                     for (i, scheme) in PathScheme::ALL.iter().enumerate() {
                         let out = profiler.reconstruct(
@@ -185,8 +187,14 @@ mod tests {
             history > counts,
             "history bits ({history}) should beat execution counts ({counts})"
         );
-        assert!(paired >= history, "pairing never hurts: {paired} vs {history}");
-        assert_eq!(history as i32, attempts, "the diamond is fully determined by 4 bits");
+        assert!(
+            paired >= history,
+            "pairing never hurts: {paired} vs {history}"
+        );
+        assert_eq!(
+            history as i32, attempts,
+            "the diamond is fully determined by 4 bits"
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ mod tests {
         b.ret();
         let p = b.build().unwrap();
 
-        let cfg = ProfileMeConfig { mean_interval: 16, buffer_depth: 8, ..Default::default() };
+        let cfg = ProfileMeConfig {
+            mean_interval: 16,
+            buffer_depth: 8,
+            ..Default::default()
+        };
         let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
         let summaries = procedure_summaries(&run.db, &p);
         assert_eq!(summaries.first().map(|s| s.name.as_str()), Some("hot"));

@@ -47,7 +47,12 @@ fn more_ways_recover_sampling_rate() {
 #[test]
 fn nway_estimates_remain_unbiased() {
     let p = slow_loop(30_000);
-    let cfg = NWayConfig { ways: 4, mean_interval: 16, buffer_depth: 32, ..NWayConfig::default() };
+    let cfg = NWayConfig {
+        ways: 4,
+        mean_interval: 16,
+        buffer_depth: 32,
+        ..NWayConfig::default()
+    };
     let run = run_nway(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
     // Every loop-body instruction retired the same number of times.
     for (pc, prof) in run.db.iter() {
@@ -72,7 +77,11 @@ fn one_way_nway_equals_single_hardware_statistically() {
         p.clone(),
         None,
         PipelineConfig::default(),
-        ProfileMeConfig { mean_interval: 32, buffer_depth: 8, ..Default::default() },
+        ProfileMeConfig {
+            mean_interval: 32,
+            buffer_depth: 8,
+            ..Default::default()
+        },
         u64::MAX,
     )
     .unwrap();
@@ -80,7 +89,12 @@ fn one_way_nway_equals_single_hardware_statistically() {
         p,
         None,
         PipelineConfig::default(),
-        NWayConfig { ways: 1, mean_interval: 32, buffer_depth: 8, ..Default::default() },
+        NWayConfig {
+            ways: 1,
+            mean_interval: 32,
+            buffer_depth: 8,
+            ..Default::default()
+        },
         u64::MAX,
     )
     .unwrap();
@@ -88,7 +102,10 @@ fn one_way_nway_equals_single_hardware_statistically() {
     // the per-instruction sample *fractions* agree statistically.
     let r1 = single.samples.len() as f64;
     let r2 = nway.samples.len() as f64;
-    assert!((r1 / r2 - 1.0).abs() < 0.25, "rates should match: {r1} vs {r2}");
+    assert!(
+        (r1 / r2 - 1.0).abs() < 0.25,
+        "rates should match: {r1} vs {r2}"
+    );
     for (pc, prof) in single.db.iter() {
         if prof.samples < 200 {
             continue;

@@ -28,7 +28,11 @@ fn small_workload() -> Program {
 #[test]
 fn single_run_artifacts_round_trip() {
     let p = small_workload();
-    let cfg = ProfileMeConfig { mean_interval: 64, buffer_depth: 4, ..Default::default() };
+    let cfg = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 4,
+        ..Default::default()
+    };
     let run = run_single(p, None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
     assert!(!run.samples.is_empty());
 
@@ -78,7 +82,11 @@ fn paired_run_artifacts_round_trip() {
 #[test]
 fn database_is_reconstructible_from_samples() {
     let p = small_workload();
-    let cfg = ProfileMeConfig { mean_interval: 64, buffer_depth: 4, ..Default::default() };
+    let cfg = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 4,
+        ..Default::default()
+    };
     let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
     let mut rebuilt = profileme_core::ProfileDatabase::new(&p, run.db.interval());
     for s in &run.samples {

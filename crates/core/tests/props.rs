@@ -119,7 +119,10 @@ mod paired_hw {
             eff_addr: None,
             taken: None,
             history: BranchHistory::new(),
-            timestamps: Timestamps { fetched, ..Timestamps::default() },
+            timestamps: Timestamps {
+                fetched,
+                ..Timestamps::default()
+            },
             latencies: None,
             mem_latency: None,
         }

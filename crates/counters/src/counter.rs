@@ -117,9 +117,14 @@ impl ProfilingHardware for CounterHardware {
     fn take_interrupt(&mut self) -> Option<InterruptRequest> {
         if self.pending {
             self.pending = false;
-            let jitter =
-                if self.skid_jitter > 0 { self.rng.gen_range(0..=self.skid_jitter) } else { 0 };
-            Some(InterruptRequest { skid: self.skid + jitter })
+            let jitter = if self.skid_jitter > 0 {
+                self.rng.gen_range(0..=self.skid_jitter)
+            } else {
+                0
+            };
+            Some(InterruptRequest {
+                skid: self.skid + jitter,
+            })
         } else {
             None
         }
@@ -132,7 +137,11 @@ mod tests {
     use profileme_isa::Pc;
 
     fn event(kind: HwEventKind) -> HwEvent {
-        HwEvent { kind, cycle: 0, pc: Pc::new(0x1000) }
+        HwEvent {
+            kind,
+            cycle: 0,
+            pc: Pc::new(0x1000),
+        }
     }
 
     #[test]

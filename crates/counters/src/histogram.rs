@@ -55,7 +55,10 @@ impl PcHistogram {
 
     /// The most frequent PC and its count.
     pub fn mode(&self) -> Option<(Pc, u64)> {
-        self.counts.iter().max_by_key(|(_, &n)| n).map(|(&pc, &n)| (pc, n))
+        self.counts
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|(&pc, &n)| (pc, n))
     }
 
     /// Fraction of all attributions landing on the mode PC — near 1.0 for
@@ -130,7 +133,9 @@ mod tests {
 
     #[test]
     fn offsets_are_signed_instruction_distances() {
-        let h: PcHistogram = [Pc::new(0xfc), Pc::new(0x104), Pc::new(0x104)].into_iter().collect();
+        let h: PcHistogram = [Pc::new(0xfc), Pc::new(0x104), Pc::new(0x104)]
+            .into_iter()
+            .collect();
         let off = h.offsets_from(Pc::new(0x100));
         assert_eq!(off.get(&-1), Some(&1));
         assert_eq!(off.get(&1), Some(&2));

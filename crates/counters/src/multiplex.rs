@@ -124,18 +124,19 @@ mod tests {
     use profileme_isa::Pc;
 
     fn event(kind: HwEventKind, cycle: u64) -> HwEvent {
-        HwEvent { kind, cycle, pc: Pc::new(0x1000) }
+        HwEvent {
+            kind,
+            cycle,
+            pc: Pc::new(0x1000),
+        }
     }
 
     #[test]
     fn stationary_streams_extrapolate_correctly() {
         // Two kinds, one counter: each resident half the time. A steady
         // stream of both extrapolates to the true totals.
-        let mut m = MultiplexedCounters::new(
-            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
-            1,
-            10,
-        );
+        let mut m =
+            MultiplexedCounters::new(vec![HwEventKind::Retire, HwEventKind::DCacheMiss], 1, 10);
         for c in 0..1_000 {
             m.on_cycle(c);
             m.on_event(event(HwEventKind::Retire, c));
@@ -145,9 +146,17 @@ mod tests {
         }
         let r = m.estimate(HwEventKind::Retire).unwrap();
         assert_eq!(r.resident_cycles, 500);
-        assert!((r.extrapolated() - 1_000.0).abs() < 30.0, "{}", r.extrapolated());
+        assert!(
+            (r.extrapolated() - 1_000.0).abs() < 30.0,
+            "{}",
+            r.extrapolated()
+        );
         let d = m.estimate(HwEventKind::DCacheMiss).unwrap();
-        assert!((d.extrapolated() - 500.0).abs() < 30.0, "{}", d.extrapolated());
+        assert!(
+            (d.extrapolated() - 500.0).abs() < 30.0,
+            "{}",
+            d.extrapolated()
+        );
     }
 
     #[test]
@@ -155,11 +164,8 @@ mod tests {
         // One kind fires only in the first half of the run; with a
         // rotation period equal to the phase length, the counter can be
         // resident for exactly the wrong half.
-        let mut m = MultiplexedCounters::new(
-            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
-            1,
-            500,
-        );
+        let mut m =
+            MultiplexedCounters::new(vec![HwEventKind::Retire, HwEventKind::DCacheMiss], 1, 500);
         for c in 0..1_000 {
             m.on_cycle(c);
             if c < 500 {
@@ -175,11 +181,8 @@ mod tests {
 
     #[test]
     fn enough_counters_need_no_extrapolation() {
-        let mut m = MultiplexedCounters::new(
-            vec![HwEventKind::Retire, HwEventKind::DCacheMiss],
-            2,
-            10,
-        );
+        let mut m =
+            MultiplexedCounters::new(vec![HwEventKind::Retire, HwEventKind::DCacheMiss], 2, 10);
         assert_eq!(m.groups(), 1);
         for c in 0..100 {
             m.on_cycle(c);

@@ -30,8 +30,8 @@ fn attribution_histogram(
     seed: u64,
 ) -> (PcHistogram, profileme_isa::Pc) {
     let (p, load_pc) = microbench(200, 400);
-    let hw = CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed)
-        .with_skid_jitter(skid_jitter);
+    let hw =
+        CounterHardware::new(HwEventKind::DCacheAccess, 3, 6, seed).with_skid_jitter(skid_jitter);
     let mut sim = Pipeline::new(p, config, hw);
     let mut hist = PcHistogram::new();
     sim.run_with(10_000_000, |intr, hw| {
@@ -48,7 +48,11 @@ fn inorder_peak_vs_ooo_smear() {
     // jitter); the Pentium Pro's varies by tens of cycles.
     let (inorder, _) = attribution_histogram(PipelineConfig::inorder_21164ish(), 0, 11);
     let (ooo, _) = attribution_histogram(PipelineConfig::default(), 12, 11);
-    assert!(inorder.total() > 50, "in-order samples: {}", inorder.total());
+    assert!(
+        inorder.total() > 50,
+        "in-order samples: {}",
+        inorder.total()
+    );
     assert!(ooo.total() > 50, "ooo samples: {}", ooo.total());
 
     // The in-order distribution is far more concentrated.
@@ -67,9 +71,10 @@ fn inorder_peak_vs_ooo_smear() {
 #[test]
 fn neither_machine_attributes_to_the_load_itself() {
     // The whole point of Figure 2: the event PC is not the delivered PC.
-    for (config, jitter) in
-        [(PipelineConfig::inorder_21164ish(), 0), (PipelineConfig::default(), 12)]
-    {
+    for (config, jitter) in [
+        (PipelineConfig::inorder_21164ish(), 0),
+        (PipelineConfig::default(), 12),
+    ] {
         let (hist, load_pc) = attribution_histogram(config, jitter, 5);
         let at_load = hist.count(load_pc) as f64 / hist.total() as f64;
         assert!(

@@ -110,7 +110,10 @@ impl ProgramBuilder {
     /// Creates an unplaced label for forward references; bind it later with
     /// [`place`](ProgramBuilder::place).
     pub fn forward_label(&mut self, name: impl Into<String>) -> Label {
-        self.labels.push(LabelState { name: name.into(), position: None });
+        self.labels.push(LabelState {
+            name: name.into(),
+            position: None,
+        });
         Label(self.labels.len() - 1)
     }
 
@@ -119,7 +122,9 @@ impl ProgramBuilder {
     /// Useful for building indirect-jump dispatch tables in data memory
     /// while the program is still being assembled.
     pub fn pc_of_label(&self, label: Label) -> Option<Pc> {
-        self.labels[label.0].position.map(|i| self.base.advance(i as u64))
+        self.labels[label.0]
+            .position
+            .map(|i| self.base.advance(i as u64))
     }
 
     /// Binds `label` to the current position.
@@ -129,7 +134,11 @@ impl ProgramBuilder {
     /// Panics if the label was already placed.
     pub fn place(&mut self, label: Label) {
         let state = &mut self.labels[label.0];
-        assert!(state.position.is_none(), "label `{}` placed twice", state.name);
+        assert!(
+            state.position.is_none(),
+            "label `{}` placed twice",
+            state.name
+        );
         state.position = Some(self.insts.len());
     }
 
@@ -152,7 +161,12 @@ impl ProgramBuilder {
         a: Reg,
         b: impl Into<Operand>,
     ) -> &mut ProgramBuilder {
-        self.emit(Op::Alu { kind, dst, a, b: b.into() })
+        self.emit(Op::Alu {
+            kind,
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// Emits `dst = a + b` (registers).
@@ -252,7 +266,14 @@ impl ProgramBuilder {
 
     /// Emits a conditional branch to `target`.
     pub fn cond_br(&mut self, cond: Cond, src: Reg, target: Label) -> &mut ProgramBuilder {
-        self.emit_with_target(Op::CondBr { cond, src, target: Pc::new(0) }, target);
+        self.emit_with_target(
+            Op::CondBr {
+                cond,
+                src,
+                target: Pc::new(0),
+            },
+            target,
+        );
         self
     }
 
@@ -269,7 +290,13 @@ impl ProgramBuilder {
 
     /// Emits a call to `target` linking through [`Reg::LINK`].
     pub fn call(&mut self, target: Label) -> &mut ProgramBuilder {
-        self.emit_with_target(Op::Call { target: Pc::new(0), link: Reg::LINK }, target);
+        self.emit_with_target(
+            Op::Call {
+                target: Pc::new(0),
+                link: Reg::LINK,
+            },
+            target,
+        );
         self
     }
 
@@ -310,7 +337,13 @@ impl ProgramBuilder {
     /// [`BuildError::EmptyFunction`] if a declared function contains no
     /// instructions.
     pub fn build(self) -> Result<Program, BuildError> {
-        let ProgramBuilder { base, mut insts, labels, patches, functions } = self;
+        let ProgramBuilder {
+            base,
+            mut insts,
+            labels,
+            patches,
+            functions,
+        } = self;
         if insts.is_empty() {
             return Err(BuildError::EmptyProgram);
         }
@@ -373,12 +406,20 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.forward_label("nowhere");
         b.jmp(l);
-        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel { name: "nowhere".into() });
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnboundLabel {
+                name: "nowhere".into()
+            }
+        );
     }
 
     #[test]
     fn empty_program_is_an_error() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), BuildError::EmptyProgram);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            BuildError::EmptyProgram
+        );
     }
 
     #[test]
@@ -387,7 +428,10 @@ mod tests {
         b.function("a");
         b.function("b");
         b.halt();
-        assert_eq!(b.build().unwrap_err(), BuildError::EmptyFunction { name: "a".into() });
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::EmptyFunction { name: "a".into() }
+        );
     }
 
     #[test]

@@ -85,11 +85,35 @@ mod tests {
     #[test]
     fn representative_disassembly() {
         let cases = [
-            (Op::LoadImm { dst: Reg::R1, value: -3 }, "ldi r1, #-3"),
-            (Op::Load { dst: Reg::R2, base: Reg::R3, offset: 16 }, "ld r2, 16(r3)"),
-            (Op::Store { src: Reg::R2, base: Reg::SP, offset: -8 }, "st r2, -8(sp)"),
             (
-                Op::CondBr { cond: Cond::Ne0, src: Reg::R4, target: Pc::new(0x40) },
+                Op::LoadImm {
+                    dst: Reg::R1,
+                    value: -3,
+                },
+                "ldi r1, #-3",
+            ),
+            (
+                Op::Load {
+                    dst: Reg::R2,
+                    base: Reg::R3,
+                    offset: 16,
+                },
+                "ld r2, 16(r3)",
+            ),
+            (
+                Op::Store {
+                    src: Reg::R2,
+                    base: Reg::SP,
+                    offset: -8,
+                },
+                "st r2, -8(sp)",
+            ),
+            (
+                Op::CondBr {
+                    cond: Cond::Ne0,
+                    src: Reg::R4,
+                    target: Pc::new(0x40),
+                },
                 "bne r4, 0x40",
             ),
             (Op::Ret { base: Reg::LINK }, "ret (ra)"),

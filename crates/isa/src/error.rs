@@ -71,7 +71,9 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_without_punctuation() {
-        let e = BuildError::UnboundLabel { name: "loop".into() };
+        let e = BuildError::UnboundLabel {
+            name: "loop".into(),
+        };
         assert_eq!(e.to_string(), "label `loop` referenced but never placed");
         let e = ExecError::PcOutOfRange { pc: Pc::new(0x10) };
         assert_eq!(e.to_string(), "pc 0x10 outside program image");

@@ -75,7 +75,10 @@ impl ArchState {
     /// Creates a state with pre-initialized memory (e.g. linked data
     /// structures for pointer-chasing workloads).
     pub fn with_memory(program: &Program, mem: Memory) -> ArchState {
-        ArchState { mem, ..ArchState::new(program) }
+        ArchState {
+            mem,
+            ..ArchState::new(program)
+        }
     }
 
     /// Reads a register ([`Reg::ZERO`] reads as 0).
@@ -191,7 +194,14 @@ impl ArchState {
         }
         self.pc = next_pc;
         self.retired += 1;
-        Ok(StepOutcome { pc, inst, next_pc, taken, eff_addr, halted: self.halted })
+        Ok(StepOutcome {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            eff_addr,
+            halted: self.halted,
+        })
     }
 
     /// Runs until `Halt` or until `limit` instructions have executed,
@@ -331,7 +341,10 @@ mod tests {
         b.jmp(top);
         let p = b.build().unwrap();
         let mut s = ArchState::new(&p);
-        assert_eq!(s.run(&p, 50).unwrap_err(), ExecError::StepLimitExceeded { limit: 50 });
+        assert_eq!(
+            s.run(&p, 50).unwrap_err(),
+            ExecError::StepLimitExceeded { limit: 50 }
+        );
     }
 
     #[test]

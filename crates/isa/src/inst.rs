@@ -172,7 +172,10 @@ mod tests {
 
     #[test]
     fn call_writes_link() {
-        let i = Inst::new(Op::Call { target: Pc::new(0x40), link: Reg::LINK });
+        let i = Inst::new(Op::Call {
+            target: Pc::new(0x40),
+            link: Reg::LINK,
+        });
         assert_eq!(i.dst(), Some(Reg::LINK));
         assert_eq!(i.class(), OpClass::Call);
         assert!(i.is_control());
@@ -181,7 +184,11 @@ mod tests {
 
     #[test]
     fn store_reads_both() {
-        let i = Inst::new(Op::Store { src: Reg::R2, base: Reg::R3, offset: 8 });
+        let i = Inst::new(Op::Store {
+            src: Reg::R2,
+            base: Reg::R3,
+            offset: 8,
+        });
         assert_eq!(i.dst(), None);
         assert_eq!(i.srcs(), [Some(Reg::R3), Some(Reg::R2)]);
         assert!(i.is_mem());
@@ -189,11 +196,17 @@ mod tests {
 
     #[test]
     fn control_flow_shape() {
-        let br = Inst::new(Op::CondBr { cond: Cond::Ne0, src: Reg::R1, target: Pc::new(0) });
+        let br = Inst::new(Op::CondBr {
+            cond: Cond::Ne0,
+            src: Reg::R1,
+            target: Pc::new(0),
+        });
         assert!(br.falls_through());
         assert_eq!(br.direct_target(), Some(Pc::new(0)));
 
-        let jmp = Inst::new(Op::Jmp { target: Pc::new(0x20) });
+        let jmp = Inst::new(Op::Jmp {
+            target: Pc::new(0x20),
+        });
         assert!(!jmp.falls_through());
 
         let ret = Inst::new(Op::Ret { base: Reg::LINK });

@@ -34,7 +34,10 @@ impl Pc {
     ///
     /// Panics if the address is not 4-byte aligned.
     pub const fn new(addr: u64) -> Pc {
-        assert!(addr.is_multiple_of(INST_BYTES), "instruction addresses are 4-byte aligned");
+        assert!(
+            addr.is_multiple_of(INST_BYTES),
+            "instruction addresses are 4-byte aligned"
+        );
         Pc(addr)
     }
 

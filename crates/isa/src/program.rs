@@ -64,7 +64,11 @@ pub struct Program {
 
 impl Program {
     pub(crate) fn from_parts(base: Pc, insts: Vec<Inst>, functions: Vec<Function>) -> Program {
-        Program { base, insts, functions }
+        Program {
+            base,
+            insts,
+            functions,
+        }
     }
 
     /// The base PC of the image.
@@ -124,7 +128,10 @@ impl Program {
 
     /// Iterates `(pc, instruction)` pairs in image order.
     pub fn iter(&self) -> impl Iterator<Item = (Pc, &Inst)> + '_ {
-        self.insts.iter().enumerate().map(|(i, inst)| (self.base.advance(i as u64), inst))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (self.base.advance(i as u64), inst))
     }
 
     /// The declared functions, in image order.
@@ -136,7 +143,9 @@ impl Program {
     pub fn function_of(&self, pc: Pc) -> Option<&Function> {
         // Functions are sorted by entry; binary search on entry.
         let idx = self.functions.partition_point(|f| f.entry <= pc);
-        idx.checked_sub(1).map(|i| &self.functions[i]).filter(|f| f.contains(pc))
+        idx.checked_sub(1)
+            .map(|i| &self.functions[i])
+            .filter(|f| f.contains(pc))
     }
 
     /// The function named `name`, if any.
@@ -174,9 +183,9 @@ impl Program {
     /// PCs of every call instruction whose direct target is `entry`.
     pub fn call_sites_of(&self, entry: Pc) -> Vec<Pc> {
         self.iter()
-            .filter(|(_, inst)| {
-                matches!(inst.op, crate::Op::Call { target, .. } if target == entry)
-            })
+            .filter(
+                |(_, inst)| matches!(inst.op, crate::Op::Call { target, .. } if target == entry),
+            )
             .map(|(pc, _)| pc)
             .collect()
     }

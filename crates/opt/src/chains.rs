@@ -47,16 +47,25 @@ fn chain_function(blocks: &[BlockId], entry: BlockId, weights: &EdgeWeights) -> 
         .map(|(k, w)| (*k, *w))
         .collect();
     edges.sort_by(|(ka, wa), (kb, wb)| {
-        wb.partial_cmp(wa).expect("weights are finite").then(ka.cmp(kb))
+        wb.partial_cmp(wa)
+            .expect("weights are finite")
+            .then(ka.cmp(kb))
     });
     for ((from, to), _) in edges {
-        let Some(i) = chains.iter().position(|c| c.last() == Some(&from)) else { continue };
-        let Some(j) = chains.iter().position(|c| c.first() == Some(&to)) else { continue };
+        let Some(i) = chains.iter().position(|c| c.last() == Some(&from)) else {
+            continue;
+        };
+        let Some(j) = chains.iter().position(|c| c.first() == Some(&to)) else {
+            continue;
+        };
         if i == j {
             continue; // would close a cycle
         }
         let tail = chains.remove(j);
-        let i = chains.iter().position(|c| c.last() == Some(&from)).expect("unchanged");
+        let i = chains
+            .iter()
+            .position(|c| c.last() == Some(&from))
+            .expect("unchanged");
         chains[i].extend(tail);
     }
 
@@ -74,7 +83,9 @@ fn chain_function(blocks: &[BlockId], entry: BlockId, weights: &EdgeWeights) -> 
     };
     chains.sort_by(|a, b| {
         let (ha, hb) = (heat(a), heat(b));
-        hb.partial_cmp(&ha).expect("weights are finite").then(a.cmp(b))
+        hb.partial_cmp(&ha)
+            .expect("weights are finite")
+            .then(a.cmp(b))
     });
     // Entry chain first.
     if let Some(i) = chains.iter().position(|c| c.contains(&entry)) {

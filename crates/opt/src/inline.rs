@@ -81,12 +81,14 @@ pub fn inline_call(program: &Program, cfg: &Cfg, call_pc: Pc) -> Result<Program,
         let inst = program.fetch(pc).expect("callee pcs are in the image");
         match inst.op {
             Op::Call { .. } | Op::JmpInd { .. } | Op::Halt => {
-                return Err(InlineError::NotInlinable { name: callee.name.clone() })
+                return Err(InlineError::NotInlinable {
+                    name: callee.name.clone(),
+                })
             }
-            Op::CondBr { target: t, .. } | Op::Jmp { target: t } => {
-                if !callee.contains(t) {
-                    return Err(InlineError::NotInlinable { name: callee.name.clone() });
-                }
+            Op::CondBr { target: t, .. } | Op::Jmp { target: t } if !callee.contains(t) => {
+                return Err(InlineError::NotInlinable {
+                    name: callee.name.clone(),
+                });
             }
             _ => {}
         }
@@ -203,7 +205,11 @@ mod tests {
         assert!(q.len() > p.len(), "body spliced in");
         assert_eq!(final_regs(&p), final_regs(&q));
         // The second call site still calls the (retained) callee.
-        let calls = |p: &Program| p.iter().filter(|(_, i)| matches!(i.op, Op::Call { .. })).count();
+        let calls = |p: &Program| {
+            p.iter()
+                .filter(|(_, i)| matches!(i.op, Op::Call { .. }))
+                .count()
+        };
         assert_eq!(calls(&p), 2);
         assert_eq!(calls(&q), 1);
     }
@@ -214,9 +220,7 @@ mod tests {
         let mut q = p.clone();
         loop {
             let cfg = Cfg::build(&q);
-            let Some((pc, _)) =
-                q.iter().find(|(_, i)| matches!(i.op, Op::Call { .. }))
-            else {
+            let Some((pc, _)) = q.iter().find(|(_, i)| matches!(i.op, Op::Call { .. })) else {
                 break;
             };
             q = inline_call(&q, &cfg, pc).unwrap();

@@ -36,7 +36,10 @@ impl fmt::Display for LayoutError {
                 write!(f, "block order must contain every block exactly once")
             }
             LayoutError::SplitFunction { name } => {
-                write!(f, "order interleaves blocks of function `{name}` with others")
+                write!(
+                    f,
+                    "order interleaves blocks of function `{name}` with others"
+                )
             }
             LayoutError::Rebuild(e) => write!(f, "rebuilding failed: {e}"),
         }
@@ -111,13 +114,14 @@ pub fn reorder_blocks(
             .filter(|(_, b)| f.contains(cfg.block(**b).start))
             .map(|(i, _)| i)
             .collect();
-        let contiguous =
-            positions.windows(2).all(|w| w[1] == w[0] + 1) && !positions.is_empty();
+        let contiguous = positions.windows(2).all(|w| w[1] == w[0] + 1) && !positions.is_empty();
         let entry_first = positions
             .first()
             .is_some_and(|&i| cfg.block(order[i]).start == f.entry);
         if !contiguous || !entry_first {
-            return Err(LayoutError::SplitFunction { name: f.name.clone() });
+            return Err(LayoutError::SplitFunction {
+                name: f.name.clone(),
+            });
         }
     }
 
@@ -158,8 +162,7 @@ pub fn reorder_blocks(
                     let fall_id = cfg.block_of(fall_pc);
                     if next_in_layout.is_some() && next_in_layout == taken_id {
                         // Taken target now falls through: invert.
-                        let fall =
-                            fall.expect("conditional branches have a fall-through block");
+                        let fall = fall.expect("conditional branches have a fall-through block");
                         b.cond_br(invert(cond), src, fall);
                     } else {
                         b.cond_br(cond, src, taken);
@@ -243,7 +246,10 @@ mod tests {
         s.run(p, 1_000_000).unwrap();
         // Exclude the link register: return addresses are code addresses
         // and legitimately change under relayout.
-        (0..32).filter(|&i| i != Reg::LINK.index() as u8).map(|i| s.reg(Reg::new(i))).collect()
+        (0..32)
+            .filter(|&i| i != Reg::LINK.index() as u8)
+            .map(|i| s.reg(Reg::new(i)))
+            .collect()
     }
 
     #[test]
@@ -320,7 +326,10 @@ mod tests {
         // Duplicate block.
         let mut dup = all.clone();
         dup[1] = dup[0];
-        assert_eq!(reorder_blocks(&p, &cfg, &dup), Err(LayoutError::IncompleteOrder));
+        assert_eq!(
+            reorder_blocks(&p, &cfg, &dup),
+            Err(LayoutError::IncompleteOrder)
+        );
         // Missing block.
         assert_eq!(
             reorder_blocks(&p, &cfg, &all[..all.len() - 1]),
@@ -363,8 +372,7 @@ mod tests {
             .collect();
         main_blocks[1..].reverse();
         let mut order = main_blocks;
-        let rest: Vec<BlockId> =
-            all.iter().copied().filter(|b| !order.contains(b)).collect();
+        let rest: Vec<BlockId> = all.iter().copied().filter(|b| !order.contains(b)).collect();
         order.extend(rest);
         let q = reorder_blocks(&p, &cfg, &order).unwrap();
         assert_eq!(final_regs(&q), truth);

@@ -48,9 +48,7 @@ pub fn edge_weights_from_profile(
             let w = match e.kind {
                 EdgeKind::Taken => block_weight * taken_rate,
                 EdgeKind::NotTaken => block_weight * (1.0 - taken_rate),
-                EdgeKind::Jump | EdgeKind::FallThrough | EdgeKind::CallFallThrough => {
-                    block_weight
-                }
+                EdgeKind::Jump | EdgeKind::FallThrough | EdgeKind::CallFallThrough => block_weight,
                 // Interprocedural edges do not drive intra-function layout.
                 EdgeKind::Call | EdgeKind::Return | EdgeKind::IndirectJump => continue,
             };
@@ -101,7 +99,11 @@ mod tests {
             p.clone(),
             None,
             PipelineConfig::default(),
-            ProfileMeConfig { mean_interval: 32, buffer_depth: 8, ..Default::default() },
+            ProfileMeConfig {
+                mean_interval: 32,
+                buffer_depth: 8,
+                ..Default::default()
+            },
             u64::MAX,
         )
         .unwrap();
@@ -111,8 +113,15 @@ mod tests {
             .blocks()
             .iter()
             .find(|blk| {
-                p.fetch(blk.last_pc())
-                    .is_some_and(|i| matches!(i.op, profileme_isa::Op::CondBr { cond: Cond::Eq0, .. }))
+                p.fetch(blk.last_pc()).is_some_and(|i| {
+                    matches!(
+                        i.op,
+                        profileme_isa::Op::CondBr {
+                            cond: Cond::Eq0,
+                            ..
+                        }
+                    )
+                })
             })
             .expect("diamond branch exists");
         let (mut taken_w, mut fall_w) = (0.0, 0.0);

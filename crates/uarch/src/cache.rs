@@ -61,11 +61,21 @@ impl Cache {
     /// dimension is zero.
     pub fn new(config: CacheConfig) -> Cache {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0, "associativity must be positive");
         Cache {
             config,
-            lines: vec![Line { tag: 0, valid: false, lru: 0 }; config.sets * config.ways],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                config.sets * config.ways
+            ],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -101,7 +111,11 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("ways is non-empty");
-        *victim = Line { tag, valid: true, lru: self.tick };
+        *victim = Line {
+            tag,
+            valid: true,
+            lru: self.tick,
+        };
         false
     }
 
@@ -140,7 +154,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Cache {
-        Cache::new(CacheConfig { sets: 4, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -190,7 +208,12 @@ mod tests {
     #[test]
     fn capacity() {
         assert_eq!(
-            CacheConfig { sets: 512, ways: 2, line_bytes: 64 }.capacity_bytes(),
+            CacheConfig {
+                sets: 512,
+                ways: 2,
+                line_bytes: 64
+            }
+            .capacity_bytes(),
             64 * 1024
         );
     }

@@ -28,12 +28,20 @@ pub struct FuSpec {
 impl FuSpec {
     /// A pipelined unit specification.
     pub const fn pipelined(count: usize, latency: u64) -> FuSpec {
-        FuSpec { count, latency, pipelined: true }
+        FuSpec {
+            count,
+            latency,
+            pipelined: true,
+        }
     }
 
     /// An unpipelined unit specification (busy for its whole latency).
     pub const fn unpipelined(count: usize, latency: u64) -> FuSpec {
-        FuSpec { count, latency, pipelined: false }
+        FuSpec {
+            count,
+            latency,
+            pipelined: false,
+        }
     }
 }
 
@@ -156,15 +164,33 @@ impl Default for PipelineConfig {
             fu_fp_div: FuSpec::unpipelined(1, 12),
             mem_ports: 2,
             miss_address_file: 8,
-            icache: CacheConfig { sets: 512, ways: 2, line_bytes: 64 },
-            dcache: CacheConfig { sets: 512, ways: 2, line_bytes: 64 },
-            l2: CacheConfig { sets: 4096, ways: 4, line_bytes: 64 },
+            icache: CacheConfig {
+                sets: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            dcache: CacheConfig {
+                sets: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                sets: 4096,
+                ways: 4,
+                line_bytes: 64,
+            },
             dcache_hit_latency: 3,
             l2_latency: 12,
             memory_latency: 80,
             icache_miss_penalty: 10,
-            itlb: TlbConfig { entries: 128, page_bytes: 8192 },
-            dtlb: TlbConfig { entries: 128, page_bytes: 8192 },
+            itlb: TlbConfig {
+                entries: 128,
+                page_bytes: 8192,
+            },
+            dtlb: TlbConfig {
+                entries: 128,
+                page_bytes: 8192,
+            },
             tlb_miss_penalty: 30,
             predictor_table_size: 4096,
             predictor_history_bits: 12,
@@ -213,8 +239,14 @@ impl PipelineConfig {
             self.phys_regs > profileme_isa::Reg::COUNT,
             "need more physical than architectural registers"
         );
-        assert!(self.predictor_history_bits <= 32, "history bits limited to 32");
-        assert!(self.miss_address_file > 0, "need at least one miss address file entry");
+        assert!(
+            self.predictor_history_bits <= 32,
+            "history bits limited to 32"
+        );
+        assert!(
+            self.miss_address_file > 0,
+            "need at least one miss address file entry"
+        );
         assert!(self.ipc_window > 0, "ipc window must be positive");
     }
 }
@@ -232,7 +264,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "physical")]
     fn too_few_phys_regs_rejected() {
-        let c = PipelineConfig { phys_regs: 16, ..PipelineConfig::default() };
+        let c = PipelineConfig {
+            phys_regs: 16,
+            ..PipelineConfig::default()
+        };
         c.validate();
     }
 }

@@ -145,7 +145,10 @@ impl DynInst {
             inst,
             correct_path,
             state: InstState::Fetched,
-            ts: Timestamps { fetched, ..Timestamps::default() },
+            ts: Timestamps {
+                fetched,
+                ..Timestamps::default()
+            },
             events: EventSet::new(),
             history: BranchHistory::new(),
             actual_next: None,
@@ -169,7 +172,10 @@ mod tests {
 
     #[test]
     fn stage_latencies_require_all_milestones() {
-        let mut ts = Timestamps { fetched: 10, ..Timestamps::default() };
+        let mut ts = Timestamps {
+            fetched: 10,
+            ..Timestamps::default()
+        };
         assert_eq!(ts.stage_latencies(None), None);
         ts.mapped = Some(12);
         ts.data_ready = Some(15);

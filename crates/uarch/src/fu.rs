@@ -15,12 +15,20 @@ struct Pool {
 
 impl Pool {
     fn new(spec: FuSpec) -> Pool {
-        Pool { spec, busy_until: vec![0; spec.count] }
+        Pool {
+            spec,
+            busy_until: vec![0; spec.count],
+        }
     }
 
     fn try_acquire(&mut self, cycle: u64) -> Option<u64> {
         let unit = self.busy_until.iter_mut().find(|b| **b <= cycle)?;
-        *unit = cycle + if self.spec.pipelined { 1 } else { self.spec.latency };
+        *unit = cycle
+            + if self.spec.pipelined {
+                1
+            } else {
+                self.spec.latency
+            };
         Some(self.spec.latency)
     }
 }

@@ -219,6 +219,13 @@ impl<H: ProfilingHardware> Pipeline<H> {
         &mut self.hw
     }
 
+    /// Decomposes a finished pipeline into the profiling hardware, the
+    /// final statistics, and the cycle count — for generic drivers that
+    /// need the hardware back by value once simulation ends.
+    pub fn into_parts(self) -> (H, SimStats, u64) {
+        (self.hw, self.stats, self.now)
+    }
+
     /// The simulated program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -296,14 +303,21 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 _ => break,
             }
             let mut di = self.rob.pop_front().expect("head checked above");
-            debug_assert!(di.correct_path, "only correct-path instructions reach retire");
+            debug_assert!(
+                di.correct_path,
+                "only correct-path instructions reach retire"
+            );
             di.ts.retired = Some(c);
             di.events.set(EventSet::RETIRED);
             if let Some(old) = di.old_phys {
                 self.rename.release(old);
             }
             self.note_retire_stats(&di, c);
-            self.hw.on_event(HwEvent { kind: HwEventKind::Retire, cycle: c, pc: di.pc });
+            self.hw.on_event(HwEvent {
+                kind: HwEventKind::Retire,
+                cycle: c,
+                pc: di.pc,
+            });
             if di.tag.is_some() {
                 let sample = make_sample(&di, self.config.context_id, true);
                 self.hw.on_tagged_complete(&sample);
@@ -400,9 +414,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
             let mut di = self.rob.pop_back().expect("back checked above");
             // Undo renaming youngest-first.
-            if let (Some(dst), Some(old), Some(arch)) =
-                (di.dst_phys, di.old_phys, di.inst.dst())
-            {
+            if let (Some(dst), Some(old), Some(arch)) = (di.dst_phys, di.old_phys, di.inst.dst()) {
                 self.rename.undo(arch, old, dst);
             }
             di.abort = Some(AbortReason::MispredictSquash);
@@ -470,7 +482,14 @@ impl<H: ProfilingHardware> Pipeline<H> {
     fn do_issue(&mut self, idx: usize, c: u64, latency: u64) {
         let (pc, class, correct_path, seq, src_phys, mapped) = {
             let di = &self.rob[idx];
-            (di.pc, di.inst.class(), di.correct_path, di.seq, di.src_phys, di.ts.mapped)
+            (
+                di.pc,
+                di.inst.class(),
+                di.correct_path,
+                di.seq,
+                di.src_phys,
+                di.ts.mapped,
+            )
         };
         // Data-ready time: when the last operand became available (bounded
         // below by the map cycle).
@@ -495,7 +514,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 lat += self.config.tlb_miss_penalty;
             }
             self.stats.dcache_accesses += 1;
-            self.hw.on_event(HwEvent { kind: HwEventKind::DCacheAccess, cycle: c, pc });
+            self.hw.on_event(HwEvent {
+                kind: HwEventKind::DCacheAccess,
+                cycle: c,
+                pc,
+            });
             let miss = !self.dcache.access(addr);
             if miss {
                 events.set(EventSet::DCACHE_MISS);
@@ -510,7 +533,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 self.maf.push(begin + miss_latency);
                 lat += (begin - c) + miss_latency;
                 self.stats.dcache_misses += 1;
-                self.hw.on_event(HwEvent { kind: HwEventKind::DCacheMiss, cycle: c, pc });
+                self.hw.on_event(HwEvent {
+                    kind: HwEventKind::DCacheMiss,
+                    cycle: c,
+                    pc,
+                });
                 if correct_path {
                     if let Some(s) = self.stats.at_mut(&self.program, pc) {
                         s.dcache_misses += 1;
@@ -535,7 +562,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
         }
 
         self.stats.issued += 1;
-        self.hw.on_event(HwEvent { kind: HwEventKind::Issue, cycle: c, pc });
+        self.hw.on_event(HwEvent {
+            kind: HwEventKind::Issue,
+            cycle: c,
+            pc,
+        });
 
         let di = &mut self.rob[idx];
         di.state = InstState::Issued;
@@ -554,8 +585,12 @@ impl<H: ProfilingHardware> Pipeline<H> {
     fn map_stage(&mut self, c: u64) {
         let mut mapped = 0;
         while mapped < self.config.map_width {
-            let Some(&seq) = self.fetch_queue.front() else { break };
-            let idx = self.rob_index(seq).expect("fetch queue entries are in the window");
+            let Some(&seq) = self.fetch_queue.front() else {
+                break;
+            };
+            let idx = self
+                .rob_index(seq)
+                .expect("fetch queue entries are in the window");
             if self.rob[idx].ts.fetched + self.config.decode_latency > c {
                 break; // still in decode
             }
@@ -656,7 +691,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
                         stall += self.config.memory_latency;
                     }
                     self.stats.icache_misses += 1;
-                    self.hw.on_event(HwEvent { kind: HwEventKind::ICacheMiss, cycle: c, pc });
+                    self.hw.on_event(HwEvent {
+                        kind: HwEventKind::ICacheMiss,
+                        cycle: c,
+                        pc,
+                    });
                     if let Some(s) = self.stats.at_mut(&self.program, pc) {
                         s.icache_misses += 1;
                     }
@@ -683,7 +722,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
             di.history = *self.predictor.history();
 
             if di.correct_path {
-                assert_eq!(pc, self.oracle.pc(), "oracle and fetcher agree on the correct path");
+                assert_eq!(
+                    pc,
+                    self.oracle.pc(),
+                    "oracle and fetcher agree on the correct path"
+                );
                 let out = self
                     .oracle
                     .step(&self.program)
@@ -783,11 +826,16 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 let attributed_pc = self.rob.front().map_or(self.fetch_pc, |d| d.pc);
                 self.stats.interrupts += 1;
                 self.stats.interrupt_stall_cycles += self.config.interrupt_cost;
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(c + 1 + self.config.interrupt_cost);
-                self.profiling_suspended_until =
-                    self.profiling_suspended_until.max(c + 1 + self.config.interrupt_cost);
-                return Some(InterruptEvent { cycle: c, attributed_pc });
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(c + 1 + self.config.interrupt_cost);
+                self.profiling_suspended_until = self
+                    .profiling_suspended_until
+                    .max(c + 1 + self.config.interrupt_cost);
+                return Some(InterruptEvent {
+                    cycle: c,
+                    attributed_pc,
+                });
             }
         }
         None
@@ -836,6 +884,7 @@ fn make_sample(di: &DynInst, context: u64, retired: bool) -> CompletedSample {
 /// Deterministic synthetic address for wrong-path memory operations (the
 /// oracle never executes them, but they still bang on the D-cache).
 fn synth_wrong_path_addr(pc: Pc, seq: u64) -> u64 {
-    let h = (pc.addr() ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let h =
+        (pc.addr() ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xD1B5_4A32_D192_ED03);
     0x4000_0000 | (h & 0xF_FFF8)
 }

@@ -54,8 +54,14 @@ impl BranchPredictor {
         btb_size: usize,
         ras_size: usize,
     ) -> BranchPredictor {
-        assert!(table_size.is_power_of_two(), "pattern table size must be a power of two");
-        assert!(btb_size.is_power_of_two(), "btb size must be a power of two");
+        assert!(
+            table_size.is_power_of_two(),
+            "pattern table size must be a power of two"
+        );
+        assert!(
+            btb_size.is_power_of_two(),
+            "btb size must be a power of two"
+        );
         BranchPredictor {
             table: vec![1; table_size], // weakly not-taken
             history_bits,

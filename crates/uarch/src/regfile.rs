@@ -41,13 +41,23 @@ impl RenameState {
     ///
     /// Panics if `phys_regs <= Reg::COUNT`.
     pub fn new(phys_regs: usize) -> RenameState {
-        assert!(phys_regs > Reg::COUNT, "need more physical than architectural registers");
+        assert!(
+            phys_regs > Reg::COUNT,
+            "need more physical than architectural registers"
+        );
         let mut map = [PhysReg(0); Reg::COUNT];
         for (i, m) in map.iter_mut().enumerate() {
             *m = PhysReg(i as u16);
         }
-        let free = (Reg::COUNT..phys_regs).rev().map(|i| PhysReg(i as u16)).collect();
-        RenameState { map, free, ready_at: vec![0; phys_regs] }
+        let free = (Reg::COUNT..phys_regs)
+            .rev()
+            .map(|i| PhysReg(i as u16))
+            .collect();
+        RenameState {
+            map,
+            free,
+            ready_at: vec![0; phys_regs],
+        }
     }
 
     /// Current physical register holding `arch`.

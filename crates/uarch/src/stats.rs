@@ -97,7 +97,10 @@ pub struct SimStats {
 impl SimStats {
     /// Creates zeroed statistics sized for `program`.
     pub fn new(program: &Program) -> SimStats {
-        SimStats { per_pc: vec![PcStats::default(); program.len()], ..SimStats::default() }
+        SimStats {
+            per_pc: vec![PcStats::default(); program.len()],
+            ..SimStats::default()
+        }
     }
 
     /// The per-PC entry for `pc`, if it is inside the image.
@@ -126,8 +129,12 @@ impl SimStats {
     ///
     /// Returns `None` when fewer than two non-empty windows exist.
     pub fn windowed_ipc_ratio(&self, lo: f64, hi: f64) -> Option<f64> {
-        let mut nonzero: Vec<u32> =
-            self.window_retires.iter().copied().filter(|&w| w > 0).collect();
+        let mut nonzero: Vec<u32> = self
+            .window_retires
+            .iter()
+            .copied()
+            .filter(|&w| w > 0)
+            .collect();
         if nonzero.len() < 2 {
             return None;
         }
@@ -146,8 +153,12 @@ impl SimStats {
     /// paper's ratios ranged 3–30, implying nonzero minima). Returns
     /// `None` when fewer than two non-empty windows were recorded.
     pub fn windowed_ipc_summary(&self) -> Option<(f64, f64)> {
-        let nonzero: Vec<u32> =
-            self.window_retires.iter().copied().filter(|&w| w > 0).collect();
+        let nonzero: Vec<u32> = self
+            .window_retires
+            .iter()
+            .copied()
+            .filter(|&w| w > 0)
+            .collect();
         if nonzero.len() < 2 {
             return None;
         }
@@ -155,7 +166,11 @@ impl SimStats {
         let min = *nonzero.iter().min().expect("non-empty") as f64;
         // Retire-weighted mean and standard deviation over all windows.
         let total: f64 = self.window_retires.iter().map(|&w| w as f64).sum();
-        let mean = self.window_retires.iter().map(|&w| (w as f64) * (w as f64)).sum::<f64>()
+        let mean = self
+            .window_retires
+            .iter()
+            .map(|&w| (w as f64) * (w as f64))
+            .sum::<f64>()
             / total;
         let var = self
             .window_retires

@@ -44,7 +44,10 @@ impl Tlb {
     /// of two.
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.entries > 0, "tlb must have entries");
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             config,
             entries: Vec::with_capacity(config.entries),
@@ -96,7 +99,10 @@ mod tests {
 
     #[test]
     fn lru_eviction() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, page_bytes: 4096 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+        });
         assert!(!t.access(0x0000)); // page 0
         assert!(!t.access(0x1000)); // page 1
         assert!(t.access(0x0000)); // page 0 refreshed; page 1 is LRU

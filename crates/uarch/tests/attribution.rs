@@ -24,7 +24,11 @@ fn icache_misses_attach_to_line_leading_instructions() {
     let mut sim = Pipeline::new(p.clone(), PipelineConfig::default(), NullHardware);
     sim.run(10_000_000).unwrap();
     let stats = sim.stats();
-    assert!(stats.icache_misses > 10, "cold image: {}", stats.icache_misses);
+    assert!(
+        stats.icache_misses > 10,
+        "cold image: {}",
+        stats.icache_misses
+    );
     // Every attributed miss lies on a cache-line-leading PC (64-byte
     // lines, 16 instructions).
     let mut attributed = 0;
@@ -35,7 +39,10 @@ fn icache_misses_attach_to_line_leading_instructions() {
             attributed += pc.icache_misses;
         }
     }
-    assert_eq!(attributed, stats.icache_misses, "every miss is attributed to some pc");
+    assert_eq!(
+        attributed, stats.icache_misses,
+        "every miss is attributed to some pc"
+    );
     // A second identical run in the same (warm) cache would not miss:
     // check via probe of total misses being about image-size/line-size.
     let lines = p.len().div_ceil(16) as u64;
@@ -57,6 +64,12 @@ fn windowed_ratio_quantiles_are_ordered() {
     let wide = s.windowed_ipc_ratio(0.025, 0.975).unwrap();
     let (raw, _) = s.windowed_ipc_summary().unwrap();
     assert!(tight >= 1.0);
-    assert!(wide >= tight, "wider quantiles give larger ratios: {wide} vs {tight}");
-    assert!(raw >= wide, "max/min bounds every quantile ratio: {raw} vs {wide}");
+    assert!(
+        wide >= tight,
+        "wider quantiles give larger ratios: {wide} vs {tight}"
+    );
+    assert!(
+        raw >= wide,
+        "max/min bounds every quantile ratio: {raw} vs {wide}"
+    );
 }

@@ -78,12 +78,27 @@ fn parallel_misses(trips: i64) -> Program {
 #[test]
 fn miss_address_file_bounds_memory_parallelism() {
     let p = parallel_misses(2_000);
-    let wide = cycles(&p, PipelineConfig { miss_address_file: 16, ..PipelineConfig::default() });
-    let narrow = cycles(&p, PipelineConfig { miss_address_file: 1, ..PipelineConfig::default() });
+    let wide = cycles(
+        &p,
+        PipelineConfig {
+            miss_address_file: 16,
+            ..PipelineConfig::default()
+        },
+    );
+    let narrow = cycles(
+        &p,
+        PipelineConfig {
+            miss_address_file: 1,
+            ..PipelineConfig::default()
+        },
+    );
     let default = cycles(&p, PipelineConfig::default());
     assert!(
         narrow > 2 * wide,
         "one MAF serializes the misses: {narrow} vs {wide}"
     );
-    assert!(default <= narrow && default >= wide, "default sits between: {default}");
+    assert!(
+        default <= narrow && default >= wide,
+        "default sits between: {default}"
+    );
 }

@@ -22,7 +22,10 @@ struct Recorder {
 
 impl Recorder {
     fn tagging(every: u64) -> Recorder {
-        Recorder { tag_every: every, ..Recorder::default() }
+        Recorder {
+            tag_every: every,
+            ..Recorder::default()
+        }
     }
 }
 
@@ -162,7 +165,10 @@ fn independent_alu_ops_reach_high_ipc() {
     let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
     sim.run(1_000_000).unwrap();
     let ipc = sim.stats().ipc();
-    assert!(ipc > 2.5, "independent ops should sustain high IPC, got {ipc:.2}");
+    assert!(
+        ipc > 2.5,
+        "independent ops should sustain high IPC, got {ipc:.2}"
+    );
 }
 
 #[test]
@@ -184,8 +190,14 @@ fn dependent_chain_limits_ipc_to_one() {
     let ipc = sim.stats().ipc();
     // The chain serializes the 8 adds; the counter update and branch add
     // a little parallelism, so IPC sits just above 1.
-    assert!(ipc < 1.6, "dependent chain should bottleneck IPC, got {ipc:.2}");
-    assert!(ipc > 0.7, "chain should still sustain about one per cycle, got {ipc:.2}");
+    assert!(
+        ipc < 1.6,
+        "dependent chain should bottleneck IPC, got {ipc:.2}"
+    );
+    assert!(
+        ipc > 0.7,
+        "chain should still sustain about one per cycle, got {ipc:.2}"
+    );
 }
 
 #[test]
@@ -225,8 +237,16 @@ fn cache_missing_loads_are_much_slower() {
     let mut miss = Pipeline::with_oracle(p, PipelineConfig::default(), NullHardware, oracle);
     miss.run(10_000_000).unwrap();
 
-    assert!(miss.stats().dcache_misses > 1900, "misses: {}", miss.stats().dcache_misses);
-    assert!(hit.stats().dcache_misses < 100, "misses: {}", hit.stats().dcache_misses);
+    assert!(
+        miss.stats().dcache_misses > 1900,
+        "misses: {}",
+        miss.stats().dcache_misses
+    );
+    assert!(
+        hit.stats().dcache_misses < 100,
+        "misses: {}",
+        hit.stats().dcache_misses
+    );
     assert!(
         miss.stats().cycles > 3 * hit.stats().cycles,
         "missing: {} cycles, hitting: {} cycles",
@@ -241,8 +261,15 @@ fn unpredictable_branches_cause_squashes() {
     let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
     sim.run(1_000_000).unwrap();
     let s = sim.stats();
-    assert!(s.mispredicts > 100, "LFSR branch defeats the predictor: {}", s.mispredicts);
-    assert!(s.squashed > s.mispredicts, "each mispredict squashes wrong-path work");
+    assert!(
+        s.mispredicts > 100,
+        "LFSR branch defeats the predictor: {}",
+        s.mispredicts
+    );
+    assert!(
+        s.squashed > s.mispredicts,
+        "each mispredict squashes wrong-path work"
+    );
 }
 
 #[test]
@@ -296,7 +323,10 @@ fn tagged_samples_complete_with_monotone_timestamps() {
             assert!(!s.events.contains(profileme_uarch::EventSet::RETIRED));
         }
     }
-    assert!(saw_abort, "some tagged instructions should abort on this branchy code");
+    assert!(
+        saw_abort,
+        "some tagged instructions should abort on this branchy code"
+    );
 }
 
 #[test]
@@ -307,8 +337,13 @@ fn retired_sample_pcs_follow_program_order() {
     sim.run(1_000_000).unwrap();
     // Retired samples, in completion order, must be a subsequence of the
     // functional trace.
-    let retired: Vec<_> =
-        sim.hardware().samples.iter().filter(|s| s.retired).map(|s| s.pc).collect();
+    let retired: Vec<_> = sim
+        .hardware()
+        .samples
+        .iter()
+        .filter(|s| s.retired)
+        .map(|s| s.pc)
+        .collect();
     let mut it = truth.iter();
     for pc in &retired {
         assert!(
@@ -321,7 +356,10 @@ fn retired_sample_pcs_follow_program_order() {
 #[test]
 fn interrupts_are_delivered_and_cost_cycles() {
     let p = stress_program(300);
-    let hw = Recorder { raise_interrupt_every: 500, ..Recorder::default() };
+    let hw = Recorder {
+        raise_interrupt_every: 500,
+        ..Recorder::default()
+    };
     let mut sim = Pipeline::new(p.clone(), PipelineConfig::default(), hw);
     let mut delivered = 0;
     sim.run_with(10_000_000, |e, _| {
@@ -329,7 +367,10 @@ fn interrupts_are_delivered_and_cost_cycles() {
         delivered += 1;
     })
     .unwrap();
-    assert!(delivered > 3, "expected several interrupts, got {delivered}");
+    assert!(
+        delivered > 3,
+        "expected several interrupts, got {delivered}"
+    );
     assert_eq!(sim.stats().interrupts, delivered);
     assert!(sim.stats().interrupt_stall_cycles >= 200 * delivered);
 
@@ -368,5 +409,8 @@ fn cycle_limit_is_reported() {
     let p = stress_program(10_000);
     let mut sim = Pipeline::new(p, PipelineConfig::default(), NullHardware);
     let err = sim.run(100).unwrap_err();
-    assert_eq!(err.to_string(), "simulation exceeded 100 cycles without halting");
+    assert_eq!(
+        err.to_string(),
+        "simulation exceeded 100 cycles without halting"
+    );
 }

@@ -4,9 +4,7 @@
 //! and simulation must be deterministic — in both issue disciplines.
 
 use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
-use profileme_uarch::{
-    HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware,
-};
+use profileme_uarch::{HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

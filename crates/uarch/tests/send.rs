@@ -1,0 +1,21 @@
+//! Compile-time thread-safety guarantees. The experiment engine in
+//! `profileme-bench` fans independent simulations out across worker
+//! threads, so a pipeline (over any hardware) and everything a run
+//! produces must cross thread boundaries.
+
+use profileme_uarch::{
+    CompletedSample, InterruptEvent, NullHardware, Pipeline, PipelineConfig, SimStats,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn simulation_types_cross_threads() {
+    assert_send::<Pipeline<NullHardware>>();
+    assert_send_sync::<NullHardware>();
+    assert_send_sync::<SimStats>();
+    assert_send_sync::<PipelineConfig>();
+    assert_send_sync::<CompletedSample>();
+    assert_send_sync::<InterruptEvent>();
+}

@@ -12,7 +12,12 @@ fn run(p: Program, config: PipelineConfig) -> SimStats {
 }
 
 /// Average of a per-PC latency component at `pc`.
-fn avg(stats: &SimStats, p: &Program, pc: profileme_isa::Pc, f: impl Fn(&profileme_uarch::LatencySums) -> u64) -> f64 {
+fn avg(
+    stats: &SimStats,
+    p: &Program,
+    pc: profileme_isa::Pc,
+    f: impl Fn(&profileme_uarch::LatencySums) -> u64,
+) -> f64 {
     let s = stats.at(p, pc).expect("pc in image");
     f(&s.latency_sums) as f64 / s.retired.max(1) as f64
 }
@@ -40,12 +45,21 @@ fn data_dependences_charge_map_to_data_ready() {
     // The consumer add (index 4 in the image: entry+4... locate by
     // walking: ldi ldi ldi [top]fdiv addi addi bne halt).
     let consumer = p.entry().advance(4);
-    assert!(matches!(p.fetch(consumer).unwrap().op, profileme_isa::Op::Alu { .. }));
+    assert!(matches!(
+        p.fetch(consumer).unwrap().op,
+        profileme_isa::Op::Alu { .. }
+    ));
     let dep_wait = avg(&stats, &p, consumer, |l| l.map_to_data_ready);
     // The add waits most of the divider's 12-cycle latency.
-    assert!(dep_wait > 6.0, "consumer waits on the divide: {dep_wait:.1}");
+    assert!(
+        dep_wait > 6.0,
+        "consumer waits on the divide: {dep_wait:.1}"
+    );
     let exec = avg(&stats, &p, consumer, |l| l.issue_to_retire_ready);
-    assert!((exec - 1.0).abs() < 0.5, "but executes in one cycle: {exec:.1}");
+    assert!(
+        (exec - 1.0).abs() < 0.5,
+        "but executes in one cycle: {exec:.1}"
+    );
 }
 
 #[test]
@@ -71,9 +85,15 @@ fn structural_hazards_charge_data_ready_to_issue() {
     // The last divide of the group has waited for three predecessors'
     // divider occupancy.
     let last_div = p.entry().advance(5 + 3);
-    assert!(matches!(p.fetch(last_div).unwrap().op, profileme_isa::Op::Fp { .. }));
+    assert!(matches!(
+        p.fetch(last_div).unwrap().op,
+        profileme_isa::Op::Fp { .. }
+    ));
     let contention = avg(&stats, &p, last_div, |l| l.data_ready_to_issue);
-    assert!(contention > 15.0, "divider contention shows up pre-issue: {contention:.1}");
+    assert!(
+        contention > 15.0,
+        "divider contention shows up pre-issue: {contention:.1}"
+    );
 }
 
 #[test]
@@ -98,7 +118,10 @@ fn register_exhaustion_charges_fetch_to_map() {
 
 #[test]
 fn issue_queue_pressure_charges_fetch_to_map() {
-    let tiny_iq = PipelineConfig { iq_size: 4, ..PipelineConfig::default() };
+    let tiny_iq = PipelineConfig {
+        iq_size: 4,
+        ..PipelineConfig::default()
+    };
     let p = divide_chain();
     let stats = run(p.clone(), tiny_iq);
     let roomy = run(p.clone(), PipelineConfig::default());
@@ -137,7 +160,10 @@ fn in_order_retirement_charges_retire_ready_to_retire() {
     // Crucially its *in progress* time (what §5.2.3 charges) is small.
     let s = stats.at(&p, indep).unwrap();
     let in_progress = s.in_progress_sum as f64 / s.retired as f64;
-    assert!(in_progress < retire_wait, "in-progress excludes the retire wait");
+    assert!(
+        in_progress < retire_wait,
+        "in-progress excludes the retire wait"
+    );
 }
 
 #[test]

@@ -63,7 +63,11 @@ pub(crate) fn linked_list(mem: &mut Memory, base: u64, cells: u64, stride: u64) 
     assert!(stride >= 8, "cells must not overlap");
     for i in 0..cells {
         let here = base + i * stride;
-        let next = if i + 1 == cells { base } else { base + (i + 1) * stride };
+        let next = if i + 1 == cells {
+            base
+        } else {
+            base + (i + 1) * stride
+        };
         mem.write(here, next);
     }
     base
@@ -72,7 +76,13 @@ pub(crate) fn linked_list(mem: &mut Memory, base: u64, cells: u64, stride: u64) 
 /// Builds a *shuffled* linked list over `cells` slots (random traversal
 /// order defeats both prefetching-like locality and the branch
 /// predictor's ability to help), returning the address of the first node.
-pub(crate) fn shuffled_list(mem: &mut Memory, base: u64, cells: u64, stride: u64, seed: u64) -> u64 {
+pub(crate) fn shuffled_list(
+    mem: &mut Memory,
+    base: u64,
+    cells: u64,
+    stride: u64,
+    seed: u64,
+) -> u64 {
     assert!(stride >= 8, "cells must not overlap");
     let mut order: Vec<u64> = (0..cells).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -95,7 +105,10 @@ pub(crate) fn shuffled_list(mem: &mut Memory, base: u64, cells: u64, stride: u64
 /// bits and is always consistent; with them it must match several
 /// never-taken directions, as in real code.
 pub(crate) fn emit_prologue(b: &mut ProgramBuilder, iterations: u64, seed: i64, base: i64) {
-    assert!(iterations > 0 && seed != 0 && base != 0, "guards must never fire");
+    assert!(
+        iterations > 0 && seed != 0 && base != 0,
+        "guards must never fire"
+    );
     b.load_imm(regs::COUNTER, iterations as i64);
     b.load_imm(regs::STATE, seed);
     b.load_imm(regs::BASE, base);

@@ -44,11 +44,11 @@
 #![warn(missing_docs)]
 
 mod gen;
-mod special;
 mod spec_like;
+mod special;
 
-pub use special::{loops3, microbench, Loops3};
 pub use spec_like::{compress, gcc, go, ijpeg, li, perl, povray, vortex};
+pub use special::{loops3, microbench, Loops3};
 
 use profileme_isa::{Memory, Program};
 

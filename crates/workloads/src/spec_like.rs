@@ -68,8 +68,9 @@ pub fn gcc(iterations: u64) -> Workload {
     const PAD: usize = 180;
     let mut b = ProgramBuilder::new();
     b.function("gcc_driver");
-    let pass_labels: Vec<_> =
-        (0..PASSES).map(|i| b.forward_label(format!("pass{i}"))).collect();
+    let pass_labels: Vec<_> = (0..PASSES)
+        .map(|i| b.forward_label(format!("pass{i}")))
+        .collect();
     emit_prologue(&mut b, iterations, 0x5eed_9cc1, DATA_BASE);
     let top = b.label("top");
     emit_lfsr_step(&mut b);
@@ -93,7 +94,11 @@ pub fn gcc(iterations: u64) -> Workload {
         b.place(pass);
         // Pad with work so the passes cover a lot of unique code.
         for k in 0..PAD {
-            b.addi(Reg::new(1 + (k % 4) as u8), Reg::new(1 + (k % 4) as u8), (i + k) as i64);
+            b.addi(
+                Reg::new(1 + (k % 4) as u8),
+                Reg::new(1 + (k % 4) as u8),
+                (i + k) as i64,
+            );
         }
         let else_ = b.forward_label(format!("p{i}else"));
         let join = b.forward_label(format!("p{i}join"));
@@ -190,9 +195,9 @@ pub fn li(iterations: u64) -> Workload {
     b.load_imm(Reg::R15, head as i64);
     let top = b.label("top");
     b.load(Reg::R15, Reg::R15, 0); // cdr: chase the pointer
-    // Two call sites for the same helper, selected by an address bit, as
-    // Lisp evaluators call the same primitives from many places. (The
-    // cells are 512-byte strided, so bit 9 varies with the shuffle.)
+                                   // Two call sites for the same helper, selected by an address bit, as
+                                   // Lisp evaluators call the same primitives from many places. (The
+                                   // cells are 512-byte strided, so bit 9 varies with the shuffle.)
     let other_site = b.forward_label("other_site");
     let after_call = b.forward_label("after_call");
     b.and(Reg::R2, Reg::R15, 512);
@@ -234,7 +239,9 @@ pub fn perl(iterations: u64) -> Workload {
     const TABLE: i64 = 0x20_0000; // jump table location
     let mut b = ProgramBuilder::new();
     b.function("perl_interp");
-    let handlers: Vec<_> = (0..OPS).map(|i| b.forward_label(format!("op{i}"))).collect();
+    let handlers: Vec<_> = (0..OPS)
+        .map(|i| b.forward_label(format!("op{i}")))
+        .collect();
     emit_prologue(&mut b, iterations, 0x9e11_0b0e, DATA_BASE);
     b.load_imm(Reg::R15, TABLE);
     let top = b.label("top");
@@ -375,4 +382,3 @@ pub fn vortex(iterations: u64) -> Workload {
         memory,
     }
 }
-

@@ -7,25 +7,44 @@ use profileme_workloads::{loops3, microbench, suite, Workload};
 
 fn run(w: &Workload) -> SimStats {
     let oracle = ArchState::with_memory(&w.program, w.memory.clone());
-    let mut sim =
-        Pipeline::with_oracle(w.program.clone(), PipelineConfig::default(), NullHardware, oracle);
-    sim.run(200_000_000).unwrap_or_else(|e| panic!("{} did not finish: {e}", w.name));
+    let mut sim = Pipeline::with_oracle(
+        w.program.clone(),
+        PipelineConfig::default(),
+        NullHardware,
+        oracle,
+    );
+    sim.run(200_000_000)
+        .unwrap_or_else(|e| panic!("{} did not finish: {e}", w.name));
     sim.stats().clone()
 }
 
 fn by_name(ws: &[(String, SimStats)], name: &str) -> SimStats {
-    ws.iter().find(|(n, _)| n == name).unwrap_or_else(|| panic!("{name} missing")).1.clone()
+    ws.iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("{name} missing"))
+        .1
+        .clone()
 }
 
 #[test]
 fn suite_runs_and_exhibits_expected_characters() {
-    let stats: Vec<(String, SimStats)> =
-        suite(120_000).iter().map(|w| (w.name.to_string(), run(w))).collect();
+    let stats: Vec<(String, SimStats)> = suite(120_000)
+        .iter()
+        .map(|w| (w.name.to_string(), run(w)))
+        .collect();
 
     for (name, s) in &stats {
-        assert!(s.retired > 10_000, "{name} did meaningful work: {} retired", s.retired);
+        assert!(
+            s.retired > 10_000,
+            "{name} did meaningful work: {} retired",
+            s.retired
+        );
         assert!(s.ipc() > 0.05, "{name} IPC {:.3} is sane", s.ipc());
-        assert!(s.ipc() < 4.0, "{name} IPC {:.3} under the machine bound", s.ipc());
+        assert!(
+            s.ipc() < 4.0,
+            "{name} IPC {:.3} under the machine bound",
+            s.ipc()
+        );
     }
 
     let miss_rate = |s: &SimStats| s.dcache_misses as f64 / s.dcache_accesses.max(1) as f64;
@@ -42,14 +61,36 @@ fn suite_runs_and_exhibits_expected_characters() {
 
     // li: pointer chasing dominates — the worst D-cache behaviour and the
     // lowest IPC in the suite.
-    assert!(miss_rate(&li) > 0.4, "li misses a lot: {:.2}", miss_rate(&li));
-    assert!(miss_rate(&li) > 4.0 * miss_rate(&ijpeg), "li ≫ ijpeg in miss rate");
-    let max_rate = stats.iter().map(|(_, s)| miss_rate(s)).fold(0.0f64, f64::max);
-    assert_eq!(miss_rate(&li), max_rate, "li has the worst D-cache behaviour");
-    assert!(li.ipc() < 1.0, "serialized misses keep li slow: IPC {:.2}", li.ipc());
+    assert!(
+        miss_rate(&li) > 0.4,
+        "li misses a lot: {:.2}",
+        miss_rate(&li)
+    );
+    assert!(
+        miss_rate(&li) > 4.0 * miss_rate(&ijpeg),
+        "li ≫ ijpeg in miss rate"
+    );
+    let max_rate = stats
+        .iter()
+        .map(|(_, s)| miss_rate(s))
+        .fold(0.0f64, f64::max);
+    assert_eq!(
+        miss_rate(&li),
+        max_rate,
+        "li has the worst D-cache behaviour"
+    );
+    assert!(
+        li.ipc() < 1.0,
+        "serialized misses keep li slow: IPC {:.2}",
+        li.ipc()
+    );
 
     // go: the branchiest, least predictable.
-    assert!(mpki(&go) > 20.0, "go mispredicts often: {:.1} mpki", mpki(&go));
+    assert!(
+        mpki(&go) > 20.0,
+        "go mispredicts often: {:.1} mpki",
+        mpki(&go)
+    );
     assert!(mpki(&go) > mpki(&ijpeg) * 5.0, "go ≫ ijpeg in mispredicts");
 
     // gcc: the biggest instruction footprint.
@@ -69,7 +110,11 @@ fn suite_runs_and_exhibits_expected_characters() {
     }
 
     // perl: indirect dispatch causes real mispredict squashes.
-    assert!(perl.squashed > 1000, "perl squashes on dispatch: {}", perl.squashed);
+    assert!(
+        perl.squashed > 1000,
+        "perl squashes on dispatch: {}",
+        perl.squashed
+    );
 
     // ijpeg: the highest IPC of the suite (regular, parallel arithmetic).
     let max_ipc = stats.iter().map(|(_, s)| s.ipc()).fold(0.0f64, f64::max);

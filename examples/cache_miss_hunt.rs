@@ -13,8 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::li(60_000);
     println!("workload: {} — {}\n", w.name, w.description);
 
-    let sampling =
-        ProfileMeConfig { mean_interval: 96, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let sampling = ProfileMeConfig {
+        mean_interval: 96,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory),
@@ -27,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ranked: Vec<_> = run.db.iter().filter(|(_, p)| p.dcache_misses > 0).collect();
     ranked.sort_by_key(|(_, p)| std::cmp::Reverse(p.dcache_misses));
 
-    println!("{:<10} {:<20} {:>12} {:>12} {:>10}", "pc", "instruction", "est.misses", "act.misses", "miss rate");
+    println!(
+        "{:<10} {:<20} {:>12} {:>12} {:>10}",
+        "pc", "instruction", "est.misses", "act.misses", "miss rate"
+    );
     for (pc, prof) in ranked.iter().take(8) {
         let est = run.db.estimated_dcache_misses(*pc);
         let actual = run.stats.at(&w.program, *pc).map_or(0, |s| s.dcache_misses);
@@ -60,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lo,
             hi
         );
-        println!("(span {:.1} MiB — far beyond any cache: the footprint itself is the problem)",
-            (hi - lo) as f64 / (1024.0 * 1024.0));
+        println!(
+            "(span {:.1} MiB — far beyond any cache: the footprint itself is the problem)",
+            (hi - lo) as f64 / (1024.0 * 1024.0)
+        );
     }
 
     // Average memory latency seen by the worst load.

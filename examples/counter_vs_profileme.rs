@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example counter_vs_profileme`
 
-use profileme::counters::{CounterHardware, PcHistogram};
 use profileme::core::{run_single, ProfileMeConfig};
+use profileme::counters::{CounterHardware, PcHistogram};
 use profileme::uarch::{HwEventKind, Pipeline, PipelineConfig};
 use profileme::workloads::microbench;
 
@@ -40,10 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- ProfileMe on the identical machine ---------------------------
-    let sampling =
-        ProfileMeConfig { mean_interval: 64, buffer_depth: 8, ..ProfileMeConfig::default() };
-    let run =
-        run_single(w.program.clone(), None, PipelineConfig::default(), sampling, u64::MAX)?;
+    let sampling = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        w.program.clone(),
+        None,
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )?;
     let mem_samples: u64 = run
         .db
         .iter()
@@ -51,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(_, p)| p.samples)
         .sum();
     let at_load = run.db.at(load_pc).samples;
-    println!("ProfileMe attribution ({} samples total):", run.samples.len());
+    println!(
+        "ProfileMe attribution ({} samples total):",
+        run.samples.len()
+    );
     println!(
         "  -> memory-operation samples: {mem_samples}, of which at the load: {at_load} (100% exact)"
     );

@@ -53,7 +53,11 @@ fn victim() -> Program {
     for (d, (hot, join)) in hot_arms.into_iter().zip(joins).enumerate() {
         b.place(hot);
         for k in 0..24i64 {
-            b.addi(Reg::new(4 + ((d as i64 + k) % 4) as u8), Reg::new(4 + ((d as i64 + k) % 4) as u8), 1);
+            b.addi(
+                Reg::new(4 + ((d as i64 + k) % 4) as u8),
+                Reg::new(4 + ((d as i64 + k) % 4) as u8),
+                1,
+            );
         }
         b.jmp(join);
     }
@@ -77,9 +81,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 1. Profile.
-    let sampling =
-        ProfileMeConfig { mean_interval: 48, buffer_depth: 8, ..ProfileMeConfig::default() };
-    let run = run_single(p.clone(), None, PipelineConfig::default(), sampling, u64::MAX)?;
+    let sampling = ProfileMeConfig {
+        mean_interval: 48,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        p.clone(),
+        None,
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )?;
     println!("profiled: {} samples", run.samples.len());
 
     // 2. Weights -> chains -> relayout.
@@ -100,7 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (c0, i0, t0) = measure(&p);
     let (c1, i1, t1) = measure(&q);
-    println!("{:<12} {:>12} {:>12} {:>14}", "layout", "cycles", "i$ misses", "taken branches");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14}",
+        "layout", "cycles", "i$ misses", "taken branches"
+    );
     println!("{:<12} {:>12} {:>12} {:>14}", "original", c0, i0, t0);
     println!("{:<12} {:>12} {:>12} {:>14}", "optimized", c1, i1, t1);
     println!(

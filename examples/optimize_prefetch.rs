@@ -44,28 +44,47 @@ fn kernel(prefetch_bytes_ahead: Option<i64>) -> (Program, Pc) {
 fn cycles(p: &Program) -> (u64, u64, u64) {
     let mut sim = Pipeline::new(p.clone(), PipelineConfig::default(), NullHardware);
     sim.run(u64::MAX).expect("kernel completes");
-    (sim.stats().cycles, sim.stats().dcache_misses, sim.stats().dcache_accesses)
+    (
+        sim.stats().cycles,
+        sim.stats().dcache_misses,
+        sim.stats().dcache_accesses,
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- step 1: profile the unoptimized kernel -----------------------
     let (plain, load_pc) = kernel(None);
-    let sampling =
-        ProfileMeConfig { mean_interval: 96, buffer_depth: 8, ..ProfileMeConfig::default() };
-    let run = run_single(plain.clone(), None, PipelineConfig::default(), sampling, u64::MAX)?;
+    let sampling = ProfileMeConfig {
+        mean_interval: 96,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        plain.clone(),
+        None,
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )?;
 
     let (worst_pc, prof) = run
         .db
         .iter()
         .max_by_key(|(_, p)| p.dcache_misses)
         .expect("samples were collected");
-    println!("profile says: worst D-cache offender is {worst_pc}  `{}`", plain.fetch(worst_pc).unwrap());
+    println!(
+        "profile says: worst D-cache offender is {worst_pc}  `{}`",
+        plain.fetch(worst_pc).unwrap()
+    );
     println!(
         "  sampled miss rate {:.0}%, average load latency {:.1} cycles",
         100.0 * prof.dcache_misses as f64 / prof.retired.max(1) as f64,
         prof.mem_latency_sum as f64 / prof.mem_latency_samples.max(1) as f64
     );
-    assert_eq!(worst_pc, load_pc, "the profile pinpoints the streaming load");
+    assert_eq!(
+        worst_pc, load_pc,
+        "the profile pinpoints the streaming load"
+    );
 
     // ---- step 2: recover the stride from sampled addresses ------------
     let mut addrs: Vec<u64> = run
@@ -86,10 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gcd(b, a % b)
         }
     }
-    let stride = addrs
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .fold(0, gcd);
+    let stride = addrs.windows(2).map(|w| w[1] - w[0]).fold(0, gcd);
     println!("  Profiled Address Register values reveal a {stride}-byte stride (gcd of deltas)");
     assert_eq!(stride as i64, STRIDE);
 
@@ -99,9 +115,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (optimized, _) = kernel(Some(distance));
     let (c0, m0, a0) = cycles(&plain);
     let (c1, m1, a1) = cycles(&optimized);
-    println!("\n{:<14} {:>12} {:>12} {:>14}", "kernel", "cycles", "d$ misses", "load miss rate");
-    println!("{:<14} {:>12} {:>12} {:>13.1}%", "plain", c0, m0, 100.0 * m0 as f64 / a0 as f64);
-    println!("{:<14} {:>12} {:>12} {:>13.1}%", "prefetching", c1, m1, 100.0 * m1 as f64 / a1 as f64);
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>14}",
+        "kernel", "cycles", "d$ misses", "load miss rate"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>13.1}%",
+        "plain",
+        c0,
+        m0,
+        100.0 * m0 as f64 / a0 as f64
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>13.1}%",
+        "prefetching",
+        c1,
+        m1,
+        100.0 * m1 as f64 / a1 as f64
+    );
     let speedup = c0 as f64 / c1 as f64;
     println!("\nspeedup from profile-guided prefetching: {speedup:.2}x");
     assert!(speedup > 1.2, "prefetching should pay off ({speedup:.2}x)");
@@ -110,7 +141,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_load_misses = {
         let mut sim = Pipeline::new(plain, PipelineConfig::default(), NullHardware);
         sim.run(u64::MAX)?;
-        sim.stats().at(sim.program(), load_pc).unwrap().dcache_misses
+        sim.stats()
+            .at(sim.program(), load_pc)
+            .unwrap()
+            .dcache_misses
     };
     println!("demand-load misses: {plain_load_misses} -> (moved onto the prefetch instruction)");
     Ok(())

@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while !rec.halted() {
         if step.is_multiple_of(97) {
             let snap = rec.snapshot(&cfg);
-            if let Some(truth) = snap.ground_truth(&cfg, &w.program, history_len, Scope::Interprocedural)
+            if let Some(truth) =
+                snap.ground_truth(&cfg, &w.program, history_len, Scope::Interprocedural)
             {
                 attempts += 1;
                 for (i, scheme) in PathScheme::ALL.iter().enumerate() {

@@ -11,8 +11,11 @@ use profileme::workloads;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::gcc(40);
     println!("workload: {} — {}\n", w.name, w.description);
-    let sampling =
-        ProfileMeConfig { mean_interval: 64, buffer_depth: 16, ..ProfileMeConfig::default() };
+    let sampling = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 16,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory),
@@ -42,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Drill into the hottest procedure at instruction level.
     let hottest = &procs[0];
-    println!("\nhottest procedure `{}` at instruction level (top 6 by latency):", hottest.name);
+    println!(
+        "\nhottest procedure `{}` at instruction level (top 6 by latency):",
+        hottest.name
+    );
     let f = w.program.function_named(&hottest.name);
     let mut rows: Vec<_> = run
         .db

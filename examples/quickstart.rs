@@ -40,9 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sample one instruction per ~128 fetched, buffering 8 samples per
     // interrupt.
-    let sampling =
-        ProfileMeConfig { mean_interval: 128, buffer_depth: 8, ..ProfileMeConfig::default() };
-    let run = run_single(program.clone(), None, PipelineConfig::default(), sampling, u64::MAX)?;
+    let sampling = ProfileMeConfig {
+        mean_interval: 128,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
+    let run = run_single(
+        program.clone(),
+        None,
+        PipelineConfig::default(),
+        sampling,
+        u64::MAX,
+    )?;
 
     println!(
         "simulated {} cycles, {} instructions retired (IPC {:.2}), {} samples\n",
@@ -81,9 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (worst, _) = run
         .db
         .iter()
-        .max_by(|(_, a), (_, b)| {
-            (a.in_progress_sum).cmp(&b.in_progress_sum)
-        })
+        .max_by(|(_, a), (_, b)| (a.in_progress_sum).cmp(&b.in_progress_sum))
         .expect("samples were collected");
     println!(
         "\nlongest-latency instruction: {worst}  {}",

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut per_loop = [(0.0f64, 0.0f64); 3]; // (latency, wasted)
     for (pc, prof) in run.db.iter() {
-        let Some(loop_idx) = l3.loop_of(pc) else { continue };
+        let Some(loop_idx) = l3.loop_of(pc) else {
+            continue;
+        };
         let ws = wasted_issue_slots(&run.db, pc, issue_width);
         let useful_pct = if ws.total_slots > 0.0 {
             100.0 * ws.useful_slots.min(ws.total_slots) / ws.total_slots
@@ -66,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nper-loop totals (the Figure 7 contrast):");
-    println!("{:<10} {:>16} {:>16} {:>22}", "loop", "Σ latency", "Σ wasted slots", "wasted per latency");
+    println!(
+        "{:<10} {:>16} {:>16} {:>22}",
+        "loop", "Σ latency", "Σ wasted slots", "wasted per latency"
+    );
     for (i, (name, _, _)) in l3.loops.iter().enumerate() {
         let (lat, wasted) = per_loop[i];
         println!(
@@ -98,7 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_by_key(|(_, p)| p.samples)
             .map(|(pc, _)| pc);
         let Some(pc) = hottest else { continue };
-        let Some(pop) = pipeline_population(&run.pairs, pc, run.db.window()) else { continue };
+        let Some(pop) = pipeline_population(&run.pairs, pc, run.db.window()) else {
+            continue;
+        };
         println!(
             "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>8.1}",
             name,

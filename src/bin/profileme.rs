@@ -10,8 +10,7 @@
 //! ```
 
 use profileme::core::{
-    procedure_summaries, run_paired, run_single, wasted_issue_slots, PairedConfig,
-    ProfileMeConfig,
+    procedure_summaries, run_paired, run_single, wasted_issue_slots, PairedConfig, ProfileMeConfig,
 };
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{loops3, microbench, suite};
@@ -49,9 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--workload" | "-w" => args.workload = value("--workload")?,
             "--interval" | "-i" => {
@@ -60,9 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--buffer" | "-b" => {
                 args.buffer = value("--buffer")?.parse().map_err(|e| format!("{e}"))?
             }
-            "--budget" => {
-                args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--budget" => args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
             "--top" => args.top = value("--top")?.parse().map_err(|e| format!("{e}"))?,
             "--paired" => args.paired = true,
             "--report" | "-r" => args.report = value("--report")?,
@@ -105,7 +100,10 @@ fn main() -> ExitCode {
         for w in suite(1_000) {
             println!("  {:<10} {}", w.name, w.description);
         }
-        println!("  {:<10} one cache-hit load + 200 nops (Figure 2)", "microbench");
+        println!(
+            "  {:<10} one cache-hit load + 200 nops (Figure 2)",
+            "microbench"
+        );
         println!("  {:<10} three contrasting loops (Figure 7)", "loops3");
         return ExitCode::SUCCESS;
     }
@@ -161,7 +159,10 @@ fn main() -> ExitCode {
             println!(
                 "{:<10} {:<24} {:>8} {:>14.0} {:>14.0}",
                 pc.to_string(),
-                w.program.fetch(*pc).map(|i| i.to_string()).unwrap_or_default(),
+                w.program
+                    .fetch(*pc)
+                    .map(|i| i.to_string())
+                    .unwrap_or_default(),
                 samples,
                 lat,
                 wasted
@@ -202,7 +203,10 @@ fn main() -> ExitCode {
         "procedures" => {
             let procs = procedure_summaries(&run.db, &w.program);
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&procs).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&procs).expect("serializable")
+                );
                 return ExitCode::SUCCESS;
             }
             println!(
@@ -232,7 +236,11 @@ fn main() -> ExitCode {
                 println!(
                     "  {:#08x}  {:>7} {:>8} {:>7}    {}",
                     pc.addr(),
-                    if prof.samples > 0 { prof.samples.to_string() } else { String::new() },
+                    if prof.samples > 0 {
+                        prof.samples.to_string()
+                    } else {
+                        String::new()
+                    },
                     if prof.in_progress_sum > 0 {
                         prof.in_progress_sum.to_string()
                     } else {
@@ -250,7 +258,10 @@ fn main() -> ExitCode {
         "instructions" => {
             if args.json {
                 let rows: Vec<_> = run.db.iter().collect();
-                println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rows).expect("serializable")
+                );
                 return ExitCode::SUCCESS;
             }
             let mut rows: Vec<_> = run.db.iter().collect();
@@ -263,7 +274,10 @@ fn main() -> ExitCode {
                 println!(
                     "{:<10} {:<24} {:>8} {:>10} {:>8} {:>8} {:>7.1}%",
                     pc.to_string(),
-                    w.program.fetch(*pc).map(|i| i.to_string()).unwrap_or_default(),
+                    w.program
+                        .fetch(*pc)
+                        .map(|i| i.to_string())
+                        .unwrap_or_default(),
                     p.samples,
                     p.in_progress_sum,
                     p.dcache_misses,

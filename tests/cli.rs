@@ -14,8 +14,18 @@ fn list_names_every_workload() {
     let out = profileme(&["--list"]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for name in ["compress", "gcc", "go", "ijpeg", "li", "perl", "povray", "vortex", "microbench", "loops3"]
-    {
+    for name in [
+        "compress",
+        "gcc",
+        "go",
+        "ijpeg",
+        "li",
+        "perl",
+        "povray",
+        "vortex",
+        "microbench",
+        "loops3",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
 }
@@ -23,7 +33,11 @@ fn list_names_every_workload() {
 #[test]
 fn instruction_report_runs() {
     let out = profileme(&["--workload", "compress", "--budget", "50000", "--top", "5"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("samples over"), "{text}");
     assert!(text.lines().count() >= 5, "{text}");
@@ -32,19 +46,38 @@ fn instruction_report_runs() {
 #[test]
 fn procedure_report_runs() {
     let out = profileme(&[
-        "--workload", "li", "--budget", "50000", "--report", "procedures",
+        "--workload",
+        "li",
+        "--budget",
+        "50000",
+        "--report",
+        "procedures",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("li_walk") && text.contains("li_car"), "{text}");
+    assert!(
+        text.contains("li_walk") && text.contains("li_car"),
+        "{text}"
+    );
 }
 
 #[test]
 fn wasted_report_runs() {
     let out = profileme(&[
-        "--workload", "loops3", "--budget", "300000", "--report", "wasted", "--interval", "48",
+        "--workload",
+        "loops3",
+        "--budget",
+        "300000",
+        "--report",
+        "wasted",
+        "--interval",
+        "48",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("wasted slots"), "{text}");
 }
@@ -52,14 +85,22 @@ fn wasted_report_runs() {
 #[test]
 fn disasm_report_annotates_instructions() {
     let out = profileme(&[
-        "--workload", "microbench", "--budget", "60000", "--report", "disasm",
+        "--workload",
+        "microbench",
+        "--budget",
+        "60000",
+        "--report",
+        "disasm",
     ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("microbench:"), "{text}");
     assert!(text.contains("nop"), "{text}");
     // The load line carries sample annotations.
-    let load_line = text.lines().find(|l| l.contains("ld r1")).expect("load present");
+    let load_line = text
+        .lines()
+        .find(|l| l.contains("ld r1"))
+        .expect("load present");
     assert!(
         load_line.split_whitespace().count() > 4,
         "load line is annotated: {load_line}"
@@ -69,7 +110,13 @@ fn disasm_report_annotates_instructions() {
 #[test]
 fn json_output_parses() {
     let out = profileme(&[
-        "--workload", "go", "--budget", "50000", "--report", "procedures", "--json",
+        "--workload",
+        "go",
+        "--budget",
+        "50000",
+        "--report",
+        "procedures",
+        "--json",
     ]);
     assert!(out.status.success());
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");

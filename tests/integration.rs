@@ -2,11 +2,11 @@
 //! pipeline → sampling hardware → profiling software) reproduces the
 //! paper's headline behaviours at test scale.
 
+use profileme::cfg::{Cfg, Scope, TraceRecorder};
 use profileme::core::{
     pipeline_population, run_paired, run_single, wasted_issue_slots, PairedConfig, PathProfiler,
     PathScheme, ProfileMeConfig,
 };
-use profileme::cfg::{Cfg, Scope, TraceRecorder};
 use profileme::isa::ArchState;
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{self, loops3};
@@ -15,8 +15,11 @@ use profileme::workloads::{self, loops3};
 #[test]
 fn estimates_track_ground_truth_on_compress() {
     let w = workloads::compress(30_000);
-    let sampling =
-        ProfileMeConfig { mean_interval: 64, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let sampling = ProfileMeConfig {
+        mean_interval: 64,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory),
@@ -42,7 +45,10 @@ fn estimates_track_ground_truth_on_compress() {
         );
         checked += 1;
     }
-    assert!(checked >= 10, "only {checked} instructions had enough samples");
+    assert!(
+        checked >= 10,
+        "only {checked} instructions had enough samples"
+    );
 }
 
 /// ProfileMe attributes D-cache misses exactly to memory instructions;
@@ -50,8 +56,11 @@ fn estimates_track_ground_truth_on_compress() {
 #[test]
 fn dcache_miss_attribution_is_exact() {
     let w = workloads::vortex(20_000);
-    let sampling =
-        ProfileMeConfig { mean_interval: 48, buffer_depth: 8, ..ProfileMeConfig::default() };
+    let sampling = ProfileMeConfig {
+        mean_interval: 48,
+        buffer_depth: 8,
+        ..ProfileMeConfig::default()
+    };
     let run = run_single(
         w.program.clone(),
         Some(w.memory),
@@ -73,7 +82,10 @@ fn dcache_miss_attribution_is_exact() {
     // Compare against exact retired-instruction misses (correct-path).
     let actual: u64 = run.stats.per_pc.iter().map(|p| p.dcache_misses).sum();
     let rel = (est_misses - actual as f64).abs() / actual.max(1) as f64;
-    assert!(rel < 0.35, "estimated {est_misses:.0} vs actual {actual} (rel {rel:.2})");
+    assert!(
+        rel < 0.35,
+        "estimated {est_misses:.0} vs actual {actual} (rel {rel:.2})"
+    );
 }
 
 /// The Figure 7 contrast at test scale: the highest-total-latency
@@ -102,7 +114,9 @@ fn latency_does_not_rank_bottlenecks() {
 
     let mut points: Vec<(usize, f64, f64)> = Vec::new(); // (loop, latency, wasted)
     for (pc, prof) in run.db.iter() {
-        let Some(loop_idx) = l3.loop_of(pc) else { continue };
+        let Some(loop_idx) = l3.loop_of(pc) else {
+            continue;
+        };
         if prof.samples < 8 {
             continue;
         }
@@ -121,7 +135,10 @@ fn latency_does_not_rank_bottlenecks() {
         .filter(|(l, _, _)| *l == 0)
         .map(|(_, _, y)| *y)
         .fold(0.0f64, f64::max);
-    assert_eq!(rightmost_loop, 2, "the highest-latency instruction is in the memory loop");
+    assert_eq!(
+        rightmost_loop, 2,
+        "the highest-latency instruction is in the memory loop"
+    );
     assert!(
         y_rightmost < 0.6 * y_serial_max,
         "the rightmost point (x={x_max:.0}, y={y_rightmost:.0}) wastes far fewer slots \
@@ -180,17 +197,14 @@ fn path_reconstruction_scheme_ordering() {
     let w = workloads::go(1_200);
     let cfg = Cfg::build(&w.program);
     let profiler = PathProfiler::new(&cfg, &w.program);
-    let mut rec =
-        TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
+    let mut rec = TraceRecorder::with_state(ArchState::with_memory(&w.program, w.memory.clone()));
     let mut wins = [0u32; 3];
     let mut attempts = 0;
     let mut step = 0u64;
     while !rec.halted() {
         if step.is_multiple_of(53) {
             let snap = rec.snapshot(&cfg);
-            if let Some(truth) =
-                snap.ground_truth(&cfg, &w.program, 6, Scope::Interprocedural)
-            {
+            if let Some(truth) = snap.ground_truth(&cfg, &w.program, 6, Scope::Interprocedural) {
                 attempts += 1;
                 for (i, scheme) in PathScheme::ALL.iter().enumerate() {
                     let out = profiler.reconstruct(
@@ -215,7 +229,10 @@ fn path_reconstruction_scheme_ordering() {
     let [counts, history, paired] = wins;
     assert!(history > counts, "history {history} vs counts {counts}");
     assert!(paired >= history, "paired {paired} vs history {history}");
-    assert!(history as f64 > 0.5 * attempts as f64, "history succeeds often: {history}/{attempts}");
+    assert!(
+        history as f64 > 0.5 * attempts as f64,
+        "history succeeds often: {history}/{attempts}"
+    );
 }
 
 /// §6's windowed-IPC observation at test scale: real workloads exhibit

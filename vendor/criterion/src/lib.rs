@@ -1,0 +1,274 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset the workspace benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box` — with a plain mean-of-N wall-clock
+//! measurement and a text report instead of upstream's statistical
+//! machinery and HTML output. Good enough for relative comparisons on a
+//! quiet machine; not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-unit annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Things accepted where a benchmark id is expected (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples and records
+    /// the aggregate. One untimed warm-up call precedes measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples;
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the work-unit annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id}: no iterations recorded", self.name);
+            return;
+        }
+        let mean = b.total.as_secs_f64() / b.iters as f64;
+        let mut line = format!("{}/{id}: mean {}", self.name, fmt_seconds(mean));
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if mean > 0.0 {
+                line.push_str(&format!("  ({:.3e} {label})", units / mean));
+            }
+        }
+        println!("{line}");
+        self.criterion.reported += 1;
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reported: u64,
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (command-line configuration hook).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_string(),
+            sample_size: 10,
+            throughput: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_macro_and_timing_run() {
+        benches();
+    }
+}

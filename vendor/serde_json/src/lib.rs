@@ -1,0 +1,519 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Text rendering and parsing over the vendored [`serde`] value tree.
+//! Covers the API surface this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`from_slice`], [`Value`], and the
+//! [`json!`] macro.
+//!
+//! Output is deterministic: objects render in insertion order (struct
+//! declaration order), floats through Rust's shortest-round-trip
+//! formatting, and hash-map entries are pre-sorted by the `serde` layer.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error if a non-finite float is encountered (JSON has no
+/// representation for NaN/infinity).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+///
+/// # Errors
+///
+/// Returns an error if a non-finite float is encountered.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+/// Deserializes a `T` from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8, malformed JSON, or a shape
+/// mismatch with `T`.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax with interpolated
+/// expressions, e.g. `json!({"name": w.name, "cycles": cycles})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::json_array!([$($elems)*] -> []) };
+    ({ $($fields:tt)* }) => { $crate::json_object!([$($fields)*] -> []) };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+/// Internal: accumulates array elements for [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done.
+    ([] -> [$($done:expr),*]) => { $crate::Value::Array(vec![$($done),*]) };
+    // Next element is a nested array or object or null literal.
+    ([null $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($($rest)*)?] -> [$($done,)* $crate::Value::Null])
+    };
+    ([[$($inner:tt)*] $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($($rest)*)?] -> [$($done,)* $crate::json!([$($inner)*])])
+    };
+    ([{$($inner:tt)*} $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($($rest)*)?] -> [$($done,)* $crate::json!({$($inner)*})])
+    };
+    // Plain expression element.
+    ([$head:expr $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($($rest)*)?] -> [$($done,)* $crate::json!($head)])
+    };
+}
+
+/// Internal: accumulates object fields for [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done.
+    ([] -> [$($done:expr),*]) => { $crate::Value::Object(vec![$($done),*]) };
+    // Key with nested-container or null value.
+    ([$key:literal : null $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_object!([$($($rest)*)?] ->
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null)])
+    };
+    ([$key:literal : [$($inner:tt)*] $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_object!([$($($rest)*)?] ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!([$($inner)*]))])
+    };
+    ([$key:literal : {$($inner:tt)*} $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_object!([$($($rest)*)?] ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!({$($inner)*}))])
+    };
+    // Key with a plain expression value.
+    ([$key:literal : $value:expr $(, $($rest:tt)*)?] -> [$($done:expr),*]) => {
+        $crate::json_object!([$($($rest)*)?] ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!($value))])
+    };
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+fn write_value(
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error::custom("JSON cannot represent non-finite floats"));
+            }
+            // Rust's shortest round-trip formatting; force a `.0` so the
+            // value parses back as a float.
+            let s = f.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(elems) => {
+            if elems.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(e, indent, depth + 1, out)?;
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_json_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out)?;
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error describing the first malformed construct.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(elems));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape".to_string()))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape".to_string()))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code).ok_or_else(|| {
+                                    Error::custom("bad \\u code point".to_string())
+                                })?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number".to_string()))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("compress".to_string())),
+            ("cycles".to_string(), Value::U64(123)),
+            ("ipc".to_string(), Value::F64(1.5)),
+            (
+                "tags".to_string(),
+                Value::Array(vec![Value::I64(-1), Value::Null]),
+            ),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn floats_render_parseably() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        let back: f64 = from_str("1.0").unwrap();
+        assert!((back - 1.0).abs() < 1e-12);
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let name = "go";
+        let v = json!({
+            "workload": name,
+            "counts": [1, 2, 3],
+            "nested": {"ok": true, "missing": null},
+        });
+        assert_eq!(v.get("workload").and_then(Value::as_str), Some("go"));
+        assert_eq!(
+            v.get("counts").and_then(Value::as_array).map(Vec::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("ok"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "line\n\"quoted\"\\tab\there".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn large_u64_round_trips() {
+        let n = u64::MAX;
+        let back: u64 = from_str(&to_string(&n).unwrap()).unwrap();
+        assert_eq!(back, n);
+    }
+}
