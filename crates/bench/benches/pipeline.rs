@@ -1,0 +1,45 @@
+//! Criterion benchmark of the cycle loop itself: the event-driven
+//! scheduler against the polling reference, reported in simulated cycles
+//! per wall-clock second (throughput elements = cycles, not retired
+//! instructions, because the scheduler's cost is per *cycle*).
+//!
+//! `PROFILEME_BENCH_SAMPLES` overrides the timed iteration count
+//! (CI smoke runs set it to 1); `PROFILEME_SCALE` scales run lengths as
+//! in the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use profileme_bench::{run_plain, scaled};
+use profileme_uarch::{PipelineConfig, SchedulerKind};
+use profileme_workloads::suite;
+
+fn sample_size() -> usize {
+    std::env::var("PROFILEME_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+fn pipeline_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(sample_size());
+    for w in suite(scaled(40_000)) {
+        for (label, kind) in [
+            ("event", SchedulerKind::EventDriven),
+            ("polling", SchedulerKind::PollingReference),
+        ] {
+            let config = PipelineConfig {
+                scheduler: kind,
+                ..PipelineConfig::default()
+            };
+            let cycles = run_plain(&w, config.clone()).cycles;
+            group.throughput(Throughput::Elements(cycles));
+            group.bench_with_input(BenchmarkId::new(label, w.name), &w, |b, w| {
+                b.iter(|| run_plain(w, config.clone()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_schedulers);
+criterion_main!(benches);

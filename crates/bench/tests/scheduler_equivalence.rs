@@ -1,0 +1,142 @@
+//! Scheduler equivalence: the event-driven scheduler must be an exact,
+//! cycle-for-cycle replacement for the polling reference on the
+//! experiment workloads — same statistics (including per-PC ground
+//! truth), same cycle counts, and the same delivered samples, since
+//! ProfileMe's tag selection and interrupt timing observe the pipeline's
+//! every step. Any divergence would silently invalidate cross-PR
+//! comparisons of figure outputs.
+
+use profileme_core::{run_ground_truth, run_paired, run_single, PairedConfig, ProfileMeConfig};
+use profileme_uarch::{PipelineConfig, SchedulerKind};
+use profileme_workloads::{compress, loops3, povray, suite};
+
+fn schedulers(base: &PipelineConfig) -> (PipelineConfig, PipelineConfig) {
+    (
+        PipelineConfig {
+            scheduler: SchedulerKind::EventDriven,
+            ..base.clone()
+        },
+        PipelineConfig {
+            scheduler: SchedulerKind::PollingReference,
+            ..base.clone()
+        },
+    )
+}
+
+/// Ground truth over the whole spec-like suite: every workload, both
+/// schedulers, identical `SimStats` (the per-PC vectors included).
+#[test]
+fn spec_like_suite_is_scheduler_invariant() {
+    let (event, polling) = schedulers(&PipelineConfig::default());
+    for w in suite(4_000) {
+        let a = run_ground_truth(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            event.clone(),
+            u64::MAX,
+        )
+        .expect("event-driven run completes");
+        let b = run_ground_truth(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            polling.clone(),
+            u64::MAX,
+        )
+        .expect("polling run completes");
+        assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", w.name);
+        assert_eq!(a.stats, b.stats, "{}: statistics differ", w.name);
+    }
+}
+
+/// Single-instruction sampling: the profiling hardware observes fetch
+/// slots, issue timing, and interrupt delivery, so the collected samples
+/// are a fine-grained probe of scheduler equivalence.
+#[test]
+fn sampling_runs_are_scheduler_invariant() {
+    let (event, polling) = schedulers(&PipelineConfig::default());
+    let sampling = ProfileMeConfig {
+        mean_interval: 128,
+        buffer_depth: 4,
+        ..ProfileMeConfig::default()
+    };
+    for w in [compress(300), povray(400)] {
+        let a = run_single(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            event.clone(),
+            sampling,
+            u64::MAX,
+        )
+        .expect("event-driven run completes");
+        let b = run_single(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            polling.clone(),
+            sampling,
+            u64::MAX,
+        )
+        .expect("polling run completes");
+        assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", w.name);
+        assert_eq!(a.samples, b.samples, "{}: samples differ", w.name);
+        assert_eq!(a.stats, b.stats, "{}: statistics differ", w.name);
+        assert_eq!(a.invalid_selections, b.invalid_selections);
+    }
+}
+
+/// The Figure 7 configuration: paired sampling on the loops3 program.
+#[test]
+fn fig7_paired_run_is_scheduler_invariant() {
+    let (event, polling) = schedulers(&PipelineConfig::default());
+    let l3 = loops3(800);
+    let w = &l3.workload;
+    let sampling = PairedConfig {
+        mean_major_interval: 48,
+        window: 64,
+        buffer_depth: 8,
+        ..PairedConfig::default()
+    };
+    let a = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        event,
+        sampling,
+        u64::MAX,
+    )
+    .expect("event-driven run completes");
+    let b = run_paired(
+        w.program.clone(),
+        Some(w.memory.clone()),
+        polling,
+        sampling,
+        u64::MAX,
+    )
+    .expect("polling run completes");
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.stats, b.stats);
+}
+
+/// The in-order (Figure 2 baseline) machine: head-of-queue blocking must
+/// behave identically under both schedulers.
+#[test]
+fn inorder_machine_is_scheduler_invariant() {
+    let (event, polling) = schedulers(&PipelineConfig::inorder_21164ish());
+    for w in [compress(200), povray(300)] {
+        let a = run_ground_truth(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            event.clone(),
+            u64::MAX,
+        )
+        .expect("event-driven run completes");
+        let b = run_ground_truth(
+            w.program.clone(),
+            Some(w.memory.clone()),
+            polling.clone(),
+            u64::MAX,
+        )
+        .expect("polling run completes");
+        assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", w.name);
+        assert_eq!(a.stats, b.stats, "{}: statistics differ", w.name);
+    }
+}

@@ -14,6 +14,23 @@ pub enum IssueOrder {
     InOrder,
 }
 
+/// Which per-cycle scheduling implementation the pipeline uses.
+///
+/// Both produce cycle-for-cycle identical simulations (the equivalence
+/// suite in `profileme-bench` asserts it); they differ only in host cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Event-driven scheduling: a completion calendar keyed on
+    /// retire-ready cycles and wakeup-on-writeback waiter lists, so
+    /// per-cycle work is proportional to instructions actually
+    /// completing/issuing rather than to window occupancy.
+    EventDriven,
+    /// The original polling scheduler: full ROB and issue-queue scans
+    /// every cycle. Kept as the reference implementation the event-driven
+    /// scheduler is validated against.
+    PollingReference,
+}
+
 /// Functional-unit provisioning and latency for one operation class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FuSpec {
@@ -76,6 +93,9 @@ pub struct PipelineConfig {
     pub retire_width: usize,
     /// Issue discipline.
     pub issue_order: IssueOrder,
+    /// Scheduling implementation (host-cost knob; does not change the
+    /// simulated machine).
+    pub scheduler: SchedulerKind,
     /// Issue-queue capacity.
     pub iq_size: usize,
     /// In-flight window (reorder buffer) capacity.
@@ -153,6 +173,7 @@ impl Default for PipelineConfig {
             issue_width: 4,
             retire_width: 8,
             issue_order: IssueOrder::OutOfOrder,
+            scheduler: SchedulerKind::EventDriven,
             iq_size: 32,
             rob_size: 80,
             phys_regs: 112, // 32 architectural + 80 rename

@@ -129,6 +129,10 @@ pub struct DynInst {
     pub old_phys: Option<PhysReg>,
     /// Renamed sources.
     pub src_phys: [Option<PhysReg>; 2],
+    /// Source operands whose ready cycle is still unknown (their producer
+    /// has not issued). Maintained by the event-driven scheduler: the
+    /// instruction is scheduled for wakeup once this reaches zero.
+    pub pending_srcs: u8,
 
     /// ProfileMe tag, if this instruction is being sampled.
     pub tag: Option<crate::TagId>,
@@ -160,6 +164,7 @@ impl DynInst {
             dst_phys: None,
             old_phys: None,
             src_phys: [None, None],
+            pending_srcs: 0,
             tag: None,
             abort: None,
         }

@@ -62,7 +62,7 @@ mod stats;
 mod tlb;
 
 pub use cache::{Cache, CacheConfig};
-pub use config::{FuSpec, IssueOrder, PipelineConfig};
+pub use config::{FuSpec, IssueOrder, PipelineConfig, SchedulerKind};
 pub use dyninst::{DynInst, InstState, PhysReg, StageLatencies, Timestamps};
 pub use events::{AbortReason, EventSet};
 pub use fu::FuPool;

@@ -10,6 +10,16 @@
 //!   -> in-order retire
 //! ```
 //!
+//! Scheduling is event-driven by default ([`SchedulerKind::EventDriven`]):
+//! completion uses a calendar queue keyed on retire-ready cycles, and
+//! issue wakes queued instructions from per-physical-register waiter
+//! lists when their last operand's writeback cycle is announced — so the
+//! host cost of a cycle is proportional to the instructions that actually
+//! complete and issue, not to ROB/IQ occupancy. The original polling
+//! scheduler survives as [`SchedulerKind::PollingReference`], the
+//! cycle-for-cycle-identical reference the equivalence suite checks the
+//! event-driven implementation against.
+//!
 //! Functional correctness comes from an *oracle*: the architectural
 //! emulator is stepped at fetch time for instructions on the correct path,
 //! giving real branch outcomes and effective addresses. Mispredicted
@@ -21,11 +31,12 @@
 
 use crate::{
     AbortReason, BranchPredictor, Cache, CompletedSample, DynInst, EventSet, FetchOpportunity,
-    FuPool, HwEvent, HwEventKind, InstState, InterruptEvent, IssueOrder, PipelineConfig,
-    ProfilingHardware, RenameState, SimStats, TagDecision, Tlb,
+    FuPool, HwEvent, HwEventKind, InstState, InterruptEvent, IssueOrder, PhysReg, PipelineConfig,
+    ProfilingHardware, RenameState, SchedulerKind, SimStats, TagDecision, Tlb,
 };
 use profileme_isa::{ArchState, Op, Pc, Program};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -50,6 +61,57 @@ impl fmt::Display for SimError {
 }
 
 impl Error for SimError {}
+
+/// Ring span in cycles of [`CycleCalendar`] (a power of two, so the slot
+/// index is a mask). Functional-unit latencies are a dozen cycles at
+/// most, so nearly every event lands in the ring; only memory misses
+/// (and exotic configurations) reach the far heap.
+const CALENDAR_HORIZON: u64 = 64;
+
+/// A near-future event calendar: a bucket ring for events due within
+/// [`CALENDAR_HORIZON`] cycles and a min-heap for the far tail. Push and
+/// drain are O(1) for ring events — no comparisons, no sifting — which
+/// matters because every issue schedules a completion and most wakeups
+/// are one or two cycles out.
+#[derive(Debug)]
+struct CycleCalendar {
+    ring: Vec<Vec<u64>>,
+    far: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl CycleCalendar {
+    fn new() -> CycleCalendar {
+        CycleCalendar {
+            ring: (0..CALENDAR_HORIZON).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules `seq` for cycle `due`, strictly in the future.
+    fn push(&mut self, due: u64, now: u64, seq: u64) {
+        debug_assert!(due > now, "calendar entries must be in the future");
+        if due - now < CALENDAR_HORIZON {
+            self.ring[(due & (CALENDAR_HORIZON - 1)) as usize].push(seq);
+        } else {
+            self.far.push(Reverse((due, seq)));
+        }
+    }
+
+    /// Appends every seq due at `now` to `out`, in no particular order.
+    /// Must be called every cycle: ring slots are reused
+    /// [`CALENDAR_HORIZON`] cycles later.
+    fn drain_due(&mut self, now: u64, out: &mut Vec<u64>) {
+        let slot = &mut self.ring[(now & (CALENDAR_HORIZON - 1)) as usize];
+        out.append(slot);
+        while let Some(&Reverse((due, seq))) = self.far.peek() {
+            if due > now {
+                break;
+            }
+            self.far.pop();
+            out.push(seq);
+        }
+    }
+}
 
 /// The simulated processor.
 ///
@@ -90,8 +152,36 @@ pub struct Pipeline<H> {
     rob: VecDeque<DynInst>,
     /// Sequence numbers awaiting map, oldest first.
     fetch_queue: VecDeque<u64>,
-    /// Sequence numbers in the issue queue, oldest first.
-    iq: Vec<u64>,
+    /// Sequence numbers in the issue queue, oldest first. Maintained by
+    /// the polling-reference scheduler (both issue orders) and by the
+    /// event-driven in-order scheduler (which only ever inspects the
+    /// head); the event-driven out-of-order scheduler tracks occupancy
+    /// via `iq_count` and candidates via `ready_list` instead.
+    iq: VecDeque<u64>,
+    /// Occupied issue-queue slots (instructions in `Queued` state) — the
+    /// capacity check the mapper uses, valid under every scheduler.
+    iq_count: usize,
+
+    // --- event-driven scheduler state --------------------------------
+    /// Completion calendar: seqs of issued instructions, drained when
+    /// their retire-ready cycle arrives. Entries for squashed
+    /// instructions are dropped lazily (their seq is no longer in the
+    /// window; sequence numbers are never reused).
+    completion_calendar: CycleCalendar,
+    /// Wakeup calendar: seqs of queued instructions whose operands all
+    /// have known ready times; moved to `ready_list` when the cycle
+    /// arrives. Stale entries dropped lazily, as above.
+    wakeup_calendar: CycleCalendar,
+    /// Data-ready issue candidates, sorted by seq so selection stays
+    /// oldest-first. Entries persist across cycles while their functional
+    /// unit is contended; squash removes its suffix eagerly.
+    ready_list: Vec<u64>,
+    /// Reusable scratch for completions due this cycle.
+    due_scratch: Vec<u64>,
+    /// Reusable scratch for wakeups due this cycle.
+    wake_scratch: Vec<u64>,
+    /// Reusable scratch for the polling scheduler's per-cycle issue list.
+    issued_scratch: Vec<u64>,
 
     fetch_pc: Pc,
     /// Fetch is on the wrong (predicted-but-incorrect) path.
@@ -121,8 +211,10 @@ pub struct Pipeline<H> {
 
     pending_interrupts: VecDeque<u64>,
     /// Completion cycles of outstanding D-cache misses (the miss address
-    /// file): bounded miss-level parallelism.
-    maf: Vec<u64>,
+    /// file): bounded miss-level parallelism. Kept sorted ascending so
+    /// expired entries drain from the front and the admission bound is an
+    /// index, with no per-miss clone-and-sort.
+    maf: VecDeque<u64>,
     stats: SimStats,
 }
 
@@ -173,7 +265,14 @@ impl<H: ProfilingHardware> Pipeline<H> {
             done: false,
             rob: VecDeque::new(),
             fetch_queue: VecDeque::new(),
-            iq: Vec::new(),
+            iq: VecDeque::new(),
+            iq_count: 0,
+            completion_calendar: CycleCalendar::new(),
+            wakeup_calendar: CycleCalendar::new(),
+            ready_list: Vec::new(),
+            due_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            issued_scratch: Vec::new(),
             fetch_pc,
             diverged: false,
             wrongpath_exhausted: false,
@@ -183,7 +282,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             last_fetch_line: None,
             pending_fetch_events: None,
             pending_interrupts: VecDeque::new(),
-            maf: Vec::new(),
+            maf: VecDeque::new(),
             stats,
         }
     }
@@ -192,15 +291,22 @@ impl<H: ProfilingHardware> Pipeline<H> {
     /// miss-address-file bound: with every entry occupied, the miss
     /// starts when the earliest outstanding one completes.
     fn maf_admit(&mut self, cycle: u64) -> u64 {
-        self.maf.retain(|&done| done > cycle);
+        while self.maf.front().is_some_and(|&done| done <= cycle) {
+            self.maf.pop_front();
+        }
         let limit = self.config.miss_address_file;
         if self.maf.len() < limit {
             cycle
         } else {
-            let mut completions = self.maf.clone();
-            completions.sort_unstable();
-            completions[self.maf.len() - limit]
+            self.maf[self.maf.len() - limit]
         }
+    }
+
+    /// Records an outstanding miss completing at `done`, preserving the
+    /// file's ascending order.
+    fn maf_insert(&mut self, done: u64) {
+        let pos = self.maf.partition_point(|&d| d <= done);
+        self.maf.insert(pos, done);
     }
 
     /// The accumulated statistics.
@@ -362,49 +468,108 @@ impl<H: ProfilingHardware> Pipeline<H> {
     // ----- complete / resolve --------------------------------------------
 
     fn complete_stage(&mut self, c: u64) {
+        match self.config.scheduler {
+            SchedulerKind::EventDriven => self.complete_stage_event(c),
+            SchedulerKind::PollingReference => self.complete_stage_polling(c),
+        }
+    }
+
+    /// Event-driven completion: pop the calendar entries due this cycle
+    /// and process them oldest-first — work proportional to instructions
+    /// actually completing, not to window occupancy.
+    fn complete_stage_event(&mut self, c: u64) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.completion_calendar.drain_due(c, &mut due);
+        if due.is_empty() {
+            self.due_scratch = due;
+            return;
+        }
+        // Oldest-first, as the reference ROB scan visits them: predictor
+        // updates do not commute, and a resolving mispredict must be the
+        // oldest one this cycle.
+        due.sort_unstable();
+        let mut resolved_mispredict: Option<(u64, Pc)> = None;
+        for &seq in &due {
+            // Squashed since issue: its calendar entry dies here.
+            let Some(idx) = self.rob_index(seq) else {
+                continue;
+            };
+            debug_assert_eq!(self.rob[idx].state, InstState::Issued);
+            if self.complete_one(idx, c) {
+                resolved_mispredict = Some((
+                    seq,
+                    self.rob[idx].actual_next.expect("correct path resolves"),
+                ));
+                // Younger completions this cycle are all wrong-path; the
+                // squash below removes them from the window, so their
+                // already-popped calendar entries are correctly dropped.
+                break;
+            }
+        }
+        due.clear();
+        self.due_scratch = due;
+        if let Some((seq, target)) = resolved_mispredict {
+            self.squash_after(seq, c, target);
+        }
+    }
+
+    /// Reference completion: scan the whole window every cycle.
+    fn complete_stage_polling(&mut self, c: u64) {
         let mut resolved_mispredict: Option<(u64, Pc)> = None;
         let mut i = 0;
         while i < self.rob.len() {
-            let di = &mut self.rob[i];
-            if di.state == InstState::Issued && di.ts.retire_ready.is_some_and(|r| r <= c) {
-                di.state = InstState::Done;
-                if di.correct_path && di.inst.is_control() {
-                    // Train the predictor with the resolved outcome.
-                    let (pc, history) = (di.pc, di.history);
-                    let taken = di.actual_taken;
-                    let actual_next = di.actual_next;
-                    let will_mispredict = di.will_mispredict;
-                    let op = di.inst.op;
-                    if let Some(t) = taken {
-                        self.predictor.update_cond(pc, &history, t);
-                    }
-                    if matches!(op, Op::JmpInd { .. }) {
-                        if let Some(next) = actual_next {
-                            self.predictor.btb_update(pc, next);
-                        }
-                    }
-                    if will_mispredict {
-                        let di = &mut self.rob[i];
-                        di.events.set(EventSet::MISPREDICTED);
-                        self.stats.mispredicts += 1;
-                        self.predictor.note_mispredict();
-                        self.predictor.repair(&history, taken.unwrap_or(true));
-                        self.hw.on_event(HwEvent {
-                            kind: HwEventKind::BranchMispredict,
-                            cycle: c,
-                            pc,
-                        });
-                        resolved_mispredict =
-                            Some((self.rob[i].seq, actual_next.expect("correct path resolves")));
-                        break; // everything younger is wrong-path
-                    }
-                }
+            let di = &self.rob[i];
+            let due = di.state == InstState::Issued && di.ts.retire_ready.is_some_and(|r| r <= c);
+            if due && self.complete_one(i, c) {
+                resolved_mispredict = Some((
+                    self.rob[i].seq,
+                    self.rob[i].actual_next.expect("correct path resolves"),
+                ));
+                break; // everything younger is wrong-path
             }
             i += 1;
         }
         if let Some((seq, target)) = resolved_mispredict {
             self.squash_after(seq, c, target);
         }
+    }
+
+    /// Marks the instruction at window index `idx` complete, training the
+    /// predictor for resolved control transfers. Returns whether it
+    /// resolved as a mispredict (the caller squashes younger work).
+    fn complete_one(&mut self, idx: usize, c: u64) -> bool {
+        let di = &mut self.rob[idx];
+        di.state = InstState::Done;
+        if di.correct_path && di.inst.is_control() {
+            // Train the predictor with the resolved outcome.
+            let (pc, history) = (di.pc, di.history);
+            let taken = di.actual_taken;
+            let actual_next = di.actual_next;
+            let will_mispredict = di.will_mispredict;
+            let op = di.inst.op;
+            if let Some(t) = taken {
+                self.predictor.update_cond(pc, &history, t);
+            }
+            if matches!(op, Op::JmpInd { .. }) {
+                if let Some(next) = actual_next {
+                    self.predictor.btb_update(pc, next);
+                }
+            }
+            if will_mispredict {
+                let di = &mut self.rob[idx];
+                di.events.set(EventSet::MISPREDICTED);
+                self.stats.mispredicts += 1;
+                self.predictor.note_mispredict();
+                self.predictor.repair(&history, taken.unwrap_or(true));
+                self.hw.on_event(HwEvent {
+                    kind: HwEventKind::BranchMispredict,
+                    cycle: c,
+                    pc,
+                });
+                return true;
+            }
+        }
+        false
     }
 
     fn squash_after(&mut self, seq: u64, c: u64, redirect_to: Pc) {
@@ -417,6 +582,9 @@ impl<H: ProfilingHardware> Pipeline<H> {
             if let (Some(dst), Some(old), Some(arch)) = (di.dst_phys, di.old_phys, di.inst.dst()) {
                 self.rename.undo(arch, old, dst);
             }
+            if di.state == InstState::Queued {
+                self.iq_count -= 1;
+            }
             di.abort = Some(AbortReason::MispredictSquash);
             self.stats.squashed += 1;
             if let Some(s) = self.stats.at_mut(&self.program, di.pc) {
@@ -427,7 +595,14 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 self.hw.on_tagged_complete(&sample);
             }
         }
-        self.iq.retain(|&s| s <= seq);
+        // The squashed suffix is the young end of every age-ordered
+        // structure. Calendar entries and waiter-list entries for squashed
+        // instructions are dropped lazily when popped/drained (their seq
+        // is gone from the window and never reused).
+        while self.iq.back().is_some_and(|&s| s > seq) {
+            self.iq.pop_back();
+        }
+        self.ready_list.retain(|&s| s <= seq);
         self.fetch_queue.retain(|&s| s <= seq);
         self.diverged = false;
         self.wrongpath_exhausted = false;
@@ -442,7 +617,80 @@ impl<H: ProfilingHardware> Pipeline<H> {
     // ----- issue ----------------------------------------------------------
 
     fn issue_stage(&mut self, c: u64) {
-        let mut issued_seqs: Vec<u64> = Vec::new();
+        match (self.config.scheduler, self.config.issue_order) {
+            (SchedulerKind::EventDriven, IssueOrder::OutOfOrder) => self.issue_stage_event(c),
+            (SchedulerKind::EventDriven, IssueOrder::InOrder) => self.issue_stage_inorder(c),
+            (SchedulerKind::PollingReference, _) => self.issue_stage_polling(c),
+        }
+    }
+
+    /// Event-driven out-of-order issue: drain the wakeup calendar into the
+    /// ready list, then select oldest-first among data-ready candidates —
+    /// no per-cycle readiness polling, no queue compaction.
+    fn issue_stage_event(&mut self, c: u64) {
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        self.wakeup_calendar.drain_due(c, &mut woken);
+        for &seq in &woken {
+            // Squashed while waiting: drop the stale entry.
+            if self.rob_index(seq).is_some() {
+                let pos = self.ready_list.partition_point(|&s| s < seq);
+                self.ready_list.insert(pos, seq);
+            }
+        }
+        woken.clear();
+        self.wake_scratch = woken;
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.ready_list.len() && issued < self.config.issue_width {
+            let seq = self.ready_list[i];
+            let Some(idx) = self.rob_index(seq) else {
+                // Squashed while contending for a functional unit.
+                self.ready_list.remove(i);
+                continue;
+            };
+            debug_assert_eq!(self.rob[idx].state, InstState::Queued);
+            let class = self.rob[idx].inst.class();
+            let Some(latency) = self.fus.try_issue(class, c) else {
+                // Unit busy: younger ready instructions may still go.
+                i += 1;
+                continue;
+            };
+            self.ready_list.remove(i);
+            self.iq_count -= 1;
+            self.do_issue(idx, c, latency);
+            issued += 1;
+        }
+    }
+
+    /// Event-driven in-order issue: only the queue head can ever issue,
+    /// so poll exactly it — O(instructions issued) per cycle.
+    fn issue_stage_inorder(&mut self, c: u64) {
+        let mut issued = 0;
+        while issued < self.config.issue_width {
+            let Some(&seq) = self.iq.front() else { break };
+            let idx = self.rob_index(seq).expect("iq entries are in the window");
+            let ready = self.rob[idx]
+                .src_phys
+                .iter()
+                .flatten()
+                .all(|&p| self.rename.is_ready(p, c));
+            if !ready {
+                break; // head-of-queue stall blocks all younger work
+            }
+            let class = self.rob[idx].inst.class();
+            let Some(latency) = self.fus.try_issue(class, c) else {
+                break;
+            };
+            self.iq.pop_front();
+            self.iq_count -= 1;
+            self.do_issue(idx, c, latency);
+            issued += 1;
+        }
+    }
+
+    /// Reference issue: poll every queue entry's readiness each cycle.
+    fn issue_stage_polling(&mut self, c: u64) {
+        let mut issued_seqs = std::mem::take(&mut self.issued_scratch);
         let mut issued = 0;
         for qi in 0..self.iq.len() {
             if issued >= self.config.issue_width {
@@ -476,7 +724,10 @@ impl<H: ProfilingHardware> Pipeline<H> {
         }
         if !issued_seqs.is_empty() {
             self.iq.retain(|s| !issued_seqs.contains(s));
+            self.iq_count -= issued_seqs.len();
         }
+        issued_seqs.clear();
+        self.issued_scratch = issued_seqs;
     }
 
     fn do_issue(&mut self, idx: usize, c: u64, latency: u64) {
@@ -530,7 +781,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 // Bounded miss-level parallelism: the fill may have to
                 // wait for a miss-address-file entry.
                 let begin = self.maf_admit(c);
-                self.maf.push(begin + miss_latency);
+                self.maf_insert(begin + miss_latency);
                 lat += (begin - c) + miss_latency;
                 self.stats.dcache_misses += 1;
                 self.hw.on_event(HwEvent {
@@ -575,8 +826,63 @@ impl<H: ProfilingHardware> Pipeline<H> {
         di.ts.retire_ready = Some(retire_ready);
         di.mem_latency = mem_latency;
         di.events.set(events);
-        if let Some(dst) = di.dst_phys {
+        let dst_phys = di.dst_phys;
+        if let Some(dst) = dst_phys {
             self.rename.set_ready_at(dst, dst_ready);
+        }
+        if self.config.scheduler == SchedulerKind::EventDriven {
+            self.completion_calendar.push(retire_ready, c, seq);
+            if let Some(dst) = dst_phys {
+                // Writeback broadcast: wake queued consumers that were
+                // waiting for this register's ready cycle.
+                self.broadcast(dst);
+            }
+        }
+    }
+
+    /// Announces `dst`'s now-known ready cycle to its waiter list: each
+    /// live waiter's pending-operand count drops, and a waiter whose last
+    /// unknown operand this was gets scheduled for wakeup at the cycle
+    /// all its operands are available.
+    fn broadcast(&mut self, dst: PhysReg) {
+        if !self.rename.has_waiters(dst) {
+            return;
+        }
+        let waiters = self.rename.take_waiters(dst);
+        for &seq in &waiters {
+            // Waiters squashed after registering are skipped: their seq
+            // is no longer in the window (and is never reused).
+            let Some(idx) = self.rob_index(seq) else {
+                continue;
+            };
+            let di = &mut self.rob[idx];
+            debug_assert_eq!(di.state, InstState::Queued);
+            debug_assert!(di.pending_srcs > 0, "waiter accounting out of sync");
+            di.pending_srcs -= 1;
+            if di.pending_srcs == 0 {
+                let src_phys = di.src_phys;
+                let mut ready_cycle = 0;
+                for p in src_phys.iter().flatten() {
+                    ready_cycle = ready_cycle.max(self.rename.ready_at(*p));
+                }
+                debug_assert_ne!(ready_cycle, u64::MAX, "all operands announced");
+                self.schedule_ready(seq, ready_cycle);
+            }
+        }
+        self.rename.restore_waiter_buf(dst, waiters);
+    }
+
+    /// Queues `seq` to become an issue candidate at `ready_cycle`.
+    fn schedule_ready(&mut self, seq: u64, ready_cycle: u64) {
+        // issue_stage has already run for cycle `now`, so an entry ready
+        // at or before `now` goes straight to the ready list and is first
+        // considered next cycle — exactly when the polling scheduler
+        // would first see it ready.
+        if ready_cycle <= self.now {
+            let pos = self.ready_list.partition_point(|&s| s < seq);
+            self.ready_list.insert(pos, seq);
+        } else {
+            self.wakeup_calendar.push(ready_cycle, self.now, seq);
         }
     }
 
@@ -594,7 +900,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             if self.rob[idx].ts.fetched + self.config.decode_latency > c {
                 break; // still in decode
             }
-            if self.iq.len() >= self.config.iq_size {
+            if self.iq_count >= self.config.iq_size {
                 break; // no issue-queue slot (shows up as fetch→map latency)
             }
             if self.rob[idx].inst.dst().is_some() && self.rename.free_count() == 0 {
@@ -623,9 +929,39 @@ impl<H: ProfilingHardware> Pipeline<H> {
             di.old_phys = old_phys;
             di.ts.mapped = Some(c);
             di.state = InstState::Queued;
-            self.iq.push(seq);
+            self.iq_count += 1;
+            match (self.config.scheduler, self.config.issue_order) {
+                (SchedulerKind::EventDriven, IssueOrder::OutOfOrder) => {
+                    self.register_wakeup(idx, seq);
+                }
+                // The in-order and polling schedulers walk the age-ordered
+                // queue directly.
+                _ => self.iq.push_back(seq),
+            }
             self.fetch_queue.pop_front();
             mapped += 1;
+        }
+    }
+
+    /// Registers a freshly mapped instruction with the wakeup machinery:
+    /// operands with unknown ready cycles put it on waiter lists; once
+    /// every operand's ready cycle is known it is scheduled directly.
+    fn register_wakeup(&mut self, idx: usize, seq: u64) {
+        let src_phys = self.rob[idx].src_phys;
+        let mut pending = 0u8;
+        let mut ready_cycle = 0u64;
+        for p in src_phys.iter().flatten() {
+            let r = self.rename.ready_at(*p);
+            if r == u64::MAX {
+                self.rename.add_waiter(*p, seq);
+                pending += 1;
+            } else {
+                ready_cycle = ready_cycle.max(r);
+            }
+        }
+        self.rob[idx].pending_srcs = pending;
+        if pending == 0 {
+            self.schedule_ready(seq, ready_cycle);
         }
     }
 
@@ -841,11 +1177,30 @@ impl<H: ProfilingHardware> Pipeline<H> {
         None
     }
 
-    /// Index of `seq` in the window. Sequence numbers are sorted but not
-    /// contiguous (squashes leave gaps), so this is a binary search.
+    /// Index of `seq` in the window. Sequence numbers are strictly
+    /// increasing but not contiguous (squashes leave gaps), so the slot
+    /// `seq - front.seq` is an upper bound on the index — and exact
+    /// whenever no squash gap lies in between, which is the common case.
+    /// One probe usually suffices; otherwise binary-search below the
+    /// guess.
     fn rob_index(&self, seq: u64) -> Option<usize> {
-        let mut lo = 0;
+        let first = self.rob.front()?.seq;
+        if seq < first || seq > self.rob.back().expect("non-empty").seq {
+            // Below the window, or a stale (squashed) seq probed right
+            // after the squash — before younger fetches refill the tail.
+            return None;
+        }
+        let guess = (seq - first) as usize;
         let mut hi = self.rob.len();
+        if guess < hi {
+            let at = self.rob[guess].seq;
+            if at == seq {
+                return Some(guess);
+            }
+            debug_assert!(at > seq, "index i holds seq >= front.seq + i");
+            hi = guess;
+        }
+        let mut lo = 0;
         while lo < hi {
             let mid = (lo + hi) / 2;
             match self.rob[mid].seq.cmp(&seq) {

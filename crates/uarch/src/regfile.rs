@@ -31,6 +31,14 @@ pub struct RenameState {
     /// Cycle at which each physical register's value becomes available;
     /// `u64::MAX` while the producer has not issued.
     ready_at: Vec<u64>,
+    /// Per-physical-register waiter lists for the event-driven scheduler:
+    /// sequence numbers of queued consumers whose operand's ready time is
+    /// still unknown (producer not yet issued). Drained when the producer
+    /// issues and broadcasts its writeback cycle. Entries for squashed
+    /// consumers may linger until the drain — the scheduler validates each
+    /// waiter against the window (sequence numbers are never reused) — and
+    /// each list is cleared when its register is reallocated.
+    waiters: Vec<Vec<u64>>,
 }
 
 impl RenameState {
@@ -57,6 +65,7 @@ impl RenameState {
             map,
             free,
             ready_at: vec![0; phys_regs],
+            waiters: vec![Vec::new(); phys_regs],
         }
     }
 
@@ -77,6 +86,9 @@ impl RenameState {
         let old = self.map[arch.index()];
         self.map[arch.index()] = new;
         self.ready_at[new.0 as usize] = u64::MAX;
+        // Any waiters still listed belonged to consumers of the register's
+        // previous life; they were all squashed before it was freed.
+        self.waiters[new.0 as usize].clear();
         Some((new, old))
     }
 
@@ -105,6 +117,29 @@ impl RenameState {
     /// Whether `phys` is available at `cycle`.
     pub fn is_ready(&self, phys: PhysReg, cycle: u64) -> bool {
         self.ready_at[phys.0 as usize] <= cycle
+    }
+
+    /// Registers `seq` as waiting for `phys` to announce its ready cycle.
+    pub fn add_waiter(&mut self, phys: PhysReg, seq: u64) {
+        self.waiters[phys.0 as usize].push(seq);
+    }
+
+    /// Whether any consumer is waiting on `phys`.
+    pub fn has_waiters(&self, phys: PhysReg) -> bool {
+        !self.waiters[phys.0 as usize].is_empty()
+    }
+
+    /// Takes `phys`'s waiter list for draining (the caller returns the
+    /// emptied buffer via [`restore_waiter_buf`](Self::restore_waiter_buf)
+    /// so its capacity is reused).
+    pub fn take_waiters(&mut self, phys: PhysReg) -> Vec<u64> {
+        std::mem::take(&mut self.waiters[phys.0 as usize])
+    }
+
+    /// Returns a drained waiter buffer to `phys` to recycle its capacity.
+    pub fn restore_waiter_buf(&mut self, phys: PhysReg, mut buf: Vec<u64>) {
+        buf.clear();
+        self.waiters[phys.0 as usize] = buf;
     }
 }
 

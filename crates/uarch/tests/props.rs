@@ -4,7 +4,9 @@
 //! and simulation must be deterministic — in both issue disciplines.
 
 use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
-use profileme_uarch::{HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware};
+use profileme_uarch::{
+    HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware, SchedulerKind,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -153,6 +155,27 @@ proptest! {
         let mut b = Pipeline::new(p, PipelineConfig::default(), RetireLog::default());
         b.run(2_000_000).unwrap();
         prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// The event-driven scheduler is cycle-for-cycle identical to the
+    /// polling reference, in both issue disciplines: same cycle count,
+    /// same statistics, same retired stream.
+    #[test]
+    fn schedulers_are_equivalent(cs in prop::collection::vec(arb_construct(), 1..7)) {
+        let p = build_program(&cs, 20);
+        for base in [PipelineConfig::default(), PipelineConfig::inorder_21164ish()] {
+            let mut event_cfg = base.clone();
+            event_cfg.scheduler = SchedulerKind::EventDriven;
+            let mut polling_cfg = base;
+            polling_cfg.scheduler = SchedulerKind::PollingReference;
+            let mut event = Pipeline::new(p.clone(), event_cfg, RetireLog::default());
+            event.run(2_000_000).unwrap();
+            let mut polling = Pipeline::new(p.clone(), polling_cfg, RetireLog::default());
+            polling.run(2_000_000).unwrap();
+            prop_assert_eq!(event.now(), polling.now());
+            prop_assert_eq!(event.stats(), polling.stats());
+            prop_assert_eq!(&event.hardware().0, &polling.hardware().0);
+        }
     }
 
     /// Per-PC accounting balances and windowed retires sum to the total,
