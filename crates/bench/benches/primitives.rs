@@ -1,0 +1,141 @@
+//! Criterion microbenchmarks of the flattened hot-path primitives: the
+//! paged memory store, the index-addressed cache and TLB, and the
+//! masked predictor lookups. These are the structures the pipeline hits
+//! once or more per simulated instruction, so their single-access cost
+//! bounds simulator throughput; the benchmarks pin that cost so a
+//! regression shows up as a number, not as a mysteriously slower suite.
+//!
+//! Structures are built once and measured in steady state — the cost of
+//! interest is the access path, not construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use profileme_isa::{Memory, Pc};
+use profileme_uarch::{BranchPredictor, Cache, CacheConfig, Tlb, TlbConfig};
+use std::hint::black_box;
+
+/// Deterministic xorshift so every run touches the same addresses.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// A mixed working set: mostly-sequential sweeps with occasional far
+/// jumps, like a load/store stream with a heap on the side.
+fn addr_stream(n: usize, span: u64) -> Vec<u64> {
+    let mut seed = 0x9e3779b97f4a7c15;
+    (0..n)
+        .map(|i| {
+            if i % 7 == 0 {
+                xorshift(&mut seed) % span
+            } else {
+                (i as u64 * 8) % span
+            }
+        })
+        .collect()
+}
+
+fn memory_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/memory");
+    let addrs = addr_stream(4096, 1 << 22);
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let mut mem = Memory::new();
+    group.bench_function("write_read_mix", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for (i, &a) in addrs.iter().enumerate() {
+                if i % 3 == 0 {
+                    mem.write(a, a ^ 0xdead);
+                } else {
+                    sum = sum.wrapping_add(mem.read(a));
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/cache");
+    let addrs = addr_stream(4096, 1 << 20);
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    // The default D-cache geometry (64 KiB, 2-way, 64 B lines).
+    let mut cache = Cache::new(CacheConfig {
+        sets: 512,
+        ways: 2,
+        line_bytes: 64,
+    });
+    group.bench_function("access", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += cache.access(a) as u64;
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn tlb_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/tlb");
+    let addrs = addr_stream(4096, 1 << 24);
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    let mut tlb = Tlb::new(TlbConfig {
+        entries: 64,
+        page_bytes: 8192,
+    });
+    group.bench_function("access", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += tlb.access(a) as u64;
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn predictor_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/predictor");
+    let pcs: Vec<Pc> = addr_stream(4096, 1 << 16)
+        .into_iter()
+        .map(|a| Pc::new(a & !3))
+        .collect();
+    group.throughput(Throughput::Elements(pcs.len() as u64));
+    let mut gshare = BranchPredictor::new(4096, 12, 512, 16);
+    group.bench_function("predict_train", |b| {
+        b.iter(|| {
+            for &pc in &pcs {
+                let taken = gshare.predict_cond(pc);
+                let history = *gshare.history();
+                gshare.fetch_shift(taken);
+                gshare.update_cond(pc, &history, pc.addr() & 4 != 0);
+            }
+        })
+    });
+    let mut btb = BranchPredictor::new(4096, 12, 512, 16);
+    group.bench_function("btb_ras", |b| {
+        b.iter(|| {
+            for &pc in &pcs {
+                black_box(btb.btb_lookup(pc));
+                btb.btb_update(pc, pc.next());
+                btb.ras_push(pc.next());
+                black_box(btb.ras_pop());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    memory_ops,
+    cache_access,
+    tlb_access,
+    predictor_lookup
+);
+criterion_main!(benches);

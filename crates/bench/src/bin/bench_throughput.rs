@@ -8,6 +8,15 @@
 //! and `PROFILEME_BENCH_REPS` the repetitions per cell (best-of-N is
 //! reported, the usual noise-robust choice for wall-clock medians of a
 //! deterministic routine).
+//!
+//! Two more knobs for CI and profiling workflows:
+//!
+//! * `PROFILEME_BENCH_ONLY=gcc,li` restricts the run to the named
+//!   workloads (the JSON is then written as `BENCH_pipeline_partial` so
+//!   a focused run never masquerades as the full suite).
+//! * `PROFILEME_REQUIRE_EVENT_WINS=1` exits nonzero if the event-driven
+//!   scheduler's aggregate throughput falls below the polling
+//!   reference's — the CI regression gate for the O(work) scheduler.
 
 use profileme_bench::engine::{env, Emitter};
 use profileme_bench::{run_plain, scaled};
@@ -46,6 +55,21 @@ fn reps() -> u32 {
         .max(1)
 }
 
+/// The `PROFILEME_BENCH_ONLY` workload filter, if set.
+fn only() -> Option<Vec<String>> {
+    let raw = std::env::var("PROFILEME_BENCH_ONLY").ok()?;
+    let names: Vec<String> = raw
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    (!names.is_empty()).then_some(names)
+}
+
+fn require_event_wins() -> bool {
+    std::env::var("PROFILEME_REQUIRE_EVENT_WINS").is_ok_and(|v| v == "1")
+}
+
 fn time_cell(w: &Workload, kind: SchedulerKind, label: &'static str, reps: u32) -> Cell {
     let config = PipelineConfig {
         scheduler: kind,
@@ -81,7 +105,12 @@ fn main() {
         "repo infrastructure (not a paper figure)",
     );
     let reps = reps();
-    let workloads = suite(scaled(60_000));
+    let mut workloads = suite(scaled(60_000));
+    let filter = only();
+    if let Some(names) = &filter {
+        workloads.retain(|w| names.iter().any(|n| n == w.name));
+        assert!(!workloads.is_empty(), "no workload matches {names:?}");
+    }
     let mut cells = Vec::new();
     for w in &workloads {
         for (label, kind) in [
@@ -119,7 +148,12 @@ fn main() {
         event / polling
     ));
     out.dump(
-        "BENCH_pipeline",
+        // A filtered run is not the suite: keep it out of the tracked file.
+        if filter.is_some() {
+            "BENCH_pipeline_partial"
+        } else {
+            "BENCH_pipeline"
+        },
         &Report {
             scale: env::scale(),
             reps,
@@ -129,4 +163,11 @@ fn main() {
             speedup: event / polling,
         },
     );
+    if require_event_wins() && event < polling {
+        eprintln!(
+            "FAIL: event-driven aggregate ({event:.0} cycles/s) fell below \
+             the polling reference ({polling:.0} cycles/s)"
+        );
+        std::process::exit(1);
+    }
 }

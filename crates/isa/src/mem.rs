@@ -1,6 +1,47 @@
-//! Sparse data memory.
+//! Sparse data memory, stored as 4 KiB pages behind a flat page directory.
 
 use std::collections::HashMap;
+
+/// Bytes per page (power of two).
+const PAGE_BYTES: u64 = 4096;
+/// 64-bit words per page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+/// log2 of the page size in bytes.
+const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
+/// Page indices below this are resolved through the flat directory (the
+/// first 64 MiB of the address space, where every workload's data lives);
+/// anything above falls back to the sparse map.
+const DIRECT_PAGES: u64 = 1 << 14;
+
+/// One 4 KiB page: word values plus a bitmap of which words were ever
+/// written (so zero-valued writes still count toward the footprint and
+/// toward equality, exactly as the per-word map they replace did).
+#[derive(Clone)]
+struct PageData {
+    words: [u64; PAGE_WORDS],
+    written: [u64; PAGE_WORDS / 64],
+}
+
+impl PageData {
+    fn new() -> Box<PageData> {
+        Box::new(PageData {
+            words: [0; PAGE_WORDS],
+            written: [0; PAGE_WORDS / 64],
+        })
+    }
+
+    /// Marks word `offset` written; returns whether it was fresh.
+    fn mark(&mut self, offset: usize) -> bool {
+        let (i, bit) = (offset / 64, 1u64 << (offset % 64));
+        let fresh = self.written[i] & bit == 0;
+        self.written[i] |= bit;
+        fresh
+    }
+
+    fn is_written(&self, offset: usize) -> bool {
+        self.written[offset / 64] & (1 << (offset % 64)) != 0
+    }
+}
 
 /// A sparse 64-bit word-granular data memory.
 ///
@@ -8,6 +49,11 @@ use std::collections::HashMap;
 /// containing the address (the timing model tracks the byte address for
 /// cache indexing, but the functional value lives in the containing word).
 /// Unwritten locations read as zero.
+///
+/// Storage is paged: 4 KiB pages of words reached through a flat,
+/// index-addressed page directory covering the low 64 MiB, with a hash map
+/// fallback for wildly sparse addresses beyond it — so the hot
+/// read/write path is two array indexes rather than a per-word hash.
 ///
 /// # Example
 ///
@@ -19,9 +65,16 @@ use std::collections::HashMap;
 /// assert_eq!(m.read(0x1004), 42); // same 8-byte word
 /// assert_eq!(m.read(0x2000), 0); // unwritten
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default)]
 pub struct Memory {
-    words: HashMap<u64, u64>,
+    /// `slot + 1` of page `i` in `pages`, or 0 when absent. Grown on
+    /// demand up to [`DIRECT_PAGES`] entries.
+    direct: Vec<u32>,
+    /// Page index → slot for pages at or beyond [`DIRECT_PAGES`].
+    sparse: HashMap<u64, u32>,
+    pages: Vec<Box<PageData>>,
+    /// Number of distinct words ever written.
+    footprint: usize,
 }
 
 impl Memory {
@@ -30,19 +83,109 @@ impl Memory {
         Memory::default()
     }
 
+    #[inline]
+    fn page_of(&self, page: u64) -> Option<&PageData> {
+        let slot = if page < DIRECT_PAGES {
+            *self.direct.get(page as usize)?
+        } else {
+            *self.sparse.get(&page)?
+        };
+        if slot == 0 {
+            None
+        } else {
+            Some(&self.pages[(slot - 1) as usize])
+        }
+    }
+
+    fn page_mut_or_create(&mut self, page: u64) -> &mut PageData {
+        let slot = if page < DIRECT_PAGES {
+            let i = page as usize;
+            if i >= self.direct.len() {
+                self.direct.resize(i + 1, 0);
+            }
+            &mut self.direct[i]
+        } else {
+            self.sparse.entry(page).or_insert(0)
+        };
+        if *slot == 0 {
+            self.pages.push(PageData::new());
+            *slot = self.pages.len() as u32;
+        }
+        &mut self.pages[(*slot - 1) as usize]
+    }
+
     /// Reads the aligned word containing byte address `addr`.
+    #[inline]
     pub fn read(&self, addr: u64) -> u64 {
-        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+        let word = addr >> 3;
+        match self.page_of(addr >> PAGE_SHIFT) {
+            Some(p) => p.words[(word as usize) & (PAGE_WORDS - 1)],
+            None => 0,
+        }
     }
 
     /// Writes the aligned word containing byte address `addr`.
+    #[inline]
     pub fn write(&mut self, addr: u64, value: u64) {
-        self.words.insert(addr & !7, value);
+        let offset = ((addr >> 3) as usize) & (PAGE_WORDS - 1);
+        let page = self.page_mut_or_create(addr >> PAGE_SHIFT);
+        page.words[offset] = value;
+        let fresh = page.mark(offset);
+        self.footprint += fresh as usize;
     }
 
     /// Number of distinct words ever written.
     pub fn footprint_words(&self) -> usize {
-        self.words.len()
+        self.footprint
+    }
+
+    /// Iterates `(byte address, value)` over every written word, in no
+    /// particular order.
+    fn written_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let direct = self
+            .direct
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| (i as u64, slot));
+        let sparse = self.sparse.iter().map(|(&i, &slot)| (i, slot));
+        direct
+            .chain(sparse)
+            .filter(|&(_, slot)| slot != 0)
+            .flat_map(move |(page, slot)| {
+                let data = &self.pages[(slot - 1) as usize];
+                (0..PAGE_WORDS)
+                    .filter(|&o| data.is_written(o))
+                    .map(move |o| ((page << PAGE_SHIFT) + (o as u64) * 8, data.words[o]))
+            })
+    }
+
+    fn word_written(&self, addr: u64) -> Option<u64> {
+        let p = self.page_of(addr >> PAGE_SHIFT)?;
+        let offset = ((addr >> 3) as usize) & (PAGE_WORDS - 1);
+        p.is_written(offset).then(|| p.words[offset])
+    }
+}
+
+/// Memories are equal when the same set of words has been written with the
+/// same values (a zero written over a never-written zero still
+/// distinguishes them, matching the per-word map this replaced).
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.footprint == other.footprint
+            && self
+                .written_words()
+                .all(|(addr, value)| other.word_written(addr) == Some(value))
+    }
+}
+
+impl Eq for Memory {}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("footprint_words", &self.footprint)
+            .field("pages", &self.pages.len())
+            .finish()
     }
 }
 
@@ -89,5 +232,47 @@ mod tests {
         let m: Memory = [(0x0u64, 1u64), (0x8, 2)].into_iter().collect();
         assert_eq!(m.read(0x8), 2);
         assert_eq!(m.footprint_words(), 2);
+    }
+
+    #[test]
+    fn sparse_fallback_beyond_directory() {
+        let mut m = Memory::new();
+        let far = (DIRECT_PAGES + 5) * PAGE_BYTES + 24;
+        m.write(far, 77);
+        m.write(u64::MAX - 7, 88);
+        assert_eq!(m.read(far), 77);
+        assert_eq!(m.read(far ^ 4), 77); // same word
+        assert_eq!(m.read(u64::MAX), 88);
+        assert_eq!(m.footprint_words(), 2);
+    }
+
+    #[test]
+    fn zero_writes_count_toward_equality() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.write(0x40, 0);
+        assert_eq!(a.read(0x40), b.read(0x40));
+        assert_ne!(a, b, "a zero write is a footprint difference");
+        assert_eq!(a.footprint_words(), 1);
+        let mut c = Memory::new();
+        c.write(0x40, 0);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // Same contents reached by different write orders (hence
+        // different page-slot layouts) compare equal.
+        let lo = 0x2000u64;
+        let hi = (DIRECT_PAGES + 1) * PAGE_BYTES;
+        let mut a = Memory::new();
+        a.write(lo, 1);
+        a.write(hi, 2);
+        let mut b = Memory::new();
+        b.write(hi, 2);
+        b.write(lo, 1);
+        assert_eq!(a, b);
+        b.write(hi + 8, 3);
+        assert_ne!(a, b);
     }
 }

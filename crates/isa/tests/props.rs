@@ -125,4 +125,47 @@ proptest! {
         prop_assert_eq!(m.read(addr), value);
         prop_assert_eq!(m.read(addr & !7), value);
     }
+
+    /// The paged memory is observationally identical to the per-word
+    /// hash map it replaced: same reads, same footprint, same equality,
+    /// over random interleaved read/write sequences — including
+    /// addresses far beyond the flat page directory.
+    #[test]
+    fn memory_matches_hashmap_model(
+        ops in prop::collection::vec(
+            (
+                any::<bool>(),
+                prop_oneof![
+                    0u64..0x4000,                    // dense low pages
+                    0x10_0000u64..0x10_4000,          // workload data region
+                    (u64::MAX - 0x10_000)..u64::MAX,  // sparse fallback
+                    any::<u64>(),
+                ],
+                any::<u64>(),
+            ),
+            1..200,
+        )
+    ) {
+        use std::collections::HashMap;
+        let mut m = profileme_isa::Memory::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(is_write, addr, value) in &ops {
+            if is_write {
+                m.write(addr, value);
+                model.insert(addr & !7, value);
+            } else {
+                prop_assert_eq!(m.read(addr), model.get(&(addr & !7)).copied().unwrap_or(0));
+            }
+        }
+        prop_assert_eq!(m.footprint_words(), model.len());
+        // Rebuilding from the model's pairs gives an equal memory, and
+        // perturbing one word breaks equality.
+        let rebuilt: profileme_isa::Memory = model.iter().map(|(&a, &v)| (a, v)).collect();
+        prop_assert_eq!(&rebuilt, &m);
+        if let Some((&a, &v)) = model.iter().next() {
+            let mut tweaked = rebuilt.clone();
+            tweaked.write(a, v.wrapping_add(1));
+            prop_assert_ne!(&tweaked, &m);
+        }
+    }
 }

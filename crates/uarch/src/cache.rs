@@ -3,6 +3,12 @@
 //! The simulator never needs cached *data* — functional values come from
 //! the architectural oracle — so caches track tags only: an access reports
 //! hit or miss and fills on miss.
+//!
+//! Layout is flat and index-addressed: tags live in one contiguous array
+//! (`sets × ways`, set-major), recency in a parallel byte array holding
+//! each line's per-set LRU *rank* (0 = most recent) — no global timestamp
+//! scan, no divisions on the access path (set and tag come from shifts and
+//! masks precomputed from the power-of-two geometry).
 
 use serde::{Deserialize, Serialize};
 
@@ -24,13 +30,8 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Higher = more recently used.
-    lru: u64,
-}
+/// Rank value marking an invalid line (ways are capped well below this).
+const INVALID: u8 = u8::MAX;
 
 /// A tag-only set-associative cache with LRU replacement.
 ///
@@ -46,8 +47,17 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Line>,
-    tick: u64,
+    /// Line tags, set-major (`set * ways + way`).
+    tags: Box<[u64]>,
+    /// Per-line LRU rank within its set: 0 = MRU, `ways-1` = LRU,
+    /// [`INVALID`] = empty line.
+    ranks: Box<[u8]>,
+    /// log2(line_bytes).
+    line_shift: u32,
+    /// log2(sets).
+    set_shift: u32,
+    /// sets - 1.
+    set_mask: u64,
     hits: u64,
     misses: u64,
 }
@@ -58,7 +68,7 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if sets or line size are not powers of two, or if any
-    /// dimension is zero.
+    /// dimension is zero or the associativity exceeds 128.
     pub fn new(config: CacheConfig) -> Cache {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
         assert!(
@@ -66,17 +76,15 @@ impl Cache {
             "line size must be a power of two"
         );
         assert!(config.ways > 0, "associativity must be positive");
+        assert!(config.ways <= 128, "associativity capped at 128");
+        let lines = config.sets * config.ways;
         Cache {
             config,
-            lines: vec![
-                Line {
-                    tag: 0,
-                    valid: false,
-                    lru: 0
-                };
-                config.sets * config.ways
-            ],
-            tick: 0,
+            tags: vec![0; lines].into_boxed_slice(),
+            ranks: vec![INVALID; lines].into_boxed_slice(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: config.sets.trailing_zeros(),
+            set_mask: (config.sets - 1) as u64,
             hits: 0,
             misses: 0,
         }
@@ -87,45 +95,64 @@ impl Cache {
         self.config
     }
 
-    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set = (line as usize) & (self.config.sets - 1);
-        let tag = line / self.config.sets as u64;
-        (set, tag)
+    /// The line number containing `addr` (a shift, since line size is a
+    /// power of two).
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn base_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        (set * self.config.ways, line >> self.set_shift)
+    }
+
+    /// Promotes way `w` (relative to `base`) to MRU: every more recent
+    /// line in the set ages by one rank. Invalid lines (rank
+    /// [`INVALID`]) are never younger than `old_rank`, so they stay put.
+    #[inline]
+    fn promote(&mut self, base: usize, w: usize, old_rank: u8) {
+        let ranks = &mut self.ranks[base..base + self.config.ways];
+        for r in ranks.iter_mut() {
+            if *r < old_rank {
+                *r += 1;
+            }
+        }
+        ranks[w] = 0;
     }
 
     /// Accesses `addr`: returns `true` on hit. A miss fills the line
     /// (evicting the LRU way).
     pub fn access(&mut self, addr: u64) -> bool {
-        self.tick += 1;
-        let (set, tag) = self.set_and_tag(addr);
-        let base = set * self.config.ways;
-        let ways = &mut self.lines[base..base + self.config.ways];
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.tick;
-            self.hits += 1;
-            return true;
+        let (base, tag) = self.base_and_tag(addr);
+        let ways = self.config.ways;
+        for w in 0..ways {
+            if self.ranks[base + w] != INVALID && self.tags[base + w] == tag {
+                self.hits += 1;
+                let old = self.ranks[base + w];
+                self.promote(base, w, old);
+                return true;
+            }
         }
         self.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways is non-empty");
-        *victim = Line {
-            tag,
-            valid: true,
-            lru: self.tick,
-        };
+        // Victim: the first invalid way, else the (unique) LRU-ranked way
+        // — the same choice the tick-scan implementation made.
+        let lru = (ways - 1) as u8;
+        let victim = (0..ways)
+            .find(|&w| self.ranks[base + w] == INVALID)
+            .or_else(|| (0..ways).find(|&w| self.ranks[base + w] == lru))
+            .expect("a full set holds every rank, including ways-1");
+        self.tags[base + victim] = tag;
+        self.promote(base, victim, INVALID);
         false
     }
 
     /// Whether `addr` is currently resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
-        let (set, tag) = self.set_and_tag(addr);
-        let base = set * self.config.ways;
-        self.lines[base..base + self.config.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let (base, tag) = self.base_and_tag(addr);
+        (0..self.config.ways).any(|w| self.ranks[base + w] != INVALID && self.tags[base + w] == tag)
     }
 
     /// Total hits so far.
@@ -140,10 +167,7 @@ impl Cache {
 
     /// Invalidates everything and clears statistics.
     pub fn reset(&mut self) {
-        for l in &mut self.lines {
-            l.valid = false;
-        }
-        self.tick = 0;
+        self.ranks.fill(INVALID);
         self.hits = 0;
         self.misses = 0;
     }
@@ -216,5 +240,30 @@ mod tests {
             .capacity_bytes(),
             64 * 1024
         );
+    }
+
+    #[test]
+    fn ranks_stay_a_permutation() {
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 4,
+            line_bytes: 64,
+        });
+        let mut x = 0x12345u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access(x % 4096);
+        }
+        for set in 0..2 {
+            let mut seen: Vec<u8> = c.ranks[set * 4..set * 4 + 4]
+                .iter()
+                .copied()
+                .filter(|&r| r != INVALID)
+                .collect();
+            seen.sort_unstable();
+            for (i, r) in seen.iter().enumerate() {
+                assert_eq!(*r as usize, i, "valid ranks are 0..n with no gaps");
+            }
+        }
     }
 }

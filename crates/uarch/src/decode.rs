@@ -1,0 +1,120 @@
+//! Pre-decoded instruction side table.
+//!
+//! The pipeline interrogates every fetched instruction for the same
+//! facts — opcode class, renamed sources/destination, control-flow kind,
+//! halt/branch/memory flags — and the `Inst` accessors compute them by
+//! matching on the op each time. Since a program's instructions never
+//! change, those answers are resolved once here, into a flat table
+//! indexed by the program's dense instruction index, and the hot stages
+//! read them with a single array index.
+
+use profileme_isa::{Inst, Op, OpClass, Pc, Program, Reg};
+
+/// How fetch predicts the PC following an instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NextPcKind {
+    /// Falls through (non-control, or control handled architecturally).
+    Fall,
+    /// Conditional branch with this taken-target.
+    CondBr(Pc),
+    /// Unconditional direct jump.
+    Jmp(Pc),
+    /// Direct call (pushes the return address).
+    Call(Pc),
+    /// Indirect jump (BTB-predicted).
+    JmpInd,
+    /// Return (RAS-predicted).
+    Ret,
+}
+
+/// Everything the pipeline needs to know about one static instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InstMeta {
+    /// The instruction itself (for fetch opportunities and the window).
+    pub inst: Inst,
+    /// Timing/grouping class.
+    pub class: OpClass,
+    /// Renamed destination register, if any.
+    pub dst: Option<Reg>,
+    /// Renamed source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Fetch-time next-PC prediction kind.
+    pub next_pc: NextPcKind,
+    /// Transfers control.
+    pub is_control: bool,
+    /// Is the halt pseudo-instruction.
+    pub is_halt: bool,
+}
+
+/// The per-program side table, parallel to the dense instruction index
+/// (and hence to `SimStats::per_pc`).
+#[derive(Debug)]
+pub(crate) struct DecodeTable {
+    metas: Box<[InstMeta]>,
+}
+
+impl DecodeTable {
+    /// Decodes every instruction of `program` once.
+    pub fn new(program: &Program) -> DecodeTable {
+        let metas = program
+            .iter()
+            .map(|(_, &inst)| {
+                let next_pc = match inst.op {
+                    Op::CondBr { target, .. } => NextPcKind::CondBr(target),
+                    Op::Jmp { target } => NextPcKind::Jmp(target),
+                    Op::Call { target, .. } => NextPcKind::Call(target),
+                    Op::JmpInd { .. } => NextPcKind::JmpInd,
+                    Op::Ret { .. } => NextPcKind::Ret,
+                    _ => NextPcKind::Fall,
+                };
+                InstMeta {
+                    inst,
+                    class: inst.class(),
+                    dst: inst.dst(),
+                    srcs: inst.srcs(),
+                    next_pc,
+                    is_control: inst.is_control(),
+                    is_halt: inst.is_halt(),
+                }
+            })
+            .collect();
+        DecodeTable { metas }
+    }
+
+    /// The meta for dense instruction index `idx`.
+    #[inline]
+    pub fn meta(&self, idx: u32) -> &InstMeta {
+        &self.metas[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{Cond, ProgramBuilder};
+
+    #[test]
+    fn table_mirrors_inst_accessors() {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R1, 5);
+        let top = b.label("top");
+        b.store(Reg::R1, Reg::R2, 8);
+        b.load(Reg::R3, Reg::R2, 8);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.cond_br(Cond::Ne0, Reg::R1, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let t = DecodeTable::new(&p);
+        for (i, (_, inst)) in p.iter().enumerate() {
+            let m = t.meta(i as u32);
+            assert_eq!(m.class, inst.class());
+            assert_eq!(m.dst, inst.dst());
+            assert_eq!(m.srcs, inst.srcs());
+            assert_eq!(m.is_control, inst.is_control());
+            assert_eq!(m.is_halt, inst.is_halt());
+        }
+        assert!(matches!(t.meta(4).next_pc, NextPcKind::CondBr(_)));
+        assert!(t.meta(5).is_halt);
+    }
+}

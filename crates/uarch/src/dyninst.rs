@@ -2,7 +2,7 @@
 
 use crate::{AbortReason, EventSet};
 use profileme_cfg::BranchHistory;
-use profileme_isa::{Inst, Pc};
+use profileme_isa::{Inst, OpClass, Pc};
 use serde::{Deserialize, Serialize};
 
 /// A physical register number.
@@ -95,6 +95,11 @@ pub struct DynInst {
     pub pc: Pc,
     /// The decoded instruction.
     pub inst: Inst,
+    /// Dense index of the instruction in the program image (also the
+    /// index into the pre-decoded side table and the per-PC statistics).
+    pub idx: u32,
+    /// The instruction's opcode class, resolved at decode.
+    pub class: OpClass,
     /// Whether it was fetched on the architecturally correct path.
     pub correct_path: bool,
     /// Lifecycle state.
@@ -142,11 +147,21 @@ pub struct DynInst {
 
 impl DynInst {
     /// Creates a freshly fetched instruction.
-    pub fn new(seq: u64, pc: Pc, inst: Inst, fetched: u64, correct_path: bool) -> DynInst {
+    pub fn new(
+        seq: u64,
+        pc: Pc,
+        inst: Inst,
+        idx: u32,
+        class: OpClass,
+        fetched: u64,
+        correct_path: bool,
+    ) -> DynInst {
         DynInst {
             seq,
             pc,
             inst,
+            idx,
+            class,
             correct_path,
             state: InstState::Fetched,
             ts: Timestamps {

@@ -162,13 +162,30 @@ pub trait ProfilingHardware {
     fn take_interrupt(&mut self) -> Option<InterruptRequest> {
         None
     }
+
+    /// Whether this hardware is guaranteed to observe nothing and request
+    /// nothing while the pipeline is completely idle: `on_cycle` is a
+    /// no-op, `on_fetch_opportunity` on an empty slot is a no-op returning
+    /// [`TagDecision::Pass`], and `take_interrupt` always returns `None`.
+    ///
+    /// The event-driven scheduler uses this to fast-forward fetch-stall
+    /// stretches with an empty window in one step instead of ticking
+    /// through them. Hardware that counts cycles, samples fetch slots, or
+    /// raises interrupts must leave this `false` (the default).
+    fn idle_passthrough(&self) -> bool {
+        false
+    }
 }
 
 /// Hardware that observes nothing (for raw simulation runs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullHardware;
 
-impl ProfilingHardware for NullHardware {}
+impl ProfilingHardware for NullHardware {
+    fn idle_passthrough(&self) -> bool {
+        true
+    }
+}
 
 #[cfg(test)]
 mod tests {

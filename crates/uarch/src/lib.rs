@@ -51,6 +51,7 @@
 
 mod cache;
 mod config;
+mod decode;
 mod dyninst;
 mod events;
 mod fu;

@@ -29,12 +29,13 @@
 //! exactly the behaviour ProfileMe's retired/aborted status bit exists to
 //! expose.
 
+use crate::decode::{DecodeTable, NextPcKind};
 use crate::{
     AbortReason, BranchPredictor, Cache, CompletedSample, DynInst, EventSet, FetchOpportunity,
     FuPool, HwEvent, HwEventKind, InstState, InterruptEvent, IssueOrder, PhysReg, PipelineConfig,
     ProfilingHardware, RenameState, SchedulerKind, SimStats, TagDecision, Tlb,
 };
-use profileme_isa::{ArchState, Op, Pc, Program};
+use profileme_isa::{ArchState, OpClass, Pc, Program};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
@@ -68,6 +69,13 @@ impl Error for SimError {}
 /// (and exotic configurations) reach the far heap.
 const CALENDAR_HORIZON: u64 = 64;
 
+/// Wakeups due within this many cycles are inserted directly into the
+/// ready list (tagged with their ready cycle) instead of the wakeup
+/// calendar; issue skips them until they mature. Covers every
+/// functional-unit latency, so only memory-miss consumers use the
+/// calendar.
+const READY_DIRECT_HORIZON: u64 = 8;
+
 /// A near-future event calendar: a bucket ring for events due within
 /// [`CALENDAR_HORIZON`] cycles and a min-heap for the far tail. Push and
 /// drain are O(1) for ring events — no comparisons, no sifting — which
@@ -77,6 +85,10 @@ const CALENDAR_HORIZON: u64 = 64;
 struct CycleCalendar {
     ring: Vec<Vec<u64>>,
     far: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Entries in the ring and far heap combined. While this is zero the
+    /// per-cycle drain is a single branch — which is most cycles on
+    /// stall-dominated workloads.
+    pending: usize,
 }
 
 impl CycleCalendar {
@@ -84,12 +96,14 @@ impl CycleCalendar {
         CycleCalendar {
             ring: (0..CALENDAR_HORIZON).map(|_| Vec::new()).collect(),
             far: BinaryHeap::new(),
+            pending: 0,
         }
     }
 
     /// Schedules `seq` for cycle `due`, strictly in the future.
     fn push(&mut self, due: u64, now: u64, seq: u64) {
         debug_assert!(due > now, "calendar entries must be in the future");
+        self.pending += 1;
         if due - now < CALENDAR_HORIZON {
             self.ring[(due & (CALENDAR_HORIZON - 1)) as usize].push(seq);
         } else {
@@ -98,9 +112,14 @@ impl CycleCalendar {
     }
 
     /// Appends every seq due at `now` to `out`, in no particular order.
-    /// Must be called every cycle: ring slots are reused
-    /// [`CALENDAR_HORIZON`] cycles later.
+    /// Must be called every cycle while entries are pending: ring slots
+    /// are reused [`CALENDAR_HORIZON`] cycles later. (With no entries
+    /// anywhere, every slot is empty and skipping is safe.)
     fn drain_due(&mut self, now: u64, out: &mut Vec<u64>) {
+        if self.pending == 0 {
+            return;
+        }
+        let before = out.len();
         let slot = &mut self.ring[(now & (CALENDAR_HORIZON - 1)) as usize];
         out.append(slot);
         while let Some(&Reverse((due, seq))) = self.far.peek() {
@@ -110,6 +129,28 @@ impl CycleCalendar {
             self.far.pop();
             out.push(seq);
         }
+        self.pending -= out.len() - before;
+    }
+
+    /// The earliest due cycle among pending entries, assuming every entry
+    /// is due at `now` or later (guaranteed when `drain_due` has run for
+    /// every cycle an entry was due). `None` when empty.
+    ///
+    /// A ring slot is only ever non-empty when its entries are due at the
+    /// unique cycle in `[now, now + HORIZON)` mapping to it, so the scan
+    /// below reads dues straight from slot positions.
+    fn next_due(&self, now: u64) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        let far = self.far.peek().map(|&Reverse((due, _))| due);
+        for d in 0..CALENDAR_HORIZON {
+            let cycle = now + d;
+            if !self.ring[(cycle & (CALENDAR_HORIZON - 1)) as usize].is_empty() {
+                return Some(far.map_or(cycle, |f| f.min(cycle)));
+            }
+        }
+        far
     }
 }
 
@@ -142,6 +183,8 @@ impl CycleCalendar {
 pub struct Pipeline<H> {
     config: PipelineConfig,
     program: Program,
+    /// Pre-decoded per-instruction facts, parallel to the program image.
+    decode: DecodeTable,
     oracle: ArchState,
     hw: H,
 
@@ -169,17 +212,27 @@ pub struct Pipeline<H> {
     /// window; sequence numbers are never reused).
     completion_calendar: CycleCalendar,
     /// Wakeup calendar: seqs of queued instructions whose operands all
-    /// have known ready times; moved to `ready_list` when the cycle
+    /// have known ready times, but only those more than
+    /// [`READY_DIRECT_HORIZON`] cycles out (in practice: consumers of
+    /// in-flight memory misses); moved to `ready_list` when the cycle
     /// arrives. Stale entries dropped lazily, as above.
     wakeup_calendar: CycleCalendar,
-    /// Data-ready issue candidates, sorted by seq so selection stays
-    /// oldest-first. Entries persist across cycles while their functional
-    /// unit is contended; squash removes its suffix eagerly.
-    ready_list: Vec<u64>,
+    /// Issue candidates as `(seq, ready_cycle)`, sorted by seq so
+    /// selection stays oldest-first. Most instructions with known ready
+    /// times land here directly — issue skips entries whose ready cycle
+    /// has not arrived, which for the few cycles of a functional-unit
+    /// latency is cheaper than a calendar round trip per instruction.
+    /// Entries persist across cycles while not yet ready or while their
+    /// functional unit is contended; squash removes its suffix eagerly.
+    ready_list: Vec<(u64, u64)>,
     /// Reusable scratch for completions due this cycle.
     due_scratch: Vec<u64>,
     /// Reusable scratch for wakeups due this cycle.
     wake_scratch: Vec<u64>,
+    /// Destinations written back this cycle whose broadcast is deferred
+    /// until the issue loop finishes (a broadcast may insert into
+    /// `ready_list`, which the loop is scanning).
+    broadcast_scratch: Vec<PhysReg>,
     /// Reusable scratch for the polling scheduler's per-cycle issue list.
     issued_scratch: Vec<u64>,
 
@@ -256,23 +309,25 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 config.btb_size,
                 config.ras_size,
             ),
-            config,
+            decode: DecodeTable::new(&program),
             program,
             oracle,
             hw: hardware,
             now: 0,
             seq_next: 0,
             done: false,
-            rob: VecDeque::new(),
-            fetch_queue: VecDeque::new(),
-            iq: VecDeque::new(),
+            rob: VecDeque::with_capacity(config.rob_size + 1),
+            fetch_queue: VecDeque::with_capacity(config.rob_size + 1),
+            iq: VecDeque::with_capacity(config.iq_size + 1),
             iq_count: 0,
             completion_calendar: CycleCalendar::new(),
             wakeup_calendar: CycleCalendar::new(),
-            ready_list: Vec::new(),
-            due_scratch: Vec::new(),
-            wake_scratch: Vec::new(),
-            issued_scratch: Vec::new(),
+            ready_list: Vec::with_capacity(config.iq_size + 1),
+            due_scratch: Vec::with_capacity(config.iq_size + 1),
+            wake_scratch: Vec::with_capacity(config.iq_size + 1),
+            broadcast_scratch: Vec::with_capacity(config.issue_width + 1),
+            issued_scratch: Vec::with_capacity(config.issue_width + 1),
+            config,
             fetch_pc,
             diverged: false,
             wrongpath_exhausted: false,
@@ -392,6 +447,9 @@ impl<H: ProfilingHardware> Pipeline<H> {
             if self.now >= max_cycles {
                 return Err(SimError::CycleLimit { limit: max_cycles });
             }
+            if self.fast_forward_stall(max_cycles) {
+                continue; // re-check the budget before stepping further
+            }
             if let Some(e) = self.cycle() {
                 handler(e, &mut self.hw);
             }
@@ -399,13 +457,124 @@ impl<H: ProfilingHardware> Pipeline<H> {
         Ok(())
     }
 
+    /// Event-scheduler fast path: while no stage can do anything until a
+    /// known future cycle, every intervening cycle is pure bookkeeping —
+    /// and with [`ProfilingHardware::idle_passthrough`] hardware the
+    /// per-cycle seam calls observe nothing either. Jump straight to the
+    /// next event (or the budget), applying the per-cycle effects
+    /// arithmetically: the cycle counter ticks, and each non-suspended
+    /// cycle offers `fetch_width` empty opportunities. Returns whether
+    /// any cycles were skipped.
+    ///
+    /// The machine is provably inert for a span when:
+    /// * the decode queue is empty — nothing is flowing toward map;
+    /// * fetch cannot produce work: stalled on an I-side miss until a
+    ///   known cycle, or blocked on something only a bounded event can
+    ///   clear (a full window → retire; an exhausted wrong path →
+    ///   squash; a fetched halt → the drain);
+    /// * nothing is issueable this cycle — no ready-list entry has
+    ///   matured (a mature entry may be stuck on functional-unit
+    ///   contention, which can clear any cycle, so it forbids skipping).
+    ///
+    /// The next observable event is then the earliest of: the stall's
+    /// release, the window head's retirement (`retire_ready + 1`), the
+    /// next maturing ready-list entry or calendar wakeup (an issue,
+    /// whose broadcast may wake further waiters), and the next pending
+    /// completion (correct-path control ops train the predictor and
+    /// resolve mispredicts at their due cycle). Stale entries for
+    /// squashed instructions bound the skip too — delivering them late
+    /// drops them exactly as delivering them on time would.
+    ///
+    /// The polling reference never takes this path — per-cycle polling is
+    /// the behavior it exists to pin down.
+    fn fast_forward_stall(&mut self, limit: u64) -> bool {
+        if self.config.scheduler != SchedulerKind::EventDriven
+            || !self.fetch_queue.is_empty()
+            || !self.pending_interrupts.is_empty()
+            || !self.hw.idle_passthrough()
+        {
+            return false;
+        }
+        // The issue-side bounds below model the out-of-order ready
+        // list/wakeup calendar; the in-order queue polls its head's
+        // registers each cycle, so it is only inert when empty.
+        if self.iq_count != 0 && self.config.issue_order != IssueOrder::OutOfOrder {
+            return false;
+        }
+        let c = self.now;
+        let time_stalled = c < self.fetch_stall_until;
+        if !time_stalled
+            && !self.fetch_stopped
+            && !self.wrongpath_exhausted
+            && self.rob.len() < self.config.rob_size
+        {
+            return false; // fetch is live; cycles are not skippable
+        }
+        // Earliest next event; `u64::MAX` means no bound found (be
+        // conservative and step).
+        let mut target = if time_stalled {
+            self.fetch_stall_until
+        } else {
+            u64::MAX
+        };
+        match self.rob.front() {
+            Some(head) if head.state == InstState::Issued => {
+                let r = head.ts.retire_ready.expect("issued implies retire-ready");
+                target = target.min(r + 1);
+            }
+            // A queued head waits on the issue-side bounds below.
+            Some(head) if head.state == InstState::Queued => {}
+            Some(_) => return false, // a done head retires this very cycle
+            None => {}
+        }
+        for &(_, ready) in &self.ready_list {
+            if ready <= c {
+                return false; // issueable now (or FU-contended)
+            }
+            target = target.min(ready);
+        }
+        if let Some(due) = self.wakeup_calendar.next_due(c) {
+            target = target.min(due);
+        }
+        if let Some(due) = self.completion_calendar.next_due(c) {
+            target = target.min(due);
+        }
+        if target == u64::MAX {
+            return false;
+        }
+        let target = target.min(limit);
+        if target <= c {
+            return false;
+        }
+        let skipped = target - c;
+        self.stats.cycles += skipped;
+        // Fetch offers opportunities only once profiling suspension has
+        // lifted (with passthrough hardware the suspension is always 0,
+        // but keep the accounting exact).
+        let suspended = self.profiling_suspended_until.clamp(c, target);
+        self.stats.fetch_opportunities += (target - suspended) * self.config.fetch_width as u64;
+        self.now = target;
+        true
+    }
+
     // ----- retire ---------------------------------------------------------
 
     fn retire_stage(&mut self, c: u64) {
         let mut retired = 0;
         while retired < self.config.retire_width {
+            // `Done` is set by the completion machinery; an `Issued` head
+            // whose retire-ready cycle has passed is equally finished —
+            // the event scheduler leaves non-control instructions in that
+            // state instead of paying a calendar round-trip per
+            // instruction just to flip the flag (completion has no other
+            // effect for them). Strictly `<` because completion runs
+            // after retire within a cycle: an instruction retire-ready at
+            // cycle `r` was never retirable before `r + 1`.
             match self.rob.front() {
-                Some(head) if head.state == InstState::Done => {}
+                Some(head)
+                    if head.state == InstState::Done
+                        || (head.state == InstState::Issued
+                            && head.ts.retire_ready.is_some_and(|r| r < c)) => {}
                 _ => break,
             }
             let mut di = self.rob.pop_front().expect("head checked above");
@@ -428,7 +597,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 let sample = make_sample(&di, self.config.context_id, true);
                 self.hw.on_tagged_complete(&sample);
             }
-            if di.inst.is_halt() {
+            if self.decode.meta(di.idx).is_halt {
                 self.done = true;
                 break;
             }
@@ -438,7 +607,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
 
     fn note_retire_stats(&mut self, di: &DynInst, c: u64) {
         self.stats.retired += 1;
-        if di.inst.is_cond_branch() {
+        if di.class == OpClass::CondBr {
             self.stats.cond_branches += 1;
         }
         if self.config.record_windowed_ipc {
@@ -448,20 +617,19 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
             self.stats.window_retires[w] += 1;
         }
-        if let Some(s) = self.stats.at_mut(&self.program, di.pc) {
-            s.retired += 1;
-            if di.actual_taken == Some(true) {
-                s.taken += 1;
-            }
-            if di.events.contains(EventSet::MISPREDICTED) {
-                s.mispredicted += 1;
-            }
-            if let Some(l) = di.ts.stage_latencies(di.mem_latency) {
-                s.latency_sums.add(&l);
-            }
-            if let Some(p) = di.ts.in_progress_latency() {
-                s.in_progress_sum += p;
-            }
+        let s = &mut self.stats.per_pc[di.idx as usize];
+        s.retired += 1;
+        if di.actual_taken == Some(true) {
+            s.taken += 1;
+        }
+        if di.events.contains(EventSet::MISPREDICTED) {
+            s.mispredicted += 1;
+        }
+        if let Some(l) = di.ts.stage_latencies(di.mem_latency) {
+            s.latency_sums.add(&l);
+        }
+        if let Some(p) = di.ts.in_progress_latency() {
+            s.in_progress_sum += p;
         }
     }
 
@@ -475,9 +643,14 @@ impl<H: ProfilingHardware> Pipeline<H> {
     }
 
     /// Event-driven completion: pop the calendar entries due this cycle
-    /// and process them oldest-first — work proportional to instructions
-    /// actually completing, not to window occupancy.
+    /// and process them oldest-first — work proportional to *control
+    /// transfers* actually resolving (the only instructions whose
+    /// completion has side effects; see `do_issue`), not to window
+    /// occupancy.
     fn complete_stage_event(&mut self, c: u64) {
+        if self.completion_calendar.pending == 0 {
+            return;
+        }
         let mut due = std::mem::take(&mut self.due_scratch);
         self.completion_calendar.drain_due(c, &mut due);
         if due.is_empty() {
@@ -487,7 +660,9 @@ impl<H: ProfilingHardware> Pipeline<H> {
         // Oldest-first, as the reference ROB scan visits them: predictor
         // updates do not commute, and a resolving mispredict must be the
         // oldest one this cycle.
-        due.sort_unstable();
+        if due.len() > 1 {
+            due.sort_unstable();
+        }
         let mut resolved_mispredict: Option<(u64, Pc)> = None;
         for &seq in &due {
             // Squashed since issue: its calendar entry dies here.
@@ -540,17 +715,16 @@ impl<H: ProfilingHardware> Pipeline<H> {
     fn complete_one(&mut self, idx: usize, c: u64) -> bool {
         let di = &mut self.rob[idx];
         di.state = InstState::Done;
-        if di.correct_path && di.inst.is_control() {
+        if di.correct_path && di.class.is_control() {
             // Train the predictor with the resolved outcome.
             let (pc, history) = (di.pc, di.history);
             let taken = di.actual_taken;
             let actual_next = di.actual_next;
             let will_mispredict = di.will_mispredict;
-            let op = di.inst.op;
             if let Some(t) = taken {
                 self.predictor.update_cond(pc, &history, t);
             }
-            if matches!(op, Op::JmpInd { .. }) {
+            if di.class == OpClass::JumpInd {
                 if let Some(next) = actual_next {
                     self.predictor.btb_update(pc, next);
                 }
@@ -579,7 +753,8 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
             let mut di = self.rob.pop_back().expect("back checked above");
             // Undo renaming youngest-first.
-            if let (Some(dst), Some(old), Some(arch)) = (di.dst_phys, di.old_phys, di.inst.dst()) {
+            let arch_dst = self.decode.meta(di.idx).dst;
+            if let (Some(dst), Some(old), Some(arch)) = (di.dst_phys, di.old_phys, arch_dst) {
                 self.rename.undo(arch, old, dst);
             }
             if di.state == InstState::Queued {
@@ -587,9 +762,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
             di.abort = Some(AbortReason::MispredictSquash);
             self.stats.squashed += 1;
-            if let Some(s) = self.stats.at_mut(&self.program, di.pc) {
-                s.aborted += 1;
-            }
+            self.stats.per_pc[di.idx as usize].aborted += 1;
             if di.tag.is_some() {
                 let sample = make_sample(&di, self.config.context_id, false);
                 self.hw.on_tagged_complete(&sample);
@@ -602,8 +775,11 @@ impl<H: ProfilingHardware> Pipeline<H> {
         while self.iq.back().is_some_and(|&s| s > seq) {
             self.iq.pop_back();
         }
-        self.ready_list.retain(|&s| s <= seq);
-        self.fetch_queue.retain(|&s| s <= seq);
+        self.ready_list
+            .truncate(self.ready_list.partition_point(|&(s, _)| s <= seq));
+        while self.fetch_queue.back().is_some_and(|&s| s > seq) {
+            self.fetch_queue.pop_back();
+        }
         self.diverged = false;
         self.wrongpath_exhausted = false;
         self.fetch_stopped = false;
@@ -628,38 +804,61 @@ impl<H: ProfilingHardware> Pipeline<H> {
     /// ready list, then select oldest-first among data-ready candidates —
     /// no per-cycle readiness polling, no queue compaction.
     fn issue_stage_event(&mut self, c: u64) {
-        let mut woken = std::mem::take(&mut self.wake_scratch);
-        self.wakeup_calendar.drain_due(c, &mut woken);
-        for &seq in &woken {
-            // Squashed while waiting: drop the stale entry.
-            if self.rob_index(seq).is_some() {
-                let pos = self.ready_list.partition_point(|&s| s < seq);
-                self.ready_list.insert(pos, seq);
+        if self.wakeup_calendar.pending > 0 {
+            let mut woken = std::mem::take(&mut self.wake_scratch);
+            self.wakeup_calendar.drain_due(c, &mut woken);
+            for &seq in &woken {
+                // Squashed while waiting: drop the stale entry.
+                if self.rob_index(seq).is_some() {
+                    let pos = self.ready_list.partition_point(|&(s, _)| s < seq);
+                    self.ready_list.insert(pos, (seq, c));
+                }
             }
+            woken.clear();
+            self.wake_scratch = woken;
         }
-        woken.clear();
-        self.wake_scratch = woken;
+        if self.ready_list.is_empty() {
+            return;
+        }
+        // One compacting pass: issued and stale entries are dropped;
+        // not-yet-ready and unit-busy entries slide down in order — no
+        // O(n) removals.
         let mut issued = 0;
-        let mut i = 0;
-        while i < self.ready_list.len() && issued < self.config.issue_width {
-            let seq = self.ready_list[i];
+        let (mut read, mut write) = (0, 0);
+        let len = self.ready_list.len();
+        while read < len && issued < self.config.issue_width {
+            let (seq, ready) = self.ready_list[read];
+            read += 1;
+            if ready > c {
+                // Operands not available yet: an issue candidate from the
+                // next cycle on.
+                self.ready_list[write] = (seq, ready);
+                write += 1;
+                continue;
+            }
             let Some(idx) = self.rob_index(seq) else {
                 // Squashed while contending for a functional unit.
-                self.ready_list.remove(i);
                 continue;
             };
             debug_assert_eq!(self.rob[idx].state, InstState::Queued);
-            let class = self.rob[idx].inst.class();
+            let class = self.rob[idx].class;
             let Some(latency) = self.fus.try_issue(class, c) else {
                 // Unit busy: younger ready instructions may still go.
-                i += 1;
+                self.ready_list[write] = (seq, ready);
+                write += 1;
                 continue;
             };
-            self.ready_list.remove(i);
             self.iq_count -= 1;
             self.do_issue(idx, c, latency);
             issued += 1;
         }
+        // Issue width exhausted: keep the unscanned tail, still in order.
+        if read < len {
+            self.ready_list.copy_within(read..len, write);
+            write += len - read;
+        }
+        self.ready_list.truncate(write);
+        self.flush_broadcasts();
     }
 
     /// Event-driven in-order issue: only the queue head can ever issue,
@@ -677,7 +876,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             if !ready {
                 break; // head-of-queue stall blocks all younger work
             }
-            let class = self.rob[idx].inst.class();
+            let class = self.rob[idx].class;
             let Some(latency) = self.fus.try_issue(class, c) else {
                 break;
             };
@@ -686,6 +885,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             self.do_issue(idx, c, latency);
             issued += 1;
         }
+        self.flush_broadcasts();
     }
 
     /// Reference issue: poll every queue entry's readiness each cycle.
@@ -711,7 +911,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
                     IssueOrder::OutOfOrder => continue,
                 }
             }
-            let class = self.rob[idx].inst.class();
+            let class = self.rob[idx].class;
             let Some(latency) = self.fus.try_issue(class, c) else {
                 match self.config.issue_order {
                     IssueOrder::InOrder => break,
@@ -731,11 +931,12 @@ impl<H: ProfilingHardware> Pipeline<H> {
     }
 
     fn do_issue(&mut self, idx: usize, c: u64, latency: u64) {
-        let (pc, class, correct_path, seq, src_phys, mapped) = {
+        let (pc, pc_idx, class, correct_path, seq, src_phys, mapped) = {
             let di = &self.rob[idx];
             (
                 di.pc,
-                di.inst.class(),
+                di.idx as usize,
+                di.class,
                 di.correct_path,
                 di.seq,
                 di.src_phys,
@@ -790,21 +991,17 @@ impl<H: ProfilingHardware> Pipeline<H> {
                     pc,
                 });
                 if correct_path {
-                    if let Some(s) = self.stats.at_mut(&self.program, pc) {
-                        s.dcache_misses += 1;
-                    }
+                    self.stats.per_pc[pc_idx].dcache_misses += 1;
                 }
             }
             if correct_path {
-                if let Some(s) = self.stats.at_mut(&self.program, pc) {
-                    s.dcache_accesses += 1;
-                }
+                self.stats.per_pc[pc_idx].dcache_accesses += 1;
             }
             // Loads retire before the value returns (Alpha-style): the
             // instruction is retire-ready quickly, but consumers wait the
             // full memory latency.
             retire_ready = c + 1;
-            if class == profileme_isa::OpClass::Load {
+            if class == OpClass::Load {
                 mem_latency = Some(lat);
                 dst_ready = c + lat;
             } else {
@@ -831,13 +1028,37 @@ impl<H: ProfilingHardware> Pipeline<H> {
             self.rename.set_ready_at(dst, dst_ready);
         }
         if self.config.scheduler == SchedulerKind::EventDriven {
-            self.completion_calendar.push(retire_ready, c, seq);
+            // Completion is only observable for correct-path control
+            // transfers (predictor training, mispredict resolution).
+            // Everything else retires straight from `Issued` once its
+            // retire-ready cycle passes, so the calendar — and the whole
+            // completion stage — is O(control ops), not O(instructions).
+            if correct_path && class.is_control() {
+                self.completion_calendar.push(retire_ready, c, seq);
+            }
             if let Some(dst) = dst_phys {
-                // Writeback broadcast: wake queued consumers that were
-                // waiting for this register's ready cycle.
-                self.broadcast(dst);
+                // Writeback broadcast: wake queued consumers waiting for
+                // this register's ready cycle. Deferred until after the
+                // issue loop — a broadcast can insert into `ready_list`,
+                // which the out-of-order issue loop is mid-scan over when
+                // it calls do_issue. (Equivalent: a broadcast wakeup is
+                // never ready before `c + 1`, so it is no candidate for
+                // the in-progress cycle either way.)
+                self.broadcast_scratch.push(dst);
             }
         }
+    }
+
+    /// Runs the writeback broadcasts queued by `do_issue` this cycle, in
+    /// issue order.
+    fn flush_broadcasts(&mut self) {
+        let mut i = 0;
+        while i < self.broadcast_scratch.len() {
+            let dst = self.broadcast_scratch[i];
+            self.broadcast(dst);
+            i += 1;
+        }
+        self.broadcast_scratch.clear();
     }
 
     /// Announces `dst`'s now-known ready cycle to its waiter list: each
@@ -873,14 +1094,27 @@ impl<H: ProfilingHardware> Pipeline<H> {
     }
 
     /// Queues `seq` to become an issue candidate at `ready_cycle`.
+    ///
+    /// Entries ready within [`READY_DIRECT_HORIZON`] cycles go straight
+    /// into the ready list, tagged with their ready cycle — issue skips
+    /// them until it arrives. Nearly every register is produced with a
+    /// functional-unit latency of a few cycles, so this avoids a
+    /// calendar round trip (push, drain, validate, sorted insert) per
+    /// instruction; only consumers of in-flight cache misses wait far
+    /// enough out for the calendar to be the cheaper home.
     fn schedule_ready(&mut self, seq: u64, ready_cycle: u64) {
-        // issue_stage has already run for cycle `now`, so an entry ready
-        // at or before `now` goes straight to the ready list and is first
-        // considered next cycle — exactly when the polling scheduler
-        // would first see it ready.
-        if ready_cycle <= self.now {
-            let pos = self.ready_list.partition_point(|&s| s < seq);
-            self.ready_list.insert(pos, seq);
+        if ready_cycle <= self.now + READY_DIRECT_HORIZON {
+            // Freshly mapped instructions are the youngest in the window,
+            // so the common case is an append. (An entry ready at or
+            // before `now` is first considered next cycle — issue_stage
+            // has already run for `now` — exactly when the polling
+            // scheduler would first see it ready.)
+            if self.ready_list.last().is_none_or(|&(last, _)| last < seq) {
+                self.ready_list.push((seq, ready_cycle));
+            } else {
+                let pos = self.ready_list.partition_point(|&(s, _)| s < seq);
+                self.ready_list.insert(pos, (seq, ready_cycle));
+            }
         } else {
             self.wakeup_calendar.push(ready_cycle, self.now, seq);
         }
@@ -903,13 +1137,13 @@ impl<H: ProfilingHardware> Pipeline<H> {
             if self.iq_count >= self.config.iq_size {
                 break; // no issue-queue slot (shows up as fetch→map latency)
             }
-            if self.rob[idx].inst.dst().is_some() && self.rename.free_count() == 0 {
+            let meta = self.decode.meta(self.rob[idx].idx);
+            let (srcs, dst) = (meta.srcs, meta.dst);
+            if dst.is_some() && self.rename.free_count() == 0 {
                 break; // no free physical register
             }
-            let di = &mut self.rob[idx];
             // Sources first (an instruction reading and writing the same
             // architectural register reads the previous mapping).
-            let srcs = di.inst.srcs();
             let mut src_phys = [None, None];
             for (k, s) in srcs.iter().enumerate() {
                 if let Some(r) = s {
@@ -918,7 +1152,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
             let mut dst_phys = None;
             let mut old_phys = None;
-            if let Some(d) = di.inst.dst() {
+            if let Some(d) = dst {
                 let (new, old) = self.rename.allocate(d).expect("free count checked above");
                 dst_phys = Some(new);
                 old_phys = Some(old);
@@ -1004,14 +1238,16 @@ impl<H: ProfilingHardware> Pipeline<H> {
                 continue;
             }
             let pc = self.fetch_pc;
-            let Some(inst) = self.program.fetch(pc).copied() else {
+            let Some(pc_idx) = self.program.index_of(pc) else {
                 // Wrong-path fetch ran off the image.
                 self.wrongpath_exhausted = true;
                 self.empty_opportunity(c, slot);
                 continue;
             };
+            let meta = *self.decode.meta(pc_idx as u32);
+            let inst = meta.inst;
             // I-cache / I-TLB, once per line.
-            let line = pc.addr() / self.config.icache.line_bytes as u64;
+            let line = self.icache.line_of(pc.addr());
             if self.last_fetch_line != Some(line) {
                 self.last_fetch_line = Some(line);
                 let mut stall = 0;
@@ -1032,9 +1268,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
                         cycle: c,
                         pc,
                     });
-                    if let Some(s) = self.stats.at_mut(&self.program, pc) {
-                        s.icache_misses += 1;
-                    }
+                    self.stats.per_pc[pc_idx].icache_misses += 1;
                 }
                 if !ev.is_empty() {
                     self.pending_fetch_events = Some((pc, ev));
@@ -1048,7 +1282,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
 
             let seq = self.seq_next;
             self.seq_next += 1;
-            let mut di = DynInst::new(seq, pc, inst, c, !self.diverged);
+            let mut di = DynInst::new(seq, pc, inst, pc_idx as u32, meta.class, c, !self.diverged);
             if let Some((ppc, ev)) = self.pending_fetch_events {
                 if ppc == pc {
                     di.events.set(ev);
@@ -1081,8 +1315,8 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
 
             // Predict the next fetch PC.
-            let pred_next = match inst.op {
-                Op::CondBr { target, .. } => {
+            let pred_next = match meta.next_pc {
+                NextPcKind::CondBr(target) => {
                     let taken = self.predictor.predict_cond(pc);
                     self.predictor.fetch_shift(taken);
                     if taken {
@@ -1091,17 +1325,17 @@ impl<H: ProfilingHardware> Pipeline<H> {
                         pc.next()
                     }
                 }
-                Op::Jmp { target } => target,
-                Op::Call { target, .. } => {
+                NextPcKind::Jmp(target) => target,
+                NextPcKind::Call(target) => {
                     self.predictor.ras_push(pc.next());
                     target
                 }
-                Op::JmpInd { .. } => self.predictor.btb_lookup(pc).unwrap_or_else(|| pc.next()),
-                Op::Ret { .. } => self.predictor.ras_pop().unwrap_or_else(|| pc.next()),
-                _ => pc.next(),
+                NextPcKind::JmpInd => self.predictor.btb_lookup(pc).unwrap_or_else(|| pc.next()),
+                NextPcKind::Ret => self.predictor.ras_pop().unwrap_or_else(|| pc.next()),
+                NextPcKind::Fall => pc.next(),
             };
             di.predicted_next = pred_next;
-            if di.correct_path && inst.is_control() {
+            if di.correct_path && meta.is_control {
                 if let Some(actual) = di.actual_next {
                     if pred_next != actual {
                         di.will_mispredict = true;
@@ -1118,9 +1352,7 @@ impl<H: ProfilingHardware> Pipeline<H> {
             }
 
             self.stats.fetched += 1;
-            if let Some(s) = self.stats.at_mut(&self.program, pc) {
-                s.fetched += 1;
-            }
+            self.stats.per_pc[pc_idx].fetched += 1;
 
             let opp = FetchOpportunity {
                 cycle: c,
@@ -1224,7 +1456,7 @@ fn make_sample(di: &DynInst, context: u64, retired: bool) -> CompletedSample {
         seq: di.seq,
         pc: di.pc,
         context,
-        class: di.inst.class(),
+        class: di.class,
         events,
         retired,
         eff_addr: di.eff_addr,

@@ -33,10 +33,20 @@ use profileme_isa::Pc;
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
     table: Vec<u8>,
+    /// table.len() - 1, cached for the lookup mask.
+    table_mask: usize,
     history_bits: usize,
     spec_history: BranchHistory,
     btb: Vec<Option<(u64, Pc)>>,
+    /// btb.len() - 1, cached for the lookup mask.
+    btb_mask: usize,
+    /// Return address stack: a circular buffer of `ras_max` slots.
+    /// Overflow overwrites the oldest entry in place (no shifting).
     ras: Vec<Pc>,
+    /// Slot the next push writes.
+    ras_top: usize,
+    /// Live entries (≤ `ras_max`).
+    ras_len: usize,
     ras_max: usize,
     cond_predictions: u64,
     cond_mispredicts: u64,
@@ -64,19 +74,24 @@ impl BranchPredictor {
         );
         BranchPredictor {
             table: vec![1; table_size], // weakly not-taken
+            table_mask: table_size - 1,
             history_bits,
             spec_history: BranchHistory::new(),
             btb: vec![None; btb_size],
-            ras: Vec::with_capacity(ras_size),
+            btb_mask: btb_size - 1,
+            ras: vec![Pc::new(0); ras_size],
+            ras_top: 0,
+            ras_len: 0,
             ras_max: ras_size,
             cond_predictions: 0,
             cond_mispredicts: 0,
         }
     }
 
+    #[inline]
     fn index(&self, pc: Pc, history: &BranchHistory) -> usize {
         let h = history.low_bits(self.history_bits.min(64));
-        (((pc.addr() >> 2) ^ h) as usize) & (self.table.len() - 1)
+        (((pc.addr() >> 2) ^ h) as usize) & self.table_mask
     }
 
     /// The current speculative global history.
@@ -124,27 +139,35 @@ impl BranchPredictor {
 
     /// Looks up a predicted target for the indirect jump at `pc`.
     pub fn btb_lookup(&self, pc: Pc) -> Option<Pc> {
-        let i = ((pc.addr() >> 2) as usize) & (self.btb.len() - 1);
+        let i = ((pc.addr() >> 2) as usize) & self.btb_mask;
         self.btb[i].and_then(|(tag, t)| (tag == pc.addr()).then_some(t))
     }
 
     /// Installs/updates the BTB entry for `pc`.
     pub fn btb_update(&mut self, pc: Pc, target: Pc) {
-        let i = ((pc.addr() >> 2) as usize) & (self.btb.len() - 1);
+        let i = ((pc.addr() >> 2) as usize) & self.btb_mask;
         self.btb[i] = Some((pc.addr(), target));
     }
 
-    /// Pushes a return address (at a call's fetch).
+    /// Pushes a return address (at a call's fetch). A full stack
+    /// overwrites its oldest entry.
     pub fn ras_push(&mut self, return_addr: Pc) {
-        if self.ras.len() == self.ras_max {
-            self.ras.remove(0);
+        if self.ras_max == 0 {
+            return;
         }
-        self.ras.push(return_addr);
+        self.ras[self.ras_top] = return_addr;
+        self.ras_top = (self.ras_top + 1) % self.ras_max;
+        self.ras_len = (self.ras_len + 1).min(self.ras_max);
     }
 
     /// Pops the predicted return target (at a return's fetch).
     pub fn ras_pop(&mut self) -> Option<Pc> {
-        self.ras.pop()
+        if self.ras_len == 0 {
+            return None;
+        }
+        self.ras_len -= 1;
+        self.ras_top = (self.ras_top + self.ras_max - 1) % self.ras_max;
+        Some(self.ras[self.ras_top])
     }
 
     /// `(conditional branches resolved, mispredicted)`.

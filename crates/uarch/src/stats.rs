@@ -108,10 +108,6 @@ impl SimStats {
         program.index_of(pc).map(|i| &self.per_pc[i])
     }
 
-    pub(crate) fn at_mut(&mut self, program: &Program, pc: Pc) -> Option<&mut PcStats> {
-        program.index_of(pc).map(|i| &mut self.per_pc[i])
-    }
-
     /// Average instructions retired per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -16,6 +16,10 @@ pub struct TlbConfig {
 /// Like the caches, the TLB is a timing model only: an access reports
 /// hit/miss for the page containing the address, filling on miss.
 ///
+/// Pages and recency stamps live in split parallel arrays so the hit
+/// scan touches only page numbers; the last hit's slot is remembered,
+/// making back-to-back accesses to the same page a single compare.
+///
 /// # Example
 ///
 /// ```
@@ -28,8 +32,14 @@ pub struct TlbConfig {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    /// `(page, lru)` pairs; larger lru = more recent.
-    entries: Vec<(u64, u64)>,
+    /// Resident page numbers.
+    pages: Vec<u64>,
+    /// Recency stamp per resident page; larger = more recent.
+    stamps: Vec<u64>,
+    /// log2(page_bytes).
+    page_shift: u32,
+    /// Slot of the most recent hit/fill (fast path for locality).
+    mru: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -50,7 +60,10 @@ impl Tlb {
         );
         Tlb {
             config,
-            entries: Vec::with_capacity(config.entries),
+            pages: Vec::with_capacity(config.entries),
+            stamps: Vec::with_capacity(config.entries),
+            page_shift: config.page_bytes.trailing_zeros(),
+            mru: 0,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -61,24 +74,38 @@ impl Tlb {
     /// (evicting the LRU entry) on miss.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let page = addr / self.config.page_bytes;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.tick;
+        let page = addr >> self.page_shift;
+        if let Some(&p) = self.pages.get(self.mru) {
+            if p == page {
+                self.stamps[self.mru] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        if let Some(slot) = self.pages.iter().position(|&p| p == page) {
+            self.stamps[slot] = self.tick;
+            self.mru = slot;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if self.entries.len() == self.config.entries {
-            let victim = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, lru))| *lru)
-                .map(|(i, _)| i)
-                .expect("tlb is non-empty when full");
-            self.entries.swap_remove(victim);
+        if self.pages.len() == self.config.entries {
+            // Stamps are unique, so the minimum identifies the LRU entry
+            // exactly as the tick-scan implementation did.
+            let mut victim = 0;
+            let mut best = self.stamps[0];
+            for (i, &s) in self.stamps.iter().enumerate().skip(1) {
+                if s < best {
+                    best = s;
+                    victim = i;
+                }
+            }
+            self.pages.swap_remove(victim);
+            self.stamps.swap_remove(victim);
         }
-        self.entries.push((page, self.tick));
+        self.mru = self.pages.len();
+        self.pages.push(page);
+        self.stamps.push(self.tick);
         false
     }
 
@@ -111,5 +138,19 @@ mod tests {
         assert!(!t.access(0x1000));
         assert_eq!(t.hits(), 2);
         assert_eq!(t.misses(), 4);
+    }
+
+    #[test]
+    fn mru_fast_path_counts_hits() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+        });
+        assert!(!t.access(0x5000));
+        for i in 0..10 {
+            assert!(t.access(0x5000 + i * 8));
+        }
+        assert_eq!(t.hits(), 10);
+        assert_eq!(t.misses(), 1);
     }
 }

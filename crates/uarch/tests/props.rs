@@ -5,7 +5,8 @@
 
 use profileme_isa::{ArchState, Cond, Program, ProgramBuilder, Reg};
 use profileme_uarch::{
-    HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware, SchedulerKind,
+    Cache, CacheConfig, HwEvent, HwEventKind, Pipeline, PipelineConfig, ProfilingHardware,
+    SchedulerKind, Tlb, TlbConfig,
 };
 use proptest::prelude::*;
 
@@ -110,6 +111,111 @@ impl ProfilingHardware for RetireLog {
     }
 }
 
+/// The tick-and-scan set-associative cache the flat implementation
+/// replaced, kept verbatim as a behavioral reference: same hit/miss
+/// decisions, same LRU victim (ties broken toward the first invalid way).
+struct ScanCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    lines: Vec<(u64, bool, u64)>, // (tag, valid, lru tick)
+    tick: u64,
+}
+
+impl ScanCache {
+    fn new(c: CacheConfig) -> ScanCache {
+        ScanCache {
+            sets: c.sets,
+            ways: c.ways,
+            line_bytes: c.line_bytes,
+            lines: vec![(0, false, 0); c.sets * c.ways],
+            tick: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        let ways = &mut self.lines[base..base + self.ways];
+        if let Some(l) = ways.iter_mut().find(|l| l.1 && l.0 == tag) {
+            l.2 = self.tick;
+            return true;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.1 { l.2 } else { 0 })
+            .expect("ways > 0");
+        *victim = (tag, true, self.tick);
+        false
+    }
+
+    fn probe(&self, addr: u64) -> bool {
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.1 && l.0 == tag)
+    }
+}
+
+/// The scan-based fully associative LRU TLB the split-array version
+/// replaced, kept verbatim as a behavioral reference.
+struct ScanTlb {
+    capacity: usize,
+    page_bytes: u64,
+    entries: Vec<(u64, u64)>,
+    tick: u64,
+}
+
+impl ScanTlb {
+    fn new(c: TlbConfig) -> ScanTlb {
+        ScanTlb {
+            capacity: c.entries,
+            page_bytes: c.page_bytes,
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let page = addr / self.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("tlb non-empty when full");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+}
+
+/// Addresses drawn from few enough lines/pages that hits, conflict
+/// evictions, and capacity evictions all occur.
+fn arb_addr_trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..0x2000,            // a handful of sets' worth of lines
+            0x10_0000u64..0x10_2000, // aliasing tags in the same sets
+            any::<u64>(),
+        ],
+        1..400,
+    )
+}
+
 fn functional_trace(p: &Program) -> Vec<profileme_isa::Pc> {
     let mut s = ArchState::new(p);
     let mut pcs = Vec::new();
@@ -196,5 +302,46 @@ proptest! {
             let windowed: u64 = s.window_retires.iter().map(|&w| w as u64).sum();
             prop_assert_eq!(windowed, s.retired);
         }
+    }
+
+    /// The flat rank-LRU cache produces the same hit/miss sequence,
+    /// counters, and residency as the tick-scan implementation it
+    /// replaced, across geometries.
+    #[test]
+    fn cache_matches_scan_reference(
+        addrs in arb_addr_trace(),
+        sets_log in 0u32..4,
+        ways in 1usize..5,
+    ) {
+        let config = CacheConfig { sets: 1 << sets_log, ways, line_bytes: 64 };
+        let mut flat = Cache::new(config);
+        let mut scan = ScanCache::new(config);
+        for &a in &addrs {
+            prop_assert_eq!(flat.access(a), scan.access(a), "access({:#x})", a);
+        }
+        for &a in &addrs {
+            prop_assert_eq!(flat.probe(a), scan.probe(a), "probe({:#x})", a);
+        }
+        prop_assert_eq!(flat.hits() + flat.misses(), addrs.len() as u64);
+    }
+
+    /// The split-array MRU-fast-path TLB produces the same hit/miss
+    /// sequence and counters as the scan implementation it replaced.
+    #[test]
+    fn tlb_matches_scan_reference(
+        addrs in arb_addr_trace(),
+        entries in 1usize..6,
+    ) {
+        let config = TlbConfig { entries, page_bytes: 4096 };
+        let mut fast = Tlb::new(config);
+        let mut scan = ScanTlb::new(config);
+        let mut hits = 0u64;
+        for &a in &addrs {
+            let h = fast.access(a);
+            prop_assert_eq!(h, scan.access(a), "access({:#x})", a);
+            hits += h as u64;
+        }
+        prop_assert_eq!(fast.hits(), hits);
+        prop_assert_eq!(fast.misses(), addrs.len() as u64 - hits);
     }
 }
