@@ -9,28 +9,25 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use profileme_bench::engine::run_cells;
-use profileme_core::{run_single, ProfileMeConfig};
-use profileme_uarch::PipelineConfig;
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_workloads::{suite, Workload};
 
 /// One experiment cell: a profiled run of one workload, as the figure
 /// binaries do it.
 fn cell(w: &Workload) -> usize {
-    let cfg = ProfileMeConfig {
-        mean_interval: 256,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        cfg,
-        u64::MAX,
-    )
-    .expect("workload completes")
-    .samples
-    .len()
+    Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 256,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+        .profile_single()
+        .expect("workload completes")
+        .samples
+        .len()
 }
 
 fn suite_fanout(c: &mut Criterion) {

@@ -3,8 +3,7 @@
 //! overhead story of §4.3.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use profileme_core::{run_paired, run_single, PairedConfig, ProfileMeConfig};
-use profileme_uarch::PipelineConfig;
+use profileme_core::{PairedConfig, ProfileMeConfig, Session};
 use profileme_workloads::compress;
 
 fn single_sampling(c: &mut Criterion) {
@@ -17,21 +16,19 @@ fn single_sampling(c: &mut Criterion) {
             &interval,
             |b, &interval| {
                 b.iter(|| {
-                    let cfg = ProfileMeConfig {
-                        mean_interval: interval,
-                        buffer_depth: 8,
-                        ..ProfileMeConfig::default()
-                    };
-                    run_single(
-                        w.program.clone(),
-                        Some(w.memory.clone()),
-                        PipelineConfig::default(),
-                        cfg,
-                        u64::MAX,
-                    )
-                    .expect("run completes")
-                    .samples
-                    .len()
+                    Session::builder(w.program.clone())
+                        .memory(w.memory.clone())
+                        .sampling(ProfileMeConfig {
+                            mean_interval: interval,
+                            buffer_depth: 8,
+                            ..ProfileMeConfig::default()
+                        })
+                        .build()
+                        .expect("config is valid")
+                        .profile_single()
+                        .expect("run completes")
+                        .samples
+                        .len()
                 })
             },
         );
@@ -49,22 +46,20 @@ fn paired_sampling(c: &mut Criterion) {
             &window,
             |b, &window| {
                 b.iter(|| {
-                    let cfg = PairedConfig {
-                        mean_major_interval: 256,
-                        window,
-                        buffer_depth: 4,
-                        ..PairedConfig::default()
-                    };
-                    run_paired(
-                        w.program.clone(),
-                        Some(w.memory.clone()),
-                        PipelineConfig::default(),
-                        cfg,
-                        u64::MAX,
-                    )
-                    .expect("run completes")
-                    .pairs
-                    .len()
+                    Session::builder(w.program.clone())
+                        .memory(w.memory.clone())
+                        .paired_sampling(PairedConfig {
+                            mean_major_interval: 256,
+                            window,
+                            buffer_depth: 4,
+                            ..PairedConfig::default()
+                        })
+                        .build()
+                        .expect("config is valid")
+                        .profile_paired()
+                        .expect("run completes")
+                        .pairs
+                        .len()
                 })
             },
         );

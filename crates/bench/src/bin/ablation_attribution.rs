@@ -9,10 +9,10 @@
 //! total-variation distance between the normalized profiles.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_hardware, run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_counters::{CounterHardware, PcHistogram};
 use profileme_isa::Program;
-use profileme_uarch::{HwEventKind, PipelineConfig};
+use profileme_uarch::HwEventKind;
 use profileme_workloads::{suite, Workload};
 use std::collections::BTreeMap;
 
@@ -46,18 +46,15 @@ fn ground_truth(
 fn counter_profile(w: &Workload) -> (BTreeMap<profileme_isa::Pc, f64>, profileme_uarch::SimStats) {
     let hw = CounterHardware::new(HwEventKind::DCacheMiss, 16, 6, 7).with_skid_jitter(12);
     let mut hist = PcHistogram::new();
-    let run = run_hardware(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        hw,
-        u64::MAX,
-        |intr, hw| {
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .build()
+        .unwrap_or_else(|e| panic!("{} config: {e}", w.name))
+        .run(hw, |intr, hw| {
             hist.record(intr.attributed_pc);
             hw.rearm();
-        },
-    )
-    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        })
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     (
         hist.iter().map(|(pc, n)| (pc, n as f64)).collect(),
         run.stats,
@@ -65,19 +62,17 @@ fn counter_profile(w: &Workload) -> (BTreeMap<profileme_isa::Pc, f64>, profileme
 }
 
 fn profileme_profile(w: &Workload) -> BTreeMap<profileme_isa::Pc, f64> {
-    let sampling = ProfileMeConfig {
-        mean_interval: 64,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 64,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .unwrap_or_else(|e| panic!("{} config: {e}", w.name))
+        .profile_single()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     run.db
         .iter()
         .filter(|(_, p)| p.dcache_misses > 0)

@@ -8,7 +8,7 @@
 //! rate and reports run-time overhead relative to an unprofiled run.
 
 use profileme_bench::engine::{run_plain, scaled, Experiment};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_uarch::PipelineConfig;
 use profileme_workloads::{compress, Workload};
 
@@ -21,19 +21,18 @@ fn measure(cell: Option<usize>, w: &Workload, config: &PipelineConfig) -> (u64, 
     match cell {
         None => (run_plain(w, config.clone()).cycles, 0, 0),
         Some(depth) => {
-            let sampling = ProfileMeConfig {
-                mean_interval: 256,
-                buffer_depth: depth,
-                ..ProfileMeConfig::default()
-            };
-            let run = run_single(
-                w.program.clone(),
-                Some(w.memory.clone()),
-                config.clone(),
-                sampling,
-                u64::MAX,
-            )
-            .expect("compress completes");
+            let run = Session::builder(w.program.clone())
+                .memory(w.memory.clone())
+                .pipeline(config.clone())
+                .sampling(ProfileMeConfig {
+                    mean_interval: 256,
+                    buffer_depth: depth,
+                    ..ProfileMeConfig::default()
+                })
+                .build()
+                .expect("config is valid")
+                .profile_single()
+                .expect("compress completes");
             (run.cycles, run.stats.interrupts, run.samples.len())
         }
     }

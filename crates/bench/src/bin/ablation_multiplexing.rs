@@ -9,9 +9,9 @@
 //! because each sample carries a complete event record.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_hardware, run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_counters::MultiplexedCounters;
-use profileme_uarch::{HwEventKind, PipelineConfig, SimStats};
+use profileme_uarch::{HwEventKind, SimStats};
 use profileme_workloads::loops3;
 
 const KINDS: [HwEventKind; 6] = [
@@ -58,15 +58,12 @@ fn measure(cell: Cell, rotation: u64) -> Out {
             // Rotate at phase scale: residency windows comparable to
             // program phases are exactly when extrapolation goes wrong.
             let mux = MultiplexedCounters::new(KINDS.to_vec(), 2, rotation);
-            let run = run_hardware(
-                w.program.clone(),
-                Some(w.memory.clone()),
-                PipelineConfig::default(),
-                mux,
-                u64::MAX,
-                |_, _| {},
-            )
-            .expect("loops3 completes");
+            let run = Session::builder(w.program.clone())
+                .memory(w.memory.clone())
+                .build()
+                .expect("config is valid")
+                .run(mux, |_, _| {})
+                .expect("loops3 completes");
             let estimates = KINDS
                 .iter()
                 .map(|&k| {
@@ -84,19 +81,17 @@ fn measure(cell: Cell, rotation: u64) -> Out {
         Cell::ProfileMe => {
             // ProfileMe monitors all kinds at once, in one pass, with
             // per-sample correlation on top.
-            let sampling = ProfileMeConfig {
-                mean_interval: 128,
-                buffer_depth: 16,
-                ..ProfileMeConfig::default()
-            };
-            let run = run_single(
-                w.program.clone(),
-                Some(w.memory.clone()),
-                PipelineConfig::default(),
-                sampling,
-                u64::MAX,
-            )
-            .expect("loops3 completes");
+            let run = Session::builder(w.program.clone())
+                .memory(w.memory.clone())
+                .sampling(ProfileMeConfig {
+                    mean_interval: 128,
+                    buffer_depth: 16,
+                    ..ProfileMeConfig::default()
+                })
+                .build()
+                .expect("config is valid")
+                .profile_single()
+                .expect("loops3 completes");
             let pm_misses: f64 = run
                 .db
                 .iter()

@@ -9,8 +9,7 @@
 //! at a fast nominal interval and reports achieved rates and dead time.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_nway, NWayConfig};
-use profileme_uarch::PipelineConfig;
+use profileme_core::{NWayConfig, Session};
 use profileme_workloads::{li, Workload};
 
 const WAYS: [usize; 4] = [1, 2, 4, 8];
@@ -18,20 +17,18 @@ const NOMINAL: u64 = 24;
 
 /// One grid cell: one tag count. Returns (samples, fetched).
 fn measure(ways: usize, w: &Workload) -> (usize, u64) {
-    let cfg = NWayConfig {
-        ways,
-        mean_interval: NOMINAL,
-        buffer_depth: 32,
-        ..NWayConfig::default()
-    };
-    let run = run_nway(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        cfg,
-        u64::MAX,
-    )
-    .expect("li completes");
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .nway_sampling(NWayConfig {
+            ways,
+            mean_interval: NOMINAL,
+            buffer_depth: 32,
+            ..NWayConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+        .profile_nway()
+        .expect("li completes");
     (run.samples.len(), run.stats.fetched)
 }
 

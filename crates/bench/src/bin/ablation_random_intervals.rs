@@ -9,9 +9,8 @@
 //! randomization, and compares per-instruction sample uniformity.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
-use profileme_uarch::PipelineConfig;
 
 /// A loop whose body is exactly 32 instructions (a divisor of the
 /// 64-instruction sampling interval).
@@ -33,20 +32,17 @@ fn resonant_loop(iterations: u64) -> Program {
 /// One grid cell: the loop profiled with fixed or randomized intervals.
 /// Returns (max-share ratio, never-sampled PCs, total samples).
 fn sample_distribution(randomize: bool, p: &Program) -> (f64, usize, usize) {
-    let sampling = ProfileMeConfig {
-        mean_interval: 64,
-        randomize,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        p.clone(),
-        None,
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("loop completes");
+    let run = Session::builder(p.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 64,
+            randomize,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+        .profile_single()
+        .expect("loop completes");
     // Distribution over the 32 loop-body PCs.
     let f = p.function_named("resonant").expect("function exists");
     let body: Vec<_> = (1..33).map(|i| f.entry.advance(i)).collect();

@@ -8,7 +8,7 @@
 //! `√S` — the asymmetry that makes sampling-based profiling cheap.
 
 use profileme_bench::engine::{run_plain, scaled, Experiment};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_uarch::PipelineConfig;
 use profileme_workloads::{compress, Workload};
 
@@ -21,19 +21,18 @@ fn measure(cell: Option<u64>, w: &Workload, config: &PipelineConfig) -> (u64, us
     match cell {
         None => (run_plain(w, config.clone()).cycles, 0, 0, f64::INFINITY),
         Some(interval) => {
-            let sampling = ProfileMeConfig {
-                mean_interval: interval,
-                buffer_depth: 8,
-                ..ProfileMeConfig::default()
-            };
-            let run = run_single(
-                w.program.clone(),
-                Some(w.memory.clone()),
-                config.clone(),
-                sampling,
-                u64::MAX,
-            )
-            .expect("compress completes");
+            let run = Session::builder(w.program.clone())
+                .memory(w.memory.clone())
+                .pipeline(config.clone())
+                .sampling(ProfileMeConfig {
+                    mean_interval: interval,
+                    buffer_depth: 8,
+                    ..ProfileMeConfig::default()
+                })
+                .build()
+                .expect("config is valid")
+                .profile_single()
+                .expect("compress completes");
             let hot = run
                 .db
                 .iter()

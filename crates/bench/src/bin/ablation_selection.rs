@@ -8,27 +8,24 @@
 //! the workload suite.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_single, ProfileMeConfig, SelectionMode};
-use profileme_uarch::PipelineConfig;
+use profileme_core::{ProfileMeConfig, SelectionMode, Session};
 use profileme_workloads::{suite, Workload};
 
 /// One grid cell: one workload under fetch-opportunity selection.
 /// Returns (name, samples, empty selections, useful rate, occupancy).
 fn measure(w: &Workload) -> (&'static str, usize, u64, f64, f64) {
-    let sampling = ProfileMeConfig {
-        mean_interval: 64,
-        selection: SelectionMode::FetchOpportunities,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 64,
+            selection: SelectionMode::FetchOpportunities,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .unwrap_or_else(|e| panic!("{} config: {e}", w.name))
+        .profile_single()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     let total = run.samples.len() as f64;
     let empty = run.invalid_selections as f64;
     let useful = 1.0 - empty / total.max(1.0);

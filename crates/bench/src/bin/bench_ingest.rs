@@ -1,0 +1,263 @@
+//! Ingest-throughput tracker for the sharded aggregation service:
+//! samples per wall-clock second pushed through `ShardedService` at
+//! 1/2/4/8 shards, against the direct single-threaded
+//! `ProfileDatabase::add` baseline. Writes `BENCH_ingest.json` so
+//! ingest throughput can be compared across revisions.
+//!
+//! Every serviced cell is checked byte-for-byte against the direct
+//! aggregation — the determinism invariant (shard count never changes
+//! the merged profile) is asserted here on every run, not just in the
+//! unit suite.
+//!
+//! Knobs, following `bench_throughput`:
+//!
+//! * `PROFILEME_SCALE` sets workload length, `PROFILEME_BENCH_REPS`
+//!   the repetitions per cell (best-of-N wall-clock is reported).
+//! * `PROFILEME_REQUIRE_INGEST_OK=1` exits nonzero if the single-shard
+//!   service overhead vs the direct baseline exceeds 15% — the CI
+//!   regression gate for the ingest fast path.
+
+use profileme_bench::engine::{env, Emitter};
+use profileme_bench::scaled;
+use profileme_core::{ProfileDatabase, ProfileMeConfig, Sample, Session};
+use profileme_serve::{ServeConfig, ShardedService};
+use profileme_workloads::{self as workloads, Workload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Shard counts the tracker sweeps.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+/// Samples per `ingest_batch` call — one queue message per shard per
+/// batch, the §4.3 buffered-delivery analogue.
+const BATCH: usize = 4096;
+/// Queue depth for the benchmark services: deep enough that the
+/// producer never parks on backpressure, so the cell measures
+/// aggregation throughput rather than condvar wake latency.
+const QUEUE_DEPTH: usize = 512;
+/// Ceiling on single-shard overhead vs the direct baseline.
+const MAX_OVERHEAD: f64 = 0.15;
+
+#[derive(Debug, Serialize)]
+struct Cell {
+    workload: &'static str,
+    /// 0 encodes the direct (unserviced) baseline.
+    shards: usize,
+    samples: u64,
+    best_seconds: f64,
+    samples_per_second: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    scale: f64,
+    reps: u32,
+    batch: usize,
+    cells: Vec<Cell>,
+    /// Single-shard service throughput over the direct baseline, per
+    /// workload: 0.10 means the service path is 10% slower.
+    single_shard_overhead: Vec<(String, f64)>,
+}
+
+fn reps() -> u32 {
+    std::env::var("PROFILEME_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+fn require_ingest_ok() -> bool {
+    std::env::var("PROFILEME_REQUIRE_INGEST_OK").is_ok_and(|v| v == "1")
+}
+
+/// Profiles `w` once, then cycles the run's samples up to `target`
+/// items so the timed replay is long enough to amortize thread start,
+/// queue handoff, and the final drain. Returns the stream and the
+/// sampling interval the databases must be built with.
+fn sample_stream(w: &Workload, target: usize) -> (Vec<Sample>, u64) {
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 32,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+        .profile_single()
+        .expect("workload completes");
+    assert!(!run.samples.is_empty(), "{} produced no samples", w.name);
+    let mut stream = Vec::with_capacity(target + run.samples.len());
+    while stream.len() < target {
+        stream.extend(run.samples.iter().cloned());
+    }
+    (stream, run.db.interval())
+}
+
+/// Times the unserviced baseline and returns its aggregation — the
+/// byte-identity reference every serviced cell is checked against.
+///
+/// The baseline consumes the stream exactly as the service does —
+/// freshly materialized owned batches, dropped as they are absorbed —
+/// so the serviced cells' delta is queue handoff and thread transfer,
+/// not an artifact of cache warmth or allocator traffic.
+fn time_direct(
+    w: &Workload,
+    stream: &[Sample],
+    interval: u64,
+    reps: u32,
+) -> (Cell, ProfileDatabase) {
+    let mut best = f64::INFINITY;
+    let mut reference = ProfileDatabase::new(&w.program, interval);
+    for _ in 0..reps {
+        let batches: Vec<Vec<Sample>> = stream.chunks(BATCH).map(<[Sample]>::to_vec).collect();
+        let mut db = ProfileDatabase::new(&w.program, interval);
+        let start = Instant::now();
+        for batch in batches {
+            for s in &batch {
+                db.add(s);
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        reference = db;
+    }
+    let cell = Cell {
+        workload: w.name,
+        shards: 0,
+        samples: stream.len() as u64,
+        best_seconds: best,
+        samples_per_second: stream.len() as f64 / best,
+    };
+    (cell, reference)
+}
+
+fn time_serviced(
+    w: &Workload,
+    stream: &[Sample],
+    reference: &ProfileDatabase,
+    shards: usize,
+    reps: u32,
+) -> Cell {
+    let reference_bytes = reference.snapshot_bytes().expect("snapshot serializes");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // Batches are materialized untimed: the cell measures ingest +
+        // aggregation + drain, not the cost of copying the test stream.
+        let batches: Vec<Vec<Sample>> = stream.chunks(BATCH).map(<[Sample]>::to_vec).collect();
+        let empty = ProfileDatabase::new(&w.program, reference.interval());
+        let service = ShardedService::start(
+            empty,
+            ServeConfig {
+                shards,
+                queue_depth: QUEUE_DEPTH,
+            },
+        )
+        .expect("service starts");
+        let start = Instant::now();
+        for batch in batches {
+            service.ingest_batch(batch);
+        }
+        let (merged, _stats) = service.shutdown().expect("service drains");
+        best = best.min(start.elapsed().as_secs_f64());
+        // The hard gate: shard count must never change the profile.
+        assert_eq!(
+            merged.snapshot_bytes().expect("snapshot serializes"),
+            reference_bytes,
+            "{} at {shards} shard(s) diverged from direct aggregation",
+            w.name
+        );
+    }
+    Cell {
+        workload: w.name,
+        shards,
+        samples: stream.len() as u64,
+        best_seconds: best,
+        samples_per_second: stream.len() as f64 / best,
+    }
+}
+
+fn main() {
+    let out = Emitter::with_dump_dir(Some(
+        env::dump_dir().unwrap_or_else(|| std::path::PathBuf::from(".")),
+    ));
+    out.banner(
+        "Sharded ingest throughput — ShardedService vs direct aggregation",
+        "repo infrastructure (not a paper figure)",
+    );
+    let reps = reps();
+    let workloads = [
+        workloads::compress(scaled(40_000)),
+        workloads::vortex(scaled(30_000)),
+    ];
+    let mut cells = Vec::new();
+    let mut overheads = Vec::new();
+    let target = scaled(400_000) as usize;
+    for w in &workloads {
+        let (stream, interval) = sample_stream(w, target);
+        out.say(format!(
+            "{:>9}: replaying {} samples (one profiling run, cycled)",
+            w.name,
+            stream.len()
+        ));
+        let (direct, reference) = time_direct(w, &stream, interval, reps);
+        out.say(format!(
+            "{:>9} {:>7}: {:>8.0}k samples/s (best of {reps}: {:.4}s)",
+            w.name,
+            "direct",
+            direct.samples_per_second / 1e3,
+            direct.best_seconds,
+        ));
+        let direct_rate = direct.samples_per_second;
+        cells.push(direct);
+        for shards in SHARDS {
+            let cell = time_serviced(w, &stream, &reference, shards, reps);
+            let note = if shards == 1 {
+                let overhead = direct_rate / cell.samples_per_second - 1.0;
+                overheads.push((w.name.to_string(), overhead));
+                format!("  ({:+.1}% vs direct)", overhead * 100.0)
+            } else {
+                String::new()
+            };
+            out.say(format!(
+                "{:>9} {:>7}: {:>8.0}k samples/s (best of {reps}: {:.4}s){note}",
+                w.name,
+                format!("{shards}-shard"),
+                cell.samples_per_second / 1e3,
+                cell.best_seconds,
+            ));
+            cells.push(cell);
+        }
+        out.blank();
+    }
+    out.say("every serviced cell matched the direct aggregation byte-for-byte".to_string());
+    let worst = overheads
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one workload ran");
+    out.say(format!(
+        "worst single-shard overhead: {:+.1}% on {} (gate: {:.0}%)",
+        worst.1 * 100.0,
+        worst.0,
+        MAX_OVERHEAD * 100.0
+    ));
+    out.dump(
+        "BENCH_ingest",
+        &Report {
+            scale: env::scale(),
+            reps,
+            batch: BATCH,
+            cells,
+            single_shard_overhead: overheads,
+        },
+    );
+    if require_ingest_ok() && worst.1 > MAX_OVERHEAD {
+        eprintln!(
+            "FAIL: single-shard ingest overhead {:+.1}% on {} exceeds the {:.0}% gate",
+            worst.1 * 100.0,
+            worst.0,
+            MAX_OVERHEAD * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,8 +8,7 @@
 //! expected inside the envelope.
 
 use profileme_bench::engine::{product, scaled, Emitter, Experiment};
-use profileme_core::{run_single, ProfileMeConfig};
-use profileme_uarch::PipelineConfig;
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_workloads::{suite, Workload};
 
 #[derive(Clone, Copy)]
@@ -24,19 +23,17 @@ struct Point {
 fn collect(interval: u64, w: &Workload) -> (Vec<Point>, Vec<Point>) {
     let mut retires = Vec::new();
     let mut misses = Vec::new();
-    let sampling = ProfileMeConfig {
-        mean_interval: interval,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: interval,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .unwrap_or_else(|e| panic!("{} config: {e}", w.name))
+        .profile_single()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     for (pc, prof) in run.db.iter() {
         let truth = run
             .stats

@@ -8,8 +8,8 @@
 //! temporal overlap in the pipeline.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_paired, PairedConfig, PairedRun};
-use profileme_uarch::{PipelineConfig, Timestamps};
+use profileme_core::{PairedConfig, PairedRun, Session};
+use profileme_uarch::Timestamps;
 use profileme_workloads::compress;
 
 /// One row of the Figure 5-style timeline: pipeline phases as characters
@@ -41,20 +41,18 @@ fn timeline(ts: &Timestamps, origin: u64, width: u64) -> String {
 /// The single grid cell: one paired-sampling run of compress.
 fn collect() -> PairedRun {
     let w = compress(scaled(20_000));
-    let sampling = PairedConfig {
-        mean_major_interval: 2_000,
-        window: 24,
-        buffer_depth: 1,
-        ..PairedConfig::default()
-    };
-    run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("compress completes")
+    Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .paired_sampling(PairedConfig {
+            mean_major_interval: 2_000,
+            window: 24,
+            buffer_depth: 1,
+            ..PairedConfig::default()
+        })
+        .build()
+        .expect("config is valid")
+        .profile_paired()
+        .expect("compress completes")
 }
 
 fn main() {

@@ -9,7 +9,7 @@
 //! pinpoint bottlenecks.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_paired, wasted_issue_slots, PairedConfig};
+use profileme_core::{wasted_issue_slots, PairedConfig, Session};
 use profileme_uarch::PipelineConfig;
 use profileme_workloads::loops3;
 
@@ -29,21 +29,19 @@ fn main() {
     let w = &l3.workload;
     let pipeline = PipelineConfig::default();
     let issue_width = pipeline.issue_width as u64;
-    let sampling = PairedConfig {
-        mean_major_interval: 48,
-        window: 64,
-        buffer_depth: 8,
-        ..PairedConfig::default()
-    };
+    let session = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .pipeline(pipeline.clone())
+        .paired_sampling(PairedConfig {
+            mean_major_interval: 48,
+            window: 64,
+            buffer_depth: 8,
+            ..PairedConfig::default()
+        })
+        .build()
+        .expect("config is valid");
     let runs = exp.run(&[()], |()| {
-        run_paired(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            pipeline.clone(),
-            sampling,
-            u64::MAX,
-        )
-        .expect("loops3 completes")
+        session.profile_paired().expect("loops3 completes")
     });
     let run = &runs[0];
     let out = exp.emitter();

@@ -8,9 +8,9 @@
 //! diagnoses.
 
 use profileme_bench::engine::{scaled, Experiment};
-use profileme_core::{run_single, ProfileMeConfig};
+use profileme_core::{ProfileMeConfig, Session};
 use profileme_isa::OpClass;
-use profileme_uarch::{LatencySums, PipelineConfig};
+use profileme_uarch::LatencySums;
 use profileme_workloads::{compress, li, povray, Workload};
 
 #[derive(Default, Clone, Copy)]
@@ -35,19 +35,17 @@ impl Acc {
 /// workload.
 fn sample_workload(w: &Workload) -> Vec<(OpClass, Acc)> {
     let mut acc: Vec<(OpClass, Acc)> = OpClass::ALL.iter().map(|&c| (c, Acc::default())).collect();
-    let sampling = ProfileMeConfig {
-        mean_interval: 32,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 32,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .unwrap_or_else(|e| panic!("{} config: {e}", w.name))
+        .profile_single()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
     for s in &run.samples {
         let Some(r) = &s.record else { continue };
         let Some(l) = &r.latencies else { continue };

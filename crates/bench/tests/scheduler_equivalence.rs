@@ -6,7 +6,7 @@
 //! every step. Any divergence would silently invalidate cross-PR
 //! comparisons of figure outputs.
 
-use profileme_core::{run_ground_truth, run_paired, run_single, PairedConfig, ProfileMeConfig};
+use profileme_core::{run_ground_truth, PairedConfig, ProfileMeConfig, Session};
 use profileme_uarch::{PipelineConfig, SchedulerKind};
 use profileme_workloads::{compress, loops3, povray, suite};
 
@@ -60,22 +60,22 @@ fn sampling_runs_are_scheduler_invariant() {
         ..ProfileMeConfig::default()
     };
     for w in [compress(300), povray(400)] {
-        let a = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            event.clone(),
-            sampling,
-            u64::MAX,
-        )
-        .expect("event-driven run completes");
-        let b = run_single(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            polling.clone(),
-            sampling,
-            u64::MAX,
-        )
-        .expect("polling run completes");
+        let builder = Session::builder(w.program.clone())
+            .memory(w.memory.clone())
+            .sampling(sampling);
+        let a = builder
+            .clone()
+            .pipeline(event.clone())
+            .build()
+            .expect("config is valid")
+            .profile_single()
+            .expect("event-driven run completes");
+        let b = builder
+            .pipeline(polling.clone())
+            .build()
+            .expect("config is valid")
+            .profile_single()
+            .expect("polling run completes");
         assert_eq!(a.cycles, b.cycles, "{}: cycle counts differ", w.name);
         assert_eq!(a.samples, b.samples, "{}: samples differ", w.name);
         assert_eq!(a.stats, b.stats, "{}: statistics differ", w.name);
@@ -95,22 +95,22 @@ fn fig7_paired_run_is_scheduler_invariant() {
         buffer_depth: 8,
         ..PairedConfig::default()
     };
-    let a = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        event,
-        sampling,
-        u64::MAX,
-    )
-    .expect("event-driven run completes");
-    let b = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        polling,
-        sampling,
-        u64::MAX,
-    )
-    .expect("polling run completes");
+    let builder = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .paired_sampling(sampling);
+    let a = builder
+        .clone()
+        .pipeline(event)
+        .build()
+        .expect("config is valid")
+        .profile_paired()
+        .expect("event-driven run completes");
+    let b = builder
+        .pipeline(polling)
+        .build()
+        .expect("config is valid")
+        .profile_paired()
+        .expect("polling run completes");
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.pairs, b.pairs);
     assert_eq!(a.stats, b.stats);

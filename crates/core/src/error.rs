@@ -1,0 +1,95 @@
+//! The typed error surface of the profiling software.
+//!
+//! Everything the [`Session`](crate::Session) API and the database
+//! snapshot/merge layer can fail with is one enum, so callers match on
+//! causes instead of downcasting `Box<dyn Error>`.
+
+use profileme_uarch::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the profiling software layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A configuration value was rejected at [`build()`] time (for
+    /// example a zero sampling interval, which would select every
+    /// fetched instruction and never re-arm meaningfully).
+    ///
+    /// [`build()`]: crate::SessionBuilder::build
+    Config {
+        /// Which knob was invalid.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The pipeline simulator failed underneath the profiling run.
+    Sim(SimError),
+    /// A profile snapshot failed to serialize or deserialize.
+    Snapshot {
+        /// What the serializer reported.
+        reason: String,
+    },
+    /// Two databases could not be merged or differenced because they
+    /// describe different programs or sampling setups.
+    Mismatch {
+        /// Which property disagreed.
+        what: &'static str,
+    },
+}
+
+impl ProfileError {
+    /// Convenience constructor for configuration rejections.
+    pub fn config(field: &'static str, reason: impl Into<String>) -> ProfileError {
+        ProfileError::Config {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Config { field, reason } => {
+                write!(f, "invalid configuration: `{field}` {reason}")
+            }
+            ProfileError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ProfileError::Snapshot { reason } => write!(f, "profile snapshot failed: {reason}"),
+            ProfileError::Mismatch { what } => {
+                write!(f, "databases are incompatible: {what} differs")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ProfileError {
+    fn from(e: SimError) -> ProfileError {
+        ProfileError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_cause() {
+        let e = ProfileError::config("mean_interval", "must be at least 1 (got 0)");
+        assert!(e.to_string().contains("mean_interval"));
+        let e = ProfileError::from(SimError::CycleLimit { limit: 7 });
+        assert!(e.to_string().contains("7 cycles"));
+        assert!(Error::source(&e).is_some());
+        let e = ProfileError::Mismatch { what: "interval" };
+        assert!(e.to_string().contains("interval"));
+    }
+}

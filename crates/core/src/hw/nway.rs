@@ -49,6 +49,37 @@ impl Default for NWayConfig {
     }
 }
 
+impl NWayConfig {
+    /// Checks the configuration, as
+    /// [`ProfileMeConfig::validate`](crate::ProfileMeConfig::validate)
+    /// does for the single-tag hardware.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero `ways`, `mean_interval`, or `buffer_depth`.
+    pub fn validate(&self) -> Result<(), crate::ProfileError> {
+        if self.ways == 0 {
+            return Err(crate::ProfileError::config(
+                "ways",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        if self.mean_interval == 0 {
+            return Err(crate::ProfileError::config(
+                "mean_interval",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        if self.buffer_depth == 0 {
+            return Err(crate::ProfileError::config(
+                "buffer_depth",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Sampling hardware with `N` concurrently live Profile Register sets.
 ///
 /// Selection works as in [`ProfileMeHardware`](crate::ProfileMeHardware),

@@ -43,6 +43,40 @@ impl Default for PairedConfig {
     }
 }
 
+impl PairedConfig {
+    /// Checks the configuration, as
+    /// [`ProfileMeConfig::validate`](crate::ProfileMeConfig::validate)
+    /// does for single sampling.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero major interval (pairs would be selected on every
+    /// fetch), a zero window (the minor interval is drawn from
+    /// `1..=window`, so there would be no legal draw), and a zero
+    /// buffer depth.
+    pub fn validate(&self) -> Result<(), crate::ProfileError> {
+        if self.mean_major_interval == 0 {
+            return Err(crate::ProfileError::config(
+                "mean_major_interval",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        if self.window == 0 {
+            return Err(crate::ProfileError::config(
+                "window",
+                "must be at least 1 (got 0): the minor interval is drawn from 1..=window",
+            ));
+        }
+        if self.buffer_depth == 0 {
+            return Err(crate::ProfileError::config(
+                "buffer_depth",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// An in-progress pair: selections made, completions awaited.
 #[derive(Debug, Clone, Default)]
 struct PendingPair {

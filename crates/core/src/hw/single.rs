@@ -36,6 +36,34 @@ impl Default for ProfileMeConfig {
     }
 }
 
+impl ProfileMeConfig {
+    /// Checks the configuration for values that would make the hardware
+    /// misbehave silently. [`SessionBuilder::build`](crate::SessionBuilder::build)
+    /// calls this; the deprecated positional drivers never did, which is
+    /// exactly the footgun the [`Session`](crate::Session) API closes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `mean_interval == 0` (the counter would select on every
+    /// fetch and the estimator's interval S would be meaningless) and
+    /// `buffer_depth == 0` (no Profile Register set to deliver samples).
+    pub fn validate(&self) -> Result<(), crate::ProfileError> {
+        if self.mean_interval == 0 {
+            return Err(crate::ProfileError::config(
+                "mean_interval",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        if self.buffer_depth == 0 {
+            return Err(crate::ProfileError::config(
+                "buffer_depth",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct State {
     /// Countdown to the next selection; 0 means a selection is *due*.

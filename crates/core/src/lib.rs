@@ -13,9 +13,9 @@
 //!   intervals and an inter-pair fetch latency register
 //!   ([`PairedHardware`]), and sample buffering to amortize interrupt
 //!   cost ([`SampleBuffer`]).
-//! * **Software** (§5): sampling drivers ([`run_single`],
-//!   [`run_paired`]), a compact incrementally aggregated profile
-//!   database ([`ProfileDatabase`], [`PairProfileDatabase`]),
+//! * **Software** (§5): the [`Session`] builder over the sampling
+//!   drivers, a compact incrementally aggregated — and *mergeable* —
+//!   profile database ([`ProfileDatabase`], [`PairProfileDatabase`]),
 //!   statistical estimators with convergence behaviour
 //!   ([`Estimate`]), concurrency metrics over paired samples including
 //!   *wasted issue slots* ([`wasted_issue_slots`], [`OverlapKind`]), and
@@ -30,9 +30,8 @@
 //! # Example: find the D-cache-missing instruction
 //!
 //! ```
-//! use profileme_core::{run_single, ProfileMeConfig};
+//! use profileme_core::{ProfileMeConfig, Session};
 //! use profileme_isa::{Cond, ProgramBuilder, Reg};
-//! use profileme_uarch::PipelineConfig;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A loop whose load strides through memory, missing often.
@@ -47,10 +46,11 @@
 //! b.addi(Reg::R9, Reg::R9, -1);
 //! b.cond_br(Cond::Ne0, Reg::R9, top);
 //! b.halt();
-//! let program = b.build()?;
 //!
-//! let sampling = ProfileMeConfig { mean_interval: 64, ..ProfileMeConfig::default() };
-//! let run = run_single(program, None, PipelineConfig::default(), sampling, u64::MAX)?;
+//! let run = Session::builder(b.build()?)
+//!     .sampling(ProfileMeConfig { mean_interval: 64, ..Default::default() })
+//!     .build()?
+//!     .profile_single()?;
 //!
 //! // The load dominates the sampled D-cache misses.
 //! let (worst_pc, _) = run
@@ -66,21 +66,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod hw;
 mod sample;
+mod session;
 mod sw;
 
+pub use error::ProfileError;
 pub use hw::{
     IntervalGenerator, NWayConfig, NWayHardware, PairedConfig, PairedHardware, ProfileMeConfig,
     ProfileMeHardware, SampleBuffer, SelectionMode,
 };
 pub use sample::{PairedSample, Sample};
+pub use session::{Session, SessionBuilder};
 pub use sw::{
     confidence_interval, estimate_pair_metric, estimate_total, expected_cov,
     instructions_retired_around, neighborhood_ipc, pipeline_population, procedure_summaries,
-    run_ground_truth, run_hardware, run_nway, run_paired, run_single, useful_overlap,
-    wasted_issue_slots, Estimate, HardwareRun, OverlapKind, PairMetric, PairProfileDatabase,
-    PairedRun, PathProfiler, PathScheme, PcPairProfile, PcProfile, ProcedureSummary,
-    ProfileDatabase, ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation,
-    WastedSlots,
+    run_ground_truth, run_hardware, useful_overlap, wasted_issue_slots, Estimate, HardwareRun,
+    OverlapKind, PairMetric, PairProfileDatabase, PairedRun, PathProfiler, PathScheme,
+    PcPairProfile, PcProfile, ProcedureSummary, ProfileDatabase, ProfileField,
+    ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation, WastedSlots,
 };
+#[allow(deprecated)]
+pub use sw::{run_nway, run_paired, run_single};

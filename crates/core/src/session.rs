@@ -1,0 +1,398 @@
+//! The [`Session`] API: one validated, named-setter entry point for
+//! every kind of profiling run.
+//!
+//! The original drivers (`run_single`, `run_nway`, `run_paired`) took
+//! five positional arguments each; call sites read as a row of
+//! unlabelled commas and nothing ever checked the configuration, so a
+//! zero sampling interval sailed through silently. A [`SessionBuilder`]
+//! names every knob, backs them all with defaults, validates once at
+//! [`build()`](SessionBuilder::build), and the built [`Session`] offers
+//! one terminal method per run kind:
+//!
+//! ```
+//! use profileme_core::{ProfileMeConfig, Session};
+//! use profileme_isa::{Cond, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.function("main");
+//! b.load_imm(Reg::R9, 2_000);
+//! let top = b.label("top");
+//! b.addi(Reg::R9, Reg::R9, -1);
+//! b.cond_br(Cond::Ne0, Reg::R9, top);
+//! b.halt();
+//!
+//! let session = Session::builder(b.build()?)
+//!     .sampling(ProfileMeConfig { mean_interval: 64, ..Default::default() })
+//!     .build()?;
+//! let run = session.profile_single()?;
+//! let truth = session.ground_truth()?;
+//! assert!(run.samples.len() > 0);
+//! // Sampling interrupts cost cycles but never change what executes.
+//! assert_eq!(run.stats.retired, truth.stats.retired);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A `Session` borrows nothing and keeps its program, so one session can
+//! drive repeated runs (ground truth next to sampled, or the same
+//! workload across snapshots).
+
+use crate::error::ProfileError;
+use crate::hw::{NWayConfig, PairedConfig, ProfileMeConfig};
+use crate::sw::driver::{self, HardwareRun, PairedRun, SingleRun};
+use profileme_isa::{Memory, Program};
+use profileme_uarch::{InterruptEvent, NullHardware, PipelineConfig, ProfilingHardware};
+
+/// Builder for a [`Session`]: named setters over defaults, validation at
+/// [`build()`](SessionBuilder::build).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    sampling: ProfileMeConfig,
+    nway: NWayConfig,
+    paired: PairedConfig,
+    max_cycles: u64,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for `program` with every knob at its default:
+    /// no pre-initialized memory, the default pipeline, the default
+    /// sampling configurations, and an unbounded cycle budget.
+    pub fn new(program: Program) -> SessionBuilder {
+        SessionBuilder {
+            program,
+            memory: None,
+            pipeline: PipelineConfig::default(),
+            sampling: ProfileMeConfig::default(),
+            nway: NWayConfig::default(),
+            paired: PairedConfig::default(),
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Pre-initializes data memory (pointer-chasing workloads carry
+    /// their heap image here).
+    pub fn memory(mut self, memory: Memory) -> SessionBuilder {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// The simulated machine configuration.
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> SessionBuilder {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Single-instruction sampling configuration, used by
+    /// [`Session::profile_single`].
+    pub fn sampling(mut self, sampling: ProfileMeConfig) -> SessionBuilder {
+        self.sampling = sampling;
+        self
+    }
+
+    /// N-way sampling configuration, used by [`Session::profile_nway`].
+    pub fn nway_sampling(mut self, nway: NWayConfig) -> SessionBuilder {
+        self.nway = nway;
+        self
+    }
+
+    /// Paired sampling configuration, used by
+    /// [`Session::profile_paired`].
+    pub fn paired_sampling(mut self, paired: PairedConfig) -> SessionBuilder {
+        self.paired = paired;
+        self
+    }
+
+    /// Cycle budget for each run started from the session (default:
+    /// unbounded).
+    pub fn max_cycles(mut self, max_cycles: u64) -> SessionBuilder {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Validates every configuration and seals the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Config`] if any sampling configuration is
+    /// invalid — notably the zero-interval footgun the positional
+    /// drivers accepted silently — or if `max_cycles` is zero.
+    pub fn build(self) -> Result<Session, ProfileError> {
+        self.sampling.validate()?;
+        self.nway.validate()?;
+        self.paired.validate()?;
+        if self.max_cycles == 0 {
+            return Err(ProfileError::config(
+                "max_cycles",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(Session { inner: self })
+    }
+}
+
+/// A validated profiling session: a program, its machine, and sampling
+/// configurations, ready to run any of the paper's profiling modes.
+///
+/// Built by [`Session::builder`]; see the [module docs](self) for a
+/// worked example.
+#[derive(Debug, Clone)]
+pub struct Session {
+    inner: SessionBuilder,
+}
+
+impl Session {
+    /// Starts a [`SessionBuilder`] for `program`.
+    pub fn builder(program: Program) -> SessionBuilder {
+        SessionBuilder::new(program)
+    }
+
+    /// The program this session profiles.
+    pub fn program(&self) -> &Program {
+        &self.inner.program
+    }
+
+    /// The machine configuration runs execute on.
+    pub fn pipeline(&self) -> &PipelineConfig {
+        &self.inner.pipeline
+    }
+
+    /// The single-instruction sampling configuration.
+    pub fn sampling(&self) -> &ProfileMeConfig {
+        &self.inner.sampling
+    }
+
+    /// The paired sampling configuration.
+    pub fn paired_sampling(&self) -> &PairedConfig {
+        &self.inner.paired
+    }
+
+    /// Runs the program under single-instruction ProfileMe sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] if the cycle budget is exhausted.
+    pub fn profile_single(&self) -> Result<SingleRun, ProfileError> {
+        let s = &self.inner;
+        driver::single(
+            s.program.clone(),
+            s.memory.clone(),
+            s.pipeline.clone(),
+            s.sampling,
+            s.max_cycles,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Runs the program under N-way sampling (several simultaneously
+    /// profiled instructions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] if the cycle budget is exhausted.
+    pub fn profile_nway(&self) -> Result<SingleRun, ProfileError> {
+        let s = &self.inner;
+        driver::nway(
+            s.program.clone(),
+            s.memory.clone(),
+            s.pipeline.clone(),
+            s.nway,
+            s.max_cycles,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Runs the program under paired sampling (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] if the cycle budget is exhausted.
+    pub fn profile_paired(&self) -> Result<PairedRun, ProfileError> {
+        let s = &self.inner;
+        driver::paired(
+            s.program.clone(),
+            s.memory.clone(),
+            s.pipeline.clone(),
+            s.paired,
+            s.max_cycles,
+        )
+        .map_err(Into::into)
+    }
+
+    /// Runs the program with no profiling hardware attached: the exact,
+    /// perturbation-free statistics estimates are judged against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] if the cycle budget is exhausted.
+    pub fn ground_truth(&self) -> Result<HardwareRun<NullHardware>, ProfileError> {
+        self.run(NullHardware, |_, _| {})
+    }
+
+    /// Runs the program over arbitrary profiling hardware — the generic
+    /// seam under every specialized mode, and how the event-counter
+    /// baseline (`profileme-counters`) rides the same session.
+    ///
+    /// `handler` services each profiling interrupt with mutable access
+    /// to the hardware; pass a no-op for hardware that never interrupts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] if the cycle budget is exhausted.
+    pub fn run<H, F>(&self, hardware: H, handler: F) -> Result<HardwareRun<H>, ProfileError>
+    where
+        H: ProfilingHardware,
+        F: FnMut(InterruptEvent, &mut H),
+    {
+        let s = &self.inner;
+        driver::run_hardware(
+            s.program.clone(),
+            s.memory.clone(),
+            s.pipeline.clone(),
+            hardware,
+            s.max_cycles,
+            handler,
+        )
+        .map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_isa::{Cond, ProgramBuilder, Reg};
+
+    fn loop_program(trips: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("main");
+        b.load_imm(Reg::R9, trips);
+        let top = b.label("top");
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.cond_br(Cond::Ne0, Reg::R9, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_interval_is_rejected_at_build() {
+        let err = Session::builder(loop_program(10))
+            .sampling(ProfileMeConfig {
+                mean_interval: 0,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::Config {
+                    field: "mean_interval",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_paired_intervals_are_rejected_at_build() {
+        for (paired, field) in [
+            (
+                PairedConfig {
+                    mean_major_interval: 0,
+                    ..Default::default()
+                },
+                "mean_major_interval",
+            ),
+            (
+                PairedConfig {
+                    window: 0,
+                    ..Default::default()
+                },
+                "window",
+            ),
+        ] {
+            let err = Session::builder(loop_program(10))
+                .paired_sampling(paired)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(&err, ProfileError::Config { field: f, .. } if *f == field),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_buffer_ways_and_budget_are_rejected() {
+        let p = loop_program(10);
+        assert!(Session::builder(p.clone())
+            .sampling(ProfileMeConfig {
+                buffer_depth: 0,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
+        assert!(Session::builder(p.clone())
+            .nway_sampling(NWayConfig {
+                ways: 0,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
+        assert!(Session::builder(p).max_cycles(0).build().is_err());
+    }
+
+    #[test]
+    fn defaults_build_and_all_terminals_run() {
+        let session = Session::builder(loop_program(2_000))
+            .sampling(ProfileMeConfig {
+                mean_interval: 32,
+                buffer_depth: 4,
+                ..Default::default()
+            })
+            .paired_sampling(PairedConfig {
+                mean_major_interval: 64,
+                window: 16,
+                ..Default::default()
+            })
+            .build()
+            .expect("defaults are valid");
+        let single = session.profile_single().unwrap();
+        assert!(!single.samples.is_empty());
+        let nway = session.profile_nway().unwrap();
+        assert!(!nway.samples.is_empty());
+        let paired = session.profile_paired().unwrap();
+        assert!(!paired.pairs.is_empty());
+        let truth = session.ground_truth().unwrap();
+        assert_eq!(truth.stats.interrupts, 0);
+    }
+
+    #[test]
+    fn cycle_budget_surfaces_as_sim_error() {
+        let err = Session::builder(loop_program(1_000_000))
+            .max_cycles(50)
+            .build()
+            .unwrap()
+            .profile_single()
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::Sim(_)), "{err}");
+    }
+
+    #[test]
+    fn session_runs_are_repeatable() {
+        let session = Session::builder(loop_program(1_000))
+            .sampling(ProfileMeConfig {
+                mean_interval: 32,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let a = session.profile_single().unwrap();
+        let b = session.profile_single().unwrap();
+        assert_eq!(a.samples, b.samples, "sessions are reusable and pure");
+    }
+}

@@ -1,12 +1,93 @@
 //! The profile database: compact, incrementally aggregated per-PC
 //! profiles, in the style the paper attributes to DCPI (§5, §5.2.3).
+//!
+//! Databases are **mergeable**: every per-PC field is a sum, so two
+//! databases built from disjoint parts of one sample stream merge —
+//! field-wise addition — into exactly the database a single aggregator
+//! would have built. That algebra (commutative, associative, with the
+//! empty database as identity) is what lets `profileme-serve` shard
+//! ingest across threads and still produce byte-identical snapshots for
+//! any shard count.
 
+use crate::error::ProfileError;
 use crate::sw::estimate::Estimate;
 use crate::sw::{useful_overlap, OverlapKind};
 use crate::{PairedSample, Sample};
 use profileme_isa::{Pc, Program};
 use profileme_uarch::{EventSet, LatencySums};
 use serde::{Deserialize, Serialize};
+
+/// One u64 counter of a [`PcProfile`], named — the "any event" axis of
+/// top-N queries over a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProfileField {
+    /// Total samples (retired or aborted).
+    Samples,
+    /// Retired samples.
+    Retired,
+    /// Aborted samples.
+    Aborted,
+    /// I-cache miss samples.
+    IcacheMisses,
+    /// I-TLB miss samples.
+    ItlbMisses,
+    /// D-cache miss samples.
+    DcacheMisses,
+    /// D-TLB miss samples.
+    DtlbMisses,
+    /// L2 miss samples.
+    L2Misses,
+    /// Taken-branch samples.
+    Taken,
+    /// Mispredicted-branch samples.
+    Mispredicted,
+    /// Σ fetch→retire-ready latency.
+    InProgressSum,
+    /// Σ load issue→completion latency.
+    MemLatencySum,
+}
+
+impl ProfileField {
+    /// Every queryable field, in declaration order.
+    pub const ALL: [ProfileField; 12] = [
+        ProfileField::Samples,
+        ProfileField::Retired,
+        ProfileField::Aborted,
+        ProfileField::IcacheMisses,
+        ProfileField::ItlbMisses,
+        ProfileField::DcacheMisses,
+        ProfileField::DtlbMisses,
+        ProfileField::L2Misses,
+        ProfileField::Taken,
+        ProfileField::Mispredicted,
+        ProfileField::InProgressSum,
+        ProfileField::MemLatencySum,
+    ];
+
+    /// The field's stable snake_case name (the CLI's `--by` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfileField::Samples => "samples",
+            ProfileField::Retired => "retired",
+            ProfileField::Aborted => "aborted",
+            ProfileField::IcacheMisses => "icache_misses",
+            ProfileField::ItlbMisses => "itlb_misses",
+            ProfileField::DcacheMisses => "dcache_misses",
+            ProfileField::DtlbMisses => "dtlb_misses",
+            ProfileField::L2Misses => "l2_misses",
+            ProfileField::Taken => "taken",
+            ProfileField::Mispredicted => "mispredicted",
+            ProfileField::InProgressSum => "in_progress_sum",
+            ProfileField::MemLatencySum => "mem_latency_sum",
+        }
+    }
+
+    /// Parses a [`name`](ProfileField::name) back into the field.
+    pub fn parse(name: &str) -> Option<ProfileField> {
+        ProfileField::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
 
 /// Aggregated single-instruction samples for one static instruction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,6 +168,72 @@ impl PcProfile {
             self.mem_latency_samples += 1;
         }
     }
+
+    /// Accumulates another profile of the *same* static instruction:
+    /// field-wise addition, the per-PC step of database merging.
+    ///
+    /// Merging is commutative and associative with the default profile
+    /// as identity (property-tested in `tests/props.rs`), because every
+    /// field is a plain sum over samples.
+    pub fn merge(&mut self, other: &PcProfile) {
+        self.samples += other.samples;
+        self.retired += other.retired;
+        self.aborted += other.aborted;
+        self.icache_misses += other.icache_misses;
+        self.itlb_misses += other.itlb_misses;
+        self.dcache_misses += other.dcache_misses;
+        self.dtlb_misses += other.dtlb_misses;
+        self.l2_misses += other.l2_misses;
+        self.taken += other.taken;
+        self.mispredicted += other.mispredicted;
+        self.latency_sums.merge(&other.latency_sums);
+        self.latency_samples += other.latency_samples;
+        self.in_progress_sum += other.in_progress_sum;
+        self.mem_latency_sum += other.mem_latency_sum;
+        self.mem_latency_samples += other.mem_latency_samples;
+    }
+
+    /// Reads one named counter.
+    pub fn field(&self, field: ProfileField) -> u64 {
+        match field {
+            ProfileField::Samples => self.samples,
+            ProfileField::Retired => self.retired,
+            ProfileField::Aborted => self.aborted,
+            ProfileField::IcacheMisses => self.icache_misses,
+            ProfileField::ItlbMisses => self.itlb_misses,
+            ProfileField::DcacheMisses => self.dcache_misses,
+            ProfileField::DtlbMisses => self.dtlb_misses,
+            ProfileField::L2Misses => self.l2_misses,
+            ProfileField::Taken => self.taken,
+            ProfileField::Mispredicted => self.mispredicted,
+            ProfileField::InProgressSum => self.in_progress_sum,
+            ProfileField::MemLatencySum => self.mem_latency_sum,
+        }
+    }
+
+    /// Field-wise `self - earlier`, or `None` if `earlier` is not an
+    /// earlier snapshot of this profile (some field would go negative).
+    pub fn checked_sub(&self, earlier: &PcProfile) -> Option<PcProfile> {
+        Some(PcProfile {
+            samples: self.samples.checked_sub(earlier.samples)?,
+            retired: self.retired.checked_sub(earlier.retired)?,
+            aborted: self.aborted.checked_sub(earlier.aborted)?,
+            icache_misses: self.icache_misses.checked_sub(earlier.icache_misses)?,
+            itlb_misses: self.itlb_misses.checked_sub(earlier.itlb_misses)?,
+            dcache_misses: self.dcache_misses.checked_sub(earlier.dcache_misses)?,
+            dtlb_misses: self.dtlb_misses.checked_sub(earlier.dtlb_misses)?,
+            l2_misses: self.l2_misses.checked_sub(earlier.l2_misses)?,
+            taken: self.taken.checked_sub(earlier.taken)?,
+            mispredicted: self.mispredicted.checked_sub(earlier.mispredicted)?,
+            latency_sums: self.latency_sums.checked_sub(&earlier.latency_sums)?,
+            latency_samples: self.latency_samples.checked_sub(earlier.latency_samples)?,
+            in_progress_sum: self.in_progress_sum.checked_sub(earlier.in_progress_sum)?,
+            mem_latency_sum: self.mem_latency_sum.checked_sub(earlier.mem_latency_sum)?,
+            mem_latency_samples: self
+                .mem_latency_samples
+                .checked_sub(earlier.mem_latency_samples)?,
+        })
+    }
 }
 
 /// A database of single-instruction samples: one [`PcProfile`] per static
@@ -96,11 +243,9 @@ impl PcProfile {
 /// # Example
 ///
 /// ```no_run
-/// use profileme_core::{run_single, ProfileMeConfig};
-/// use profileme_uarch::PipelineConfig;
+/// use profileme_core::Session;
 /// # fn demo(program: profileme_isa::Program) -> Result<(), Box<dyn std::error::Error>> {
-/// let run = run_single(program, None, PipelineConfig::default(),
-///                      ProfileMeConfig::default(), u64::MAX)?;
+/// let run = Session::builder(program).build()?.profile_single()?;
 /// for (pc, prof) in run.db.iter() {
 ///     println!("{pc}: ~{} retires", run.db.estimated_retires(pc).value());
 ///     let _ = prof;
@@ -204,6 +349,122 @@ impl ProfileDatabase {
         let p = self.at(pc);
         (p.samples > 0).then(|| p.aborted as f64 / p.samples as f64)
     }
+
+    fn check_compatible(&self, other: &ProfileDatabase) -> Result<(), ProfileError> {
+        if self.base != other.base || self.per_pc.len() != other.per_pc.len() {
+            return Err(ProfileError::Mismatch {
+                what: "program image",
+            });
+        }
+        if self.interval != other.interval {
+            return Err(ProfileError::Mismatch {
+                what: "sampling interval",
+            });
+        }
+        Ok(())
+    }
+
+    /// Accumulates `other` into `self`: field-wise addition of every
+    /// per-PC profile plus the stream totals.
+    ///
+    /// Because aggregation is a sum over samples, merging databases
+    /// built from disjoint parts of one stream reproduces, exactly, the
+    /// database a single aggregator would have built from the whole
+    /// stream — the invariant behind sharded ingest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if the databases describe
+    /// different program images or sampling intervals.
+    pub fn merge(&mut self, other: &ProfileDatabase) -> Result<(), ProfileError> {
+        self.check_compatible(other)?;
+        for (acc, p) in self.per_pc.iter_mut().zip(&other.per_pc) {
+            acc.merge(p);
+        }
+        self.invalid_samples += other.invalid_samples;
+        self.total_samples += other.total_samples;
+        Ok(())
+    }
+
+    /// The interval delta `self - earlier`: what was aggregated between
+    /// two snapshots of a continuously profiled run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if the databases are
+    /// incompatible or `earlier` is not actually an earlier snapshot
+    /// (some counter would go negative).
+    pub fn delta_since(&self, earlier: &ProfileDatabase) -> Result<ProfileDatabase, ProfileError> {
+        self.check_compatible(earlier)?;
+        let not_earlier = ProfileError::Mismatch {
+            what: "snapshot order (counters would go negative)",
+        };
+        let mut per_pc = Vec::with_capacity(self.per_pc.len());
+        for (later, early) in self.per_pc.iter().zip(&earlier.per_pc) {
+            per_pc.push(later.checked_sub(early).ok_or(not_earlier.clone())?);
+        }
+        Ok(ProfileDatabase {
+            base: self.base,
+            per_pc,
+            interval: self.interval,
+            invalid_samples: self
+                .invalid_samples
+                .checked_sub(earlier.invalid_samples)
+                .ok_or(not_earlier.clone())?,
+            total_samples: self
+                .total_samples
+                .checked_sub(earlier.total_samples)
+                .ok_or(not_earlier)?,
+        })
+    }
+
+    /// The `n` hottest instructions by `field`, descending, PCs
+    /// ascending among ties — a deterministic order, so reports and
+    /// snapshots diff cleanly.
+    pub fn top_n(&self, n: usize, field: ProfileField) -> Vec<(Pc, PcProfile)> {
+        let mut rows: Vec<(Pc, PcProfile)> = self
+            .iter()
+            .filter(|(_, p)| p.field(field) > 0)
+            .map(|(pc, p)| (pc, *p))
+            .collect();
+        rows.sort_by(|(pc_a, a), (pc_b, b)| {
+            b.field(field)
+                .cmp(&a.field(field))
+                .then(pc_a.addr().cmp(&pc_b.addr()))
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// Serializes the database to its canonical snapshot bytes (JSON).
+    ///
+    /// Two databases holding identical aggregates produce identical
+    /// bytes, which is how the merge-equivalence tests and the ingest
+    /// bench state their byte-identity invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|e| ProfileError::Snapshot {
+                reason: e.to_string(),
+            })
+    }
+
+    /// Deserializes a database from [`snapshot_bytes`] output.
+    ///
+    /// [`snapshot_bytes`]: ProfileDatabase::snapshot_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
+        serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
+            reason: e.to_string(),
+        })
+    }
 }
 
 /// Aggregated paired-sample state for one static instruction I: exactly
@@ -218,6 +479,28 @@ pub struct PcPairProfile {
     pub useful_backward: u64,
     /// L_I: sum of fetch→retire-ready latencies over all samples of I.
     pub latency_sum: u64,
+}
+
+impl PcPairProfile {
+    /// Accumulates another aggregate of the same static instruction —
+    /// field-wise addition, exactly as [`PcProfile::merge`].
+    pub fn merge(&mut self, other: &PcPairProfile) {
+        self.samples += other.samples;
+        self.useful_forward += other.useful_forward;
+        self.useful_backward += other.useful_backward;
+        self.latency_sum += other.latency_sum;
+    }
+
+    /// Field-wise `self - earlier`, or `None` if some field would go
+    /// negative.
+    pub fn checked_sub(&self, earlier: &PcPairProfile) -> Option<PcPairProfile> {
+        Some(PcPairProfile {
+            samples: self.samples.checked_sub(earlier.samples)?,
+            useful_forward: self.useful_forward.checked_sub(earlier.useful_forward)?,
+            useful_backward: self.useful_backward.checked_sub(earlier.useful_backward)?,
+            latency_sum: self.latency_sum.checked_sub(earlier.latency_sum)?,
+        })
+    }
 }
 
 /// A database of paired samples with incremental aggregation.
@@ -315,6 +598,99 @@ impl PairProfileDatabase {
             .enumerate()
             .filter(|(_, p)| p.samples > 0)
             .map(|(i, p)| (self.base.advance(i as u64), p))
+    }
+
+    fn check_compatible(&self, other: &PairProfileDatabase) -> Result<(), ProfileError> {
+        if self.base != other.base || self.per_pc.len() != other.per_pc.len() {
+            return Err(ProfileError::Mismatch {
+                what: "program image",
+            });
+        }
+        if self.interval != other.interval || self.window != other.window {
+            return Err(ProfileError::Mismatch {
+                what: "sampling interval/window",
+            });
+        }
+        Ok(())
+    }
+
+    /// Accumulates `other` into `self`, exactly as
+    /// [`ProfileDatabase::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if the databases describe
+    /// different programs, intervals, or windows.
+    pub fn merge(&mut self, other: &PairProfileDatabase) -> Result<(), ProfileError> {
+        self.check_compatible(other)?;
+        for (acc, p) in self.per_pc.iter_mut().zip(&other.per_pc) {
+            acc.merge(p);
+        }
+        self.total_pairs += other.total_pairs;
+        self.incomplete_pairs += other.incomplete_pairs;
+        Ok(())
+    }
+
+    /// The interval delta `self - earlier`, as
+    /// [`ProfileDatabase::delta_since`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if the databases are
+    /// incompatible or some counter would go negative.
+    pub fn delta_since(
+        &self,
+        earlier: &PairProfileDatabase,
+    ) -> Result<PairProfileDatabase, ProfileError> {
+        self.check_compatible(earlier)?;
+        let not_earlier = ProfileError::Mismatch {
+            what: "snapshot order (counters would go negative)",
+        };
+        let mut per_pc = Vec::with_capacity(self.per_pc.len());
+        for (later, early) in self.per_pc.iter().zip(&earlier.per_pc) {
+            per_pc.push(later.checked_sub(early).ok_or(not_earlier.clone())?);
+        }
+        Ok(PairProfileDatabase {
+            base: self.base,
+            per_pc,
+            interval: self.interval,
+            window: self.window,
+            total_pairs: self
+                .total_pairs
+                .checked_sub(earlier.total_pairs)
+                .ok_or(not_earlier.clone())?,
+            incomplete_pairs: self
+                .incomplete_pairs
+                .checked_sub(earlier.incomplete_pairs)
+                .ok_or(not_earlier)?,
+        })
+    }
+
+    /// Serializes the database to canonical snapshot bytes (JSON), as
+    /// [`ProfileDatabase::snapshot_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|e| ProfileError::Snapshot {
+                reason: e.to_string(),
+            })
+    }
+
+    /// Deserializes a database from [`snapshot_bytes`] output.
+    ///
+    /// [`snapshot_bytes`]: PairProfileDatabase::snapshot_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
+        serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
+            reason: e.to_string(),
+        })
     }
 }
 

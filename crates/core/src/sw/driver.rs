@@ -4,8 +4,11 @@
 //! Every driver — ProfileMe single/N-way/paired sampling, the event
 //! counter baseline, and the no-hardware ground-truth run — goes through
 //! one generic seam, [`run_hardware`], parameterized over the
-//! [`ProfilingHardware`] trait. The specialized entry points layer
-//! calibration and database aggregation on top.
+//! [`ProfilingHardware`] trait. The specialized drivers layer
+//! calibration and database aggregation on top and are reached through
+//! the [`Session`](crate::Session) builder; the old positional entry
+//! points ([`run_single`], [`run_nway`], [`run_paired`]) remain as
+//! deprecated wrappers.
 
 use crate::hw::{
     NWayConfig, NWayHardware, PairedConfig, PairedHardware, ProfileMeConfig, ProfileMeHardware,
@@ -215,16 +218,9 @@ fn run_collector<H: SampleCollector>(
     })
 }
 
-/// Runs `program` to completion under single-instruction sampling.
-///
-/// `memory` optionally pre-initializes data memory (pointer-chasing
-/// workloads). The interrupt handler drains the hardware's sample buffer
-/// into the database; a final drain collects any partial buffer.
-///
-/// # Errors
-///
-/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-pub fn run_single(
+/// The single-instruction sampling driver under
+/// [`Session::profile_single`](crate::Session::profile_single).
+pub(crate) fn single(
     program: Program,
     memory: Option<Memory>,
     pipeline: PipelineConfig,
@@ -243,14 +239,9 @@ pub fn run_single(
     )
 }
 
-/// Runs `program` to completion under N-way sampling (several
-/// simultaneously profiled instructions): the high-sampling-rate variant
-/// of [`run_single`].
-///
-/// # Errors
-///
-/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-pub fn run_nway(
+/// The N-way sampling driver under
+/// [`Session::profile_nway`](crate::Session::profile_nway).
+pub(crate) fn nway(
     program: Program,
     memory: Option<Memory>,
     pipeline: PipelineConfig,
@@ -269,12 +260,81 @@ pub fn run_nway(
     )
 }
 
-/// Runs `program` to completion under paired sampling.
+/// Runs `program` to completion under single-instruction sampling.
+///
+/// # Deprecated
+///
+/// Use the [`Session`](crate::Session) builder, which names every knob
+/// and validates the configuration:
+///
+/// ```
+/// # #![allow(deprecated)]
+/// use profileme_core::{run_single, ProfileMeConfig, Session};
+/// use profileme_uarch::PipelineConfig;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut b = profileme_isa::ProgramBuilder::new();
+/// # b.function("main");
+/// # b.load_imm(profileme_isa::Reg::R9, 200);
+/// # let top = b.label("top");
+/// # b.addi(profileme_isa::Reg::R9, profileme_isa::Reg::R9, -1);
+/// # b.cond_br(profileme_isa::Cond::Ne0, profileme_isa::Reg::R9, top);
+/// # b.halt();
+/// # let program = b.build()?;
+/// let cfg = ProfileMeConfig { mean_interval: 32, ..Default::default() };
+/// // Before:
+/// let old = run_single(program.clone(), None, PipelineConfig::default(), cfg, u64::MAX)?;
+/// // After:
+/// let new = Session::builder(program).sampling(cfg).build()?.profile_single()?;
+/// assert_eq!(old.samples, new.samples);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
 /// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-pub fn run_paired(
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Session::builder(program).sampling(cfg).build()?.profile_single()`"
+)]
+pub fn run_single(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    sampling: ProfileMeConfig,
+    max_cycles: u64,
+) -> Result<SingleRun, SimError> {
+    single(program, memory, pipeline, sampling, max_cycles)
+}
+
+/// Runs `program` to completion under N-way sampling: the
+/// high-sampling-rate variant of [`run_single`].
+///
+/// # Deprecated
+///
+/// Use [`Session::profile_nway`](crate::Session::profile_nway) via the
+/// builder, as in the [`run_single`] migration example.
+///
+/// # Errors
+///
+/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Session::builder(program).nway_sampling(cfg).build()?.profile_nway()`"
+)]
+pub fn run_nway(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    sampling: NWayConfig,
+    max_cycles: u64,
+) -> Result<SingleRun, SimError> {
+    nway(program, memory, pipeline, sampling, max_cycles)
+}
+
+/// The paired sampling driver under
+/// [`Session::profile_paired`](crate::Session::profile_paired).
+pub(crate) fn paired(
     program: Program,
     memory: Option<Memory>,
     pipeline: PipelineConfig,
@@ -312,6 +372,33 @@ pub fn run_paired(
     })
 }
 
+/// Runs `program` to completion under paired sampling.
+///
+/// # Deprecated
+///
+/// Use [`Session::profile_paired`](crate::Session::profile_paired) via
+/// the builder, as in the [`run_single`] migration example.
+///
+/// # Errors
+///
+/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Session::builder(program).paired_sampling(cfg).build()?.profile_paired()`"
+)]
+pub fn run_paired(
+    program: Program,
+    memory: Option<Memory>,
+    pipeline: PipelineConfig,
+    sampling: PairedConfig,
+    max_cycles: u64,
+) -> Result<PairedRun, SimError> {
+    paired(program, memory, pipeline, sampling, max_cycles)
+}
+
+// The wrappers' own tests: the one place outside this module's doctests
+// that may still call the deprecated positional entry points.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

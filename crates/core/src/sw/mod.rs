@@ -4,7 +4,7 @@
 
 mod concurrency;
 mod database;
-mod driver;
+pub(crate) mod driver;
 mod estimate;
 mod pathprof;
 mod report;
@@ -13,11 +13,15 @@ pub use concurrency::{
     estimate_pair_metric, instructions_retired_around, neighborhood_ipc, pipeline_population,
     useful_overlap, wasted_issue_slots, OverlapKind, PairMetric, StagePopulation, WastedSlots,
 };
-pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabase};
+pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabase, ProfileField};
 pub use driver::{
-    run_ground_truth, run_hardware, run_nway, run_paired, run_single, HardwareRun, PairedRun,
-    SampleCollector, SingleRun,
+    run_ground_truth, run_hardware, HardwareRun, PairedRun, SampleCollector, SingleRun,
 };
+// The deprecated positional entry points stay re-exported so existing
+// callers keep compiling (with a deprecation warning at *their* use
+// sites, not this re-export).
+#[allow(deprecated)]
+pub use driver::{run_nway, run_paired, run_single};
 pub use estimate::{confidence_interval, estimate_total, expected_cov, Estimate};
 pub use pathprof::{PathProfiler, PathScheme, ReconstructionOutcome};
 pub use report::{procedure_summaries, ProcedureSummary};

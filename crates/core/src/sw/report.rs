@@ -90,9 +90,8 @@ pub fn procedure_summaries(db: &ProfileDatabase, program: &Program) -> Vec<Proce
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_single, ProfileMeConfig};
+    use crate::{ProfileMeConfig, Session};
     use profileme_isa::{Cond, ProgramBuilder, Reg};
-    use profileme_uarch::PipelineConfig;
 
     #[test]
     fn procedures_roll_up_and_rank_by_heat() {
@@ -126,7 +125,12 @@ mod tests {
             buffer_depth: 8,
             ..Default::default()
         };
-        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+        let run = Session::builder(p.clone())
+            .sampling(cfg)
+            .build()
+            .unwrap()
+            .profile_single()
+            .unwrap();
         let summaries = procedure_summaries(&run.db, &p);
         assert_eq!(summaries.first().map(|s| s.name.as_str()), Some("hot"));
         let total: u64 = summaries.iter().map(|s| s.samples).sum();

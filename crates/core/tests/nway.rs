@@ -1,9 +1,8 @@
 //! End-to-end N-way sampling: more tags recover sampling rate lost to
 //! tag dead time, and the estimates stay unbiased at every width.
 
-use profileme_core::{run_nway, run_single, NWayConfig, ProfileMeConfig};
+use profileme_core::{NWayConfig, ProfileMeConfig, Session};
 use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
-use profileme_uarch::PipelineConfig;
 
 /// A pointer-ish loop with a long-latency body so sampled instructions
 /// stay in flight a while (maximizing single-tag dead time).
@@ -29,13 +28,17 @@ fn more_ways_recover_sampling_rate() {
     let nominal = 8u64;
     let mut achieved = Vec::new();
     for ways in [1usize, 4] {
-        let cfg = NWayConfig {
-            ways,
-            mean_interval: nominal,
-            buffer_depth: 32,
-            ..NWayConfig::default()
-        };
-        let run = run_nway(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+        let run = Session::builder(p.clone())
+            .nway_sampling(NWayConfig {
+                ways,
+                mean_interval: nominal,
+                buffer_depth: 32,
+                ..NWayConfig::default()
+            })
+            .build()
+            .unwrap()
+            .profile_nway()
+            .unwrap();
         achieved.push(run.samples.len() as f64 / run.stats.fetched as f64);
     }
     assert!(
@@ -47,13 +50,17 @@ fn more_ways_recover_sampling_rate() {
 #[test]
 fn nway_estimates_remain_unbiased() {
     let p = slow_loop(30_000);
-    let cfg = NWayConfig {
-        ways: 4,
-        mean_interval: 16,
-        buffer_depth: 32,
-        ..NWayConfig::default()
-    };
-    let run = run_nway(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    let run = Session::builder(p.clone())
+        .nway_sampling(NWayConfig {
+            ways: 4,
+            mean_interval: 16,
+            buffer_depth: 32,
+            ..NWayConfig::default()
+        })
+        .build()
+        .unwrap()
+        .profile_nway()
+        .unwrap();
     // Every loop-body instruction retired the same number of times.
     for (pc, prof) in run.db.iter() {
         if prof.retired < 100 {
@@ -72,32 +79,22 @@ fn nway_estimates_remain_unbiased() {
 
 #[test]
 fn one_way_nway_equals_single_hardware_statistically() {
-    let p = slow_loop(20_000);
-    let single = run_single(
-        p.clone(),
-        None,
-        PipelineConfig::default(),
-        ProfileMeConfig {
+    let session = Session::builder(slow_loop(20_000))
+        .sampling(ProfileMeConfig {
             mean_interval: 32,
             buffer_depth: 8,
             ..Default::default()
-        },
-        u64::MAX,
-    )
-    .unwrap();
-    let nway = run_nway(
-        p,
-        None,
-        PipelineConfig::default(),
-        NWayConfig {
+        })
+        .nway_sampling(NWayConfig {
             ways: 1,
             mean_interval: 32,
             buffer_depth: 8,
             ..Default::default()
-        },
-        u64::MAX,
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
+    let single = session.profile_single().unwrap();
+    let nway = session.profile_nway().unwrap();
     // Both drop on a busy tag, so the achieved rates agree closely and
     // the per-instruction sample *fractions* agree statistically.
     let r1 = single.samples.len() as f64;

@@ -2,9 +2,8 @@
 //! databases to disk; every software-visible record here must round-trip
 //! through serde losslessly.
 
-use profileme_core::{run_paired, run_single, PairedConfig, ProfileMeConfig};
+use profileme_core::{PairedConfig, ProfileMeConfig, Session};
 use profileme_isa::{Cond, Program, ProgramBuilder, Reg};
-use profileme_uarch::PipelineConfig;
 
 fn small_workload() -> Program {
     let mut b = ProgramBuilder::new();
@@ -33,7 +32,12 @@ fn single_run_artifacts_round_trip() {
         buffer_depth: 4,
         ..Default::default()
     };
-    let run = run_single(p, None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    let run = Session::builder(p)
+        .sampling(cfg)
+        .build()
+        .unwrap()
+        .profile_single()
+        .unwrap();
     assert!(!run.samples.is_empty());
 
     // Raw samples (the interrupt handler's log records).
@@ -63,7 +67,12 @@ fn paired_run_artifacts_round_trip() {
         buffer_depth: 2,
         ..Default::default()
     };
-    let run = run_paired(p, None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    let run = Session::builder(p)
+        .paired_sampling(cfg)
+        .build()
+        .unwrap()
+        .profile_paired()
+        .unwrap();
     assert!(!run.pairs.is_empty());
 
     let json = serde_json::to_string(&run.pairs).expect("pairs serialize");
@@ -87,7 +96,12 @@ fn database_is_reconstructible_from_samples() {
         buffer_depth: 4,
         ..Default::default()
     };
-    let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX).unwrap();
+    let run = Session::builder(p.clone())
+        .sampling(cfg)
+        .build()
+        .unwrap()
+        .profile_single()
+        .unwrap();
     let mut rebuilt = profileme_core::ProfileDatabase::new(&p, run.db.interval());
     for s in &run.samples {
         rebuilt.add(s);

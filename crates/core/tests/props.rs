@@ -4,11 +4,10 @@
 
 use profileme_cfg::BranchHistory;
 use profileme_core::{
-    estimate_total, run_single, useful_overlap, Estimate, OverlapKind, ProfileMeConfig,
-    SampleBuffer,
+    estimate_total, useful_overlap, Estimate, OverlapKind, ProfileMeConfig, SampleBuffer, Session,
 };
 use profileme_isa::{Cond, Pc, ProgramBuilder, Reg};
-use profileme_uarch::{CompletedSample, EventSet, PipelineConfig, TagId, Timestamps};
+use profileme_uarch::{CompletedSample, EventSet, TagId, Timestamps};
 use proptest::prelude::*;
 
 fn arb_sample() -> impl Strategy<Value = CompletedSample> {
@@ -189,6 +188,96 @@ mod paired_hw {
     }
 }
 
+/// Merge algebra over random profiles: the sharded aggregation service
+/// (`profileme-serve`) relies on per-PC accumulation being a sum, so
+/// `PcProfile::merge` must be commutative and associative with the
+/// default profile as identity.
+mod merge_algebra {
+    use super::*;
+    use profileme_core::PcProfile;
+    use profileme_uarch::LatencySums;
+
+    fn arb_profile() -> impl Strategy<Value = PcProfile> {
+        (
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+            prop::collection::vec(0u64..100_000, 6),
+        )
+            .prop_map(|(a, b, c, lat)| PcProfile {
+                samples: a.0,
+                retired: a.1,
+                aborted: a.2,
+                icache_misses: a.3,
+                itlb_misses: b.0,
+                dcache_misses: b.1,
+                dtlb_misses: b.2,
+                l2_misses: b.3,
+                taken: c.0,
+                mispredicted: c.1,
+                latency_samples: c.2,
+                in_progress_sum: c.3,
+                latency_sums: LatencySums {
+                    fetch_to_map: lat[0],
+                    map_to_data_ready: lat[1],
+                    data_ready_to_issue: lat[2],
+                    issue_to_retire_ready: lat[3],
+                    retire_ready_to_retire: lat[4],
+                    load_completion: lat[5],
+                },
+                mem_latency_sum: lat[0] ^ lat[5],
+                mem_latency_samples: lat[1] % 97,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(a in arb_profile(), b in arb_profile()) {
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            a in arb_profile(),
+            b in arb_profile(),
+            c in arb_profile(),
+        ) {
+            // (a ∪ b) ∪ c
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            // a ∪ (b ∪ c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn empty_profile_is_the_identity(a in arb_profile()) {
+            let mut merged = a;
+            merged.merge(&PcProfile::default());
+            prop_assert_eq!(merged, a);
+            let mut from_empty = PcProfile::default();
+            from_empty.merge(&a);
+            prop_assert_eq!(from_empty, a);
+        }
+
+        #[test]
+        fn delta_inverts_merge(a in arb_profile(), b in arb_profile()) {
+            let mut sum = a;
+            sum.merge(&b);
+            prop_assert_eq!(sum.checked_sub(&a), Some(b));
+            prop_assert_eq!(sum.checked_sub(&sum), Some(PcProfile::default()));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -216,7 +305,11 @@ proptest! {
             buffer_depth: depth,
             ..ProfileMeConfig::default()
         };
-        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, u64::MAX)
+        let run = Session::builder(p.clone())
+            .sampling(cfg)
+            .build()
+            .unwrap()
+            .profile_single()
             .unwrap();
         // Sum of per-PC fetch estimates ~ total fetched.
         let est_total: f64 = p

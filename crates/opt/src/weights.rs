@@ -64,9 +64,8 @@ pub fn edge_weights_from_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use profileme_core::{run_single, ProfileMeConfig};
+    use profileme_core::{ProfileMeConfig, Session};
     use profileme_isa::{Cond, ProgramBuilder, Reg};
-    use profileme_uarch::PipelineConfig;
 
     #[test]
     fn biased_branch_weights_follow_the_taken_rate() {
@@ -95,18 +94,16 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         let cfg = Cfg::build(&p);
-        let run = run_single(
-            p.clone(),
-            None,
-            PipelineConfig::default(),
-            ProfileMeConfig {
+        let run = Session::builder(p.clone())
+            .sampling(ProfileMeConfig {
                 mean_interval: 32,
                 buffer_depth: 8,
                 ..Default::default()
-            },
-            u64::MAX,
-        )
-        .unwrap();
+            })
+            .build()
+            .unwrap()
+            .profile_single()
+            .unwrap();
         let weights = edge_weights_from_profile(&run.db, &p, &cfg);
         // Find the diamond's branch block and its two outgoing edges.
         let branch_block = cfg

@@ -1,0 +1,249 @@
+//! Sharded, mergeable profile aggregation — the DCPI-style daemon
+//! layer (§5) on top of `profileme-core`'s databases.
+//!
+//! ProfileMe's software story is continuous profiling: interrupt
+//! handlers drain the sample buffer into per-CPU buffers, and a
+//! user-space daemon folds those streams into an on-disk database that
+//! tools query while collection keeps running. This crate reproduces
+//! that shape in-process:
+//!
+//! * [`ShardedService`] fans samples out to per-shard aggregator
+//!   threads behind [`BoundedQueue`]s (PC-hash sharding, backpressure
+//!   accounting via [`IngestStats`]);
+//! * [`ShardedService::snapshot`] runs a drain→merge→snapshot cycle
+//!   whose result is **byte-identical for any shard count** — sample
+//!   aggregation is a per-PC sum, so sharding cannot change the answer;
+//! * `profileme-core`'s [`ProfileDatabase`]/[`PairProfileDatabase`]
+//!   grew `merge`/`top_n`/`delta_since`/snapshot APIs this service
+//!   builds on, so queries (top-N by any [`ProfileField`], per-PC
+//!   lookup, interval deltas) run against a plain merged database.
+//!
+//! # Example
+//!
+//! ```
+//! use profileme_core::{ProfileDatabase, ProfileField, Session};
+//! use profileme_serve::{ServeConfig, ShardedService};
+//!
+//! # fn main() -> Result<(), profileme_core::ProfileError> {
+//! // Produce a sample stream with the simulator...
+//! let w = profileme_workloads::ijpeg(300);
+//! let run = Session::builder(w.program.clone())
+//!     .memory(w.memory)
+//!     .build()?
+//!     .profile_single()?;
+//!
+//! // ...and aggregate it through the sharded service.
+//! let svc = ShardedService::start(
+//!     ProfileDatabase::new(&w.program, run.db.interval()),
+//!     ServeConfig { shards: 4, ..Default::default() },
+//! )?;
+//! svc.ingest_batch(run.samples.clone());
+//! let snap = svc.snapshot()?;
+//! assert_eq!(snap.merged.total_samples, run.db.total_samples);
+//! let _hottest = snap.merged.top_n(5, ProfileField::Samples);
+//! let (final_db, stats) = svc.shutdown()?;
+//! assert_eq!(stats.dropped, 0);
+//! // Sharded aggregation is byte-identical to the direct database.
+//! assert_eq!(final_db.snapshot_bytes()?, run.db.snapshot_bytes()?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ProfileDatabase`]: profileme_core::ProfileDatabase
+//! [`PairProfileDatabase`]: profileme_core::PairProfileDatabase
+//! [`ProfileField`]: profileme_core::ProfileField
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod service;
+
+pub use queue::{BoundedQueue, TryPushError};
+pub use service::{
+    pc_shard, IngestStats, ServeConfig, ServeSnapshot, ShardAggregate, ShardedService,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profileme_core::{ProfileDatabase, ProfileError, ProfileMeConfig, Session};
+
+    fn sample_run() -> (profileme_core::SingleRun, profileme_isa::Program) {
+        let w = profileme_workloads::ijpeg(400);
+        let run = Session::builder(w.program.clone())
+            .memory(w.memory)
+            .sampling(ProfileMeConfig {
+                mean_interval: 32,
+                ..Default::default()
+            })
+            .build()
+            .unwrap()
+            .profile_single()
+            .unwrap();
+        (run, w.program)
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let (_, program) = sample_run();
+        let cfg = ServeConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        let err = ShardedService::<ProfileDatabase>::start(ProfileDatabase::new(&program, 32), cfg)
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ProfileError::Config {
+                field: "shards",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sharded_ingest_matches_direct_aggregation() {
+        let (run, program) = sample_run();
+        for shards in [1usize, 2, 3, 8] {
+            let svc = ShardedService::start(
+                ProfileDatabase::new(&program, run.db.interval()),
+                ServeConfig {
+                    shards,
+                    queue_depth: 4,
+                },
+            )
+            .unwrap();
+            for s in &run.samples {
+                svc.ingest(s.clone());
+            }
+            let snap = svc.snapshot().unwrap();
+            assert_eq!(snap.seq, 1);
+            assert_eq!(snap.stats.enqueued, run.samples.len() as u64);
+            assert_eq!(snap.stats.dropped, 0);
+            let (final_db, _) = svc.shutdown().unwrap();
+            assert_eq!(
+                final_db.snapshot_bytes().unwrap(),
+                run.db.snapshot_bytes().unwrap(),
+                "shards={shards}"
+            );
+            assert_eq!(
+                snap.merged.snapshot_bytes().unwrap(),
+                run.db.snapshot_bytes().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_barrier_and_collection_continues() {
+        let (run, program) = sample_run();
+        let svc = ShardedService::start(
+            ProfileDatabase::new(&program, run.db.interval()),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let half = run.samples.len() / 2;
+        svc.ingest_batch(run.samples[..half].to_vec());
+        let first = svc.snapshot().unwrap();
+        assert_eq!(
+            first.merged.total_samples,
+            run.samples[..half].iter().map(|_| 1).sum::<u64>()
+        );
+        svc.ingest_batch(run.samples[half..].to_vec());
+        let second = svc.snapshot().unwrap();
+        assert_eq!(second.seq, 2);
+        // The delta between consecutive snapshots is exactly the second
+        // half of the stream.
+        let delta = second.merged.delta_since(&first.merged).unwrap();
+        assert_eq!(delta.total_samples, (run.samples.len() - half) as u64);
+        let (final_db, stats) = svc.shutdown().unwrap();
+        assert_eq!(stats.snapshots, 2);
+        assert_eq!(
+            final_db.snapshot_bytes().unwrap(),
+            run.db.snapshot_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn offer_counts_drops_when_full() {
+        // One shard, tiny queue, and the worker is kept busy by never
+        // being started... we can't pause the worker, so instead fill
+        // faster than it can drain is racy. Use the closed path: after
+        // shutdown-close the offer must fail deterministically.
+        let (run, program) = sample_run();
+        let svc = ShardedService::start(
+            ProfileDatabase::new(&program, run.db.interval()),
+            ServeConfig {
+                shards: 1,
+                queue_depth: 1,
+            },
+        )
+        .unwrap();
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for s in &run.samples {
+            if svc.offer(s.clone()) {
+                accepted += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.enqueued, accepted);
+        assert_eq!(stats.dropped, dropped);
+        assert_eq!(accepted + dropped, run.samples.len() as u64);
+        let (final_db, _) = svc.shutdown().unwrap();
+        assert_eq!(final_db.total_samples, accepted);
+    }
+
+    #[test]
+    fn concurrent_producers_stay_byte_identical() {
+        let (run, program) = sample_run();
+        let svc = std::sync::Arc::new(
+            ShardedService::start(
+                ProfileDatabase::new(&program, run.db.interval()),
+                ServeConfig {
+                    shards: 4,
+                    queue_depth: 2,
+                },
+            )
+            .unwrap(),
+        );
+        let chunks: Vec<Vec<_>> = run.samples.chunks(97).map(<[_]>::to_vec).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let svc = std::sync::Arc::clone(&svc);
+                std::thread::spawn(move || svc.ingest_batch(chunk))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let svc = std::sync::Arc::into_inner(svc).unwrap();
+        let (final_db, stats) = svc.shutdown().unwrap();
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.high_water >= 1);
+        assert_eq!(
+            final_db.snapshot_bytes().unwrap(),
+            run.db.snapshot_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn pc_shard_is_stable_and_in_range() {
+        use profileme_isa::Pc;
+        for shards in [1usize, 2, 5, 8] {
+            for addr in (0..4096u64).step_by(4) {
+                let s = pc_shard(Pc::new(addr), shards);
+                assert!(s < shards);
+                assert_eq!(s, pc_shard(Pc::new(addr), shards));
+            }
+        }
+        // The hash actually spreads a dense PC range.
+        let hits: std::collections::HashSet<_> =
+            (0..256u64).map(|i| pc_shard(Pc::new(i * 4), 8)).collect();
+        assert!(hits.len() > 1);
+    }
+}

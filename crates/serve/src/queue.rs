@@ -1,0 +1,190 @@
+//! A bounded MPMC queue with backpressure accounting: the buffer
+//! between sample producers and per-shard aggregators.
+//!
+//! Built on `Mutex` + `Condvar` only — the same no-external-deps rule
+//! the bench engine's fan-out follows — so the service runs in this
+//! offline workspace. Tracks its own high-water mark, which is the
+//! queue-depth statistic the ingest layer reports.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The outcome of a non-blocking push.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue was at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+}
+
+/// A blocking bounded queue of `T` with close semantics and a
+/// high-water mark.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocking push: waits while the queue is full. Returns the item
+    /// back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking push: fails immediately when full or closed. The
+    /// lossy (`offer`) ingest path uses this and counts the rejections.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits while the queue is empty. Returns `None`
+    /// only once the queue is closed *and* drained, so no accepted item
+    /// is ever lost.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue poisoned").high_water
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.high_water(), 4);
+        assert_eq!(
+            (q.pop(), q.pop(), q.pop(), q.pop()),
+            (Some(0), Some(1), Some(2), Some(3))
+        );
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(TryPushError::Full(2))));
+        q.close();
+        assert!(matches!(q.try_push(3), Err(TryPushError::Closed(3))));
+        // Closed queues still drain.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_space_and_pop_blocks_until_item() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u64).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 1..100u64 {
+                q2.push(i).unwrap();
+            }
+            q2.close();
+        });
+        let mut got = Vec::new();
+        while let Some(i) = q.pop() {
+            got.push(i);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(q.high_water(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u64>::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.push(7), Err(7));
+    }
+}

@@ -1,0 +1,414 @@
+//! The sharded ingest/serving layer: per-shard aggregators behind
+//! bounded queues, a drain→merge→snapshot cycle, and backpressure
+//! accounting.
+//!
+//! # Determinism invariant
+//!
+//! The merged snapshot is **byte-identical for any shard count and any
+//! producer interleaving**, and identical to what one thread calling
+//! [`ProfileDatabase::add`] over the whole stream would build. Two
+//! facts make that true:
+//!
+//! 1. Profile aggregation is a *sum* over samples — commutative and
+//!    associative per PC (property-tested in `profileme-core`), so the
+//!    order in which samples reach a shard cannot matter.
+//! 2. The final merge folds shard databases in shard-index order on
+//!    one thread, and addition of the per-PC sums is order-insensitive
+//!    anyway.
+//!
+//! The only lossy path is [`ShardedService::offer`], which drops
+//! instead of blocking when a queue is full; drops are counted in
+//! [`IngestStats`] and the determinism invariant is stated only for
+//! the lossless [`ingest`](ShardedService::ingest)/
+//! [`ingest_batch`](ShardedService::ingest_batch) paths.
+//!
+//! [`ProfileDatabase::add`]: profileme_core::ProfileDatabase::add
+
+use crate::queue::{BoundedQueue, TryPushError};
+use profileme_core::{PairProfileDatabase, PairedSample, ProfileDatabase, ProfileError, Sample};
+use profileme_isa::Pc;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Anything the service can shard and aggregate: an empty accumulator
+/// that absorbs items one at a time and merges with its peers.
+///
+/// Implementations must make `absorb` a commutative, associative
+/// accumulation (sums, maxes over disjoint keys, …) for the service's
+/// shard-count-independence invariant to hold.
+pub trait ShardAggregate: Clone + Send + 'static {
+    /// The streamed item.
+    type Item: Send + 'static;
+
+    /// Accumulates one item.
+    fn absorb(&mut self, item: &Self::Item);
+
+    /// Accumulates a peer aggregator built from a disjoint part of the
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if the two aggregators do not
+    /// describe the same program/configuration.
+    fn merge(&mut self, other: &Self) -> Result<(), ProfileError>;
+
+    /// Which of `shards` queues the item routes to. Must be a pure
+    /// function of the item, `< shards`.
+    fn shard_of(item: &Self::Item, shards: usize) -> usize;
+}
+
+/// PC-hash sharding: spread nearby PCs across shards via a Fibonacci
+/// multiplicative hash of the instruction address.
+pub fn pc_shard(pc: Pc, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    // Instructions are 4-byte aligned; mix the high bits down so dense
+    // PC ranges don't all land in one shard.
+    let mixed = (pc.addr() >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) as usize) % shards
+}
+
+impl ShardAggregate for ProfileDatabase {
+    type Item = Sample;
+
+    fn absorb(&mut self, item: &Sample) {
+        self.add(item);
+    }
+
+    fn merge(&mut self, other: &ProfileDatabase) -> Result<(), ProfileError> {
+        ProfileDatabase::merge(self, other)
+    }
+
+    fn shard_of(item: &Sample, shards: usize) -> usize {
+        // Empty selections carry no PC; give them a fixed home.
+        item.record.as_ref().map_or(0, |r| pc_shard(r.pc, shards))
+    }
+}
+
+impl ShardAggregate for PairProfileDatabase {
+    type Item = PairedSample;
+
+    fn absorb(&mut self, item: &PairedSample) {
+        self.add(item);
+    }
+
+    fn merge(&mut self, other: &PairProfileDatabase) -> Result<(), ProfileError> {
+        PairProfileDatabase::merge(self, other)
+    }
+
+    fn shard_of(item: &PairedSample, shards: usize) -> usize {
+        // A pair touches two PCs; route by the first. Any pure routing
+        // works — merge sums per-PC rows across shards regardless.
+        item.first
+            .record
+            .as_ref()
+            .or(item.second.record.as_ref())
+            .map_or(0, |r| pc_shard(r.pc, shards))
+    }
+}
+
+/// Configuration of the sharded ingest layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ServeConfig {
+    /// Aggregator shards (worker threads).
+    pub shards: usize,
+    /// Bounded-queue capacity per shard, in *messages* (a batch counts
+    /// as one message, mirroring one buffered-interrupt delivery).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero shards or a zero queue depth.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.shards == 0 {
+            return Err(ProfileError::config("shards", "must be at least 1 (got 0)"));
+        }
+        if self.queue_depth == 0 {
+            return Err(ProfileError::config(
+                "queue_depth",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Backpressure and throughput accounting for the ingest layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IngestStats {
+    /// Aggregator shards.
+    pub shards: usize,
+    /// Items accepted onto shard queues.
+    pub enqueued: u64,
+    /// Items rejected by the lossy [`offer`](ShardedService::offer)
+    /// path because a queue was full.
+    pub dropped: u64,
+    /// Deepest any shard queue has been, in messages.
+    pub high_water: usize,
+    /// Snapshot cycles served so far.
+    pub snapshots: u64,
+}
+
+/// A merged point-in-time view of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot<A> {
+    /// The shard aggregates merged in shard order.
+    pub merged: A,
+    /// 1-based snapshot sequence number.
+    pub seq: u64,
+    /// Ingest accounting at snapshot time.
+    pub stats: IngestStats,
+}
+
+enum Msg<A: ShardAggregate> {
+    One(A::Item),
+    Batch(Vec<A::Item>),
+    /// Barrier: everything enqueued to this shard before it is
+    /// aggregated before the reply is sent.
+    Snapshot(mpsc::Sender<A>),
+}
+
+struct Shard<A: ShardAggregate> {
+    queue: Arc<BoundedQueue<Msg<A>>>,
+    worker: Option<JoinHandle<A>>,
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<A: ShardAggregate> Shard<A> {
+    fn accept(&self, items: u64) {
+        self.enqueued.fetch_add(items, Ordering::Relaxed);
+    }
+}
+
+/// The sharded profile-aggregation service: samples in, snapshots out,
+/// collection never stops.
+///
+/// See the [module docs](self) for the determinism invariant and the
+/// crate docs for a worked example.
+pub struct ShardedService<A: ShardAggregate> {
+    shards: Vec<Shard<A>>,
+    snapshots: AtomicU64,
+}
+
+impl<A: ShardAggregate> ShardedService<A> {
+    /// Starts `config.shards` worker threads, each owning a clone of
+    /// the `empty` aggregator behind a bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Config`] for an invalid `config`.
+    pub fn start(empty: A, config: ServeConfig) -> Result<ShardedService<A>, ProfileError> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|_| {
+                let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+                let q = Arc::clone(&queue);
+                let mut acc = empty.clone();
+                let worker = std::thread::spawn(move || {
+                    while let Some(msg) = q.pop() {
+                        match msg {
+                            Msg::One(item) => acc.absorb(&item),
+                            Msg::Batch(items) => items.iter().for_each(|i| acc.absorb(i)),
+                            // A dropped receiver just means the
+                            // snapshot caller went away.
+                            Msg::Snapshot(tx) => drop(tx.send(acc.clone())),
+                        }
+                    }
+                    acc
+                });
+                Shard {
+                    queue,
+                    worker: Some(worker),
+                    enqueued: AtomicU64::new(0),
+                    dropped: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Ok(ShardedService {
+            shards,
+            snapshots: AtomicU64::new(0),
+        })
+    }
+
+    /// The number of aggregator shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lossless ingest of one item: blocks while the target shard's
+    /// queue is full (backpressure).
+    pub fn ingest(&self, item: A::Item) {
+        let shard = &self.shards[A::shard_of(&item, self.shards.len())];
+        if shard.queue.push(Msg::One(item)).is_ok() {
+            shard.accept(1);
+        }
+    }
+
+    /// Lossy ingest of one item: returns `false` (and counts a drop)
+    /// instead of blocking when the target queue is full — the
+    /// load-shedding path a real daemon uses under overload.
+    pub fn offer(&self, item: A::Item) -> bool {
+        let shard = &self.shards[A::shard_of(&item, self.shards.len())];
+        match shard.queue.try_push(Msg::One(item)) {
+            Ok(()) => {
+                shard.accept(1);
+                true
+            }
+            Err(TryPushError::Full(_) | TryPushError::Closed(_)) => {
+                shard.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Lossless batched ingest: routes each item to its shard, then
+    /// enqueues one message per shard — the shape of §4.3's buffered
+    /// sample delivery, and the cheap path (per-item queue traffic is
+    /// what the `bench_ingest` overhead gate measures).
+    pub fn ingest_batch(&self, items: Vec<A::Item>) {
+        let n = self.shards.len();
+        if items.is_empty() {
+            return;
+        }
+        if n == 1 {
+            let count = items.len() as u64;
+            if self.shards[0].queue.push(Msg::Batch(items)).is_ok() {
+                self.shards[0].accept(count);
+            }
+            return;
+        }
+        let mut per_shard: Vec<Vec<A::Item>> = (0..n).map(|_| Vec::new()).collect();
+        for item in items {
+            per_shard[A::shard_of(&item, n)].push(item);
+        }
+        for (shard, batch) in self.shards.iter().zip(per_shard) {
+            if batch.is_empty() {
+                continue;
+            }
+            let count = batch.len() as u64;
+            if shard.queue.push(Msg::Batch(batch)).is_ok() {
+                shard.accept(count);
+            }
+        }
+    }
+
+    /// One drain→merge→snapshot cycle: a barrier message per shard
+    /// guarantees everything enqueued before this call is aggregated,
+    /// then the shard views are merged in shard order. Collection
+    /// continues concurrently — workers keep their accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if a shard worker died, or
+    /// [`ProfileError::Mismatch`] if shard aggregates disagree (which
+    /// would indicate a bug in the `empty` prototype).
+    pub fn snapshot(&self) -> Result<ServeSnapshot<A>, ProfileError> {
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (tx, rx) = mpsc::channel();
+            if shard.queue.push(Msg::Snapshot(tx)).is_err() {
+                return Err(ProfileError::Snapshot {
+                    reason: "service is shut down".into(),
+                });
+            }
+            pending.push(rx);
+        }
+        let mut merged: Option<A> = None;
+        for rx in pending {
+            let part = rx.recv().map_err(|_| ProfileError::Snapshot {
+                reason: "a shard worker died before replying".into(),
+            })?;
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => m.merge(&part)?,
+            }
+        }
+        let seq = self.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(ServeSnapshot {
+            merged: merged.expect("at least one shard"),
+            seq,
+            stats: self.stats(),
+        })
+    }
+
+    /// Current backpressure accounting across all shards.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            shards: self.shards.len(),
+            enqueued: self
+                .shards
+                .iter()
+                .map(|s| s.enqueued.load(Ordering::Relaxed))
+                .sum(),
+            dropped: self
+                .shards
+                .iter()
+                .map(|s| s.dropped.load(Ordering::Relaxed))
+                .sum(),
+            high_water: self
+                .shards
+                .iter()
+                .map(|s| s.queue.high_water())
+                .max()
+                .unwrap_or(0),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes every queue, drains the workers, and returns the final
+    /// merged aggregate plus the final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if a shard worker panicked.
+    pub fn shutdown(mut self) -> Result<(A, IngestStats), ProfileError> {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        let stats = self.stats();
+        let mut merged: Option<A> = None;
+        for shard in &mut self.shards {
+            let worker = shard.worker.take().expect("worker joined once");
+            let part = worker.join().map_err(|_| ProfileError::Snapshot {
+                reason: "a shard worker panicked".into(),
+            })?;
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => m.merge(&part)?,
+            }
+        }
+        Ok((merged.expect("at least one shard"), stats))
+    }
+}
+
+impl<A: ShardAggregate> Drop for ShardedService<A> {
+    fn drop(&mut self) {
+        // `shutdown` leaves no workers; a plain drop still unblocks and
+        // reaps them so tests that forget to shut down don't hang.
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                drop(worker.join());
+            }
+        }
+    }
+}

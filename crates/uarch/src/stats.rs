@@ -57,6 +57,38 @@ impl LatencySums {
         self.retire_ready_to_retire += l.retire_ready_to_retire;
         self.load_completion += l.load_completion;
     }
+
+    /// Accumulates another aggregate — the merge step of sharded
+    /// profile aggregation.
+    pub fn merge(&mut self, other: &LatencySums) {
+        self.fetch_to_map += other.fetch_to_map;
+        self.map_to_data_ready += other.map_to_data_ready;
+        self.data_ready_to_issue += other.data_ready_to_issue;
+        self.issue_to_retire_ready += other.issue_to_retire_ready;
+        self.retire_ready_to_retire += other.retire_ready_to_retire;
+        self.load_completion += other.load_completion;
+    }
+
+    /// Field-wise `self - earlier`, or `None` if any field would go
+    /// negative (i.e. `earlier` is not an earlier snapshot of `self`).
+    pub fn checked_sub(&self, earlier: &LatencySums) -> Option<LatencySums> {
+        Some(LatencySums {
+            fetch_to_map: self.fetch_to_map.checked_sub(earlier.fetch_to_map)?,
+            map_to_data_ready: self
+                .map_to_data_ready
+                .checked_sub(earlier.map_to_data_ready)?,
+            data_ready_to_issue: self
+                .data_ready_to_issue
+                .checked_sub(earlier.data_ready_to_issue)?,
+            issue_to_retire_ready: self
+                .issue_to_retire_ready
+                .checked_sub(earlier.issue_to_retire_ready)?,
+            retire_ready_to_retire: self
+                .retire_ready_to_retire
+                .checked_sub(earlier.retire_ready_to_retire)?,
+            load_completion: self.load_completion.checked_sub(earlier.load_completion)?,
+        })
+    }
 }
 
 /// Whole-run statistics.

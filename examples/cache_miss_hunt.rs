@@ -5,26 +5,22 @@
 //!
 //! Run with: `cargo run --release --example cache_miss_hunt`
 
-use profileme::core::{run_single, ProfileMeConfig};
-use profileme::uarch::PipelineConfig;
+use profileme::core::{ProfileMeConfig, Session};
 use profileme::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::li(60_000);
     println!("workload: {} — {}\n", w.name, w.description);
 
-    let sampling = ProfileMeConfig {
-        mean_interval: 96,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory)
+        .sampling(ProfileMeConfig {
+            mean_interval: 96,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
 
     // Rank instructions by estimated D-cache misses.
     let mut ranked: Vec<_> = run.db.iter().filter(|(_, p)| p.dcache_misses > 0).collect();

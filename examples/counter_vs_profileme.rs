@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example counter_vs_profileme`
 
-use profileme::core::{run_single, ProfileMeConfig};
+use profileme::core::{ProfileMeConfig, Session};
 use profileme::counters::{CounterHardware, PcHistogram};
 use profileme::uarch::{HwEventKind, Pipeline, PipelineConfig};
 use profileme::workloads::microbench;
@@ -40,18 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- ProfileMe on the identical machine ---------------------------
-    let sampling = ProfileMeConfig {
-        mean_interval: 64,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        None,
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(w.program.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 64,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
     let mem_samples: u64 = run
         .db
         .iter()

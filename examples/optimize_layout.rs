@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example optimize_layout`
 
 use profileme::cfg::Cfg;
-use profileme::core::{run_single, ProfileMeConfig};
+use profileme::core::{ProfileMeConfig, Session};
 use profileme::isa::{Cond, Program, ProgramBuilder, Reg};
 use profileme::opt::{edge_weights_from_profile, hot_chains, reorder_blocks};
 use profileme::uarch::{NullHardware, Pipeline, PipelineConfig};
@@ -81,18 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 1. Profile.
-    let sampling = ProfileMeConfig {
-        mean_interval: 48,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        p.clone(),
-        None,
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(p.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 48,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
     println!("profiled: {} samples", run.samples.len());
 
     // 2. Weights -> chains -> relayout.

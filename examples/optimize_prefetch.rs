@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example optimize_prefetch`
 
-use profileme::core::{run_single, ProfileMeConfig};
+use profileme::core::{ProfileMeConfig, Session};
 use profileme::isa::{Cond, Pc, Program, ProgramBuilder, Reg};
 use profileme::uarch::{NullHardware, Pipeline, PipelineConfig};
 
@@ -54,18 +54,14 @@ fn cycles(p: &Program) -> (u64, u64, u64) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- step 1: profile the unoptimized kernel -----------------------
     let (plain, load_pc) = kernel(None);
-    let sampling = ProfileMeConfig {
-        mean_interval: 96,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        plain.clone(),
-        None,
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(plain.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 96,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
 
     let (worst_pc, prof) = run
         .db

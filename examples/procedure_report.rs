@@ -4,25 +4,21 @@
 //!
 //! Run with: `cargo run --release --example procedure_report`
 
-use profileme::core::{procedure_summaries, run_single, ProfileMeConfig};
-use profileme::uarch::PipelineConfig;
+use profileme::core::{procedure_summaries, ProfileMeConfig, Session};
 use profileme::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workloads::gcc(40);
     println!("workload: {} — {}\n", w.name, w.description);
-    let sampling = ProfileMeConfig {
-        mean_interval: 64,
-        buffer_depth: 16,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory)
+        .sampling(ProfileMeConfig {
+            mean_interval: 64,
+            buffer_depth: 16,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
 
     let procs = procedure_summaries(&run.db, &w.program);
     println!("{} procedures with samples; hottest first:\n", procs.len());

@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use profileme::core::{run_single, ProfileMeConfig};
+use profileme::core::{ProfileMeConfig, Session};
 use profileme::isa::{Cond, ProgramBuilder, Reg};
-use profileme::uarch::PipelineConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A loop with three characters of instruction mixed together:
@@ -40,18 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sample one instruction per ~128 fetched, buffering 8 samples per
     // interrupt.
-    let sampling = ProfileMeConfig {
-        mean_interval: 128,
-        buffer_depth: 8,
-        ..ProfileMeConfig::default()
-    };
-    let run = run_single(
-        program.clone(),
-        None,
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(program.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: 128,
+            buffer_depth: 8,
+            ..ProfileMeConfig::default()
+        })
+        .build()?
+        .profile_single()?;
 
     println!(
         "simulated {} cycles, {} instructions retired (IPC {:.2}), {} samples\n",

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example wasted_slots`
 
-use profileme::core::{pipeline_population, run_paired, wasted_issue_slots, PairedConfig};
+use profileme::core::{pipeline_population, wasted_issue_slots, PairedConfig, Session};
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::loops3;
 
@@ -17,19 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pipeline = PipelineConfig::default();
     let issue_width = pipeline.issue_width as u64;
-    let sampling = PairedConfig {
-        mean_major_interval: 64,
-        window: 64,
-        buffer_depth: 4,
-        ..PairedConfig::default()
-    };
-    let run = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        pipeline,
-        sampling,
-        u64::MAX,
-    )?;
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .pipeline(pipeline)
+        .paired_sampling(PairedConfig {
+            mean_major_interval: 64,
+            window: 64,
+            buffer_depth: 4,
+            ..PairedConfig::default()
+        })
+        .build()?
+        .profile_paired()?;
     println!(
         "collected {} pairs over {} cycles (effective S = {} instructions)\n",
         run.pairs.len(),

@@ -6,12 +6,19 @@
 //! profileme --workload li --interval 64 --report procedures
 //! profileme --workload compress --report instructions --top 15
 //! profileme --workload go --paired --report wasted
+//! profileme serve --workload perl --shards 4 --chunks 8
 //! profileme --list
 //! ```
+//!
+//! The `serve` subcommand replays a run's sample stream through the
+//! sharded aggregation service (`profileme-serve`), printing an
+//! interval-delta snapshot per chunk and a final top-N report — the
+//! continuous-profiling daemon loop of §5 in miniature.
 
 use profileme::core::{
-    procedure_summaries, run_paired, run_single, wasted_issue_slots, PairedConfig, ProfileMeConfig,
+    procedure_summaries, wasted_issue_slots, PairedConfig, ProfileField, ProfileMeConfig, Session,
 };
+use profileme::serve::{ServeConfig, ShardedService};
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{loops3, microbench, suite};
 use std::process::ExitCode;
@@ -26,6 +33,10 @@ struct Args {
     report: String,
     list: bool,
     json: bool,
+    // `serve` subcommand knobs.
+    serve: bool,
+    shards: usize,
+    chunks: usize,
 }
 
 impl Default for Args {
@@ -40,13 +51,20 @@ impl Default for Args {
             report: "instructions".into(),
             list: false,
             json: false,
+            serve: false,
+            shards: 4,
+            chunks: 8,
         }
     }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("serve") {
+        it.next();
+        args.serve = true;
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -59,15 +77,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--budget" => args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
             "--top" => args.top = value("--top")?.parse().map_err(|e| format!("{e}"))?,
-            "--paired" => args.paired = true,
-            "--report" | "-r" => args.report = value("--report")?,
+            "--paired" if !args.serve => args.paired = true,
+            "--report" | "-r" if !args.serve => args.report = value("--report")?,
+            "--shards" if args.serve => {
+                args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--chunks" if args.serve => {
+                args.chunks = value("--chunks")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--list" => args.list = true,
             "--json" => args.json = true,
             "--help" | "-h" => {
                 println!(
                     "usage: profileme [--workload NAME] [--interval S] [--buffer N] \
                      [--budget INSTRUCTIONS] [--top N] [--paired] \
-                     [--report instructions|procedures|wasted|disasm] [--json] [--list]"
+                     [--report instructions|procedures|wasted|disasm] [--json] [--list]\n       \
+                     profileme serve [--workload NAME] [--interval S] [--budget INSTRUCTIONS] \
+                     [--shards N] [--chunks N] [--top N] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -85,6 +111,106 @@ fn find_workload(name: &str, budget: u64) -> Option<profileme::workloads::Worklo
         return Some(loops3(budget / 300).workload);
     }
     suite(budget).into_iter().find(|w| w.name == name)
+}
+
+/// The `profileme serve` subcommand: replay the sample stream through
+/// the sharded service in chunks, reporting an interval delta per
+/// snapshot cycle, then cross-check the final merged database against
+/// the direct single-threaded aggregation byte for byte.
+fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), String> {
+    let session = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: args.interval,
+            buffer_depth: args.buffer.max(1),
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let run = session.profile_single().map_err(|e| e.to_string())?;
+
+    let svc = ShardedService::start(
+        profileme::core::ProfileDatabase::new(&w.program, run.db.interval()),
+        ServeConfig {
+            shards: args.shards,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    if !args.json {
+        println!(
+            "# serve: {} samples from `{}` through {} shard(s) in {} chunk(s)",
+            run.samples.len(),
+            w.name,
+            args.shards,
+            args.chunks
+        );
+    }
+    let chunk = (run.samples.len() / args.chunks.max(1)).max(1);
+    let mut previous = None;
+    for batch in run.samples.chunks(chunk) {
+        svc.ingest_batch(batch.to_vec());
+        let snap = svc.snapshot().map_err(|e| e.to_string())?;
+        let delta_samples = match &previous {
+            None => snap.merged.total_samples,
+            Some(prev) => {
+                snap.merged
+                    .delta_since(prev)
+                    .map_err(|e| e.to_string())?
+                    .total_samples
+            }
+        };
+        if !args.json {
+            println!(
+                "snapshot {:>3}: {:>8} samples total (+{:>6} this interval, queue high-water {})",
+                snap.seq, snap.merged.total_samples, delta_samples, snap.stats.high_water
+            );
+        }
+        previous = Some(snap.merged);
+    }
+
+    let (merged, stats) = svc.shutdown().map_err(|e| e.to_string())?;
+    // The service must agree byte-for-byte with direct aggregation.
+    let served = merged.snapshot_bytes().map_err(|e| e.to_string())?;
+    let direct = run.db.snapshot_bytes().map_err(|e| e.to_string())?;
+    if served != direct {
+        return Err("sharded snapshot diverged from direct aggregation".into());
+    }
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!(
+        "ingest: {} enqueued, {} dropped, {} snapshot cycles ({} shards); \
+         final snapshot identical to direct aggregation ({} bytes)",
+        stats.enqueued,
+        stats.dropped,
+        stats.snapshots,
+        stats.shards,
+        served.len()
+    );
+    println!(
+        "{:<10} {:<24} {:>8} {:>10}",
+        "pc", "instruction", "samples", "Σ latency"
+    );
+    for (pc, p) in merged.top_n(args.top, ProfileField::Samples) {
+        println!(
+            "{:<10} {:<24} {:>8} {:>10}",
+            pc.to_string(),
+            w.program
+                .fetch(pc)
+                .map(|i| i.to_string())
+                .unwrap_or_default(),
+            p.samples,
+            p.in_progress_sum
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -111,22 +237,36 @@ fn main() -> ExitCode {
         eprintln!("error: unknown workload `{}` (use --list)", args.workload);
         return ExitCode::FAILURE;
     };
+    if args.serve {
+        return match serve_demo(&args, &w) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let pipeline = PipelineConfig::default();
 
     if args.paired || args.report == "wasted" {
-        let sampling = PairedConfig {
-            mean_major_interval: args.interval,
-            window: 64,
-            buffer_depth: args.buffer.max(1),
-            ..PairedConfig::default()
+        let session = match Session::builder(w.program.clone())
+            .memory(w.memory.clone())
+            .pipeline(pipeline.clone())
+            .paired_sampling(PairedConfig {
+                mean_major_interval: args.interval,
+                window: 64,
+                buffer_depth: args.buffer.max(1),
+                ..PairedConfig::default()
+            })
+            .build()
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         };
-        let run = match run_paired(
-            w.program.clone(),
-            Some(w.memory.clone()),
-            pipeline.clone(),
-            sampling,
-            u64::MAX,
-        ) {
+        let run = match session.profile_paired() {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -171,18 +311,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let sampling = ProfileMeConfig {
-        mean_interval: args.interval,
-        buffer_depth: args.buffer.max(1),
-        ..ProfileMeConfig::default()
+    let session = match Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .pipeline(pipeline)
+        .sampling(ProfileMeConfig {
+            mean_interval: args.interval,
+            buffer_depth: args.buffer.max(1),
+            ..ProfileMeConfig::default()
+        })
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let run = match run_single(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        pipeline,
-        sampling,
-        u64::MAX,
-    ) {
+    let run = match session.profile_single() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

@@ -21,24 +21,21 @@
 //! | [`mod@cfg`] | `profileme-cfg` | control-flow graphs + path reconstruction |
 //! | [`workloads`] | `profileme-workloads` | SPECint95-analogue synthetic workloads |
 //! | [`opt`] | `profileme-opt` | profile-guided optimizations (block layout) |
+//! | [`serve`] | `profileme-serve` | sharded, mergeable profile-aggregation service |
 //!
 //! # Quickstart
 //!
 //! ```
-//! use profileme::core::{run_single, ProfileMeConfig};
-//! use profileme::uarch::PipelineConfig;
+//! use profileme::core::{ProfileMeConfig, Session};
 //! use profileme::workloads;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let w = workloads::li(5_000); // pointer-chasing workload
-//! let sampling = ProfileMeConfig { mean_interval: 64, ..Default::default() };
-//! let run = run_single(
-//!     w.program.clone(),
-//!     Some(w.memory),
-//!     PipelineConfig::default(),
-//!     sampling,
-//!     u64::MAX,
-//! )?;
+//! let run = Session::builder(w.program.clone())
+//!     .memory(w.memory)
+//!     .sampling(ProfileMeConfig { mean_interval: 64, ..Default::default() })
+//!     .build()?
+//!     .profile_single()?;
 //!
 //! // The pointer-chasing load dominates sampled D-cache misses.
 //! let (hot, prof) = run.db.iter().max_by_key(|(_, p)| p.dcache_misses).unwrap();
@@ -60,5 +57,6 @@ pub use profileme_core as core;
 pub use profileme_counters as counters;
 pub use profileme_isa as isa;
 pub use profileme_opt as opt;
+pub use profileme_serve as serve;
 pub use profileme_uarch as uarch;
 pub use profileme_workloads as workloads;

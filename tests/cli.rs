@@ -124,6 +124,63 @@ fn json_output_parses() {
 }
 
 #[test]
+fn serve_subcommand_reports_identical_snapshots() {
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--shards",
+        "4",
+        "--chunks",
+        "6",
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("through 4 shard(s)"), "got: {text}");
+    assert!(
+        text.lines().filter(|l| l.starts_with("snapshot")).count() >= 6,
+        "one snapshot line per chunk: {text}"
+    );
+    assert!(
+        text.contains("identical to direct aggregation"),
+        "the byte-identity cross-check ran: {text}"
+    );
+}
+
+#[test]
+fn serve_json_emits_ingest_stats() {
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "li",
+        "--budget",
+        "50000",
+        "--shards",
+        "2",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    let field = |k: &str| v.get(k).and_then(serde_json::Value::as_u64);
+    assert_eq!(field("shards"), Some(2));
+    assert_eq!(field("dropped"), Some(0), "lossless ingest never drops");
+    assert!(field("enqueued").is_some_and(|n| n > 0));
+    assert!(field("snapshots").is_some_and(|n| n > 0));
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let out = profileme(&["--workload", "nonexistent"]);
     assert!(!out.status.success());

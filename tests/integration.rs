@@ -4,8 +4,8 @@
 
 use profileme::cfg::{Cfg, Scope, TraceRecorder};
 use profileme::core::{
-    pipeline_population, run_paired, run_single, wasted_issue_slots, PairedConfig, PathProfiler,
-    PathScheme, ProfileMeConfig,
+    pipeline_population, wasted_issue_slots, PairedConfig, PathProfiler, PathScheme,
+    ProfileMeConfig, Session,
 };
 use profileme::isa::ArchState;
 use profileme::uarch::PipelineConfig;
@@ -20,14 +20,13 @@ fn estimates_track_ground_truth_on_compress() {
         buffer_depth: 8,
         ..ProfileMeConfig::default()
     };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("compress completes");
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory)
+        .sampling(sampling)
+        .build()
+        .expect("config is valid")
+        .profile_single()
+        .expect("compress completes");
 
     // Over instructions with enough samples, the estimate/actual ratio
     // stays near 1 (Figure 3's convergence regime).
@@ -61,14 +60,13 @@ fn dcache_miss_attribution_is_exact() {
         buffer_depth: 8,
         ..ProfileMeConfig::default()
     };
-    let run = run_single(
-        w.program.clone(),
-        Some(w.memory),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("vortex completes");
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory)
+        .sampling(sampling)
+        .build()
+        .expect("config is valid")
+        .profile_single()
+        .expect("vortex completes");
     let mut est_misses = 0.0;
     for (pc, prof) in run.db.iter() {
         if prof.dcache_misses > 0 {
@@ -103,14 +101,14 @@ fn latency_does_not_rank_bottlenecks() {
         buffer_depth: 4,
         ..PairedConfig::default()
     };
-    let run = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        pipeline,
-        sampling,
-        u64::MAX,
-    )
-    .expect("loops3 completes");
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .pipeline(pipeline)
+        .paired_sampling(sampling)
+        .build()
+        .expect("config is valid")
+        .profile_paired()
+        .expect("loops3 completes");
 
     let mut points: Vec<(usize, f64, f64)> = Vec::new(); // (loop, latency, wasted)
     for (pc, prof) in run.db.iter() {
@@ -158,14 +156,13 @@ fn stage_population_separates_bottleneck_kinds() {
         buffer_depth: 4,
         ..PairedConfig::default()
     };
-    let run = run_paired(
-        w.program.clone(),
-        Some(w.memory.clone()),
-        PipelineConfig::default(),
-        sampling,
-        u64::MAX,
-    )
-    .expect("loops3 completes");
+    let run = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .paired_sampling(sampling)
+        .build()
+        .expect("config is valid")
+        .profile_paired()
+        .expect("loops3 completes");
     let hottest_in = |loop_idx: usize| {
         run.db
             .iter()
