@@ -15,7 +15,13 @@
 //!   the repetitions per cell (best-of-N wall-clock is reported).
 //! * `PROFILEME_REQUIRE_INGEST_OK=1` exits nonzero if the single-shard
 //!   service overhead vs the direct baseline exceeds 15% — the CI
-//!   regression gate for the ingest fast path.
+//!   regression gate for the ingest fast path. Supervision
+//!   (checkpoint plus journal) is on at its defaults, so the gate
+//!   prices the fault-tolerant path, with no faults firing.
+//! * `PROFILEME_FAIL_SPEC` (builds with `--features fault-injection`)
+//!   additionally runs a chaos smoke: the same stream through a
+//!   service with that fault plan injected, asserting exact loss
+//!   accounting — and byte-identity whenever the plan loses nothing.
 
 use profileme_bench::engine::{env, Emitter};
 use profileme_bench::scaled;
@@ -150,6 +156,7 @@ fn time_serviced(
             ServeConfig {
                 shards,
                 queue_depth: QUEUE_DEPTH,
+                ..ServeConfig::default()
             },
         )
         .expect("service starts");
@@ -173,6 +180,60 @@ fn time_serviced(
         samples: stream.len() as u64,
         best_seconds: best,
         samples_per_second: stream.len() as f64 / best,
+    }
+}
+
+/// Chaos smoke for CI: replay the stream through a service with a
+/// deterministic fault plan injected and hold the supervision layer to
+/// its accounting contract — `total_samples == enqueued −
+/// lost_to_panics` always, and byte-identity with direct aggregation
+/// whenever nothing was lost.
+#[cfg(feature = "fault-injection")]
+fn chaos_smoke(
+    out: &Emitter,
+    w: &Workload,
+    stream: &[Sample],
+    reference: &ProfileDatabase,
+    spec: &str,
+) {
+    let plan = profileme_serve::FaultPlan::parse(spec).expect("PROFILEME_FAIL_SPEC parses");
+    for shards in [1usize, 4] {
+        let service = ShardedService::start_with_faults(
+            ProfileDatabase::new(&w.program, reference.interval()),
+            ServeConfig {
+                shards,
+                queue_depth: QUEUE_DEPTH,
+                ..ServeConfig::default()
+            },
+            plan.clone(),
+        )
+        .expect("service starts");
+        for batch in stream.chunks(BATCH) {
+            service.ingest_batch(batch.to_vec());
+        }
+        let (merged, stats) = service.shutdown().expect("chaos run drains");
+        assert_eq!(
+            merged.total_samples,
+            stats.enqueued - stats.lost_to_panics,
+            "{} at {shards} shard(s): loss accounting is inexact under `{spec}`",
+            w.name
+        );
+        if stats.lost() == 0 {
+            assert_eq!(
+                merged.snapshot_bytes().expect("snapshot serializes"),
+                reference.snapshot_bytes().expect("snapshot serializes"),
+                "{} at {shards} shard(s): lossless chaos run diverged under `{spec}`",
+                w.name
+            );
+        }
+        out.say(format!(
+            "{:>9} {:>7}: chaos `{spec}` — {} panic(s), {} recovered, {} lost, all accounted",
+            w.name,
+            format!("{shards}-shard"),
+            stats.worker_panics,
+            stats.workers_recovered,
+            stats.lost(),
+        ));
     }
 }
 
@@ -226,6 +287,14 @@ fn main() {
                 cell.best_seconds,
             ));
             cells.push(cell);
+        }
+        if let Ok(spec) = std::env::var("PROFILEME_FAIL_SPEC") {
+            #[cfg(feature = "fault-injection")]
+            chaos_smoke(&out, w, &stream, &reference, &spec);
+            #[cfg(not(feature = "fault-injection"))]
+            out.say(format!(
+                "PROFILEME_FAIL_SPEC=`{spec}` ignored: build with --features fault-injection"
+            ));
         }
         out.blank();
     }

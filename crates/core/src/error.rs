@@ -36,6 +36,32 @@ pub enum ProfileError {
         /// Which property disagreed.
         what: &'static str,
     },
+    /// A shard aggregator worker died and could not be recovered: it
+    /// panicked outside supervision, exhausted its recovery budget, or
+    /// failed to rebuild from its checkpoint.
+    WorkerCrashed {
+        /// Which shard's worker crashed.
+        shard: usize,
+    },
+    /// A deadline-bounded operation (`ingest_deadline`,
+    /// `snapshot_deadline`, `shutdown_deadline`) ran out of budget
+    /// before the service made the required progress.
+    DeadlineExceeded {
+        /// Which operation timed out.
+        what: &'static str,
+        /// The deadline that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// The service is (or was) running below full fidelity: the
+    /// overload controller downshifted, or samples were lost to drops,
+    /// thinning, shedding, or worker crashes.
+    Degraded {
+        /// The degradation level (0 = full fidelity, 1 = sampled,
+        /// 2 = shedding).
+        level: u8,
+        /// Samples lost across all lossy paths.
+        lost: u64,
+    },
 }
 
 impl ProfileError {
@@ -58,6 +84,15 @@ impl fmt::Display for ProfileError {
             ProfileError::Snapshot { reason } => write!(f, "profile snapshot failed: {reason}"),
             ProfileError::Mismatch { what } => {
                 write!(f, "databases are incompatible: {what} differs")
+            }
+            ProfileError::WorkerCrashed { shard } => {
+                write!(f, "shard {shard} worker crashed and was not recovered")
+            }
+            ProfileError::DeadlineExceeded { what, millis } => {
+                write!(f, "`{what}` exceeded its {millis} ms deadline")
+            }
+            ProfileError::Degraded { level, lost } => {
+                write!(f, "service degraded to level {level} ({lost} samples lost)")
             }
         }
     }
@@ -91,5 +126,14 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e = ProfileError::Mismatch { what: "interval" };
         assert!(e.to_string().contains("interval"));
+        let e = ProfileError::WorkerCrashed { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let e = ProfileError::DeadlineExceeded {
+            what: "snapshot",
+            millis: 250,
+        };
+        assert!(e.to_string().contains("snapshot") && e.to_string().contains("250"));
+        let e = ProfileError::Degraded { level: 2, lost: 41 };
+        assert!(e.to_string().contains("level 2") && e.to_string().contains("41"));
     }
 }

@@ -5,7 +5,8 @@
 //! handlers drain the sample buffer into per-CPU buffers, and a
 //! user-space daemon folds those streams into an on-disk database that
 //! tools query while collection keeps running. This crate reproduces
-//! that shape in-process:
+//! that shape in-process — and makes it survive the failures a
+//! long-running daemon actually sees:
 //!
 //! * [`ShardedService`] fans samples out to per-shard aggregator
 //!   threads behind [`BoundedQueue`]s (PC-hash sharding, backpressure
@@ -13,10 +14,23 @@
 //! * [`ShardedService::snapshot`] runs a drain→merge→snapshot cycle
 //!   whose result is **byte-identical for any shard count** — sample
 //!   aggregation is a per-PC sum, so sharding cannot change the answer;
-//! * `profileme-core`'s [`ProfileDatabase`]/[`PairProfileDatabase`]
-//!   grew `merge`/`top_n`/`delta_since`/snapshot APIs this service
-//!   builds on, so queries (top-N by any [`ProfileField`], per-PC
-//!   lookup, interval deltas) run against a plain merged database.
+//! * **supervision** ([`SuperviseConfig`]): workers run under
+//!   `catch_unwind` with a checkpoint + journal they rebuild from, so
+//!   a panicking worker is recovered in place — a transient panic
+//!   loses *nothing* (the snapshot stays byte-identical), and a
+//!   message that panics twice is dropped whole with exact accounting;
+//! * **deadlines**: [`ingest_deadline`](ShardedService::ingest_deadline),
+//!   [`snapshot_deadline`](ShardedService::snapshot_deadline), and
+//!   [`shutdown_deadline`](ShardedService::shutdown_deadline) never
+//!   block past their budget, even in front of a wedged worker;
+//! * **graceful degradation** ([`DegradeConfig`]): the adaptive ingest
+//!   path watches queue pressure and walks a Full → Sampled → Shed
+//!   ladder with hysteresis instead of letting overload take the
+//!   daemon down;
+//! * **deterministic fault injection** ([`FaultPlan`], behind the
+//!   `fault-injection` cargo feature): seedable panic/delay/stall
+//!   plans (`panic:shard=2:nth=3`) drive reproducible chaos tests of
+//!   all of the above.
 //!
 //! # Example
 //!
@@ -42,7 +56,7 @@
 //! assert_eq!(snap.merged.total_samples, run.db.total_samples);
 //! let _hottest = snap.merged.top_n(5, ProfileField::Samples);
 //! let (final_db, stats) = svc.shutdown()?;
-//! assert_eq!(stats.dropped, 0);
+//! assert_eq!(stats.lost(), 0);
 //! // Sharded aggregation is byte-identical to the direct database.
 //! assert_eq!(final_db.snapshot_bytes()?, run.db.snapshot_bytes()?);
 //! # Ok(())
@@ -56,18 +70,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degrade;
+pub mod faults;
 mod queue;
 mod service;
+mod supervise;
 
-pub use queue::{BoundedQueue, TryPushError};
+pub use degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
+pub use faults::FaultPlan;
+pub use queue::{BoundedQueue, PopTimeout, TryPushError};
 pub use service::{
     pc_shard, IngestStats, ServeConfig, ServeSnapshot, ShardAggregate, ShardedService,
 };
+pub use supervise::SuperviseConfig;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use profileme_core::{ProfileDatabase, ProfileError, ProfileMeConfig, Session};
+    use std::time::Duration;
 
     fn sample_run() -> (profileme_core::SingleRun, profileme_isa::Program) {
         let w = profileme_workloads::ijpeg(400);
@@ -101,6 +122,23 @@ mod tests {
                 ..
             }
         ));
+        // Invalid nested configs are rejected too.
+        let bad = ServeConfig {
+            supervise: SuperviseConfig {
+                checkpoint_every: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ServeConfig {
+            degrade: DegradeConfig {
+                thin_k: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -112,6 +150,7 @@ mod tests {
                 ServeConfig {
                     shards,
                     queue_depth: 4,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -122,6 +161,7 @@ mod tests {
             assert_eq!(snap.seq, 1);
             assert_eq!(snap.stats.enqueued, run.samples.len() as u64);
             assert_eq!(snap.stats.dropped, 0);
+            assert_eq!(snap.stats.lost(), 0);
             let (final_db, _) = svc.shutdown().unwrap();
             assert_eq!(
                 final_db.snapshot_bytes().unwrap(),
@@ -167,16 +207,13 @@ mod tests {
 
     #[test]
     fn offer_counts_drops_when_full() {
-        // One shard, tiny queue, and the worker is kept busy by never
-        // being started... we can't pause the worker, so instead fill
-        // faster than it can drain is racy. Use the closed path: after
-        // shutdown-close the offer must fail deterministically.
         let (run, program) = sample_run();
         let svc = ShardedService::start(
             ProfileDatabase::new(&program, run.db.interval()),
             ServeConfig {
                 shards: 1,
                 queue_depth: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -193,8 +230,98 @@ mod tests {
         assert_eq!(stats.enqueued, accepted);
         assert_eq!(stats.dropped, dropped);
         assert_eq!(accepted + dropped, run.samples.len() as u64);
+        if dropped > 0 {
+            // Losses must flip the fidelity self-check.
+            assert!(matches!(
+                svc.check_full_fidelity(),
+                Err(ProfileError::Degraded { level: 0, lost }) if lost == dropped
+            ));
+        }
         let (final_db, _) = svc.shutdown().unwrap();
         assert_eq!(final_db.total_samples, accepted);
+    }
+
+    #[test]
+    fn offer_with_retry_counts_retries_and_never_miscounts() {
+        let (run, program) = sample_run();
+        let svc = ShardedService::start(
+            ProfileDatabase::new(&program, run.db.interval()),
+            ServeConfig {
+                shards: 1,
+                queue_depth: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut accepted = 0u64;
+        for s in &run.samples {
+            if svc.offer_with_retry(s.clone(), &policy) {
+                accepted += 1;
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.enqueued, accepted);
+        assert_eq!(stats.enqueued + stats.dropped, run.samples.len() as u64);
+        let (final_db, _) = svc.shutdown().unwrap();
+        assert_eq!(final_db.total_samples, accepted);
+    }
+
+    #[test]
+    fn deadline_paths_succeed_on_a_healthy_service() {
+        let (run, program) = sample_run();
+        let svc = ShardedService::start(
+            ProfileDatabase::new(&program, run.db.interval()),
+            ServeConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.ingest_deadline(run.samples.clone(), Duration::from_secs(30))
+            .unwrap();
+        let snap = svc.snapshot_deadline(Duration::from_secs(30)).unwrap();
+        assert_eq!(snap.merged.total_samples, run.samples.len() as u64);
+        assert_eq!(snap.stats.deadline_misses, 0);
+        svc.check_full_fidelity().unwrap();
+        let (final_db, stats) = svc.shutdown_deadline(Duration::from_secs(30)).unwrap();
+        assert_eq!(stats.lost(), 0);
+        assert_eq!(
+            final_db.snapshot_bytes().unwrap(),
+            run.db.snapshot_bytes().unwrap()
+        );
+    }
+
+    #[test]
+    fn adaptive_ingest_is_lossless_at_full_fidelity() {
+        let (run, program) = sample_run();
+        let svc = ShardedService::start(
+            ProfileDatabase::new(&program, run.db.interval()),
+            ServeConfig {
+                shards: 2,
+                queue_depth: 1024,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Generous queues: pressure never reaches the high-water mark,
+        // so the ladder stays at Full and nothing is thinned or shed.
+        for chunk in run.samples.chunks(64) {
+            let level = svc.ingest_adaptive(chunk.to_vec());
+            assert_eq!(level, DegradeLevel::Full);
+        }
+        let (final_db, stats) = svc.shutdown().unwrap();
+        assert_eq!(stats.degrade_level, 0);
+        assert_eq!((stats.thinned, stats.shed, stats.lost()), (0, 0, 0));
+        assert_eq!(stats.thin_scale, DegradeConfig::default().thin_k);
+        assert_eq!(
+            final_db.snapshot_bytes().unwrap(),
+            run.db.snapshot_bytes().unwrap()
+        );
     }
 
     #[test]
@@ -206,6 +333,7 @@ mod tests {
                 ServeConfig {
                     shards: 4,
                     queue_depth: 2,
+                    ..Default::default()
                 },
             )
             .unwrap(),

@@ -5,9 +5,24 @@
 //! the bench engine's fan-out follows — so the service runs in this
 //! offline workspace. Tracks its own high-water mark, which is the
 //! queue-depth statistic the ingest layer reports.
+//!
+//! # Robustness
+//!
+//! Every lock acquisition recovers from mutex poisoning
+//! ([`PoisonError::into_inner`]): the queue state is a plain
+//! `VecDeque` plus two flags, which no panic can leave half-updated,
+//! so a producer or consumer that dies while holding the lock must not
+//! wedge every other thread. The timeout-aware [`push_timeout`] and
+//! [`pop_timeout`] variants (`Condvar::wait_timeout`) bound how long
+//! any caller can block, which is what the service's
+//! `ingest_deadline`/`snapshot_deadline` paths build on.
+//!
+//! [`push_timeout`]: BoundedQueue::push_timeout
+//! [`pop_timeout`]: BoundedQueue::pop_timeout
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The outcome of a non-blocking push.
 #[derive(Debug)]
@@ -16,6 +31,17 @@ pub enum TryPushError<T> {
     Full(T),
     /// The queue was closed; the item is handed back.
     Closed(T),
+}
+
+/// The outcome of a [`BoundedQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopTimeout<T> {
+    /// An item arrived within the deadline.
+    Item(T),
+    /// The deadline passed with the queue still empty (and open).
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
 }
 
 #[derive(Debug)]
@@ -50,12 +76,22 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Locks the state, recovering from poisoning: a panicking peer
+    /// never leaves the `VecDeque` itself inconsistent, so the lock
+    /// stays usable for everyone else.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Blocking push: waits while the queue is full. Returns the item
     /// back if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock();
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
             return Err(item);
@@ -67,10 +103,44 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Deadline-bounded push: waits at most `timeout` for space.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] if the deadline passed with the queue
+    /// still full, [`TryPushError::Closed`] if the queue was closed;
+    /// the item is handed back either way.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), TryPushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TryPushError::Full(item));
+            }
+            let (guard, wait) = self
+                .not_full
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if wait.timed_out() && state.items.len() >= self.capacity && !state.closed {
+                return Err(TryPushError::Full(item));
+            }
+        }
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Non-blocking push: fails immediately when full or closed. The
     /// lossy (`offer`) ingest path uses this and counts the rejections.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock();
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -88,7 +158,7 @@ impl<T> BoundedQueue<T> {
     /// only once the queue is closed *and* drained, so no accepted item
     /// is ever lost.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -98,25 +168,63 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Deadline-bounded pop: waits at most `timeout` for an item.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return PopTimeout::Item(item);
+            }
+            if state.closed {
+                return PopTimeout::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return PopTimeout::TimedOut;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
         }
     }
 
     /// Closes the queue: further pushes fail, pops drain what remains.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
+    /// Whether [`close`](BoundedQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The deepest the queue has ever been.
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("queue poisoned").high_water
+        self.lock().high_water
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -138,6 +246,7 @@ mod tests {
         }
         assert_eq!(q.len(), 4);
         assert_eq!(q.high_water(), 4);
+        assert_eq!(q.capacity(), 4);
         assert_eq!(
             (q.pop(), q.pop(), q.pop(), q.pop()),
             (Some(0), Some(1), Some(2), Some(3))
@@ -185,6 +294,71 @@ mod tests {
         q.close();
         assert_eq!(popper.join().unwrap(), None);
         assert!(q.is_empty());
+        assert!(q.is_closed());
         assert_eq!(q.push(7), Err(7));
+    }
+
+    #[test]
+    fn push_timeout_bounds_the_wait_and_hands_the_item_back() {
+        let q = BoundedQueue::new(1);
+        q.push(1u64).unwrap();
+        let start = Instant::now();
+        let err = q.push_timeout(2, Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, TryPushError::Full(2)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert!(start.elapsed() < Duration::from_secs(5), "wait is bounded");
+        // With space available, the deadline path accepts immediately.
+        assert_eq!(q.pop(), Some(1));
+        q.push_timeout(3, Duration::from_millis(30)).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push_timeout(4, Duration::from_millis(30)),
+            Err(TryPushError::Closed(4))
+        ));
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q = BoundedQueue::<u64>::new(2);
+        let start = Instant::now();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(20)),
+            PopTimeout::TimedOut
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        q.push(9).unwrap();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(20)),
+            PopTimeout::Item(9)
+        );
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(20)), PopTimeout::Closed);
+    }
+
+    /// Regression: a thread that panics while holding the queue lock
+    /// poisons the mutex; every operation must recover instead of
+    /// wedging all other producers and consumers.
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(1u64).unwrap();
+        let q2 = Arc::clone(&q);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("poison the queue mutex");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(q.state.is_poisoned(), "the panic did poison the lock");
+        // Every entry point still works.
+        q.push(2).unwrap();
+        q.try_push(3).unwrap_err(); // full, not wedged
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopTimeout::Item(2));
+        q.push_timeout(4, Duration::from_millis(5)).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
     }
 }

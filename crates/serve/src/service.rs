@@ -16,28 +16,36 @@
 //!    one thread, and addition of the per-PC sums is order-insensitive
 //!    anyway.
 //!
-//! The only lossy path is [`ShardedService::offer`], which drops
-//! instead of blocking when a queue is full; drops are counted in
-//! [`IngestStats`] and the determinism invariant is stated only for
-//! the lossless [`ingest`](ShardedService::ingest)/
-//! [`ingest_batch`](ShardedService::ingest_batch) paths.
+//! Supervision (see [`supervise`](crate::supervise)) preserves the
+//! invariant across worker panics: whenever
+//! [`IngestStats::lost`] is zero, the recovered snapshot is still
+//! byte-identical to direct aggregation; when samples *were* lost —
+//! via the lossy [`offer`](ShardedService::offer) path, deadline
+//! expiry, degradation, or a twice-panicking message — every loss is
+//! counted exactly, per class, in [`IngestStats`].
 //!
 //! [`ProfileDatabase::add`]: profileme_core::ProfileDatabase::add
 
+use crate::degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
+use crate::faults::ActiveFaults;
 use crate::queue::{BoundedQueue, TryPushError};
+use crate::supervise::{run_worker, Msg, ShardCounters, SuperviseConfig, Work, WorkerCtx};
 use profileme_core::{PairProfileDatabase, PairedSample, ProfileDatabase, ProfileError, Sample};
 use profileme_isa::Pc;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Anything the service can shard and aggregate: an empty accumulator
 /// that absorbs items one at a time and merges with its peers.
 ///
 /// Implementations must make `absorb` a commutative, associative
 /// accumulation (sums, maxes over disjoint keys, …) for the service's
-/// shard-count-independence invariant to hold.
+/// shard-count-independence invariant to hold, and the checkpoint
+/// round-trip must be exact (`from_checkpoint_bytes(checkpoint_bytes(x))`
+/// behaves identically to `x`) for crash recovery to preserve it.
 pub trait ShardAggregate: Clone + Send + 'static {
     /// The streamed item.
     type Item: Send + 'static;
@@ -57,6 +65,22 @@ pub trait ShardAggregate: Clone + Send + 'static {
     /// Which of `shards` queues the item routes to. Must be a pure
     /// function of the item, `< shards`.
     fn shard_of(item: &Self::Item, shards: usize) -> usize;
+
+    /// Serializes the accumulator for crash-recovery checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    fn checkpoint_bytes(&self) -> Result<Vec<u8>, ProfileError>;
+
+    /// Rebuilds an accumulator from [`checkpoint_bytes`] output.
+    ///
+    /// [`checkpoint_bytes`]: ShardAggregate::checkpoint_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, ProfileError>;
 }
 
 /// PC-hash sharding: spread nearby PCs across shards via a Fibonacci
@@ -86,6 +110,14 @@ impl ShardAggregate for ProfileDatabase {
         // Empty selections carry no PC; give them a fixed home.
         item.record.as_ref().map_or(0, |r| pc_shard(r.pc, shards))
     }
+
+    fn checkpoint_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        self.snapshot_bytes()
+    }
+
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
+        ProfileDatabase::from_snapshot_bytes(bytes)
+    }
 }
 
 impl ShardAggregate for PairProfileDatabase {
@@ -108,6 +140,14 @@ impl ShardAggregate for PairProfileDatabase {
             .or(item.second.record.as_ref())
             .map_or(0, |r| pc_shard(r.pc, shards))
     }
+
+    fn checkpoint_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        self.snapshot_bytes()
+    }
+
+    fn from_checkpoint_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
+        PairProfileDatabase::from_snapshot_bytes(bytes)
+    }
 }
 
 /// Configuration of the sharded ingest layer.
@@ -118,6 +158,10 @@ pub struct ServeConfig {
     /// Bounded-queue capacity per shard, in *messages* (a batch counts
     /// as one message, mirroring one buffered-interrupt delivery).
     pub queue_depth: usize,
+    /// Worker supervision: panic recovery via checkpoint + journal.
+    pub supervise: SuperviseConfig,
+    /// Overload degradation ladder for the adaptive ingest path.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +169,8 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 4,
             queue_depth: 64,
+            supervise: SuperviseConfig::default(),
+            degrade: DegradeConfig::default(),
         }
     }
 }
@@ -134,7 +180,8 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Rejects zero shards or a zero queue depth.
+    /// Rejects zero shards, a zero queue depth, or invalid supervision
+    /// or degradation settings.
     pub fn validate(&self) -> Result<(), ProfileError> {
         if self.shards == 0 {
             return Err(ProfileError::config("shards", "must be at least 1 (got 0)"));
@@ -145,24 +192,70 @@ impl ServeConfig {
                 "must be at least 1 (got 0)",
             ));
         }
-        Ok(())
+        self.supervise.validate()?;
+        self.degrade.validate()
     }
 }
 
-/// Backpressure and throughput accounting for the ingest layer.
+/// Backpressure, fault, and degradation accounting for the ingest
+/// layer. All counters are cumulative since service start.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct IngestStats {
     /// Aggregator shards.
     pub shards: usize,
     /// Items accepted onto shard queues.
     pub enqueued: u64,
-    /// Items rejected by the lossy [`offer`](ShardedService::offer)
-    /// path because a queue was full.
+    /// Items that never reached an aggregator: lossy
+    /// [`offer`](ShardedService::offer) rejections, pushes onto a
+    /// crashed shard's closed queue, items abandoned when an
+    /// [`ingest_deadline`](ShardedService::ingest_deadline) expired,
+    /// and items left behind in a crashed shard's queue.
     pub dropped: u64,
+    /// Backoff retries taken by
+    /// [`offer_with_retry`](ShardedService::offer_with_retry).
+    pub retried: u64,
     /// Deepest any shard queue has been, in messages.
     pub high_water: usize,
     /// Snapshot cycles served so far.
     pub snapshots: u64,
+    /// Worker panics caught by supervision (plus any that killed an
+    /// unsupervised worker).
+    pub worker_panics: u64,
+    /// Successful worker recoveries (checkpoint + journal rebuilds).
+    pub workers_recovered: u64,
+    /// Items absorbed into a worker state that was then lost to a
+    /// twice-panicking message.
+    pub lost_to_panics: u64,
+    /// Checkpoints taken across all shards.
+    pub checkpoints: u64,
+    /// Current degradation ladder position (0 = full fidelity,
+    /// 1 = sampled, 2 = shedding).
+    pub degrade_level: u8,
+    /// Ladder downshifts so far.
+    pub downshifts: u64,
+    /// Ladder upshifts so far.
+    pub upshifts: u64,
+    /// Items discarded by deterministic 1-in-k thinning at the
+    /// `Sampled` level.
+    pub thinned: u64,
+    /// The thinning scale factor k: during `Sampled` intervals the
+    /// aggregated counts represent roughly k× the usual weight (the
+    /// paper's sampling-period reasoning — record the period, scale
+    /// the estimate).
+    pub thin_scale: u64,
+    /// Items dropped whole at the `Shed` level.
+    pub shed: u64,
+    /// Deadline-bounded calls that ran out of budget.
+    pub deadline_misses: u64,
+}
+
+impl IngestStats {
+    /// Total items lost across every lossy path. Whenever this is
+    /// zero, the merged snapshot is byte-identical to direct
+    /// single-threaded aggregation.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.lost_to_panics + self.thinned + self.shed
+    }
 }
 
 /// A merged point-in-time view of the whole service.
@@ -176,35 +269,54 @@ pub struct ServeSnapshot<A> {
     pub stats: IngestStats,
 }
 
-enum Msg<A: ShardAggregate> {
-    One(A::Item),
-    Batch(Vec<A::Item>),
-    /// Barrier: everything enqueued to this shard before it is
-    /// aggregated before the reply is sent.
-    Snapshot(mpsc::Sender<A>),
-}
-
 struct Shard<A: ShardAggregate> {
     queue: Arc<BoundedQueue<Msg<A>>>,
-    worker: Option<JoinHandle<A>>,
-    enqueued: AtomicU64,
-    dropped: AtomicU64,
+    worker: Option<JoinHandle<()>>,
+    /// Receives the worker's final accumulator: a reapable result with
+    /// a bounded wait, unlike `JoinHandle::join`. Behind a `Mutex` only
+    /// because `mpsc::Receiver` is `!Sync` and the service is shared;
+    /// it is touched solely at shutdown/drop.
+    done: Mutex<mpsc::Receiver<A>>,
+    counters: Arc<ShardCounters>,
 }
 
 impl<A: ShardAggregate> Shard<A> {
     fn accept(&self, items: u64) {
-        self.enqueued.fetch_add(items, Ordering::Relaxed);
+        self.counters.enqueued.fetch_add(items, Ordering::Relaxed);
+    }
+
+    fn drop_items(&self, items: u64) {
+        self.counters.dropped.fetch_add(items, Ordering::Relaxed);
+    }
+
+    fn fill_pct(&self) -> u8 {
+        (self.queue.len() * 100 / self.queue.capacity().max(1)).min(100) as u8
+    }
+
+    /// Waits (optionally bounded) for the worker's final accumulator.
+    fn reap(&self, timeout: Option<Duration>) -> Result<A, mpsc::RecvTimeoutError> {
+        let done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        match timeout {
+            None => done
+                .recv()
+                .map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            Some(t) => done.recv_timeout(t),
+        }
     }
 }
 
 /// The sharded profile-aggregation service: samples in, snapshots out,
-/// collection never stops.
+/// collection never stops — and, supervised, it survives its own
+/// workers panicking.
 ///
 /// See the [module docs](self) for the determinism invariant and the
 /// crate docs for a worked example.
 pub struct ShardedService<A: ShardAggregate> {
     shards: Vec<Shard<A>>,
     snapshots: AtomicU64,
+    deadline_misses: AtomicU64,
+    degrade: OverloadController,
+    faults: Option<Arc<ActiveFaults>>,
 }
 
 impl<A: ShardAggregate> ShardedService<A> {
@@ -215,35 +327,61 @@ impl<A: ShardAggregate> ShardedService<A> {
     ///
     /// Returns [`ProfileError::Config`] for an invalid `config`.
     pub fn start(empty: A, config: ServeConfig) -> Result<ShardedService<A>, ProfileError> {
+        ShardedService::start_inner(empty, config, None)
+    }
+
+    /// Starts the service with a deterministic [`FaultPlan`] injected
+    /// into every worker — the reproducible-chaos entry point.
+    ///
+    /// [`FaultPlan`]: crate::faults::FaultPlan
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Config`] for an invalid `config`.
+    #[cfg(feature = "fault-injection")]
+    pub fn start_with_faults(
+        empty: A,
+        config: ServeConfig,
+        plan: crate::faults::FaultPlan,
+    ) -> Result<ShardedService<A>, ProfileError> {
+        let faults = (!plan.is_empty()).then(|| Arc::new(plan.activate(config.shards)));
+        ShardedService::start_inner(empty, config, faults)
+    }
+
+    fn start_inner(
+        empty: A,
+        config: ServeConfig,
+        faults: Option<Arc<ActiveFaults>>,
+    ) -> Result<ShardedService<A>, ProfileError> {
         config.validate()?;
         let shards = (0..config.shards)
-            .map(|_| {
+            .map(|shard| {
                 let queue = Arc::new(BoundedQueue::new(config.queue_depth));
-                let q = Arc::clone(&queue);
-                let mut acc = empty.clone();
-                let worker = std::thread::spawn(move || {
-                    while let Some(msg) = q.pop() {
-                        match msg {
-                            Msg::One(item) => acc.absorb(&item),
-                            Msg::Batch(items) => items.iter().for_each(|i| acc.absorb(i)),
-                            // A dropped receiver just means the
-                            // snapshot caller went away.
-                            Msg::Snapshot(tx) => drop(tx.send(acc.clone())),
-                        }
-                    }
-                    acc
-                });
+                let counters = Arc::new(ShardCounters::default());
+                let (done_tx, done_rx) = mpsc::channel();
+                let ctx = WorkerCtx {
+                    shard,
+                    queue: Arc::clone(&queue),
+                    empty: empty.clone(),
+                    cfg: config.supervise,
+                    counters: Arc::clone(&counters),
+                    done: done_tx,
+                    faults: faults.clone(),
+                };
                 Shard {
                     queue,
-                    worker: Some(worker),
-                    enqueued: AtomicU64::new(0),
-                    dropped: AtomicU64::new(0),
+                    worker: Some(std::thread::spawn(move || run_worker(ctx))),
+                    done: Mutex::new(done_rx),
+                    counters,
                 }
             })
             .collect();
         Ok(ShardedService {
             shards,
             snapshots: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            degrade: OverloadController::new(config.degrade),
+            faults,
         })
     }
 
@@ -253,11 +391,13 @@ impl<A: ShardAggregate> ShardedService<A> {
     }
 
     /// Lossless ingest of one item: blocks while the target shard's
-    /// queue is full (backpressure).
+    /// queue is full (backpressure). An item bound for a crashed
+    /// shard's closed queue is counted as dropped.
     pub fn ingest(&self, item: A::Item) {
         let shard = &self.shards[A::shard_of(&item, self.shards.len())];
-        if shard.queue.push(Msg::One(item)).is_ok() {
-            shard.accept(1);
+        match shard.queue.push(Msg::Work(Work::One(item))) {
+            Ok(()) => shard.accept(1),
+            Err(_) => shard.drop_items(1),
         }
     }
 
@@ -266,16 +406,49 @@ impl<A: ShardAggregate> ShardedService<A> {
     /// load-shedding path a real daemon uses under overload.
     pub fn offer(&self, item: A::Item) -> bool {
         let shard = &self.shards[A::shard_of(&item, self.shards.len())];
-        match shard.queue.try_push(Msg::One(item)) {
+        match shard.queue.try_push(Msg::Work(Work::One(item))) {
             Ok(()) => {
                 shard.accept(1);
                 true
             }
             Err(TryPushError::Full(_) | TryPushError::Closed(_)) => {
-                shard.dropped.fetch_add(1, Ordering::Relaxed);
+                shard.drop_items(1);
                 false
             }
         }
+    }
+
+    /// [`offer`](ShardedService::offer) with jittered
+    /// exponential-backoff retries: on a full queue, sleep per
+    /// `policy` and try again, up to `policy.max_retries` times, then
+    /// drop with accounting. Retries are counted per shard in
+    /// [`IngestStats::retried`].
+    pub fn offer_with_retry(&self, item: A::Item, policy: &RetryPolicy) -> bool {
+        let shard_idx = A::shard_of(&item, self.shards.len());
+        let shard = &self.shards[shard_idx];
+        let mut msg = Msg::Work(Work::One(item));
+        for attempt in 0..=policy.max_retries {
+            match shard.queue.try_push(msg) {
+                Ok(()) => {
+                    shard.accept(1);
+                    return true;
+                }
+                Err(TryPushError::Closed(_)) => {
+                    shard.drop_items(1);
+                    return false;
+                }
+                Err(TryPushError::Full(returned)) => {
+                    if attempt == policy.max_retries {
+                        shard.drop_items(1);
+                        return false;
+                    }
+                    msg = returned;
+                    shard.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt, shard_idx as u64));
+                }
+            }
+        }
+        unreachable!("the loop returns on success, close, or final retry");
     }
 
     /// Lossless batched ingest: routes each item to its shard, then
@@ -289,24 +462,118 @@ impl<A: ShardAggregate> ShardedService<A> {
         }
         if n == 1 {
             let count = items.len() as u64;
-            if self.shards[0].queue.push(Msg::Batch(items)).is_ok() {
-                self.shards[0].accept(count);
+            match self.shards[0].queue.push(Msg::Work(Work::Batch(items))) {
+                Ok(()) => self.shards[0].accept(count),
+                Err(_) => self.shards[0].drop_items(count),
             }
             return;
         }
-        let mut per_shard: Vec<Vec<A::Item>> = (0..n).map(|_| Vec::new()).collect();
-        for item in items {
-            per_shard[A::shard_of(&item, n)].push(item);
-        }
-        for (shard, batch) in self.shards.iter().zip(per_shard) {
+        for (shard, batch) in self.shards.iter().zip(self.route(items)) {
             if batch.is_empty() {
                 continue;
             }
             let count = batch.len() as u64;
-            if shard.queue.push(Msg::Batch(batch)).is_ok() {
-                shard.accept(count);
+            match shard.queue.push(Msg::Work(Work::Batch(batch))) {
+                Ok(()) => shard.accept(count),
+                Err(_) => shard.drop_items(count),
             }
         }
+    }
+
+    /// Deadline-bounded batched ingest: like
+    /// [`ingest_batch`](ShardedService::ingest_batch), but never
+    /// blocks past `timeout` in total. Items that could not be
+    /// enqueued within the budget are dropped with accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::DeadlineExceeded`] if the budget ran
+    /// out; the un-enqueued remainder is counted in
+    /// [`IngestStats::dropped`].
+    pub fn ingest_deadline(
+        &self,
+        items: Vec<A::Item>,
+        timeout: Duration,
+    ) -> Result<(), ProfileError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut expired = false;
+        let batches: Vec<Vec<A::Item>> = if self.shards.len() == 1 {
+            vec![items]
+        } else {
+            self.route(items)
+        };
+        for (shard, batch) in self.shards.iter().zip(batches) {
+            if batch.is_empty() {
+                continue;
+            }
+            let count = batch.len() as u64;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if expired || remaining.is_zero() {
+                expired = true;
+                shard.drop_items(count);
+                continue;
+            }
+            match shard
+                .queue
+                .push_timeout(Msg::Work(Work::Batch(batch)), remaining)
+            {
+                Ok(()) => shard.accept(count),
+                Err(TryPushError::Full(_)) => {
+                    expired = true;
+                    shard.drop_items(count);
+                }
+                Err(TryPushError::Closed(_)) => shard.drop_items(count),
+            }
+        }
+        if expired {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            return Err(ProfileError::DeadlineExceeded {
+                what: "ingest",
+                millis: timeout.as_millis() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adaptive ingest under the overload controller: observes queue
+    /// pressure, then delivers the batch at the resulting
+    /// [`DegradeLevel`] — in full, thinned 1-in-k with the scale
+    /// factor recorded, or shed whole with accounting. Returns the
+    /// level that was applied.
+    pub fn ingest_adaptive(&self, items: Vec<A::Item>) -> DegradeLevel {
+        let fill = self.shards.iter().map(Shard::fill_pct).max().unwrap_or(0);
+        let level = self.degrade.observe(fill);
+        match level {
+            DegradeLevel::Full => self.ingest_batch(items),
+            DegradeLevel::Sampled => {
+                let k = self.degrade.config().thin_k as usize;
+                let before = items.len();
+                // Deterministic 1-in-k thinning: keep every k-th item
+                // by stream position, independent of thread timing.
+                let kept: Vec<A::Item> = items
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, item)| (i % k == 0).then_some(item))
+                    .collect();
+                self.degrade.count_thinned((before - kept.len()) as u64);
+                self.ingest_batch(kept);
+            }
+            DegradeLevel::Shed => self.degrade.count_shed(items.len() as u64),
+        }
+        level
+    }
+
+    /// Routes items to per-shard batches (shard-index order).
+    fn route(&self, items: Vec<A::Item>) -> Vec<Vec<A::Item>> {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<A::Item>> = (0..n).map(|_| Vec::new()).collect();
+        for item in items {
+            per_shard[A::shard_of(&item, n)].push(item);
+        }
+        per_shard
     }
 
     /// One drain→merge→snapshot cycle: a barrier message per shard
@@ -316,25 +583,24 @@ impl<A: ShardAggregate> ShardedService<A> {
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError::Snapshot`] if a shard worker died, or
+    /// Returns [`ProfileError::WorkerCrashed`] if a shard worker died,
+    /// [`ProfileError::Snapshot`] if the service is shut down, or
     /// [`ProfileError::Mismatch`] if shard aggregates disagree (which
     /// would indicate a bug in the `empty` prototype).
     pub fn snapshot(&self) -> Result<ServeSnapshot<A>, ProfileError> {
         let mut pending = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
             let (tx, rx) = mpsc::channel();
             if shard.queue.push(Msg::Snapshot(tx)).is_err() {
-                return Err(ProfileError::Snapshot {
-                    reason: "service is shut down".into(),
-                });
+                return Err(self.shard_closed_error(i));
             }
             pending.push(rx);
         }
         let mut merged: Option<A> = None;
-        for rx in pending {
-            let part = rx.recv().map_err(|_| ProfileError::Snapshot {
-                reason: "a shard worker died before replying".into(),
-            })?;
+        for (i, rx) in pending.into_iter().enumerate() {
+            let part = rx
+                .recv()
+                .map_err(|_| ProfileError::WorkerCrashed { shard: i })?;
             match &mut merged {
                 None => merged = Some(part),
                 Some(m) => m.merge(&part)?,
@@ -348,20 +614,83 @@ impl<A: ShardAggregate> ShardedService<A> {
         })
     }
 
-    /// Current backpressure accounting across all shards.
+    /// [`snapshot`](ShardedService::snapshot) that never blocks past
+    /// `timeout` in total — neither enqueueing the barriers (a full
+    /// queue in front of a stalled worker) nor awaiting the replies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::DeadlineExceeded`] on budget expiry,
+    /// otherwise as [`snapshot`](ShardedService::snapshot).
+    pub fn snapshot_deadline(&self, timeout: Duration) -> Result<ServeSnapshot<A>, ProfileError> {
+        let deadline = Instant::now() + timeout;
+        let miss = |me: &Self, what| {
+            me.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            ProfileError::DeadlineExceeded {
+                what,
+                millis: timeout.as_millis() as u64,
+            }
+        };
+        let mut pending = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match shard.queue.push_timeout(Msg::Snapshot(tx), remaining) {
+                Ok(()) => pending.push(rx),
+                Err(TryPushError::Full(_)) => return Err(miss(self, "snapshot")),
+                Err(TryPushError::Closed(_)) => return Err(self.shard_closed_error(i)),
+            }
+        }
+        let mut merged: Option<A> = None;
+        for (i, rx) in pending.into_iter().enumerate() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let part = match rx.recv_timeout(remaining) {
+                Ok(part) => part,
+                Err(mpsc::RecvTimeoutError::Timeout) => return Err(miss(self, "snapshot")),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ProfileError::WorkerCrashed { shard: i })
+                }
+            };
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => m.merge(&part)?,
+            }
+        }
+        let seq = self.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(ServeSnapshot {
+            merged: merged.expect("at least one shard"),
+            seq,
+            stats: self.stats(),
+        })
+    }
+
+    /// The error for a closed shard queue: `WorkerCrashed` if the
+    /// worker gave up, otherwise the service is shut down.
+    fn shard_closed_error(&self, shard: usize) -> ProfileError {
+        if self.shards[shard].counters.crashed.load(Ordering::Acquire) {
+            ProfileError::WorkerCrashed { shard }
+        } else {
+            ProfileError::Snapshot {
+                reason: "service is shut down".into(),
+            }
+        }
+    }
+
+    /// Current backpressure, fault, and degradation accounting across
+    /// all shards.
     pub fn stats(&self) -> IngestStats {
+        let sum = |f: &dyn Fn(&ShardCounters) -> &AtomicU64| -> u64 {
+            self.shards
+                .iter()
+                .map(|s| f(&s.counters).load(Ordering::Relaxed))
+                .sum()
+        };
+        let (downshifts, upshifts, thinned, shed) = self.degrade.counters();
         IngestStats {
             shards: self.shards.len(),
-            enqueued: self
-                .shards
-                .iter()
-                .map(|s| s.enqueued.load(Ordering::Relaxed))
-                .sum(),
-            dropped: self
-                .shards
-                .iter()
-                .map(|s| s.dropped.load(Ordering::Relaxed))
-                .sum(),
+            enqueued: sum(&|c| &c.enqueued),
+            dropped: sum(&|c| &c.dropped),
+            retried: sum(&|c| &c.retried),
             high_water: self
                 .shards
                 .iter()
@@ -369,31 +698,99 @@ impl<A: ShardAggregate> ShardedService<A> {
                 .max()
                 .unwrap_or(0),
             snapshots: self.snapshots.load(Ordering::Relaxed),
+            worker_panics: sum(&|c| &c.panics),
+            workers_recovered: sum(&|c| &c.recoveries),
+            lost_to_panics: sum(&|c| &c.lost_to_panics),
+            checkpoints: sum(&|c| &c.checkpoints),
+            degrade_level: self.degrade.level().as_u8(),
+            downshifts,
+            upshifts,
+            thinned,
+            thin_scale: self.degrade.config().thin_k,
+            shed,
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Closes every queue, drains the workers, and returns the final
-    /// merged aggregate plus the final accounting.
+    /// Self-check for downstream gating: `Ok` only while the service
+    /// is at full fidelity with zero losses of any class.
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError::Snapshot`] if a shard worker panicked.
-    pub fn shutdown(mut self) -> Result<(A, IngestStats), ProfileError> {
+    /// Returns [`ProfileError::Degraded`] carrying the current ladder
+    /// level and the exact loss count.
+    pub fn check_full_fidelity(&self) -> Result<(), ProfileError> {
+        let stats = self.stats();
+        if stats.degrade_level != 0 || stats.lost() > 0 {
+            return Err(ProfileError::Degraded {
+                level: stats.degrade_level,
+                lost: stats.lost(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Closes every queue, drains the workers, and returns the final
+    /// merged aggregate plus the final accounting. Blocks until every
+    /// worker drains; use
+    /// [`shutdown_deadline`](ShardedService::shutdown_deadline) when a
+    /// worker might be stuck.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::WorkerCrashed`] if a shard worker died
+    /// without delivering its aggregate.
+    pub fn shutdown(self) -> Result<(A, IngestStats), ProfileError> {
+        self.shutdown_impl(None)
+    }
+
+    /// [`shutdown`](ShardedService::shutdown) with a bound: waits at
+    /// most `timeout` in total for the workers to drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::DeadlineExceeded`] if a worker did not
+    /// drain in time (its thread is left to the bounded `Drop` reaper),
+    /// or [`ProfileError::WorkerCrashed`] if one died.
+    pub fn shutdown_deadline(self, timeout: Duration) -> Result<(A, IngestStats), ProfileError> {
+        self.shutdown_impl(Some(timeout))
+    }
+
+    fn shutdown_impl(
+        mut self,
+        timeout: Option<Duration>,
+    ) -> Result<(A, IngestStats), ProfileError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         for shard in &self.shards {
             shard.queue.close();
         }
-        let stats = self.stats();
         let mut merged: Option<A> = None;
-        for shard in &mut self.shards {
-            let worker = shard.worker.take().expect("worker joined once");
-            let part = worker.join().map_err(|_| ProfileError::Snapshot {
-                reason: "a shard worker panicked".into(),
-            })?;
+        for i in 0..self.shards.len() {
+            let remaining =
+                deadline.map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            let part = match self.shards[i].reap(remaining) {
+                Ok(part) => part,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    return Err(ProfileError::DeadlineExceeded {
+                        what: "shutdown",
+                        millis: timeout.expect("deadline implies timeout").as_millis() as u64,
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ProfileError::WorkerCrashed { shard: i })
+                }
+            };
+            // The worker has delivered; its thread is exiting.
+            if let Some(worker) = self.shards[i].worker.take() {
+                drop(worker.join());
+            }
             match &mut merged {
                 None => merged = Some(part),
                 Some(m) => m.merge(&part)?,
             }
         }
+        let stats = self.stats();
         Ok((merged.expect("at least one shard"), stats))
     }
 }
@@ -401,13 +798,23 @@ impl<A: ShardAggregate> ShardedService<A> {
 impl<A: ShardAggregate> Drop for ShardedService<A> {
     fn drop(&mut self) {
         // `shutdown` leaves no workers; a plain drop still unblocks and
-        // reaps them so tests that forget to shut down don't hang.
+        // reaps them — with a bounded wait, so a stuck worker detaches
+        // instead of hanging the dropping thread forever.
+        if let Some(faults) = &self.faults {
+            faults.release_stalled();
+        }
         for shard in &self.shards {
             shard.queue.close();
         }
-        for shard in &mut self.shards {
-            if let Some(worker) = shard.worker.take() {
-                drop(worker.join());
+        for i in 0..self.shards.len() {
+            if let Some(worker) = self.shards[i].worker.take() {
+                match self.shards[i].reap(Some(Duration::from_secs(2))) {
+                    // Delivered or died: the thread is exiting, join is
+                    // immediate.
+                    Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => drop(worker.join()),
+                    // Genuinely stuck: detach rather than hang.
+                    Err(mpsc::RecvTimeoutError::Timeout) => drop(worker),
+                }
             }
         }
     }

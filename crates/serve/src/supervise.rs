@@ -1,0 +1,312 @@
+//! Worker supervision: per-shard aggregators that survive panics.
+//!
+//! Each shard worker runs under an in-thread supervisor: message
+//! processing is wrapped in [`catch_unwind`], and the worker keeps a
+//! **checkpoint + journal** pair it can rebuild from —
+//!
+//! * every `checkpoint_every` messages the accumulator is serialized
+//!   (via [`ShardAggregate::checkpoint_bytes`], which reuses the
+//!   databases' canonical `snapshot_bytes` encoding) and the journal
+//!   is cleared;
+//! * every successfully absorbed message is appended to the journal
+//!   (by *moving* the already-owned batch, so the lossless hot path
+//!   never clones a sample).
+//!
+//! On a panic the supervisor records the failure, rebuilds the
+//! accumulator from checkpoint-plus-journal-replay, and **retries the
+//! in-flight message once**: a transient panic (the common injected
+//! case) therefore loses nothing and the recovered `snapshot()` is
+//! byte-identical to direct aggregation. A message that panics twice
+//! is dropped whole with exact accounting (`lost_to_panics`) — a
+//! crash loses at most the in-flight batch. A worker that exhausts
+//! its recovery budget (or cannot deserialize its own checkpoint)
+//! fails the shard loudly: it closes its queue so producers unblock
+//! and later `snapshot`/`shutdown` calls surface
+//! [`ProfileError::WorkerCrashed`](profileme_core::ProfileError).
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
+
+use crate::faults::{ActiveFaults, FaultAction};
+use crate::queue::BoundedQueue;
+use crate::service::ShardAggregate;
+use profileme_core::ProfileError;
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Configuration of the per-shard supervision layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SuperviseConfig {
+    /// Whether workers recover from panics at all. Disabled, a panic
+    /// tears the worker down (the pre-supervision behavior) and
+    /// surfaces as `WorkerCrashed`.
+    pub enabled: bool,
+    /// Messages between checkpoints — also the journal's bound, and
+    /// therefore the worst-case replay length on recovery.
+    pub checkpoint_every: u32,
+    /// Recoveries each shard may perform before giving up; a bound so
+    /// a deterministically-poisonous stream cannot spin forever.
+    pub max_recoveries: u32,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> SuperviseConfig {
+        SuperviseConfig {
+            enabled: true,
+            checkpoint_every: 32,
+            max_recoveries: 1024,
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero checkpoint interval.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.checkpoint_every == 0 {
+            return Err(ProfileError::config(
+                "checkpoint_every",
+                "must be at least 1 (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One unit of aggregation work (the journal's entry type).
+pub(crate) enum Work<A: ShardAggregate> {
+    /// A single streamed item.
+    One(A::Item),
+    /// One buffered-delivery batch.
+    Batch(Vec<A::Item>),
+}
+
+impl<A: ShardAggregate> Work<A> {
+    pub(crate) fn len(&self) -> u64 {
+        match self {
+            Work::One(_) => 1,
+            Work::Batch(items) => items.len() as u64,
+        }
+    }
+
+    pub(crate) fn absorb_into(&self, acc: &mut A) {
+        match self {
+            Work::One(item) => acc.absorb(item),
+            Work::Batch(items) => items.iter().for_each(|i| acc.absorb(i)),
+        }
+    }
+}
+
+/// A queue message: work, or a snapshot barrier.
+pub(crate) enum Msg<A: ShardAggregate> {
+    /// Aggregate this.
+    Work(Work<A>),
+    /// Barrier: everything enqueued to this shard before it is
+    /// aggregated before the reply is sent.
+    Snapshot(mpsc::Sender<A>),
+}
+
+/// Per-shard accounting shared between the worker and the service.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub enqueued: AtomicU64,
+    pub dropped: AtomicU64,
+    pub retried: AtomicU64,
+    pub panics: AtomicU64,
+    pub recoveries: AtomicU64,
+    pub lost_to_panics: AtomicU64,
+    pub checkpoints: AtomicU64,
+    /// Set when the worker gives up (recovery budget exhausted or
+    /// checkpoint restore failed); the service reports `WorkerCrashed`.
+    pub crashed: AtomicBool,
+}
+
+/// Everything one shard worker needs.
+pub(crate) struct WorkerCtx<A: ShardAggregate> {
+    pub shard: usize,
+    pub queue: Arc<BoundedQueue<Msg<A>>>,
+    pub empty: A,
+    pub cfg: SuperviseConfig,
+    pub counters: Arc<ShardCounters>,
+    /// The final accumulator travels back over this channel so the
+    /// service can reap results with a bounded wait (a bare
+    /// `JoinHandle::join` cannot time out).
+    pub done: mpsc::Sender<A>,
+    /// Present only when a `FaultPlan` was activated (which requires
+    /// the `fault-injection` feature); `None` costs one branch per
+    /// message.
+    pub faults: Option<Arc<ActiveFaults>>,
+}
+
+/// Applies any injected fault for this (shard, message) pair. May
+/// panic — that is the point — so callers run it under the same
+/// `catch_unwind` as the absorb itself.
+fn apply_fault<A: ShardAggregate>(ctx: &WorkerCtx<A>, idx: Option<u64>) {
+    let (Some(faults), Some(idx)) = (&ctx.faults, idx) else {
+        return;
+    };
+    match faults.action(ctx.shard, idx) {
+        None => {}
+        Some(FaultAction::Panic) => {
+            panic!("injected fault: panic at shard {} message {idx}", ctx.shard)
+        }
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(FaultAction::Stall) => {
+            // Park until the service tears down; deliberately ignores
+            // queue close so deadline paths genuinely time out.
+            while !faults.stall_released() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Rebuilds a shard accumulator from its last checkpoint plus a replay
+/// of the journal — the state exactly as of the last successfully
+/// absorbed message.
+fn rebuild<A: ShardAggregate>(
+    empty: &A,
+    checkpoint: Option<&[u8]>,
+    journal: &[Work<A>],
+) -> Result<A, ProfileError> {
+    let mut acc = match checkpoint {
+        Some(bytes) => A::from_checkpoint_bytes(bytes)?,
+        None => empty.clone(),
+    };
+    for work in journal {
+        work.absorb_into(&mut acc);
+    }
+    Ok(acc)
+}
+
+/// Marks the shard crashed and closes its queue on any abnormal worker
+/// exit — an explicit give-up *or* a panic unwinding the thread (the
+/// unsupervised path) — so producers unblock and `snapshot`/`shutdown`
+/// surface `WorkerCrashed` instead of hanging on a barrier no one will
+/// ever answer.
+struct CrashGuard<'a, A: ShardAggregate> {
+    counters: &'a ShardCounters,
+    queue: &'a BoundedQueue<Msg<A>>,
+    armed: bool,
+}
+
+impl<A: ShardAggregate> Drop for CrashGuard<'_, A> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.counters.crashed.store(true, Ordering::Release);
+            self.queue.close();
+            // Drain what the dead shard will never process: abandoned
+            // work is counted as dropped, and dropping pending snapshot
+            // barriers disconnects their channels so callers get
+            // `WorkerCrashed` instead of blocking forever on a reply.
+            while let Some(msg) = self.queue.pop() {
+                if let Msg::Work(work) = msg {
+                    self.counters
+                        .dropped
+                        .fetch_add(work.len(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// The shard worker: pops messages until the queue closes, absorbing
+/// under supervision, then sends the final accumulator over `done`.
+pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
+    let mut guard = CrashGuard {
+        counters: &ctx.counters,
+        queue: &ctx.queue,
+        armed: true,
+    };
+    let mut acc = ctx.empty.clone();
+    let mut checkpoint: Option<Vec<u8>> = None;
+    let mut journal: Vec<Work<A>> = Vec::new();
+    let mut since_checkpoint = 0u32;
+    let mut recoveries_left = ctx.cfg.max_recoveries;
+    while let Some(msg) = ctx.queue.pop() {
+        let work = match msg {
+            // A dropped receiver just means the snapshot caller went away.
+            Msg::Snapshot(tx) => {
+                drop(tx.send(acc.clone()));
+                continue;
+            }
+            Msg::Work(work) => work,
+        };
+        // One fault index per message: a retry of the same message
+        // re-evaluates the same index, so one-shot faults stay one-shot.
+        let fault_idx = ctx.faults.as_ref().map(|f| f.next_message(ctx.shard));
+
+        if !ctx.cfg.enabled {
+            // Unsupervised: let the panic tear the thread down. The
+            // `done` sender drops with it and the service reports
+            // `WorkerCrashed`.
+            apply_fault(&ctx, fault_idx);
+            work.absorb_into(&mut acc);
+            continue;
+        }
+
+        let mut absorbed = false;
+        for _attempt in 0..2 {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&ctx, fault_idx);
+                work.absorb_into(&mut acc);
+            }));
+            match outcome {
+                Ok(()) => {
+                    absorbed = true;
+                    break;
+                }
+                Err(_) => {
+                    ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+                    if recoveries_left == 0 {
+                        // Budget exhausted: the guard marks the shard
+                        // crashed and closes the queue.
+                        return;
+                    }
+                    recoveries_left -= 1;
+                    // The panic may have left `acc` half-updated;
+                    // rebuild it to the last consistent state.
+                    match rebuild(&ctx.empty, checkpoint.as_deref(), &journal) {
+                        Ok(rebuilt) => {
+                            acc = rebuilt;
+                            ctx.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Cannot restore our own checkpoint: fail
+                            // the shard loudly (via the guard) rather
+                            // than serve a silently-wrong aggregate.
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if absorbed {
+            journal.push(work);
+            since_checkpoint += 1;
+            if since_checkpoint >= ctx.cfg.checkpoint_every {
+                // On serialization failure keep the journal: recovery
+                // replays more but stays exact.
+                if let Ok(bytes) = acc.checkpoint_bytes() {
+                    checkpoint = Some(bytes);
+                    journal.clear();
+                    since_checkpoint = 0;
+                    ctx.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            // Both attempts panicked: the in-flight message is lost,
+            // and `acc` was rebuilt to exclude it — exact accounting.
+            ctx.counters
+                .lost_to_panics
+                .fetch_add(work.len(), Ordering::Relaxed);
+        }
+    }
+    guard.armed = false;
+    drop(ctx.done.send(acc));
+}

@@ -124,6 +124,7 @@ fn concurrent_producers_match_direct_aggregation() {
                 ServeConfig {
                     shards: 4,
                     queue_depth: 8, // shallow: exercise backpressure blocking
+                    ..ServeConfig::default()
                 },
             )
             .expect("service starts"),

@@ -37,6 +37,9 @@ struct Args {
     serve: bool,
     shards: usize,
     chunks: usize,
+    deadline_ms: Option<u64>,
+    degrade: bool,
+    fail_spec: String,
 }
 
 impl Default for Args {
@@ -54,6 +57,9 @@ impl Default for Args {
             serve: false,
             shards: 4,
             chunks: 8,
+            deadline_ms: None,
+            degrade: false,
+            fail_spec: String::new(),
         }
     }
 }
@@ -85,6 +91,15 @@ fn parse_args() -> Result<Args, String> {
             "--chunks" if args.serve => {
                 args.chunks = value("--chunks")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--deadline-ms" if args.serve => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--degrade" if args.serve => args.degrade = true,
+            "--fail-spec" if args.serve => args.fail_spec = value("--fail-spec")?,
             "--list" => args.list = true,
             "--json" => args.json = true,
             "--help" | "-h" => {
@@ -93,7 +108,8 @@ fn parse_args() -> Result<Args, String> {
                      [--budget INSTRUCTIONS] [--top N] [--paired] \
                      [--report instructions|procedures|wasted|disasm] [--json] [--list]\n       \
                      profileme serve [--workload NAME] [--interval S] [--budget INSTRUCTIONS] \
-                     [--shards N] [--chunks N] [--top N] [--json]"
+                     [--shards N] [--chunks N] [--top N] [--deadline-ms N] [--degrade] \
+                     [--fail-spec SPEC] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -113,10 +129,32 @@ fn find_workload(name: &str, budget: u64) -> Option<profileme::workloads::Worklo
     suite(budget).into_iter().find(|w| w.name == name)
 }
 
+/// Starts the service, injecting the `--fail-spec` plan when the build
+/// carries the `fault-injection` feature.
+fn start_service(
+    args: &Args,
+    db: profileme::core::ProfileDatabase,
+    config: ServeConfig,
+) -> Result<ShardedService<profileme::core::ProfileDatabase>, String> {
+    if args.fail_spec.is_empty() {
+        return ShardedService::start(db, config).map_err(|e| e.to_string());
+    }
+    #[cfg(feature = "fault-injection")]
+    {
+        let plan =
+            profileme::serve::FaultPlan::parse(&args.fail_spec).map_err(|e| e.to_string())?;
+        ShardedService::start_with_faults(db, config, plan).map_err(|e| e.to_string())
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    Err("--fail-spec requires a build with `--features fault-injection`".into())
+}
+
 /// The `profileme serve` subcommand: replay the sample stream through
 /// the sharded service in chunks, reporting an interval delta per
 /// snapshot cycle, then cross-check the final merged database against
-/// the direct single-threaded aggregation byte for byte.
+/// the direct single-threaded aggregation — byte for byte when nothing
+/// was lost, by exact accounting otherwise (deadlines, degradation, and
+/// injected faults are all lossy on purpose).
 fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), String> {
     let session = Session::builder(w.program.clone())
         .memory(w.memory.clone())
@@ -129,14 +167,14 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
         .map_err(|e| e.to_string())?;
     let run = session.profile_single().map_err(|e| e.to_string())?;
 
-    let svc = ShardedService::start(
+    let svc = start_service(
+        args,
         profileme::core::ProfileDatabase::new(&w.program, run.db.interval()),
         ServeConfig {
             shards: args.shards,
             ..ServeConfig::default()
         },
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
 
     if !args.json {
         println!(
@@ -148,10 +186,27 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
         );
     }
     let chunk = (run.samples.len() / args.chunks.max(1)).max(1);
+    let deadline = args.deadline_ms.map(std::time::Duration::from_millis);
     let mut previous = None;
     for batch in run.samples.chunks(chunk) {
-        svc.ingest_batch(batch.to_vec());
-        let snap = svc.snapshot().map_err(|e| e.to_string())?;
+        let batch = batch.to_vec();
+        if args.degrade {
+            svc.ingest_adaptive(batch);
+        } else if let Some(budget) = deadline {
+            // A missed deadline is not fatal: the remainder is dropped
+            // with accounting, which is the point of the bounded path.
+            let _ = svc.ingest_deadline(batch, budget);
+        } else {
+            svc.ingest_batch(batch);
+        }
+        let snap = match deadline {
+            Some(budget) => match svc.snapshot_deadline(budget) {
+                Ok(snap) => snap,
+                Err(profileme::core::ProfileError::DeadlineExceeded { .. }) => continue,
+                Err(e) => return Err(e.to_string()),
+            },
+            None => svc.snapshot().map_err(|e| e.to_string())?,
+        };
         let delta_samples = match &previous {
             None => snap.merged.total_samples,
             Some(prev) => {
@@ -170,12 +225,25 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
         previous = Some(snap.merged);
     }
 
-    let (merged, stats) = svc.shutdown().map_err(|e| e.to_string())?;
-    // The service must agree byte-for-byte with direct aggregation.
+    let (merged, stats) = match deadline {
+        Some(budget) => svc.shutdown_deadline(budget.max(std::time::Duration::from_secs(5))),
+        None => svc.shutdown(),
+    }
+    .map_err(|e| e.to_string())?;
+    // Self-check: with zero losses the service must agree byte-for-byte
+    // with direct aggregation; with losses (deadlines, degradation,
+    // injected faults) every missing sample must be accounted for.
     let served = merged.snapshot_bytes().map_err(|e| e.to_string())?;
     let direct = run.db.snapshot_bytes().map_err(|e| e.to_string())?;
-    if served != direct {
+    let fidelity_ok = stats.lost() == 0;
+    if fidelity_ok && served != direct {
         return Err("sharded snapshot diverged from direct aggregation".into());
+    }
+    if merged.total_samples != stats.enqueued - stats.lost_to_panics {
+        return Err(format!(
+            "loss accounting is inexact: {} aggregated, {} enqueued, {} lost to panics",
+            merged.total_samples, stats.enqueued, stats.lost_to_panics
+        ));
     }
 
     if args.json {
@@ -187,12 +255,22 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     }
     println!(
         "ingest: {} enqueued, {} dropped, {} snapshot cycles ({} shards); \
-         final snapshot identical to direct aggregation ({} bytes)",
+         {} worker panic(s), {} recovered; degrade level {}; {}",
         stats.enqueued,
         stats.dropped,
         stats.snapshots,
         stats.shards,
-        served.len()
+        stats.worker_panics,
+        stats.workers_recovered,
+        stats.degrade_level,
+        if fidelity_ok {
+            format!(
+                "final snapshot identical to direct aggregation ({} bytes)",
+                served.len()
+            )
+        } else {
+            format!("{} sample(s) lost, all accounted", stats.lost())
+        }
     );
     println!(
         "{:<10} {:<24} {:>8} {:>10}",

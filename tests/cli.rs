@@ -181,6 +181,101 @@ fn serve_json_emits_ingest_stats() {
 }
 
 #[test]
+fn serve_json_reports_supervision_and_degradation_state() {
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "li",
+        "--budget",
+        "50000",
+        "--degrade",
+        "--deadline-ms",
+        "5000",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    let field = |k: &str| v.get(k).and_then(serde_json::Value::as_u64);
+    // The self-check surface: supervision and degradation accounting
+    // are part of the machine-readable stats.
+    assert_eq!(field("worker_panics"), Some(0));
+    assert_eq!(field("workers_recovered"), Some(0));
+    assert_eq!(field("degrade_level"), Some(0), "calm run stays at Full");
+    assert_eq!(field("deadline_misses"), Some(0));
+    assert!(field("thin_scale").is_some_and(|k| k >= 1));
+    for key in [
+        "lost_to_panics",
+        "thinned",
+        "shed",
+        "downshifts",
+        "upshifts",
+    ] {
+        assert_eq!(field(key), Some(0), "{key} on a calm lossless run");
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn serve_fail_spec_recovers_and_reports_it() {
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--shards",
+        "2",
+        "--chunks",
+        "8",
+        "--fail-spec",
+        "panic:shard=0:nth=2",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    let field = |k: &str| v.get(k).and_then(serde_json::Value::as_u64);
+    assert_eq!(field("worker_panics"), Some(1), "the injected panic fired");
+    assert_eq!(field("workers_recovered"), Some(1), "and was recovered");
+    assert_eq!(
+        field("lost_to_panics"),
+        Some(0),
+        "one-shot faults are lossless"
+    );
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn serve_fail_spec_rejects_bad_grammar() {
+    let out = profileme(&["serve", "--workload", "li", "--fail-spec", "explode:nth=1"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown fault kind"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[test]
+fn serve_fail_spec_requires_the_feature() {
+    let out = profileme(&["serve", "--workload", "li", "--fail-spec", "panic:nth=1"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fault-injection"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let out = profileme(&["--workload", "nonexistent"]);
     assert!(!out.status.success());
