@@ -9,6 +9,19 @@
 //! the merged profile) is asserted here on every run, not just in the
 //! unit suite.
 //!
+//! Beyond aggregate throughput, every cell reports what ProfileMe
+//! actually cares about — the cost visible *on the producer's critical
+//! path*:
+//!
+//! * **Enqueue latency** (p50/p95/p99, µs): the wall time of each
+//!   `ingest_batch` call. For the lock-free rings this is one push;
+//!   aggregation happens on the worker's time, not the producer's.
+//! * **Cold vs hot throughput**: the first repetition (cold caches,
+//!   freshly spawned workers) against the best of all repetitions.
+//! * **Baseline deltas**: when a previous `BENCH_ingest.json` exists
+//!   in the dump directory it is parsed and per-cell throughput /
+//!   latency deltas are printed before the file is overwritten.
+//!
 //! Knobs, following `bench_throughput`:
 //!
 //! * `PROFILEME_SCALE` sets workload length, `PROFILEME_BENCH_REPS`
@@ -18,6 +31,12 @@
 //!   regression gate for the ingest fast path. Supervision
 //!   (checkpoint plus journal) is on at its defaults, so the gate
 //!   prices the fault-tolerant path, with no faults firing.
+//! * `PROFILEME_REQUIRE_SHARDING_WINS=1` exits nonzero if no
+//!   multi-shard configuration beats the direct baseline in aggregate
+//!   samples/s. The gate only binds when the host exposes ≥2 cores —
+//!   on a single core the shards serialize and the comparison is
+//!   meaningless — but the `sharding_wins` verdict and core count are
+//!   recorded in the report either way.
 //! * `PROFILEME_FAIL_SPEC` (builds with `--features fault-injection`)
 //!   additionally runs a chaos smoke: the same stream through a
 //!   service with that fault plan injected, asserting exact loss
@@ -33,12 +52,12 @@ use std::time::Instant;
 
 /// Shard counts the tracker sweeps.
 const SHARDS: [usize; 4] = [1, 2, 4, 8];
-/// Samples per `ingest_batch` call — one queue message per shard per
-/// batch, the §4.3 buffered-delivery analogue.
+/// Samples per `ingest_batch` call — one ring slot per batch, the
+/// §4.3 buffered-delivery analogue.
 const BATCH: usize = 4096;
 /// Queue depth for the benchmark services: deep enough that the
 /// producer never parks on backpressure, so the cell measures
-/// aggregation throughput rather than condvar wake latency.
+/// aggregation throughput rather than wake latency.
 const QUEUE_DEPTH: usize = 512;
 /// Ceiling on single-shard overhead vs the direct baseline.
 const MAX_OVERHEAD: f64 = 0.15;
@@ -50,7 +69,28 @@ struct Cell {
     shards: usize,
     samples: u64,
     best_seconds: f64,
+    /// Hot throughput: best of all repetitions.
     samples_per_second: f64,
+    /// Cold throughput: the first repetition, cold caches and all.
+    cold_samples_per_second: f64,
+    /// Producer-visible latency of one `ingest_batch` call (one
+    /// batch absorb for the direct baseline), in microseconds.
+    enqueue_p50_us: f64,
+    enqueue_p95_us: f64,
+    enqueue_p99_us: f64,
+}
+
+/// Per-cell comparison against the previous `BENCH_ingest.json`.
+#[derive(Debug, Serialize)]
+struct Delta {
+    workload: String,
+    shards: usize,
+    previous_samples_per_second: f64,
+    /// Positive means this run is faster.
+    samples_per_second_delta: f64,
+    /// Positive means this run's p95 enqueue is slower. Absent when
+    /// the previous report predates latency tracking.
+    enqueue_p95_us_delta: Option<f64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -58,10 +98,73 @@ struct Report {
     scale: f64,
     reps: u32,
     batch: usize,
+    /// `available_parallelism` on the machine that produced the run —
+    /// the context for the `sharding_wins` verdict.
+    cores: usize,
     cells: Vec<Cell>,
     /// Single-shard service throughput over the direct baseline, per
     /// workload: 0.10 means the service path is 10% slower.
     single_shard_overhead: Vec<(String, f64)>,
+    /// Best multi-shard hot throughput over direct, per workload:
+    /// 1.3 means the best sharded configuration is 30% faster.
+    best_multi_shard_speedup: Vec<(String, f64)>,
+    /// Some multi-shard configuration beat direct aggregation.
+    sharding_wins: bool,
+    /// Deltas vs the previous report, empty on a first run.
+    baseline_deltas: Vec<Delta>,
+}
+
+/// One cell's timing: per-repetition wall clocks plus the
+/// producer-visible per-call latencies pooled across repetitions.
+struct Timing {
+    best_seconds: f64,
+    cold_seconds: f64,
+    call_us: Vec<f64>,
+}
+
+impl Timing {
+    fn collect(reps: u32, mut one_rep: impl FnMut(&mut Vec<f64>) -> f64) -> Timing {
+        let mut best = f64::INFINITY;
+        let mut cold = f64::NAN;
+        let mut call_us = Vec::new();
+        for rep in 0..reps {
+            let secs = one_rep(&mut call_us);
+            if rep == 0 {
+                cold = secs;
+            }
+            best = best.min(secs);
+        }
+        Timing {
+            best_seconds: best,
+            cold_seconds: cold,
+            call_us,
+        }
+    }
+
+    fn cell(&self, workload: &'static str, shards: usize, samples: usize) -> Cell {
+        Cell {
+            workload,
+            shards,
+            samples: samples as u64,
+            best_seconds: self.best_seconds,
+            samples_per_second: samples as f64 / self.best_seconds,
+            cold_samples_per_second: samples as f64 / self.cold_seconds,
+            enqueue_p50_us: percentile(&self.call_us, 0.50),
+            enqueue_p95_us: percentile(&self.call_us, 0.95),
+            enqueue_p99_us: percentile(&self.call_us, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an unsorted pool of latencies.
+fn percentile(pool: &[f64], p: f64) -> f64 {
+    if pool.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = pool.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 fn reps() -> u32 {
@@ -74,6 +177,16 @@ fn reps() -> u32 {
 
 fn require_ingest_ok() -> bool {
     std::env::var("PROFILEME_REQUIRE_INGEST_OK").is_ok_and(|v| v == "1")
+}
+
+fn require_sharding_wins() -> bool {
+    std::env::var("PROFILEME_REQUIRE_SHARDING_WINS").is_ok_and(|v| v == "1")
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Profiles `w` once, then cycles the run's samples up to `target`
@@ -113,28 +226,23 @@ fn time_direct(
     interval: u64,
     reps: u32,
 ) -> (Cell, ProfileDatabase) {
-    let mut best = f64::INFINITY;
     let mut reference = ProfileDatabase::new(&w.program, interval);
-    for _ in 0..reps {
+    let timing = Timing::collect(reps, |call_us| {
         let batches: Vec<Vec<Sample>> = stream.chunks(BATCH).map(<[Sample]>::to_vec).collect();
         let mut db = ProfileDatabase::new(&w.program, interval);
         let start = Instant::now();
         for batch in batches {
+            let t = Instant::now();
             for s in &batch {
                 db.add(s);
             }
+            call_us.push(t.elapsed().as_secs_f64() * 1e6);
         }
-        best = best.min(start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
         reference = db;
-    }
-    let cell = Cell {
-        workload: w.name,
-        shards: 0,
-        samples: stream.len() as u64,
-        best_seconds: best,
-        samples_per_second: stream.len() as f64 / best,
-    };
-    (cell, reference)
+        secs
+    });
+    (timing.cell(w.name, 0, stream.len()), reference)
 }
 
 fn time_serviced(
@@ -145,8 +253,7 @@ fn time_serviced(
     reps: u32,
 ) -> Cell {
     let reference_bytes = reference.snapshot_bytes().expect("snapshot serializes");
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
+    let timing = Timing::collect(reps, |call_us| {
         // Batches are materialized untimed: the cell measures ingest +
         // aggregation + drain, not the cost of copying the test stream.
         let batches: Vec<Vec<Sample>> = stream.chunks(BATCH).map(<[Sample]>::to_vec).collect();
@@ -162,10 +269,12 @@ fn time_serviced(
         .expect("service starts");
         let start = Instant::now();
         for batch in batches {
+            let t = Instant::now();
             service.ingest_batch(batch);
+            call_us.push(t.elapsed().as_secs_f64() * 1e6);
         }
         let (merged, _stats) = service.shutdown().expect("service drains");
-        best = best.min(start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
         // The hard gate: shard count must never change the profile.
         assert_eq!(
             merged.snapshot_bytes().expect("snapshot serializes"),
@@ -173,14 +282,80 @@ fn time_serviced(
             "{} at {shards} shard(s) diverged from direct aggregation",
             w.name
         );
+        secs
+    });
+    timing.cell(w.name, shards, stream.len())
+}
+
+/// Loads the previous report's per-cell numbers for delta lines:
+/// `(workload, shards) → (samples_per_second, enqueue_p95_us)`.
+/// Parsed loosely so reports from before a schema change still
+/// compare on the fields they have.
+fn previous_cells(path: &std::path::Path) -> Vec<(String, usize, f64, Option<f64>)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(root) = serde_json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(cells) = root.get("cells").and_then(|c| c.as_array()) else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter_map(|cell| {
+            let workload = cell.get("workload")?.as_str()?.to_string();
+            let shards = cell.get("shards")?.as_u64()? as usize;
+            let rate = cell.get("samples_per_second")?.as_f64()?;
+            let p95 = cell.get("enqueue_p95_us").and_then(|v| v.as_f64());
+            Some((workload, shards, rate, p95))
+        })
+        .collect()
+}
+
+fn baseline_deltas(out: &Emitter, cells: &[Cell], path: &std::path::Path) -> Vec<Delta> {
+    let previous = previous_cells(path);
+    if previous.is_empty() {
+        out.say(format!(
+            "no previous {} — baseline comparison skipped",
+            path.display()
+        ));
+        return Vec::new();
     }
-    Cell {
-        workload: w.name,
-        shards,
-        samples: stream.len() as u64,
-        best_seconds: best,
-        samples_per_second: stream.len() as f64 / best,
+    out.say(format!("baseline comparison ({}):", path.display()));
+    let mut deltas = Vec::new();
+    for cell in cells {
+        let Some((_, _, prev_rate, prev_p95)) = previous
+            .iter()
+            .find(|(w, s, _, _)| w == cell.workload && *s == cell.shards)
+        else {
+            continue;
+        };
+        let rate_delta = cell.samples_per_second - prev_rate;
+        let p95_delta = prev_p95.map(|p| cell.enqueue_p95_us - p);
+        let p95_note = match p95_delta {
+            Some(d) => format!(", p95 {d:+.2}us"),
+            None => String::new(),
+        };
+        out.say(format!(
+            "{:>9} {:>7}: hot throughput delta {:+.0}k samples/s{p95_note}",
+            cell.workload,
+            if cell.shards == 0 {
+                "direct".to_string()
+            } else {
+                format!("{}-shard", cell.shards)
+            },
+            rate_delta / 1e3,
+        ));
+        deltas.push(Delta {
+            workload: cell.workload.to_string(),
+            shards: cell.shards,
+            previous_samples_per_second: *prev_rate,
+            samples_per_second_delta: rate_delta,
+            enqueue_p95_us_delta: p95_delta,
+        });
     }
+    deltas
 }
 
 /// Chaos smoke for CI: replay the stream through a service with a
@@ -238,20 +413,23 @@ fn chaos_smoke(
 }
 
 fn main() {
-    let out = Emitter::with_dump_dir(Some(
-        env::dump_dir().unwrap_or_else(|| std::path::PathBuf::from(".")),
-    ));
+    let dump_dir = env::dump_dir().unwrap_or_else(|| std::path::PathBuf::from("."));
+    let baseline_path = dump_dir.join("BENCH_ingest.json");
+    let out = Emitter::with_dump_dir(Some(dump_dir));
     out.banner(
         "Sharded ingest throughput — ShardedService vs direct aggregation",
         "repo infrastructure (not a paper figure)",
     );
     let reps = reps();
+    let cores = cores();
+    out.say(format!("machine: {cores} core(s) available"));
     let workloads = [
         workloads::compress(scaled(40_000)),
         workloads::vortex(scaled(30_000)),
     ];
     let mut cells = Vec::new();
     let mut overheads = Vec::new();
+    let mut speedups = Vec::new();
     let target = scaled(400_000) as usize;
     for w in &workloads {
         let (stream, interval) = sample_stream(w, target);
@@ -262,13 +440,15 @@ fn main() {
         ));
         let (direct, reference) = time_direct(w, &stream, interval, reps);
         out.say(format!(
-            "{:>9} {:>7}: {:>8.0}k samples/s (best of {reps}: {:.4}s)",
+            "{:>9} {:>7}: hot {:>8.0}k/s cold {:>8.0}k/s  batch absorb p95={:.1}us",
             w.name,
             "direct",
             direct.samples_per_second / 1e3,
-            direct.best_seconds,
+            direct.cold_samples_per_second / 1e3,
+            direct.enqueue_p95_us,
         ));
         let direct_rate = direct.samples_per_second;
+        let mut best_multi = 0.0f64;
         cells.push(direct);
         for shards in SHARDS {
             let cell = time_serviced(w, &stream, &reference, shards, reps);
@@ -277,17 +457,22 @@ fn main() {
                 overheads.push((w.name.to_string(), overhead));
                 format!("  ({:+.1}% vs direct)", overhead * 100.0)
             } else {
-                String::new()
+                best_multi = best_multi.max(cell.samples_per_second / direct_rate);
+                format!("  ({:.2}x direct)", cell.samples_per_second / direct_rate)
             };
             out.say(format!(
-                "{:>9} {:>7}: {:>8.0}k samples/s (best of {reps}: {:.4}s){note}",
+                "{:>9} {:>7}: hot {:>8.0}k/s cold {:>8.0}k/s  enqueue p50={:.1} p95={:.1} p99={:.1}us{note}",
                 w.name,
                 format!("{shards}-shard"),
                 cell.samples_per_second / 1e3,
-                cell.best_seconds,
+                cell.cold_samples_per_second / 1e3,
+                cell.enqueue_p50_us,
+                cell.enqueue_p95_us,
+                cell.enqueue_p99_us,
             ));
             cells.push(cell);
         }
+        speedups.push((w.name.to_string(), best_multi));
         if let Ok(spec) = std::env::var("PROFILEME_FAIL_SPEC") {
             #[cfg(feature = "fault-injection")]
             chaos_smoke(&out, w, &stream, &reference, &spec);
@@ -310,16 +495,40 @@ fn main() {
         worst.0,
         MAX_OVERHEAD * 100.0
     ));
+    let sharding_wins = speedups.iter().any(|(_, s)| *s > 1.0);
+    let best = speedups
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one workload ran");
+    out.say(format!(
+        "best multi-shard speedup: {:.2}x direct on {} ({})",
+        best.1,
+        best.0,
+        if sharding_wins {
+            "sharding wins"
+        } else if cores < 2 {
+            "single core — shards serialize"
+        } else {
+            "sharding LOSES"
+        },
+    ));
+    let deltas = baseline_deltas(&out, &cells, &baseline_path);
     out.dump(
         "BENCH_ingest",
         &Report {
             scale: env::scale(),
             reps,
             batch: BATCH,
+            cores,
             cells,
             single_shard_overhead: overheads,
+            best_multi_shard_speedup: speedups,
+            sharding_wins,
+            baseline_deltas: deltas,
         },
     );
+    let mut failed = false;
     if require_ingest_ok() && worst.1 > MAX_OVERHEAD {
         eprintln!(
             "FAIL: single-shard ingest overhead {:+.1}% on {} exceeds the {:.0}% gate",
@@ -327,6 +536,23 @@ fn main() {
             worst.0,
             MAX_OVERHEAD * 100.0
         );
+        failed = true;
+    }
+    if require_sharding_wins() {
+        if cores < 2 {
+            out.say(format!(
+                "PROFILEME_REQUIRE_SHARDING_WINS skipped: {cores} core(s); the gate needs >=2"
+            ));
+        } else if !sharding_wins {
+            eprintln!(
+                "FAIL: no multi-shard configuration beat direct aggregation on {cores} cores \
+                 (best {:.2}x on {})",
+                best.1, best.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

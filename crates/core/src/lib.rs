@@ -87,5 +87,3 @@ pub use sw::{
     PcPairProfile, PcProfile, ProcedureSummary, ProfileDatabase, ProfileField,
     ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation, WastedSlots,
 };
-#[allow(deprecated)]
-pub use sw::{run_nway, run_paired, run_single};

@@ -6,9 +6,7 @@
 //! one generic seam, [`run_hardware`], parameterized over the
 //! [`ProfilingHardware`] trait. The specialized drivers layer
 //! calibration and database aggregation on top and are reached through
-//! the [`Session`](crate::Session) builder; the old positional entry
-//! points ([`run_single`], [`run_nway`], [`run_paired`]) remain as
-//! deprecated wrappers.
+//! the [`Session`](crate::Session) builder.
 
 use crate::hw::{
     NWayConfig, NWayHardware, PairedConfig, PairedHardware, ProfileMeConfig, ProfileMeHardware,
@@ -178,7 +176,7 @@ fn measured_interval(events: u64, selections: u64, nominal: u64) -> u64 {
     }
 }
 
-/// Shared driver under [`run_single`] and [`run_nway`]: drains any
+/// Shared driver under [`single`] and [`nway`]: drains any
 /// [`SampleCollector`] and aggregates into a calibrated database.
 fn run_collector<H: SampleCollector>(
     program: Program,
@@ -260,78 +258,6 @@ pub(crate) fn nway(
     )
 }
 
-/// Runs `program` to completion under single-instruction sampling.
-///
-/// # Deprecated
-///
-/// Use the [`Session`](crate::Session) builder, which names every knob
-/// and validates the configuration:
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use profileme_core::{run_single, ProfileMeConfig, Session};
-/// use profileme_uarch::PipelineConfig;
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// # let mut b = profileme_isa::ProgramBuilder::new();
-/// # b.function("main");
-/// # b.load_imm(profileme_isa::Reg::R9, 200);
-/// # let top = b.label("top");
-/// # b.addi(profileme_isa::Reg::R9, profileme_isa::Reg::R9, -1);
-/// # b.cond_br(profileme_isa::Cond::Ne0, profileme_isa::Reg::R9, top);
-/// # b.halt();
-/// # let program = b.build()?;
-/// let cfg = ProfileMeConfig { mean_interval: 32, ..Default::default() };
-/// // Before:
-/// let old = run_single(program.clone(), None, PipelineConfig::default(), cfg, u64::MAX)?;
-/// // After:
-/// let new = Session::builder(program).sampling(cfg).build()?.profile_single()?;
-/// assert_eq!(old.samples, new.samples);
-/// # Ok(())
-/// # }
-/// ```
-///
-/// # Errors
-///
-/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Session::builder(program).sampling(cfg).build()?.profile_single()`"
-)]
-pub fn run_single(
-    program: Program,
-    memory: Option<Memory>,
-    pipeline: PipelineConfig,
-    sampling: ProfileMeConfig,
-    max_cycles: u64,
-) -> Result<SingleRun, SimError> {
-    single(program, memory, pipeline, sampling, max_cycles)
-}
-
-/// Runs `program` to completion under N-way sampling: the
-/// high-sampling-rate variant of [`run_single`].
-///
-/// # Deprecated
-///
-/// Use [`Session::profile_nway`](crate::Session::profile_nway) via the
-/// builder, as in the [`run_single`] migration example.
-///
-/// # Errors
-///
-/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Session::builder(program).nway_sampling(cfg).build()?.profile_nway()`"
-)]
-pub fn run_nway(
-    program: Program,
-    memory: Option<Memory>,
-    pipeline: PipelineConfig,
-    sampling: NWayConfig,
-    max_cycles: u64,
-) -> Result<SingleRun, SimError> {
-    nway(program, memory, pipeline, sampling, max_cycles)
-}
-
 /// The paired sampling driver under
 /// [`Session::profile_paired`](crate::Session::profile_paired).
 pub(crate) fn paired(
@@ -372,33 +298,6 @@ pub(crate) fn paired(
     })
 }
 
-/// Runs `program` to completion under paired sampling.
-///
-/// # Deprecated
-///
-/// Use [`Session::profile_paired`](crate::Session::profile_paired) via
-/// the builder, as in the [`run_single`] migration example.
-///
-/// # Errors
-///
-/// Returns [`SimError::CycleLimit`] if `max_cycles` is exhausted.
-#[deprecated(
-    since = "0.3.0",
-    note = "use `Session::builder(program).paired_sampling(cfg).build()?.profile_paired()`"
-)]
-pub fn run_paired(
-    program: Program,
-    memory: Option<Memory>,
-    pipeline: PipelineConfig,
-    sampling: PairedConfig,
-    max_cycles: u64,
-) -> Result<PairedRun, SimError> {
-    paired(program, memory, pipeline, sampling, max_cycles)
-}
-
-// The wrappers' own tests: the one place outside this module's doctests
-// that may still call the deprecated positional entry points.
-#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,7 +367,7 @@ mod tests {
             buffer_depth: 4,
             ..ProfileMeConfig::default()
         };
-        let run = run_single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
+        let run = single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         let fetched = run.stats.fetched;
         let expected = fetched / 100;
         let got = run.samples.len() as u64;
@@ -487,7 +386,7 @@ mod tests {
             buffer_depth: 8,
             ..ProfileMeConfig::default()
         };
-        let run = run_single(p.clone(), None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
+        let run = single(p.clone(), None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         // Check the retire estimate of the loop load.
         let load_pc = p.entry().advance(2);
         let actual = run.stats.at(&p, load_pc).unwrap().retired as f64;
@@ -511,7 +410,7 @@ mod tests {
             buffer_depth: 4,
             ..PairedConfig::default()
         };
-        let run = run_paired(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
+        let run = paired(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         assert!(run.pairs.len() > 100, "got {} pairs", run.pairs.len());
         let complete = run.pairs.iter().filter(|p| p.is_complete()).count();
         assert!(
@@ -540,7 +439,7 @@ mod tests {
             buffer_depth: 8,
             ..ProfileMeConfig::default()
         };
-        let run = run_single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
+        let run = single(p, None, PipelineConfig::default(), cfg, 100_000_000).unwrap();
         assert!(
             run.invalid_selections > 0,
             "opportunity counting must sometimes select empty slots"

@@ -17,11 +17,6 @@ pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabas
 pub use driver::{
     run_ground_truth, run_hardware, HardwareRun, PairedRun, SampleCollector, SingleRun,
 };
-// The deprecated positional entry points stay re-exported so existing
-// callers keep compiling (with a deprecation warning at *their* use
-// sites, not this re-export).
-#[allow(deprecated)]
-pub use driver::{run_nway, run_paired, run_single};
 pub use estimate::{confidence_interval, estimate_total, expected_cov, Estimate};
 pub use pathprof::{PathProfiler, PathScheme, ReconstructionOutcome};
 pub use report::{procedure_summaries, ProcedureSummary};

@@ -9,11 +9,13 @@
 //! long-running daemon actually sees:
 //!
 //! * [`ShardedService`] fans samples out to per-shard aggregator
-//!   threads behind [`BoundedQueue`]s (PC-hash sharding, backpressure
+//!   threads behind lock-free [`RingBuffer`]s (PC-hash sharding for
+//!   per-item ingest, zero-copy round-robin for batches, backpressure
 //!   accounting via [`IngestStats`]);
-//! * [`ShardedService::snapshot`] runs a drain→merge→snapshot cycle
+//! * [`ShardedService::snapshot`] runs a watermark→publish→merge cycle
 //!   whose result is **byte-identical for any shard count** — sample
-//!   aggregation is a per-PC sum, so sharding cannot change the answer;
+//!   aggregation is a per-PC sum, so sharding cannot change the answer
+//!   — without ever stalling ingest on a snapshot reply;
 //! * **supervision** ([`SuperviseConfig`]): workers run under
 //!   `catch_unwind` with a checkpoint + journal they rebuild from, so
 //!   a panicking worker is recovered in place — a transient panic
@@ -67,18 +69,21 @@
 //! [`PairProfileDatabase`]: profileme_core::PairProfileDatabase
 //! [`ProfileField`]: profileme_core::ProfileField
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// `ring` module's slot accesses, each with a documented safety
+// argument tied to the per-slot sequence protocol.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod degrade;
 pub mod faults;
-mod queue;
+pub mod ring;
 mod service;
 mod supervise;
 
 pub use degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
 pub use faults::FaultPlan;
-pub use queue::{BoundedQueue, PopTimeout, TryPushError};
+pub use ring::{PopTimeout, RingBuffer, TryPushError};
 pub use service::{
     pc_shard, IngestStats, ServeConfig, ServeSnapshot, ShardAggregate, ShardedService,
 };

@@ -1,6 +1,6 @@
 //! The sharded ingest/serving layer: per-shard aggregators behind
-//! bounded queues, a drain→merge→snapshot cycle, and backpressure
-//! accounting.
+//! lock-free rings, a watermark→publish→merge snapshot cycle, and
+//! backpressure accounting.
 //!
 //! # Determinism invariant
 //!
@@ -10,8 +10,12 @@
 //! facts make that true:
 //!
 //! 1. Profile aggregation is a *sum* over samples — commutative and
-//!    associative per PC (property-tested in `profileme-core`), so the
-//!    order in which samples reach a shard cannot matter.
+//!    associative per PC (property-tested in `profileme-core`), so
+//!    neither the order in which samples reach a shard *nor which
+//!    shard they reach* can matter. That freedom is load-bearing:
+//!    batched ingest routes whole batches round-robin (zero routing
+//!    work, zero copies) while per-item ingest keeps PC-hash routing,
+//!    and both land on the same merged bytes.
 //! 2. The final merge folds shard databases in shard-index order on
 //!    one thread, and addition of the per-PC sums is order-insensitive
 //!    anyway.
@@ -28,12 +32,14 @@
 
 use crate::degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
 use crate::faults::ActiveFaults;
-use crate::queue::{BoundedQueue, TryPushError};
-use crate::supervise::{run_worker, Msg, ShardCounters, SuperviseConfig, Work, WorkerCtx};
+use crate::ring::{RingBuffer, TryPushError};
+use crate::supervise::{
+    run_worker, Msg, ShardCounters, SnapShared, SuperviseConfig, Work, WorkerCtx,
+};
 use profileme_core::{PairProfileDatabase, PairedSample, ProfileDatabase, ProfileError, Sample};
 use profileme_isa::Pc;
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -63,7 +69,10 @@ pub trait ShardAggregate: Clone + Send + 'static {
     fn merge(&mut self, other: &Self) -> Result<(), ProfileError>;
 
     /// Which of `shards` queues the item routes to. Must be a pure
-    /// function of the item, `< shards`.
+    /// function of the item, `< shards`. Used by the per-item ingest
+    /// paths; batched ingest routes whole batches round-robin instead
+    /// (any pure routing preserves the merged bytes — see the module
+    /// docs).
     fn shard_of(item: &Self::Item, shards: usize) -> usize;
 
     /// Serializes the accumulator for crash-recovery checkpoints.
@@ -155,8 +164,9 @@ impl ShardAggregate for PairProfileDatabase {
 pub struct ServeConfig {
     /// Aggregator shards (worker threads).
     pub shards: usize,
-    /// Bounded-queue capacity per shard, in *messages* (a batch counts
-    /// as one message, mirroring one buffered-interrupt delivery).
+    /// Ring capacity per shard, in *messages* (a batch counts as one
+    /// message, mirroring one buffered-interrupt delivery). Rounded up
+    /// to the next power of two by the ring.
     pub queue_depth: usize,
     /// Worker supervision: panic recovery via checkpoint + journal.
     pub supervise: SuperviseConfig,
@@ -203,18 +213,18 @@ impl ServeConfig {
 pub struct IngestStats {
     /// Aggregator shards.
     pub shards: usize,
-    /// Items accepted onto shard queues.
+    /// Items accepted onto shard rings.
     pub enqueued: u64,
     /// Items that never reached an aggregator: lossy
     /// [`offer`](ShardedService::offer) rejections, pushes onto a
-    /// crashed shard's closed queue, items abandoned when an
+    /// crashed shard's closed ring, items abandoned when an
     /// [`ingest_deadline`](ShardedService::ingest_deadline) expired,
-    /// and items left behind in a crashed shard's queue.
+    /// and items left behind in a crashed shard's ring.
     pub dropped: u64,
     /// Backoff retries taken by
     /// [`offer_with_retry`](ShardedService::offer_with_retry).
     pub retried: u64,
-    /// Deepest any shard queue has been, in messages.
+    /// Deepest any shard ring has been, in messages.
     pub high_water: usize,
     /// Snapshot cycles served so far.
     pub snapshots: u64,
@@ -269,8 +279,14 @@ pub struct ServeSnapshot<A> {
     pub stats: IngestStats,
 }
 
+/// How long a snapshot requester parks per wait slice. Purely a
+/// backstop against a lost notify — snapshots are rare and the worker
+/// notifies on publish, so the poll almost never fires.
+const SNAP_WAIT_SLICE: Duration = Duration::from_millis(5);
+
 struct Shard<A: ShardAggregate> {
-    queue: Arc<BoundedQueue<Msg<A>>>,
+    ring: Arc<RingBuffer<Msg<A>>>,
+    snap: Arc<SnapShared<A>>,
     worker: Option<JoinHandle<()>>,
     /// Receives the worker's final accumulator: a reapable result with
     /// a bounded wait, unlike `JoinHandle::join`. Behind a `Mutex` only
@@ -290,7 +306,7 @@ impl<A: ShardAggregate> Shard<A> {
     }
 
     fn fill_pct(&self) -> u8 {
-        (self.queue.len() * 100 / self.queue.capacity().max(1)).min(100) as u8
+        (self.ring.len() * 100 / self.ring.capacity().max(1)).min(100) as u8
     }
 
     /// Waits (optionally bounded) for the worker's final accumulator.
@@ -313,15 +329,20 @@ impl<A: ShardAggregate> Shard<A> {
 /// crate docs for a worked example.
 pub struct ShardedService<A: ShardAggregate> {
     shards: Vec<Shard<A>>,
+    /// Round-robin cursor for batched ingest.
+    rr: AtomicUsize,
     snapshots: AtomicU64,
     deadline_misses: AtomicU64,
     degrade: OverloadController,
     faults: Option<Arc<ActiveFaults>>,
+    /// Serializes snapshot cycles so each shard has at most one
+    /// outstanding [`SnapShared`] request. Ingest never touches this.
+    snap_cycle: Mutex<()>,
 }
 
 impl<A: ShardAggregate> ShardedService<A> {
     /// Starts `config.shards` worker threads, each owning a clone of
-    /// the `empty` aggregator behind a bounded queue.
+    /// the `empty` aggregator behind a lock-free ring.
     ///
     /// # Errors
     ///
@@ -356,12 +377,14 @@ impl<A: ShardAggregate> ShardedService<A> {
         config.validate()?;
         let shards = (0..config.shards)
             .map(|shard| {
-                let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+                let ring = Arc::new(RingBuffer::new(config.queue_depth));
+                let snap = Arc::new(SnapShared::new());
                 let counters = Arc::new(ShardCounters::default());
                 let (done_tx, done_rx) = mpsc::channel();
                 let ctx = WorkerCtx {
                     shard,
-                    queue: Arc::clone(&queue),
+                    ring: Arc::clone(&ring),
+                    snap: Arc::clone(&snap),
                     empty: empty.clone(),
                     cfg: config.supervise,
                     counters: Arc::clone(&counters),
@@ -369,7 +392,8 @@ impl<A: ShardAggregate> ShardedService<A> {
                     faults: faults.clone(),
                 };
                 Shard {
-                    queue,
+                    ring,
+                    snap,
                     worker: Some(std::thread::spawn(move || run_worker(ctx))),
                     done: Mutex::new(done_rx),
                     counters,
@@ -378,10 +402,12 @@ impl<A: ShardAggregate> ShardedService<A> {
             .collect();
         Ok(ShardedService {
             shards,
+            rr: AtomicUsize::new(0),
             snapshots: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             degrade: OverloadController::new(config.degrade),
             faults,
+            snap_cycle: Mutex::new(()),
         })
     }
 
@@ -390,23 +416,35 @@ impl<A: ShardAggregate> ShardedService<A> {
         self.shards.len()
     }
 
+    /// The next batched-ingest target: whole batches go round-robin —
+    /// the merged result is routing-independent (module docs), so the
+    /// batch path spends zero cycles partitioning and zero copies
+    /// re-bucketing samples.
+    fn next_shard(&self) -> &Shard<A> {
+        let n = self.shards.len();
+        if n == 1 {
+            return &self.shards[0];
+        }
+        &self.shards[self.rr.fetch_add(1, Ordering::Relaxed) % n]
+    }
+
     /// Lossless ingest of one item: blocks while the target shard's
-    /// queue is full (backpressure). An item bound for a crashed
-    /// shard's closed queue is counted as dropped.
+    /// ring is full (backpressure). An item bound for a crashed
+    /// shard's closed ring is counted as dropped.
     pub fn ingest(&self, item: A::Item) {
         let shard = &self.shards[A::shard_of(&item, self.shards.len())];
-        match shard.queue.push(Msg::Work(Work::One(item))) {
+        match shard.ring.push(Msg::Work(Work::One(item))) {
             Ok(()) => shard.accept(1),
             Err(_) => shard.drop_items(1),
         }
     }
 
     /// Lossy ingest of one item: returns `false` (and counts a drop)
-    /// instead of blocking when the target queue is full — the
+    /// instead of blocking when the target ring is full — the
     /// load-shedding path a real daemon uses under overload.
     pub fn offer(&self, item: A::Item) -> bool {
         let shard = &self.shards[A::shard_of(&item, self.shards.len())];
-        match shard.queue.try_push(Msg::Work(Work::One(item))) {
+        match shard.ring.try_push(Msg::Work(Work::One(item))) {
             Ok(()) => {
                 shard.accept(1);
                 true
@@ -419,7 +457,7 @@ impl<A: ShardAggregate> ShardedService<A> {
     }
 
     /// [`offer`](ShardedService::offer) with jittered
-    /// exponential-backoff retries: on a full queue, sleep per
+    /// exponential-backoff retries: on a full ring, sleep per
     /// `policy` and try again, up to `policy.max_retries` times, then
     /// drop with accounting. Retries are counted per shard in
     /// [`IngestStats::retried`].
@@ -428,7 +466,7 @@ impl<A: ShardAggregate> ShardedService<A> {
         let shard = &self.shards[shard_idx];
         let mut msg = Msg::Work(Work::One(item));
         for attempt in 0..=policy.max_retries {
-            match shard.queue.try_push(msg) {
+            match shard.ring.try_push(msg) {
                 Ok(()) => {
                     shard.accept(1);
                     return true;
@@ -451,45 +489,34 @@ impl<A: ShardAggregate> ShardedService<A> {
         unreachable!("the loop returns on success, close, or final retry");
     }
 
-    /// Lossless batched ingest: routes each item to its shard, then
-    /// enqueues one message per shard — the shape of §4.3's buffered
-    /// sample delivery, and the cheap path (per-item queue traffic is
-    /// what the `bench_ingest` overhead gate measures).
+    /// Lossless batched ingest: hands the whole batch to the next
+    /// round-robin shard as **one** ring message — the shape of §4.3's
+    /// buffered sample delivery. The caller's `Vec` moves straight
+    /// into the ring: no per-item routing, no partition copies (which
+    /// is what let multi-shard finally beat direct aggregation in
+    /// `bench_ingest`). Shard-level parallelism comes from successive
+    /// batches landing on successive shards.
     pub fn ingest_batch(&self, items: Vec<A::Item>) {
-        let n = self.shards.len();
         if items.is_empty() {
             return;
         }
-        if n == 1 {
-            let count = items.len() as u64;
-            match self.shards[0].queue.push(Msg::Work(Work::Batch(items))) {
-                Ok(()) => self.shards[0].accept(count),
-                Err(_) => self.shards[0].drop_items(count),
-            }
-            return;
-        }
-        for (shard, batch) in self.shards.iter().zip(self.route(items)) {
-            if batch.is_empty() {
-                continue;
-            }
-            let count = batch.len() as u64;
-            match shard.queue.push(Msg::Work(Work::Batch(batch))) {
-                Ok(()) => shard.accept(count),
-                Err(_) => shard.drop_items(count),
-            }
+        let shard = self.next_shard();
+        let count = items.len() as u64;
+        match shard.ring.push(Msg::Work(Work::Batch(items))) {
+            Ok(()) => shard.accept(count),
+            Err(_) => shard.drop_items(count),
         }
     }
 
     /// Deadline-bounded batched ingest: like
     /// [`ingest_batch`](ShardedService::ingest_batch), but never
-    /// blocks past `timeout` in total. Items that could not be
-    /// enqueued within the budget are dropped with accounting.
+    /// blocks past `timeout`. A batch that could not be enqueued
+    /// within the budget is dropped whole with accounting.
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::DeadlineExceeded`] if the budget ran
-    /// out; the un-enqueued remainder is counted in
-    /// [`IngestStats::dropped`].
+    /// out; the batch is counted in [`IngestStats::dropped`].
     pub fn ingest_deadline(
         &self,
         items: Vec<A::Item>,
@@ -498,47 +525,34 @@ impl<A: ShardAggregate> ShardedService<A> {
         if items.is_empty() {
             return Ok(());
         }
-        let deadline = Instant::now() + timeout;
-        let mut expired = false;
-        let batches: Vec<Vec<A::Item>> = if self.shards.len() == 1 {
-            vec![items]
-        } else {
-            self.route(items)
-        };
-        for (shard, batch) in self.shards.iter().zip(batches) {
-            if batch.is_empty() {
-                continue;
+        let shard = self.next_shard();
+        let count = items.len() as u64;
+        match shard
+            .ring
+            .push_timeout(Msg::Work(Work::Batch(items)), timeout)
+        {
+            Ok(()) => {
+                shard.accept(count);
+                Ok(())
             }
-            let count = batch.len() as u64;
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if expired || remaining.is_zero() {
-                expired = true;
+            Err(TryPushError::Full(_)) => {
                 shard.drop_items(count);
-                continue;
+                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                Err(ProfileError::DeadlineExceeded {
+                    what: "ingest",
+                    millis: timeout.as_millis() as u64,
+                })
             }
-            match shard
-                .queue
-                .push_timeout(Msg::Work(Work::Batch(batch)), remaining)
-            {
-                Ok(()) => shard.accept(count),
-                Err(TryPushError::Full(_)) => {
-                    expired = true;
-                    shard.drop_items(count);
-                }
-                Err(TryPushError::Closed(_)) => shard.drop_items(count),
+            // A crashed shard's closed ring: counted, not an error —
+            // mirrors the blocking path.
+            Err(TryPushError::Closed(_)) => {
+                shard.drop_items(count);
+                Ok(())
             }
         }
-        if expired {
-            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            return Err(ProfileError::DeadlineExceeded {
-                what: "ingest",
-                millis: timeout.as_millis() as u64,
-            });
-        }
-        Ok(())
     }
 
-    /// Adaptive ingest under the overload controller: observes queue
+    /// Adaptive ingest under the overload controller: observes ring
     /// pressure, then delivers the batch at the resulting
     /// [`DegradeLevel`] — in full, thinned 1-in-k with the scale
     /// factor recorded, or shed whole with accounting. Returns the
@@ -566,20 +580,13 @@ impl<A: ShardAggregate> ShardedService<A> {
         level
     }
 
-    /// Routes items to per-shard batches (shard-index order).
-    fn route(&self, items: Vec<A::Item>) -> Vec<Vec<A::Item>> {
-        let n = self.shards.len();
-        let mut per_shard: Vec<Vec<A::Item>> = (0..n).map(|_| Vec::new()).collect();
-        for item in items {
-            per_shard[A::shard_of(&item, n)].push(item);
-        }
-        per_shard
-    }
-
-    /// One drain→merge→snapshot cycle: a barrier message per shard
-    /// guarantees everything enqueued before this call is aggregated,
-    /// then the shard views are merged in shard order. Collection
-    /// continues concurrently — workers keep their accumulators.
+    /// One watermark→publish→merge snapshot cycle: each shard records
+    /// the ring position enqueued so far as a watermark, and its
+    /// worker publishes a consistent accumulator clone the moment it
+    /// has processed up to that mark (see
+    /// [`SnapShared`](crate::supervise) for the protocol). Everything
+    /// enqueued before this call is included; collection continues
+    /// concurrently — ingest never waits on a snapshot.
     ///
     /// # Errors
     ///
@@ -588,69 +595,92 @@ impl<A: ShardAggregate> ShardedService<A> {
     /// [`ProfileError::Mismatch`] if shard aggregates disagree (which
     /// would indicate a bug in the `empty` prototype).
     pub fn snapshot(&self) -> Result<ServeSnapshot<A>, ProfileError> {
-        let mut pending = Vec::with_capacity(self.shards.len());
-        for (i, shard) in self.shards.iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            if shard.queue.push(Msg::Snapshot(tx)).is_err() {
-                return Err(self.shard_closed_error(i));
-            }
-            pending.push(rx);
-        }
-        let mut merged: Option<A> = None;
-        for (i, rx) in pending.into_iter().enumerate() {
-            let part = rx
-                .recv()
-                .map_err(|_| ProfileError::WorkerCrashed { shard: i })?;
-            match &mut merged {
-                None => merged = Some(part),
-                Some(m) => m.merge(&part)?,
-            }
-        }
-        let seq = self.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
-        Ok(ServeSnapshot {
-            merged: merged.expect("at least one shard"),
-            seq,
-            stats: self.stats(),
-        })
+        self.snapshot_cycle(None)
     }
 
     /// [`snapshot`](ShardedService::snapshot) that never blocks past
-    /// `timeout` in total — neither enqueueing the barriers (a full
-    /// queue in front of a stalled worker) nor awaiting the replies.
+    /// `timeout` in total — neither nudging a shard behind a full ring
+    /// (a stalled worker) nor awaiting the published aggregates.
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::DeadlineExceeded`] on budget expiry,
     /// otherwise as [`snapshot`](ShardedService::snapshot).
     pub fn snapshot_deadline(&self, timeout: Duration) -> Result<ServeSnapshot<A>, ProfileError> {
-        let deadline = Instant::now() + timeout;
-        let miss = |me: &Self, what| {
+        self.snapshot_cycle(Some(timeout))
+    }
+
+    fn snapshot_cycle(&self, timeout: Option<Duration>) -> Result<ServeSnapshot<A>, ProfileError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let miss = |me: &Self| {
             me.deadline_misses.fetch_add(1, Ordering::Relaxed);
             ProfileError::DeadlineExceeded {
-                what,
-                millis: timeout.as_millis() as u64,
+                what: "snapshot",
+                millis: timeout.expect("only deadline cycles miss").as_millis() as u64,
             }
         };
-        let mut pending = Vec::with_capacity(self.shards.len());
+        // One cycle at a time: each shard then has at most one
+        // outstanding request, which is what the two-slot mailbox is
+        // sized for.
+        let _cycle = self
+            .snap_cycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+
+        // Phase 1: stamp a watermark + epoch per shard, then nudge the
+        // ring so an idle (parked) worker wakes and notices.
+        let mut epochs = Vec::with_capacity(self.shards.len());
         for (i, shard) in self.shards.iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            match shard.queue.push_timeout(Msg::Snapshot(tx), remaining) {
-                Ok(()) => pending.push(rx),
-                Err(TryPushError::Full(_)) => return Err(miss(self, "snapshot")),
-                Err(TryPushError::Closed(_)) => return Err(self.shard_closed_error(i)),
-            }
-        }
-        let mut merged: Option<A> = None;
-        for (i, rx) in pending.into_iter().enumerate() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let part = match rx.recv_timeout(remaining) {
-                Ok(part) => part,
-                Err(mpsc::RecvTimeoutError::Timeout) => return Err(miss(self, "snapshot")),
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err(ProfileError::WorkerCrashed { shard: i })
+            let watermark = shard.ring.tail() as u64;
+            shard.snap.watermark.store(watermark, Ordering::Relaxed);
+            let epoch = shard.snap.requested.load(Ordering::Relaxed) + 1;
+            shard.snap.requested.store(epoch, Ordering::Release);
+            match deadline {
+                None => {
+                    if shard.ring.push(Msg::Nudge).is_err() {
+                        return Err(self.shard_closed_error(i));
+                    }
                 }
-            };
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    match shard.ring.push_timeout(Msg::Nudge, remaining) {
+                        Ok(()) => {}
+                        Err(TryPushError::Full(_)) => return Err(miss(self)),
+                        Err(TryPushError::Closed(_)) => return Err(self.shard_closed_error(i)),
+                    }
+                }
+            }
+            epochs.push(epoch);
+        }
+
+        // Phase 2: await each shard's publish and merge in shard order.
+        let mut merged: Option<A> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let epoch = epochs[i];
+            loop {
+                if shard.snap.published.load(Ordering::Acquire) >= epoch {
+                    break;
+                }
+                if shard.counters.crashed.load(Ordering::Acquire) {
+                    return Err(ProfileError::WorkerCrashed { shard: i });
+                }
+                let slice = match deadline {
+                    None => SNAP_WAIT_SLICE,
+                    Some(d) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(miss(self));
+                        }
+                        remaining.min(SNAP_WAIT_SLICE)
+                    }
+                };
+                shard.snap.wait(slice);
+            }
+            let part = shard.snap.slots[(epoch & 1) as usize]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("a published epoch always fills its slot");
             match &mut merged {
                 None => merged = Some(part),
                 Some(m) => m.merge(&part)?,
@@ -664,7 +694,7 @@ impl<A: ShardAggregate> ShardedService<A> {
         })
     }
 
-    /// The error for a closed shard queue: `WorkerCrashed` if the
+    /// The error for a closed shard ring: `WorkerCrashed` if the
     /// worker gave up, otherwise the service is shut down.
     fn shard_closed_error(&self, shard: usize) -> ProfileError {
         if self.shards[shard].counters.crashed.load(Ordering::Acquire) {
@@ -694,7 +724,7 @@ impl<A: ShardAggregate> ShardedService<A> {
             high_water: self
                 .shards
                 .iter()
-                .map(|s| s.queue.high_water())
+                .map(|s| s.ring.high_water())
                 .max()
                 .unwrap_or(0),
             snapshots: self.snapshots.load(Ordering::Relaxed),
@@ -730,7 +760,7 @@ impl<A: ShardAggregate> ShardedService<A> {
         Ok(())
     }
 
-    /// Closes every queue, drains the workers, and returns the final
+    /// Closes every ring, drains the workers, and returns the final
     /// merged aggregate plus the final accounting. Blocks until every
     /// worker drains; use
     /// [`shutdown_deadline`](ShardedService::shutdown_deadline) when a
@@ -761,8 +791,11 @@ impl<A: ShardAggregate> ShardedService<A> {
         timeout: Option<Duration>,
     ) -> Result<(A, IngestStats), ProfileError> {
         let deadline = timeout.map(|t| Instant::now() + t);
+        // `self` is consumed: no producer can race these closes, so
+        // every accepted item is already in a ring and will be drained
+        // by its worker.
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         let mut merged: Option<A> = None;
         for i in 0..self.shards.len() {
@@ -804,7 +837,7 @@ impl<A: ShardAggregate> Drop for ShardedService<A> {
             faults.release_stalled();
         }
         for shard in &self.shards {
-            shard.queue.close();
+            shard.ring.close();
         }
         for i in 0..self.shards.len() {
             if let Some(worker) = self.shards[i].worker.take() {

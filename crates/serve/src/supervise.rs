@@ -20,20 +20,34 @@
 //! is dropped whole with exact accounting (`lost_to_panics`) — a
 //! crash loses at most the in-flight batch. A worker that exhausts
 //! its recovery budget (or cannot deserialize its own checkpoint)
-//! fails the shard loudly: it closes its queue so producers unblock
+//! fails the shard loudly: it closes its ring so producers unblock
 //! and later `snapshot`/`shutdown` calls surface
 //! [`ProfileError::WorkerCrashed`](profileme_core::ProfileError).
+//!
+//! # Snapshots without barrier round-trips
+//!
+//! Snapshots no longer travel through the work ring as sentinel
+//! messages. Instead each shard carries a [`SnapShared`] mailbox: the
+//! service records the ring's enqueue position as a **watermark**,
+//! bumps a request epoch, and drops a cheap [`Msg::Nudge`] into the
+//! ring so an idle (parked) worker wakes up. The worker publishes a
+//! clone of its accumulator into one of two epoch-parity slots as soon
+//! as it has processed every ring position below the watermark — the
+//! same "everything enqueued before the call is included" guarantee
+//! the old barrier gave, without ever making ingest wait on a snapshot
+//! reply channel. See [`SnapShared`] for the full protocol and its
+//! memory-ordering argument.
 //!
 //! [`catch_unwind`]: std::panic::catch_unwind
 
 use crate::faults::{ActiveFaults, FaultAction};
-use crate::queue::BoundedQueue;
+use crate::ring::RingBuffer;
 use crate::service::ShardAggregate;
 use profileme_core::ProfileError;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Configuration of the per-shard supervision layer.
@@ -102,13 +116,100 @@ impl<A: ShardAggregate> Work<A> {
     }
 }
 
-/// A queue message: work, or a snapshot barrier.
+/// A ring message: work, or a wakeup poke for the snapshot protocol.
 pub(crate) enum Msg<A: ShardAggregate> {
     /// Aggregate this.
     Work(Work<A>),
-    /// Barrier: everything enqueued to this shard before it is
-    /// aggregated before the reply is sent.
-    Snapshot(mpsc::Sender<A>),
+    /// Wake an idle worker so it notices a pending [`SnapShared`]
+    /// request. Carries no data, is not journaled, and does not
+    /// consume a fault index — but it *does* occupy a ring position,
+    /// which is fine because watermarks only ever require processing
+    /// *more* positions, never fewer.
+    Nudge,
+}
+
+/// The per-shard snapshot mailbox: how a consistent accumulator view
+/// travels from the worker to a snapshot caller without a barrier
+/// message round-trip.
+///
+/// # Protocol
+///
+/// The service serializes snapshot cycles (one at a time), so each
+/// shard has at most one outstanding request:
+///
+/// 1. The requester stores `watermark` = the ring's enqueue position
+///    (everything enqueued before the snapshot call sits below it),
+///    then bumps `requested` to a fresh epoch, then nudges the ring.
+/// 2. After every message it finishes, the worker checks: if
+///    `requested` names an epoch it has not published and its count of
+///    processed ring positions has reached `watermark`, it clones the
+///    accumulator into `slots[epoch & 1]` and stores `published =
+///    epoch`.
+/// 3. The requester waits on `cv` until `published >= epoch` (or the
+///    shard crashes), then takes `slots[epoch & 1]`.
+///
+/// # Why two slots
+///
+/// A deadline-bounded snapshot can abandon its epoch mid-flight; the
+/// worker may publish that stale epoch arbitrarily late. Alternating
+/// slots by epoch parity means a late stale publish lands in the slot
+/// the *next* request does not read. Two consecutive abandonments
+/// reuse a parity, but then the worker's stale write is ordered before
+/// its fresh one (same thread), and the requester only reads after
+/// observing `published >= epoch`, which the fresh write precedes.
+///
+/// # Memory ordering
+///
+/// `watermark` is stored before `requested` (Release); the worker
+/// reads `requested` with Acquire, so a matching watermark is always
+/// visible. The accumulator clone is written under the slot's `Mutex`
+/// and `published` is stored with Release after it; the requester's
+/// Acquire load of `published` plus the slot lock orders the read
+/// after the write. `crashed` (in [`ShardCounters`]) uses
+/// Release/Acquire so a requester that sees it also sees the drained
+/// ring.
+pub(crate) struct SnapShared<A> {
+    /// Epoch of the most recent snapshot request (0 = never).
+    pub requested: AtomicU64,
+    /// Ring enqueue position the current request must cover.
+    pub watermark: AtomicU64,
+    /// Epoch of the most recent publish (0 = never).
+    pub published: AtomicU64,
+    /// Double buffer, indexed by `epoch & 1`.
+    pub slots: [Mutex<Option<A>>; 2],
+    /// Requesters park here; the worker (or the crash guard) notifies.
+    pub gate: Mutex<()>,
+    pub cv: Condvar,
+}
+
+impl<A> SnapShared<A> {
+    pub(crate) fn new() -> SnapShared<A> {
+        SnapShared {
+            requested: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            slots: [Mutex::new(None), Mutex::new(None)],
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wakes any requester parked on `cv`.
+    pub(crate) fn notify(&self) {
+        let _guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        self.cv.notify_all();
+    }
+
+    /// Parks a requester briefly; the predicate is re-checked by the
+    /// caller's loop, and the bounded timeout makes a lost notify cost
+    /// latency, never a hang.
+    pub(crate) fn wait(&self, timeout: Duration) {
+        let guard = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
 }
 
 /// Per-shard accounting shared between the worker and the service.
@@ -129,7 +230,8 @@ pub(crate) struct ShardCounters {
 /// Everything one shard worker needs.
 pub(crate) struct WorkerCtx<A: ShardAggregate> {
     pub shard: usize,
-    pub queue: Arc<BoundedQueue<Msg<A>>>,
+    pub ring: Arc<RingBuffer<Msg<A>>>,
+    pub snap: Arc<SnapShared<A>>,
     pub empty: A,
     pub cfg: SuperviseConfig,
     pub counters: Arc<ShardCounters>,
@@ -158,7 +260,7 @@ fn apply_fault<A: ShardAggregate>(ctx: &WorkerCtx<A>, idx: Option<u64>) {
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
         Some(FaultAction::Stall) => {
             // Park until the service tears down; deliberately ignores
-            // queue close so deadline paths genuinely time out.
+            // ring close so deadline paths genuinely time out.
             while !faults.stall_released() {
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -184,14 +286,15 @@ fn rebuild<A: ShardAggregate>(
     Ok(acc)
 }
 
-/// Marks the shard crashed and closes its queue on any abnormal worker
+/// Marks the shard crashed and closes its ring on any abnormal worker
 /// exit — an explicit give-up *or* a panic unwinding the thread (the
 /// unsupervised path) — so producers unblock and `snapshot`/`shutdown`
-/// surface `WorkerCrashed` instead of hanging on a barrier no one will
-/// ever answer.
+/// surface `WorkerCrashed` instead of hanging on a reply no one will
+/// ever publish.
 struct CrashGuard<'a, A: ShardAggregate> {
     counters: &'a ShardCounters,
-    queue: &'a BoundedQueue<Msg<A>>,
+    ring: &'a RingBuffer<Msg<A>>,
+    snap: &'a SnapShared<A>,
     armed: bool,
 }
 
@@ -199,28 +302,64 @@ impl<A: ShardAggregate> Drop for CrashGuard<'_, A> {
     fn drop(&mut self) {
         if self.armed {
             self.counters.crashed.store(true, Ordering::Release);
-            self.queue.close();
+            self.ring.close();
             // Drain what the dead shard will never process: abandoned
-            // work is counted as dropped, and dropping pending snapshot
-            // barriers disconnects their channels so callers get
-            // `WorkerCrashed` instead of blocking forever on a reply.
-            while let Some(msg) = self.queue.pop() {
-                if let Msg::Work(work) = msg {
-                    self.counters
-                        .dropped
-                        .fetch_add(work.len(), Ordering::Relaxed);
+            // work is counted as dropped. A `try_push` racing `close`
+            // may still land an item after an empty drain observation,
+            // so sweep until the ring stays empty across two passes.
+            loop {
+                let mut drained = false;
+                while let Some(msg) = self.ring.try_pop() {
+                    drained = true;
+                    if let Msg::Work(work) = msg {
+                        self.counters
+                            .dropped
+                            .fetch_add(work.len(), Ordering::Relaxed);
+                    }
+                }
+                if !drained {
+                    break;
                 }
             }
+            // Wake any snapshot requester so it sees `crashed` and
+            // returns `WorkerCrashed` instead of waiting forever.
+            self.snap.notify();
         }
     }
 }
 
-/// The shard worker: pops messages until the queue closes, absorbing
-/// under supervision, then sends the final accumulator over `done`.
+/// Publishes the accumulator into the snapshot mailbox if an
+/// unanswered request's watermark has been reached. `processed` counts
+/// ring positions this worker has fully handled.
+fn maybe_publish<A: ShardAggregate>(
+    snap: &SnapShared<A>,
+    acc: &A,
+    processed: u64,
+    last_published: &mut u64,
+) {
+    let req = snap.requested.load(Ordering::Acquire);
+    if req == *last_published || processed < snap.watermark.load(Ordering::Acquire) {
+        return;
+    }
+    {
+        let mut slot = snap.slots[(req & 1) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(acc.clone());
+    }
+    snap.published.store(req, Ordering::Release);
+    *last_published = req;
+    snap.notify();
+}
+
+/// The shard worker: pops messages until the ring closes, absorbing
+/// under supervision and answering snapshot requests between messages,
+/// then sends the final accumulator over `done`.
 pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
     let mut guard = CrashGuard {
         counters: &ctx.counters,
-        queue: &ctx.queue,
+        ring: &ctx.ring,
+        snap: &ctx.snap,
         armed: true,
     };
     let mut acc = ctx.empty.clone();
@@ -228,11 +367,16 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
     let mut journal: Vec<Work<A>> = Vec::new();
     let mut since_checkpoint = 0u32;
     let mut recoveries_left = ctx.cfg.max_recoveries;
-    while let Some(msg) = ctx.queue.pop() {
+    // Ring positions fully handled; compared against snapshot
+    // watermarks. Counts every message kind — Nudges occupy positions
+    // too.
+    let mut processed = 0u64;
+    let mut last_published = 0u64;
+    while let Some(msg) = ctx.ring.pop() {
         let work = match msg {
-            // A dropped receiver just means the snapshot caller went away.
-            Msg::Snapshot(tx) => {
-                drop(tx.send(acc.clone()));
+            Msg::Nudge => {
+                processed += 1;
+                maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
                 continue;
             }
             Msg::Work(work) => work,
@@ -243,10 +387,12 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
 
         if !ctx.cfg.enabled {
             // Unsupervised: let the panic tear the thread down. The
-            // `done` sender drops with it and the service reports
-            // `WorkerCrashed`.
+            // crash guard runs during the unwind and the service
+            // reports `WorkerCrashed`.
             apply_fault(&ctx, fault_idx);
             work.absorb_into(&mut acc);
+            processed += 1;
+            maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
             continue;
         }
 
@@ -265,7 +411,7 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
                     ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
                     if recoveries_left == 0 {
                         // Budget exhausted: the guard marks the shard
-                        // crashed and closes the queue.
+                        // crashed and closes the ring.
                         return;
                     }
                     recoveries_left -= 1;
@@ -306,6 +452,11 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
                 .lost_to_panics
                 .fetch_add(work.len(), Ordering::Relaxed);
         }
+        // The position is processed either way (absorbed or dropped
+        // with accounting): a snapshot at this watermark must not wait
+        // on a message that will never be absorbed.
+        processed += 1;
+        maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
     }
     guard.armed = false;
     drop(ctx.done.send(acc));
