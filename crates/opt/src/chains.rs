@@ -14,6 +14,7 @@ use profileme_isa::Program;
 /// the end).
 pub fn hot_chains(program: &Program, cfg: &Cfg, weights: &EdgeWeights) -> Vec<BlockId> {
     let mut order = Vec::with_capacity(cfg.len());
+    let mut placed = vec![false; cfg.len()];
     for f in program.functions() {
         let blocks: Vec<BlockId> = cfg
             .blocks()
@@ -22,12 +23,15 @@ pub fn hot_chains(program: &Program, cfg: &Cfg, weights: &EdgeWeights) -> Vec<Bl
             .map(|b| b.id)
             .collect();
         let entry = cfg.block_of(f.entry).expect("function entry has a block");
-        order.extend(chain_function(&blocks, entry, weights));
+        for b in chain_function(&blocks, entry, weights) {
+            placed[b.index()] = true;
+            order.push(b);
+        }
     }
     // Blocks outside any function (none for builder-produced programs,
     // but keep the transform total).
     for b in cfg.blocks() {
-        if !order.contains(&b.id) {
+        if !placed[b.id.index()] {
             order.push(b.id);
         }
     }
@@ -35,15 +39,29 @@ pub fn hot_chains(program: &Program, cfg: &Cfg, weights: &EdgeWeights) -> Vec<Bl
 }
 
 fn chain_function(blocks: &[BlockId], entry: BlockId, weights: &EdgeWeights) -> Vec<BlockId> {
-    let in_function = |b: BlockId| blocks.contains(&b);
+    let Some(max_index) = blocks.iter().map(|b| b.index()).max() else {
+        return Vec::new();
+    };
+    let mut in_function = vec![false; max_index + 1];
+    for b in blocks {
+        in_function[b.index()] = true;
+    }
+    let in_f = |b: BlockId| b.index() <= max_index && in_function[b.index()];
     // Every block starts as its own chain; edges (heaviest first, ties
     // broken by block ids for determinism) merge a chain *tail* into a
     // chain *head*, so each block keeps at most one layout predecessor
-    // and successor.
+    // and successor. `tail_of`/`head_of` index the chain a block
+    // currently ends/starts, replacing per-edge linear scans.
     let mut chains: Vec<Vec<BlockId>> = blocks.iter().map(|&b| vec![b]).collect();
+    let mut tail_of: Vec<Option<usize>> = vec![None; max_index + 1];
+    let mut head_of: Vec<Option<usize>> = vec![None; max_index + 1];
+    for (i, b) in blocks.iter().enumerate() {
+        tail_of[b.index()] = Some(i);
+        head_of[b.index()] = Some(i);
+    }
     let mut edges: Vec<((BlockId, BlockId), f64)> = weights
         .iter()
-        .filter(|((a, b), _)| in_function(*a) && in_function(*b) && a != b)
+        .filter(|((a, b), _)| in_f(*a) && in_f(*b) && a != b)
         .map(|(k, w)| (*k, *w))
         .collect();
     edges.sort_by(|(ka, wa), (kb, wb)| {
@@ -52,35 +70,35 @@ fn chain_function(blocks: &[BlockId], entry: BlockId, weights: &EdgeWeights) -> 
             .then(ka.cmp(kb))
     });
     for ((from, to), _) in edges {
-        let Some(i) = chains.iter().position(|c| c.last() == Some(&from)) else {
-            continue;
+        let Some(i) = tail_of[from.index()] else {
+            continue; // `from` is no longer a chain tail
         };
-        let Some(j) = chains.iter().position(|c| c.first() == Some(&to)) else {
-            continue;
+        let Some(j) = head_of[to.index()] else {
+            continue; // `to` is no longer a chain head
         };
         if i == j {
             continue; // would close a cycle
         }
-        let tail = chains.remove(j);
-        let i = chains
-            .iter()
-            .position(|c| c.last() == Some(&from))
-            .expect("unchanged");
-        chains[i].extend(tail);
+        let absorbed = std::mem::take(&mut chains[j]);
+        tail_of[from.index()] = None;
+        head_of[to.index()] = None;
+        let new_tail = *absorbed.last().expect("chains are never empty");
+        tail_of[new_tail.index()] = Some(i);
+        chains[i].extend(absorbed);
     }
+    chains.retain(|c| !c.is_empty());
 
-    // Chain heat: sum of weights of edges leaving its blocks.
-    let heat = |c: &Vec<BlockId>| -> f64 {
-        c.iter()
-            .map(|b| {
-                weights
-                    .iter()
-                    .filter(|((a, _), _)| a == b)
-                    .map(|(_, w)| *w)
-                    .sum::<f64>()
-            })
-            .sum()
-    };
+    // Chain heat: sum of weights of edges leaving its blocks. The
+    // per-block out-weights are accumulated once, in sorted edge order
+    // so float summation is deterministic.
+    let mut out_edges: Vec<(&(BlockId, BlockId), &f64)> =
+        weights.iter().filter(|((a, _), _)| in_f(*a)).collect();
+    out_edges.sort_by_key(|(k, _)| **k);
+    let mut out_weight = vec![0.0f64; max_index + 1];
+    for ((a, _), w) in out_edges {
+        out_weight[a.index()] += *w;
+    }
+    let heat = |c: &Vec<BlockId>| -> f64 { c.iter().map(|b| out_weight[b.index()]).sum() };
     chains.sort_by(|a, b| {
         let (ha, hb) = (heat(a), heat(b));
         hb.partial_cmp(&ha)

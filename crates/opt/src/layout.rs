@@ -6,6 +6,69 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+/// The old→new PC correspondence produced by [`reorder_blocks`].
+///
+/// Every original instruction that survives the relayout (which is all
+/// of them except unconditional jumps elided into fall-throughs) has
+/// exactly one image in the new program; bridge jumps inserted to repair
+/// broken fall-throughs have no pre-image. The mapping is what lets a
+/// profile collected on one layout be re-attributed to the next — the
+/// continuous-optimization loop's iteration N+1 — and what the
+/// equivalence checks walk to compare per-instruction execution counts
+/// across layouts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PcRemap {
+    forward: HashMap<Pc, Pc>,
+    reverse: HashMap<Pc, Pc>,
+}
+
+impl PcRemap {
+    fn insert(&mut self, old: Pc, new: Pc) {
+        self.forward.insert(old, new);
+        self.reverse.insert(new, old);
+    }
+
+    /// Where the instruction at `old` landed, if it survived.
+    pub fn new_pc(&self, old: Pc) -> Option<Pc> {
+        self.forward.get(&old).copied()
+    }
+
+    /// Which original instruction the one at `new` came from; `None`
+    /// for inserted bridge jumps.
+    pub fn old_pc(&self, new: Pc) -> Option<Pc> {
+        self.reverse.get(&new).copied()
+    }
+
+    /// Number of mapped instructions.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Iterates `(old, new)` pairs in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, Pc)> + '_ {
+        self.forward.iter().map(|(&o, &n)| (o, n))
+    }
+
+    /// Chains this map (layout A→B) with a `later` one (B→C) into the
+    /// cumulative A→C map, so iterated relayouts can re-attribute all
+    /// the way back to the original binary. An instruction dropped by
+    /// either step is absent from the composition.
+    pub fn compose(&self, later: &PcRemap) -> PcRemap {
+        let mut out = PcRemap::default();
+        for (old, mid) in self.iter() {
+            if let Some(new) = later.new_pc(mid) {
+                out.insert(old, new);
+            }
+        }
+        out
+    }
+}
+
 /// Errors from [`reorder_blocks`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayoutError {
@@ -77,6 +140,9 @@ fn invert(cond: Cond) -> Cond {
 /// * calls keep their return semantics: if the post-call block moved, a
 ///   jump to it follows the call.
 ///
+/// Returns the reordered program together with the [`PcRemap`] carrying
+/// each surviving instruction from its old PC to its new one.
+///
 /// # Errors
 ///
 /// Returns [`LayoutError::IndirectJump`] if the program contains
@@ -88,7 +154,7 @@ pub fn reorder_blocks(
     program: &Program,
     cfg: &Cfg,
     order: &[BlockId],
-) -> Result<Program, LayoutError> {
+) -> Result<(Program, PcRemap), LayoutError> {
     // Validate: no indirect jumps.
     for (pc, inst) in program.iter() {
         if matches!(inst.op, Op::JmpInd { .. }) {
@@ -134,6 +200,7 @@ pub fn reorder_blocks(
         .collect();
     let label_of_pc = |pc: Pc| -> Option<Label> { cfg.block_of(pc).map(|id| labels[&id]) };
 
+    let mut remap = PcRemap::default();
     for (pos, &id) in order.iter().enumerate() {
         let block = cfg.block(id);
         // Function boundary: the block starting a function opens it.
@@ -149,6 +216,7 @@ pub fn reorder_blocks(
         for pc in block.pcs() {
             let inst = *program.fetch(pc).expect("block pcs are in the image");
             if pc != last {
+                remap.insert(pc, b.current_pc());
                 b.emit(inst.op);
                 continue;
             }
@@ -160,6 +228,7 @@ pub fn reorder_blocks(
                     let fall = label_of_pc(fall_pc);
                     let taken_id = cfg.block_of(target);
                     let fall_id = cfg.block_of(fall_pc);
+                    remap.insert(pc, b.current_pc());
                     if next_in_layout.is_some() && next_in_layout == taken_id {
                         // Taken target now falls through: invert.
                         let fall = fall.expect("conditional branches have a fall-through block");
@@ -176,12 +245,15 @@ pub fn reorder_blocks(
                 Op::Jmp { target } => {
                     let t = label_of_pc(target).expect("jump targets a block");
                     if next_in_layout != cfg.block_of(target) {
+                        remap.insert(pc, b.current_pc());
                         b.jmp(t);
                     }
-                    // Else: elided, the target now falls through.
+                    // Else: elided, the target now falls through — the
+                    // jump has no image and stays out of the remap.
                 }
                 Op::Call { target, .. } => {
                     let t = label_of_pc(target).expect("calls target a function entry");
+                    remap.insert(pc, b.current_pc());
                     b.call(t);
                     // The return lands right after the call: if the old
                     // post-call block moved away, bridge with a jump.
@@ -192,14 +264,17 @@ pub fn reorder_blocks(
                     }
                 }
                 Op::Ret { base } => {
+                    remap.insert(pc, b.current_pc());
                     b.ret_via(base);
                 }
                 Op::Halt => {
+                    remap.insert(pc, b.current_pc());
                     b.halt();
                 }
                 other => {
                     // Straight-line block split by a leader: repair the
                     // fall-through if the layout broke it.
+                    remap.insert(pc, b.current_pc());
                     b.emit(other);
                     if let Some(f) = cfg.block_of(block.end) {
                         if next_in_layout != Some(f) {
@@ -210,7 +285,7 @@ pub fn reorder_blocks(
             }
         }
     }
-    Ok(b.build()?)
+    Ok((b.build()?, remap))
 }
 
 #[cfg(test)]
@@ -257,8 +332,72 @@ mod tests {
         let p = diamond_loop();
         let cfg = Cfg::build(&p);
         let order: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
-        let q = reorder_blocks(&p, &cfg, &order).unwrap();
+        let (q, remap) = reorder_blocks(&p, &cfg, &order).unwrap();
         assert_eq!(final_regs(&p), final_regs(&q));
+        // Identity layout: every instruction survives in place.
+        assert_eq!(remap.len(), p.len());
+        for (pc, _) in p.iter() {
+            assert_eq!(remap.new_pc(pc), Some(pc));
+            assert_eq!(remap.old_pc(pc), Some(pc));
+        }
+    }
+
+    #[test]
+    fn remap_round_trips_and_tracks_elisions() {
+        let p = diamond_loop();
+        let cfg = Cfg::build(&p);
+        // Move the cold arm (the block ending in `jmp join`) to the end;
+        // its jump survives, while new bridge jumps may appear.
+        let mut order: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        let cold = order.remove(3);
+        order.push(cold);
+        let (q, remap) = reorder_blocks(&p, &cfg, &order).unwrap();
+        assert_eq!(final_regs(&p), final_regs(&q));
+        // Round-trip: forward then reverse is the identity on the domain.
+        let mut mapped = 0;
+        for (pc, _) in p.iter() {
+            if let Some(new) = remap.new_pc(pc) {
+                assert_eq!(remap.old_pc(new), Some(pc), "round-trip at {pc}");
+                mapped += 1;
+            } else {
+                // Only unconditional jumps can be elided.
+                assert!(matches!(p.fetch(pc).unwrap().op, Op::Jmp { .. }));
+            }
+        }
+        assert_eq!(mapped, remap.len());
+        // Instructions in the new image without a pre-image are bridge
+        // jumps, nothing else.
+        for (pc, inst) in q.iter() {
+            if remap.old_pc(pc).is_none() {
+                assert!(
+                    matches!(inst.op, Op::Jmp { .. }),
+                    "synthetic {inst} at {pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remap_composition_chains_two_layouts() {
+        let p = diamond_loop();
+        let cfg = Cfg::build(&p);
+        let mut order: Vec<BlockId> = cfg.blocks().iter().map(|b| b.id).collect();
+        let moved = order.remove(2);
+        order.push(moved);
+        let (q, ab) = reorder_blocks(&p, &cfg, &order).unwrap();
+        // Second relayout restores address order of q's blocks reversed.
+        let cfg_q = Cfg::build(&q);
+        let mut order_q: Vec<BlockId> = cfg_q.blocks().iter().map(|b| b.id).collect();
+        order_q[1..].reverse();
+        let (r, bc) = reorder_blocks(&q, &cfg_q, &order_q).unwrap();
+        let ac = ab.compose(&bc);
+        for (old, new) in ac.iter() {
+            // The composed map must agree with chaining the two steps.
+            assert_eq!(ab.new_pc(old).and_then(|mid| bc.new_pc(mid)), Some(new));
+            assert!(r.fetch(new).is_some());
+        }
+        assert!(ac.len() <= ab.len().min(bc.len()));
+        assert!(!ac.is_empty());
     }
 
     #[test]
@@ -275,7 +414,7 @@ mod tests {
         permute(&rest, &mut |perm| {
             let mut order = vec![entry];
             order.extend_from_slice(perm);
-            let q = reorder_blocks(&p, &cfg, &order).unwrap();
+            let (q, _) = reorder_blocks(&p, &cfg, &order).unwrap();
             assert_eq!(final_regs(&q), truth, "order {order:?}");
             tried += 1;
         });
@@ -374,7 +513,7 @@ mod tests {
         let mut order = main_blocks;
         let rest: Vec<BlockId> = all.iter().copied().filter(|b| !order.contains(b)).collect();
         order.extend(rest);
-        let q = reorder_blocks(&p, &cfg, &order).unwrap();
+        let (q, _) = reorder_blocks(&p, &cfg, &order).unwrap();
         assert_eq!(final_regs(&q), truth);
         assert_eq!(q.functions().len(), 2);
     }

@@ -18,7 +18,11 @@
 //!    blocks in the new order, re-targeting branches, inverting
 //!    conditions so hot successors fall through, eliding jumps that
 //!    become fall-throughs, and inserting jumps where old fall-throughs
-//!    are broken. The transform preserves architectural behaviour.
+//!    are broken. The transform preserves architectural behaviour and
+//!    returns a [`PcRemap`] carrying each surviving instruction from
+//!    its old PC to its new one — the continuous-optimization loop
+//!    composes these maps to re-attribute profiles and equivalence
+//!    checks across successive layouts.
 //!
 //! # Example
 //!
@@ -41,12 +45,16 @@
 //! // With uniform weights the layout is behaviour-preserving even if
 //! // the order changes.
 //! let order = hot_chains(&p, &cfg, &HashMap::new());
-//! let q = reorder_blocks(&p, &cfg, &order)?;
+//! let (q, remap) = reorder_blocks(&p, &cfg, &order)?;
 //! let mut a = ArchState::new(&p);
 //! let mut b2 = ArchState::new(&q);
 //! a.run(&p, 10_000)?;
 //! b2.run(&q, 10_000)?;
 //! assert_eq!(a.reg(Reg::R1), b2.reg(Reg::R1));
+//! // The remap locates every surviving instruction in the new image.
+//! for (old, new) in remap.iter() {
+//!     assert!(p.fetch(old).is_some() && q.fetch(new).is_some());
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -61,5 +69,5 @@ mod weights;
 
 pub use chains::hot_chains;
 pub use inline::{inline_call, InlineError};
-pub use layout::{reorder_blocks, LayoutError};
+pub use layout::{reorder_blocks, LayoutError, PcRemap};
 pub use weights::{edge_weights_from_profile, EdgeWeights};

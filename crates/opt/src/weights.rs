@@ -2,7 +2,6 @@
 
 use profileme_cfg::{BlockId, Cfg, EdgeKind};
 use profileme_core::ProfileDatabase;
-use profileme_isa::Program;
 use std::collections::HashMap;
 
 /// Control-flow edge weights, keyed by `(from, to)`.
@@ -16,11 +15,12 @@ pub type EdgeWeights = HashMap<(BlockId, BlockId), f64>;
 /// aggregated). For unconditional terminators the full block weight goes
 /// to the single successor. Call/return/indirect edges are ignored —
 /// layout works within functions and keeps call structure intact.
-pub fn edge_weights_from_profile(
-    db: &ProfileDatabase,
-    program: &Program,
-    cfg: &Cfg,
-) -> EdgeWeights {
+///
+/// Everything needed lives in the database (per-PC retire estimates and
+/// taken counts) and the CFG (block structure and edge kinds); the
+/// program image itself carries no extra signal, so it is not a
+/// parameter.
+pub fn edge_weights_from_profile(db: &ProfileDatabase, cfg: &Cfg) -> EdgeWeights {
     let mut weights = EdgeWeights::new();
     for block in cfg.blocks() {
         let last = block.last_pc();
@@ -56,7 +56,6 @@ pub fn edge_weights_from_profile(
                 *weights.entry((e.from, e.to)).or_insert(0.0) += w;
             }
         }
-        let _ = program; // reserved for future per-class weighting
     }
     weights
 }
@@ -104,7 +103,7 @@ mod tests {
             .unwrap()
             .profile_single()
             .unwrap();
-        let weights = edge_weights_from_profile(&run.db, &p, &cfg);
+        let weights = edge_weights_from_profile(&run.db, &cfg);
         // Find the diamond's branch block and its two outgoing edges.
         let branch_block = cfg
             .blocks()

@@ -135,12 +135,12 @@ proptest! {
         let cfg = Cfg::build(&p);
         let truth = final_regs(&p);
         let order = seeded_order(&p, &cfg, seed);
-        let q = reorder_blocks(&p, &cfg, &order).expect("valid order");
+        let (q, _) = reorder_blocks(&p, &cfg, &order).expect("valid order");
         prop_assert_eq!(final_regs(&q), truth);
         // The transform is idempotent in behaviour: relayout the relayout.
         let cfg_q = Cfg::build(&q);
         let order_q = seeded_order(&q, &cfg_q, seed.wrapping_add(1));
-        let r = reorder_blocks(&q, &cfg_q, &order_q).expect("valid order");
+        let (r, _) = reorder_blocks(&q, &cfg_q, &order_q).expect("valid order");
         prop_assert_eq!(final_regs(&r), final_regs(&q));
     }
 
@@ -151,7 +151,86 @@ proptest! {
         let p = build(&cs, 12);
         let cfg = Cfg::build(&p);
         let order = hot_chains(&p, &cfg, &HashMap::new());
-        let q = reorder_blocks(&p, &cfg, &order).expect("chain order is valid");
+        let (q, _) = reorder_blocks(&p, &cfg, &order).expect("chain order is valid");
         prop_assert_eq!(final_regs(&q), final_regs(&p));
     }
+
+    /// Execution equivalence through the PC remap: for random programs
+    /// and random valid orders, the reordered program reaches the same
+    /// architectural final state, retires the same instructions (the
+    /// only dynamic count allowed to change is unconditional jumps,
+    /// which relayout elides and inserts), and every mapped instruction
+    /// round-trips through the remap with identical per-PC execution
+    /// counts.
+    #[test]
+    fn remapped_execution_counts_match(
+        cs in prop::collection::vec(arb_construct(), 1..7),
+        seed in any::<u64>(),
+    ) {
+        let p = build(&cs, 12);
+        let cfg = Cfg::build(&p);
+        let order = seeded_order(&p, &cfg, seed);
+        let (q, remap) = reorder_blocks(&p, &cfg, &order).expect("valid order");
+
+        let (regs_p, counts_p) = trace_counts(&p);
+        let (regs_q, counts_q) = trace_counts(&q);
+        prop_assert_eq!(regs_p, regs_q);
+
+        // Retired-instruction counts match once the layout's own
+        // plumbing (elided/inserted unconditional jumps) is set aside.
+        let non_jump = |p: &Program, counts: &HashMap<profileme_isa::Pc, u64>| -> u64 {
+            counts
+                .iter()
+                .filter(|(pc, _)| !matches!(p.fetch(**pc).unwrap().op, profileme_isa::Op::Jmp { .. }))
+                .map(|(_, n)| *n)
+                .sum()
+        };
+        prop_assert_eq!(non_jump(&p, &counts_p), non_jump(&q, &counts_q));
+
+        // The remap covers every instruction except elided jumps, and
+        // round-trips: old → new → old is the identity.
+        for (pc, inst) in p.iter() {
+            match remap.new_pc(pc) {
+                Some(new) => {
+                    prop_assert_eq!(remap.old_pc(new), Some(pc));
+                    // Per-PC execution counts re-attribute exactly.
+                    prop_assert_eq!(
+                        counts_p.get(&pc).copied().unwrap_or(0),
+                        counts_q.get(&new).copied().unwrap_or(0),
+                        "execution count at {} vs {}", pc, new
+                    );
+                }
+                None => prop_assert!(
+                    matches!(inst.op, profileme_isa::Op::Jmp { .. }),
+                    "only unconditional jumps may be elided, lost {} at {}",
+                    inst,
+                    pc
+                ),
+            }
+        }
+        // And nothing else lives in the new image: unmapped new
+        // instructions are inserted bridge jumps.
+        for (pc, inst) in q.iter() {
+            if remap.old_pc(pc).is_none() {
+                prop_assert!(matches!(inst.op, profileme_isa::Op::Jmp { .. }));
+            }
+        }
+    }
+}
+
+/// Functional execution with per-PC execution counts: final registers
+/// (link excluded) plus how many times each PC retired.
+fn trace_counts(p: &Program) -> (Vec<u64>, HashMap<profileme_isa::Pc, u64>) {
+    let mut s = ArchState::new(p);
+    let mut counts: HashMap<profileme_isa::Pc, u64> = HashMap::new();
+    while !s.halted() {
+        let out = s.step(p).expect("stays in the image");
+        *counts.entry(out.pc).or_insert(0) += 1;
+        assert!(s.retired() < 10_000_000, "runaway program");
+    }
+    let regs = (0..32u8)
+        .filter(|&i| i as usize != Reg::LINK.index())
+        .map(|i| s.reg(Reg::new(i)))
+        .collect();
+    (regs, counts)
 }

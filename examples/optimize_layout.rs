@@ -93,9 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Weights -> chains -> relayout.
     let cfg = Cfg::build(&p);
-    let weights = edge_weights_from_profile(&run.db, &p, &cfg);
+    let weights = edge_weights_from_profile(&run.db, &cfg);
     let order = hot_chains(&p, &cfg, &weights);
-    let q = reorder_blocks(&p, &cfg, &order)?;
+    let (q, remap) = reorder_blocks(&p, &cfg, &order)?;
+    println!(
+        "relayout: {} of {} instructions survive (elided jumps account for the rest)",
+        remap.len(),
+        p.len()
+    );
 
     // 3. Verify behaviour, then measure.
     let mut a = profileme::isa::ArchState::new(&p);

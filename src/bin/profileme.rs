@@ -7,6 +7,7 @@
 //! profileme --workload compress --report instructions --top 15
 //! profileme --workload go --paired --report wasted
 //! profileme serve --workload perl --shards 4 --chunks 8
+//! profileme optimize --workload vortex --iterations 4
 //! profileme --list
 //! ```
 //!
@@ -14,6 +15,13 @@
 //! sharded aggregation service (`profileme-serve`), printing an
 //! interval-delta snapshot per chunk and a final top-N report — the
 //! continuous-profiling daemon loop of §5 in miniature.
+//!
+//! The `optimize` subcommand closes the §7 loop: profile the workload
+//! with ProfileMe sampling, inline the hot leaf call sites and relayout
+//! each function's blocks along the sampled hot paths, re-simulate, and
+//! print the per-function layout changes and the IPC delta. With
+//! `--iterations N` the optimized binary is re-profiled and re-laid-out
+//! until the layout converges or the budget runs out.
 
 use profileme::core::{
     procedure_summaries, wasted_issue_slots, PairedConfig, ProfileField, ProfileMeConfig, Session,
@@ -40,6 +48,9 @@ struct Args {
     deadline_ms: Option<u64>,
     degrade: bool,
     fail_spec: String,
+    // `optimize` subcommand knobs.
+    optimize: bool,
+    iterations: u32,
 }
 
 impl Default for Args {
@@ -60,6 +71,8 @@ impl Default for Args {
             deadline_ms: None,
             degrade: false,
             fail_spec: String::new(),
+            optimize: false,
+            iterations: 1,
         }
     }
 }
@@ -70,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
     if it.peek().map(String::as_str) == Some("serve") {
         it.next();
         args.serve = true;
+    } else if it.peek().map(String::as_str) == Some("optimize") {
+        it.next();
+        args.optimize = true;
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -100,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--degrade" if args.serve => args.degrade = true,
             "--fail-spec" if args.serve => args.fail_spec = value("--fail-spec")?,
+            "--iterations" if args.optimize => {
+                args.iterations = value("--iterations")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--list" => args.list = true,
             "--json" => args.json = true,
             "--help" | "-h" => {
@@ -109,7 +128,9 @@ fn parse_args() -> Result<Args, String> {
                      [--report instructions|procedures|wasted|disasm] [--json] [--list]\n       \
                      profileme serve [--workload NAME] [--interval S] [--budget INSTRUCTIONS] \
                      [--shards N] [--chunks N] [--top N] [--deadline-ms N] [--degrade] \
-                     [--fail-spec SPEC] [--json]"
+                     [--fail-spec SPEC] [--json]\n       \
+                     profileme optimize [--workload NAME] [--interval S] [--buffer N] \
+                     [--budget INSTRUCTIONS] [--iterations N] [--json]"
                 );
                 std::process::exit(0);
             }
@@ -291,6 +312,271 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     Ok(())
 }
 
+/// JSON shape of `profileme optimize --json`.
+#[derive(serde::Serialize)]
+struct OptimizeOutcome {
+    workload: String,
+    iterations: u32,
+    converged: bool,
+    optimizable: bool,
+    inlined_calls: u32,
+    functions_relaid: Vec<String>,
+    baseline_cycles: u64,
+    optimized_cycles: u64,
+    baseline_ipc: f64,
+    /// The optimized binary's own retires over its own cycles.
+    optimized_ipc: f64,
+    /// Original work over optimized cycles — monotone with speedup.
+    effective_ipc: f64,
+    speedup: f64,
+    note: String,
+}
+
+/// The `profileme optimize` subcommand: the §7 loop on one workload.
+/// Profile → inline hot leaf calls → hot-chain relayout → re-simulate,
+/// iterated to convergence under `--iterations`. Candidates are adopted
+/// only when they cut simulated cycles, so the result never regresses
+/// the baseline; every adopted binary is checked architecturally
+/// equivalent to the original before anything is reported.
+fn optimize_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), String> {
+    use profileme::cfg::Cfg;
+    use profileme::isa::{ArchState, Op, Program};
+    use profileme::opt::{
+        edge_weights_from_profile, hot_chains, inline_call, reorder_blocks, LayoutError,
+    };
+
+    let pipeline = PipelineConfig::default();
+    let simulate = |p: &Program| -> Result<profileme::uarch::SimStats, String> {
+        profileme::core::run_ground_truth(
+            p.clone(),
+            Some(w.memory.clone()),
+            pipeline.clone(),
+            u64::MAX,
+        )
+        .map(|r| r.stats)
+        .map_err(|e| e.to_string())
+    };
+    let profile = |p: &Program| -> Result<profileme::core::SingleRun, String> {
+        Session::builder(p.clone())
+            .memory(w.memory.clone())
+            .pipeline(pipeline.clone())
+            .sampling(ProfileMeConfig {
+                mean_interval: args.interval,
+                buffer_depth: args.buffer.max(1),
+                ..ProfileMeConfig::default()
+            })
+            .build()
+            .map_err(|e| e.to_string())?
+            .profile_single()
+            .map_err(|e| e.to_string())
+    };
+
+    let baseline = simulate(&w.program)?;
+    let mut out = OptimizeOutcome {
+        workload: w.name.to_string(),
+        iterations: 0,
+        converged: false,
+        optimizable: true,
+        inlined_calls: 0,
+        functions_relaid: Vec::new(),
+        baseline_cycles: baseline.cycles,
+        optimized_cycles: baseline.cycles,
+        baseline_ipc: baseline.ipc(),
+        optimized_ipc: baseline.ipc(),
+        effective_ipc: baseline.ipc(),
+        speedup: 1.0,
+        note: String::new(),
+    };
+    if !args.json {
+        println!(
+            "# {}: baseline {} cycles, IPC {:.3} ({} instructions)",
+            w.name,
+            baseline.cycles,
+            baseline.ipc(),
+            w.program.len()
+        );
+    }
+
+    let mut run = profile(&w.program)?;
+    let mut best = w.program.clone();
+    let mut best_stats = baseline.clone();
+
+    // Profile-guided inlining of hot, small, leaf call sites. Sites are
+    // chosen hottest-first and spliced bottom-up (each splice shifts
+    // only the PCs after it, keeping lower call-site PCs valid).
+    let total: f64 = best
+        .iter()
+        .map(|(pc, _)| run.db.estimated_retires(pc).value())
+        .sum();
+    let mut sites: Vec<(profileme::isa::Pc, f64)> = best
+        .iter()
+        .filter(|(_, i)| matches!(i.op, Op::Call { .. }))
+        .map(|(pc, _)| (pc, run.db.estimated_retires(pc).value()))
+        .filter(|(_, weight)| total > 0.0 && *weight / total >= 0.01)
+        .collect();
+    sites.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.addr().cmp(&b.0.addr())));
+    sites.truncate(4);
+    sites.sort_by_key(|s| std::cmp::Reverse(s.0.addr()));
+    let mut inlined_program = best.clone();
+    let mut inlined = 0u32;
+    for (call_pc, _) in sites {
+        let cfg = Cfg::build(&inlined_program);
+        let small = match inlined_program.fetch(call_pc).map(|i| i.op) {
+            Some(Op::Call { target, .. }) => inlined_program
+                .function_of(target)
+                .is_some_and(|f| f.len() <= 24),
+            _ => false,
+        };
+        if !small {
+            continue;
+        }
+        if let Ok(q) = inline_call(&inlined_program, &cfg, call_pc) {
+            inlined_program = q;
+            inlined += 1;
+        }
+    }
+    if inlined > 0 {
+        let stats = simulate(&inlined_program)?;
+        if stats.cycles < best_stats.cycles {
+            out.inlined_calls = inlined;
+            best = inlined_program;
+            best_stats = stats;
+            run = profile(&best)?;
+            if !args.json {
+                println!(
+                    "inlined {inlined} hot call site(s): {} cycles ({:.3}x)",
+                    best_stats.cycles,
+                    baseline.cycles as f64 / best_stats.cycles as f64
+                );
+            }
+        }
+    }
+
+    while out.iterations < args.iterations.max(1) {
+        out.iterations += 1;
+        let cfg = Cfg::build(&best);
+        let weights = edge_weights_from_profile(&run.db, &cfg);
+        let order = hot_chains(&best, &cfg, &weights);
+        if order.iter().enumerate().all(|(i, b)| b.index() == i) {
+            out.converged = true; // layout fixpoint
+            break;
+        }
+        let (candidate, _remap) = match reorder_blocks(&best, &cfg, &order) {
+            Ok(pair) => pair,
+            Err(e @ LayoutError::IndirectJump { .. }) => {
+                out.optimizable = false;
+                out.converged = true;
+                out.note = format!("unoptimizable: {e}");
+                break;
+            }
+            Err(e) => return Err(format!("hot-chain order rejected: {e}")),
+        };
+        let stats = simulate(&candidate)?;
+        // Adopt only candidates that cut cycles by >0.1%; below that the
+        // loop has converged (monotone non-regression, best kept).
+        if (stats.cycles as f64) < best_stats.cycles as f64 * 0.999 {
+            if !args.json {
+                println!(
+                    "round {}: relayout adopted, {} cycles ({:.3}x)",
+                    out.iterations,
+                    stats.cycles,
+                    baseline.cycles as f64 / stats.cycles as f64
+                );
+            }
+            best = candidate;
+            best_stats = stats;
+            run = profile(&best)?;
+        } else {
+            out.converged = true;
+            break;
+        }
+    }
+
+    // Equivalence before reporting: same final architectural state
+    // (link register excluded — return addresses move under relayout).
+    let final_regs = |p: &Program| -> Result<Vec<u64>, String> {
+        let mut s = ArchState::with_memory(p, w.memory.clone());
+        s.run(p, 1_000_000_000).map_err(|e| e.to_string())?;
+        Ok((0..32u8)
+            .filter(|&i| i as usize != profileme::isa::Reg::LINK.index())
+            .map(|i| s.reg(profileme::isa::Reg::new(i)))
+            .collect())
+    };
+    if final_regs(&w.program)? != final_regs(&best)? {
+        return Err("optimized binary diverged architecturally".into());
+    }
+
+    // Per-function layout changes: a function was relaid out when its
+    // instruction sequence differs from the original's.
+    let body = |p: &Program, name: &str| -> Vec<String> {
+        p.functions()
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| {
+                (0..f.len())
+                    .filter_map(|i| p.fetch(f.entry.advance(i as u64)))
+                    .map(|i| i.to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    out.functions_relaid = best
+        .functions()
+        .iter()
+        .map(|f| f.name.clone())
+        .filter(|name| body(&best, name) != body(&w.program, name))
+        .collect();
+
+    out.optimized_cycles = best_stats.cycles;
+    out.optimized_ipc = best_stats.ipc();
+    out.effective_ipc = baseline.retired as f64 / best_stats.cycles as f64;
+    out.speedup = baseline.cycles as f64 / best_stats.cycles as f64;
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+        return Ok(());
+    }
+    if !out.optimizable {
+        println!("{}", out.note);
+    }
+    println!(
+        "functions relaid out: {}{}",
+        out.functions_relaid.len(),
+        if out.functions_relaid.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", out.functions_relaid.join(", "))
+        }
+    );
+    println!(
+        "{:<12} {:>12} {:>9} {:>9}",
+        "binary", "cycles", "raw IPC", "eff IPC"
+    );
+    println!(
+        "{:<12} {:>12} {:>9.3} {:>9.3}",
+        "original", out.baseline_cycles, out.baseline_ipc, out.baseline_ipc
+    );
+    println!(
+        "{:<12} {:>12} {:>9.3} {:>9.3}",
+        "optimized", out.optimized_cycles, out.optimized_ipc, out.effective_ipc
+    );
+    println!(
+        "speedup {:.3}x over {} round(s){}{}",
+        out.speedup,
+        out.iterations,
+        if out.converged { ", converged" } else { "" },
+        if out.inlined_calls > 0 {
+            format!(", {} call site(s) inlined", out.inlined_calls)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -317,6 +603,15 @@ fn main() -> ExitCode {
     };
     if args.serve {
         return match serve_demo(&args, &w) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.optimize {
+        return match optimize_demo(&args, &w) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

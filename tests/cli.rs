@@ -276,6 +276,79 @@ fn serve_fail_spec_requires_the_feature() {
 }
 
 #[test]
+fn optimize_subcommand_reports_layout_changes_and_ipc() {
+    let out = profileme(&[
+        "optimize",
+        "--workload",
+        "vortex",
+        "--budget",
+        "100000",
+        "--iterations",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("baseline"), "got: {text}");
+    assert!(text.contains("functions relaid out:"), "got: {text}");
+    assert!(
+        text.contains("original") && text.contains("optimized"),
+        "both binaries reported: {text}"
+    );
+    assert!(text.contains("speedup"), "got: {text}");
+}
+
+#[test]
+fn optimize_json_parses_and_never_regresses() {
+    let out = profileme(&[
+        "optimize",
+        "--workload",
+        "li",
+        "--budget",
+        "100000",
+        "--iterations",
+        "2",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert_eq!(v.get("workload").and_then(|w| w.as_str()), Some("li"));
+    assert_eq!(v.get("optimizable").and_then(|b| b.as_bool()), Some(true));
+    let cycles = |k: &str| v.get(k).and_then(serde_json::Value::as_u64).unwrap();
+    // Keep-best adoption: the optimized binary never loses cycles.
+    assert!(cycles("optimized_cycles") <= cycles("baseline_cycles"));
+    assert!(v
+        .get("speedup")
+        .and_then(serde_json::Value::as_f64)
+        .is_some_and(|s| s >= 1.0));
+    assert!(v
+        .get("functions_relaid")
+        .and_then(serde_json::Value::as_array)
+        .is_some());
+}
+
+#[test]
+fn optimize_reports_indirect_jumps_as_unoptimizable() {
+    let out = profileme(&["optimize", "--workload", "perl", "--budget", "50000"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("unoptimizable"), "got: {text}");
+    assert!(text.contains("indirect jump"), "got: {text}");
+    assert!(text.contains("speedup 1.000x"), "got: {text}");
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let out = profileme(&["--workload", "nonexistent"]);
     assert!(!out.status.success());
