@@ -83,7 +83,7 @@ pub use sw::{
     confidence_interval, estimate_pair_metric, estimate_total, expected_cov,
     instructions_retired_around, neighborhood_ipc, pipeline_population, procedure_summaries,
     run_ground_truth, run_hardware, useful_overlap, wasted_issue_slots, Estimate, HardwareRun,
-    OverlapKind, PairMetric, PairProfileDatabase, PairedRun, PathProfiler, PathScheme,
-    PcPairProfile, PcProfile, ProcedureSummary, ProfileDatabase, ProfileField,
-    ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation, WastedSlots,
+    OverlapKind, PairMetric, PairProfileDatabase, PairProfileField, PairedRun, PathProfiler,
+    PathScheme, PcPairProfile, PcProfile, ProcedureSummary, ProfileDatabase, ProfileField,
+    ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation, TopNIndex, WastedSlots,
 };

@@ -11,11 +11,91 @@
 
 use crate::error::ProfileError;
 use crate::sw::estimate::Estimate;
+use crate::sw::wire;
 use crate::sw::{useful_overlap, OverlapKind};
 use crate::{PairedSample, Sample};
 use profileme_isa::{Pc, Program};
 use profileme_uarch::{EventSet, LatencySums};
 use serde::{Deserialize, Serialize};
+
+/// Per-field columns of a [`PcProfile`] row on the sparse wire.
+const PC_COLUMNS: usize = 20;
+/// Per-field columns of a [`PcPairProfile`] row on the sparse wire.
+const PAIR_COLUMNS: usize = 4;
+/// Header words of a single-sample table: base PC, row count,
+/// interval, invalid samples, total samples.
+const SNAP_HEADER: usize = 5;
+/// Header words of a paired table: base PC, row count, interval,
+/// window, total pairs, incomplete pairs.
+const PAIR_HEADER: usize = 6;
+/// Version magic: single-sample snapshot / delta.
+const SNAP_MAGIC: [u8; 4] = *b"PMS1";
+const DELTA_MAGIC: [u8; 4] = *b"PMD1";
+/// Version magic: paired snapshot / delta.
+const PAIR_SNAP_MAGIC: [u8; 4] = *b"PMP1";
+const PAIR_DELTA_MAGIC: [u8; 4] = *b"PME1";
+
+/// The set of rows touched since the last delta extraction: a bitset
+/// for O(1) dedup plus the touched indices for O(touched) iteration.
+///
+/// Invariant: `touched` ⊇ every row whose profile differs from its
+/// value at the last [`take_sorted`](DirtySet::take_sorted) (or from
+/// the all-zero row if none happened yet). Supersets are fine — the
+/// delta encoder skips rows whose diff is zero — so decoding marks
+/// every nonzero row rather than trying to reconstruct history.
+#[derive(Debug, Clone, Default)]
+struct DirtySet {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl DirtySet {
+    fn mark(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (i % 64);
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.touched.push(i as u32);
+        }
+    }
+
+    /// Drains the set, returning the touched rows in ascending order.
+    fn take_sorted(&mut self) -> Vec<u32> {
+        let mut t = std::mem::take(&mut self.touched);
+        t.sort_unstable();
+        for &i in &t {
+            self.words[i as usize / 64] &= !(1u64 << (i % 64));
+        }
+        t
+    }
+}
+
+/// Shared shape of `top_n`: move the `n` hottest rows to the front
+/// with a selection pass (O(len)), then sort only those winners
+/// (O(n log n)) — never the whole table.
+fn select_top_n<P: Copy>(
+    mut rows: Vec<(Pc, P)>,
+    n: usize,
+    value: impl Fn(&P) -> u64,
+) -> Vec<(Pc, P)> {
+    let cmp = |a: &(Pc, P), b: &(Pc, P)| {
+        value(&b.1)
+            .cmp(&value(&a.1))
+            .then(a.0.addr().cmp(&b.0.addr()))
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < rows.len() {
+        rows.select_nth_unstable_by(n - 1, &cmp);
+        rows.truncate(n);
+    }
+    rows.sort_unstable_by(&cmp);
+    rows
+}
 
 /// One u64 counter of a [`PcProfile`], named — the "any event" axis of
 /// top-N queries over a database.
@@ -234,6 +314,65 @@ impl PcProfile {
                 .checked_sub(earlier.mem_latency_samples)?,
         })
     }
+
+    /// Whether every counter is zero (the encoder's "skip this row").
+    fn is_zero(&self) -> bool {
+        *self == PcProfile::default()
+    }
+
+    /// The row flattened into its wire columns, in layout order.
+    fn to_columns(self) -> [u64; PC_COLUMNS] {
+        [
+            self.samples,
+            self.retired,
+            self.aborted,
+            self.icache_misses,
+            self.itlb_misses,
+            self.dcache_misses,
+            self.dtlb_misses,
+            self.l2_misses,
+            self.taken,
+            self.mispredicted,
+            self.latency_sums.fetch_to_map,
+            self.latency_sums.map_to_data_ready,
+            self.latency_sums.data_ready_to_issue,
+            self.latency_sums.issue_to_retire_ready,
+            self.latency_sums.retire_ready_to_retire,
+            self.latency_sums.load_completion,
+            self.latency_samples,
+            self.in_progress_sum,
+            self.mem_latency_sum,
+            self.mem_latency_samples,
+        ]
+    }
+
+    /// Inverse of [`to_columns`](PcProfile::to_columns).
+    fn from_columns(c: &[u64; PC_COLUMNS]) -> PcProfile {
+        PcProfile {
+            samples: c[0],
+            retired: c[1],
+            aborted: c[2],
+            icache_misses: c[3],
+            itlb_misses: c[4],
+            dcache_misses: c[5],
+            dtlb_misses: c[6],
+            l2_misses: c[7],
+            taken: c[8],
+            mispredicted: c[9],
+            latency_sums: LatencySums {
+                fetch_to_map: c[10],
+                map_to_data_ready: c[11],
+                data_ready_to_issue: c[12],
+                issue_to_retire_ready: c[13],
+                retire_ready_to_retire: c[14],
+                load_completion: c[15],
+            },
+            latency_samples: c[16],
+            in_progress_sum: c[17],
+            mem_latency_sum: c[18],
+            mem_latency_samples: c[19],
+        }
+    }
 }
 
 /// A database of single-instruction samples: one [`PcProfile`] per static
@@ -253,7 +392,7 @@ impl PcProfile {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfileDatabase {
     base: Pc,
     per_pc: Vec<PcProfile>,
@@ -263,6 +402,57 @@ pub struct ProfileDatabase {
     pub invalid_samples: u64,
     /// Total valid samples aggregated.
     pub total_samples: u64,
+    /// Rows touched since the last delta extraction. Bookkeeping, not
+    /// content: excluded from equality, serialization, and snapshots.
+    dirty: DirtySet,
+}
+
+/// Content equality only — two databases holding the same aggregates
+/// are equal regardless of their dirty-set history.
+impl PartialEq for ProfileDatabase {
+    fn eq(&self, other: &ProfileDatabase) -> bool {
+        self.base == other.base
+            && self.per_pc == other.per_pc
+            && self.interval == other.interval
+            && self.invalid_samples == other.invalid_samples
+            && self.total_samples == other.total_samples
+    }
+}
+
+// Hand-written (rather than derived) so the dirty set stays out of
+// the encoding; the field layout matches what the derive produced
+// before the dirty set existed, so old dense snapshots still load.
+impl Serialize for ProfileDatabase {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("base".to_string(), self.base.to_value()),
+            ("per_pc".to_string(), self.per_pc.to_value()),
+            ("interval".to_string(), self.interval.to_value()),
+            (
+                "invalid_samples".to_string(),
+                self.invalid_samples.to_value(),
+            ),
+            ("total_samples".to_string(), self.total_samples.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ProfileDatabase {
+    fn from_value(v: &serde::Value) -> Result<ProfileDatabase, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "ProfileDatabase"))?;
+        let mut db = ProfileDatabase {
+            base: serde::from_field(obj, "base", "ProfileDatabase")?,
+            per_pc: serde::from_field(obj, "per_pc", "ProfileDatabase")?,
+            interval: serde::from_field(obj, "interval", "ProfileDatabase")?,
+            invalid_samples: serde::from_field(obj, "invalid_samples", "ProfileDatabase")?,
+            total_samples: serde::from_field(obj, "total_samples", "ProfileDatabase")?,
+            dirty: DirtySet::default(),
+        };
+        db.mark_all_nonzero();
+        Ok(db)
+    }
 }
 
 impl ProfileDatabase {
@@ -275,6 +465,7 @@ impl ProfileDatabase {
             interval,
             invalid_samples: 0,
             total_samples: 0,
+            dirty: DirtySet::default(),
         }
     }
 
@@ -297,6 +488,7 @@ impl ProfileDatabase {
             Some(r) => {
                 if let Some(i) = self.index_of(r.pc) {
                     self.per_pc[i].add(sample);
+                    self.dirty.mark(i);
                     self.total_samples += 1;
                 }
             }
@@ -378,8 +570,14 @@ impl ProfileDatabase {
     /// different program images or sampling intervals.
     pub fn merge(&mut self, other: &ProfileDatabase) -> Result<(), ProfileError> {
         self.check_compatible(other)?;
-        for (acc, p) in self.per_pc.iter_mut().zip(&other.per_pc) {
-            acc.merge(p);
+        for (i, (acc, p)) in self.per_pc.iter_mut().zip(&other.per_pc).enumerate() {
+            // Zero rows are identities: skipping them keeps the merge
+            // proportional to `other`'s footprint and the dirty set
+            // covering exactly the rows that changed.
+            if !p.is_zero() {
+                acc.merge(p);
+                self.dirty.mark(i);
+            }
         }
         self.invalid_samples += other.invalid_samples;
         self.total_samples += other.total_samples;
@@ -403,7 +601,7 @@ impl ProfileDatabase {
         for (later, early) in self.per_pc.iter().zip(&earlier.per_pc) {
             per_pc.push(later.checked_sub(early).ok_or(not_earlier.clone())?);
         }
-        Ok(ProfileDatabase {
+        let mut db = ProfileDatabase {
             base: self.base,
             per_pc,
             interval: self.interval,
@@ -415,37 +613,112 @@ impl ProfileDatabase {
                 .total_samples
                 .checked_sub(earlier.total_samples)
                 .ok_or(not_earlier)?,
-        })
+            dirty: DirtySet::default(),
+        };
+        db.mark_all_nonzero();
+        Ok(db)
     }
 
     /// The `n` hottest instructions by `field`, descending, PCs
     /// ascending among ties — a deterministic order, so reports and
     /// snapshots diff cleanly.
+    ///
+    /// Selection runs in O(len + n log n): a `select_nth` pass moves
+    /// the winners to the front, and only those are fully sorted.
     pub fn top_n(&self, n: usize, field: ProfileField) -> Vec<(Pc, PcProfile)> {
-        let mut rows: Vec<(Pc, PcProfile)> = self
+        let rows: Vec<(Pc, PcProfile)> = self
             .iter()
             .filter(|(_, p)| p.field(field) > 0)
             .map(|(pc, p)| (pc, *p))
             .collect();
-        rows.sort_by(|(pc_a, a), (pc_b, b)| {
-            b.field(field)
-                .cmp(&a.field(field))
-                .then(pc_a.addr().cmp(&pc_b.addr()))
-        });
-        rows.truncate(n);
-        rows
+        select_top_n(rows, n, |p| p.field(field))
     }
 
-    /// Serializes the database to its canonical snapshot bytes (JSON).
+    /// The sparse wire header: base PC, rows, interval, then the
+    /// stream counters.
+    fn header(&self) -> [u64; SNAP_HEADER] {
+        [
+            self.base.addr(),
+            self.per_pc.len() as u64,
+            self.interval,
+            self.invalid_samples,
+            self.total_samples,
+        ]
+    }
+
+    /// Marks every nonzero row dirty — the safe superset used after
+    /// decoding or deriving a database, where the true "touched since
+    /// last extraction" history is unknown. Extraction skips zero
+    /// diffs, so a superset costs bytes never correctness.
+    fn mark_all_nonzero(&mut self) {
+        for i in 0..self.per_pc.len() {
+            if !self.per_pc[i].is_zero() {
+                self.dirty.mark(i);
+            }
+        }
+    }
+
+    /// Rebuilds a database from a decoded sparse table.
+    fn from_decoded(d: wire::Decoded<PC_COLUMNS>) -> Result<ProfileDatabase, ProfileError> {
+        let [base, len, interval, invalid_samples, total_samples] = d.header[..] else {
+            unreachable!("decode returns exactly SNAP_HEADER words");
+        };
+        if base % 4 != 0 {
+            return Err(wire::malformed("base PC is not 4-byte aligned"));
+        }
+        let len = usize::try_from(len).map_err(|_| wire::malformed("row count exceeds usize"))?;
+        let mut db = ProfileDatabase {
+            base: Pc::new(base),
+            per_pc: vec![PcProfile::default(); len],
+            interval,
+            invalid_samples,
+            total_samples,
+            dirty: DirtySet::default(),
+        };
+        for (i, cols) in &d.rows {
+            let i = *i as usize;
+            if i >= len {
+                return Err(wire::malformed("row index beyond table length"));
+            }
+            db.per_pc[i] = PcProfile::from_columns(cols);
+            db.dirty.mark(i);
+        }
+        Ok(db)
+    }
+
+    /// Serializes the database to its canonical snapshot bytes — the
+    /// sparse columnar wire format (varint-coded touched-PC runs plus
+    /// per-field columns; see [`wire`](crate::sw::wire)).
     ///
-    /// Two databases holding identical aggregates produce identical
-    /// bytes, which is how the merge-equivalence tests and the ingest
-    /// bench state their byte-identity invariant.
+    /// The bytes are a pure function of database *content*: two
+    /// databases holding identical aggregates produce identical bytes
+    /// regardless of how they were built, which is how the
+    /// merge-equivalence tests and the ingest/snapshot benches state
+    /// their byte-identity invariant.
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if serialization fails.
     pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        let rows: Vec<(u32, [u64; PC_COLUMNS])> = self
+            .per_pc
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_zero())
+            .map(|(i, p)| (i as u32, p.to_columns()))
+            .collect();
+        Ok(wire::encode(SNAP_MAGIC, &self.header(), &rows))
+    }
+
+    /// Serializes the database to the legacy dense JSON snapshot —
+    /// every row, zero or not. Kept alongside the sparse format for
+    /// interoperability and as the reference encoding the decoder
+    /// agreement tests compare against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
         serde_json::to_string(self)
             .map(String::into_bytes)
             .map_err(|e| ProfileError::Snapshot {
@@ -453,17 +726,162 @@ impl ProfileDatabase {
             })
     }
 
-    /// Deserializes a database from [`snapshot_bytes`] output.
+    /// Deserializes a database from [`snapshot_bytes`] or
+    /// [`snapshot_bytes_dense`] output — the leading bytes pick the
+    /// decoder (version magic vs. a JSON object).
     ///
     /// [`snapshot_bytes`]: ProfileDatabase::snapshot_bytes
+    /// [`snapshot_bytes_dense`]: ProfileDatabase::snapshot_bytes_dense
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
-        serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
-            reason: e.to_string(),
-        })
+        if bytes.first() == Some(&b'{') {
+            return serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
+                reason: e.to_string(),
+            });
+        }
+        ProfileDatabase::from_decoded(wire::decode(bytes, SNAP_MAGIC, SNAP_HEADER)?)
+    }
+
+    /// Extracts everything aggregated since `base` as sparse delta
+    /// bytes, advancing `base` to match `self` — the O(touched)
+    /// epoch-publication step of the sharded snapshot plane.
+    ///
+    /// Only rows marked dirty since the last extraction are visited,
+    /// so the cost is proportional to what changed, not to the image.
+    /// [`apply_delta`](ProfileDatabase::apply_delta) is the exact
+    /// inverse: applying the returned bytes to a copy of the old
+    /// `base` reproduces `self`'s content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if `base` is incompatible or
+    /// is not an earlier state of `self` (a counter would go negative).
+    pub fn extract_delta(&mut self, base: &mut ProfileDatabase) -> Result<Vec<u8>, ProfileError> {
+        self.check_compatible(base)?;
+        let not_earlier = ProfileError::Mismatch {
+            what: "delta base (counters would go negative)",
+        };
+        let touched = self.dirty.take_sorted();
+        let mut rows: Vec<(u32, [u64; PC_COLUMNS])> = Vec::with_capacity(touched.len());
+        for i in touched {
+            let idx = i as usize;
+            let diff = self.per_pc[idx]
+                .checked_sub(&base.per_pc[idx])
+                .ok_or(not_earlier.clone())?;
+            if !diff.is_zero() {
+                rows.push((i, diff.to_columns()));
+                base.per_pc[idx] = self.per_pc[idx];
+                base.dirty.mark(idx);
+            }
+        }
+        let header = [
+            self.base.addr(),
+            self.per_pc.len() as u64,
+            self.interval,
+            self.invalid_samples
+                .checked_sub(base.invalid_samples)
+                .ok_or(not_earlier.clone())?,
+            self.total_samples
+                .checked_sub(base.total_samples)
+                .ok_or(not_earlier)?,
+        ];
+        base.invalid_samples = self.invalid_samples;
+        base.total_samples = self.total_samples;
+        Ok(wire::encode(DELTA_MAGIC, &header, &rows))
+    }
+
+    /// Applies delta bytes produced by
+    /// [`extract_delta`](ProfileDatabase::extract_delta): field-wise
+    /// addition of every carried row plus the stream counters, in
+    /// O(touched). Returns the indices of the rows that changed so
+    /// incremental indexes (top-N heaps) can re-evaluate exactly them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse,
+    /// or [`ProfileError::Mismatch`] if the delta describes a
+    /// different program image or interval.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<Vec<u32>, ProfileError> {
+        let d: wire::Decoded<PC_COLUMNS> = wire::decode(bytes, DELTA_MAGIC, SNAP_HEADER)?;
+        let [base, len, interval, invalid_samples, total_samples] = d.header[..] else {
+            unreachable!("decode returns exactly SNAP_HEADER words");
+        };
+        if base != self.base.addr() || len != self.per_pc.len() as u64 {
+            return Err(ProfileError::Mismatch {
+                what: "program image",
+            });
+        }
+        if interval != self.interval {
+            return Err(ProfileError::Mismatch {
+                what: "sampling interval",
+            });
+        }
+        let mut touched = Vec::with_capacity(d.rows.len());
+        for (i, cols) in &d.rows {
+            let idx = *i as usize;
+            if idx >= self.per_pc.len() {
+                return Err(wire::malformed("row index beyond table length"));
+            }
+            self.per_pc[idx].merge(&PcProfile::from_columns(cols));
+            self.dirty.mark(idx);
+            touched.push(*i);
+        }
+        self.invalid_samples += invalid_samples;
+        self.total_samples += total_samples;
+        Ok(touched)
+    }
+
+    /// The profile at dense row index `i` (used by in-crate indexes).
+    pub(crate) fn row(&self, i: u32) -> &PcProfile {
+        &self.per_pc[i as usize]
+    }
+
+    /// The PC of dense row index `i`.
+    pub(crate) fn pc_of_row(&self, i: u32) -> Pc {
+        self.base.advance(u64::from(i))
+    }
+}
+
+/// One u64 counter of a [`PcPairProfile`], named — the paired-database
+/// axis of top-N queries, mirroring [`ProfileField`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PairProfileField {
+    /// Samples of I (both positions of every pair).
+    Samples,
+    /// U_I^F: pairs ⟨I, J⟩ where J usefully overlaps I.
+    UsefulForward,
+    /// U_I^B: pairs ⟨J, I⟩ where J usefully overlaps I.
+    UsefulBackward,
+    /// L_I: Σ fetch→retire-ready latency over samples of I.
+    LatencySum,
+}
+
+impl PairProfileField {
+    /// Every queryable field, in declaration order.
+    pub const ALL: [PairProfileField; 4] = [
+        PairProfileField::Samples,
+        PairProfileField::UsefulForward,
+        PairProfileField::UsefulBackward,
+        PairProfileField::LatencySum,
+    ];
+
+    /// The field's stable snake_case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PairProfileField::Samples => "samples",
+            PairProfileField::UsefulForward => "useful_forward",
+            PairProfileField::UsefulBackward => "useful_backward",
+            PairProfileField::LatencySum => "latency_sum",
+        }
+    }
+
+    /// Parses a [`name`](PairProfileField::name) back into the field.
+    pub fn parse(name: &str) -> Option<PairProfileField> {
+        PairProfileField::ALL.into_iter().find(|f| f.name() == name)
     }
 }
 
@@ -501,10 +919,45 @@ impl PcPairProfile {
             latency_sum: self.latency_sum.checked_sub(earlier.latency_sum)?,
         })
     }
+
+    /// Reads one named counter.
+    pub fn field(&self, field: PairProfileField) -> u64 {
+        match field {
+            PairProfileField::Samples => self.samples,
+            PairProfileField::UsefulForward => self.useful_forward,
+            PairProfileField::UsefulBackward => self.useful_backward,
+            PairProfileField::LatencySum => self.latency_sum,
+        }
+    }
+
+    /// Whether every counter is zero (the encoder's "skip this row").
+    fn is_zero(&self) -> bool {
+        *self == PcPairProfile::default()
+    }
+
+    /// The row flattened into its wire columns, in layout order.
+    fn to_columns(self) -> [u64; PAIR_COLUMNS] {
+        [
+            self.samples,
+            self.useful_forward,
+            self.useful_backward,
+            self.latency_sum,
+        ]
+    }
+
+    /// Inverse of [`to_columns`](PcPairProfile::to_columns).
+    fn from_columns(c: &[u64; PAIR_COLUMNS]) -> PcPairProfile {
+        PcPairProfile {
+            samples: c[0],
+            useful_forward: c[1],
+            useful_backward: c[2],
+            latency_sum: c[3],
+        }
+    }
 }
 
 /// A database of paired samples with incremental aggregation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairProfileDatabase {
     base: Pc,
     per_pc: Vec<PcPairProfile>,
@@ -516,6 +969,58 @@ pub struct PairProfileDatabase {
     pub total_pairs: u64,
     /// Pairs discarded because a half was an empty selection.
     pub incomplete_pairs: u64,
+    /// Rows touched since the last delta extraction (bookkeeping, not
+    /// content — see [`ProfileDatabase`]).
+    dirty: DirtySet,
+}
+
+/// Content equality only, as for [`ProfileDatabase`].
+impl PartialEq for PairProfileDatabase {
+    fn eq(&self, other: &PairProfileDatabase) -> bool {
+        self.base == other.base
+            && self.per_pc == other.per_pc
+            && self.interval == other.interval
+            && self.window == other.window
+            && self.total_pairs == other.total_pairs
+            && self.incomplete_pairs == other.incomplete_pairs
+    }
+}
+
+// Hand-written for the same reason as `ProfileDatabase`: the dirty
+// set stays out of the encoding, the layout matches the old derive.
+impl Serialize for PairProfileDatabase {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("base".to_string(), self.base.to_value()),
+            ("per_pc".to_string(), self.per_pc.to_value()),
+            ("interval".to_string(), self.interval.to_value()),
+            ("window".to_string(), self.window.to_value()),
+            ("total_pairs".to_string(), self.total_pairs.to_value()),
+            (
+                "incomplete_pairs".to_string(),
+                self.incomplete_pairs.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for PairProfileDatabase {
+    fn from_value(v: &serde::Value) -> Result<PairProfileDatabase, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "PairProfileDatabase"))?;
+        let mut db = PairProfileDatabase {
+            base: serde::from_field(obj, "base", "PairProfileDatabase")?,
+            per_pc: serde::from_field(obj, "per_pc", "PairProfileDatabase")?,
+            interval: serde::from_field(obj, "interval", "PairProfileDatabase")?,
+            window: serde::from_field(obj, "window", "PairProfileDatabase")?,
+            total_pairs: serde::from_field(obj, "total_pairs", "PairProfileDatabase")?,
+            incomplete_pairs: serde::from_field(obj, "incomplete_pairs", "PairProfileDatabase")?,
+            dirty: DirtySet::default(),
+        };
+        db.mark_all_nonzero();
+        Ok(db)
+    }
 }
 
 impl PairProfileDatabase {
@@ -528,6 +1033,7 @@ impl PairProfileDatabase {
             window,
             total_pairs: 0,
             incomplete_pairs: 0,
+            dirty: DirtySet::default(),
         }
     }
 
@@ -571,6 +1077,7 @@ impl PairProfileDatabase {
             if useful_overlap(overlap, first, second) {
                 p.useful_forward += 1;
             }
+            self.dirty.mark(i);
         }
         if let Some(i) = self.index_of(second.pc) {
             let p = &mut self.per_pc[i];
@@ -581,6 +1088,7 @@ impl PairProfileDatabase {
             if useful_overlap(overlap, second, first) {
                 p.useful_backward += 1;
             }
+            self.dirty.mark(i);
         }
     }
 
@@ -623,8 +1131,11 @@ impl PairProfileDatabase {
     /// different programs, intervals, or windows.
     pub fn merge(&mut self, other: &PairProfileDatabase) -> Result<(), ProfileError> {
         self.check_compatible(other)?;
-        for (acc, p) in self.per_pc.iter_mut().zip(&other.per_pc) {
-            acc.merge(p);
+        for (i, (acc, p)) in self.per_pc.iter_mut().zip(&other.per_pc).enumerate() {
+            if !p.is_zero() {
+                acc.merge(p);
+                self.dirty.mark(i);
+            }
         }
         self.total_pairs += other.total_pairs;
         self.incomplete_pairs += other.incomplete_pairs;
@@ -650,7 +1161,7 @@ impl PairProfileDatabase {
         for (later, early) in self.per_pc.iter().zip(&earlier.per_pc) {
             per_pc.push(later.checked_sub(early).ok_or(not_earlier.clone())?);
         }
-        Ok(PairProfileDatabase {
+        let mut db = PairProfileDatabase {
             base: self.base,
             per_pc,
             interval: self.interval,
@@ -663,16 +1174,100 @@ impl PairProfileDatabase {
                 .incomplete_pairs
                 .checked_sub(earlier.incomplete_pairs)
                 .ok_or(not_earlier)?,
-        })
+            dirty: DirtySet::default(),
+        };
+        db.mark_all_nonzero();
+        Ok(db)
     }
 
-    /// Serializes the database to canonical snapshot bytes (JSON), as
-    /// [`ProfileDatabase::snapshot_bytes`].
+    /// The `n` hottest instructions by `field`, descending, PCs
+    /// ascending among ties — the paired-database mirror of
+    /// [`ProfileDatabase::top_n`], with the same O(len + n log n)
+    /// selection.
+    pub fn top_n(&self, n: usize, field: PairProfileField) -> Vec<(Pc, PcPairProfile)> {
+        let rows: Vec<(Pc, PcPairProfile)> = self
+            .iter()
+            .filter(|(_, p)| p.field(field) > 0)
+            .map(|(pc, p)| (pc, *p))
+            .collect();
+        select_top_n(rows, n, |p| p.field(field))
+    }
+
+    /// The sparse wire header.
+    fn header(&self) -> [u64; PAIR_HEADER] {
+        [
+            self.base.addr(),
+            self.per_pc.len() as u64,
+            self.interval,
+            self.window,
+            self.total_pairs,
+            self.incomplete_pairs,
+        ]
+    }
+
+    /// Marks every nonzero row dirty, as
+    /// [`ProfileDatabase::mark_all_nonzero`].
+    fn mark_all_nonzero(&mut self) {
+        for i in 0..self.per_pc.len() {
+            if !self.per_pc[i].is_zero() {
+                self.dirty.mark(i);
+            }
+        }
+    }
+
+    /// Rebuilds a database from a decoded sparse table.
+    fn from_decoded(d: wire::Decoded<PAIR_COLUMNS>) -> Result<PairProfileDatabase, ProfileError> {
+        let [base, len, interval, window, total_pairs, incomplete_pairs] = d.header[..] else {
+            unreachable!("decode returns exactly PAIR_HEADER words");
+        };
+        if base % 4 != 0 {
+            return Err(wire::malformed("base PC is not 4-byte aligned"));
+        }
+        let len = usize::try_from(len).map_err(|_| wire::malformed("row count exceeds usize"))?;
+        let mut db = PairProfileDatabase {
+            base: Pc::new(base),
+            per_pc: vec![PcPairProfile::default(); len],
+            interval,
+            window,
+            total_pairs,
+            incomplete_pairs,
+            dirty: DirtySet::default(),
+        };
+        for (i, cols) in &d.rows {
+            let i = *i as usize;
+            if i >= len {
+                return Err(wire::malformed("row index beyond table length"));
+            }
+            db.per_pc[i] = PcPairProfile::from_columns(cols);
+            db.dirty.mark(i);
+        }
+        Ok(db)
+    }
+
+    /// Serializes the database to its canonical snapshot bytes — the
+    /// sparse columnar format, as [`ProfileDatabase::snapshot_bytes`].
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if serialization fails.
     pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        let rows: Vec<(u32, [u64; PAIR_COLUMNS])> = self
+            .per_pc
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_zero())
+            .map(|(i, p)| (i as u32, p.to_columns()))
+            .collect();
+        Ok(wire::encode(PAIR_SNAP_MAGIC, &self.header(), &rows))
+    }
+
+    /// Serializes the database to the legacy dense JSON snapshot, as
+    /// [`ProfileDatabase::snapshot_bytes_dense`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
         serde_json::to_string(self)
             .map(String::into_bytes)
             .map_err(|e| ProfileError::Snapshot {
@@ -680,17 +1275,105 @@ impl PairProfileDatabase {
             })
     }
 
-    /// Deserializes a database from [`snapshot_bytes`] output.
+    /// Deserializes a database from [`snapshot_bytes`] or
+    /// [`snapshot_bytes_dense`] output.
     ///
     /// [`snapshot_bytes`]: PairProfileDatabase::snapshot_bytes
+    /// [`snapshot_bytes_dense`]: PairProfileDatabase::snapshot_bytes_dense
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
-        serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
-            reason: e.to_string(),
-        })
+        if bytes.first() == Some(&b'{') {
+            return serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
+                reason: e.to_string(),
+            });
+        }
+        PairProfileDatabase::from_decoded(wire::decode(bytes, PAIR_SNAP_MAGIC, PAIR_HEADER)?)
+    }
+
+    /// Extracts everything aggregated since `base` as sparse delta
+    /// bytes, advancing `base` — as [`ProfileDatabase::extract_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if `base` is incompatible or
+    /// not an earlier state of `self`.
+    pub fn extract_delta(
+        &mut self,
+        base: &mut PairProfileDatabase,
+    ) -> Result<Vec<u8>, ProfileError> {
+        self.check_compatible(base)?;
+        let not_earlier = ProfileError::Mismatch {
+            what: "delta base (counters would go negative)",
+        };
+        let touched = self.dirty.take_sorted();
+        let mut rows: Vec<(u32, [u64; PAIR_COLUMNS])> = Vec::with_capacity(touched.len());
+        for i in touched {
+            let idx = i as usize;
+            let diff = self.per_pc[idx]
+                .checked_sub(&base.per_pc[idx])
+                .ok_or(not_earlier.clone())?;
+            if !diff.is_zero() {
+                rows.push((i, diff.to_columns()));
+                base.per_pc[idx] = self.per_pc[idx];
+                base.dirty.mark(idx);
+            }
+        }
+        let header = [
+            self.base.addr(),
+            self.per_pc.len() as u64,
+            self.interval,
+            self.window,
+            self.total_pairs
+                .checked_sub(base.total_pairs)
+                .ok_or(not_earlier.clone())?,
+            self.incomplete_pairs
+                .checked_sub(base.incomplete_pairs)
+                .ok_or(not_earlier)?,
+        ];
+        base.total_pairs = self.total_pairs;
+        base.incomplete_pairs = self.incomplete_pairs;
+        Ok(wire::encode(PAIR_DELTA_MAGIC, &header, &rows))
+    }
+
+    /// Applies delta bytes produced by
+    /// [`extract_delta`](PairProfileDatabase::extract_delta), returning
+    /// the touched row indices — as [`ProfileDatabase::apply_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse,
+    /// or [`ProfileError::Mismatch`] on image/interval/window mismatch.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<Vec<u32>, ProfileError> {
+        let d: wire::Decoded<PAIR_COLUMNS> = wire::decode(bytes, PAIR_DELTA_MAGIC, PAIR_HEADER)?;
+        let [base, len, interval, window, total_pairs, incomplete_pairs] = d.header[..] else {
+            unreachable!("decode returns exactly PAIR_HEADER words");
+        };
+        if base != self.base.addr() || len != self.per_pc.len() as u64 {
+            return Err(ProfileError::Mismatch {
+                what: "program image",
+            });
+        }
+        if interval != self.interval || window != self.window {
+            return Err(ProfileError::Mismatch {
+                what: "sampling interval/window",
+            });
+        }
+        let mut touched = Vec::with_capacity(d.rows.len());
+        for (i, cols) in &d.rows {
+            let idx = *i as usize;
+            if idx >= self.per_pc.len() {
+                return Err(wire::malformed("row index beyond table length"));
+            }
+            self.per_pc[idx].merge(&PcPairProfile::from_columns(cols));
+            self.dirty.mark(idx);
+            touched.push(*i);
+        }
+        self.total_pairs += total_pairs;
+        self.incomplete_pairs += incomplete_pairs;
+        Ok(touched)
     }
 }
 

@@ -8,15 +8,20 @@ pub(crate) mod driver;
 mod estimate;
 mod pathprof;
 mod report;
+mod topn;
+mod wire;
 
 pub use concurrency::{
     estimate_pair_metric, instructions_retired_around, neighborhood_ipc, pipeline_population,
     useful_overlap, wasted_issue_slots, OverlapKind, PairMetric, StagePopulation, WastedSlots,
 };
-pub use database::{PairProfileDatabase, PcPairProfile, PcProfile, ProfileDatabase, ProfileField};
+pub use database::{
+    PairProfileDatabase, PairProfileField, PcPairProfile, PcProfile, ProfileDatabase, ProfileField,
+};
 pub use driver::{
     run_ground_truth, run_hardware, HardwareRun, PairedRun, SampleCollector, SingleRun,
 };
 pub use estimate::{confidence_interval, estimate_total, expected_cov, Estimate};
 pub use pathprof::{PathProfiler, PathScheme, ReconstructionOutcome};
 pub use report::{procedure_summaries, ProcedureSummary};
+pub use topn::TopNIndex;

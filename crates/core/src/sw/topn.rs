@@ -1,0 +1,212 @@
+//! An incrementally maintained top-N index over a [`ProfileDatabase`]:
+//! the "hottest instructions" dashboard query answered in O(n) at read
+//! time instead of O(len log len) per call.
+//!
+//! The index keeps, per [`ProfileField`], the `k` best-ranked rows
+//! under `top_n`'s exact comparator (value descending, PC ascending
+//! among ties). It is refreshed with
+//! [`update_rows`](TopNIndex::update_rows) after every mutation —
+//! which the delta snapshot plane hands it for free, since
+//! `apply_delta` returns exactly the touched row indices.
+//!
+//! # Why the maintained lists are exact
+//!
+//! Counter values in a profile database are **monotone**: aggregation
+//! and delta application only ever add. A row outside the list was
+//! ranked below the list's worst entry the last time it changed; since
+//! then its value is unchanged while list values only grew, so it
+//! still ranks below — no stale row can silently belong in the top
+//! `k`. Every change re-evaluates the changed row, so membership stays
+//! exact after each refresh. (This breaks if values could decrease;
+//! [`update_rows`](TopNIndex::update_rows) documents the requirement.)
+
+use crate::sw::database::{PcProfile, ProfileDatabase, ProfileField};
+use profileme_isa::Pc;
+
+/// Default rank depth: comfortably above any dashboard's page size
+/// while keeping per-refresh work trivial.
+const DEFAULT_K: usize = 32;
+
+/// The per-field top-`k` row index. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct TopNIndex {
+    k: usize,
+    /// One list per [`ProfileField::ALL`] entry, sorted best-first:
+    /// `(value, row)` with value descending, row ascending on ties.
+    lists: Vec<Vec<(u64, u32)>>,
+}
+
+impl Default for TopNIndex {
+    fn default() -> TopNIndex {
+        TopNIndex::new(DEFAULT_K)
+    }
+}
+
+/// Best-first ordering: larger value first, smaller row on ties —
+/// `top_n`'s comparator with the row index standing in for the PC
+/// (rows are PC-ordered, so the tie-break agrees).
+fn rank(a: &(u64, u32), b: &(u64, u32)) -> std::cmp::Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+impl TopNIndex {
+    /// An empty index ranking the best `k` rows per field (`k` is
+    /// clamped to at least 1). Queries deeper than `k` fall back to a
+    /// full recompute — see [`top_n`](TopNIndex::top_n).
+    pub fn new(k: usize) -> TopNIndex {
+        TopNIndex {
+            k: k.max(1),
+            lists: vec![Vec::new(); ProfileField::ALL.len()],
+        }
+    }
+
+    /// The index's rank depth.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Re-ranks `rows` of `db` after their counters changed.
+    ///
+    /// Correctness requires monotone updates (counters never
+    /// decrease) and that every changed row is eventually passed here
+    /// — both guaranteed when the only mutations are `add`, `merge`,
+    /// and `apply_delta` feeding back its touched-row list. Duplicate
+    /// and unchanged rows are harmless.
+    pub fn update_rows(&mut self, db: &ProfileDatabase, rows: &[u32]) {
+        for (fi, field) in ProfileField::ALL.iter().enumerate() {
+            let list = &mut self.lists[fi];
+            for &row in rows {
+                let value = db.row(row).field(*field);
+                if let Some(pos) = list.iter().position(|e| e.1 == row) {
+                    list.remove(pos);
+                }
+                if value == 0 {
+                    continue;
+                }
+                let entry = (value, row);
+                let pos = match list.binary_search_by(|e| rank(e, &entry)) {
+                    Ok(pos) | Err(pos) => pos,
+                };
+                if pos < self.k {
+                    list.insert(pos, entry);
+                    list.truncate(self.k);
+                }
+            }
+        }
+    }
+
+    /// The `n` hottest instructions by `field` — identical to
+    /// [`ProfileDatabase::top_n`] on `db`, read straight off the
+    /// maintained list in O(n).
+    ///
+    /// Returns `None` when the index cannot answer exactly: `n`
+    /// reaches past a full list of `k` entries (a short list holds
+    /// *every* positive row, so it answers any depth). Callers fall
+    /// back to `db.top_n` for those deep queries.
+    pub fn top_n(
+        &self,
+        db: &ProfileDatabase,
+        n: usize,
+        field: ProfileField,
+    ) -> Option<Vec<(Pc, PcProfile)>> {
+        let fi = ProfileField::ALL
+            .iter()
+            .position(|f| *f == field)
+            .expect("ALL lists every field");
+        let list = &self.lists[fi];
+        if n > list.len() && list.len() == self.k {
+            return None;
+        }
+        Some(
+            list.iter()
+                .take(n)
+                .map(|&(_, row)| (db.pc_of_row(row), *db.row(row)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sample;
+    use profileme_isa::{Program, ProgramBuilder};
+
+    fn program(len: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function("f");
+        for _ in 0..len - 1 {
+            b.nop();
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn sample(p: &Program, row: u64) -> Sample {
+        use profileme_cfg::BranchHistory;
+        use profileme_uarch::{CompletedSample, EventSet, TagId, Timestamps};
+        Sample {
+            record: Some(CompletedSample {
+                tag: TagId(0),
+                seq: 0,
+                pc: p.base().advance(row),
+                context: 1,
+                class: profileme_isa::OpClass::Nop,
+                events: EventSet::new(),
+                retired: true,
+                eff_addr: None,
+                taken: None,
+                history: BranchHistory::new(),
+                timestamps: Timestamps {
+                    fetched: 10,
+                    retire_ready: Some(25),
+                    ..Timestamps::default()
+                },
+                latencies: None,
+                mem_latency: None,
+            }),
+            selected_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn matches_scratch_top_n_under_incremental_updates() {
+        let p = program(64);
+        let mut db = ProfileDatabase::new(&p, 100);
+        let mut idx = TopNIndex::new(4);
+        // A deterministic skewed stream: row (i*i+3i) % 64, touched in
+        // bursts so ranks keep crossing.
+        for i in 0..500u64 {
+            let row = (i * i + 3 * i) % 64;
+            db.add(&sample(&p, row));
+            idx.update_rows(&db, &[row as u32]);
+            for field in [ProfileField::Samples, ProfileField::Retired] {
+                for n in [0, 1, 3, 4] {
+                    assert_eq!(
+                        idx.top_n(&db, n, field).unwrap(),
+                        db.top_n(n, field),
+                        "i={i} n={n}"
+                    );
+                }
+            }
+        }
+        // Deeper than k on a full list: the index declines.
+        assert!(idx.top_n(&db, 5, ProfileField::Samples).is_none());
+    }
+
+    #[test]
+    fn short_lists_answer_any_depth() {
+        let p = program(8);
+        let mut db = ProfileDatabase::new(&p, 100);
+        let mut idx = TopNIndex::new(16);
+        for row in [1u32, 5] {
+            db.add(&sample(&p, u64::from(row)));
+            idx.update_rows(&db, &[row]);
+        }
+        // Only two positive rows exist; n=10 is still answerable.
+        assert_eq!(
+            idx.top_n(&db, 10, ProfileField::Samples).unwrap(),
+            db.top_n(10, ProfileField::Samples)
+        );
+    }
+}

@@ -86,6 +86,7 @@ pub use faults::FaultPlan;
 pub use ring::{PopTimeout, RingBuffer, TryPushError};
 pub use service::{
     pc_shard, IngestStats, ServeConfig, ServeSnapshot, ShardAggregate, ShardedService,
+    SnapshotPlane, ViewIndex,
 };
 pub use supervise::SuperviseConfig;
 
@@ -362,6 +363,74 @@ mod tests {
             final_db.snapshot_bytes().unwrap(),
             run.db.snapshot_bytes().unwrap()
         );
+    }
+
+    #[test]
+    fn planes_agree_and_view_top_n_matches_scratch() {
+        use profileme_core::ProfileField;
+        let (run, program) = sample_run();
+        for plane in [SnapshotPlane::Dense, SnapshotPlane::Delta] {
+            let svc = ShardedService::start(
+                ProfileDatabase::new(&program, run.db.interval()),
+                ServeConfig {
+                    shards: 3,
+                    plane,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut cycles = 0u64;
+            for chunk in run.samples.chunks(50) {
+                svc.ingest_batch(chunk.to_vec());
+                let snap = svc.snapshot().unwrap();
+                cycles += 1;
+                match plane {
+                    // No materialized view on the dense plane.
+                    SnapshotPlane::Dense => {
+                        assert!(svc.view_top_n(5, ProfileField::Samples).is_none());
+                    }
+                    // The incrementally maintained index answers
+                    // exactly what a from-scratch top_n computes.
+                    SnapshotPlane::Delta => {
+                        for field in [ProfileField::Samples, ProfileField::DcacheMisses] {
+                            assert_eq!(
+                                svc.view_top_n(5, field).unwrap(),
+                                snap.merged.top_n(5, field),
+                                "cycle {cycles}"
+                            );
+                        }
+                    }
+                }
+            }
+            let last = svc.snapshot().unwrap();
+            // Both planes land on bytes identical to direct aggregation.
+            assert_eq!(
+                last.merged.snapshot_bytes().unwrap(),
+                run.db.snapshot_bytes().unwrap(),
+                "plane {}",
+                plane.name()
+            );
+            let stats = svc.stats();
+            match plane {
+                SnapshotPlane::Dense => {
+                    assert_eq!(stats.deltas_published, 0);
+                    assert_eq!(stats.delta_bytes, 0);
+                    assert_eq!(stats.view_refreshes, 0);
+                }
+                SnapshotPlane::Delta => {
+                    // One delta per shard per cycle, one view refresh
+                    // per cycle.
+                    assert_eq!(stats.deltas_published, (cycles + 1) * 3);
+                    assert!(stats.delta_bytes > 0);
+                    assert_eq!(stats.view_refreshes, cycles + 1);
+                }
+            }
+            let (final_db, _) = svc.shutdown().unwrap();
+            assert_eq!(
+                final_db.snapshot_bytes().unwrap(),
+                run.db.snapshot_bytes().unwrap()
+            );
+        }
     }
 
     #[test]

@@ -34,9 +34,12 @@ use crate::degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolic
 use crate::faults::ActiveFaults;
 use crate::ring::{RingBuffer, TryPushError};
 use crate::supervise::{
-    run_worker, Msg, ShardCounters, SnapShared, SuperviseConfig, Work, WorkerCtx,
+    run_worker, Msg, Publication, ShardCounters, SnapShared, SuperviseConfig, Work, WorkerCtx,
 };
-use profileme_core::{PairProfileDatabase, PairedSample, ProfileDatabase, ProfileError, Sample};
+use profileme_core::{
+    PairProfileDatabase, PairedSample, PcProfile, ProfileDatabase, ProfileError, ProfileField,
+    Sample, TopNIndex,
+};
 use profileme_isa::Pc;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -55,6 +58,11 @@ use std::time::{Duration, Instant};
 pub trait ShardAggregate: Clone + Send + 'static {
     /// The streamed item.
     type Item: Send + 'static;
+
+    /// The query index the service maintains over its materialized
+    /// merged view on the delta plane, refreshed with exactly the rows
+    /// each applied delta touched. Use `()` when no index is wanted.
+    type ViewIndex: ViewIndex<Self>;
 
     /// Accumulates one item.
     fn absorb(&mut self, item: &Self::Item);
@@ -90,6 +98,58 @@ pub trait ShardAggregate: Clone + Send + 'static {
     ///
     /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
     fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, ProfileError>;
+
+    /// Serializes everything this accumulator absorbed since `base`
+    /// (a past state of `self`, e.g. the empty prototype or the state
+    /// at the previous call) as a sparse delta, and advances `base` to
+    /// the current state. Must be O(touched rows), and
+    /// [`apply_delta_bytes`](ShardAggregate::apply_delta_bytes) must
+    /// be its exact inverse: applying every delta in emission order to
+    /// a clone of the original `base` reproduces `self` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Mismatch`] if `base` is not a past
+    /// state of `self` (different program/configuration, or counters
+    /// that ran backwards).
+    fn extract_delta_bytes(&mut self, base: &mut Self) -> Result<Vec<u8>, ProfileError>;
+
+    /// Merges one [`extract_delta_bytes`] chunk into this accumulator
+    /// and returns the indices of the rows it touched (for incremental
+    /// index maintenance).
+    ///
+    /// [`extract_delta_bytes`]: ShardAggregate::extract_delta_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse,
+    /// or [`ProfileError::Mismatch`] if they describe a different
+    /// program/configuration.
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, ProfileError>;
+}
+
+/// An incrementally maintained query index over a materialized view:
+/// the service calls [`rows_touched`](ViewIndex::rows_touched) after
+/// applying each delta, with exactly the rows that changed.
+pub trait ViewIndex<A: ?Sized>: Default + Send + 'static {
+    /// Re-ranks `rows` of `view` after their values changed.
+    fn rows_touched(&mut self, view: &A, rows: &[u32]);
+}
+
+/// The no-op index: for aggregates with no O(1) dashboard query.
+impl<A: ?Sized> ViewIndex<A> for () {
+    fn rows_touched(&mut self, _view: &A, _rows: &[u32]) {}
+}
+
+/// [`TopNIndex`] rides the delta plane: every applied delta reports
+/// its touched rows, which is exactly the refresh the index needs to
+/// stay equal to a from-scratch [`ProfileDatabase::top_n`].
+///
+/// [`ProfileDatabase::top_n`]: profileme_core::ProfileDatabase::top_n
+impl ViewIndex<ProfileDatabase> for TopNIndex {
+    fn rows_touched(&mut self, view: &ProfileDatabase, rows: &[u32]) {
+        self.update_rows(view, rows);
+    }
 }
 
 /// PC-hash sharding: spread nearby PCs across shards via a Fibonacci
@@ -106,6 +166,7 @@ pub fn pc_shard(pc: Pc, shards: usize) -> usize {
 
 impl ShardAggregate for ProfileDatabase {
     type Item = Sample;
+    type ViewIndex = TopNIndex;
 
     fn absorb(&mut self, item: &Sample) {
         self.add(item);
@@ -127,10 +188,19 @@ impl ShardAggregate for ProfileDatabase {
     fn from_checkpoint_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
         ProfileDatabase::from_snapshot_bytes(bytes)
     }
+
+    fn extract_delta_bytes(&mut self, base: &mut ProfileDatabase) -> Result<Vec<u8>, ProfileError> {
+        self.extract_delta(base)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, ProfileError> {
+        self.apply_delta(bytes)
+    }
 }
 
 impl ShardAggregate for PairProfileDatabase {
     type Item = PairedSample;
+    type ViewIndex = ();
 
     fn absorb(&mut self, item: &PairedSample) {
         self.add(item);
@@ -157,6 +227,53 @@ impl ShardAggregate for PairProfileDatabase {
     fn from_checkpoint_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
         PairProfileDatabase::from_snapshot_bytes(bytes)
     }
+
+    fn extract_delta_bytes(
+        &mut self,
+        base: &mut PairProfileDatabase,
+    ) -> Result<Vec<u8>, ProfileError> {
+        self.extract_delta(base)
+    }
+
+    fn apply_delta_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, ProfileError> {
+        self.apply_delta(bytes)
+    }
+}
+
+/// Which snapshot data plane the service runs. Both planes produce
+/// byte-identical merged snapshots; they differ only in steady-state
+/// cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum SnapshotPlane {
+    /// Workers publish full accumulator clones and the service
+    /// re-merges from scratch every cycle — O(program × shards) per
+    /// snapshot regardless of how little changed.
+    Dense,
+    /// Workers publish sparse deltas since their last publish and the
+    /// service folds them into an incrementally-updated materialized
+    /// view — O(rows touched since the last snapshot) per cycle.
+    #[default]
+    Delta,
+}
+
+impl SnapshotPlane {
+    /// The wire name (`"dense"` / `"delta"`), as accepted by
+    /// [`parse`](SnapshotPlane::parse).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotPlane::Dense => "dense",
+            SnapshotPlane::Delta => "delta",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<SnapshotPlane> {
+        match s {
+            "dense" => Some(SnapshotPlane::Dense),
+            "delta" => Some(SnapshotPlane::Delta),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of the sharded ingest layer.
@@ -172,6 +289,9 @@ pub struct ServeConfig {
     pub supervise: SuperviseConfig,
     /// Overload degradation ladder for the adaptive ingest path.
     pub degrade: DegradeConfig,
+    /// Snapshot data plane: sparse deltas into a materialized view
+    /// (the default), or full clones re-merged every cycle.
+    pub plane: SnapshotPlane,
 }
 
 impl Default for ServeConfig {
@@ -181,6 +301,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             supervise: SuperviseConfig::default(),
             degrade: DegradeConfig::default(),
+            plane: SnapshotPlane::default(),
         }
     }
 }
@@ -257,6 +378,14 @@ pub struct IngestStats {
     pub shed: u64,
     /// Deadline-bounded calls that ran out of budget.
     pub deadline_misses: u64,
+    /// Delta publications shipped through the snapshot mailboxes
+    /// (delta plane only; always 0 on the dense plane).
+    pub deltas_published: u64,
+    /// Serialized bytes across those delta publications.
+    pub delta_bytes: u64,
+    /// Incremental refreshes applied to the merged materialized view
+    /// (one per completed delta-plane snapshot cycle).
+    pub view_refreshes: u64,
 }
 
 impl IngestStats {
@@ -321,6 +450,14 @@ impl<A: ShardAggregate> Shard<A> {
     }
 }
 
+/// The delta plane's materialized view: the merged aggregate kept
+/// incrementally up to date by folding in each shard's published
+/// deltas, plus the query index refreshed with the touched rows.
+struct ViewState<A: ShardAggregate> {
+    merged: A,
+    index: A::ViewIndex,
+}
+
 /// The sharded profile-aggregation service: samples in, snapshots out,
 /// collection never stops — and, supervised, it survives its own
 /// workers panicking.
@@ -333,11 +470,14 @@ pub struct ShardedService<A: ShardAggregate> {
     rr: AtomicUsize,
     snapshots: AtomicU64,
     deadline_misses: AtomicU64,
+    view_refreshes: AtomicU64,
     degrade: OverloadController,
     faults: Option<Arc<ActiveFaults>>,
     /// Serializes snapshot cycles so each shard has at most one
-    /// outstanding [`SnapShared`] request. Ingest never touches this.
-    snap_cycle: Mutex<()>,
+    /// outstanding [`SnapShared`] request, and owns the delta plane's
+    /// materialized view (`None` on the dense plane). Ingest never
+    /// touches this.
+    snap_cycle: Mutex<Option<ViewState<A>>>,
 }
 
 impl<A: ShardAggregate> ShardedService<A> {
@@ -387,6 +527,7 @@ impl<A: ShardAggregate> ShardedService<A> {
                     snap: Arc::clone(&snap),
                     empty: empty.clone(),
                     cfg: config.supervise,
+                    plane: config.plane,
                     counters: Arc::clone(&counters),
                     done: done_tx,
                     faults: faults.clone(),
@@ -400,14 +541,23 @@ impl<A: ShardAggregate> ShardedService<A> {
                 }
             })
             .collect();
+        // The delta plane's view starts at the shards' shared origin:
+        // every worker's delta base begins as `empty`, so folding each
+        // published delta into this view reproduces the sum of the
+        // shard accumulators exactly.
+        let view = (config.plane == SnapshotPlane::Delta).then(|| ViewState {
+            merged: empty,
+            index: A::ViewIndex::default(),
+        });
         Ok(ShardedService {
             shards,
             rr: AtomicUsize::new(0),
             snapshots: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            view_refreshes: AtomicU64::new(0),
             degrade: OverloadController::new(config.degrade),
             faults,
-            snap_cycle: Mutex::new(()),
+            snap_cycle: Mutex::new(view),
         })
     }
 
@@ -621,8 +771,9 @@ impl<A: ShardAggregate> ShardedService<A> {
         };
         // One cycle at a time: each shard then has at most one
         // outstanding request, which is what the two-slot mailbox is
-        // sized for.
-        let _cycle = self
+        // sized for. On the delta plane this guard also owns the
+        // materialized view the cycle folds deltas into.
+        let mut cycle = self
             .snap_cycle
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
@@ -653,8 +804,13 @@ impl<A: ShardAggregate> ShardedService<A> {
             epochs.push(epoch);
         }
 
-        // Phase 2: await each shard's publish and merge in shard order.
-        let mut merged: Option<A> = None;
+        // Phase 2: await each shard's publish in shard order. Dense
+        // plane: merge the full clones from scratch. Delta plane: fold
+        // each shard's delta chunks into the materialized view — a
+        // deadline miss partway through is safe, because the applied
+        // prefix is a valid (merely earlier) view state and the
+        // unconsumed publications are carried forward by their workers.
+        let mut dense_merged: Option<A> = None;
         for (i, shard) in self.shards.iter().enumerate() {
             let epoch = epochs[i];
             loop {
@@ -676,19 +832,37 @@ impl<A: ShardAggregate> ShardedService<A> {
                 };
                 shard.snap.wait(slice);
             }
-            let part = shard.snap.slots[(epoch & 1) as usize]
+            let publication = shard.snap.slots[(epoch & 1) as usize]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .take()
                 .expect("a published epoch always fills its slot");
-            match &mut merged {
-                None => merged = Some(part),
-                Some(m) => m.merge(&part)?,
+            match (cycle.as_mut(), publication) {
+                (None, Publication::Full(part)) => match &mut dense_merged {
+                    None => dense_merged = Some(part),
+                    Some(m) => m.merge(&part)?,
+                },
+                (Some(view), Publication::Delta(chunks)) => {
+                    for chunk in chunks {
+                        let rows = view.merged.apply_delta_bytes(&chunk)?;
+                        view.index.rows_touched(&view.merged, &rows);
+                    }
+                }
+                (Some(_), Publication::Full(_)) | (None, Publication::Delta(_)) => {
+                    unreachable!("workers publish the plane the service was configured with")
+                }
             }
         }
+        let merged = match cycle.as_ref() {
+            None => dense_merged.expect("at least one shard"),
+            Some(view) => {
+                self.view_refreshes.fetch_add(1, Ordering::Relaxed);
+                view.merged.clone()
+            }
+        };
         let seq = self.snapshots.fetch_add(1, Ordering::Relaxed) + 1;
         Ok(ServeSnapshot {
-            merged: merged.expect("at least one shard"),
+            merged,
             seq,
             stats: self.stats(),
         })
@@ -739,6 +913,9 @@ impl<A: ShardAggregate> ShardedService<A> {
             thin_scale: self.degrade.config().thin_k,
             shed,
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            deltas_published: sum(&|c| &c.deltas_published),
+            delta_bytes: sum(&|c| &c.delta_bytes),
+            view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
         }
     }
 
@@ -825,6 +1002,26 @@ impl<A: ShardAggregate> ShardedService<A> {
         }
         let stats = self.stats();
         Ok((merged.expect("at least one shard"), stats))
+    }
+}
+
+impl ShardedService<ProfileDatabase> {
+    /// The `n` hottest instructions by `field`, answered from the
+    /// incrementally maintained [`TopNIndex`] over the materialized
+    /// view — O(n), no clone, no sort, no snapshot cycle.
+    ///
+    /// The answer reflects the most recent completed snapshot cycle
+    /// (the view advances per cycle, not per ingest). Returns `None`
+    /// on the dense plane, or when `n` exceeds the index's rank depth
+    /// — fall back to [`snapshot`](ShardedService::snapshot) plus
+    /// [`ProfileDatabase::top_n`] for those.
+    pub fn view_top_n(&self, n: usize, field: ProfileField) -> Option<Vec<(Pc, PcProfile)>> {
+        let cycle = self
+            .snap_cycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let view = cycle.as_ref()?;
+        view.index.top_n(&view.merged, n, field)
     }
 }
 

@@ -42,7 +42,7 @@
 
 use crate::faults::{ActiveFaults, FaultAction};
 use crate::ring::RingBuffer;
-use crate::service::ShardAggregate;
+use crate::service::{ShardAggregate, SnapshotPlane};
 use profileme_core::ProfileError;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,7 +69,11 @@ impl Default for SuperviseConfig {
     fn default() -> SuperviseConfig {
         SuperviseConfig {
             enabled: true,
-            checkpoint_every: 32,
+            // Checkpoints ride the sparse columnar encoding, so they
+            // cost O(touched rows) instead of a full-table serialize —
+            // cheap enough to take twice as often, halving the
+            // worst-case journal replay on recovery.
+            checkpoint_every: 16,
             max_recoveries: 1024,
         }
     }
@@ -128,6 +132,18 @@ pub(crate) enum Msg<A: ShardAggregate> {
     Nudge,
 }
 
+/// What a worker hands a snapshot requester for one epoch.
+pub(crate) enum Publication<A> {
+    /// The dense plane: a full clone of the shard accumulator.
+    Full(A),
+    /// The delta plane: sparse delta chunks, oldest first, together
+    /// covering everything the shard absorbed since the last chunk a
+    /// requester actually consumed. Usually one chunk; more when the
+    /// worker carried forward chunks from abandoned deadline epochs
+    /// (see [`maybe_publish`]).
+    Delta(Vec<Vec<u8>>),
+}
+
 /// The per-shard snapshot mailbox: how a consistent accumulator view
 /// travels from the worker to a snapshot caller without a barrier
 /// message round-trip.
@@ -142,9 +158,10 @@ pub(crate) enum Msg<A: ShardAggregate> {
 ///    then bumps `requested` to a fresh epoch, then nudges the ring.
 /// 2. After every message it finishes, the worker checks: if
 ///    `requested` names an epoch it has not published and its count of
-///    processed ring positions has reached `watermark`, it clones the
-///    accumulator into `slots[epoch & 1]` and stores `published =
-///    epoch`.
+///    processed ring positions has reached `watermark`, it publishes
+///    into `slots[epoch & 1]` — a full accumulator clone on the dense
+///    plane, or the sparse delta since its last publish on the delta
+///    plane — and stores `published = epoch`.
 /// 3. The requester waits on `cv` until `published >= epoch` (or the
 ///    shard crashes), then takes `slots[epoch & 1]`.
 ///
@@ -158,12 +175,21 @@ pub(crate) enum Msg<A: ShardAggregate> {
 /// its fresh one (same thread), and the requester only reads after
 /// observing `published >= epoch`, which the fresh write precedes.
 ///
+/// On the delta plane an abandoned publication is not merely stale —
+/// it is the *only* copy of that span of the shard's history (the
+/// worker's delta base has already moved past it). So before
+/// publishing a fresh epoch the worker sweeps **both** slots and
+/// carries any unconsumed delta chunks into the new publication, ahead
+/// of the fresh chunk. The sweep cannot race a reader: cycles are
+/// serialized, and a slot is only swept while its epoch is either
+/// already consumed (empty) or permanently abandoned.
+///
 /// # Memory ordering
 ///
 /// `watermark` is stored before `requested` (Release); the worker
 /// reads `requested` with Acquire, so a matching watermark is always
-/// visible. The accumulator clone is written under the slot's `Mutex`
-/// and `published` is stored with Release after it; the requester's
+/// visible. The publication is written under the slot's `Mutex` and
+/// `published` is stored with Release after it; the requester's
 /// Acquire load of `published` plus the slot lock orders the read
 /// after the write. `crashed` (in [`ShardCounters`]) uses
 /// Release/Acquire so a requester that sees it also sees the drained
@@ -176,7 +202,7 @@ pub(crate) struct SnapShared<A> {
     /// Epoch of the most recent publish (0 = never).
     pub published: AtomicU64,
     /// Double buffer, indexed by `epoch & 1`.
-    pub slots: [Mutex<Option<A>>; 2],
+    pub slots: [Mutex<Option<Publication<A>>>; 2],
     /// Requesters park here; the worker (or the crash guard) notifies.
     pub gate: Mutex<()>,
     pub cv: Condvar,
@@ -222,6 +248,10 @@ pub(crate) struct ShardCounters {
     pub recoveries: AtomicU64,
     pub lost_to_panics: AtomicU64,
     pub checkpoints: AtomicU64,
+    /// Delta publications shipped through the snapshot mailbox.
+    pub deltas_published: AtomicU64,
+    /// Serialized bytes across those delta publications.
+    pub delta_bytes: AtomicU64,
     /// Set when the worker gives up (recovery budget exhausted or
     /// checkpoint restore failed); the service reports `WorkerCrashed`.
     pub crashed: AtomicBool,
@@ -234,6 +264,8 @@ pub(crate) struct WorkerCtx<A: ShardAggregate> {
     pub snap: Arc<SnapShared<A>>,
     pub empty: A,
     pub cfg: SuperviseConfig,
+    /// Which publication kind this worker ships at snapshot epochs.
+    pub plane: SnapshotPlane,
     pub counters: Arc<ShardCounters>,
     /// The final accumulator travels back over this channel so the
     /// service can reap results with a bounded wait (a bare
@@ -328,24 +360,59 @@ impl<A: ShardAggregate> Drop for CrashGuard<'_, A> {
     }
 }
 
-/// Publishes the accumulator into the snapshot mailbox if an
-/// unanswered request's watermark has been reached. `processed` counts
-/// ring positions this worker has fully handled.
+/// Publishes into the snapshot mailbox if an unanswered request's
+/// watermark has been reached. `processed` counts ring positions this
+/// worker has fully handled.
+///
+/// Dense plane (`base` is `None`): a full accumulator clone. Delta
+/// plane: the sparse delta since `base` — O(touched rows) — prefixed
+/// by any unconsumed chunks swept from abandoned epochs (see
+/// [`SnapShared`]'s "why two slots").
 fn maybe_publish<A: ShardAggregate>(
-    snap: &SnapShared<A>,
-    acc: &A,
+    ctx: &WorkerCtx<A>,
+    acc: &mut A,
+    base: &mut Option<A>,
     processed: u64,
     last_published: &mut u64,
 ) {
+    let snap = &ctx.snap;
     let req = snap.requested.load(Ordering::Acquire);
     if req == *last_published || processed < snap.watermark.load(Ordering::Acquire) {
         return;
     }
+    let publication = match base {
+        None => Publication::Full(acc.clone()),
+        Some(base) => {
+            // Sweep both parity slots for abandoned, never-consumed
+            // chunks — they are the only copy of their history span.
+            let mut chunks: Vec<Vec<u8>> = Vec::with_capacity(1);
+            for slot in &snap.slots {
+                let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(Publication::Delta(stale)) = slot.take() {
+                    chunks.extend(stale);
+                }
+            }
+            // Infallible by construction: the base only ever advances
+            // by syncing to the accumulator, so every counter diff is
+            // non-negative and the headers always match.
+            let chunk = acc
+                .extract_delta_bytes(base)
+                .expect("delta base is a past state of this accumulator");
+            ctx.counters
+                .deltas_published
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.counters
+                .delta_bytes
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            chunks.push(chunk);
+            Publication::Delta(chunks)
+        }
+    };
     {
         let mut slot = snap.slots[(req & 1) as usize]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        *slot = Some(acc.clone());
+        *slot = Some(publication);
     }
     snap.published.store(req, Ordering::Release);
     *last_published = req;
@@ -363,6 +430,9 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
         armed: true,
     };
     let mut acc = ctx.empty.clone();
+    // Delta plane: the accumulator state as of the last delta this
+    // worker shipped. `extract_delta_bytes` advances it in O(touched).
+    let mut base = (ctx.plane == SnapshotPlane::Delta).then(|| ctx.empty.clone());
     let mut checkpoint: Option<Vec<u8>> = None;
     let mut journal: Vec<Work<A>> = Vec::new();
     let mut since_checkpoint = 0u32;
@@ -376,7 +446,7 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
         let work = match msg {
             Msg::Nudge => {
                 processed += 1;
-                maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
+                maybe_publish(&ctx, &mut acc, &mut base, processed, &mut last_published);
                 continue;
             }
             Msg::Work(work) => work,
@@ -392,7 +462,7 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
             apply_fault(&ctx, fault_idx);
             work.absorb_into(&mut acc);
             processed += 1;
-            maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
+            maybe_publish(&ctx, &mut acc, &mut base, processed, &mut last_published);
             continue;
         }
 
@@ -456,7 +526,7 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
         // with accounting): a snapshot at this watermark must not wait
         // on a message that will never be absorbed.
         processed += 1;
-        maybe_publish(&ctx.snap, &acc, processed, &mut last_published);
+        maybe_publish(&ctx, &mut acc, &mut base, processed, &mut last_published);
     }
     guard.armed = false;
     drop(ctx.done.send(acc));

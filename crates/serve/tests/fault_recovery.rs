@@ -127,6 +127,55 @@ fn recovery_replays_checkpoint_plus_journal() {
     assert!(stats.checkpoints > 0, "checkpoints were actually taken");
     assert_eq!(stats.lost(), 0);
     assert_eq!(merged.snapshot_bytes().unwrap(), s.direct);
+    // Those checkpoints rode the sparse columnar encoding
+    // (`checkpoint_bytes` == `snapshot_bytes`, magic-tagged "PMS1"),
+    // and journal replay over them stayed byte-identical.
+    assert_eq!(
+        &s.direct[..4],
+        b"PMS1",
+        "checkpoints use the sparse wire format"
+    );
+}
+
+/// A deadline-abandoned snapshot epoch must not lose its delta: the
+/// worker publishes the delta for an epoch nobody reads, and carries
+/// it forward into the next publication (the two-slot sweep). The next
+/// successful snapshot still sees every sample.
+#[test]
+fn abandoned_deadline_epoch_loses_no_deltas() {
+    let s = single_stream();
+    // The worker sleeps 500 ms on its 2nd work message.
+    let svc = service_with("delay:shard=0:nth=2:ms=500", 1, SuperviseConfig::default());
+    svc.ingest_batch(s.samples[..10].to_vec());
+    svc.snapshot().expect("healthy first cycle");
+    // The 2nd batch hits the delay; a tiny deadline abandons its epoch
+    // while the worker is asleep.
+    svc.ingest_batch(s.samples[10..20].to_vec());
+    let err = svc
+        .snapshot_deadline(Duration::from_millis(10))
+        .expect_err("the worker is mid-delay");
+    assert!(matches!(
+        err,
+        ProfileError::DeadlineExceeded {
+            what: "snapshot",
+            ..
+        }
+    ));
+    // The worker eventually publishes that abandoned epoch's delta
+    // into a slot nobody reads. The next cycle must carry it.
+    svc.ingest_batch(s.samples[20..30].to_vec());
+    let snap = svc.snapshot().expect("worker has recovered");
+    let mut direct = ProfileDatabase::new(&s.program, s.interval);
+    for sample in &s.samples[..30] {
+        direct.add(sample);
+    }
+    assert_eq!(
+        snap.merged.snapshot_bytes().unwrap(),
+        direct.snapshot_bytes().unwrap(),
+        "the abandoned epoch's delta was dropped"
+    );
+    assert_eq!(svc.stats().deadline_misses, 1);
+    drop(svc);
 }
 
 /// A recurring fault hits the retry too: the message is dropped whole

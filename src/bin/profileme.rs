@@ -26,7 +26,7 @@
 use profileme::core::{
     procedure_summaries, wasted_issue_slots, PairedConfig, ProfileField, ProfileMeConfig, Session,
 };
-use profileme::serve::{ServeConfig, ShardedService};
+use profileme::serve::{ServeConfig, ShardedService, SnapshotPlane};
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{loops3, microbench, suite};
 use std::process::ExitCode;
@@ -45,6 +45,8 @@ struct Args {
     serve: bool,
     shards: usize,
     chunks: usize,
+    snapshot_every: usize,
+    wire: SnapshotPlane,
     deadline_ms: Option<u64>,
     degrade: bool,
     fail_spec: String,
@@ -68,6 +70,8 @@ impl Default for Args {
             serve: false,
             shards: 4,
             chunks: 8,
+            snapshot_every: 1,
+            wire: SnapshotPlane::default(),
             deadline_ms: None,
             degrade: false,
             fail_spec: String::new(),
@@ -107,6 +111,16 @@ fn parse_args() -> Result<Args, String> {
             "--chunks" if args.serve => {
                 args.chunks = value("--chunks")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--snapshot-every" if args.serve => {
+                args.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--wire" if args.serve => {
+                let name = value("--wire")?;
+                args.wire = SnapshotPlane::parse(&name)
+                    .ok_or_else(|| format!("unknown wire plane `{name}` (dense|delta)"))?
+            }
             "--deadline-ms" if args.serve => {
                 args.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -127,8 +141,8 @@ fn parse_args() -> Result<Args, String> {
                      [--budget INSTRUCTIONS] [--top N] [--paired] \
                      [--report instructions|procedures|wasted|disasm] [--json] [--list]\n       \
                      profileme serve [--workload NAME] [--interval S] [--budget INSTRUCTIONS] \
-                     [--shards N] [--chunks N] [--top N] [--deadline-ms N] [--degrade] \
-                     [--fail-spec SPEC] [--json]\n       \
+                     [--shards N] [--chunks N] [--snapshot-every N] [--wire dense|delta] \
+                     [--top N] [--deadline-ms N] [--degrade] [--fail-spec SPEC] [--json]\n       \
                      profileme optimize [--workload NAME] [--interval S] [--buffer N] \
                      [--budget INSTRUCTIONS] [--iterations N] [--json]"
                 );
@@ -193,23 +207,25 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
         profileme::core::ProfileDatabase::new(&w.program, run.db.interval()),
         ServeConfig {
             shards: args.shards,
+            plane: args.wire,
             ..ServeConfig::default()
         },
     )?;
 
     if !args.json {
         println!(
-            "# serve: {} samples from `{}` through {} shard(s) in {} chunk(s)",
+            "# serve: {} samples from `{}` through {} shard(s) in {} chunk(s), {} wire",
             run.samples.len(),
             w.name,
             args.shards,
-            args.chunks
+            args.chunks,
+            args.wire.name()
         );
     }
     let chunk = (run.samples.len() / args.chunks.max(1)).max(1);
     let deadline = args.deadline_ms.map(std::time::Duration::from_millis);
     let mut previous = None;
-    for batch in run.samples.chunks(chunk) {
+    for (i, batch) in run.samples.chunks(chunk).enumerate() {
         let batch = batch.to_vec();
         if args.degrade {
             svc.ingest_adaptive(batch);
@@ -219,6 +235,11 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
             let _ = svc.ingest_deadline(batch, budget);
         } else {
             svc.ingest_batch(batch);
+        }
+        // `--snapshot-every n` runs a snapshot cycle after every n-th
+        // chunk; ingest between cycles accumulates into one epoch delta.
+        if (i + 1) % args.snapshot_every.max(1) != 0 {
+            continue;
         }
         let snap = match deadline {
             Some(budget) => match svc.snapshot_deadline(budget) {

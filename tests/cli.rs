@@ -181,6 +181,90 @@ fn serve_json_emits_ingest_stats() {
 }
 
 #[test]
+fn serve_wire_and_snapshot_cadence_knobs() {
+    // Dense wire, snapshotting every second chunk: half the snapshot
+    // lines, same byte-identity cross-check at the end.
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--shards",
+        "2",
+        "--chunks",
+        "6",
+        "--snapshot-every",
+        "2",
+        "--wire",
+        "dense",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dense wire"), "got: {text}");
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("snapshot")).count(),
+        3,
+        "one snapshot line per two chunks: {text}"
+    );
+    assert!(
+        text.contains("identical to direct aggregation"),
+        "the byte-identity cross-check ran: {text}"
+    );
+}
+
+#[test]
+fn serve_json_reports_snapshot_plane_counters() {
+    let run = |wire: &str| {
+        let out = profileme(&[
+            "serve",
+            "--workload",
+            "li",
+            "--budget",
+            "50000",
+            "--shards",
+            "2",
+            "--wire",
+            wire,
+            "--json",
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        serde_json::from_slice::<serde_json::Value>(&out.stdout).expect("valid json")
+    };
+    let field = |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64);
+    // The delta plane publishes sparse epoch deltas and maintains the
+    // materialized view; its counters must surface in `--json`.
+    let delta = run("delta");
+    assert!(field(&delta, "deltas_published").is_some_and(|n| n > 0));
+    assert!(field(&delta, "delta_bytes").is_some_and(|n| n > 0));
+    assert!(field(&delta, "view_refreshes").is_some_and(|n| n > 0));
+    // The dense plane ships full clones: every delta counter stays 0.
+    let dense = run("dense");
+    for key in ["deltas_published", "delta_bytes", "view_refreshes"] {
+        assert_eq!(field(&dense, key), Some(0), "{key} on the dense plane");
+    }
+}
+
+#[test]
+fn serve_rejects_unknown_wire_plane() {
+    let out = profileme(&["serve", "--workload", "li", "--wire", "columnar"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown wire plane"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn serve_json_reports_supervision_and_degradation_state() {
     let out = profileme(&[
         "serve",
