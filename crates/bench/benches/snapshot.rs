@@ -6,7 +6,7 @@
 //! what the service actually serializes.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use profileme_core::{ProfileDatabase, ProfileMeConfig, Session};
+use profileme_core::{ProfileDatabase, ProfileMeConfig, Session, WireFormat};
 use profileme_workloads as workloads;
 use std::hint::black_box;
 
@@ -32,29 +32,29 @@ fn profiled_db() -> (ProfileDatabase, ProfileDatabase) {
 
 fn encode(c: &mut Criterion) {
     let (db, _) = profiled_db();
-    let sparse = db.snapshot_bytes().expect("sparse encodes");
+    let sparse = db.encode(WireFormat::Sparse).expect("sparse encodes");
     let mut group = c.benchmark_group("snapshot/encode");
     group.throughput(Throughput::Bytes(sparse.len() as u64));
     group.bench_function("sparse", |b| {
-        b.iter(|| black_box(db.snapshot_bytes().expect("sparse encodes")))
+        b.iter(|| black_box(db.encode(WireFormat::Sparse).expect("sparse encodes")))
     });
     group.bench_function("dense_json", |b| {
-        b.iter(|| black_box(db.snapshot_bytes_dense().expect("dense encodes")))
+        b.iter(|| black_box(db.encode(WireFormat::Dense).expect("dense encodes")))
     });
     group.finish();
 }
 
 fn decode(c: &mut Criterion) {
     let (db, _) = profiled_db();
-    let sparse = db.snapshot_bytes().expect("sparse encodes");
-    let dense = db.snapshot_bytes_dense().expect("dense encodes");
+    let sparse = db.encode(WireFormat::Sparse).expect("sparse encodes");
+    let dense = db.encode(WireFormat::Dense).expect("dense encodes");
     let mut group = c.benchmark_group("snapshot/decode");
     group.throughput(Throughput::Bytes(sparse.len() as u64));
     group.bench_function("sparse", |b| {
-        b.iter(|| black_box(ProfileDatabase::from_snapshot_bytes(&sparse).expect("decodes")))
+        b.iter(|| black_box(ProfileDatabase::decode(&sparse).expect("decodes")))
     });
     group.bench_function("dense_json", |b| {
-        b.iter(|| black_box(ProfileDatabase::from_snapshot_bytes(&dense).expect("decodes")))
+        b.iter(|| black_box(ProfileDatabase::decode(&dense).expect("decodes")))
     });
     group.finish();
 }

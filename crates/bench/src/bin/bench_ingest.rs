@@ -44,7 +44,7 @@
 
 use profileme_bench::engine::{env, Emitter};
 use profileme_bench::scaled;
-use profileme_core::{ProfileDatabase, ProfileMeConfig, Sample, Session};
+use profileme_core::{ProfileDatabase, ProfileMeConfig, Sample, Session, WireFormat};
 use profileme_serve::{ServeConfig, ShardedService};
 use profileme_workloads::{self as workloads, Workload};
 use serde::Serialize;
@@ -252,7 +252,9 @@ fn time_serviced(
     shards: usize,
     reps: u32,
 ) -> Cell {
-    let reference_bytes = reference.snapshot_bytes().expect("snapshot serializes");
+    let reference_bytes = reference
+        .encode(WireFormat::Sparse)
+        .expect("snapshot serializes");
     let timing = Timing::collect(reps, |call_us| {
         // Batches are materialized untimed: the cell measures ingest +
         // aggregation + drain, not the cost of copying the test stream.
@@ -260,11 +262,11 @@ fn time_serviced(
         let empty = ProfileDatabase::new(&w.program, reference.interval());
         let service = ShardedService::start(
             empty,
-            ServeConfig {
-                shards,
-                queue_depth: QUEUE_DEPTH,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .shards(shards)
+                .queue_depth(QUEUE_DEPTH)
+                .build()
+                .expect("config is valid"),
         )
         .expect("service starts");
         let start = Instant::now();
@@ -277,7 +279,9 @@ fn time_serviced(
         let secs = start.elapsed().as_secs_f64();
         // The hard gate: shard count must never change the profile.
         assert_eq!(
-            merged.snapshot_bytes().expect("snapshot serializes"),
+            merged
+                .encode(WireFormat::Sparse)
+                .expect("snapshot serializes"),
             reference_bytes,
             "{} at {shards} shard(s) diverged from direct aggregation",
             w.name
@@ -375,11 +379,11 @@ fn chaos_smoke(
     for shards in [1usize, 4] {
         let service = ShardedService::start_with_faults(
             ProfileDatabase::new(&w.program, reference.interval()),
-            ServeConfig {
-                shards,
-                queue_depth: QUEUE_DEPTH,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .shards(shards)
+                .queue_depth(QUEUE_DEPTH)
+                .build()
+                .expect("config is valid"),
             plan.clone(),
         )
         .expect("service starts");
@@ -395,8 +399,12 @@ fn chaos_smoke(
         );
         if stats.lost() == 0 {
             assert_eq!(
-                merged.snapshot_bytes().expect("snapshot serializes"),
-                reference.snapshot_bytes().expect("snapshot serializes"),
+                merged
+                    .encode(WireFormat::Sparse)
+                    .expect("snapshot serializes"),
+                reference
+                    .encode(WireFormat::Sparse)
+                    .expect("snapshot serializes"),
                 "{} at {shards} shard(s): lossless chaos run diverged under `{spec}`",
                 w.name
             );

@@ -40,7 +40,7 @@
 
 use profileme_bench::engine::{env, Emitter};
 use profileme_bench::scaled;
-use profileme_core::{ProfileDatabase, ProfileField, ProfileMeConfig, Sample, Session};
+use profileme_core::{ProfileDatabase, ProfileField, ProfileMeConfig, Sample, Session, WireFormat};
 use profileme_serve::{ServeConfig, ShardedService, SnapshotPlane};
 use profileme_workloads::{self as workloads, Workload};
 use serde::Serialize;
@@ -221,12 +221,12 @@ fn one_rep(
     let service = Arc::new(
         ShardedService::start(
             empty,
-            ServeConfig {
-                shards,
-                queue_depth: QUEUE_DEPTH,
-                plane,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .shards(shards)
+                .queue_depth(QUEUE_DEPTH)
+                .plane(plane)
+                .build()
+                .expect("config is valid"),
         )
         .expect("service starts"),
     );
@@ -262,7 +262,7 @@ fn one_rep(
             // wire cost, i.e. the comparison favors dense.
             bytes += snap
                 .merged
-                .snapshot_bytes()
+                .encode(WireFormat::Sparse)
                 .expect("snapshot serializes")
                 .len() as u64;
         }
@@ -286,9 +286,11 @@ fn one_rep(
     assert_eq!(
         quiescent
             .merged
-            .snapshot_bytes()
+            .encode(WireFormat::Sparse)
             .expect("snapshot serializes"),
-        merged.snapshot_bytes().expect("snapshot serializes"),
+        merged
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes"),
         "{} {} plane at {shards} shard(s): view diverged from direct merge",
         w.name,
         plane.name(),
@@ -350,8 +352,8 @@ fn wire_cell(w: &Workload, batches: &[Vec<Sample>], interval: u64) -> WireCell {
     for s in batches.iter().flatten().take(8192) {
         db.add(s);
     }
-    let sparse = db.snapshot_bytes().expect("sparse encodes");
-    let dense = db.snapshot_bytes_dense().expect("dense encodes");
+    let sparse = db.encode(WireFormat::Sparse).expect("sparse encodes");
+    let dense = db.encode(WireFormat::Dense).expect("dense encodes");
     let empty = ProfileDatabase::new(&w.program, interval);
     let full_delta = {
         let mut d = db.clone();
@@ -361,22 +363,22 @@ fn wire_cell(w: &Workload, batches: &[Vec<Sample>], interval: u64) -> WireCell {
     const ITERS: u32 = 40;
     let encode_sparse_us = best_us(ITERS, || {
         let t = Instant::now();
-        std::hint::black_box(db.snapshot_bytes().expect("sparse encodes"));
+        std::hint::black_box(db.encode(WireFormat::Sparse).expect("sparse encodes"));
         t.elapsed().as_secs_f64() * 1e6
     });
     let encode_dense_us = best_us(ITERS, || {
         let t = Instant::now();
-        std::hint::black_box(db.snapshot_bytes_dense().expect("dense encodes"));
+        std::hint::black_box(db.encode(WireFormat::Dense).expect("dense encodes"));
         t.elapsed().as_secs_f64() * 1e6
     });
     let decode_sparse_us = best_us(ITERS, || {
         let t = Instant::now();
-        std::hint::black_box(ProfileDatabase::from_snapshot_bytes(&sparse).expect("decodes"));
+        std::hint::black_box(ProfileDatabase::decode(&sparse).expect("decodes"));
         t.elapsed().as_secs_f64() * 1e6
     });
     let decode_dense_us = best_us(ITERS, || {
         let t = Instant::now();
-        std::hint::black_box(ProfileDatabase::from_snapshot_bytes(&dense).expect("decodes"));
+        std::hint::black_box(ProfileDatabase::decode(&dense).expect("decodes"));
         t.elapsed().as_secs_f64() * 1e6
     });
     let delta_extract_us = best_us(ITERS, || {

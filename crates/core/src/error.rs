@@ -62,6 +62,14 @@ pub enum ProfileError {
         /// Samples lost across all lossy paths.
         lost: u64,
     },
+    /// The durable profile store failed: an I/O error on the segment
+    /// log or a snapshot image, or an on-disk layout the recovery
+    /// path refuses to trust (for example a torn record followed by
+    /// later segments).
+    Store {
+        /// What the store layer reported.
+        reason: String,
+    },
 }
 
 impl ProfileError {
@@ -93,6 +101,9 @@ impl fmt::Display for ProfileError {
             }
             ProfileError::Degraded { level, lost } => {
                 write!(f, "service degraded to level {level} ({lost} samples lost)")
+            }
+            ProfileError::Store { reason } => {
+                write!(f, "durable store failed: {reason}")
             }
         }
     }
@@ -135,5 +146,9 @@ mod tests {
         assert!(e.to_string().contains("snapshot") && e.to_string().contains("250"));
         let e = ProfileError::Degraded { level: 2, lost: 41 };
         assert!(e.to_string().contains("level 2") && e.to_string().contains("41"));
+        let e = ProfileError::Store {
+            reason: "wal-00000003.seg vanished".into(),
+        };
+        assert!(e.to_string().contains("wal-00000003.seg"));
     }
 }

@@ -86,4 +86,5 @@ pub use sw::{
     OverlapKind, PairMetric, PairProfileDatabase, PairProfileField, PairedRun, PathProfiler,
     PathScheme, PcPairProfile, PcProfile, ProcedureSummary, ProfileDatabase, ProfileField,
     ReconstructionOutcome, SampleCollector, SingleRun, StagePopulation, TopNIndex, WastedSlots,
+    WireFormat,
 };

@@ -35,6 +35,30 @@ const DELTA_MAGIC: [u8; 4] = *b"PMD1";
 const PAIR_SNAP_MAGIC: [u8; 4] = *b"PMP1";
 const PAIR_DELTA_MAGIC: [u8; 4] = *b"PME1";
 
+/// The on-wire encodings a profile database [`encode`]s to.
+///
+/// Both formats round-trip through the single [`decode`] entry point
+/// (the leading bytes pick the parser: a version magic vs. a JSON
+/// object), and both carry exactly the database *content* — two
+/// databases holding identical aggregates produce identical bytes per
+/// format regardless of how they were built.
+///
+/// [`encode`]: ProfileDatabase::encode
+/// [`decode`]: ProfileDatabase::decode
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFormat {
+    /// The legacy dense JSON image: every row, zero or not. Kept for
+    /// interoperability and as the reference encoding the decoder
+    /// agreement tests compare against.
+    Dense,
+    /// The canonical sparse columnar format (`PMS1`/`PMP1` magic):
+    /// varint-coded touched-row runs plus per-field columns — the
+    /// encoding the snapshot plane, checkpoints, and the durable
+    /// store all share.
+    #[default]
+    Sparse,
+}
+
 /// The set of rows touched since the last delta extraction: a bitset
 /// for O(1) dedup plus the touched indices for O(touched) iteration.
 ///
@@ -699,50 +723,76 @@ impl ProfileDatabase {
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        let rows: Vec<(u32, [u64; PC_COLUMNS])> = self
-            .per_pc
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !p.is_zero())
-            .map(|(i, p)| (i as u32, p.to_columns()))
-            .collect();
-        Ok(wire::encode(SNAP_MAGIC, &self.header(), &rows))
+    pub fn encode(&self, format: WireFormat) -> Result<Vec<u8>, ProfileError> {
+        match format {
+            WireFormat::Sparse => {
+                let rows: Vec<(u32, [u64; PC_COLUMNS])> = self
+                    .per_pc
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.is_zero())
+                    .map(|(i, p)| (i as u32, p.to_columns()))
+                    .collect();
+                Ok(wire::encode(SNAP_MAGIC, &self.header(), &rows))
+            }
+            WireFormat::Dense => serde_json::to_string(self)
+                .map(String::into_bytes)
+                .map_err(|e| ProfileError::Snapshot {
+                    reason: e.to_string(),
+                }),
+        }
     }
 
-    /// Serializes the database to the legacy dense JSON snapshot —
-    /// every row, zero or not. Kept alongside the sparse format for
-    /// interoperability and as the reference encoding the decoder
-    /// agreement tests compare against.
+    /// Deserializes a database from [`encode`] output of either
+    /// [`WireFormat`] — the leading bytes pick the decoder (version
+    /// magic vs. a JSON object).
     ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
-        serde_json::to_string(self)
-            .map(String::into_bytes)
-            .map_err(|e| ProfileError::Snapshot {
-                reason: e.to_string(),
-            })
-    }
-
-    /// Deserializes a database from [`snapshot_bytes`] or
-    /// [`snapshot_bytes_dense`] output — the leading bytes pick the
-    /// decoder (version magic vs. a JSON object).
-    ///
-    /// [`snapshot_bytes`]: ProfileDatabase::snapshot_bytes
-    /// [`snapshot_bytes_dense`]: ProfileDatabase::snapshot_bytes_dense
+    /// [`encode`]: ProfileDatabase::encode
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
-    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
+    pub fn decode(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
         if bytes.first() == Some(&b'{') {
             return serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
                 reason: e.to_string(),
             });
         }
         ProfileDatabase::from_decoded(wire::decode(bytes, SNAP_MAGIC, SNAP_HEADER)?)
+    }
+
+    /// Deprecated alias for [`encode`]`(WireFormat::Sparse)`.
+    ///
+    /// [`encode`]: ProfileDatabase::encode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Sparse)`")]
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        self.encode(WireFormat::Sparse)
+    }
+
+    /// Deprecated alias for [`encode`]`(WireFormat::Dense)`.
+    ///
+    /// [`encode`]: ProfileDatabase::encode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Dense)`")]
+    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
+        self.encode(WireFormat::Dense)
+    }
+
+    /// Deprecated alias for [`decode`](ProfileDatabase::decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
+    #[deprecated(since = "0.8.0", note = "use `decode`")]
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
+        ProfileDatabase::decode(bytes)
     }
 
     /// Extracts everything aggregated since `base` as sparse delta
@@ -1244,53 +1294,82 @@ impl PairProfileDatabase {
         Ok(db)
     }
 
-    /// Serializes the database to its canonical snapshot bytes — the
-    /// sparse columnar format, as [`ProfileDatabase::snapshot_bytes`].
+    /// Serializes the database per `format`, as
+    /// [`ProfileDatabase::encode`] (the sparse format carries the
+    /// `PMP1` magic).
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        let rows: Vec<(u32, [u64; PAIR_COLUMNS])> = self
-            .per_pc
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| !p.is_zero())
-            .map(|(i, p)| (i as u32, p.to_columns()))
-            .collect();
-        Ok(wire::encode(PAIR_SNAP_MAGIC, &self.header(), &rows))
+    pub fn encode(&self, format: WireFormat) -> Result<Vec<u8>, ProfileError> {
+        match format {
+            WireFormat::Sparse => {
+                let rows: Vec<(u32, [u64; PAIR_COLUMNS])> = self
+                    .per_pc
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.is_zero())
+                    .map(|(i, p)| (i as u32, p.to_columns()))
+                    .collect();
+                Ok(wire::encode(PAIR_SNAP_MAGIC, &self.header(), &rows))
+            }
+            WireFormat::Dense => serde_json::to_string(self)
+                .map(String::into_bytes)
+                .map_err(|e| ProfileError::Snapshot {
+                    reason: e.to_string(),
+                }),
+        }
     }
 
-    /// Serializes the database to the legacy dense JSON snapshot, as
-    /// [`ProfileDatabase::snapshot_bytes_dense`].
+    /// Deserializes a database from [`encode`] output of either
+    /// [`WireFormat`].
     ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
-        serde_json::to_string(self)
-            .map(String::into_bytes)
-            .map_err(|e| ProfileError::Snapshot {
-                reason: e.to_string(),
-            })
-    }
-
-    /// Deserializes a database from [`snapshot_bytes`] or
-    /// [`snapshot_bytes_dense`] output.
-    ///
-    /// [`snapshot_bytes`]: PairProfileDatabase::snapshot_bytes
-    /// [`snapshot_bytes_dense`]: PairProfileDatabase::snapshot_bytes_dense
+    /// [`encode`]: PairProfileDatabase::encode
     ///
     /// # Errors
     ///
     /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
-    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
+    pub fn decode(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
         if bytes.first() == Some(&b'{') {
             return serde_json::from_slice(bytes).map_err(|e| ProfileError::Snapshot {
                 reason: e.to_string(),
             });
         }
         PairProfileDatabase::from_decoded(wire::decode(bytes, PAIR_SNAP_MAGIC, PAIR_HEADER)?)
+    }
+
+    /// Deprecated alias for [`encode`]`(WireFormat::Sparse)`.
+    ///
+    /// [`encode`]: PairProfileDatabase::encode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Sparse)`")]
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
+        self.encode(WireFormat::Sparse)
+    }
+
+    /// Deprecated alias for [`encode`]`(WireFormat::Dense)`.
+    ///
+    /// [`encode`]: PairProfileDatabase::encode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if serialization fails.
+    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Dense)`")]
+    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
+        self.encode(WireFormat::Dense)
+    }
+
+    /// Deprecated alias for [`decode`](PairProfileDatabase::decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
+    #[deprecated(since = "0.8.0", note = "use `decode`")]
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
+        PairProfileDatabase::decode(bytes)
     }
 
     /// Extracts everything aggregated since `base` as sparse delta

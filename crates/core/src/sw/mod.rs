@@ -17,6 +17,7 @@ pub use concurrency::{
 };
 pub use database::{
     PairProfileDatabase, PairProfileField, PcPairProfile, PcProfile, ProfileDatabase, ProfileField,
+    WireFormat,
 };
 pub use driver::{
     run_ground_truth, run_hardware, HardwareRun, PairedRun, SampleCollector, SingleRun,

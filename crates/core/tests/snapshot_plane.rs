@@ -6,7 +6,7 @@
 use profileme_cfg::BranchHistory;
 use profileme_core::{
     PairProfileDatabase, PairProfileField, PairedSample, ProfileDatabase, ProfileField, Sample,
-    TopNIndex,
+    TopNIndex, WireFormat,
 };
 use profileme_isa::{Program, ProgramBuilder};
 use profileme_uarch::{CompletedSample, EventSet, TagId, Timestamps};
@@ -136,8 +136,8 @@ proptest! {
         prop_assert_eq!(&replica, &db);
         prop_assert_eq!(&base, &db, "extract_delta syncs its base");
         prop_assert_eq!(
-            replica.snapshot_bytes().unwrap(),
-            db.snapshot_bytes().unwrap()
+            replica.encode(WireFormat::Sparse).unwrap(),
+            db.encode(WireFormat::Sparse).unwrap()
         );
         // A delta over no changes is a no-op when applied.
         let noop = db.extract_delta(&mut base).unwrap();
@@ -157,13 +157,13 @@ proptest! {
         for op in &ops {
             apply(&mut db, &p, op);
         }
-        let sparse = db.snapshot_bytes().unwrap();
-        let dense = db.snapshot_bytes_dense().unwrap();
-        let from_sparse = ProfileDatabase::from_snapshot_bytes(&sparse).unwrap();
-        let from_dense = ProfileDatabase::from_snapshot_bytes(&dense).unwrap();
+        let sparse = db.encode(WireFormat::Sparse).unwrap();
+        let dense = db.encode(WireFormat::Dense).unwrap();
+        let from_sparse = ProfileDatabase::decode(&sparse).unwrap();
+        let from_dense = ProfileDatabase::decode(&dense).unwrap();
         prop_assert_eq!(&from_sparse, &db);
         prop_assert_eq!(&from_dense, &db);
-        prop_assert_eq!(from_dense.snapshot_bytes().unwrap(), sparse);
+        prop_assert_eq!(from_dense.encode(WireFormat::Sparse).unwrap(), sparse);
     }
 
     /// The incremental top-N index matches `top_n` recomputed from
@@ -229,12 +229,12 @@ proptest! {
         replica.apply_delta(&chunk).unwrap();
         prop_assert_eq!(&replica, &db);
         prop_assert_eq!(
-            replica.snapshot_bytes().unwrap(),
-            db.snapshot_bytes().unwrap()
+            replica.encode(WireFormat::Sparse).unwrap(),
+            db.encode(WireFormat::Sparse).unwrap()
         );
         // Dense/sparse agreement for the pair database too.
         let from_dense =
-            PairProfileDatabase::from_snapshot_bytes(&db.snapshot_bytes_dense().unwrap()).unwrap();
+            PairProfileDatabase::decode(&db.encode(WireFormat::Dense).unwrap()).unwrap();
         prop_assert_eq!(&from_dense, &db);
         // top_n is the first n of the full ranking.
         let full = db.top_n(usize::MAX, PairProfileField::Samples);

@@ -32,12 +32,17 @@
 //! * **deterministic fault injection** ([`FaultPlan`], behind the
 //!   `fault-injection` cargo feature): seedable panic/delay/stall
 //!   plans (`panic:shard=2:nth=3`) drive reproducible chaos tests of
-//!   all of the above.
+//!   all of the above;
+//! * **durability** ([`StoreConfig`], [`ProfileStore`]): point the
+//!   service at a data directory and every published delta is logged
+//!   to a CRC-framed segment WAL with periodic snapshot compaction —
+//!   a restart recovers the accumulated profile byte-identically, and
+//!   a crash tears at most the final record.
 //!
 //! # Example
 //!
 //! ```
-//! use profileme_core::{ProfileDatabase, ProfileField, Session};
+//! use profileme_core::{ProfileDatabase, ProfileField, Session, WireFormat};
 //! use profileme_serve::{ServeConfig, ShardedService};
 //!
 //! # fn main() -> Result<(), profileme_core::ProfileError> {
@@ -51,7 +56,7 @@
 //! // ...and aggregate it through the sharded service.
 //! let svc = ShardedService::start(
 //!     ProfileDatabase::new(&w.program, run.db.interval()),
-//!     ServeConfig { shards: 4, ..Default::default() },
+//!     ServeConfig::builder().shards(4).build()?,
 //! )?;
 //! svc.ingest_batch(run.samples.clone());
 //! let snap = svc.snapshot()?;
@@ -60,7 +65,10 @@
 //! let (final_db, stats) = svc.shutdown()?;
 //! assert_eq!(stats.lost(), 0);
 //! // Sharded aggregation is byte-identical to the direct database.
-//! assert_eq!(final_db.snapshot_bytes()?, run.db.snapshot_bytes()?);
+//! assert_eq!(
+//!     final_db.encode(WireFormat::Sparse)?,
+//!     run.db.encode(WireFormat::Sparse)?,
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -79,21 +87,24 @@ mod degrade;
 pub mod faults;
 pub mod ring;
 mod service;
+pub mod store;
 mod supervise;
+mod wal;
 
 pub use degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
 pub use faults::FaultPlan;
 pub use ring::{PopTimeout, RingBuffer, TryPushError};
 pub use service::{
-    pc_shard, IngestStats, ServeConfig, ServeSnapshot, ShardAggregate, ShardedService,
-    SnapshotPlane, ViewIndex,
+    pc_shard, IngestStats, ServeConfig, ServeConfigBuilder, ServeSnapshot, ShardAggregate,
+    ShardedService, SnapshotPlane, ViewIndex,
 };
+pub use store::{store_info, ProfileStore, SegmentInfo, StoreConfig, StoreInfo, StoreStats};
 pub use supervise::SuperviseConfig;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use profileme_core::{ProfileDatabase, ProfileError, ProfileMeConfig, Session};
+    use profileme_core::{ProfileDatabase, ProfileError, ProfileMeConfig, Session, WireFormat};
     use std::time::Duration;
 
     fn sample_run() -> (profileme_core::SingleRun, profileme_isa::Program) {
@@ -153,11 +164,11 @@ mod tests {
         for shards in [1usize, 2, 3, 8] {
             let svc = ShardedService::start(
                 ProfileDatabase::new(&program, run.db.interval()),
-                ServeConfig {
-                    shards,
-                    queue_depth: 4,
-                    ..Default::default()
-                },
+                ServeConfig::builder()
+                    .shards(shards)
+                    .queue_depth(4)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             for s in &run.samples {
@@ -170,13 +181,13 @@ mod tests {
             assert_eq!(snap.stats.lost(), 0);
             let (final_db, _) = svc.shutdown().unwrap();
             assert_eq!(
-                final_db.snapshot_bytes().unwrap(),
-                run.db.snapshot_bytes().unwrap(),
+                final_db.encode(WireFormat::Sparse).unwrap(),
+                run.db.encode(WireFormat::Sparse).unwrap(),
                 "shards={shards}"
             );
             assert_eq!(
-                snap.merged.snapshot_bytes().unwrap(),
-                run.db.snapshot_bytes().unwrap()
+                snap.merged.encode(WireFormat::Sparse).unwrap(),
+                run.db.encode(WireFormat::Sparse).unwrap()
             );
         }
     }
@@ -206,8 +217,8 @@ mod tests {
         let (final_db, stats) = svc.shutdown().unwrap();
         assert_eq!(stats.snapshots, 2);
         assert_eq!(
-            final_db.snapshot_bytes().unwrap(),
-            run.db.snapshot_bytes().unwrap()
+            final_db.encode(WireFormat::Sparse).unwrap(),
+            run.db.encode(WireFormat::Sparse).unwrap()
         );
     }
 
@@ -216,11 +227,11 @@ mod tests {
         let (run, program) = sample_run();
         let svc = ShardedService::start(
             ProfileDatabase::new(&program, run.db.interval()),
-            ServeConfig {
-                shards: 1,
-                queue_depth: 1,
-                ..Default::default()
-            },
+            ServeConfig::builder()
+                .shards(1)
+                .queue_depth(1)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut accepted = 0u64;
@@ -252,11 +263,11 @@ mod tests {
         let (run, program) = sample_run();
         let svc = ShardedService::start(
             ProfileDatabase::new(&program, run.db.interval()),
-            ServeConfig {
-                shards: 1,
-                queue_depth: 1,
-                ..Default::default()
-            },
+            ServeConfig::builder()
+                .shards(1)
+                .queue_depth(1)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let policy = RetryPolicy {
@@ -282,10 +293,7 @@ mod tests {
         let (run, program) = sample_run();
         let svc = ShardedService::start(
             ProfileDatabase::new(&program, run.db.interval()),
-            ServeConfig {
-                shards: 2,
-                ..Default::default()
-            },
+            ServeConfig::builder().shards(2).build().unwrap(),
         )
         .unwrap();
         svc.ingest_deadline(run.samples.clone(), Duration::from_secs(30))
@@ -297,8 +305,8 @@ mod tests {
         let (final_db, stats) = svc.shutdown_deadline(Duration::from_secs(30)).unwrap();
         assert_eq!(stats.lost(), 0);
         assert_eq!(
-            final_db.snapshot_bytes().unwrap(),
-            run.db.snapshot_bytes().unwrap()
+            final_db.encode(WireFormat::Sparse).unwrap(),
+            run.db.encode(WireFormat::Sparse).unwrap()
         );
     }
 
@@ -307,11 +315,11 @@ mod tests {
         let (run, program) = sample_run();
         let svc = ShardedService::start(
             ProfileDatabase::new(&program, run.db.interval()),
-            ServeConfig {
-                shards: 2,
-                queue_depth: 1024,
-                ..Default::default()
-            },
+            ServeConfig::builder()
+                .shards(2)
+                .queue_depth(1024)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         // Generous queues: pressure never reaches the high-water mark,
@@ -325,8 +333,8 @@ mod tests {
         assert_eq!((stats.thinned, stats.shed, stats.lost()), (0, 0, 0));
         assert_eq!(stats.thin_scale, DegradeConfig::default().thin_k);
         assert_eq!(
-            final_db.snapshot_bytes().unwrap(),
-            run.db.snapshot_bytes().unwrap()
+            final_db.encode(WireFormat::Sparse).unwrap(),
+            run.db.encode(WireFormat::Sparse).unwrap()
         );
     }
 
@@ -336,11 +344,11 @@ mod tests {
         let svc = std::sync::Arc::new(
             ShardedService::start(
                 ProfileDatabase::new(&program, run.db.interval()),
-                ServeConfig {
-                    shards: 4,
-                    queue_depth: 2,
-                    ..Default::default()
-                },
+                ServeConfig::builder()
+                    .shards(4)
+                    .queue_depth(2)
+                    .build()
+                    .unwrap(),
             )
             .unwrap(),
         );
@@ -360,8 +368,8 @@ mod tests {
         assert_eq!(stats.dropped, 0);
         assert!(stats.high_water >= 1);
         assert_eq!(
-            final_db.snapshot_bytes().unwrap(),
-            run.db.snapshot_bytes().unwrap()
+            final_db.encode(WireFormat::Sparse).unwrap(),
+            run.db.encode(WireFormat::Sparse).unwrap()
         );
     }
 
@@ -372,11 +380,11 @@ mod tests {
         for plane in [SnapshotPlane::Dense, SnapshotPlane::Delta] {
             let svc = ShardedService::start(
                 ProfileDatabase::new(&program, run.db.interval()),
-                ServeConfig {
-                    shards: 3,
-                    plane,
-                    ..Default::default()
-                },
+                ServeConfig::builder()
+                    .shards(3)
+                    .plane(plane)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             let mut cycles = 0u64;
@@ -405,8 +413,8 @@ mod tests {
             let last = svc.snapshot().unwrap();
             // Both planes land on bytes identical to direct aggregation.
             assert_eq!(
-                last.merged.snapshot_bytes().unwrap(),
-                run.db.snapshot_bytes().unwrap(),
+                last.merged.encode(WireFormat::Sparse).unwrap(),
+                run.db.encode(WireFormat::Sparse).unwrap(),
                 "plane {}",
                 plane.name()
             );
@@ -427,8 +435,8 @@ mod tests {
             }
             let (final_db, _) = svc.shutdown().unwrap();
             assert_eq!(
-                final_db.snapshot_bytes().unwrap(),
-                run.db.snapshot_bytes().unwrap()
+                final_db.encode(WireFormat::Sparse).unwrap(),
+                run.db.encode(WireFormat::Sparse).unwrap()
             );
         }
     }

@@ -33,12 +33,13 @@
 use crate::degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
 use crate::faults::ActiveFaults;
 use crate::ring::{RingBuffer, TryPushError};
+use crate::store::{ProfileStore, StoreConfig, StoreStats};
 use crate::supervise::{
     run_worker, Msg, Publication, ShardCounters, SnapShared, SuperviseConfig, Work, WorkerCtx,
 };
 use profileme_core::{
     PairProfileDatabase, PairedSample, PcProfile, ProfileDatabase, ProfileError, ProfileField,
-    Sample, TopNIndex,
+    Sample, TopNIndex, WireFormat,
 };
 use profileme_isa::Pc;
 use serde::Serialize;
@@ -83,7 +84,11 @@ pub trait ShardAggregate: Clone + Send + 'static {
     /// docs).
     fn shard_of(item: &Self::Item, shards: usize) -> usize;
 
-    /// Serializes the accumulator for crash-recovery checkpoints.
+    /// Serializes the accumulator as a full image — used for
+    /// crash-recovery checkpoints and the durable store's compaction
+    /// snapshots. Implementations must route through their type's one
+    /// canonical encode entry point (for the profile databases,
+    /// `encode(WireFormat::Sparse)`).
     ///
     /// # Errors
     ///
@@ -182,11 +187,11 @@ impl ShardAggregate for ProfileDatabase {
     }
 
     fn checkpoint_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        self.snapshot_bytes()
+        self.encode(WireFormat::Sparse)
     }
 
     fn from_checkpoint_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
-        ProfileDatabase::from_snapshot_bytes(bytes)
+        ProfileDatabase::decode(bytes)
     }
 
     fn extract_delta_bytes(&mut self, base: &mut ProfileDatabase) -> Result<Vec<u8>, ProfileError> {
@@ -221,11 +226,11 @@ impl ShardAggregate for PairProfileDatabase {
     }
 
     fn checkpoint_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        self.snapshot_bytes()
+        self.encode(WireFormat::Sparse)
     }
 
     fn from_checkpoint_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
-        PairProfileDatabase::from_snapshot_bytes(bytes)
+        PairProfileDatabase::decode(bytes)
     }
 
     fn extract_delta_bytes(
@@ -277,7 +282,12 @@ impl SnapshotPlane {
 }
 
 /// Configuration of the sharded ingest layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+///
+/// Prefer [`ServeConfig::builder`] over struct-literal construction:
+/// the builder validates at `build()` and maps 1:1 onto the
+/// `profileme serve` CLI flags.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Aggregator shards (worker threads).
     pub shards: usize,
@@ -292,6 +302,10 @@ pub struct ServeConfig {
     /// Snapshot data plane: sparse deltas into a materialized view
     /// (the default), or full clones re-merged every cycle.
     pub plane: SnapshotPlane,
+    /// Durable store: a delta WAL + compaction snapshots under a data
+    /// directory, recovered on start. `None` (the default) keeps the
+    /// service purely in-memory. Requires the delta plane.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServeConfig {
@@ -302,17 +316,30 @@ impl Default for ServeConfig {
             supervise: SuperviseConfig::default(),
             degrade: DegradeConfig::default(),
             plane: SnapshotPlane::default(),
+            store: None,
         }
     }
 }
 
 impl ServeConfig {
+    /// A builder over every knob, mirroring
+    /// [`SessionBuilder`](profileme_core::SessionBuilder): setters
+    /// chain, and [`build`](ServeConfigBuilder::build) validates.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+            segment_bytes: None,
+            compact_every: None,
+        }
+    }
+
     /// Checks the configuration.
     ///
     /// # Errors
     ///
-    /// Rejects zero shards, a zero queue depth, or invalid supervision
-    /// or degradation settings.
+    /// Rejects zero shards, a zero queue depth, invalid supervision,
+    /// degradation, or store settings, and a store on the dense plane
+    /// (the WAL records the delta plane's publications).
     pub fn validate(&self) -> Result<(), ProfileError> {
         if self.shards == 0 {
             return Err(ProfileError::config("shards", "must be at least 1 (got 0)"));
@@ -324,7 +351,150 @@ impl ServeConfig {
             ));
         }
         self.supervise.validate()?;
-        self.degrade.validate()
+        self.degrade.validate()?;
+        if let Some(store) = &self.store {
+            store.validate()?;
+            if self.plane != SnapshotPlane::Delta {
+                return Err(ProfileError::config(
+                    "store",
+                    "requires the delta snapshot plane (the WAL persists delta publications)",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a validated [`ServeConfig`]. Obtained from
+/// [`ServeConfig::builder`]; every setter maps 1:1 onto a
+/// `profileme serve` flag.
+///
+/// ```
+/// use profileme_serve::ServeConfig;
+///
+/// let cfg = ServeConfig::builder()
+///     .shards(8)
+///     .queue_depth(128)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.shards, 8);
+/// assert!(ServeConfig::builder().shards(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+    segment_bytes: Option<u64>,
+    compact_every: Option<u64>,
+}
+
+impl ServeConfigBuilder {
+    /// Aggregator shards (worker threads). CLI: `--shards`.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> ServeConfigBuilder {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Ring capacity per shard, in messages. CLI: `--queue-depth`.
+    #[must_use]
+    pub fn queue_depth(mut self, queue_depth: usize) -> ServeConfigBuilder {
+        self.cfg.queue_depth = queue_depth;
+        self
+    }
+
+    /// Worker supervision settings. CLI: `--no-supervise` (and
+    /// friends) map onto the [`SuperviseConfig`] fields.
+    #[must_use]
+    pub fn supervise(mut self, supervise: SuperviseConfig) -> ServeConfigBuilder {
+        self.cfg.supervise = supervise;
+        self
+    }
+
+    /// Overload degradation ladder. CLI: the `--degrade-*` flags.
+    #[must_use]
+    pub fn degrade(mut self, degrade: DegradeConfig) -> ServeConfigBuilder {
+        self.cfg.degrade = degrade;
+        self
+    }
+
+    /// Snapshot data plane. CLI: `--plane {dense,delta}`.
+    #[must_use]
+    pub fn plane(mut self, plane: SnapshotPlane) -> ServeConfigBuilder {
+        self.cfg.plane = plane;
+        self
+    }
+
+    /// Enables the durable store under `data_dir` with default
+    /// segment size and compaction cadence. CLI: `--data-dir`.
+    #[must_use]
+    pub fn data_dir(mut self, data_dir: impl Into<std::path::PathBuf>) -> ServeConfigBuilder {
+        self.cfg.store = Some(StoreConfig::new(data_dir));
+        self
+    }
+
+    /// WAL segment size target in bytes; requires
+    /// [`data_dir`](ServeConfigBuilder::data_dir). CLI:
+    /// `--segment-bytes`.
+    #[must_use]
+    pub fn segment_bytes(mut self, segment_bytes: u64) -> ServeConfigBuilder {
+        self.segment_bytes = Some(segment_bytes);
+        self
+    }
+
+    /// Delta records between snapshot compactions (`0` = never);
+    /// requires [`data_dir`](ServeConfigBuilder::data_dir). CLI:
+    /// `--compact-every`.
+    #[must_use]
+    pub fn compact_every(mut self, compact_every: u64) -> ServeConfigBuilder {
+        self.compact_every = Some(compact_every);
+        self
+    }
+
+    /// Replaces the whole store configuration at once.
+    #[must_use]
+    pub fn store(mut self, store: Option<StoreConfig>) -> ServeConfigBuilder {
+        self.cfg.store = store;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Config`] naming the offending knob —
+    /// including a `segment_bytes`/`compact_every` given without a
+    /// `data_dir` — as [`ServeConfig::validate`].
+    pub fn build(self) -> Result<ServeConfig, ProfileError> {
+        let ServeConfigBuilder {
+            mut cfg,
+            segment_bytes,
+            compact_every,
+        } = self;
+        match (&mut cfg.store, segment_bytes, compact_every) {
+            (None, Some(_), _) => {
+                return Err(ProfileError::config(
+                    "segment_bytes",
+                    "requires a data_dir (no store configured)",
+                ))
+            }
+            (None, None, Some(_)) => {
+                return Err(ProfileError::config(
+                    "compact_every",
+                    "requires a data_dir (no store configured)",
+                ))
+            }
+            (Some(store), segment_bytes, compact_every) => {
+                if let Some(b) = segment_bytes {
+                    store.segment_bytes = b;
+                }
+                if let Some(n) = compact_every {
+                    store.compact_every = n;
+                }
+            }
+            (None, None, None) => {}
+        }
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -452,10 +622,13 @@ impl<A: ShardAggregate> Shard<A> {
 
 /// The delta plane's materialized view: the merged aggregate kept
 /// incrementally up to date by folding in each shard's published
-/// deltas, plus the query index refreshed with the touched rows.
+/// deltas, plus the query index refreshed with the touched rows —
+/// and, when configured, the durable store the same deltas are
+/// logged to before they are applied.
 struct ViewState<A: ShardAggregate> {
     merged: A,
     index: A::ViewIndex,
+    store: Option<ProfileStore<A>>,
 }
 
 /// The sharded profile-aggregation service: samples in, snapshots out,
@@ -482,11 +655,16 @@ pub struct ShardedService<A: ShardAggregate> {
 
 impl<A: ShardAggregate> ShardedService<A> {
     /// Starts `config.shards` worker threads, each owning a clone of
-    /// the `empty` aggregator behind a lock-free ring.
+    /// the `empty` aggregator behind a lock-free ring. With
+    /// [`ServeConfig::store`] set, the durable store is opened (and
+    /// recovered into the materialized view) first.
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError::Config`] for an invalid `config`.
+    /// Returns [`ProfileError::Config`] for an invalid `config`,
+    /// [`ProfileError::Store`] if the store fails to open, or
+    /// [`ProfileError::Mismatch`] if the stored profile describes a
+    /// different program than `empty`.
     pub fn start(empty: A, config: ServeConfig) -> Result<ShardedService<A>, ProfileError> {
         ShardedService::start_inner(empty, config, None)
     }
@@ -515,6 +693,38 @@ impl<A: ShardAggregate> ShardedService<A> {
         faults: Option<Arc<ActiveFaults>>,
     ) -> Result<ShardedService<A>, ProfileError> {
         config.validate()?;
+        // The delta plane's view starts at the shards' shared origin:
+        // every worker's delta base begins as `empty`, so folding each
+        // published delta into this view reproduces the sum of the
+        // shard accumulators exactly. With a durable store the view
+        // additionally starts at the *recovered* state — history from
+        // previous runs the workers know nothing about — folded in
+        // through the same delta path so the query index sees every
+        // nonzero row. This happens before any worker spawns: a store
+        // that fails to open leaves no threads behind.
+        let view = if config.plane == SnapshotPlane::Delta {
+            let mut merged = empty.clone();
+            let mut index = A::ViewIndex::default();
+            let store = match &config.store {
+                None => None,
+                Some(store_cfg) => {
+                    let (store, mut recovered) =
+                        ProfileStore::open(store_cfg.clone(), empty.clone())?;
+                    let mut base = empty.clone();
+                    let history = recovered.extract_delta_bytes(&mut base)?;
+                    let rows = merged.apply_delta_bytes(&history)?;
+                    index.rows_touched(&merged, &rows);
+                    Some(store)
+                }
+            };
+            Some(ViewState {
+                merged,
+                index,
+                store,
+            })
+        } else {
+            None
+        };
         let shards = (0..config.shards)
             .map(|shard| {
                 let ring = Arc::new(RingBuffer::new(config.queue_depth));
@@ -541,14 +751,6 @@ impl<A: ShardAggregate> ShardedService<A> {
                 }
             })
             .collect();
-        // The delta plane's view starts at the shards' shared origin:
-        // every worker's delta base begins as `empty`, so folding each
-        // published delta into this view reproduces the sum of the
-        // shard accumulators exactly.
-        let view = (config.plane == SnapshotPlane::Delta).then(|| ViewState {
-            merged: empty,
-            index: A::ViewIndex::default(),
-        });
         Ok(ShardedService {
             shards,
             rr: AtomicUsize::new(0),
@@ -844,6 +1046,13 @@ impl<A: ShardAggregate> ShardedService<A> {
                 },
                 (Some(view), Publication::Delta(chunks)) => {
                     for chunk in chunks {
+                        // WAL first: once a delta is applied to the
+                        // view it is part of every future compaction
+                        // image, so the log must already hold it for
+                        // recovery to reproduce the view exactly.
+                        if let Some(store) = view.store.as_mut() {
+                            store.append(&chunk)?;
+                        }
                         let rows = view.merged.apply_delta_bytes(&chunk)?;
                         view.index.rows_touched(&view.merged, &rows);
                     }
@@ -853,10 +1062,21 @@ impl<A: ShardAggregate> ShardedService<A> {
                 }
             }
         }
-        let merged = match cycle.as_ref() {
+        let merged = match cycle.as_mut() {
             None => dense_merged.expect("at least one shard"),
             Some(view) => {
                 self.view_refreshes.fetch_add(1, Ordering::Relaxed);
+                // The view now aggregates everything appended this
+                // cycle: exactly the image the compaction invariant
+                // asks for.
+                if let ViewState {
+                    merged,
+                    store: Some(store),
+                    ..
+                } = view
+                {
+                    store.maybe_compact(merged)?;
+                }
                 view.merged.clone()
             }
         };
@@ -866,6 +1086,41 @@ impl<A: ShardAggregate> ShardedService<A> {
             seq,
             stats: self.stats(),
         })
+    }
+
+    /// A clone of the delta plane's materialized view as of the most
+    /// recent completed snapshot cycle — including, on a durable
+    /// service, the history recovered from the store (which the
+    /// workers' own accumulators never contain). `None` on the dense
+    /// plane.
+    pub fn view_merged(&self) -> Option<A> {
+        let cycle = self
+            .snap_cycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cycle.as_ref().map(|view| view.merged.clone())
+    }
+
+    /// The durable store's recovery and append counters, or `None`
+    /// when the service runs without a store.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        let cycle = self
+            .snap_cycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cycle
+            .as_ref()
+            .and_then(|view| view.store.as_ref())
+            .map(ProfileStore::stats)
+    }
+
+    /// Whether a durable store is attached.
+    fn has_store(&self) -> bool {
+        let cycle = self
+            .snap_cycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cycle.as_ref().is_some_and(|view| view.store.is_some())
     }
 
     /// The error for a closed shard ring: `WorkerCrashed` if the
@@ -938,8 +1193,14 @@ impl<A: ShardAggregate> ShardedService<A> {
     }
 
     /// Closes every ring, drains the workers, and returns the final
-    /// merged aggregate plus the final accounting. Blocks until every
-    /// worker drains; use
+    /// merged aggregate plus the final accounting.
+    ///
+    /// The returned aggregate covers **this process's stream** (the
+    /// shard accumulators merged in shard order) — on a durable
+    /// service, history recovered from the store lives in the view
+    /// ([`view_merged`](ShardedService::view_merged)), and shutdown
+    /// first runs one final snapshot cycle so every accepted item
+    /// reaches the WAL. Blocks until every worker drains; use
     /// [`shutdown_deadline`](ShardedService::shutdown_deadline) when a
     /// worker might be stuck.
     ///
@@ -968,6 +1229,27 @@ impl<A: ShardAggregate> ShardedService<A> {
         timeout: Option<Duration>,
     ) -> Result<(A, IngestStats), ProfileError> {
         let deadline = timeout.map(|t| Instant::now() + t);
+        // On a durable service, run one last snapshot cycle before the
+        // rings close: `self` is consumed, so nothing can be enqueued
+        // after the watermark this cycle stamps — every accepted item
+        // reaches the WAL. Best-effort: a crashed worker degrades this
+        // to whatever the log already holds, exactly as a crash would.
+        if self.has_store() {
+            let flushed = match deadline {
+                None => self.snapshot().map(drop),
+                Some(d) => self
+                    .snapshot_deadline(d.saturating_duration_since(Instant::now()))
+                    .map(drop),
+            };
+            drop(flushed);
+            let mut cycle = self
+                .snap_cycle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(store) = cycle.as_mut().and_then(|view| view.store.as_mut()) {
+                drop(store.sync());
+            }
+        }
         // `self` is consumed: no producer can race these closes, so
         // every accepted item is already in a ring and will be drained
         // by its worker.

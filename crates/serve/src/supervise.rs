@@ -6,7 +6,8 @@
 //!
 //! * every `checkpoint_every` messages the accumulator is serialized
 //!   (via [`ShardAggregate::checkpoint_bytes`], which reuses the
-//!   databases' canonical `snapshot_bytes` encoding) and the journal
+//!   databases' canonical `encode(WireFormat::Sparse)` wire image)
+//!   and the journal
 //!   is cleared;
 //! * every successfully absorbed message is appended to the journal
 //!   (by *moving* the already-owned batch, so the lossless hot path

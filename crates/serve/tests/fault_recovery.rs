@@ -19,6 +19,7 @@
 
 use profileme_core::{
     PairProfileDatabase, PairedConfig, ProfileDatabase, ProfileError, ProfileMeConfig, Session,
+    WireFormat,
 };
 use profileme_serve::{FaultPlan, ServeConfig, ShardedService, SuperviseConfig};
 use proptest::prelude::*;
@@ -54,7 +55,10 @@ fn single_stream() -> &'static SingleStream {
         );
         SingleStream {
             program: w.program,
-            direct: run.db.snapshot_bytes().expect("snapshot serializes"),
+            direct: run
+                .db
+                .encode(WireFormat::Sparse)
+                .expect("snapshot serializes"),
             interval: run.db.interval(),
             samples: run.samples,
         }
@@ -69,11 +73,11 @@ fn service_with(
     let s = single_stream();
     ShardedService::start_with_faults(
         ProfileDatabase::new(&s.program, s.interval),
-        ServeConfig {
-            shards,
-            supervise,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .shards(shards)
+            .supervise(supervise)
+            .build()
+            .expect("config is valid"),
         FaultPlan::parse(plan).expect("plan parses"),
     )
     .expect("service starts")
@@ -95,9 +99,9 @@ fn single_panic_recovers_byte_identically() {
         assert_eq!(stats.workers_recovered, 1);
         assert_eq!(stats.lost(), 0, "one-shot faults lose nothing");
         assert_eq!(stats.enqueued, s.samples.len() as u64);
-        assert_eq!(snap.merged.snapshot_bytes().unwrap(), s.direct);
+        assert_eq!(snap.merged.encode(WireFormat::Sparse).unwrap(), s.direct);
         assert_eq!(
-            merged.snapshot_bytes().unwrap(),
+            merged.encode(WireFormat::Sparse).unwrap(),
             s.direct,
             "recovered aggregation diverged at {shards} shard(s)"
         );
@@ -126,9 +130,10 @@ fn recovery_replays_checkpoint_plus_journal() {
     assert_eq!(stats.workers_recovered, 3);
     assert!(stats.checkpoints > 0, "checkpoints were actually taken");
     assert_eq!(stats.lost(), 0);
-    assert_eq!(merged.snapshot_bytes().unwrap(), s.direct);
+    assert_eq!(merged.encode(WireFormat::Sparse).unwrap(), s.direct);
     // Those checkpoints rode the sparse columnar encoding
-    // (`checkpoint_bytes` == `snapshot_bytes`, magic-tagged "PMS1"),
+    // (`checkpoint_bytes` == `encode(WireFormat::Sparse)`,
+    // magic-tagged "PMS1"),
     // and journal replay over them stayed byte-identical.
     assert_eq!(
         &s.direct[..4],
@@ -170,8 +175,8 @@ fn abandoned_deadline_epoch_loses_no_deltas() {
         direct.add(sample);
     }
     assert_eq!(
-        snap.merged.snapshot_bytes().unwrap(),
-        direct.snapshot_bytes().unwrap(),
+        snap.merged.encode(WireFormat::Sparse).unwrap(),
+        direct.encode(WireFormat::Sparse).unwrap(),
         "the abandoned epoch's delta was dropped"
     );
     assert_eq!(svc.stats().deadline_misses, 1);
@@ -392,7 +397,7 @@ proptest! {
         // the shard filter — recovery is byte-exact.
         if stats.lost() == 0 {
             prop_assert_eq!(
-                merged.snapshot_bytes().unwrap(),
+                merged.encode(WireFormat::Sparse).unwrap(),
                 s.direct.clone(),
                 "plan `{}` shards={} chunk={}", &spec, shards, chunk
             );
@@ -428,15 +433,15 @@ proptest! {
                 .expect("config is valid")
                 .profile_paired()
                 .expect("workload completes");
-            let direct = run.db.snapshot_bytes().expect("snapshot serializes");
+            let direct = run.db.encode(WireFormat::Sparse).expect("snapshot serializes");
             (w.program, run, direct)
         });
         let svc = ShardedService::start_with_faults(
             PairProfileDatabase::new(program, run.db.interval(), run.db.window()),
-            ServeConfig {
-                shards,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .shards(shards)
+                .build()
+                .expect("config is valid"),
             FaultPlan::parse(&format!("panic:shard=0:nth={nth}")).unwrap(),
         )
         .expect("service starts");
@@ -445,6 +450,6 @@ proptest! {
         }
         let (merged, stats) = svc.shutdown().expect("service drains");
         prop_assert_eq!(stats.lost(), 0);
-        prop_assert_eq!(merged.snapshot_bytes().unwrap(), direct.clone());
+        prop_assert_eq!(merged.encode(WireFormat::Sparse).unwrap(), direct.clone());
     }
 }

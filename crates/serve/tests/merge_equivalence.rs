@@ -5,7 +5,7 @@
 //! how many producer threads feed the queues.
 
 use profileme_core::{
-    PairProfileDatabase, PairedConfig, ProfileDatabase, ProfileMeConfig, Session,
+    PairProfileDatabase, PairedConfig, ProfileDatabase, ProfileMeConfig, Session, WireFormat,
 };
 use profileme_serve::{ServeConfig, ShardedService};
 use profileme_workloads as workloads;
@@ -33,14 +33,17 @@ fn sharded_single_profiles_match_direct_for_all_shard_counts() {
             .profile_single()
             .expect("workload completes");
         assert!(run.samples.len() > 100, "{}: thin stream", w.name);
-        let direct = run.db.snapshot_bytes().expect("snapshot serializes");
+        let direct = run
+            .db
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes");
         for shards in SHARDS {
             let svc = ShardedService::start(
                 ProfileDatabase::new(&w.program, run.db.interval()),
-                ServeConfig {
-                    shards,
-                    ..ServeConfig::default()
-                },
+                ServeConfig::builder()
+                    .shards(shards)
+                    .build()
+                    .expect("config is valid"),
             )
             .expect("service starts");
             for s in &run.samples {
@@ -50,7 +53,9 @@ fn sharded_single_profiles_match_direct_for_all_shard_counts() {
             assert_eq!(stats.dropped, 0, "lossless path never drops");
             assert_eq!(stats.enqueued, run.samples.len() as u64);
             assert_eq!(
-                merged.snapshot_bytes().expect("snapshot serializes"),
+                merged
+                    .encode(WireFormat::Sparse)
+                    .expect("snapshot serializes"),
                 direct,
                 "{} diverged at {shards} shard(s)",
                 w.name
@@ -76,20 +81,25 @@ fn sharded_paired_profiles_match_direct_for_all_shard_counts() {
             .profile_paired()
             .expect("workload completes");
         assert!(run.pairs.len() > 50, "{}: thin stream", w.name);
-        let direct = run.db.snapshot_bytes().expect("snapshot serializes");
+        let direct = run
+            .db
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes");
         for shards in SHARDS {
             let svc = ShardedService::start(
                 PairProfileDatabase::new(&w.program, run.db.interval(), run.db.window()),
-                ServeConfig {
-                    shards,
-                    ..ServeConfig::default()
-                },
+                ServeConfig::builder()
+                    .shards(shards)
+                    .build()
+                    .expect("config is valid"),
             )
             .expect("service starts");
             svc.ingest_batch(run.pairs.clone());
             let (merged, _) = svc.shutdown().expect("service drains");
             assert_eq!(
-                merged.snapshot_bytes().expect("snapshot serializes"),
+                merged
+                    .encode(WireFormat::Sparse)
+                    .expect("snapshot serializes"),
                 direct,
                 "{} diverged at {shards} shard(s)",
                 w.name
@@ -115,17 +125,21 @@ fn concurrent_producers_match_direct_aggregation() {
         .expect("config is valid")
         .profile_single()
         .expect("workload completes");
-    let direct = run.db.snapshot_bytes().expect("snapshot serializes");
+    let direct = run
+        .db
+        .encode(WireFormat::Sparse)
+        .expect("snapshot serializes");
     let samples = Arc::new(run.samples);
     for producers in [2usize, 5] {
         let svc = Arc::new(
             ShardedService::start(
                 ProfileDatabase::new(&w.program, run.db.interval()),
-                ServeConfig {
-                    shards: 4,
-                    queue_depth: 8, // shallow: exercise backpressure blocking
-                    ..ServeConfig::default()
-                },
+                // Shallow queues: exercise backpressure blocking.
+                ServeConfig::builder()
+                    .shards(4)
+                    .queue_depth(8)
+                    .build()
+                    .expect("config is valid"),
             )
             .expect("service starts"),
         );
@@ -149,7 +163,9 @@ fn concurrent_producers_match_direct_aggregation() {
         let (merged, stats) = svc.shutdown().expect("service drains");
         assert_eq!(stats.dropped, 0);
         assert_eq!(
-            merged.snapshot_bytes().expect("snapshot serializes"),
+            merged
+                .encode(WireFormat::Sparse)
+                .expect("snapshot serializes"),
             direct,
             "diverged with {producers} producers"
         );
@@ -194,8 +210,12 @@ fn interval_deltas_recompose_to_the_final_profile() {
     assert_eq!(stats.snapshots as usize, run.samples.len().div_ceil(chunk));
     assert_eq!(delta_samples, merged.total_samples);
     assert_eq!(
-        merged.snapshot_bytes().expect("snapshot serializes"),
-        run.db.snapshot_bytes().expect("snapshot serializes"),
+        merged
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes"),
+        run.db
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes"),
         "mid-stream snapshots perturbed the final aggregation"
     );
 }

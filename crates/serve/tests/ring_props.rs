@@ -14,7 +14,7 @@
 //!   ring agrees on every accept/reject/deliver decision, including
 //!   across many wraparounds of the cursors.
 
-use profileme_core::{ProfileDatabase, ProfileMeConfig, Session};
+use profileme_core::{ProfileDatabase, ProfileMeConfig, Session, WireFormat};
 use profileme_serve::{RingBuffer, ServeConfig, ShardedService, TryPushError};
 use profileme_workloads as workloads;
 use proptest::prelude::*;
@@ -183,17 +183,21 @@ fn eight_producers_eight_shards_match_direct_aggregation() {
         .profile_single()
         .expect("workload completes");
     assert!(run.samples.len() > 500, "thin stream");
-    let direct = run.db.snapshot_bytes().expect("snapshot serializes");
+    let direct = run
+        .db
+        .encode(WireFormat::Sparse)
+        .expect("snapshot serializes");
     let samples = Arc::new(run.samples);
 
     let svc = Arc::new(
         ShardedService::start(
             ProfileDatabase::new(&w.program, run.db.interval()),
-            ServeConfig {
-                shards: 8,
-                queue_depth: 4, // shallow: force backpressure + wraparound
-                ..ServeConfig::default()
-            },
+            // Shallow queues: force backpressure + wraparound.
+            ServeConfig::builder()
+                .shards(8)
+                .queue_depth(4)
+                .build()
+                .expect("config is valid"),
         )
         .expect("service starts"),
     );
@@ -232,7 +236,9 @@ fn eight_producers_eight_shards_match_direct_aggregation() {
     assert_eq!(stats.dropped, 0, "lossless path never drops");
     assert_eq!(stats.enqueued, samples.len() as u64);
     assert_eq!(
-        merged.snapshot_bytes().expect("snapshot serializes"),
+        merged
+            .encode(WireFormat::Sparse)
+            .expect("snapshot serializes"),
         direct,
         "8 producers x 8 shards diverged from direct aggregation"
     );

@@ -7,6 +7,8 @@
 //! profileme --workload compress --report instructions --top 15
 //! profileme --workload go --paired --report wasted
 //! profileme serve --workload perl --shards 4 --chunks 8
+//! profileme serve --workload perl --data-dir /var/tmp/pm-perl
+//! profileme store info --data-dir /var/tmp/pm-perl
 //! profileme optimize --workload vortex --iterations 4
 //! profileme --list
 //! ```
@@ -14,7 +16,16 @@
 //! The `serve` subcommand replays a run's sample stream through the
 //! sharded aggregation service (`profileme-serve`), printing an
 //! interval-delta snapshot per chunk and a final top-N report — the
-//! continuous-profiling daemon loop of §5 in miniature.
+//! continuous-profiling daemon loop of §5 in miniature. With
+//! `--data-dir` the service logs every published delta to a durable
+//! store; a second run against the same directory recovers the
+//! accumulated profile and keeps aggregating on top of it.
+//!
+//! The `store` subcommand inspects such a directory offline:
+//! `info` describes the image and segments without replaying,
+//! `verify` replays read-only and reports what recovery would keep,
+//! `dump` prints the recovered top-N rows, and `compact` folds the
+//! log into a fresh snapshot image.
 //!
 //! The `optimize` subcommand closes the §7 loop: profile the workload
 //! with ProfileMe sampling, inline the hot leaf call sites and relayout
@@ -25,8 +36,11 @@
 
 use profileme::core::{
     procedure_summaries, wasted_issue_slots, PairedConfig, ProfileField, ProfileMeConfig, Session,
+    WireFormat,
 };
-use profileme::serve::{ServeConfig, ShardedService, SnapshotPlane};
+use profileme::serve::{
+    store_info, ProfileStore, ServeConfig, ShardedService, SnapshotPlane, StoreConfig,
+};
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{loops3, microbench, suite};
 use std::process::ExitCode;
@@ -50,6 +64,11 @@ struct Args {
     deadline_ms: Option<u64>,
     degrade: bool,
     fail_spec: String,
+    // Durable-store knobs (`serve --data-dir`, `store <action>`).
+    data_dir: Option<String>,
+    segment_bytes: Option<u64>,
+    compact_every: Option<u64>,
+    store: Option<String>,
     // `optimize` subcommand knobs.
     optimize: bool,
     iterations: u32,
@@ -75,6 +94,10 @@ impl Default for Args {
             deadline_ms: None,
             degrade: false,
             fail_spec: String::new(),
+            data_dir: None,
+            segment_bytes: None,
+            compact_every: None,
+            store: None,
             optimize: false,
             iterations: 1,
         }
@@ -90,6 +113,17 @@ fn parse_args() -> Result<Args, String> {
     } else if it.peek().map(String::as_str) == Some("optimize") {
         it.next();
         args.optimize = true;
+    } else if it.peek().map(String::as_str) == Some("store") {
+        it.next();
+        let action = it
+            .next()
+            .ok_or("store needs an action (info|compact|dump|verify)")?;
+        if !matches!(action.as_str(), "info" | "compact" | "dump" | "verify") {
+            return Err(format!(
+                "unknown store action `{action}` (info|compact|dump|verify)"
+            ));
+        }
+        args.store = Some(action);
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -130,6 +164,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--degrade" if args.serve => args.degrade = true,
             "--fail-spec" if args.serve => args.fail_spec = value("--fail-spec")?,
+            "--data-dir" if args.serve || args.store.is_some() => {
+                args.data_dir = Some(value("--data-dir")?)
+            }
+            "--segment-bytes" if args.serve || args.store.is_some() => {
+                args.segment_bytes = Some(
+                    value("--segment-bytes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--compact-every" if args.serve || args.store.is_some() => {
+                args.compact_every = Some(
+                    value("--compact-every")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--iterations" if args.optimize => {
                 args.iterations = value("--iterations")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -142,7 +193,9 @@ fn parse_args() -> Result<Args, String> {
                      [--report instructions|procedures|wasted|disasm] [--json] [--list]\n       \
                      profileme serve [--workload NAME] [--interval S] [--budget INSTRUCTIONS] \
                      [--shards N] [--chunks N] [--snapshot-every N] [--wire dense|delta] \
-                     [--top N] [--deadline-ms N] [--degrade] [--fail-spec SPEC] [--json]\n       \
+                     [--top N] [--deadline-ms N] [--degrade] [--fail-spec SPEC] \
+                     [--data-dir DIR] [--segment-bytes N] [--compact-every N] [--json]\n       \
+                     profileme store info|compact|dump|verify --data-dir DIR [--top N] [--json]\n       \
                      profileme optimize [--workload NAME] [--interval S] [--buffer N] \
                      [--budget INSTRUCTIONS] [--iterations N] [--json]"
                 );
@@ -164,6 +217,22 @@ fn find_workload(name: &str, budget: u64) -> Option<profileme::workloads::Worklo
     suite(budget).into_iter().find(|w| w.name == name)
 }
 
+/// Maps the `serve` flags onto [`ServeConfig`] — 1:1 through the
+/// builder, so the CLI rejects exactly what the library rejects.
+fn serve_config(args: &Args) -> Result<ServeConfig, String> {
+    let mut builder = ServeConfig::builder().shards(args.shards).plane(args.wire);
+    if let Some(dir) = &args.data_dir {
+        builder = builder.data_dir(dir);
+    }
+    if let Some(bytes) = args.segment_bytes {
+        builder = builder.segment_bytes(bytes);
+    }
+    if let Some(every) = args.compact_every {
+        builder = builder.compact_every(every);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
 /// Starts the service, injecting the `--fail-spec` plan when the build
 /// carries the `fault-injection` feature.
 fn start_service(
@@ -182,6 +251,15 @@ fn start_service(
     }
     #[cfg(not(feature = "fault-injection"))]
     Err("--fail-spec requires a build with `--features fault-injection`".into())
+}
+
+/// JSON shape of `profileme serve --data-dir ... --json`.
+#[derive(serde::Serialize)]
+struct ServeStoreOutcome {
+    ingest: profileme::serve::IngestStats,
+    store: profileme::serve::StoreStats,
+    recovered_samples: u64,
+    stored_samples: u64,
 }
 
 /// The `profileme serve` subcommand: replay the sample stream through
@@ -205,13 +283,12 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     let svc = start_service(
         args,
         profileme::core::ProfileDatabase::new(&w.program, run.db.interval()),
-        ServeConfig {
-            shards: args.shards,
-            plane: args.wire,
-            ..ServeConfig::default()
-        },
+        serve_config(args)?,
     )?;
 
+    // With a durable store the view starts from the recovered history;
+    // everything this run aggregates lands on top of it.
+    let recovered = svc.view_merged();
     if !args.json {
         println!(
             "# serve: {} samples from `{}` through {} shard(s) in {} chunk(s), {} wire",
@@ -221,6 +298,21 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
             args.chunks,
             args.wire.name()
         );
+        if let Some(recovered) = &recovered {
+            let store = svc.store_stats().unwrap_or_default();
+            println!(
+                "# store: recovered {} samples ({} WAL records, {} bytes{}) from {}",
+                recovered.total_samples,
+                store.recovered_records,
+                store.recovered_bytes,
+                if store.dropped_tail_bytes > 0 {
+                    format!(", dropped {}-byte torn tail", store.dropped_tail_bytes)
+                } else {
+                    String::new()
+                },
+                args.data_dir.as_deref().unwrap_or("?"),
+            );
+        }
     }
     let chunk = (run.samples.len() / args.chunks.max(1)).max(1);
     let deadline = args.deadline_ms.map(std::time::Duration::from_millis);
@@ -267,6 +359,7 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
         previous = Some(snap.merged);
     }
 
+    let store_stats = svc.store_stats();
     let (merged, stats) = match deadline {
         Some(budget) => svc.shutdown_deadline(budget.max(std::time::Duration::from_secs(5))),
         None => svc.shutdown(),
@@ -275,8 +368,13 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     // Self-check: with zero losses the service must agree byte-for-byte
     // with direct aggregation; with losses (deadlines, degradation,
     // injected faults) every missing sample must be accounted for.
-    let served = merged.snapshot_bytes().map_err(|e| e.to_string())?;
-    let direct = run.db.snapshot_bytes().map_err(|e| e.to_string())?;
+    let served = merged
+        .encode(WireFormat::Sparse)
+        .map_err(|e| e.to_string())?;
+    let direct = run
+        .db
+        .encode(WireFormat::Sparse)
+        .map_err(|e| e.to_string())?;
     let fidelity_ok = stats.lost() == 0;
     if fidelity_ok && served != direct {
         return Err("sharded snapshot diverged from direct aggregation".into());
@@ -289,11 +387,36 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     }
 
     if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&stats).expect("serializable")
-        );
+        match (&recovered, store_stats) {
+            (Some(recovered), Some(store)) => {
+                let out = ServeStoreOutcome {
+                    ingest: stats,
+                    store,
+                    recovered_samples: recovered.total_samples,
+                    stored_samples: recovered.total_samples + merged.total_samples,
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&out).expect("serializable")
+                );
+            }
+            _ => println!(
+                "{}",
+                serde_json::to_string_pretty(&stats).expect("serializable")
+            ),
+        }
         return Ok(());
+    }
+    if let (Some(recovered), Some(store)) = (&recovered, store_stats) {
+        println!(
+            "store: now holds {} samples ({} recovered + {} this run), \
+             {} record(s) appended, {} compaction(s)",
+            recovered.total_samples + merged.total_samples,
+            recovered.total_samples,
+            merged.total_samples,
+            store.appended_records,
+            store.compactions,
+        );
     }
     println!(
         "ingest: {} enqueued, {} dropped, {} snapshot cycles ({} shards); \
@@ -329,6 +452,209 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
             p.samples,
             p.in_progress_sum
         );
+    }
+    Ok(())
+}
+
+/// JSON shape of `profileme store verify --json`.
+#[derive(serde::Serialize)]
+struct StoreVerifyOutcome {
+    wire: String,
+    samples: u64,
+    recovered_records: u64,
+    recovered_bytes: u64,
+    dropped_tail_bytes: u64,
+}
+
+/// The `profileme store` subcommand: offline tooling over a durable
+/// store directory. `info` never replays; `verify` and `dump` replay
+/// read-only (a torn tail is reported but left on disk); `compact`
+/// repairs, replays, and folds the log into a fresh image.
+fn store_demo(args: &Args, action: &str) -> Result<(), String> {
+    use profileme::core::{PairProfileDatabase, ProfileDatabase};
+    let dir = std::path::PathBuf::from(
+        args.data_dir
+            .as_deref()
+            .ok_or("store commands need --data-dir DIR")?,
+    );
+    let info = store_info(&dir).map_err(|e| e.to_string())?;
+    if action == "info" {
+        if args.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&info).expect("serializable")
+            );
+            return Ok(());
+        }
+        println!("store {}:", dir.display());
+        match (info.image_seq, &info.image_magic) {
+            (Some(seq), Some(magic)) => println!(
+                "  image snap-{seq:08}.img: {} bytes, {magic} wire",
+                info.image_bytes
+            ),
+            _ => println!("  no snapshot image"),
+        }
+        for s in &info.segments {
+            println!(
+                "  segment wal-{:08}.seg: {} record(s), {} bytes{}",
+                s.seq,
+                s.records,
+                s.bytes,
+                if s.torn { ", torn tail" } else { "" }
+            );
+        }
+        println!(
+            "  {} record(s), {} payload bytes, {} torn byte(s)",
+            info.records, info.record_bytes, info.torn_bytes
+        );
+        return Ok(());
+    }
+    // The remaining actions replay the log; the image's magic decides
+    // which database lineage the store holds.
+    let magic = info
+        .image_magic
+        .clone()
+        .ok_or_else(|| format!("{}: no snapshot image found (not a store?)", dir.display()))?;
+    let paired = match magic.as_str() {
+        "PMP1" => true,
+        "PMS1" | "JSON" => false,
+        other => return Err(format!("{}: unknown image magic `{other}`", dir.display())),
+    };
+    match action {
+        "verify" => {
+            let (samples, stats) = if paired {
+                ProfileStore::<PairProfileDatabase>::recover(&dir)
+                    .map(|(db, s)| (db.total_pairs, s))
+            } else {
+                ProfileStore::<ProfileDatabase>::recover(&dir).map(|(db, s)| (db.total_samples, s))
+            }
+            .map_err(|e| e.to_string())?;
+            if args.json {
+                let out = StoreVerifyOutcome {
+                    wire: magic,
+                    samples,
+                    recovered_records: stats.recovered_records,
+                    recovered_bytes: stats.recovered_bytes,
+                    dropped_tail_bytes: stats.dropped_tail_bytes,
+                };
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&out).expect("serializable")
+                );
+                return Ok(());
+            }
+            println!(
+                "store {} verifies: {samples} {} over image + {} record(s) ({} bytes){}",
+                dir.display(),
+                if paired { "pairs" } else { "samples" },
+                stats.recovered_records,
+                stats.recovered_bytes,
+                if stats.dropped_tail_bytes > 0 {
+                    format!(
+                        " — torn tail of {} byte(s) would be dropped",
+                        stats.dropped_tail_bytes
+                    )
+                } else {
+                    String::new()
+                }
+            );
+        }
+        "dump" => {
+            if paired {
+                let (db, _) = ProfileStore::<PairProfileDatabase>::recover(&dir)
+                    .map_err(|e| e.to_string())?;
+                if args.json {
+                    let rows: Vec<_> = db.iter().collect();
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&rows).expect("serializable")
+                    );
+                    return Ok(());
+                }
+                println!(
+                    "# {} pairs (S={}, W={})",
+                    db.total_pairs,
+                    db.interval(),
+                    db.window()
+                );
+                let mut rows: Vec<_> = db.iter().collect();
+                rows.sort_by_key(|(_, p)| std::cmp::Reverse(p.samples));
+                println!(
+                    "{:<10} {:>8} {:>8} {:>8} {:>10}",
+                    "pc", "samples", "useful→", "useful←", "Σ latency"
+                );
+                for (pc, p) in rows.iter().take(args.top) {
+                    println!(
+                        "{:<10} {:>8} {:>8} {:>8} {:>10}",
+                        pc.to_string(),
+                        p.samples,
+                        p.useful_forward,
+                        p.useful_backward,
+                        p.latency_sum
+                    );
+                }
+            } else {
+                let (db, _) =
+                    ProfileStore::<ProfileDatabase>::recover(&dir).map_err(|e| e.to_string())?;
+                if args.json {
+                    let rows: Vec<_> = db.iter().collect();
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&rows).expect("serializable")
+                    );
+                    return Ok(());
+                }
+                println!("# {} samples (S={})", db.total_samples, db.interval());
+                println!(
+                    "{:<10} {:>8} {:>10} {:>8} {:>8}",
+                    "pc", "samples", "Σ latency", "d$miss", "mispr"
+                );
+                for (pc, p) in db.top_n(args.top, ProfileField::Samples) {
+                    println!(
+                        "{:<10} {:>8} {:>10} {:>8} {:>8}",
+                        pc.to_string(),
+                        p.samples,
+                        p.in_progress_sum,
+                        p.dcache_misses,
+                        p.mispredicted
+                    );
+                }
+            }
+        }
+        "compact" => {
+            let mut cfg = StoreConfig::new(&dir);
+            if let Some(bytes) = args.segment_bytes {
+                cfg.segment_bytes = bytes;
+            }
+            if let Some(every) = args.compact_every {
+                cfg.compact_every = every;
+            }
+            if paired {
+                let (mut store, db) = ProfileStore::<PairProfileDatabase>::open_existing(cfg)
+                    .map_err(|e| e.to_string())?;
+                store.compact(&db).map_err(|e| e.to_string())?;
+            } else {
+                let (mut store, db) = ProfileStore::<ProfileDatabase>::open_existing(cfg)
+                    .map_err(|e| e.to_string())?;
+                store.compact(&db).map_err(|e| e.to_string())?;
+            }
+            let after = store_info(&dir).map_err(|e| e.to_string())?;
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&after).expect("serializable")
+                );
+                return Ok(());
+            }
+            println!(
+                "compacted {} record(s) ({} bytes) into snap-{:08}.img ({} bytes)",
+                info.records,
+                info.record_bytes,
+                after.image_seq.unwrap_or(0),
+                after.image_bytes
+            );
+        }
+        other => return Err(format!("unknown store action `{other}`")),
     }
     Ok(())
 }
@@ -617,6 +943,16 @@ fn main() -> ExitCode {
         );
         println!("  {:<10} three contrasting loops (Figure 7)", "loops3");
         return ExitCode::SUCCESS;
+    }
+    if let Some(action) = args.store.clone() {
+        // Offline store tooling: no workload, no simulation.
+        return match store_demo(&args, &action) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let Some(w) = find_workload(&args.workload, args.budget) else {
         eprintln!("error: unknown workload `{}` (use --list)", args.workload);

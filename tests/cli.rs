@@ -441,3 +441,254 @@ fn bad_flags_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
+
+/// A scratch store directory for the durability tests, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("pm-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn arg(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn serve_stored(dir: &TempDir) -> std::process::Output {
+    profileme(&[
+        "serve",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--chunks",
+        "6",
+        "--top",
+        "3",
+        "--data-dir",
+        dir.arg(),
+        "--compact-every",
+        "4",
+    ])
+}
+
+#[test]
+fn serve_data_dir_persists_and_restart_recovers() {
+    let dir = TempDir::new("restart");
+    let out = serve_stored(&dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("recovered 0 samples"),
+        "first run starts empty: {text}"
+    );
+    assert!(text.contains("store: now holds"), "got: {text}");
+    assert!(
+        text.contains("identical to direct aggregation"),
+        "the byte-identity cross-check still runs with a store: {text}"
+    );
+
+    // Second run against the same directory recovers the first run's
+    // aggregate and stacks its own on top: N recovered + N this run.
+    let out = serve_stored(&dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let recovered: u64 = text
+        .lines()
+        .find(|l| l.starts_with("# store: recovered"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no recovery banner in: {text}"));
+    assert!(recovered > 0, "second run must recover history: {text}");
+    let holds = format!("({recovered} recovered + {recovered} this run)");
+    assert!(
+        text.contains(&holds),
+        "deterministic replay doubles the store ({holds}): {text}"
+    );
+}
+
+#[test]
+fn store_subcommands_inspect_verify_dump_and_compact() {
+    let dir = TempDir::new("subcmds");
+    let out = serve_stored(&dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = profileme(&["store", "info", "--data-dir", dir.arg()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("image snap-"), "an image exists: {text}");
+    assert!(text.contains("PMS1 wire"), "sparse magic reported: {text}");
+    assert!(text.contains("torn byte(s)"), "got: {text}");
+
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verifies"), "got: {text}");
+
+    let out = profileme(&["store", "dump", "--data-dir", dir.arg(), "--top", "3"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("samples (S="), "dump header: {text}");
+    assert!(
+        text.lines().any(|l| l.starts_with("0x")),
+        "dump prints instruction rows: {text}"
+    );
+
+    let out = profileme(&["store", "compact", "--data-dir", dir.arg()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compacted"), "got: {text}");
+
+    // After compaction the log is folded into the image: info shows
+    // zero loose records and verify agrees.
+    let out = profileme(&["store", "info", "--data-dir", dir.arg(), "--json"]);
+    assert!(out.status.success());
+    let info: serde_json::Value = serde_json::from_slice(&out.stdout).expect("info is JSON");
+    assert_eq!(
+        info.get("records").and_then(serde_json::Value::as_u64),
+        Some(0),
+        "compaction consumed the log"
+    );
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg()]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn store_verify_reports_a_corrupted_tail() {
+    let dir = TempDir::new("torn");
+    // Default compaction cadence (1024 records): the six delta records
+    // stay in the log, so there is a tail to tear.
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--chunks",
+        "6",
+        "--data-dir",
+        dir.arg(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Tear the newest segment mid-record, as a crash would.
+    let mut segs: Vec<_> = std::fs::read_dir(&dir.0)
+        .expect("store dir lists")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+        })
+        .collect();
+    segs.sort();
+    let last = segs
+        .iter()
+        .rev()
+        .find(|p| std::fs::metadata(p).expect("segment stats").len() > 0)
+        .expect("a non-empty segment exists");
+    let len = std::fs::metadata(last).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(last).unwrap();
+    f.set_len(len - 3).expect("tear the tail");
+
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg()]);
+    assert!(
+        out.status.success(),
+        "a torn tail is recoverable: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("torn tail") && text.contains("would be dropped"),
+        "verify reports the tear: {text}"
+    );
+
+    // A repairing run truncates the tear and continues cleanly.
+    let out = serve_stored(&dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("torn tail"),
+        "the recovery banner names the tear: {text}"
+    );
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("torn tail"),
+        "the tear is gone after repair: {text}"
+    );
+}
+
+#[test]
+fn store_flags_fail_cleanly() {
+    let out = profileme(&["store", "info"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data-dir"));
+    let out = profileme(&["store", "shrink", "--data-dir", "/tmp/x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown store action"));
+    let dir = TempDir::new("absent");
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg()]);
+    assert!(!out.status.success(), "an absent directory is an error");
+    // A store needs the delta plane: the WAL persists delta records.
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "li",
+        "--wire",
+        "dense",
+        "--data-dir",
+        dir.arg(),
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("delta snapshot plane"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
