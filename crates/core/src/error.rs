@@ -69,6 +69,19 @@ pub enum ProfileError {
     Store {
         /// What the store layer reported.
         reason: String,
+        /// The file the failure was observed in, when one is known.
+        path: Option<std::path::PathBuf>,
+        /// The byte offset within `path` where the failure was
+        /// observed (for torn records, the end of the last valid
+        /// record), when one is known.
+        offset: Option<u64>,
+    },
+    /// The fleet TCP front-end failed: a connect, read, or write error
+    /// the retry policy could not absorb, or a malformed protocol
+    /// frame.
+    Net {
+        /// What the network layer reported.
+        reason: String,
     },
 }
 
@@ -78,6 +91,36 @@ impl ProfileError {
         ProfileError::Config {
             field,
             reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for store failures with no file context.
+    pub fn store(reason: impl Into<String>) -> ProfileError {
+        ProfileError::Store {
+            reason: reason.into(),
+            path: None,
+            offset: None,
+        }
+    }
+
+    /// Convenience constructor for network failures.
+    pub fn net(reason: impl Into<String>) -> ProfileError {
+        ProfileError::Net {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for store failures pinned to a file
+    /// and, optionally, a byte offset within it.
+    pub fn store_at(
+        reason: impl Into<String>,
+        path: impl Into<std::path::PathBuf>,
+        offset: Option<u64>,
+    ) -> ProfileError {
+        ProfileError::Store {
+            reason: reason.into(),
+            path: Some(path.into()),
+            offset,
         }
     }
 }
@@ -102,8 +145,22 @@ impl fmt::Display for ProfileError {
             ProfileError::Degraded { level, lost } => {
                 write!(f, "service degraded to level {level} ({lost} samples lost)")
             }
-            ProfileError::Store { reason } => {
-                write!(f, "durable store failed: {reason}")
+            ProfileError::Store {
+                reason,
+                path,
+                offset,
+            } => {
+                write!(f, "durable store failed: {reason}")?;
+                if let Some(p) = path {
+                    write!(f, " in {}", p.display())?;
+                }
+                if let Some(o) = offset {
+                    write!(f, " at byte offset {o}")?;
+                }
+                Ok(())
+            }
+            ProfileError::Net { reason } => {
+                write!(f, "fleet network failed: {reason}")
             }
         }
     }
@@ -146,9 +203,13 @@ mod tests {
         assert!(e.to_string().contains("snapshot") && e.to_string().contains("250"));
         let e = ProfileError::Degraded { level: 2, lost: 41 };
         assert!(e.to_string().contains("level 2") && e.to_string().contains("41"));
-        let e = ProfileError::Store {
-            reason: "wal-00000003.seg vanished".into(),
-        };
-        assert!(e.to_string().contains("wal-00000003.seg"));
+        let e = ProfileError::store("segment vanished");
+        assert!(e.to_string().contains("segment vanished"));
+        let e = ProfileError::store_at("record CRC mismatch", "wal-00000003.seg", Some(96));
+        let shown = e.to_string();
+        assert!(
+            shown.contains("wal-00000003.seg") && shown.contains("offset 96"),
+            "path and offset surfaced: {shown}"
+        );
     }
 }

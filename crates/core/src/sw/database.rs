@@ -761,40 +761,6 @@ impl ProfileDatabase {
         ProfileDatabase::from_decoded(wire::decode(bytes, SNAP_MAGIC, SNAP_HEADER)?)
     }
 
-    /// Deprecated alias for [`encode`]`(WireFormat::Sparse)`.
-    ///
-    /// [`encode`]: ProfileDatabase::encode
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Sparse)`")]
-    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        self.encode(WireFormat::Sparse)
-    }
-
-    /// Deprecated alias for [`encode`]`(WireFormat::Dense)`.
-    ///
-    /// [`encode`]: ProfileDatabase::encode
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Dense)`")]
-    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
-        self.encode(WireFormat::Dense)
-    }
-
-    /// Deprecated alias for [`decode`](ProfileDatabase::decode).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
-    #[deprecated(since = "0.8.0", note = "use `decode`")]
-    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<ProfileDatabase, ProfileError> {
-        ProfileDatabase::decode(bytes)
-    }
-
     /// Extracts everything aggregated since `base` as sparse delta
     /// bytes, advancing `base` to match `self` — the O(touched)
     /// epoch-publication step of the sharded snapshot plane.
@@ -1336,40 +1302,6 @@ impl PairProfileDatabase {
             });
         }
         PairProfileDatabase::from_decoded(wire::decode(bytes, PAIR_SNAP_MAGIC, PAIR_HEADER)?)
-    }
-
-    /// Deprecated alias for [`encode`]`(WireFormat::Sparse)`.
-    ///
-    /// [`encode`]: PairProfileDatabase::encode
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Sparse)`")]
-    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ProfileError> {
-        self.encode(WireFormat::Sparse)
-    }
-
-    /// Deprecated alias for [`encode`]`(WireFormat::Dense)`.
-    ///
-    /// [`encode`]: PairProfileDatabase::encode
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if serialization fails.
-    #[deprecated(since = "0.8.0", note = "use `encode(WireFormat::Dense)`")]
-    pub fn snapshot_bytes_dense(&self) -> Result<Vec<u8>, ProfileError> {
-        self.encode(WireFormat::Dense)
-    }
-
-    /// Deprecated alias for [`decode`](PairProfileDatabase::decode).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ProfileError::Snapshot`] if the bytes do not parse.
-    #[deprecated(since = "0.8.0", note = "use `decode`")]
-    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<PairProfileDatabase, ProfileError> {
-        PairProfileDatabase::decode(bytes)
     }
 
     /// Extracts everything aggregated since `base` as sparse delta

@@ -85,14 +85,17 @@
 
 mod degrade;
 pub mod faults;
+pub mod net;
 pub mod ring;
 mod service;
 pub mod store;
 mod supervise;
+pub mod tenant;
 mod wal;
 
 pub use degrade::{DegradeConfig, DegradeLevel, OverloadController, RetryPolicy};
 pub use faults::FaultPlan;
+pub use net::{BatchAck, ClientConfig, ClientStats, FleetClient, FleetServer};
 pub use ring::{PopTimeout, RingBuffer, TryPushError};
 pub use service::{
     pc_shard, IngestStats, ServeConfig, ServeConfigBuilder, ServeSnapshot, ShardAggregate,
@@ -100,6 +103,10 @@ pub use service::{
 };
 pub use store::{store_info, ProfileStore, SegmentInfo, StoreConfig, StoreInfo, StoreStats};
 pub use supervise::SuperviseConfig;
+pub use tenant::{
+    EpochRing, FleetConfig, FleetService, FleetSnapshot, FleetStats, TenantId, TenantQuota,
+    TenantStats, Tenanted, TokenBucket,
+};
 
 #[cfg(test)]
 mod tests {

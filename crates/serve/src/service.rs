@@ -860,6 +860,38 @@ impl<A: ShardAggregate> ShardedService<A> {
         }
     }
 
+    /// Lossless batched ingest carrying an admission credit (the
+    /// multi-tenant path): `credit` was already incremented by the
+    /// batch length at admission, and the worker releases it when the
+    /// batch permanently leaves the pipeline. A batch bound for a
+    /// crashed shard's closed ring is dropped with accounting and its
+    /// credit is released here. Returns how many items were enqueued.
+    pub(crate) fn ingest_batch_credited(
+        &self,
+        items: Vec<A::Item>,
+        credit: &Arc<AtomicU64>,
+    ) -> u64 {
+        if items.is_empty() {
+            return 0;
+        }
+        let shard = self.next_shard();
+        let count = items.len() as u64;
+        match shard
+            .ring
+            .push(Msg::Work(Work::Credited(items, Arc::clone(credit))))
+        {
+            Ok(()) => {
+                shard.accept(count);
+                count
+            }
+            Err(_) => {
+                shard.drop_items(count);
+                credit.fetch_sub(count, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
     /// Deadline-bounded batched ingest: like
     /// [`ingest_batch`](ShardedService::ingest_batch), but never
     /// blocks past `timeout`. A batch that could not be enqueued

@@ -126,6 +126,12 @@ pub struct StoreStats {
     pub recovered_bytes: u64,
     /// Bytes of torn tail dropped (and truncated) on open.
     pub dropped_tail_bytes: u64,
+    /// Sequence number of the segment whose tail was torn, when one
+    /// was found.
+    pub torn_segment: Option<u64>,
+    /// Byte offset of the tear within that segment — the end of its
+    /// last valid record.
+    pub torn_offset: Option<u64>,
     /// Records appended since open.
     pub appended_records: u64,
     /// Framed bytes across the appended records.
@@ -175,6 +181,8 @@ struct Replay {
     records: u64,
     bytes: u64,
     dropped_tail: u64,
+    torn_segment: Option<u64>,
+    torn_offset: Option<u64>,
     next_seq: u64,
 }
 
@@ -241,11 +249,7 @@ fn recover_dir<A: ShardAggregate>(
     let mut state = match (state, empty) {
         (Some(s), _) => s,
         (None, Some(e)) => e,
-        (None, None) => {
-            return Err(ProfileError::Store {
-                reason: format!("{}: no snapshot image found", dir.display()),
-            })
-        }
+        (None, None) => return Err(ProfileError::store_at("no snapshot image found", dir, None)),
     };
     // 2./3. Replay segments the image does not cover, in order.
     let covered = replay.image_seq.unwrap_or(0);
@@ -269,14 +273,15 @@ fn recover_dir<A: ShardAggregate>(
         // 4. A tear is legal only at the very end of the log.
         if let Some(why) = scan.torn {
             if Some(seq) != last_seq {
-                return Err(ProfileError::Store {
-                    reason: format!(
-                        "{}: {why} but later segments exist — refusing to skip interior records",
-                        path.display()
-                    ),
-                });
+                return Err(ProfileError::store_at(
+                    format!("{why} but later segments exist — refusing to skip interior records"),
+                    &path,
+                    Some(scan.valid_bytes),
+                ));
             }
             replay.dropped_tail = scan.total_bytes - scan.valid_bytes;
+            replay.torn_segment = Some(seq);
+            replay.torn_offset = Some(scan.valid_bytes);
             if repair {
                 let f = OpenOptions::new()
                     .write(true)
@@ -333,6 +338,8 @@ impl<A: ShardAggregate> ProfileStore<A> {
                 recovered_records: replay.records,
                 recovered_bytes: replay.bytes,
                 dropped_tail_bytes: replay.dropped_tail,
+                torn_segment: replay.torn_segment,
+                torn_offset: replay.torn_offset,
                 ..StoreStats::default()
             },
             _aggregate: PhantomData,
@@ -368,6 +375,8 @@ impl<A: ShardAggregate> ProfileStore<A> {
                     recovered_records: replay.records,
                     recovered_bytes: replay.bytes,
                     dropped_tail_bytes: replay.dropped_tail,
+                    torn_segment: replay.torn_segment,
+                    torn_offset: replay.torn_offset,
                     ..StoreStats::default()
                 },
                 _aggregate: PhantomData,
@@ -392,6 +401,8 @@ impl<A: ShardAggregate> ProfileStore<A> {
                 recovered_records: replay.records,
                 recovered_bytes: replay.bytes,
                 dropped_tail_bytes: replay.dropped_tail,
+                torn_segment: replay.torn_segment,
+                torn_offset: replay.torn_offset,
                 ..StoreStats::default()
             },
         ))

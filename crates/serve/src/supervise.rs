@@ -103,20 +103,40 @@ pub(crate) enum Work<A: ShardAggregate> {
     One(A::Item),
     /// One buffered-delivery batch.
     Batch(Vec<A::Item>),
+    /// A batch admitted against a queue-share credit (the multi-tenant
+    /// path): the shared counter was incremented by the batch length at
+    /// admission and [`settle`](Work::settle) releases it when the
+    /// batch permanently leaves the pipeline.
+    Credited(Vec<A::Item>, Arc<AtomicU64>),
 }
 
 impl<A: ShardAggregate> Work<A> {
     pub(crate) fn len(&self) -> u64 {
         match self {
             Work::One(_) => 1,
-            Work::Batch(items) => items.len() as u64,
+            Work::Batch(items) | Work::Credited(items, _) => items.len() as u64,
         }
     }
 
     pub(crate) fn absorb_into(&self, acc: &mut A) {
         match self {
             Work::One(item) => acc.absorb(item),
-            Work::Batch(items) => items.iter().for_each(|i| acc.absorb(i)),
+            Work::Batch(items) | Work::Credited(items, _) => {
+                items.iter().for_each(|i| acc.absorb(i));
+            }
+        }
+    }
+
+    /// Releases this work's admission credit, if it carries one.
+    ///
+    /// Called exactly once per message, at the moment it permanently
+    /// leaves the pipeline: absorbed into the accumulator, dropped
+    /// whole after a double panic, or drained by the crash guard.
+    /// Journal replay deliberately does **not** settle — the journal's
+    /// copy is recovery bookkeeping for an absorb that already settled.
+    pub(crate) fn settle(&self) {
+        if let Work::Credited(items, credit) = self {
+            credit.fetch_sub(items.len() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -348,6 +368,7 @@ impl<A: ShardAggregate> Drop for CrashGuard<'_, A> {
                         self.counters
                             .dropped
                             .fetch_add(work.len(), Ordering::Relaxed);
+                        work.settle();
                     }
                 }
                 if !drained {
@@ -462,6 +483,7 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
             // reports `WorkerCrashed`.
             apply_fault(&ctx, fault_idx);
             work.absorb_into(&mut acc);
+            work.settle();
             processed += 1;
             maybe_publish(&ctx, &mut acc, &mut base, processed, &mut last_published);
             continue;
@@ -482,7 +504,9 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
                     ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
                     if recoveries_left == 0 {
                         // Budget exhausted: the guard marks the shard
-                        // crashed and closes the ring.
+                        // crashed and closes the ring. The in-flight
+                        // work leaves the pipeline here.
+                        work.settle();
                         return;
                     }
                     recoveries_left -= 1;
@@ -497,12 +521,14 @@ pub(crate) fn run_worker<A: ShardAggregate>(ctx: WorkerCtx<A>) {
                             // Cannot restore our own checkpoint: fail
                             // the shard loudly (via the guard) rather
                             // than serve a silently-wrong aggregate.
+                            work.settle();
                             return;
                         }
                     }
                 }
             }
         }
+        work.settle();
         if absorbed {
             journal.push(work);
             since_checkpoint += 1;

@@ -63,9 +63,7 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 /// Wraps an I/O failure as the typed store error, naming the
 /// operation and the path.
 pub(crate) fn io_err(op: &str, path: &Path, e: std::io::Error) -> ProfileError {
-    ProfileError::Store {
-        reason: format!("{op} {}: {e}", path.display()),
-    }
+    ProfileError::store_at(format!("{op}: {e}"), path, None)
 }
 
 /// The file name of segment `seq`.
@@ -198,8 +196,11 @@ impl Wal {
     /// afterwards if the active one reached its size target. Returns
     /// the framed size in bytes.
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<u64, ProfileError> {
-        let len = u32::try_from(payload.len()).map_err(|_| ProfileError::Store {
-            reason: format!("record of {} bytes exceeds the u32 frame", payload.len()),
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            ProfileError::store(format!(
+                "record of {} bytes exceeds the u32 frame",
+                payload.len()
+            ))
         })?;
         let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES as usize + payload.len());
         frame.extend_from_slice(&len.to_le_bytes());

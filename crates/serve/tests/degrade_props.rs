@@ -1,0 +1,153 @@
+//! Property tests of the overload machinery the fleet layer leans on:
+//! the [`OverloadController`] ladder, the [`RetryPolicy`] backoff, and
+//! the per-tenant [`TokenBucket`].
+//!
+//! The properties, over arbitrary pressure traces and seeds:
+//!
+//! * the ladder moves one rung at a time, downshifts only at or above
+//!   the high-water mark, and upshifts only after `cooldown`
+//!   *consecutive* observations at or below the low-water mark — so a
+//!   pressure trace oscillating around the watermarks cannot make the
+//!   ladder thrash;
+//! * backoff sleeps are deterministic per (seed, attempt, salt) and
+//!   never exceed `min(cap, base·2^attempt)`;
+//! * a token bucket never exceeds its burst, its deficit is monotone
+//!   under consumption, and refills are deterministic in the clock.
+
+use profileme_serve::{
+    DegradeConfig, DegradeLevel, OverloadController, RetryPolicy, TenantQuota, TokenBucket,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replays an arbitrary pressure trace and checks every ladder
+    /// transition against the hysteresis contract.
+    #[test]
+    fn ladder_moves_are_justified_and_never_oscillate(
+        fills in proptest::collection::vec(0u8..=100, 1..200),
+        cooldown in 1u32..6,
+    ) {
+        let cfg = DegradeConfig { cooldown, ..DegradeConfig::default() };
+        let c = OverloadController::new(cfg);
+        let mut level = DegradeLevel::Full;
+        let mut calm_streak = 0u32;
+        for &fill in &fills {
+            let next = c.observe(fill);
+            let (was, now) = (level.as_u8(), next.as_u8());
+            prop_assert!(
+                now.abs_diff(was) <= 1,
+                "ladder jumped {was} -> {now} on fill {fill}"
+            );
+            if now > was {
+                prop_assert!(
+                    fill >= cfg.high_water_pct,
+                    "downshift below the high-water mark (fill {fill})"
+                );
+            }
+            if now < was {
+                prop_assert!(
+                    fill <= cfg.low_water_pct,
+                    "upshift above the low-water mark (fill {fill})"
+                );
+                prop_assert!(
+                    calm_streak + 1 >= cooldown,
+                    "upshift after only {calm_streak} calm observations \
+                     (cooldown {cooldown}) — the ladder oscillated"
+                );
+            }
+            // Mirror the controller's calm bookkeeping: only
+            // below-low-water observations (while degraded) extend the
+            // streak, and any shift resets it.
+            calm_streak = if fill <= cfg.low_water_pct && now != 0 && now == was {
+                calm_streak + 1
+            } else {
+                0
+            };
+            level = next;
+        }
+        let (down, up, _, _) = c.counters();
+        prop_assert!(up <= down, "more upshifts than downshifts");
+        prop_assert_eq!(level.as_u8(), (down - up) as u8, "counters track the level");
+    }
+
+    /// A trace that stays strictly between the watermarks never moves
+    /// the ladder at all.
+    #[test]
+    fn midband_pressure_holds_the_level(
+        fills in proptest::collection::vec(26u8..75, 1..100),
+    ) {
+        let c = OverloadController::new(DegradeConfig::default());
+        for &fill in &fills {
+            prop_assert_eq!(c.observe(fill), DegradeLevel::Full);
+        }
+        prop_assert_eq!(c.counters(), (0, 0, 0, 0));
+    }
+
+    /// Backoff is deterministic and bounded by `min(cap, base·2^i)`
+    /// for every seed, attempt, and salt.
+    #[test]
+    fn backoff_is_deterministic_and_within_jitter_bounds(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        base_us in 1u64..5_000,
+        cap_ms in 1u64..50,
+    ) {
+        let p = RetryPolicy {
+            max_retries: 16,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_millis(cap_ms),
+            seed,
+        };
+        for attempt in 0..16u32 {
+            let d = p.backoff(attempt, salt);
+            prop_assert_eq!(d, p.backoff(attempt, salt), "same inputs, same sleep");
+            let ceiling = p.base.saturating_mul(1u32 << attempt.min(20)).min(p.cap);
+            prop_assert!(
+                d <= ceiling,
+                "attempt {attempt}: slept {d:?}, ceiling {ceiling:?}"
+            );
+        }
+    }
+
+    /// The token bucket: capped at burst, deterministic in the clock,
+    /// deficit monotone under consumption.
+    #[test]
+    fn token_bucket_is_capped_monotone_and_deterministic(
+        rate in 1u64..1_000_000,
+        burst in 1u64..1_000_000,
+        takes in proptest::collection::vec(0u64..10_000, 0..50),
+        advance_nanos in 0u64..2_000_000_000,
+    ) {
+        let quota = TenantQuota { rate_per_sec: rate, burst, queue_share: 1 };
+        let mut bucket = TokenBucket::new(quota, 0);
+        prop_assert_eq!(bucket.tokens(), burst, "starts full");
+        prop_assert_eq!(bucket.deficit_pct(), 0);
+
+        let mut previous_deficit = 0u8;
+        for &n in &takes {
+            bucket.take(n);
+            let deficit = bucket.deficit_pct();
+            prop_assert!(deficit >= previous_deficit, "deficit shrank without a refill");
+            prop_assert!(deficit <= 100);
+            previous_deficit = deficit;
+        }
+
+        // Refill never overflows the burst, and an identical twin
+        // driven by the same clock lands in the same state.
+        let mut twin = TokenBucket::new(quota, 0);
+        for &n in &takes {
+            twin.take(n);
+        }
+        bucket.refill(advance_nanos);
+        twin.refill(advance_nanos);
+        prop_assert!(bucket.tokens() <= burst, "refill overflowed the burst");
+        prop_assert_eq!(bucket.tokens(), twin.tokens(), "refill is deterministic");
+        // A long enough quiet period always restores the full burst.
+        bucket.refill(u64::MAX / 2);
+        prop_assert_eq!(bucket.tokens(), burst);
+        prop_assert_eq!(bucket.deficit_pct(), 0);
+    }
+}

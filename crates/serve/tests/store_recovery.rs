@@ -325,9 +325,16 @@ fn interior_tear_is_refused_not_skipped() {
         .map(|(db, _)| db.total_samples)
         .expect_err("interior tear must fail recovery");
     assert!(
-        matches!(&err, ProfileError::Store { reason } if reason.contains("later segments")),
+        matches!(&err, ProfileError::Store { reason, .. } if reason.contains("later segments")),
         "unexpected error: {err}"
     );
+    // The refusal names the torn segment and the byte offset of the
+    // tear (the end of the last intact record).
+    if let ProfileError::Store { path, offset, .. } = &err {
+        assert_eq!(path.as_deref(), Some(segs[0].as_path()));
+        assert!(offset.is_some(), "tear offset must be reported");
+        assert!(offset.unwrap() < fs::metadata(&segs[0]).unwrap().len());
+    }
     let s = single_stream();
     let empty = ProfileDatabase::new(&s.program, s.interval);
     assert!(ProfileStore::open(StoreConfig::new(&tmp.0), empty).is_err());

@@ -39,11 +39,14 @@ use profileme::core::{
     WireFormat,
 };
 use profileme::serve::{
-    store_info, ProfileStore, ServeConfig, ShardedService, SnapshotPlane, StoreConfig,
+    store_info, ClientConfig, FleetClient, FleetConfig, FleetServer, FleetService, ProfileStore,
+    ServeConfig, ShardedService, SnapshotPlane, StoreConfig, TenantId, TenantQuota,
 };
 use profileme::uarch::PipelineConfig;
 use profileme::workloads::{loops3, microbench, suite};
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 struct Args {
     workload: String,
@@ -72,6 +75,15 @@ struct Args {
     // `optimize` subcommand knobs.
     optimize: bool,
     iterations: u32,
+    // Fleet knobs (`serve --listen`, `ingest`).
+    listen: Option<String>,
+    tenants: u32,
+    quota: Option<String>,
+    serve_for_ms: Option<u64>,
+    ingest: bool,
+    connect: Option<String>,
+    tenant: u32,
+    batch: usize,
 }
 
 impl Default for Args {
@@ -100,6 +112,14 @@ impl Default for Args {
             store: None,
             optimize: false,
             iterations: 1,
+            listen: None,
+            tenants: 2,
+            quota: None,
+            serve_for_ms: None,
+            ingest: false,
+            connect: None,
+            tenant: 0,
+            batch: 256,
         }
     }
 }
@@ -113,6 +133,9 @@ fn parse_args() -> Result<Args, String> {
     } else if it.peek().map(String::as_str) == Some("optimize") {
         it.next();
         args.optimize = true;
+    } else if it.peek().map(String::as_str) == Some("ingest") {
+        it.next();
+        args.ingest = true;
     } else if it.peek().map(String::as_str) == Some("store") {
         it.next();
         let action = it
@@ -164,6 +187,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--degrade" if args.serve => args.degrade = true,
             "--fail-spec" if args.serve => args.fail_spec = value("--fail-spec")?,
+            "--listen" if args.serve => args.listen = Some(value("--listen")?),
+            "--tenants" if args.serve => {
+                args.tenants = value("--tenants")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--quota" if args.serve => args.quota = Some(value("--quota")?),
+            "--serve-for-ms" if args.serve => {
+                args.serve_for_ms = Some(
+                    value("--serve-for-ms")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--connect" if args.ingest => args.connect = Some(value("--connect")?),
+            "--tenant" if args.ingest => {
+                args.tenant = value("--tenant")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--batch" if args.ingest => {
+                args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--data-dir" if args.serve || args.store.is_some() => {
                 args.data_dir = Some(value("--data-dir")?)
             }
@@ -195,6 +237,10 @@ fn parse_args() -> Result<Args, String> {
                      [--shards N] [--chunks N] [--snapshot-every N] [--wire dense|delta] \
                      [--top N] [--deadline-ms N] [--degrade] [--fail-spec SPEC] \
                      [--data-dir DIR] [--segment-bytes N] [--compact-every N] [--json]\n       \
+                     profileme serve --listen ADDR [--tenants N] [--quota RATE[:BURST[:SHARE]]] \
+                     [--serve-for-ms N] [--shards N] [--json]\n       \
+                     profileme ingest --connect ADDR [--tenant N] [--workload NAME] \
+                     [--interval S] [--budget INSTRUCTIONS] [--batch N] [--json]\n       \
                      profileme store info|compact|dump|verify --data-dir DIR [--top N] [--json]\n       \
                      profileme optimize [--workload NAME] [--interval S] [--buffer N] \
                      [--budget INSTRUCTIONS] [--iterations N] [--json]"
@@ -456,6 +502,162 @@ fn serve_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), Str
     Ok(())
 }
 
+/// Parses `--quota RATE[:BURST[:SHARE]]` onto a [`TenantQuota`];
+/// omitted fields default (burst to the rate, share to the library
+/// default).
+fn parse_quota(spec: &str) -> Result<TenantQuota, String> {
+    let mut quota = TenantQuota::default();
+    let mut parts = spec.split(':');
+    let rate = parts.next().ok_or("--quota needs RATE[:BURST[:SHARE]]")?;
+    quota.rate_per_sec = rate.parse().map_err(|e| format!("--quota rate: {e}"))?;
+    quota.burst = quota.rate_per_sec;
+    if let Some(burst) = parts.next() {
+        quota.burst = burst.parse().map_err(|e| format!("--quota burst: {e}"))?;
+    }
+    if let Some(share) = parts.next() {
+        quota.queue_share = share.parse().map_err(|e| format!("--quota share: {e}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("--quota takes at most RATE:BURST:SHARE".into());
+    }
+    Ok(quota)
+}
+
+/// The `profileme serve --listen` mode: a multi-tenant TCP front-end
+/// over the fleet service. Producers (`profileme ingest --connect`)
+/// stream sample batches; each registered tenant is admitted against
+/// its own quota and degradation ladder. `--serve-for-ms` bounds the
+/// run for scripted use; otherwise the server accepts until killed.
+fn serve_listen(args: &Args, w: &profileme::workloads::Workload) -> Result<(), String> {
+    let listen = args.listen.as_deref().expect("caller checked --listen");
+    let quota = match &args.quota {
+        Some(spec) => parse_quota(spec)?,
+        None => TenantQuota::default(),
+    };
+    let fleet = FleetConfig::uniform(args.tenants.max(1), quota);
+    let svc = FleetService::start(
+        profileme::core::ProfileDatabase::new(&w.program, args.interval.max(1)),
+        serve_config(args)?,
+        fleet,
+    )
+    .map_err(|e| e.to_string())?;
+    let svc = Arc::new(svc);
+    let server = FleetServer::bind(listen, Arc::clone(&svc)).map_err(|e| e.to_string())?;
+    // The resolved address line is load-bearing: scripts and tests
+    // bind port 0 and parse the OS-assigned port from it.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    drop(std::io::stdout().flush());
+    if let Some(ms) = args.serve_for_ms {
+        let stop = server.stop_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            stop.store(true, Ordering::Release);
+        });
+    }
+    server.run().map_err(|e| e.to_string())?;
+    // `run` joined every handler, so the service Arc is unique again.
+    let svc = Arc::try_unwrap(svc).map_err(|_| "service still shared after stop".to_string())?;
+    let (merged, stats) = svc.shutdown().map_err(|e| e.to_string())?;
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!(
+        "fleet: {} offered, {} accepted, {} thinned, {} shed across {} tenant view(s)",
+        stats.offered,
+        stats.accepted,
+        stats.thinned,
+        stats.shed,
+        merged.len()
+    );
+    for t in &stats.tenants {
+        println!(
+            "  tenant-{}: level {}, {} offered, {} accepted, {} thinned, {} shed",
+            t.tenant, t.level, t.offered, t.accepted, t.thinned, t.shed
+        );
+    }
+    Ok(())
+}
+
+/// JSON shape of `profileme ingest --json`.
+#[derive(serde::Serialize)]
+struct IngestOutcome {
+    tenant: u32,
+    batches: u64,
+    samples: u64,
+    last_level: u8,
+    client: profileme::serve::ClientStats,
+}
+
+/// The `profileme ingest` subcommand: a fleet producer. Profiles the
+/// workload locally, then streams the sample batches to a
+/// `serve --listen` front-end with retry/backoff, reporting what the
+/// server acknowledged and at which fidelity.
+fn ingest_demo(args: &Args, w: &profileme::workloads::Workload) -> Result<(), String> {
+    let connect = args
+        .connect
+        .as_deref()
+        .ok_or("ingest needs --connect ADDR")?;
+    let session = Session::builder(w.program.clone())
+        .memory(w.memory.clone())
+        .sampling(ProfileMeConfig {
+            mean_interval: args.interval,
+            buffer_depth: args.buffer.max(1),
+            ..ProfileMeConfig::default()
+        })
+        .build()
+        .map_err(|e| e.to_string())?;
+    let run = session.profile_single().map_err(|e| e.to_string())?;
+    let mut client = FleetClient::new(connect, TenantId(args.tenant), ClientConfig::default());
+    let mut batches = 0u64;
+    let mut last_level = 0u8;
+    for chunk in run.samples.chunks(args.batch.max(1)) {
+        let ack = client.send(chunk).map_err(|e| e.to_string())?;
+        batches += 1;
+        last_level = ack.level.as_u8();
+        if !args.json {
+            println!(
+                "batch {:>4}: seq {:>4}, level {}, {} admitted{}",
+                batches,
+                ack.seq,
+                ack.level.as_u8(),
+                ack.admitted,
+                if ack.duplicate { " (duplicate)" } else { "" }
+            );
+        }
+    }
+    let stats = client.stats();
+    client.close();
+    if args.json {
+        let out = IngestOutcome {
+            tenant: args.tenant,
+            batches,
+            samples: run.samples.len() as u64,
+            last_level,
+            client: stats,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+        return Ok(());
+    }
+    println!(
+        "ingested {} sample(s) in {} batch(es) as tenant-{}: {} acked, {} retries, {} reconnects",
+        run.samples.len(),
+        batches,
+        args.tenant,
+        stats.samples_acked,
+        stats.retries,
+        stats.reconnects
+    );
+    Ok(())
+}
+
 /// JSON shape of `profileme store verify --json`.
 #[derive(serde::Serialize)]
 struct StoreVerifyOutcome {
@@ -464,6 +666,8 @@ struct StoreVerifyOutcome {
     recovered_records: u64,
     recovered_bytes: u64,
     dropped_tail_bytes: u64,
+    torn_segment: Option<u64>,
+    torn_offset: Option<u64>,
 }
 
 /// The `profileme store` subcommand: offline tooling over a durable
@@ -536,6 +740,8 @@ fn store_demo(args: &Args, action: &str) -> Result<(), String> {
                     recovered_records: stats.recovered_records,
                     recovered_bytes: stats.recovered_bytes,
                     dropped_tail_bytes: stats.dropped_tail_bytes,
+                    torn_segment: stats.torn_segment,
+                    torn_offset: stats.torn_offset,
                 };
                 println!(
                     "{}",
@@ -958,6 +1164,24 @@ fn main() -> ExitCode {
         eprintln!("error: unknown workload `{}` (use --list)", args.workload);
         return ExitCode::FAILURE;
     };
+    if args.ingest {
+        return match ingest_demo(&args, &w) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.serve && args.listen.is_some() {
+        return match serve_listen(&args, &w) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.serve {
         return match serve_demo(&args, &w) {
             Ok(()) => ExitCode::SUCCESS,

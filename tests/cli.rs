@@ -643,6 +643,30 @@ fn store_verify_reports_a_corrupted_tail() {
         "verify reports the tear: {text}"
     );
 
+    // The JSON shape pins the tear to a segment and byte offset.
+    let out = profileme(&["store", "verify", "--data-dir", dir.arg(), "--json"]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("verify is JSON");
+    assert!(
+        v.get("dropped_tail_bytes")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "torn bytes counted: {v:?}"
+    );
+    assert!(
+        v.get("torn_segment")
+            .and_then(serde_json::Value::as_u64)
+            .is_some(),
+        "the torn segment is named: {v:?}"
+    );
+    assert!(
+        v.get("torn_offset")
+            .and_then(serde_json::Value::as_u64)
+            .is_some(),
+        "the tear offset is reported: {v:?}"
+    );
+
     // A repairing run truncates the tear and continues cleanly.
     let out = serve_stored(&dir);
     assert!(
@@ -662,6 +686,142 @@ fn store_verify_reports_a_corrupted_tail() {
         !text.contains("torn tail"),
         "the tear is gone after repair: {text}"
     );
+}
+
+#[test]
+fn fleet_serve_listen_and_ingest_roundtrip() {
+    use std::io::{BufRead, BufReader, Read};
+    // Port 0: the server prints the OS-assigned address on its first
+    // line, which this test (like any script) parses.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_profileme"))
+        .args([
+            "serve",
+            "--workload",
+            "compress",
+            "--budget",
+            "50000",
+            "--listen",
+            "127.0.0.1:0",
+            "--tenants",
+            "2",
+            "--quota",
+            "100000:100000:65536",
+            "--serve-for-ms",
+            "15000",
+            "--json",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut reader = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("server prints its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+
+    let out = profileme(&[
+        "ingest",
+        "--connect",
+        &addr,
+        "--tenant",
+        "1",
+        "--workload",
+        "compress",
+        "--budget",
+        "50000",
+        "--batch",
+        "128",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let client: serde_json::Value = serde_json::from_slice(&out.stdout).expect("client JSON");
+    let samples = client
+        .get("samples")
+        .and_then(serde_json::Value::as_u64)
+        .expect("sample count");
+    assert!(samples > 0, "the producer profiled something");
+    assert_eq!(
+        client.get("last_level").and_then(serde_json::Value::as_u64),
+        Some(0),
+        "this stream fits the default quota: {client:?}"
+    );
+    assert_eq!(
+        client
+            .get("client")
+            .and_then(|c| c.get("samples_acked"))
+            .and_then(serde_json::Value::as_u64),
+        Some(samples),
+        "every sample acknowledged: {client:?}"
+    );
+
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited cleanly");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("server stats read");
+    let stats: serde_json::Value = serde_json::from_str(&rest).expect("fleet stats JSON");
+    assert_eq!(
+        stats.get("offered").and_then(serde_json::Value::as_u64),
+        Some(samples),
+        "the server accounted every offered sample: {stats:?}"
+    );
+    assert_eq!(
+        stats.get("accepted").and_then(serde_json::Value::as_u64),
+        Some(samples),
+        "nothing was thinned or shed: {stats:?}"
+    );
+    let tenants = stats
+        .get("tenants")
+        .and_then(serde_json::Value::as_array)
+        .expect("per-tenant stats");
+    assert_eq!(tenants.len(), 2, "both registered tenants reported");
+}
+
+#[test]
+fn fleet_flags_fail_cleanly() {
+    let out = profileme(&["ingest", "--workload", "li"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect"));
+
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "li",
+        "--listen",
+        "127.0.0.1:0",
+        "--quota",
+        "0",
+        "--serve-for-ms",
+        "100",
+    ]);
+    assert!(!out.status.success(), "a zero-rate quota is rejected");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid configuration"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = profileme(&[
+        "serve",
+        "--workload",
+        "li",
+        "--listen",
+        "127.0.0.1:0",
+        "--quota",
+        "1:2:3:4",
+        "--serve-for-ms",
+        "100",
+    ]);
+    assert!(!out.status.success(), "an overlong quota spec is rejected");
 }
 
 #[test]
